@@ -1,0 +1,103 @@
+// Ablation AB6: robustness to instance failures ("uncertain behavior",
+// Section I — motivated but not evaluated by the paper).
+//
+// Sweeps the per-instance MTBF on the scientific scenario. The adaptive
+// mechanism implicitly heals the pool: every analyzer alert re-runs
+// Algorithm 1 and scale_to() replaces crashed capacity within one analysis
+// interval. The static baseline has no such loop, so each crash permanently
+// shrinks its pool.
+#include <iostream>
+#include <memory>
+
+#include "cloud/broker.h"
+#include "core/adaptive_policy.h"
+#include "core/application_provisioner.h"
+#include "core/failure_injector.h"
+#include "core/provisioning_policy.h"
+#include "experiment/report.h"
+#include "experiment/scenario.h"
+#include "predict/periodic_profile.h"
+#include "util/cli.h"
+
+using namespace cloudprov;
+
+namespace {
+
+struct Row {
+  std::string policy;
+  double mtbf_hours;
+  std::uint64_t failures;
+  std::uint64_t lost;
+  double rejection;
+  double final_instances;
+};
+
+Row run_once(const ScenarioConfig& config, bool adaptive, double mtbf_hours,
+             std::uint64_t seed) {
+  Simulation sim;
+  Datacenter datacenter(sim, config.datacenter,
+                        std::make_unique<LeastLoadedPlacement>());
+  ProvisionerConfig prov_config;
+  prov_config.initial_service_time_estimate = config.initial_service_time_estimate;
+  ApplicationProvisioner provisioner(sim, datacenter, config.qos, prov_config);
+  BotWorkload workload(config.bot);
+  Broker broker(sim, workload, provisioner, Rng(seed));
+
+  std::unique_ptr<ProvisioningPolicy> policy;
+  if (adaptive) {
+    policy = std::make_unique<AdaptivePolicy>(
+        sim,
+        std::make_shared<PeriodicProfilePredictor>(
+            bot_profile_predictor(config.bot)),
+        config.modeler, config.analyzer);
+  } else {
+    policy = std::make_unique<StaticPolicy>(75);
+  }
+  FailureConfig fconfig;
+  // mtbf_hours == 0 means "no failures": keep a valid config, never start.
+  fconfig.mtbf_per_instance = (mtbf_hours > 0.0 ? mtbf_hours : 1.0) * 3600.0;
+  FailureInjector injector(sim, provisioner, fconfig, Rng(seed + 1));
+
+  policy->attach(provisioner);
+  broker.start();
+  if (mtbf_hours > 0.0) injector.start();
+  sim.run(config.horizon);
+
+  return Row{policy->name(), mtbf_hours, injector.failures_injected(),
+             provisioner.lost_to_failures(), provisioner.rejection_rate(),
+             static_cast<double>(provisioner.live_instances())};
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  ArgParser args(
+      "Ablation: instance-failure robustness, adaptive vs static "
+      "(scientific scenario, paper scale).");
+  args.add_flag("seed", "42", "random seed", "<int>");
+  if (!args.parse(argc, argv)) return 0;
+  const auto seed = static_cast<std::uint64_t>(args.get_int("seed"));
+
+  const ScenarioConfig config = scientific_scenario(1.0);
+  std::cout << "=== Ablation: instance failures (scientific, one day) ===\n\n";
+  TextTable table({"policy", "MTBF (h)", "failures", "lost_reqs", "rejection",
+                   "final_pool"});
+  for (double mtbf : {0.0, 48.0, 12.0, 3.0}) {
+    for (bool adaptive : {true, false}) {
+      const Row row = run_once(config, adaptive, mtbf, seed);
+      table.add_row({row.policy, mtbf == 0.0 ? "inf" : fmt(row.mtbf_hours, 0),
+                     std::to_string(row.failures), std::to_string(row.lost),
+                     fmt(row.rejection, 4), fmt(row.final_instances, 0)});
+    }
+  }
+  table.print(std::cout);
+
+  std::cout
+      << "\nReading: the adaptive loop replaces crashed instances at the next\n"
+         "analysis tick, so rejection stays near baseline even at MTBF = 3 h\n"
+         "(~hundreds of crashes/day across the pool); the static pool decays\n"
+         "monotonically and its rejection grows with every failure. Lost\n"
+         "in-flight requests (~1 per crash during peak) are intrinsic to\n"
+         "crash-failures and affect both policies alike.\n";
+  return 0;
+}

@@ -1,0 +1,69 @@
+// Ablation AB4: the workload analyzer's re-evaluation cadence.
+//
+// The paper's analyzer alerts "before the expected time for the rate to
+// change". A time-based profile predictor makes the cadence nearly moot (it
+// reads the future profile directly), so this sweep uses the reactive EWMA
+// predictor, where the analysis interval *is* the reaction lag, on the
+// scientific scenario whose 8 a.m. ramp multiplies the arrival rate ~12x.
+// The profile predictor at the default cadence is included as the proactive
+// reference.
+#include <iostream>
+
+#include "experiment/report.h"
+#include "experiment/runner.h"
+#include "util/cli.h"
+
+using namespace cloudprov;
+
+int main(int argc, char** argv) {
+  ArgParser args(
+      "Ablation: provisioning re-evaluation interval with a reactive "
+      "predictor (scientific scenario).");
+  args.add_flag("scale", "1.0", "workload scale factor", "<double>");
+  args.add_flag("reps", "5", "replications per setting", "<int>");
+  args.add_flag("seed", "42", "base random seed", "<int>");
+  if (!args.parse(argc, argv)) return 0;
+
+  const auto reps = static_cast<std::size_t>(args.get_int("reps"));
+  const auto seed = static_cast<std::uint64_t>(args.get_int("seed"));
+
+  std::cout << "=== Ablation: analysis interval (scientific, EWMA predictor, "
+            << reps << " reps) ===\n\n";
+
+  TextTable table({"predictor", "interval (s)", "rejection", "utilization",
+                   "vm_hours", "max_inst", "violations"});
+  for (double interval : {30.0, 60.0, 300.0, 900.0, 3600.0}) {
+    ScenarioConfig config = scientific_scenario(args.get_double("scale"));
+    config.analyzer.analysis_interval = interval;
+    config.analyzer.lead_time = interval;
+
+    const auto runs = run_replications(
+        config, PolicySpec::adaptive(PredictorKind::kEwma), reps, seed);
+    const AggregateMetrics agg = aggregate(runs);
+    table.add_row({"ewma", fmt(interval, 0), fmt(agg.rejection_rate.mean, 4),
+                   fmt(agg.utilization.mean, 3), fmt(agg.vm_hours.mean, 1),
+                   fmt(agg.max_instances.mean, 1),
+                   fmt(agg.qos_violations.mean, 1)});
+  }
+  {
+    // Proactive reference: the paper's profile predictor at the default
+    // cadence.
+    ScenarioConfig config = scientific_scenario(args.get_double("scale"));
+    const auto runs =
+        run_replications(config, PolicySpec::adaptive(), reps, seed);
+    const AggregateMetrics agg = aggregate(runs);
+    table.add_row({"profile", fmt(config.analyzer.analysis_interval, 0),
+                   fmt(agg.rejection_rate.mean, 4), fmt(agg.utilization.mean, 3),
+                   fmt(agg.vm_hours.mean, 1), fmt(agg.max_instances.mean, 1),
+                   fmt(agg.qos_violations.mean, 1)});
+  }
+  table.print(std::cout);
+
+  std::cout
+      << "\nReading: with a reactive predictor every interval of lag at the\n"
+         "8 a.m. ramp converts directly into rejected requests (requests run\n"
+         "300 s, so a stale pool cannot drain its way out). The proactive\n"
+         "profile predictor sidesteps the cadence entirely — the paper's\n"
+         "core argument for model-driven alerts issued before the change.\n";
+  return 0;
+}

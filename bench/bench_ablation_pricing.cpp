@@ -1,0 +1,106 @@
+// Ablation AB7: billing granularity vs the adaptive policy's VM-hour saving.
+//
+// The paper reports raw VM-hours, "independent from pricing policies"
+// (Section V-A). Real IaaS bills in quanta: classic EC2 charged per started
+// hour, modern clouds per second with a 60 s minimum. Hourly quanta penalize
+// the adaptive policy's churn (every drain/boot rounds up), so part of the
+// paper's saving can evaporate under coarse billing. This bench reruns the
+// web scenario and prices the same VM lifetimes under several policies.
+#include <iostream>
+#include <memory>
+
+#include "cloud/broker.h"
+#include "core/adaptive_policy.h"
+#include "core/application_provisioner.h"
+#include "core/provisioning_policy.h"
+#include "experiment/pricing.h"
+#include "experiment/report.h"
+#include "experiment/scenario.h"
+#include "predict/periodic_profile.h"
+#include "util/cli.h"
+
+using namespace cloudprov;
+
+namespace {
+
+std::vector<SimTime> run_and_collect_lifetimes(const ScenarioConfig& config,
+                                               bool adaptive,
+                                               std::size_t static_size,
+                                               std::uint64_t seed,
+                                               double* rejection) {
+  Simulation sim;
+  Datacenter datacenter(sim, config.datacenter,
+                        std::make_unique<LeastLoadedPlacement>());
+  ProvisionerConfig prov_config;
+  prov_config.initial_service_time_estimate = config.initial_service_time_estimate;
+  ApplicationProvisioner provisioner(sim, datacenter, config.qos, prov_config);
+  WebWorkload workload(config.web);
+  Broker broker(sim, workload, provisioner, Rng(seed));
+  std::unique_ptr<ProvisioningPolicy> policy;
+  if (adaptive) {
+    policy = std::make_unique<AdaptivePolicy>(
+        sim,
+        std::make_shared<PeriodicProfilePredictor>(
+            web_profile_predictor(config.web)),
+        config.modeler, config.analyzer);
+  } else {
+    policy = std::make_unique<StaticPolicy>(config.scaled_instances(static_size));
+  }
+  policy->attach(provisioner);
+  broker.start();
+  sim.run(config.horizon);
+  *rejection = provisioner.rejection_rate();
+  return datacenter.vm_lifetimes();
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  ArgParser args("Ablation: billing granularity (web scenario).");
+  args.add_flag("scale", "0.1", "workload scale factor", "<double>");
+  args.add_flag("seed", "42", "random seed", "<int>");
+  if (!args.parse(argc, argv)) return 0;
+  const auto seed = static_cast<std::uint64_t>(args.get_int("seed"));
+
+  const ScenarioConfig config = web_scenario(args.get_double("scale"));
+
+  double adaptive_rejection = 0.0;
+  double static_rejection = 0.0;
+  const auto adaptive_lifetimes =
+      run_and_collect_lifetimes(config, true, 0, seed, &adaptive_rejection);
+  const auto static_lifetimes = run_and_collect_lifetimes(
+      config, false, 150, seed, &static_rejection);
+
+  const std::vector<PricingPolicy> policies{
+      {"per-second", 1.0, 1.0, 0.0},
+      {"per-second-60s-min", 1.0, 1.0, 60.0},
+      {"per-minute", 1.0, 60.0, 0.0},
+      {"per-hour (classic EC2)", 1.0, 3600.0, 0.0},
+  };
+
+  std::cout << "=== Ablation: billing granularity (web, scale "
+            << args.get_double("scale") << ", one week) ===\n\n";
+  std::cout << "VM count: adaptive " << adaptive_lifetimes.size() << ", static "
+            << static_lifetimes.size() << " (rejection "
+            << fmt(adaptive_rejection, 4) << " / " << fmt(static_rejection, 4)
+            << ")\n\n";
+
+  TextTable table({"billing policy", "adaptive cost", "static-peak cost",
+                   "saving", "adaptive overhead vs raw"});
+  const double adaptive_raw = raw_cost(adaptive_lifetimes, policies[0]);
+  for (const PricingPolicy& policy : policies) {
+    const double adaptive_bill = billed_cost(adaptive_lifetimes, policy);
+    const double static_bill = billed_cost(static_lifetimes, policy);
+    table.add_row({policy.name, fmt(adaptive_bill, 1), fmt(static_bill, 1),
+                   fmt(1.0 - adaptive_bill / static_bill, 3),
+                   fmt(adaptive_bill / adaptive_raw - 1.0, 3)});
+  }
+  table.print(std::cout);
+
+  std::cout
+      << "\nReading: per-second billing realizes the paper's raw VM-hour\n"
+         "saving; hourly quanta add a churn surcharge to the adaptive policy\n"
+         "(every short-lived VM rounds up to a full hour) while the static\n"
+         "pool, whose VMs live the whole week, is barely affected.\n";
+  return 0;
+}

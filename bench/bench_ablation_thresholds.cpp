@@ -1,0 +1,60 @@
+// Ablation AB3: the modeler's decision thresholds.
+//
+// The paper leaves the model-side rejection tolerance unstated (DESIGN.md);
+// our default 0.28 together with the 0.8 utilization floor reproduces the
+// paper's instance counts. This bench sweeps both knobs on the scientific
+// scenario (paper scale — its 8 a.m./5 p.m. cliffs exercise both the growth
+// and the bisection paths of Algorithm 1, unlike the web sinusoid where the
+// pool drifts by one instance at a time and only the tolerance edge binds).
+#include <iostream>
+
+#include "experiment/report.h"
+#include "experiment/runner.h"
+#include "util/cli.h"
+
+using namespace cloudprov;
+
+int main(int argc, char** argv) {
+  ArgParser args(
+      "Ablation: modeler rejection tolerance / utilization floor "
+      "(scientific scenario, paper scale).");
+  args.add_flag("scale", "1.0", "workload scale factor", "<double>");
+  args.add_flag("reps", "5", "replications per setting", "<int>");
+  args.add_flag("seed", "42", "base random seed", "<int>");
+  if (!args.parse(argc, argv)) return 0;
+
+  const auto reps = static_cast<std::size_t>(args.get_int("reps"));
+  const auto seed = static_cast<std::uint64_t>(args.get_int("seed"));
+
+  std::cout << "=== Ablation: modeler thresholds (scientific, scale "
+            << args.get_double("scale") << ", " << reps << " reps) ===\n\n";
+
+  TextTable table({"tolerance", "util_floor", "rejection", "utilization",
+                   "vm_hours", "min_inst", "max_inst", "violations"});
+  for (double tolerance : {0.05, 0.15, 0.28, 0.50}) {
+    for (double floor : {0.60, 0.80}) {
+      ScenarioConfig config = scientific_scenario(args.get_double("scale"));
+      config.modeler.rejection_tolerance = tolerance;
+      config.qos.min_utilization = floor;
+
+      const auto runs =
+          run_replications(config, PolicySpec::adaptive(), reps, seed);
+      const AggregateMetrics agg = aggregate(runs);
+      table.add_row({fmt(tolerance, 2), fmt(floor, 2),
+                     fmt(agg.rejection_rate.mean, 4),
+                     fmt(agg.utilization.mean, 3), fmt(agg.vm_hours.mean, 1),
+                     fmt(agg.min_instances.mean, 1),
+                     fmt(agg.max_instances.mean, 1),
+                     fmt(agg.qos_violations.mean, 1)});
+    }
+  }
+  table.print(std::cout);
+
+  std::cout
+      << "\nReading: the tolerance sets the scale-up edge (VM-hours fall and\n"
+         "rejection rises as it loosens); the floor sets where the post-peak\n"
+         "bisection descent lands (a 0.60 floor keeps larger pools after\n"
+         "17:00). The paper-calibrated (0.28, 0.80) pair sits at the knee:\n"
+         "near-zero rejection at ~0.78 utilization, matching Figure 6.\n";
+  return 0;
+}

@@ -1,0 +1,125 @@
+// Extension bench: SLA classes with priorities and incentives under
+// resource contention (Section VII, final paragraph of future work).
+//
+// Two request classes share an under-provisioned pool (offered load 2x
+// capacity, mimicking "intense competition for resources and limited
+// resource availability"): premium (25% of traffic, high revenue, steep
+// rejection penalty) and best-effort. Compares FIFO admission against
+// PriorityAwareAdmission with swept reservation sizes, reporting per-class
+// completion and net revenue.
+#include <iostream>
+#include <memory>
+
+#include "core/application_provisioner.h"
+#include "core/sla.h"
+#include "experiment/report.h"
+#include "util/cli.h"
+
+using namespace cloudprov;
+
+namespace {
+
+std::vector<SlaClass> classes() {
+  SlaClass best_effort;
+  best_effort.name = "best-effort";
+  best_effort.priority_threshold = 0;
+  best_effort.max_response_time = 1.0;
+  best_effort.revenue_per_request = 1.0;
+  SlaClass premium;
+  premium.name = "premium";
+  premium.priority_threshold = 5;
+  premium.max_response_time = 0.5;
+  premium.revenue_per_request = 10.0;
+  premium.rejection_penalty = 20.0;
+  premium.violation_penalty = 10.0;
+  return {best_effort, premium};
+}
+
+struct Row {
+  std::string admission;
+  double premium_completion;
+  double best_effort_completion;
+  double revenue;
+};
+
+Row run_once(std::unique_ptr<AdmissionPolicy> admission,
+             const std::string& label, std::uint64_t seed) {
+  Simulation sim;
+  DatacenterConfig dc;
+  dc.host_count = 2;
+  Datacenter datacenter(sim, dc, std::make_unique<LeastLoadedPlacement>());
+  QosTargets qos;
+  qos.max_response_time = 0.5;
+  ProvisionerConfig config;
+  config.initial_service_time_estimate = 0.1;
+  ApplicationProvisioner provisioner(sim, datacenter, qos, config,
+                                     std::move(admission));
+  provisioner.scale_to(4);
+
+  SlaManager sla(classes());
+  provisioner.set_completion_listener(
+      [&](const Request& r, double response) { sla.on_completed(r, response); });
+
+  Rng rng(seed);
+  double t = 0.0;
+  std::uint64_t id = 0;
+  while (t < 600.0) {
+    t += rng.exponential(80.0);  // 2x the pool's comfortable load
+    Request r;
+    r.id = ++id;
+    r.arrival_time = t;
+    r.priority = rng.bernoulli(0.25) ? 9 : 0;
+    r.service_demand = 0.1 * rng.uniform(1.0, 1.1);
+    sim.schedule_at(t, [&sla, &provisioner, r]() mutable {
+      sla.on_arrival(r);
+      if (!provisioner.try_submit(r)) sla.on_rejected(r);
+    });
+  }
+  sim.run();
+
+  const SlaClassReport premium = sla.report(1);
+  const SlaClassReport best = sla.report(0);
+  return Row{label,
+             static_cast<double>(premium.completed) /
+                 static_cast<double>(premium.offered),
+             static_cast<double>(best.completed) /
+                 static_cast<double>(best.offered),
+             sla.total_revenue()};
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  ArgParser args("Extension: SLA classes and priority admission under contention.");
+  args.add_flag("seed", "42", "random seed", "<int>");
+  if (!args.parse(argc, argv)) return 0;
+  const auto seed = static_cast<std::uint64_t>(args.get_int("seed"));
+
+  std::cout << "=== Extension: SLA revenue under 2x contention "
+            << "(25% premium traffic) ===\n\n";
+  TextTable table({"admission", "premium completion", "best-effort completion",
+                   "net revenue"});
+  {
+    const Row row = run_once(std::make_unique<KBoundAdmission>(), "FIFO (paper)",
+                             seed);
+    table.add_row({row.admission, fmt(row.premium_completion, 3),
+                   fmt(row.best_effort_completion, 3), fmt(row.revenue, 0)});
+  }
+  for (std::size_t reserved : {2u, 6u, 12u}) {
+    const Row row = run_once(
+        std::make_unique<PriorityAwareAdmission>(reserved, 5),
+        "priority(reserve=" + std::to_string(reserved) + ")", seed);
+    table.add_row({row.admission, fmt(row.premium_completion, 3),
+                   fmt(row.best_effort_completion, 3), fmt(row.revenue, 0)});
+  }
+  table.print(std::cout);
+
+  std::cout
+      << "\nReading: FIFO admission starves the premium class exactly in\n"
+         "proportion to overload, and its steep rejection penalties push net\n"
+         "revenue down; reserving pool slots for premium traffic trades\n"
+         "best-effort completions (worth 1 each) for premium ones (worth 10,\n"
+         "penalty 20). Larger reservations help until the premium class is\n"
+         "fully served; beyond that they only idle capacity.\n";
+  return 0;
+}

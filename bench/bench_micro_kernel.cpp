@@ -1,0 +1,98 @@
+// Microbenchmarks MB1/MB2: the discrete-event kernel and the random-variate
+// library — the two components on the simulator's per-request critical path
+// (the paper-scale web scenario executes ~1.5 billion events per
+// replication).
+#include <benchmark/benchmark.h>
+
+#include "sim/event_queue.h"
+#include "sim/simulation.h"
+#include "util/rng.h"
+
+namespace cloudprov {
+namespace {
+
+void BM_EventQueuePushPop(benchmark::State& state) {
+  const auto pending = static_cast<std::size_t>(state.range(0));
+  EventQueue queue;
+  Rng rng(1);
+  for (std::size_t i = 0; i < pending; ++i) {
+    queue.push(rng.uniform(0.0, 1000.0), [] {});
+  }
+  double t = 1000.0;
+  for (auto _ : state) {
+    queue.push(t, [] {});
+    benchmark::DoNotOptimize(queue.pop());
+    t += 0.001;
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+// The pending-set size in the paper's scenarios: ~150 departures + controls.
+BENCHMARK(BM_EventQueuePushPop)->Arg(16)->Arg(256)->Arg(4096);
+
+void BM_EventQueueCancel(benchmark::State& state) {
+  EventQueue queue;
+  for (auto _ : state) {
+    const EventId id = queue.push(1.0, [] {});
+    queue.cancel(id);
+    benchmark::DoNotOptimize(queue.empty());
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_EventQueueCancel);
+
+void BM_SimulationSelfScheduling(benchmark::State& state) {
+  // A single self-rescheduling event chain: pure kernel dispatch overhead.
+  for (auto _ : state) {
+    state.PauseTiming();
+    Simulation sim;
+    std::function<void()> chain;
+    std::uint64_t remaining = 100000;
+    chain = [&] {
+      if (--remaining > 0) sim.schedule_in(0.001, chain);
+    };
+    sim.schedule_at(0.0, chain);
+    state.ResumeTiming();
+    sim.run();
+  }
+  state.SetItemsProcessed(state.iterations() * 100000);
+}
+BENCHMARK(BM_SimulationSelfScheduling)->Unit(benchmark::kMillisecond);
+
+void BM_RngNext(benchmark::State& state) {
+  Rng rng(1);
+  for (auto _ : state) benchmark::DoNotOptimize(rng.next());
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_RngNext);
+
+void BM_RngExponential(benchmark::State& state) {
+  Rng rng(1);
+  for (auto _ : state) benchmark::DoNotOptimize(rng.exponential(10.0));
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_RngExponential);
+
+void BM_RngWeibull(benchmark::State& state) {
+  Rng rng(1);
+  for (auto _ : state) benchmark::DoNotOptimize(rng.weibull(4.25, 7.86));
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_RngWeibull);
+
+void BM_RngNormal(benchmark::State& state) {
+  Rng rng(1);
+  for (auto _ : state) benchmark::DoNotOptimize(rng.normal(0.0, 1.0));
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_RngNormal);
+
+void BM_RngPoisson(benchmark::State& state) {
+  Rng rng(1);
+  const double mean = static_cast<double>(state.range(0));
+  for (auto _ : state) benchmark::DoNotOptimize(rng.poisson(mean));
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_RngPoisson)->Arg(3)->Arg(120);  // Knuth vs PTRS paths
+
+}  // namespace
+}  // namespace cloudprov

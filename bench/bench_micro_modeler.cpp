@@ -1,0 +1,88 @@
+// Microbenchmarks MB3: the analytic layer — queueing solvers and Algorithm 1.
+//
+// The paper argues its models are "simple and still efficient"; Algorithm 1
+// runs on every workload-analyzer alert (every 60 s of simulated time), so
+// its cost bounds how fine the provisioning cadence can be in a real
+// deployment. Also covers the complexity claim of Section IV-B: computing
+// time dominated by the repeat loop, constant work per iteration.
+#include <benchmark/benchmark.h>
+
+#include "core/performance_modeler.h"
+#include "queueing/birth_death.h"
+#include "queueing/erlang.h"
+#include "queueing/mm1k.h"
+#include "queueing/mmc.h"
+
+namespace cloudprov {
+namespace {
+
+void BM_Mm1kSolve(benchmark::State& state) {
+  const auto k = static_cast<std::size_t>(state.range(0));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(queueing::mm1k(8.0, 10.0, k));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_Mm1kSolve)->Arg(2)->Arg(16)->Arg(128);
+
+void BM_ErlangB(benchmark::State& state) {
+  const auto servers = static_cast<std::size_t>(state.range(0));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        queueing::erlang_b(0.8 * static_cast<double>(servers), servers));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_ErlangB)->Arg(10)->Arg(100)->Arg(1000);
+
+void BM_BirthDeathSolve(benchmark::State& state) {
+  const auto capacity = static_cast<std::size_t>(state.range(0));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        queueing::birth_death_queue_metrics(80.0, 1.0, 100, capacity));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_BirthDeathSolve)->Arg(200)->Arg(2000)->Arg(20000);
+
+void BM_Algorithm1(benchmark::State& state) {
+  // Full Algorithm 1 run at the paper's web-peak operating point, seeded
+  // from different starting pools (worst case: far-off start).
+  QosTargets qos;
+  qos.max_response_time = 0.250;
+  qos.min_utilization = 0.80;
+  ModelerConfig config;
+  config.max_vms = 8000;
+  PerformanceModeler modeler(qos, config);
+  const auto start = static_cast<std::size_t>(state.range(0));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(modeler.required_instances(start, 1200.0, 0.105, 2));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_Algorithm1)->Arg(1)->Arg(153)->Arg(8000);
+
+void BM_Algorithm1IterationScaling(benchmark::State& state) {
+  // Section IV-B claims the loop count scales with the search range
+  // (log-like via bisection + 1.5x growth). Measure iterations as a counter.
+  QosTargets qos;
+  qos.max_response_time = 0.250;
+  qos.min_utilization = 0.80;
+  ModelerConfig config;
+  config.max_vms = static_cast<std::size_t>(state.range(0));
+  PerformanceModeler modeler(qos, config);
+  std::size_t iterations = 0;
+  std::size_t calls = 0;
+  for (auto _ : state) {
+    const ModelerDecision d = modeler.required_instances(1, 1200.0, 0.105, 2);
+    iterations += d.iterations;
+    ++calls;
+    benchmark::DoNotOptimize(d.instances);
+  }
+  state.counters["iters_per_call"] =
+      static_cast<double>(iterations) / static_cast<double>(calls);
+}
+BENCHMARK(BM_Algorithm1IterationScaling)->Arg(200)->Arg(2000)->Arg(20000);
+
+}  // namespace
+}  // namespace cloudprov

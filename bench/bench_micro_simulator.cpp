@@ -1,0 +1,76 @@
+// Microbenchmark MB4: end-to-end simulator throughput.
+//
+// Measures simulated requests per wall-clock second for a served Poisson
+// workload (broker -> admission -> round-robin -> VM service -> stats),
+// and for raw workload generation. These rates determine the wall time of a
+// paper-scale (--scale 1) Figure 5 replication: ~500M requests.
+#include <benchmark/benchmark.h>
+
+#include <memory>
+
+#include "cloud/broker.h"
+#include "core/application_provisioner.h"
+#include "workload/bot_workload.h"
+#include "workload/poisson_source.h"
+#include "workload/web_workload.h"
+
+namespace cloudprov {
+namespace {
+
+void BM_ServedPoissonRequests(benchmark::State& state) {
+  const auto instances = static_cast<std::size_t>(state.range(0));
+  std::uint64_t total_requests = 0;
+  for (auto _ : state) {
+    state.PauseTiming();
+    Simulation sim;
+    DatacenterConfig dc_config;
+    dc_config.host_count = instances / 8 + 1;
+    Datacenter datacenter(sim, dc_config, std::make_unique<LeastLoadedPlacement>());
+    QosTargets qos;
+    qos.max_response_time = 0.250;
+    ProvisionerConfig prov_config;
+    prov_config.initial_service_time_estimate = 0.105;
+    ApplicationProvisioner provisioner(sim, datacenter, qos, prov_config);
+    provisioner.scale_to(instances);
+    const double lambda = 8.0 * static_cast<double>(instances);  // rho = 0.84
+    PoissonSource source(lambda,
+                         std::make_shared<ScaledUniformDistribution>(0.1, 0.1),
+                         0.0, 100000.0 / lambda);
+    Broker broker(sim, source, provisioner, Rng(7));
+    broker.start();
+    state.ResumeTiming();
+    sim.run();
+    total_requests += broker.generated();
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(total_requests));
+}
+BENCHMARK(BM_ServedPoissonRequests)->Arg(2)->Arg(16)->Arg(150)
+    ->Unit(benchmark::kMillisecond);
+
+void BM_WebWorkloadGeneration(benchmark::State& state) {
+  std::uint64_t generated = 0;
+  for (auto _ : state) {
+    WebWorkloadConfig config;
+    config.scale = 0.01;
+    config.horizon = 86400.0;
+    WebWorkload workload(config);
+    Rng rng(3);
+    while (workload.next(rng)) ++generated;
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(generated));
+}
+BENCHMARK(BM_WebWorkloadGeneration)->Unit(benchmark::kMillisecond);
+
+void BM_BotWorkloadGeneration(benchmark::State& state) {
+  std::uint64_t generated = 0;
+  for (auto _ : state) {
+    BotWorkload workload{};
+    Rng rng(3);
+    while (workload.next(rng)) ++generated;
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(generated));
+}
+BENCHMARK(BM_BotWorkloadGeneration)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+}  // namespace cloudprov

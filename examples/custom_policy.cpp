@@ -1,0 +1,105 @@
+// Extending the library: a custom provisioning policy and a custom admission
+// policy through the public interfaces.
+//
+// The policy implemented here is a deliberately naive "reactive threshold"
+// autoscaler (the kind the paper's related-work section contrasts against,
+// e.g. Chieu et al.): every interval, look at the *observed* arrival rate —
+// no prediction, no queueing model — and size the pool at observed_rate * Tm
+// / 0.7. Running it side by side with the paper's mechanism on the same
+// workload shows why the analytic model + proactive alerts matter. The
+// scientific workload is the right stress: its arrival rate jumps ~12x at
+// 8 a.m. (Figure 4), and requests run for 300 s, so reacting one interval
+// late strands a full ramp of rejected work.
+#include <cstdio>
+#include <memory>
+#include <optional>
+
+#include "cloud/broker.h"
+#include "core/adaptive_policy.h"
+#include "core/application_provisioner.h"
+#include "core/provisioning_policy.h"
+#include "experiment/scenario.h"
+#include "predict/periodic_profile.h"
+
+using namespace cloudprov;
+
+/// Reactive threshold autoscaler: no model, no prediction.
+class ReactiveThresholdPolicy final : public ProvisioningPolicy {
+ public:
+  ReactiveThresholdPolicy(Simulation& sim, SimTime interval, double target_rho)
+      : sim_(sim), interval_(interval), target_rho_(target_rho) {}
+
+  void attach(ApplicationProvisioner& provisioner) override {
+    provisioner_ = &provisioner;
+    provisioner.scale_to(1);
+    process_.emplace(sim_, interval_, interval_, [this](SimTime) {
+      const double observed_rate =
+          static_cast<double>(provisioner_->take_window_arrivals()) / interval_;
+      const double erlangs =
+          observed_rate * provisioner_->monitored_service_time();
+      const auto target = static_cast<std::size_t>(erlangs / target_rho_) + 1;
+      provisioner_->scale_to(target);
+    });
+  }
+
+  std::string name() const override { return "ReactiveThreshold"; }
+
+ private:
+  Simulation& sim_;
+  SimTime interval_;
+  double target_rho_;
+  ApplicationProvisioner* provisioner_ = nullptr;
+  std::optional<PeriodicProcess> process_;
+};
+
+struct Outcome {
+  double rejection;
+  double vm_hours;
+  double utilization;
+};
+
+template <typename MakePolicy>
+Outcome run(const ScenarioConfig& config, MakePolicy make_policy) {
+  Simulation sim;
+  Datacenter datacenter(sim, config.datacenter,
+                        std::make_unique<LeastLoadedPlacement>());
+  ProvisionerConfig prov_config;
+  prov_config.initial_service_time_estimate = config.initial_service_time_estimate;
+  ApplicationProvisioner provisioner(sim, datacenter, config.qos, prov_config);
+  BotWorkload workload(config.bot);
+  Broker broker(sim, workload, provisioner, Rng(99));
+  std::unique_ptr<ProvisioningPolicy> policy = make_policy(sim);
+  policy->attach(provisioner);
+  broker.start();
+  sim.run(config.horizon);
+  return Outcome{provisioner.rejection_rate(), datacenter.vm_hours(),
+                 datacenter.utilization()};
+}
+
+int main() {
+  ScenarioConfig config = scientific_scenario(1.0);
+
+  const Outcome reactive = run(config, [&](Simulation& sim) {
+    return std::make_unique<ReactiveThresholdPolicy>(sim, 60.0, 0.7);
+  });
+  const Outcome adaptive = run(config, [&](Simulation& sim) {
+    auto predictor = std::make_shared<PeriodicProfilePredictor>(
+        bot_profile_predictor(config.bot));
+    return std::make_unique<AdaptivePolicy>(sim, predictor, config.modeler,
+                                            config.analyzer);
+  });
+
+  std::printf("one day of the scientific BoT workload (paper scale):\n\n");
+  std::printf("%-22s %-12s %-10s %-12s\n", "policy", "rejection", "VM-hours",
+              "utilization");
+  std::printf("%-22s %-12.4f %-10.1f %-12.3f\n", "ReactiveThreshold",
+              reactive.rejection, reactive.vm_hours, reactive.utilization);
+  std::printf("%-22s %-12.4f %-10.1f %-12.3f\n", "Adaptive (paper)",
+              adaptive.rejection, adaptive.vm_hours, adaptive.utilization);
+  std::printf(
+      "\nThe reactive policy only reacts *after* arrivals already queued or\n"
+      "were rejected; the paper's mechanism resizes before the rate change\n"
+      "(workload analyzer lead time) and sizes the pool from the M/M/1/k\n"
+      "model rather than a raw utilization ratio.\n");
+  return 0;
+}

@@ -1,0 +1,125 @@
+// Command-line scenario runner: the library's experiment harness exposed as
+// a single configurable binary, the way a downstream user would script it.
+//
+//   ./run_scenario --workload web --policy adaptive --scale 0.05 --reps 3
+//   ./run_scenario --workload scientific --policy static --instances 45
+//   ./run_scenario --workload web --policy adaptive --predictor ewma \
+//                  --interval 30 --csv out.csv --decisions decisions.csv
+#include <fstream>
+#include <iostream>
+
+#include "experiment/report.h"
+#include "experiment/runner.h"
+#include "util/cli.h"
+#include "util/csv.h"
+#include "util/log.h"
+
+using namespace cloudprov;
+
+namespace {
+
+PredictorKind parse_predictor(const std::string& name) {
+  if (name == "profile") return PredictorKind::kProfile;
+  if (name == "oracle") return PredictorKind::kOracle;
+  if (name == "ewma") return PredictorKind::kEwma;
+  if (name == "moving-average") return PredictorKind::kMovingAverage;
+  if (name == "ar") return PredictorKind::kAr;
+  if (name == "qrsm") return PredictorKind::kQrsm;
+  throw std::invalid_argument("unknown predictor: " + name);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  ArgParser args("Runs one provisioning scenario and reports the paper's metrics.");
+  args.add_flag("workload", "web", "web | scientific", "<name>");
+  args.add_flag("policy", "adaptive", "adaptive | static", "<name>");
+  args.add_flag("instances", "50", "pool size for --policy static (paper scale)",
+                "<int>");
+  args.add_flag("predictor", "profile",
+                "profile | oracle | ewma | moving-average | ar | qrsm", "<name>");
+  args.add_flag("scale", "0.05", "workload scale factor", "<double>");
+  args.add_flag("days", "0", "override horizon in days (0 = scenario default)",
+                "<int>");
+  args.add_flag("reps", "1", "replications", "<int>");
+  args.add_flag("seed", "42", "base random seed", "<int>");
+  args.add_flag("interval", "0", "analysis interval override in seconds (0 = default)",
+                "<double>");
+  args.add_flag("tolerance", "0", "modeler rejection tolerance override (0 = default)",
+                "<double>");
+  args.add_flag("max-vms", "0", "MaxVMs override (0 = default)", "<int>");
+  args.add_flag("csv", "", "write aggregate metrics CSV here", "<path>");
+  args.add_flag("decisions", "", "write the adaptive decision timeline CSV here",
+                "<path>");
+  args.add_flag("log", "warn", "log level", "<level>");
+  if (!args.parse(argc, argv)) return 0;
+  Logger::instance().set_level(Logger::parse_level(args.get_string("log")));
+
+  ScenarioConfig config = args.get_string("workload") == "scientific"
+                              ? scientific_scenario(args.get_double("scale"))
+                              : web_scenario(args.get_double("scale"));
+  if (const auto days = args.get_int("days"); days > 0) {
+    config.horizon = static_cast<double>(days) * 86400.0;
+    config.web.horizon = config.horizon;
+    config.bot.horizon = config.horizon;
+  }
+  if (const double interval = args.get_double("interval"); interval > 0.0) {
+    config.analyzer.analysis_interval = interval;
+    config.analyzer.lead_time = interval;
+  }
+  if (const double tolerance = args.get_double("tolerance"); tolerance > 0.0) {
+    config.modeler.rejection_tolerance = tolerance;
+  }
+  if (const auto max_vms = args.get_int("max-vms"); max_vms > 0) {
+    config.modeler.max_vms = static_cast<std::size_t>(max_vms);
+  }
+
+  PolicySpec policy =
+      args.get_string("policy") == "static"
+          ? PolicySpec::fixed(static_cast<std::size_t>(args.get_int("instances")))
+          : PolicySpec::adaptive(parse_predictor(args.get_string("predictor")));
+
+  const auto reps = static_cast<std::size_t>(args.get_int("reps"));
+  const auto seed = static_cast<std::uint64_t>(args.get_int("seed"));
+
+  std::vector<RunMetrics> runs;
+  std::vector<AdaptivePolicy::DecisionRecord> decisions;
+  SplitMix64 seeder(seed);
+  for (std::size_t i = 0; i < reps; ++i) {
+    RunOutput output = run_scenario(config, policy, seeder.next());
+    std::cerr << "rep " << i + 1 << "/" << reps << ": " << output.metrics.generated
+              << " requests in " << fmt(output.metrics.wall_seconds, 1) << " s\n";
+    if (i == 0) decisions = output.decisions;
+    runs.push_back(std::move(output.metrics));
+  }
+  const AggregateMetrics agg = aggregate(runs);
+
+  std::cout << "scenario: " << to_string(config.workload) << " @ scale "
+            << config.scale << ", horizon " << config.horizon / 86400.0
+            << " day(s), policy " << policy.label(config.scale) << "\n\n";
+  print_policy_table(std::cout, {agg});
+  std::cout << "\n95% CIs: rejection " << fmt_ci(agg.rejection_rate, 4)
+            << ", utilization " << fmt_ci(agg.utilization, 3) << ", VM-hours "
+            << fmt_ci(agg.vm_hours, 1) << '\n';
+
+  if (const std::string path = args.get_string("csv"); !path.empty()) {
+    std::ofstream out(path);
+    write_policy_csv(out, {agg});
+    std::cout << "metrics CSV written to " << path << '\n';
+  }
+  if (const std::string path = args.get_string("decisions");
+      !path.empty() && !decisions.empty()) {
+    std::ofstream out(path);
+    CsvWriter csv(out);
+    csv.write_header({"time", "expected_rate", "target_instances",
+                      "achieved_instances"});
+    for (const auto& d : decisions) {
+      csv.write_row({CsvWriter::format(d.time), CsvWriter::format(d.expected_rate),
+                     CsvWriter::format(static_cast<std::int64_t>(d.target_instances)),
+                     CsvWriter::format(
+                         static_cast<std::int64_t>(d.achieved_instances))});
+    }
+    std::cout << "decision timeline written to " << path << '\n';
+  }
+  return 0;
+}

@@ -1,0 +1,52 @@
+#include "cloud/broker.h"
+
+#include "util/check.h"
+
+namespace cloudprov {
+
+Broker::Broker(Simulation& sim, RequestSource& source, RequestSink& sink, Rng rng)
+    : Entity(sim, "broker"), source_(source), sink_(sink), rng_(rng) {}
+
+void Broker::start() { deliver_next(); }
+
+void Broker::record_rate_series(SimTime window) {
+  ensure_arg(window > 0.0, "Broker: rate window must be > 0");
+  record_rates_ = true;
+  rate_window_ = window;
+  window_start_ = now();
+}
+
+void Broker::flush_rate_window(SimTime arrival_time) {
+  while (arrival_time >= window_start_ + rate_window_) {
+    rate_series_.add(window_start_,
+                     static_cast<double>(window_count_) / rate_window_);
+    window_start_ += rate_window_;
+    window_count_ = 0;
+  }
+}
+
+void Broker::deliver_next() {
+  const auto arrival = source_.next(rng_);
+  if (!arrival) return;  // workload exhausted
+  ensure(arrival->time >= now(), "Broker: source produced a past arrival");
+  pending_arrival_ = *arrival;
+
+  sim().schedule_at(arrival->time, [this] {
+    const Arrival a = pending_arrival_;
+    Request request;
+    request.id = next_request_id_++;
+    request.arrival_time = a.time;
+    request.service_demand = a.service_demand;
+    request.priority = a.priority;
+    request.deadline = a.deadline;
+    ++generated_;
+    if (record_rates_) {
+      flush_rate_window(a.time);
+      ++window_count_;
+    }
+    sink_.on_request(request);
+    deliver_next();
+  });
+}
+
+}  // namespace cloudprov

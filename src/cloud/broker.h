@@ -1,0 +1,66 @@
+// Broker: drives a RequestSource into the simulation.
+//
+// "Simulation model also contains one broker generating requests
+// representing several users" (Section V-A). The broker pulls arrivals from
+// the workload model one at a time (so only the next arrival is ever pending
+// in the event queue) and hands each to a RequestSink — the SaaS provider's
+// admission control in the full system.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+
+#include "sim/entity.h"
+#include "stats/timeseries.h"
+#include "workload/request.h"
+#include "workload/source.h"
+
+namespace cloudprov {
+
+/// Receiver of end-user requests (implemented by the application
+/// provisioner; by test fixtures in unit tests).
+class RequestSink {
+ public:
+  virtual ~RequestSink() = default;
+  virtual void on_request(const Request& request) = 0;
+};
+
+class Broker final : public Entity {
+ public:
+  /// `source` and `sink` must outlive the broker. `rng` is the broker's
+  /// private stream. Call start() to schedule the first arrival.
+  Broker(Simulation& sim, RequestSource& source, RequestSink& sink, Rng rng);
+
+  void start();
+
+  std::uint64_t generated() const { return generated_; }
+
+  /// Arrival counts per fixed window, recorded for rate plots
+  /// (Figures 3 and 4). Disabled unless enabled explicitly.
+  void record_rate_series(SimTime window);
+  const SampledSeries& rate_series() const { return rate_series_; }
+
+ private:
+  void deliver_next();
+  void flush_rate_window(SimTime arrival_time);
+
+  RequestSource& source_;
+  RequestSink& sink_;
+  Rng rng_;
+  std::uint64_t generated_ = 0;
+  std::uint64_t next_request_id_ = 1;
+  // The one in-flight arrival, stored here so the scheduled closure captures
+  // only `this` (stays within std::function's small-buffer optimization; the
+  // web scenario schedules half a billion of these per replication).
+  Arrival pending_arrival_;
+
+  // Rate-series recording.
+  bool record_rates_ = false;
+  SimTime rate_window_ = 0.0;
+  SimTime window_start_ = 0.0;
+  std::uint64_t window_count_ = 0;
+  SampledSeries rate_series_;
+};
+
+}  // namespace cloudprov

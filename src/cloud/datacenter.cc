@@ -1,0 +1,102 @@
+#include "cloud/datacenter.h"
+
+#include <algorithm>
+
+#include "util/check.h"
+#include "util/log.h"
+
+namespace cloudprov {
+
+Datacenter::Datacenter(Simulation& sim, DatacenterConfig config,
+                       std::unique_ptr<PlacementPolicy> placement)
+    : Entity(sim, "datacenter"),
+      config_(config),
+      placement_(std::move(placement)) {
+  ensure_arg(config_.host_count >= 1, "Datacenter: need at least one host");
+  ensure_arg(placement_ != nullptr, "Datacenter: null placement policy");
+  hosts_.reserve(config_.host_count);
+  for (std::size_t i = 0; i < config_.host_count; ++i) {
+    hosts_.push_back(std::make_unique<Host>(i, config_.host_spec));
+  }
+}
+
+Vm* Datacenter::create_vm(const VmSpec& spec) {
+  Host* host = placement_->select(hosts_, spec);
+  if (host == nullptr) {
+    CLOUDPROV_LOG(Warn) << "datacenter out of capacity for new VM at t=" << now();
+    return nullptr;
+  }
+  host->allocate(spec, now());
+  vms_.push_back(
+      std::make_unique<Vm>(sim(), next_vm_id_++, spec, config_.vm_boot_delay));
+  vm_host_.push_back(host);
+  ++live_vms_;
+  return vms_.back().get();
+}
+
+void Datacenter::destroy_vm(Vm& vm) {
+  ensure(vm.id() >= 1 && vm.id() <= vms_.size(), "destroy_vm: unknown VM");
+  const std::size_t index = vm.id() - 1;
+  ensure(vms_[index].get() == &vm, "destroy_vm: id/slot mismatch");
+  ensure(vm.state() != VmState::kDestroyed, "destroy_vm: VM already destroyed");
+  vm.destroy();
+  vm_host_[index]->release(vm.spec(), now());
+  ensure(live_vms_ > 0, "destroy_vm: live VM accounting underflow");
+  --live_vms_;
+}
+
+void Datacenter::release_failed_vm(Vm& vm) {
+  ensure(vm.id() >= 1 && vm.id() <= vms_.size(), "release_failed_vm: unknown VM");
+  const std::size_t index = vm.id() - 1;
+  ensure(vms_[index].get() == &vm, "release_failed_vm: id/slot mismatch");
+  ensure(vm.state() == VmState::kDestroyed,
+         "release_failed_vm: VM must have failed already");
+  vm_host_[index]->release(vm.spec(), now());
+  ensure(live_vms_ > 0, "release_failed_vm: live VM accounting underflow");
+  --live_vms_;
+}
+
+std::size_t Datacenter::remaining_capacity(const VmSpec& spec) const {
+  std::size_t total = 0;
+  for (const auto& host : hosts_) {
+    const auto by_cores = host->free_cores() / spec.cores;
+    const auto by_ram = spec.ram_gb > 0.0
+                            ? static_cast<std::size_t>(host->free_ram_gb() /
+                                                       spec.ram_gb)
+                            : static_cast<std::size_t>(by_cores);
+    total += std::min<std::size_t>(by_cores, by_ram);
+  }
+  return total;
+}
+
+double Datacenter::vm_hours() const {
+  double seconds = 0.0;
+  for (const auto& vm : vms_) seconds += vm->lifetime_seconds(now());
+  return seconds / duration::kHour;
+}
+
+double Datacenter::busy_vm_hours() const {
+  double seconds = 0.0;
+  for (const auto& vm : vms_) seconds += vm->busy_seconds();
+  return seconds / duration::kHour;
+}
+
+std::vector<SimTime> Datacenter::vm_lifetimes() const {
+  std::vector<SimTime> lifetimes;
+  lifetimes.reserve(vms_.size());
+  for (const auto& vm : vms_) lifetimes.push_back(vm->lifetime_seconds(now()));
+  return lifetimes;
+}
+
+double Datacenter::host_powered_hours() const {
+  double seconds = 0.0;
+  for (const auto& host : hosts_) seconds += host->powered_seconds(now());
+  return seconds / duration::kHour;
+}
+
+double Datacenter::utilization() const {
+  const double hours = vm_hours();
+  return hours > 0.0 ? busy_vm_hours() / hours : 0.0;
+}
+
+}  // namespace cloudprov

@@ -1,0 +1,80 @@
+// IaaS data center: hosts + VM lifecycle + aggregate accounting.
+//
+// Owns the physical hosts and every VM ever created, exposing the
+// create/destroy API that the paper's application provisioner drives. The
+// mapping of VMs to hosts is delegated to a PlacementPolicy, mirroring the
+// paper's split between Application/VM Provisioning (the SaaS provider's
+// job, built in src/core) and Resource Provisioning (the IaaS provider's
+// job, hidden behind this interface).
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "cloud/host.h"
+#include "cloud/placement.h"
+#include "cloud/vm.h"
+#include "sim/entity.h"
+
+namespace cloudprov {
+
+struct DatacenterConfig {
+  std::size_t host_count = 1000;  // Section V-A
+  HostSpec host_spec;
+  /// VM boot latency; the paper's evaluation treats instantiation as
+  /// immediate, so the default is 0. Non-zero values exercise provisioning
+  /// lead-time sensitivity.
+  SimTime vm_boot_delay = 0.0;
+};
+
+class Datacenter final : public Entity {
+ public:
+  Datacenter(Simulation& sim, DatacenterConfig config,
+             std::unique_ptr<PlacementPolicy> placement);
+
+  /// Creates and places a VM; nullptr when no host has capacity.
+  Vm* create_vm(const VmSpec& spec);
+
+  /// Destroys an idle VM and releases its host resources.
+  void destroy_vm(Vm& vm);
+
+  /// Releases host resources of a VM that crash-failed (Vm::fail() already
+  /// moved it to DESTROYED). Precondition: vm.state() == kDestroyed.
+  void release_failed_vm(Vm& vm);
+
+  // --- capacity -------------------------------------------------------
+  std::size_t host_count() const { return hosts_.size(); }
+  std::size_t live_vm_count() const { return live_vms_; }
+  /// Upper bound on additional VMs of `spec` that could be placed now.
+  std::size_t remaining_capacity(const VmSpec& spec) const;
+
+  // --- accounting (paper output metrics, Section V-A) ------------------
+  /// Sum over all VMs of wall-clock lifetime (creation to destruction, or
+  /// to `now` for live VMs), in hours: the paper's "VM hours" cost metric.
+  double vm_hours() const;
+  /// Sum over all VMs of time spent actually serving requests, in hours.
+  double busy_vm_hours() const;
+  /// busy_vm_hours / vm_hours: the paper's "resources utilization rate".
+  double utilization() const;
+  std::uint64_t total_vms_created() const { return vms_.size(); }
+  /// Per-VM wall-clock lifetimes in seconds (live VMs measured to `now`);
+  /// input to the pricing models in experiment/pricing.h.
+  std::vector<SimTime> vm_lifetimes() const;
+  /// Sum over hosts of powered-on time (hours); input to the energy model.
+  double host_powered_hours() const;
+
+  const std::vector<std::unique_ptr<Host>>& hosts() const { return hosts_; }
+
+ private:
+  DatacenterConfig config_;
+  std::unique_ptr<PlacementPolicy> placement_;
+  std::vector<std::unique_ptr<Host>> hosts_;
+  std::vector<std::unique_ptr<Vm>> vms_;  // full history, including destroyed
+  std::vector<Host*> vm_host_;            // parallel to vms_: placement record
+  std::size_t live_vms_ = 0;
+  std::uint64_t next_vm_id_ = 1;
+};
+
+}  // namespace cloudprov

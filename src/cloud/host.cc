@@ -1,0 +1,44 @@
+#include "cloud/host.h"
+
+#include "util/check.h"
+
+namespace cloudprov {
+
+Host::Host(std::uint64_t id, HostSpec spec) : id_(id), spec_(spec) {
+  ensure_arg(spec.cores >= 1, "Host: need at least one core");
+  ensure_arg(spec.ram_gb > 0.0, "Host: RAM must be positive");
+}
+
+bool Host::can_fit(const VmSpec& vm) const {
+  return free_cores() >= vm.cores && free_ram_gb() >= vm.ram_gb;
+}
+
+void Host::allocate(const VmSpec& vm, SimTime now) {
+  ensure(can_fit(vm), "Host::allocate without capacity");
+  used_cores_ += vm.cores;
+  used_ram_gb_ += vm.ram_gb;
+  ++vm_count_;
+  if (!powered_) {
+    powered_ = true;
+    powered_since_ = now;
+  }
+}
+
+void Host::release(const VmSpec& vm, SimTime now) {
+  ensure(used_cores_ >= vm.cores && vm_count_ > 0, "Host::release underflow");
+  used_cores_ -= vm.cores;
+  used_ram_gb_ -= vm.ram_gb;
+  --vm_count_;
+  if (vm_count_ == 0 && powered_) {
+    powered_ = false;
+    powered_seconds_ += now - powered_since_;
+  }
+}
+
+double Host::powered_seconds(SimTime now) const {
+  double total = powered_seconds_;
+  if (powered_) total += now - powered_since_;
+  return total;
+}
+
+}  // namespace cloudprov

@@ -1,0 +1,59 @@
+// Physical server.
+//
+// Paper configuration (Section V-A): two quad-core processors and 16 GB RAM
+// per host, 1000 hosts in the data center. Application instances are pinned
+// to idle cores — "there is no time-sharing of CPUs between virtual
+// machines" — so placement is a simple core/RAM capacity check.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "cloud/vm.h"
+
+namespace cloudprov {
+
+struct HostSpec {
+  unsigned cores = 8;   // two quad-core processors
+  double ram_gb = 16.0;
+};
+
+class Host {
+ public:
+  Host(std::uint64_t id, HostSpec spec);
+
+  std::uint64_t id() const { return id_; }
+  const HostSpec& spec() const { return spec_; }
+
+  unsigned used_cores() const { return used_cores_; }
+  unsigned free_cores() const { return spec_.cores - used_cores_; }
+  double used_ram_gb() const { return used_ram_gb_; }
+  double free_ram_gb() const { return spec_.ram_gb - used_ram_gb_; }
+  std::size_t vm_count() const { return vm_count_; }
+
+  bool can_fit(const VmSpec& vm) const;
+
+  /// Reserves resources for a VM. Precondition: can_fit(vm). `now` feeds the
+  /// power accounting: a host is powered on while it has resident VMs.
+  void allocate(const VmSpec& vm, SimTime now = 0.0);
+
+  /// Releases a VM's resources.
+  void release(const VmSpec& vm, SimTime now = 0.0);
+
+  /// Seconds this host has spent powered on (resident VMs > 0) up to `now`.
+  /// Supports the energy model in experiment/energy.h — the paper's intro
+  /// motivates provisioning with "reduced financial and environmental costs".
+  double powered_seconds(SimTime now) const;
+
+ private:
+  std::uint64_t id_;
+  HostSpec spec_;
+  unsigned used_cores_ = 0;
+  double used_ram_gb_ = 0.0;
+  std::size_t vm_count_ = 0;
+  double powered_seconds_ = 0.0;
+  SimTime powered_since_ = 0.0;
+  bool powered_ = false;
+};
+
+}  // namespace cloudprov

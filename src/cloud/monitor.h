@@ -1,0 +1,37 @@
+// Monitoring abstraction.
+//
+// The paper's performance modeler consumes "monitoring data ... obtained via
+// regular monitoring tools or by Cloud monitoring services such as Amazon
+// CloudWatch" (Section IV-B). This interface carries exactly the quantities
+// the modeler is allowed to see — observed service time, utilization, and
+// instance counts — and nothing about hosts or networks, enforcing the
+// paper's information boundary between IaaS and PaaS at the type level.
+#pragma once
+
+#include <cstdint>
+
+#include "util/units.h"
+
+namespace cloudprov {
+
+struct MonitoringSnapshot {
+  SimTime time = 0.0;
+  /// Tm: monitored average request execution time (service only, no queueing).
+  double mean_service_time = 0.0;
+  /// Requests completed since the previous snapshot window.
+  std::uint64_t completed_requests = 0;
+  /// Observed arrival rate at the provisioner over the last window.
+  double observed_arrival_rate = 0.0;
+  /// Busy fraction of the instance pool over the last window.
+  double pool_utilization = 0.0;
+  /// Instances currently accepting requests.
+  std::size_t active_instances = 0;
+};
+
+class MonitorSource {
+ public:
+  virtual ~MonitorSource() = default;
+  virtual MonitoringSnapshot snapshot() const = 0;
+};
+
+}  // namespace cloudprov

@@ -1,0 +1,37 @@
+#include "cloud/placement.h"
+
+namespace cloudprov {
+
+Host* LeastLoadedPlacement::select(std::vector<std::unique_ptr<Host>>& hosts,
+                                   const VmSpec& vm) {
+  Host* best = nullptr;
+  for (const auto& host : hosts) {
+    if (!host->can_fit(vm)) continue;
+    if (best == nullptr || host->vm_count() < best->vm_count()) {
+      best = host.get();
+    }
+  }
+  return best;
+}
+
+Host* FirstFitPlacement::select(std::vector<std::unique_ptr<Host>>& hosts,
+                                const VmSpec& vm) {
+  for (const auto& host : hosts) {
+    if (host->can_fit(vm)) return host.get();
+  }
+  return nullptr;
+}
+
+Host* RandomPlacement::select(std::vector<std::unique_ptr<Host>>& hosts,
+                              const VmSpec& vm) {
+  std::vector<Host*> candidates;
+  candidates.reserve(hosts.size());
+  for (const auto& host : hosts) {
+    if (host->can_fit(vm)) candidates.push_back(host.get());
+  }
+  if (candidates.empty()) return nullptr;
+  const auto index = rng_.uniform_int(0, candidates.size() - 1);
+  return candidates[index];
+}
+
+}  // namespace cloudprov

@@ -1,0 +1,149 @@
+#include "cloud/vm.h"
+
+#include <iterator>
+
+#include "util/check.h"
+#include "util/log.h"
+
+namespace cloudprov {
+
+const char* to_string(VmState state) {
+  switch (state) {
+    case VmState::kBooting: return "BOOTING";
+    case VmState::kRunning: return "RUNNING";
+    case VmState::kDraining: return "DRAINING";
+    case VmState::kDestroyed: return "DESTROYED";
+  }
+  return "?";
+}
+
+Vm::Vm(Simulation& sim, std::uint64_t id, VmSpec spec, SimTime boot_delay)
+    : Entity(sim, "vm-" + std::to_string(id)),
+      id_(id),
+      spec_(spec),
+      state_(boot_delay > 0.0 ? VmState::kBooting : VmState::kRunning),
+      creation_time_(sim.now()) {
+  ensure_arg(spec.cores >= 1, "Vm: need at least one core");
+  ensure_arg(spec.speed > 0.0, "Vm: speed must be positive");
+  ensure_arg(boot_delay >= 0.0, "Vm: boot delay must be >= 0");
+  if (state_ == VmState::kBooting) {
+    sim.schedule_in(boot_delay, [this] { finish_boot(); });
+  }
+}
+
+void Vm::finish_boot() {
+  if (state_ != VmState::kBooting) return;  // destroyed while booting
+  state_ = VmState::kRunning;
+  CLOUDPROV_LOG(Debug) << name() << " booted at t=" << now();
+}
+
+void Vm::submit(const Request& request) {
+  ensure(state_ == VmState::kRunning, "Vm::submit on non-RUNNING instance");
+  if (in_service_.has_value()) {
+    if (priority_queueing_) {
+      // Insert behind the last waiter of priority >= ours: non-preemptive
+      // priority order, FIFO within a class.
+      auto position = waiting_.end();
+      while (position != waiting_.begin() &&
+             std::prev(position)->priority < request.priority) {
+        --position;
+      }
+      waiting_.insert(position, request);
+    } else {
+      waiting_.push_back(request);
+    }
+    return;
+  }
+  start_service(request);
+}
+
+void Vm::start_service(const Request& request) {
+  in_service_ = request;
+  service_started_ = now();
+  const double service_time = request.service_demand / spec_.speed;
+  completion_event_ = sim().schedule_in(service_time, [this] { finish_service(); });
+}
+
+void Vm::finish_service() {
+  ensure(in_service_.has_value(), "Vm::finish_service without a request");
+  const Request finished = *in_service_;
+  in_service_.reset();
+  completion_event_ = kInvalidEventId;
+  busy_seconds_ += now() - service_started_;
+  ++completed_;
+
+  if (!waiting_.empty()) {
+    const Request next = waiting_.front();
+    waiting_.pop_front();
+    start_service(next);
+  }
+
+  // Invoke the callback after dequeueing so that callback-driven load
+  // queries see the post-completion state.
+  if (on_complete_) {
+    on_complete_(*this, finished, now() - finished.arrival_time);
+  }
+
+  if (state_ == VmState::kDraining && idle()) {
+    if (on_drained_) on_drained_(*this);
+  }
+}
+
+void Vm::drain() {
+  ensure(state_ == VmState::kRunning, "Vm::drain on non-RUNNING instance");
+  state_ = VmState::kDraining;
+  if (idle() && on_drained_) on_drained_(*this);
+}
+
+void Vm::undrain() {
+  ensure(state_ == VmState::kDraining, "Vm::undrain on non-DRAINING instance");
+  state_ = VmState::kRunning;
+}
+
+void Vm::destroy() {
+  ensure(state_ != VmState::kDestroyed, "Vm::destroy called twice");
+  ensure(idle(), "Vm::destroy on a busy instance");
+  if (completion_event_ != kInvalidEventId) {
+    sim().cancel(completion_event_);
+    completion_event_ = kInvalidEventId;
+  }
+  state_ = VmState::kDestroyed;
+  destruction_time_ = now();
+}
+
+std::vector<Request> Vm::fail() {
+  ensure(state_ != VmState::kDestroyed, "Vm::fail on destroyed instance");
+  std::vector<Request> lost;
+  if (in_service_.has_value()) {
+    busy_seconds_ += now() - service_started_;  // partial work still burned CPU
+    lost.push_back(*in_service_);
+    in_service_.reset();
+  }
+  lost.insert(lost.end(), waiting_.begin(), waiting_.end());
+  waiting_.clear();
+  if (completion_event_ != kInvalidEventId) {
+    sim().cancel(completion_event_);
+    completion_event_ = kInvalidEventId;
+  }
+  state_ = VmState::kDestroyed;
+  destruction_time_ = now();
+  return lost;
+}
+
+void Vm::set_speed(double speed) {
+  ensure_arg(speed > 0.0, "Vm::set_speed: speed must be positive");
+  spec_.speed = speed;
+}
+
+double Vm::busy_seconds() const {
+  double total = busy_seconds_;
+  if (in_service_.has_value()) total += now() - service_started_;
+  return total;
+}
+
+double Vm::lifetime_seconds(SimTime at) const {
+  const SimTime end = destruction_time_.value_or(at);
+  return end - creation_time_;
+}
+
+}  // namespace cloudprov

@@ -1,0 +1,133 @@
+// Virtualized application instance.
+//
+// The paper assumes a one-to-one mapping between application instances (s_j)
+// and VMs (v_j), so this class is both: a single-server FIFO queue pinned to
+// dedicated cores of a host (no CPU time-sharing, Section V-A), processing
+// one request at a time at `speed` work-units/second.
+//
+// Lifecycle (Section IV-C): BOOTING -> RUNNING -> DRAINING -> DESTROYED.
+// A draining instance "stops receiving further incoming requests and is
+// destroyed only when running requests finish"; scale-ups may resurrect a
+// draining instance back to RUNNING instead of booting a new one.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "sim/entity.h"
+#include "workload/request.h"
+
+namespace cloudprov {
+
+enum class VmState { kBooting, kRunning, kDraining, kDestroyed };
+
+const char* to_string(VmState state);
+
+/// Resource shape of a VM ("one core and 2GB of RAM", Section V-A).
+struct VmSpec {
+  unsigned cores = 1;
+  double ram_gb = 2.0;
+  /// Processing speed multiplier; service time = demand / speed. Values
+  /// other than 1.0 exercise the vertical-scaling extension (Section VII).
+  double speed = 1.0;
+};
+
+class Vm final : public Entity {
+ public:
+  /// Invoked when a request completes service. `response_time` is measured
+  /// from arrival at the provisioner to completion (the paper's Tr).
+  using CompletionCallback =
+      std::function<void(Vm&, const Request&, double response_time)>;
+  /// Invoked when a DRAINING instance finishes its last request.
+  using DrainedCallback = std::function<void(Vm&)>;
+
+  Vm(Simulation& sim, std::uint64_t id, VmSpec spec, SimTime boot_delay = 0.0);
+
+  std::uint64_t id() const { return id_; }
+  const VmSpec& spec() const { return spec_; }
+  VmState state() const { return state_; }
+
+  void set_completion_callback(CompletionCallback cb) { on_complete_ = std::move(cb); }
+  void set_drained_callback(DrainedCallback cb) { on_drained_ = std::move(cb); }
+
+  /// Accepts a request (queue it or start service). Only legal while
+  /// RUNNING; the provisioner enforces admission control (the k bound)
+  /// before calling.
+  void submit(const Request& request);
+
+  /// Switches the waiting-line discipline from FIFO (default, the paper's
+  /// model) to non-preemptive priority order (higher Request::priority
+  /// first, FIFO within a class) — the scheduling half of the Section VII
+  /// "high-priority requests are served first" extension. The in-service
+  /// request is never preempted.
+  void set_priority_queueing(bool enabled) { priority_queueing_ = enabled; }
+  bool priority_queueing() const { return priority_queueing_; }
+
+  /// Requests in the instance (in service + waiting): the paper's per-VM
+  /// occupancy compared against k by admission control.
+  std::size_t load() const {
+    return waiting_.size() + (in_service_.has_value() ? 1 : 0);
+  }
+  bool idle() const { return load() == 0; }
+
+  /// Stops accepting work; destroys itself (via callback) once empty.
+  void drain();
+
+  /// Returns a DRAINING instance to RUNNING (paper: instances selected for
+  /// destruction are reused "until the number of required instances is
+  /// reached").
+  void undrain();
+
+  /// Immediately tears down an *empty* instance. Precondition: idle().
+  void destroy();
+
+  /// Crash-fails the instance: the in-service request and every queued
+  /// request are lost (returned so the caller can account for them), the
+  /// pending completion is cancelled, and the VM transitions to DESTROYED.
+  /// Models the paper's "uncertain behavior" of virtualized resources.
+  std::vector<Request> fail();
+
+  /// Changes processing speed (vertical scaling extension). Applies to
+  /// subsequently started requests; the in-flight one finishes at the speed
+  /// it started with.
+  void set_speed(double speed);
+
+  // --- accounting -----------------------------------------------------
+  SimTime creation_time() const { return creation_time_; }
+  /// Destruction time, or nullopt while alive.
+  std::optional<SimTime> destruction_time() const { return destruction_time_; }
+  /// Cumulative seconds spent serving requests (utilization numerator).
+  double busy_seconds() const;
+  /// Wall-clock seconds from creation until destruction (or `now`): the
+  /// paper's per-VM contribution to "VM hours".
+  double lifetime_seconds(SimTime now) const;
+  std::uint64_t completed_requests() const { return completed_; }
+
+ private:
+  void start_service(const Request& request);
+  void finish_service();
+  void finish_boot();
+
+  std::uint64_t id_;
+  VmSpec spec_;
+  VmState state_;
+  CompletionCallback on_complete_;
+  DrainedCallback on_drained_;
+
+  bool priority_queueing_ = false;
+  std::deque<Request> waiting_;
+  std::optional<Request> in_service_;
+  EventId completion_event_ = kInvalidEventId;
+  SimTime service_started_ = 0.0;
+
+  SimTime creation_time_;
+  std::optional<SimTime> destruction_time_;
+  double busy_seconds_ = 0.0;
+  std::uint64_t completed_ = 0;
+};
+
+}  // namespace cloudprov

@@ -1,0 +1,40 @@
+#include "core/adaptive_policy.h"
+
+#include "util/check.h"
+#include "util/log.h"
+
+namespace cloudprov {
+
+AdaptivePolicy::AdaptivePolicy(Simulation& sim,
+                               std::shared_ptr<ArrivalRatePredictor> predictor,
+                               ModelerConfig modeler_config,
+                               AnalyzerConfig analyzer_config)
+    : sim_(sim),
+      predictor_(std::move(predictor)),
+      modeler_config_(modeler_config),
+      analyzer_config_(analyzer_config) {
+  ensure_arg(predictor_ != nullptr, "AdaptivePolicy: null predictor");
+}
+
+void AdaptivePolicy::attach(ApplicationProvisioner& provisioner) {
+  ensure(provisioner_ == nullptr, "AdaptivePolicy: attached twice");
+  provisioner_ = &provisioner;
+  modeler_.emplace(provisioner.qos(), modeler_config_);
+  analyzer_.emplace(sim_, provisioner, predictor_, analyzer_config_);
+  analyzer_->start(
+      [this](SimTime t, double rate) { on_rate_alert(t, rate); });
+}
+
+void AdaptivePolicy::on_rate_alert(SimTime t, double expected_rate) {
+  const ModelerDecision decision = modeler_->required_instances(
+      std::max<std::size_t>(provisioner_->active_instances(), 1), expected_rate,
+      provisioner_->monitored_service_time(), provisioner_->current_queue_bound());
+  const std::size_t achieved = provisioner_->scale_to(decision.instances);
+  decisions_.push_back(
+      DecisionRecord{t, expected_rate, decision.instances, achieved});
+  CLOUDPROV_LOG(Debug) << "adaptive: t=" << t << " lambda=" << expected_rate
+                       << " -> m=" << decision.instances
+                       << " (achieved " << achieved << ")";
+}
+
+}  // namespace cloudprov

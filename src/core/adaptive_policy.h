@@ -1,0 +1,57 @@
+// Adaptive provisioning policy — the paper's contribution (Section IV),
+// assembling the three components: workload analyzer -> load predictor and
+// performance modeler -> application provisioner.
+//
+// On every analyzer alert the modeler runs Algorithm 1 against the expected
+// arrival rate and the monitored service time; the resulting pool size is
+// applied through ApplicationProvisioner::scale_to, which handles graceful
+// drain/resurrect semantics.
+#pragma once
+
+#include <memory>
+#include <optional>
+#include <vector>
+
+#include "core/performance_modeler.h"
+#include "core/provisioning_policy.h"
+#include "core/workload_analyzer.h"
+#include "predict/predictor.h"
+
+namespace cloudprov {
+
+class AdaptivePolicy final : public ProvisioningPolicy {
+ public:
+  AdaptivePolicy(Simulation& sim, std::shared_ptr<ArrivalRatePredictor> predictor,
+                 ModelerConfig modeler_config, AnalyzerConfig analyzer_config);
+
+  void attach(ApplicationProvisioner& provisioner) override;
+  std::string name() const override { return "Adaptive"; }
+
+  /// One provisioning decision, for diagnostics and the examples.
+  struct DecisionRecord {
+    SimTime time = 0.0;
+    double expected_rate = 0.0;
+    std::size_t target_instances = 0;
+    std::size_t achieved_instances = 0;
+  };
+  const std::vector<DecisionRecord>& decisions() const { return decisions_; }
+
+  const PerformanceModeler* modeler() const {
+    return modeler_ ? &*modeler_ : nullptr;
+  }
+
+ private:
+  void on_rate_alert(SimTime t, double expected_rate);
+
+  Simulation& sim_;
+  std::shared_ptr<ArrivalRatePredictor> predictor_;
+  ModelerConfig modeler_config_;
+  AnalyzerConfig analyzer_config_;
+
+  ApplicationProvisioner* provisioner_ = nullptr;
+  std::optional<PerformanceModeler> modeler_;
+  std::optional<WorkloadAnalyzer> analyzer_;
+  std::vector<DecisionRecord> decisions_;
+};
+
+}  // namespace cloudprov

@@ -1,0 +1,31 @@
+#include "core/admission.h"
+
+#include <cmath>
+
+#include "util/check.h"
+
+namespace cloudprov {
+
+PriorityAwareAdmission::PriorityAwareAdmission(std::size_t reserved_slots,
+                                               int priority_threshold)
+    : reserved_slots_(reserved_slots), priority_threshold_(priority_threshold) {}
+
+bool PriorityAwareAdmission::admit(const Request& request, const Vm& candidate,
+                                   const PoolView& pool) const {
+  // Deadline feasibility: the request would wait behind `load` requests and
+  // then execute, each taking ~Tm.
+  if (std::isfinite(request.deadline) && pool.mean_service_time > 0.0) {
+    const double expected_completion =
+        pool.now + static_cast<double>(candidate.load() + 1) * pool.mean_service_time;
+    if (expected_completion > request.deadline) return false;
+  }
+  // Slot reservation: when the pool is nearly full, keep the remaining
+  // capacity for high-priority requests.
+  if (pool.total_free_slots <= reserved_slots_ &&
+      request.priority < priority_threshold_) {
+    return false;
+  }
+  return true;
+}
+
+}  // namespace cloudprov

@@ -1,0 +1,66 @@
+// Admission policies (SaaS-layer admission control, Section IV).
+//
+// The paper's rule: "if all virtualized application instances have k requests
+// in their queues, new requests are rejected, because they are likely to
+// violate Ts". KBoundAdmission implements exactly that predicate per
+// candidate instance. PriorityAwareAdmission adds the future-work extension
+// (Section VII): under contention the last free slots are reserved for
+// high-priority requests, and requests whose deadline is already infeasible
+// are rejected up front.
+#pragma once
+
+#include <cstddef>
+#include <string>
+
+#include "cloud/vm.h"
+#include "workload/request.h"
+
+namespace cloudprov {
+
+/// Pool state visible to admission decisions.
+struct PoolView {
+  std::size_t active_instances = 0;
+  std::size_t queue_bound = 0;       ///< k
+  std::size_t total_free_slots = 0;  ///< sum over active instances of k - load
+  double mean_service_time = 0.0;    ///< monitored Tm
+  SimTime now = 0.0;
+};
+
+class AdmissionPolicy {
+ public:
+  virtual ~AdmissionPolicy() = default;
+
+  /// True when `request` may be placed on `candidate` (whose load is known
+  /// to be < k when called).
+  virtual bool admit(const Request& request, const Vm& candidate,
+                     const PoolView& pool) const = 0;
+
+  virtual std::string name() const = 0;
+};
+
+/// Paper baseline: admit whenever the candidate has a free slot.
+class KBoundAdmission final : public AdmissionPolicy {
+ public:
+  bool admit(const Request&, const Vm&, const PoolView&) const override {
+    return true;
+  }
+  std::string name() const override { return "k-bound"; }
+};
+
+/// Extension: reserve slots for priority traffic and enforce deadlines.
+class PriorityAwareAdmission final : public AdmissionPolicy {
+ public:
+  /// `reserved_slots`: pool-wide free slots below which only requests with
+  /// priority >= `priority_threshold` are admitted.
+  PriorityAwareAdmission(std::size_t reserved_slots, int priority_threshold);
+
+  bool admit(const Request& request, const Vm& candidate,
+             const PoolView& pool) const override;
+  std::string name() const override { return "priority-aware"; }
+
+ private:
+  std::size_t reserved_slots_;
+  int priority_threshold_;
+};
+
+}  // namespace cloudprov

@@ -1,0 +1,230 @@
+#include "core/application_provisioner.h"
+
+#include <algorithm>
+
+#include "util/check.h"
+#include "util/log.h"
+
+namespace cloudprov {
+
+ApplicationProvisioner::ApplicationProvisioner(
+    Simulation& sim, Datacenter& datacenter, QosTargets qos,
+    ProvisionerConfig config, std::unique_ptr<AdmissionPolicy> admission)
+    : Entity(sim, "application-provisioner"),
+      datacenter_(datacenter),
+      qos_(qos),
+      config_(config),
+      admission_(std::move(admission)),
+      instance_count_(sim.now(), 0.0) {
+  ensure_arg(config_.initial_service_time_estimate > 0.0,
+             "ApplicationProvisioner: service time estimate must be > 0");
+  ensure_arg(admission_ != nullptr, "ApplicationProvisioner: null admission policy");
+}
+
+double ApplicationProvisioner::monitored_service_time() const {
+  return service_stats_.empty() ? config_.initial_service_time_estimate
+                                : service_stats_.mean();
+}
+
+std::size_t ApplicationProvisioner::current_queue_bound() const {
+  if (config_.fixed_queue_bound > 0) return config_.fixed_queue_bound;
+  return queue_bound(qos_.max_response_time, monitored_service_time());
+}
+
+double ApplicationProvisioner::rejection_rate() const {
+  const std::uint64_t total = accepted_ + rejected_;
+  return total == 0 ? 0.0
+                    : static_cast<double>(rejected_) / static_cast<double>(total);
+}
+
+PoolView ApplicationProvisioner::pool_view() const {
+  PoolView view;
+  view.active_instances = instances_.size();
+  view.queue_bound = current_queue_bound();
+  view.mean_service_time = monitored_service_time();
+  view.now = now();
+  std::size_t free_slots = 0;
+  for (const Vm* vm : instances_) {
+    const std::size_t load = vm->load();
+    if (load < view.queue_bound) free_slots += view.queue_bound - load;
+  }
+  view.total_free_slots = free_slots;
+  return view;
+}
+
+Vm* ApplicationProvisioner::select_instance(const Request& request) {
+  if (instances_.empty()) return nullptr;
+  const std::size_t k = current_queue_bound();
+  const PoolView view = pool_view();
+  const std::size_t n = instances_.size();
+  // Round-robin scan starting at the cursor; the first instance with a free
+  // slot that admission accepts gets the request ("following a round-robin
+  // strategy", Section IV-C).
+  for (std::size_t step = 0; step < n; ++step) {
+    const std::size_t index = (rr_cursor_ + step) % n;
+    Vm* vm = instances_[index];
+    if (vm->state() != VmState::kRunning) continue;  // still booting
+    if (vm->load() >= k) continue;
+    if (!admission_->admit(request, *vm, view)) continue;
+    rr_cursor_ = (index + 1) % n;
+    return vm;
+  }
+  return nullptr;
+}
+
+void ApplicationProvisioner::on_request(const Request& request) {
+  (void)try_submit(request);
+}
+
+bool ApplicationProvisioner::try_submit(const Request& request) {
+  ++window_arrivals_;
+  Vm* vm = select_instance(request);
+  if (vm == nullptr) {
+    // "If all virtualized application instances have k requests in their
+    // queues, new requests are rejected."
+    ++rejected_;
+    return false;
+  }
+  ++accepted_;
+  vm->submit(request);
+  return true;
+}
+
+Vm* ApplicationProvisioner::create_instance() {
+  Vm* vm = datacenter_.create_vm(config_.vm_spec);
+  if (vm == nullptr) return nullptr;
+  vm->set_priority_queueing(config_.priority_queueing);
+  vm->set_completion_callback(
+      [this](Vm& v, const Request& r, double response_time) {
+        on_vm_complete(v, r, response_time);
+      });
+  vm->set_drained_callback([this](Vm& v) { on_vm_drained(v); });
+  instances_.push_back(vm);
+  return vm;
+}
+
+void ApplicationProvisioner::drain_instance(std::size_t index) {
+  Vm* vm = instances_[index];
+  instances_.erase(instances_.begin() + static_cast<std::ptrdiff_t>(index));
+  if (rr_cursor_ >= instances_.size()) rr_cursor_ = 0;
+  // drain() may synchronously invoke on_vm_drained when the instance is
+  // idle, which destroys it; push to draining_ first so the callback finds it.
+  draining_.push_back(vm);
+  vm->drain();
+}
+
+std::size_t ApplicationProvisioner::scale_to(std::size_t target) {
+  // Scale up: resurrect draining instances first, newest selections first
+  // (they are the least drained).
+  while (instances_.size() < target && !draining_.empty()) {
+    Vm* vm = draining_.back();
+    draining_.pop_back();
+    vm->undrain();
+    instances_.push_back(vm);
+  }
+  // Then request fresh VMs from the data center's resource provisioner.
+  while (instances_.size() < target) {
+    if (create_instance() == nullptr) {
+      CLOUDPROV_LOG(Warn) << "scale_to(" << target
+                          << "): data center capacity exhausted at "
+                          << instances_.size() << " instances";
+      break;
+    }
+  }
+  // Scale down: idle instances first, then the least-loaded ones.
+  while (instances_.size() > target) {
+    std::size_t victim = 0;
+    std::size_t best_load = SIZE_MAX;
+    for (std::size_t i = 0; i < instances_.size(); ++i) {
+      const std::size_t load = instances_[i]->load();
+      if (load < best_load) {
+        best_load = load;
+        victim = i;
+        if (load == 0) break;  // idle instance: destroy immediately
+      }
+    }
+    drain_instance(victim);
+  }
+  record_instance_count();
+  return instances_.size();
+}
+
+void ApplicationProvisioner::on_vm_complete(Vm& vm, const Request& request,
+                                            double response_time) {
+  response_stats_.add(response_time);
+  service_stats_.add(request.service_demand / vm.spec().speed);
+  if (config_.track_quantiles) {
+    p95_.add(response_time);
+    p99_.add(response_time);
+  }
+  if (response_time > qos_.max_response_time) ++qos_violations_;
+  if (completion_listener_) completion_listener_(request, response_time);
+}
+
+void ApplicationProvisioner::on_vm_drained(Vm& vm) {
+  const auto it = std::find(draining_.begin(), draining_.end(), &vm);
+  ensure(it != draining_.end(), "drained VM not in draining list");
+  draining_.erase(it);
+  datacenter_.destroy_vm(vm);
+  record_instance_count();
+}
+
+void ApplicationProvisioner::record_instance_count() {
+  if (!instance_history_started_) {
+    instance_history_started_ = true;
+    instance_count_ = TimeWeightedValue(now(), static_cast<double>(live_instances()));
+    return;
+  }
+  instance_count_.update(now(), static_cast<double>(live_instances()));
+}
+
+std::uint64_t ApplicationProvisioner::take_window_arrivals() {
+  const std::uint64_t count = window_arrivals_;
+  window_arrivals_ = 0;
+  return count;
+}
+
+void ApplicationProvisioner::for_each_instance(
+    const std::function<void(Vm&)>& fn) {
+  for (Vm* vm : instances_) fn(*vm);
+}
+
+std::size_t ApplicationProvisioner::inject_instance_failure(std::size_t index) {
+  ensure_arg(index < live_instances(),
+             "inject_instance_failure: index out of range");
+  Vm* victim = nullptr;
+  if (index < instances_.size()) {
+    victim = instances_[index];
+    instances_.erase(instances_.begin() + static_cast<std::ptrdiff_t>(index));
+    if (rr_cursor_ >= instances_.size() && !instances_.empty()) rr_cursor_ = 0;
+  } else {
+    const std::size_t drain_index = index - instances_.size();
+    victim = draining_[drain_index];
+    draining_.erase(draining_.begin() + static_cast<std::ptrdiff_t>(drain_index));
+  }
+  const std::vector<Request> lost = victim->fail();
+  datacenter_.release_failed_vm(*victim);
+  lost_to_failures_ += lost.size();
+  ++instance_failures_;
+  record_instance_count();
+  CLOUDPROV_LOG(Debug) << "instance failure at t=" << now() << ", lost "
+                       << lost.size() << " request(s)";
+  return lost.size();
+}
+
+MonitoringSnapshot ApplicationProvisioner::snapshot() const {
+  MonitoringSnapshot snap;
+  snap.time = now();
+  snap.mean_service_time = monitored_service_time();
+  snap.completed_requests = response_stats_.count();
+  snap.active_instances = instances_.size();
+  // Pool utilization over the whole run so far (windowed utilization is the
+  // experiment harness's job via the data center accounting).
+  snap.pool_utilization = datacenter_.utilization();
+  const SimTime elapsed = now();
+  snap.observed_arrival_rate =
+      elapsed > 0.0 ? static_cast<double>(total_arrivals()) / elapsed : 0.0;
+  return snap;
+}
+
+}  // namespace cloudprov

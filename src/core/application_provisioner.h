@@ -1,0 +1,172 @@
+// Application provisioner (Section IV-C).
+//
+// The main point of contact of the SaaS/PaaS system: it receives requests
+// accepted by admission control, forwards them to virtualized application
+// instances round-robin, and grows/shrinks the instance pool on command from
+// the load predictor and performance modeler.
+//
+// Scale-down follows the paper's graceful protocol: idle instances are
+// destroyed first; if more must go, the ones with the fewest requests in
+// progress are selected; selected instances stop receiving work (DRAINING)
+// and are destroyed only when their running requests finish. Scale-up first
+// resurrects DRAINING instances ("removes them from the list of instances to
+// be destroyed until the number of required instances is reached") and only
+// then asks the data center's resource provisioner for fresh VMs.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "cloud/broker.h"
+#include "cloud/datacenter.h"
+#include "cloud/monitor.h"
+#include "core/admission.h"
+#include "core/qos.h"
+#include "stats/quantile.h"
+#include "stats/running_stats.h"
+#include "stats/timeseries.h"
+
+namespace cloudprov {
+
+struct ProvisionerConfig {
+  /// Shape of every application VM (paper: 1 core, 2 GB).
+  VmSpec vm_spec;
+  /// Estimate of the mean request execution time used before any request
+  /// has completed (seeds Tm and therefore k).
+  double initial_service_time_estimate = 0.1;
+  /// Optional fixed queue bound; 0 means "recompute k = floor(Ts/Tm) from the
+  /// monitored service time" (Equation 1).
+  std::size_t fixed_queue_bound = 0;
+  /// Track P² tail quantiles of response time (small constant cost).
+  bool track_quantiles = true;
+  /// Serve waiting requests in priority order within each instance
+  /// (Section VII extension); default FIFO as in the paper.
+  bool priority_queueing = false;
+};
+
+class ApplicationProvisioner final : public Entity,
+                                     public RequestSink,
+                                     public MonitorSource {
+ public:
+  ApplicationProvisioner(Simulation& sim, Datacenter& datacenter,
+                         QosTargets qos, ProvisionerConfig config,
+                         std::unique_ptr<AdmissionPolicy> admission =
+                             std::make_unique<KBoundAdmission>());
+
+  // --- RequestSink ------------------------------------------------------
+  /// Admission control + round-robin dispatch of one end-user request.
+  void on_request(const Request& request) override;
+
+  /// Same as on_request but reports the admission outcome — used by
+  /// composite-service chaining (core/multitier.h) to account for mid-chain
+  /// drops.
+  bool try_submit(const Request& request);
+
+  /// Invoked after a request completes service (in addition to internal
+  /// accounting). Used to chain tiers in multi-tier applications.
+  using CompletionListener =
+      std::function<void(const Request&, double response_time)>;
+  void set_completion_listener(CompletionListener listener) {
+    completion_listener_ = std::move(listener);
+  }
+
+  // --- capacity control (driven by the modeler) ---------------------------
+  /// Adjusts the pool so that `target` instances accept requests.
+  /// Returns the number actually accepting afterwards (the data center may
+  /// run out of capacity).
+  std::size_t scale_to(std::size_t target);
+
+  /// Instances accepting new requests (RUNNING).
+  std::size_t active_instances() const { return instances_.size(); }
+  /// Instances draining towards destruction.
+  std::size_t draining_instances() const { return draining_.size(); }
+  /// All live instances (the paper's "application instances running in a
+  /// single time").
+  std::size_t live_instances() const {
+    return instances_.size() + draining_.size();
+  }
+
+  // --- monitoring ---------------------------------------------------------
+  MonitoringSnapshot snapshot() const override;
+
+  /// Monitored average request execution time Tm (falls back to the
+  /// configured estimate until the first completion).
+  double monitored_service_time() const;
+  /// Current per-instance queue bound k (Equation 1).
+  std::size_t current_queue_bound() const;
+
+  // --- output metrics (Section V-A) ----------------------------------------
+  std::uint64_t total_arrivals() const { return accepted_ + rejected_; }
+  std::uint64_t accepted() const { return accepted_; }
+  std::uint64_t rejected() const { return rejected_; }
+  std::uint64_t completed() const { return response_stats_.count(); }
+  /// Requests whose response time exceeded Ts.
+  std::uint64_t qos_violations() const { return qos_violations_; }
+  double rejection_rate() const;
+  const RunningStats& response_time_stats() const { return response_stats_; }
+  const RunningStats& service_time_stats() const { return service_stats_; }
+  double response_p95() const { return p95_.value(); }
+  double response_p99() const { return p99_.value(); }
+  /// Time-weighted history of the live instance count (min/max/average),
+  /// starting at the first scaling action (so a pre-provisioning count of
+  /// zero does not pollute the minimum).
+  const TimeWeightedValue& instance_history() const { return instance_count_; }
+
+  /// Arrivals since the last call (used by the workload analyzer to compute
+  /// the observed window rate).
+  std::uint64_t take_window_arrivals();
+
+  const QosTargets& qos() const { return qos_; }
+  Datacenter& datacenter() { return datacenter_; }
+
+  /// Applies `fn` to every active instance (vertical-scaling extension and
+  /// white-box tests).
+  void for_each_instance(const std::function<void(Vm&)>& fn);
+
+  // --- failure injection (uncertain-behavior experiments) -----------------
+  /// Crash-fails the index-th live instance (actives first, then draining).
+  /// In-flight requests are lost and counted in lost_to_failures().
+  /// Returns the number of requests lost. Precondition:
+  /// index < live_instances().
+  std::size_t inject_instance_failure(std::size_t index);
+
+  /// Accepted requests that were lost to instance failures.
+  std::uint64_t lost_to_failures() const { return lost_to_failures_; }
+  /// Instance crash-failures injected so far.
+  std::uint64_t instance_failures() const { return instance_failures_; }
+
+ private:
+  Vm* select_instance(const Request& request);
+  Vm* create_instance();
+  void drain_instance(std::size_t index);
+  void on_vm_complete(Vm& vm, const Request& request, double response_time);
+  void on_vm_drained(Vm& vm);
+  void record_instance_count();
+  PoolView pool_view() const;
+
+  Datacenter& datacenter_;
+  QosTargets qos_;
+  ProvisionerConfig config_;
+  std::unique_ptr<AdmissionPolicy> admission_;
+
+  CompletionListener completion_listener_;
+  std::vector<Vm*> instances_;  ///< RUNNING, in round-robin order
+  std::vector<Vm*> draining_;   ///< DRAINING, pending destruction
+  std::size_t rr_cursor_ = 0;
+
+  std::uint64_t accepted_ = 0;
+  std::uint64_t rejected_ = 0;
+  std::uint64_t qos_violations_ = 0;
+  std::uint64_t lost_to_failures_ = 0;
+  std::uint64_t instance_failures_ = 0;
+  std::uint64_t window_arrivals_ = 0;
+  RunningStats response_stats_;
+  RunningStats service_stats_;
+  P2Quantile p95_{0.95};
+  P2Quantile p99_{0.99};
+  TimeWeightedValue instance_count_;
+  bool instance_history_started_ = false;
+};
+
+}  // namespace cloudprov

@@ -1,0 +1,54 @@
+#include "core/failure_injector.h"
+
+#include "util/check.h"
+
+namespace cloudprov {
+
+FailureInjector::FailureInjector(Simulation& sim,
+                                 ApplicationProvisioner& provisioner,
+                                 FailureConfig config, Rng rng)
+    : sim_(sim), provisioner_(provisioner), config_(config), rng_(rng) {
+  ensure_arg(config_.mtbf_per_instance > 0.0,
+             "FailureInjector: MTBF must be positive");
+  ensure_arg(config_.idle_retry > 0.0,
+             "FailureInjector: idle retry must be positive");
+}
+
+void FailureInjector::start() {
+  if (running_) return;
+  running_ = true;
+  schedule_next();
+}
+
+void FailureInjector::stop() {
+  if (!running_) return;
+  running_ = false;
+  sim_.cancel(pending_);
+  pending_ = kInvalidEventId;
+}
+
+void FailureInjector::schedule_next() {
+  const std::size_t live = provisioner_.live_instances();
+  // Superposition of per-instance exponential lifetimes: the next failure
+  // anywhere in the pool arrives at rate live / MTBF. The rate is
+  // re-evaluated at every event, which approximates the size-varying pool
+  // well at the provisioning cadence.
+  const SimTime delay =
+      live == 0 ? config_.idle_retry
+                : rng_.exponential(static_cast<double>(live) /
+                                   config_.mtbf_per_instance);
+  pending_ = sim_.schedule_in(delay, [this] { fire(); });
+}
+
+void FailureInjector::fire() {
+  if (!running_) return;
+  const std::size_t live = provisioner_.live_instances();
+  if (live > 0) {
+    const auto victim = static_cast<std::size_t>(rng_.uniform_int(0, live - 1));
+    provisioner_.inject_instance_failure(victim);
+    ++failures_;
+  }
+  schedule_next();
+}
+
+}  // namespace cloudprov

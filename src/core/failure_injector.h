@@ -1,0 +1,54 @@
+// Random instance-failure injection.
+//
+// The paper motivates adaptive provisioning with the "uncertain behavior" of
+// virtualized resources ("the availability, load, and throughput of
+// Cloud-based IT resources ... can vary in an unpredictable way",
+// Section I) but does not evaluate failures. This injector makes that
+// robustness testable: VMs crash-fail following an exponential per-instance
+// lifetime, losing their in-flight requests; the adaptive mechanism heals
+// the pool on its next provisioning cycle, while a static policy without a
+// reconciler degrades permanently.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+
+#include "core/application_provisioner.h"
+#include "util/rng.h"
+
+namespace cloudprov {
+
+struct FailureConfig {
+  /// Mean time between failures of one instance, seconds (exponential).
+  double mtbf_per_instance = 24.0 * 3600.0;
+  /// Re-check delay when the pool is empty.
+  SimTime idle_retry = 60.0;
+};
+
+class FailureInjector {
+ public:
+  FailureInjector(Simulation& sim, ApplicationProvisioner& provisioner,
+                  FailureConfig config, Rng rng);
+  ~FailureInjector() { stop(); }
+  FailureInjector(const FailureInjector&) = delete;
+  FailureInjector& operator=(const FailureInjector&) = delete;
+
+  void start();
+  void stop();
+
+  std::uint64_t failures_injected() const { return failures_; }
+
+ private:
+  void schedule_next();
+  void fire();
+
+  Simulation& sim_;
+  ApplicationProvisioner& provisioner_;
+  FailureConfig config_;
+  Rng rng_;
+  EventId pending_ = kInvalidEventId;
+  bool running_ = false;
+  std::uint64_t failures_ = 0;
+};
+
+}  // namespace cloudprov

@@ -1,0 +1,126 @@
+#include "core/multitier.h"
+
+#include <algorithm>
+
+#include "util/check.h"
+#include "util/log.h"
+
+namespace cloudprov {
+
+MultiTierApplication::MultiTierApplication(Simulation& sim,
+                                           Datacenter& datacenter,
+                                           MultiTierConfig config, Rng rng)
+    : Entity(sim, "multitier-application"),
+      config_(std::move(config)),
+      rng_(rng) {
+  ensure_arg(!config_.tiers.empty(), "MultiTierApplication: need >= 1 tier");
+  double total_estimate = 0.0;
+  for (const TierConfig& tier : config_.tiers) {
+    ensure_arg(tier.service_demand != nullptr,
+               "MultiTierApplication: tier needs a demand distribution");
+    ensure_arg(tier.initial_service_time_estimate > 0.0,
+               "MultiTierApplication: tier estimate must be > 0");
+    total_estimate += tier.initial_service_time_estimate;
+  }
+  // Split the end-to-end response budget proportionally to the tier
+  // estimates: sum of per-tier budgets equals Ts, so if every tier meets its
+  // own bound the chain meets the end-to-end bound.
+  tiers_.reserve(config_.tiers.size());
+  budgets_.reserve(config_.tiers.size());
+  for (std::size_t i = 0; i < config_.tiers.size(); ++i) {
+    const TierConfig& tier = config_.tiers[i];
+    const double budget = config_.qos.max_response_time *
+                          tier.initial_service_time_estimate / total_estimate;
+    budgets_.push_back(budget);
+
+    QosTargets tier_qos = config_.qos;
+    tier_qos.max_response_time = budget;
+    ProvisionerConfig prov_config;
+    prov_config.vm_spec = tier.vm_spec;
+    prov_config.initial_service_time_estimate = tier.initial_service_time_estimate;
+    tiers_.push_back(std::make_unique<ApplicationProvisioner>(
+        sim, datacenter, tier_qos, prov_config));
+    tiers_.back()->set_completion_listener(
+        [this, i](const Request& request, double) { on_tier_complete(i, request); });
+  }
+}
+
+double MultiTierApplication::end_to_end_loss_rate() const {
+  const std::uint64_t lost = rejected_entry_ + dropped_;
+  return entered_ == 0 ? 0.0
+                       : static_cast<double>(lost) / static_cast<double>(entered_);
+}
+
+void MultiTierApplication::on_request(const Request& request) {
+  ++entered_;
+  Request entry = request;
+  entry.arrival_time = now();
+  if (!tiers_.front()->try_submit(entry)) {
+    ++rejected_entry_;
+    return;
+  }
+  in_flight_.emplace(request.id, now());
+}
+
+void MultiTierApplication::forward(std::size_t next_tier, const Request& request) {
+  Request next = request;
+  next.arrival_time = now();
+  next.service_demand = config_.tiers[next_tier].service_demand->sample(rng_);
+  if (!tiers_[next_tier]->try_submit(next)) {
+    ++dropped_;
+    in_flight_.erase(request.id);
+  }
+}
+
+void MultiTierApplication::on_tier_complete(std::size_t tier_index,
+                                            const Request& request) {
+  if (tier_index + 1 < tiers_.size()) {
+    forward(tier_index + 1, request);
+    return;
+  }
+  const auto it = in_flight_.find(request.id);
+  ensure(it != in_flight_.end(), "multitier: completion for unknown request");
+  const double response = now() - it->second;
+  in_flight_.erase(it);
+  end_to_end_.add(response);
+  if (response > config_.qos.max_response_time) ++violations_;
+}
+
+MultiTierAdaptivePolicy::MultiTierAdaptivePolicy(
+    Simulation& sim, std::shared_ptr<ArrivalRatePredictor> predictor,
+    ModelerConfig modeler_config, AnalyzerConfig analyzer_config)
+    : sim_(sim),
+      predictor_(std::move(predictor)),
+      modeler_config_(modeler_config),
+      analyzer_config_(analyzer_config) {
+  ensure_arg(predictor_ != nullptr, "MultiTierAdaptivePolicy: null predictor");
+}
+
+void MultiTierAdaptivePolicy::attach(MultiTierApplication& application) {
+  ensure(application_ == nullptr, "MultiTierAdaptivePolicy: attached twice");
+  application_ = &application;
+  modelers_.reserve(application.tier_count());
+  targets_.assign(application.tier_count(), 1);
+  for (std::size_t i = 0; i < application.tier_count(); ++i) {
+    modelers_.emplace_back(application.tier(i).qos(), modeler_config_);
+  }
+  // The analyzer observes the entry tier's arrivals; downstream tiers see
+  // (nearly) the same rate, thinned only by upstream rejections, so one
+  // rate estimate drives all per-tier modelers — conservative downstream.
+  analyzer_.emplace(sim_, application.tier(0), predictor_, analyzer_config_);
+  analyzer_->start([this](SimTime t, double rate) { on_rate_alert(t, rate); });
+}
+
+void MultiTierAdaptivePolicy::on_rate_alert(SimTime t, double expected_rate) {
+  for (std::size_t i = 0; i < application_->tier_count(); ++i) {
+    ApplicationProvisioner& tier = application_->tier(i);
+    const ModelerDecision decision = modelers_[i].required_instances(
+        std::max<std::size_t>(tier.active_instances(), 1), expected_rate,
+        tier.monitored_service_time(), tier.current_queue_bound());
+    targets_[i] = decision.instances;
+    tier.scale_to(decision.instances);
+  }
+  CLOUDPROV_LOG(Debug) << "multitier: t=" << t << " lambda=" << expected_rate;
+}
+
+}  // namespace cloudprov

@@ -1,0 +1,121 @@
+// Composite (multi-tier) SaaS applications — the paper's future work
+// ("modeling composite services", Section VII), simulated end to end.
+//
+// A MultiTierApplication chains one instance pool (ApplicationProvisioner)
+// per tier: an accepted request is served at tier 0, then forwarded to
+// tier 1 with a fresh tier-1 service demand, and so on; it completes when
+// the last tier finishes. A rejection at any tier drops the request
+// (counted separately from entry rejections). The end-to-end response-time
+// budget Ts is split across tiers proportionally to their estimated service
+// times, so each tier's admission bound k_i = floor(Ts_i / Tm_i) preserves
+// the end-to-end guarantee.
+//
+// MultiTierAdaptivePolicy runs the paper's mechanism per tier: one workload
+// analyzer at the entry tier drives one Algorithm-1 modeler per tier, each
+// sized with that tier's monitored service time — the analytic counterpart
+// is queueing::solve_tandem.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "core/adaptive_policy.h"
+#include "core/application_provisioner.h"
+#include "core/workload_analyzer.h"
+#include "stats/running_stats.h"
+#include "util/distributions.h"
+
+namespace cloudprov {
+
+struct TierConfig {
+  std::string name;
+  /// Service demand of this tier's work (seconds at unit speed).
+  DistributionPtr service_demand;
+  /// Seed for the tier's monitored service time (typically the demand mean).
+  double initial_service_time_estimate = 0.1;
+  VmSpec vm_spec;
+};
+
+struct MultiTierConfig {
+  std::vector<TierConfig> tiers;
+  /// End-to-end QoS: max_response_time covers the whole chain.
+  QosTargets qos;
+};
+
+class MultiTierApplication final : public Entity, public RequestSink {
+ public:
+  MultiTierApplication(Simulation& sim, Datacenter& datacenter,
+                       MultiTierConfig config, Rng rng);
+
+  /// Entry point: submits to tier 0.
+  void on_request(const Request& request) override;
+
+  std::size_t tier_count() const { return tiers_.size(); }
+  ApplicationProvisioner& tier(std::size_t index) { return *tiers_.at(index); }
+  const ApplicationProvisioner& tier(std::size_t index) const {
+    return *tiers_.at(index);
+  }
+
+  /// Per-tier share of the end-to-end response budget.
+  double tier_budget(std::size_t index) const { return budgets_.at(index); }
+
+  // --- end-to-end accounting -------------------------------------------
+  std::uint64_t entered() const { return entered_; }
+  /// Rejected at the entry tier.
+  std::uint64_t rejected_at_entry() const { return rejected_entry_; }
+  /// Accepted at entry but rejected at a later tier.
+  std::uint64_t dropped_mid_chain() const { return dropped_; }
+  std::uint64_t completed() const { return end_to_end_.count(); }
+  const RunningStats& end_to_end_response() const { return end_to_end_; }
+  std::uint64_t end_to_end_violations() const { return violations_; }
+  double end_to_end_loss_rate() const;
+
+ private:
+  void forward(std::size_t next_tier, const Request& request);
+  void on_tier_complete(std::size_t tier_index, const Request& request);
+
+  MultiTierConfig config_;
+  Rng rng_;
+  std::vector<std::unique_ptr<ApplicationProvisioner>> tiers_;
+  std::vector<double> budgets_;
+
+  std::uint64_t entered_ = 0;
+  std::uint64_t rejected_entry_ = 0;
+  std::uint64_t dropped_ = 0;
+  std::uint64_t violations_ = 0;
+  RunningStats end_to_end_;
+  /// Entry time of each in-flight request, keyed by request id.
+  std::unordered_map<std::uint64_t, SimTime> in_flight_;
+};
+
+/// The paper's adaptive mechanism generalized to a tier chain: one analyzer
+/// at the entry, one Algorithm-1 modeler per tier.
+class MultiTierAdaptivePolicy {
+ public:
+  MultiTierAdaptivePolicy(Simulation& sim,
+                          std::shared_ptr<ArrivalRatePredictor> predictor,
+                          ModelerConfig modeler_config,
+                          AnalyzerConfig analyzer_config);
+
+  void attach(MultiTierApplication& application);
+
+  /// Latest per-tier pool sizes (diagnostics).
+  const std::vector<std::size_t>& current_targets() const { return targets_; }
+
+ private:
+  void on_rate_alert(SimTime t, double expected_rate);
+
+  Simulation& sim_;
+  std::shared_ptr<ArrivalRatePredictor> predictor_;
+  ModelerConfig modeler_config_;
+  AnalyzerConfig analyzer_config_;
+  MultiTierApplication* application_ = nullptr;
+  std::vector<PerformanceModeler> modelers_;
+  std::optional<WorkloadAnalyzer> analyzer_;
+  std::vector<std::size_t> targets_;
+};
+
+}  // namespace cloudprov

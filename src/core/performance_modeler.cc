@@ -1,0 +1,97 @@
+#include "core/performance_modeler.h"
+
+#include <algorithm>
+
+#include "util/check.h"
+#include "util/log.h"
+
+namespace cloudprov {
+
+PerformanceModeler::PerformanceModeler(QosTargets qos, ModelerConfig config)
+    : qos_(qos), config_(config) {
+  ensure_arg(config_.max_vms >= 1, "PerformanceModeler: max_vms must be >= 1");
+  ensure_arg(config_.min_vms >= 1, "PerformanceModeler: min_vms must be >= 1");
+  ensure_arg(config_.min_vms <= config_.max_vms,
+             "PerformanceModeler: min_vms must be <= max_vms");
+  ensure_arg(config_.rejection_tolerance >= 0.0 &&
+                 config_.rejection_tolerance <= 1.0,
+             "PerformanceModeler: rejection tolerance must be in [0,1]");
+  ensure_arg(config_.max_offered_load > 0.0,
+             "PerformanceModeler: max offered load must be positive");
+  ensure_arg(qos_.max_response_time > 0.0,
+             "PerformanceModeler: Ts must be positive");
+}
+
+queueing::InstancePoolMetrics PerformanceModeler::evaluate(
+    std::size_t m, double arrival_rate, double mean_service_time,
+    std::size_t bound) const {
+  queueing::InstancePoolModel model;
+  model.total_arrival_rate = arrival_rate;
+  model.service_rate = 1.0 / mean_service_time;
+  model.instances = m;
+  model.queue_capacity = bound;
+  return queueing::solve_instance_pool(model);
+}
+
+ModelerDecision PerformanceModeler::required_instances(
+    std::size_t current_instances, double arrival_rate,
+    double mean_service_time, std::size_t bound) const {
+  ensure_arg(arrival_rate >= 0.0, "required_instances: lambda must be >= 0");
+  ensure_arg(mean_service_time > 0.0, "required_instances: Tm must be > 0");
+  ensure_arg(bound >= 1, "required_instances: queue bound must be >= 1");
+
+  ModelerDecision decision;
+
+  // Algorithm 1, lines 1-3.
+  std::size_t m =
+      std::clamp(current_instances, config_.min_vms, config_.max_vms);
+  std::size_t lower = config_.min_vms;  // "min"
+  std::size_t upper = config_.max_vms;  // "max"
+
+  // Lines 4-22: repeat ... until oldm = m.
+  for (std::size_t iteration = 0; iteration < config_.max_iterations;
+       ++iteration) {
+    ++decision.iterations;
+    const std::size_t oldm = m;  // line 5
+    decision.tested.push_back(m);
+
+    // Lines 6-8: solve the queueing network at lambda_si = lambda / m.
+    const queueing::InstancePoolMetrics metrics =
+        evaluate(m, arrival_rate, mean_service_time, bound);
+    decision.predicted_rejection = metrics.rejection_probability;
+    decision.predicted_response_time = metrics.mean_response_time;
+    decision.predicted_utilization = metrics.offered_per_instance;
+
+    const bool qos_met =
+        metrics.rejection_probability <= config_.rejection_tolerance &&
+        metrics.mean_response_time <= qos_.max_response_time &&
+        metrics.offered_per_instance <= config_.max_offered_load;
+
+    if (!qos_met) {
+      // Lines 9-14: QoS not met at oldm -> every m' <= oldm also fails.
+      m = oldm + std::max<std::size_t>(oldm / 2, 1);  // m <- m + m/2
+      lower = oldm + 1;  // published pseudocode prints "min <- m + 1" (typo)
+      if (m > upper) m = upper;  // lines 12-13; if oldm == upper the loop
+                                 // exits next check with the capped pool
+    } else if (metrics.offered_per_instance < qos_.min_utilization) {
+      // Lines 15-21: utilization below threshold -> try a smaller pool.
+      upper = m;                        // line 16
+      m = lower + (upper - lower) / 2;  // line 17
+      // Lines 18-20: bisection collapsed onto the lower bound -> keep the
+      // last value known to satisfy QoS and stop (next check sees oldm = m).
+      if (m <= lower) m = oldm;
+    }
+
+    if (oldm == m) break;  // line 22
+  }
+
+  decision.instances = m;
+  CLOUDPROV_LOG(Debug) << "modeler: lambda=" << arrival_rate
+                       << " Tm=" << mean_service_time << " k=" << bound
+                       << " -> m=" << m << " (rej="
+                       << decision.predicted_rejection
+                       << ", util=" << decision.predicted_utilization << ")";
+  return decision;
+}
+
+}  // namespace cloudprov

@@ -1,0 +1,92 @@
+// Load predictor and performance modeler (Section IV-B, Algorithm 1).
+//
+// Given the expected arrival rate and the monitored mean service time, finds
+// the number m of virtualized application instances that meets QoS while
+// keeping utilization above the floor, by solving the Figure-2 queueing
+// network (M/M/inf provisioner feeding m parallel M/M/1/k instances) for
+// candidate values of m.
+//
+// The search is the paper's guarded expand/bisect loop: grow m by 50% while
+// the model predicts QoS violations, bisect downwards while utilization is
+// predicted below the floor, and track [min, max] bounds of tested values so
+// no candidate is revisited ("It prevents loops in the process").
+//
+// Two published-vs-implemented notes, also covered by regression tests:
+//  * Algorithm 1 line 11 prints "min <- m + 1" after m has already been
+//    increased; the failing candidate is oldm, so we set min <- oldm + 1.
+//  * The paper does not state numeric thresholds for the model-side QoS
+//    check. The response-time check is Tq <= Ts verbatim; the rejection
+//    check compares Pr(S_k) against `rejection_tolerance`, calibrated so the
+//    per-instance offered load lands in the paper's implied ~[0.8, 0.9]
+//    operating band (see DESIGN.md).
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "core/qos.h"
+#include "queueing/instance_pool_model.h"
+
+namespace cloudprov {
+
+struct ModelerConfig {
+  /// MaxVMs: cap "dependent on both policy applied by the application
+  /// provider and its previous negotiation with IaaS provider".
+  std::size_t max_vms = 1000;
+  /// Floor on the pool size (the paper searches from min = 1).
+  std::size_t min_vms = 1;
+  /// Model-side threshold on the predicted M/M/1/k blocking probability
+  /// Pr(S_k). For k = 2 a tolerance of 0.28 corresponds to per-instance
+  /// offered load rho ~= 0.85, which lands the paper's reported instance
+  /// counts (153 web / 80 scientific) and keeps simulated rejection
+  /// negligible (see DESIGN.md calibration note).
+  double rejection_tolerance = 0.28;
+  /// Saturation guard on the planned per-instance offered load
+  /// lambda/(m*mu). A fixed blocking tolerance maps to different loads at
+  /// different k (at k = 3, Pr(S_k) = 0.28 is only reached beyond rho = 1),
+  /// so without this cap deeper queues would be planned into overload. The
+  /// paper's k = 2 scenarios are unaffected (their tolerance edge sits at
+  /// rho ~ 0.85 < 0.92).
+  double max_offered_load = 0.92;
+  /// Hard iteration cap; the bounds make the loop finite regardless, this
+  /// guards against configuration pathologies.
+  std::size_t max_iterations = 128;
+};
+
+struct ModelerDecision {
+  std::size_t instances = 1;  ///< m returned by Algorithm 1
+  double predicted_rejection = 0.0;
+  double predicted_response_time = 0.0;
+  /// Offered per-instance load lambda / (m * mu) used for the scale-down test.
+  double predicted_utilization = 0.0;
+  std::size_t iterations = 0;
+  /// Every candidate m evaluated, in order (diagnostics and tests).
+  std::vector<std::size_t> tested;
+};
+
+class PerformanceModeler {
+ public:
+  PerformanceModeler(QosTargets qos, ModelerConfig config);
+
+  /// Algorithm 1. `current_instances` seeds the search; `arrival_rate` is
+  /// the workload analyzer's expected lambda; `mean_service_time` is the
+  /// monitored Tm; `bound` is the per-instance queue bound k.
+  ModelerDecision required_instances(std::size_t current_instances,
+                                     double arrival_rate,
+                                     double mean_service_time,
+                                     std::size_t bound) const;
+
+  const QosTargets& qos() const { return qos_; }
+  const ModelerConfig& config() const { return config_; }
+
+ private:
+  /// Solves the Figure-2 model for candidate m.
+  queueing::InstancePoolMetrics evaluate(std::size_t m, double arrival_rate,
+                                         double mean_service_time,
+                                         std::size_t bound) const;
+
+  QosTargets qos_;
+  ModelerConfig config_;
+};
+
+}  // namespace cloudprov

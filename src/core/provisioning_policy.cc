@@ -1,0 +1,19 @@
+#include "core/provisioning_policy.h"
+
+#include "util/check.h"
+
+namespace cloudprov {
+
+StaticPolicy::StaticPolicy(std::size_t instances) : instances_(instances) {
+  ensure_arg(instances >= 1, "StaticPolicy: need at least one instance");
+}
+
+void StaticPolicy::attach(ApplicationProvisioner& provisioner) {
+  provisioner.scale_to(instances_);
+}
+
+std::string StaticPolicy::name() const {
+  return "Static-" + std::to_string(instances_);
+}
+
+}  // namespace cloudprov

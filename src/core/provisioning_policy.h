@@ -1,0 +1,39 @@
+// VM provisioning policies.
+//
+// A policy decides, over time, how many application instances back the SaaS.
+// StaticPolicy is the paper's baseline ("a fixed number of instances is made
+// available"); AdaptivePolicy (adaptive_policy.h) is the paper's
+// contribution. Both operate only through ApplicationProvisioner::scale_to,
+// so they are interchangeable in every experiment.
+#pragma once
+
+#include <string>
+
+#include "core/application_provisioner.h"
+
+namespace cloudprov {
+
+class ProvisioningPolicy {
+ public:
+  virtual ~ProvisioningPolicy() = default;
+
+  /// Binds the policy to a provisioner and performs initial sizing.
+  /// Called once, before the simulation starts running.
+  virtual void attach(ApplicationProvisioner& provisioner) = 0;
+
+  virtual std::string name() const = 0;
+};
+
+/// Baseline: a fixed pool of `instances` VMs for the whole run.
+class StaticPolicy final : public ProvisioningPolicy {
+ public:
+  explicit StaticPolicy(std::size_t instances);
+
+  void attach(ApplicationProvisioner& provisioner) override;
+  std::string name() const override;
+
+ private:
+  std::size_t instances_;
+};
+
+}  // namespace cloudprov

@@ -1,0 +1,38 @@
+// QoS targets (Section III-B).
+//
+// The negotiated service level consists of a maximum response time Ts and a
+// maximum request rejection rate Rej(Gs); the provider additionally sets a
+// minimum utilization so the pool is not over-provisioned (Section IV-B).
+#pragma once
+
+#include <cstddef>
+
+#include "util/check.h"
+#include "util/units.h"
+
+namespace cloudprov {
+
+struct QosTargets {
+  /// Ts: negotiated maximum response time of an accepted request (seconds).
+  double max_response_time = 0.250;
+  /// Maximum acceptable fraction of rejected requests (paper: 0).
+  double max_rejection_rate = 0.0;
+  /// Utilization floor below which capacity is released (paper: 0.8).
+  double min_utilization = 0.8;
+};
+
+/// k = floor(Ts / Tr) (Equation 1): the per-instance queue bound that
+/// guarantees an accepted request finishes within Ts. Clamped to >= 1 so an
+/// instance can always hold the request it is serving.
+inline std::size_t queue_bound(double max_response_time, double mean_service_time) {
+  ensure_arg(max_response_time > 0.0, "queue_bound: Ts must be positive");
+  ensure_arg(mean_service_time > 0.0, "queue_bound: Tr must be positive");
+  // The relative epsilon keeps ratios that are integers up to floating-point
+  // noise (e.g. a response budget computed as Ts * 0.2 / 0.3) on the
+  // intended side of the floor.
+  const double k = max_response_time / mean_service_time * (1.0 + 1e-9);
+  if (k < 1.0) return 1;
+  return static_cast<std::size_t>(k);
+}
+
+}  // namespace cloudprov

@@ -1,0 +1,80 @@
+#include "core/sla.h"
+
+#include "util/check.h"
+
+namespace cloudprov {
+
+SlaManager::SlaManager(std::vector<SlaClass> classes)
+    : classes_(std::move(classes)), state_(classes_.size()) {
+  ensure_arg(!classes_.empty(), "SlaManager: need at least one class");
+  for (std::size_t i = 1; i < classes_.size(); ++i) {
+    ensure_arg(classes_[i].priority_threshold > classes_[i - 1].priority_threshold,
+               "SlaManager: classes must have increasing priority thresholds");
+  }
+  for (const SlaClass& c : classes_) {
+    ensure_arg(c.max_response_time > 0.0,
+               "SlaManager: class response bound must be positive");
+  }
+}
+
+std::size_t SlaManager::classify(int priority) const {
+  std::size_t index = 0;
+  for (std::size_t i = 0; i < classes_.size(); ++i) {
+    if (priority >= classes_[i].priority_threshold) index = i;
+  }
+  return index;
+}
+
+std::size_t SlaManager::on_arrival(Request& request) {
+  const std::size_t index = classify(request.priority);
+  ++state_[index].offered;
+  if (classes_[index].stamp_deadline) {
+    request.deadline = request.arrival_time + classes_[index].max_response_time;
+  }
+  return index;
+}
+
+void SlaManager::on_rejected(const Request& request) {
+  ++state_[classify(request.priority)].rejected;
+}
+
+void SlaManager::on_completed(const Request& request, double response_time) {
+  ClassState& s = state_[classify(request.priority)];
+  s.response.add(response_time);
+  if (response_time > classes_[classify(request.priority)].max_response_time) {
+    ++s.violations;
+  }
+}
+
+SlaClassReport SlaManager::report(std::size_t class_index) const {
+  ensure_arg(class_index < classes_.size(), "SlaManager: class index out of range");
+  const SlaClass& c = classes_[class_index];
+  const ClassState& s = state_[class_index];
+  SlaClassReport out;
+  out.name = c.name;
+  out.offered = s.offered;
+  out.completed = s.response.count();
+  out.rejected = s.rejected;
+  out.violations = s.violations;
+  out.mean_response_time = s.response.mean();
+  const auto on_time = static_cast<double>(s.response.count() - s.violations);
+  out.revenue = on_time * c.revenue_per_request -
+                static_cast<double>(s.rejected) * c.rejection_penalty -
+                static_cast<double>(s.violations) * c.violation_penalty;
+  return out;
+}
+
+std::vector<SlaClassReport> SlaManager::report_all() const {
+  std::vector<SlaClassReport> reports;
+  reports.reserve(classes_.size());
+  for (std::size_t i = 0; i < classes_.size(); ++i) reports.push_back(report(i));
+  return reports;
+}
+
+double SlaManager::total_revenue() const {
+  double total = 0.0;
+  for (std::size_t i = 0; i < classes_.size(); ++i) total += report(i).revenue;
+  return total;
+}
+
+}  // namespace cloudprov

@@ -1,0 +1,59 @@
+#include "core/vertical_policy.h"
+
+#include <algorithm>
+
+#include "util/check.h"
+#include "util/log.h"
+
+namespace cloudprov {
+
+VerticalScalingPolicy::VerticalScalingPolicy(
+    Simulation& sim, std::shared_ptr<ArrivalRatePredictor> predictor,
+    VerticalScalingConfig config, AnalyzerConfig analyzer_config)
+    : sim_(sim),
+      predictor_(std::move(predictor)),
+      config_(config),
+      analyzer_config_(analyzer_config) {
+  ensure_arg(predictor_ != nullptr, "VerticalScalingPolicy: null predictor");
+  ensure_arg(config_.instances >= 1, "VerticalScalingPolicy: need >= 1 instance");
+  ensure_arg(config_.target_utilization > 0.0 && config_.target_utilization < 1.0,
+             "VerticalScalingPolicy: target utilization must be in (0,1)");
+  ensure_arg(config_.min_speed > 0.0 && config_.min_speed <= config_.max_speed,
+             "VerticalScalingPolicy: need 0 < min_speed <= max_speed");
+  ensure_arg(config_.base_service_time > 0.0,
+             "VerticalScalingPolicy: base service time must be > 0");
+}
+
+void VerticalScalingPolicy::attach(ApplicationProvisioner& provisioner) {
+  ensure(provisioner_ == nullptr, "VerticalScalingPolicy: attached twice");
+  provisioner_ = &provisioner;
+  // QoS floor: even an otherwise idle instance must finish one request
+  // within Ts, with margin for demand heterogeneity.
+  const double qos_floor = config_.base_service_time /
+                           provisioner.qos().max_response_time *
+                           (1.0 + config_.qos_speed_margin);
+  config_.min_speed = std::max(config_.min_speed, qos_floor);
+  ensure_arg(config_.min_speed <= config_.max_speed,
+             "VerticalScalingPolicy: QoS-derived speed floor exceeds max_speed");
+  provisioner.scale_to(config_.instances);
+  analyzer_.emplace(sim_, provisioner, predictor_, analyzer_config_);
+  analyzer_->start([this](SimTime t, double rate) { on_rate_alert(t, rate); });
+}
+
+void VerticalScalingPolicy::on_rate_alert(SimTime t, double expected_rate) {
+  // Per-instance offered work: lambda/m requests/s, each needing
+  // base_service_time/speed seconds. Choose speed so that offered load per
+  // instance equals the target utilization:
+  //   (lambda/m) * base / speed = target  =>  speed = lambda*base/(m*target).
+  const double per_instance_rate =
+      expected_rate / static_cast<double>(config_.instances);
+  double speed = per_instance_rate * config_.base_service_time /
+                 config_.target_utilization;
+  speed = std::clamp(speed, config_.min_speed, config_.max_speed);
+  provisioner_->for_each_instance([speed](Vm& vm) { vm.set_speed(speed); });
+  history_.push_back(SpeedRecord{t, expected_rate, speed});
+  CLOUDPROV_LOG(Debug) << "vertical: t=" << t << " lambda=" << expected_rate
+                       << " -> speed=" << speed;
+}
+
+}  // namespace cloudprov

@@ -1,0 +1,64 @@
+// Vertical-scaling policy (future-work extension, Section VII: "support not
+// only changes in number of VMs but also changes in each VM capacity").
+//
+// Keeps a fixed pool of m instances and resizes their *capacity* (the VM
+// speed multiplier, standing in for vCPU/clock changes) so that the offered
+// per-instance load stays inside a target utilization band. Comparable
+// against AdaptivePolicy in the ablation benches: horizontal scaling changes
+// VM-hours, vertical scaling changes capacity-hours.
+#pragma once
+
+#include <memory>
+#include <optional>
+#include <vector>
+
+#include "core/provisioning_policy.h"
+#include "core/workload_analyzer.h"
+#include "predict/predictor.h"
+
+namespace cloudprov {
+
+struct VerticalScalingConfig {
+  std::size_t instances = 10;       ///< fixed pool size
+  double target_utilization = 0.85; ///< desired offered load per instance
+  double min_speed = 0.5;           ///< capacity floor (fraction of baseline)
+  double max_speed = 4.0;           ///< capacity ceiling
+  /// Base mean service demand in seconds at speed 1.0 (for capacity math).
+  double base_service_time = 0.1;
+  /// Safety margin on the QoS-derived speed floor: a VM slowed to the point
+  /// where one request alone takes Ts would violate QoS on any
+  /// above-average demand, so the policy never drops speed below
+  /// base_service_time / Ts * (1 + qos_speed_margin).
+  double qos_speed_margin = 0.15;
+};
+
+class VerticalScalingPolicy final : public ProvisioningPolicy {
+ public:
+  VerticalScalingPolicy(Simulation& sim,
+                        std::shared_ptr<ArrivalRatePredictor> predictor,
+                        VerticalScalingConfig config,
+                        AnalyzerConfig analyzer_config);
+
+  void attach(ApplicationProvisioner& provisioner) override;
+  std::string name() const override { return "Vertical"; }
+
+  struct SpeedRecord {
+    SimTime time = 0.0;
+    double expected_rate = 0.0;
+    double speed = 1.0;
+  };
+  const std::vector<SpeedRecord>& history() const { return history_; }
+
+ private:
+  void on_rate_alert(SimTime t, double expected_rate);
+
+  Simulation& sim_;
+  std::shared_ptr<ArrivalRatePredictor> predictor_;
+  VerticalScalingConfig config_;
+  AnalyzerConfig analyzer_config_;
+  ApplicationProvisioner* provisioner_ = nullptr;
+  std::optional<WorkloadAnalyzer> analyzer_;
+  std::vector<SpeedRecord> history_;
+};
+
+}  // namespace cloudprov

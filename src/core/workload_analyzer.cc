@@ -1,0 +1,61 @@
+#include "core/workload_analyzer.h"
+
+#include <cmath>
+
+#include "util/check.h"
+#include "util/log.h"
+
+namespace cloudprov {
+
+WorkloadAnalyzer::WorkloadAnalyzer(Simulation& sim,
+                                   ApplicationProvisioner& provisioner,
+                                   std::shared_ptr<ArrivalRatePredictor> predictor,
+                                   AnalyzerConfig config)
+    : sim_(sim),
+      provisioner_(provisioner),
+      predictor_(std::move(predictor)),
+      config_(config) {
+  ensure_arg(predictor_ != nullptr, "WorkloadAnalyzer: null predictor");
+  ensure_arg(config_.analysis_interval > 0.0,
+             "WorkloadAnalyzer: analysis interval must be > 0");
+  ensure_arg(config_.lead_time >= 0.0, "WorkloadAnalyzer: lead time must be >= 0");
+  ensure_arg(config_.change_epsilon >= 0.0,
+             "WorkloadAnalyzer: change epsilon must be >= 0");
+}
+
+void WorkloadAnalyzer::start(RateAlert alert) {
+  ensure_arg(static_cast<bool>(alert), "WorkloadAnalyzer: empty alert callback");
+  alert_ = std::move(alert);
+  provisioner_.take_window_arrivals();  // reset the observation window
+  raise_alert(sim_.now());              // initial pool sizing
+  process_.emplace(sim_, sim_.now() + config_.analysis_interval,
+                   config_.analysis_interval, [this](SimTime t) { tick(t); });
+}
+
+void WorkloadAnalyzer::stop() {
+  if (process_) process_->stop();
+}
+
+void WorkloadAnalyzer::tick(SimTime t) {
+  const double observed =
+      static_cast<double>(provisioner_.take_window_arrivals()) /
+      config_.analysis_interval;
+  predictor_->observe(t - config_.analysis_interval, t, observed);
+  raise_alert(t);
+}
+
+void WorkloadAnalyzer::raise_alert(SimTime t) {
+  const double expected = predictor_->predict(t + config_.lead_time);
+  if (last_prediction_ >= 0.0 && config_.change_epsilon > 0.0) {
+    const double reference = std::max(last_prediction_, 1e-12);
+    if (std::abs(expected - last_prediction_) / reference < config_.change_epsilon) {
+      return;  // rate not expected to change materially
+    }
+  }
+  last_prediction_ = expected;
+  CLOUDPROV_LOG(Debug) << "analyzer alert at t=" << t
+                       << ": expected rate " << expected;
+  alert_(t, expected);
+}
+
+}  // namespace cloudprov

@@ -1,0 +1,61 @@
+// Workload analyzer (Section IV-A).
+//
+// Periodically measures the realized arrival rate at the application
+// provisioner, feeds it to an ArrivalRatePredictor, and raises a rate alert
+// carrying the expected arrival rate for the near future. The alert "must be
+// issued before the expected time for the rate to change", so the analyzer
+// predicts `lead_time` ahead of the current clock — by the time the rate
+// materializes, the provisioner has already resized the pool.
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <optional>
+
+#include "core/application_provisioner.h"
+#include "predict/predictor.h"
+#include "sim/simulation.h"
+
+namespace cloudprov {
+
+struct AnalyzerConfig {
+  /// Observation/alert cadence.
+  SimTime analysis_interval = 60.0;
+  /// How far ahead the alert looks; also the provisioning lead time.
+  SimTime lead_time = 60.0;
+  /// Minimum relative change in the predicted rate required to re-alert;
+  /// 0 alerts on every tick (the modeler is cheap, so this is the default).
+  double change_epsilon = 0.0;
+};
+
+class WorkloadAnalyzer {
+ public:
+  /// Fired with (current time, expected arrival rate at time + lead).
+  using RateAlert = std::function<void(SimTime, double)>;
+
+  WorkloadAnalyzer(Simulation& sim, ApplicationProvisioner& provisioner,
+                   std::shared_ptr<ArrivalRatePredictor> predictor,
+                   AnalyzerConfig config);
+
+  /// Issues an immediate alert (initial pool sizing) and starts the
+  /// periodic analysis process.
+  void start(RateAlert alert);
+  void stop();
+
+  double last_prediction() const { return last_prediction_; }
+  const ArrivalRatePredictor& predictor() const { return *predictor_; }
+
+ private:
+  void tick(SimTime t);
+  void raise_alert(SimTime t);
+
+  Simulation& sim_;
+  ApplicationProvisioner& provisioner_;
+  std::shared_ptr<ArrivalRatePredictor> predictor_;
+  AnalyzerConfig config_;
+  RateAlert alert_;
+  std::optional<PeriodicProcess> process_;
+  double last_prediction_ = -1.0;
+};
+
+}  // namespace cloudprov

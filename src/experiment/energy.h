@@ -1,0 +1,32 @@
+// Data-center energy model.
+//
+// The paper motivates adaptive provisioning with "reduced financial and
+// environmental costs" (Section I) but reports only VM-hours. This model
+// converts the simulation's host/VM accounting into energy:
+//
+//   E = idle_watts * host_powered_hours
+//       + (peak_watts - idle_watts) / cores_per_host * busy_core_hours,
+//
+// i.e. a powered-on host draws its idle floor plus linear-in-utilization
+// dynamic power — the standard linear server power model. Because the idle
+// floor dominates, *where* VMs are placed matters: consolidating (first-fit)
+// powers fewer hosts than spreading (least-loaded) at identical VM-hours;
+// bench_ablation_placement quantifies the gap.
+#pragma once
+
+#include "cloud/datacenter.h"
+
+namespace cloudprov {
+
+struct PowerModel {
+  /// Power draw of a powered-on host with idle cores (watts).
+  double idle_watts = 150.0;
+  /// Power draw at full utilization of all cores (watts).
+  double peak_watts = 250.0;
+};
+
+/// Total data-center energy consumed up to the data center's current time,
+/// in kWh.
+double energy_kwh(const Datacenter& datacenter, const PowerModel& model);
+
+}  // namespace cloudprov

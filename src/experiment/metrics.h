@@ -1,0 +1,65 @@
+// Per-run output metrics and cross-replication aggregation.
+//
+// These are exactly the paper's output metrics (Section V-A): average
+// response time of accepted requests and its standard deviation, min/max
+// concurrent instances, VM hours, QoS violations, rejection percentage, and
+// resource utilization — plus simulator-side diagnostics (events, wall time).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "stats/confidence.h"
+
+namespace cloudprov {
+
+struct RunMetrics {
+  std::string policy;
+  std::uint64_t seed = 0;
+
+  std::uint64_t generated = 0;
+  std::uint64_t accepted = 0;
+  std::uint64_t rejected = 0;
+  std::uint64_t completed = 0;
+  std::uint64_t qos_violations = 0;
+
+  double avg_response_time = 0.0;
+  double std_response_time = 0.0;
+  double p95_response_time = 0.0;
+  double p99_response_time = 0.0;
+
+  double min_instances = 0.0;
+  double max_instances = 0.0;
+  double avg_instances = 0.0;
+
+  double vm_hours = 0.0;
+  double busy_vm_hours = 0.0;
+  double utilization = 0.0;
+  double rejection_rate = 0.0;
+
+  // Simulator diagnostics (not paper metrics).
+  std::uint64_t simulated_events = 0;
+  double wall_seconds = 0.0;
+};
+
+/// Mean and 95% CI of each headline metric across replications.
+struct AggregateMetrics {
+  std::string policy;
+  std::size_t replications = 0;
+
+  ConfidenceInterval avg_response_time;
+  ConfidenceInterval std_response_time;
+  ConfidenceInterval min_instances;
+  ConfidenceInterval max_instances;
+  ConfidenceInterval vm_hours;
+  ConfidenceInterval utilization;
+  ConfidenceInterval rejection_rate;
+  ConfidenceInterval qos_violations;
+  double generated_mean = 0.0;
+};
+
+AggregateMetrics aggregate(const std::vector<RunMetrics>& runs,
+                           double confidence = 0.95);
+
+}  // namespace cloudprov

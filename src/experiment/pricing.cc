@@ -1,0 +1,36 @@
+#include "experiment/pricing.h"
+
+#include <cmath>
+
+#include "util/check.h"
+
+namespace cloudprov {
+
+double billed_cost(SimTime lifetime_seconds, const PricingPolicy& policy) {
+  ensure_arg(lifetime_seconds >= 0.0, "billed_cost: negative lifetime");
+  ensure_arg(policy.price_per_hour >= 0.0, "billed_cost: negative price");
+  ensure_arg(policy.billing_quantum > 0.0, "billed_cost: quantum must be > 0");
+  ensure_arg(policy.minimum_billed >= 0.0, "billed_cost: negative minimum");
+  double billed = std::max(lifetime_seconds, policy.minimum_billed);
+  billed = std::ceil(billed / policy.billing_quantum) * policy.billing_quantum;
+  return billed / duration::kHour * policy.price_per_hour;
+}
+
+double billed_cost(const std::vector<SimTime>& lifetimes,
+                   const PricingPolicy& policy) {
+  double total = 0.0;
+  for (SimTime lifetime : lifetimes) total += billed_cost(lifetime, policy);
+  return total;
+}
+
+double raw_cost(const std::vector<SimTime>& lifetimes,
+                const PricingPolicy& policy) {
+  double total = 0.0;
+  for (SimTime lifetime : lifetimes) {
+    ensure_arg(lifetime >= 0.0, "raw_cost: negative lifetime");
+    total += lifetime;
+  }
+  return total / duration::kHour * policy.price_per_hour;
+}
+
+}  // namespace cloudprov

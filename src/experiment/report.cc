@@ -1,0 +1,99 @@
+#include "experiment/report.h"
+
+#include <algorithm>
+#include <iomanip>
+#include <ostream>
+#include <sstream>
+
+#include "util/check.h"
+#include "util/csv.h"
+
+namespace cloudprov {
+
+TextTable::TextTable(std::vector<std::string> header) : header_(std::move(header)) {
+  ensure_arg(!header_.empty(), "TextTable: empty header");
+}
+
+void TextTable::add_row(std::vector<std::string> row) {
+  ensure_arg(row.size() == header_.size(), "TextTable: row width mismatch");
+  rows_.push_back(std::move(row));
+}
+
+void TextTable::print(std::ostream& out) const {
+  std::vector<std::size_t> widths(header_.size());
+  for (std::size_t c = 0; c < header_.size(); ++c) widths[c] = header_[c].size();
+  for (const auto& row : rows_) {
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      widths[c] = std::max(widths[c], row[c].size());
+    }
+  }
+  auto print_row = [&](const std::vector<std::string>& row) {
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      out << std::left << std::setw(static_cast<int>(widths[c]) + 2) << row[c];
+    }
+    out << '\n';
+  };
+  print_row(header_);
+  std::size_t total = 0;
+  for (std::size_t w : widths) total += w + 2;
+  out << std::string(total, '-') << '\n';
+  for (const auto& row : rows_) print_row(row);
+}
+
+std::string fmt(double value, int precision) {
+  std::ostringstream out;
+  out << std::fixed << std::setprecision(precision) << value;
+  return out.str();
+}
+
+std::string fmt_ci(const ConfidenceInterval& ci, int precision) {
+  return fmt(ci.mean, precision) + " +- " + fmt(ci.half_width, precision);
+}
+
+void print_policy_table(std::ostream& out,
+                        const std::vector<AggregateMetrics>& results) {
+  TextTable table({"policy", "min_inst", "max_inst", "rejection", "utilization",
+                   "vm_hours", "avg_resp_s", "std_resp_s", "violations"});
+  for (const AggregateMetrics& r : results) {
+    table.add_row({r.policy, fmt(r.min_instances.mean, 1),
+                   fmt(r.max_instances.mean, 1), fmt(r.rejection_rate.mean, 4),
+                   fmt(r.utilization.mean, 3), fmt(r.vm_hours.mean, 1),
+                   fmt(r.avg_response_time.mean, 4),
+                   fmt(r.std_response_time.mean, 4),
+                   fmt(r.qos_violations.mean, 1)});
+  }
+  table.print(out);
+}
+
+void write_policy_csv(std::ostream& out,
+                      const std::vector<AggregateMetrics>& results) {
+  CsvWriter csv(out);
+  csv.write_header({"policy", "replications", "min_instances", "max_instances",
+                    "rejection_rate", "rejection_ci", "utilization",
+                    "utilization_ci", "vm_hours", "vm_hours_ci",
+                    "avg_response_time", "avg_response_time_ci",
+                    "std_response_time", "qos_violations"});
+  for (const AggregateMetrics& r : results) {
+    csv.write_row({r.policy, CsvWriter::format(static_cast<std::int64_t>(r.replications)),
+                   CsvWriter::format(r.min_instances.mean),
+                   CsvWriter::format(r.max_instances.mean),
+                   CsvWriter::format(r.rejection_rate.mean),
+                   CsvWriter::format(r.rejection_rate.half_width),
+                   CsvWriter::format(r.utilization.mean),
+                   CsvWriter::format(r.utilization.half_width),
+                   CsvWriter::format(r.vm_hours.mean),
+                   CsvWriter::format(r.vm_hours.half_width),
+                   CsvWriter::format(r.avg_response_time.mean),
+                   CsvWriter::format(r.avg_response_time.half_width),
+                   CsvWriter::format(r.std_response_time.mean),
+                   CsvWriter::format(r.qos_violations.mean)});
+  }
+}
+
+void print_claim(std::ostream& out, const std::string& claim, double paper_value,
+                 double measured_value, int precision) {
+  out << "  [claim] " << claim << ": paper=" << fmt(paper_value, precision)
+      << " measured=" << fmt(measured_value, precision) << '\n';
+}
+
+}  // namespace cloudprov

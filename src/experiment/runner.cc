@@ -1,0 +1,207 @@
+#include "experiment/runner.h"
+
+#include <atomic>
+#include <chrono>
+#include <mutex>
+#include <thread>
+#include <memory>
+
+#include "cloud/broker.h"
+#include "core/application_provisioner.h"
+#include "core/provisioning_policy.h"
+#include "predict/ar_model.h"
+#include "predict/ewma.h"
+#include "predict/moving_average.h"
+#include "predict/oracle.h"
+#include "predict/periodic_profile.h"
+#include "predict/qrsm.h"
+#include "util/check.h"
+
+namespace cloudprov {
+namespace {
+
+std::unique_ptr<RequestSource> make_source(const ScenarioConfig& config) {
+  if (config.workload == WorkloadKind::kWeb) {
+    return std::make_unique<WebWorkload>(config.web);
+  }
+  return std::make_unique<BotWorkload>(config.bot);
+}
+
+std::shared_ptr<ArrivalRatePredictor> make_predictor(const ScenarioConfig& config,
+                                                     PredictorKind kind,
+                                                     const RequestSource& source) {
+  switch (kind) {
+    case PredictorKind::kProfile:
+      if (config.workload == WorkloadKind::kWeb) {
+        return std::make_shared<PeriodicProfilePredictor>(
+            web_profile_predictor(config.web));
+      }
+      return std::make_shared<PeriodicProfilePredictor>(
+          bot_profile_predictor(config.bot));
+    case PredictorKind::kOracle:
+      return std::make_shared<OraclePredictor>(source, /*margin=*/0.05);
+    case PredictorKind::kEwma:
+      return std::make_shared<EwmaPredictor>(/*alpha=*/0.3, /*headroom=*/0.15);
+    case PredictorKind::kMovingAverage:
+      return std::make_shared<MovingAveragePredictor>(
+          /*window=*/10, MovingAveragePredictor::Mode::kMax, /*headroom=*/0.1);
+    case PredictorKind::kAr:
+      return std::make_shared<ArPredictor>(/*order=*/4, /*history=*/60,
+                                           /*headroom=*/0.15);
+    case PredictorKind::kQrsm:
+      return std::make_shared<QrsmPredictor>(/*history=*/15, /*headroom=*/0.15);
+  }
+  ensure(false, "make_predictor: unknown kind");
+  return nullptr;
+}
+
+}  // namespace
+
+RunOutput run_scenario(const ScenarioConfig& config, const PolicySpec& policy,
+                       std::uint64_t seed) {
+  const auto wall_start = std::chrono::steady_clock::now();
+
+  SplitMix64 seeder(seed);
+  Rng workload_rng(seeder.next());
+  // Reserved stream: RandomPlacement experiments draw from here so that
+  // enabling them does not disturb the workload stream of existing seeds.
+  Rng placement_rng(seeder.next());
+
+  Simulation sim;
+  Datacenter datacenter(sim, config.datacenter,
+                        std::make_unique<LeastLoadedPlacement>());
+
+  ProvisionerConfig prov_config;
+  prov_config.vm_spec = VmSpec{};  // 1 core, 2 GB, unit speed
+  prov_config.initial_service_time_estimate = config.initial_service_time_estimate;
+  ApplicationProvisioner provisioner(sim, datacenter, config.qos, prov_config);
+
+  auto source = make_source(config);
+  Broker broker(sim, *source, provisioner, workload_rng);
+
+  std::unique_ptr<ProvisioningPolicy> prov_policy;
+  AdaptivePolicy* adaptive = nullptr;
+  if (policy.kind == PolicySpec::Kind::kStatic) {
+    prov_policy =
+        std::make_unique<StaticPolicy>(config.scaled_instances(policy.static_instances));
+  } else {
+    auto owned = std::make_unique<AdaptivePolicy>(
+        sim, make_predictor(config, policy.predictor, *source), config.modeler,
+        config.analyzer);
+    adaptive = owned.get();
+    prov_policy = std::move(owned);
+  }
+
+  prov_policy->attach(provisioner);
+  broker.start();
+  sim.run(config.horizon);
+
+  RunOutput output;
+  RunMetrics& m = output.metrics;
+  m.policy = policy.label(config.scale);
+  m.seed = seed;
+  m.generated = broker.generated();
+  m.accepted = provisioner.accepted();
+  m.rejected = provisioner.rejected();
+  m.completed = provisioner.completed();
+  m.qos_violations = provisioner.qos_violations();
+  m.avg_response_time = provisioner.response_time_stats().mean();
+  m.std_response_time = provisioner.response_time_stats().stddev();
+  m.p95_response_time = provisioner.response_p95();
+  m.p99_response_time = provisioner.response_p99();
+
+  // Advance the time-weighted instance series to the horizon, then read it.
+  TimeWeightedValue history = provisioner.instance_history();
+  history.advance(sim.now());
+  m.min_instances = history.min();
+  m.max_instances = history.max();
+  m.avg_instances = history.time_average();
+
+  m.vm_hours = datacenter.vm_hours();
+  m.busy_vm_hours = datacenter.busy_vm_hours();
+  m.utilization = datacenter.utilization();
+  m.rejection_rate = provisioner.rejection_rate();
+  m.simulated_events = sim.executed_events();
+  m.wall_seconds = std::chrono::duration<double>(
+                       std::chrono::steady_clock::now() - wall_start)
+                       .count();
+  if (adaptive != nullptr) output.decisions = adaptive->decisions();
+  (void)placement_rng;
+  return output;
+}
+
+std::vector<RunMetrics> run_replications(
+    const ScenarioConfig& config, const PolicySpec& policy,
+    std::size_t replications, std::uint64_t base_seed,
+    const std::function<void(const RunMetrics&)>& progress,
+    std::size_t parallelism) {
+  ensure_arg(replications >= 1, "run_replications: need at least one run");
+  if (parallelism == 0) {
+    parallelism = std::max(1u, std::thread::hardware_concurrency());
+  }
+  parallelism = std::min(parallelism, replications);
+
+  // Seeds are fixed up front so the result set does not depend on worker
+  // scheduling; each replication is fully self-contained (own Simulation,
+  // Datacenter, RNG streams), making this loop embarrassingly parallel.
+  std::vector<std::uint64_t> seeds(replications);
+  SplitMix64 seeder(base_seed);
+  for (auto& seed : seeds) seed = seeder.next();
+
+  std::vector<RunMetrics> runs(replications);
+  if (parallelism == 1) {
+    for (std::size_t i = 0; i < replications; ++i) {
+      runs[i] = run_scenario(config, policy, seeds[i]).metrics;
+      if (progress) progress(runs[i]);
+    }
+    return runs;
+  }
+
+  std::atomic<std::size_t> next_index{0};
+  std::mutex progress_mutex;
+  auto worker = [&] {
+    for (;;) {
+      const std::size_t i = next_index.fetch_add(1);
+      if (i >= replications) return;
+      RunMetrics metrics = run_scenario(config, policy, seeds[i]).metrics;
+      if (progress) {
+        std::scoped_lock lock(progress_mutex);
+        progress(metrics);
+      }
+      runs[i] = std::move(metrics);
+    }
+  };
+  std::vector<std::thread> workers;
+  workers.reserve(parallelism);
+  for (std::size_t w = 0; w < parallelism; ++w) workers.emplace_back(worker);
+  for (std::thread& thread : workers) thread.join();
+  return runs;
+}
+
+std::vector<SampledSeries::Point> workload_rate_curve(
+    const ScenarioConfig& config, SimTime window, std::size_t replications,
+    std::uint64_t base_seed) {
+  ensure_arg(window > 0.0, "workload_rate_curve: window must be > 0");
+  ensure_arg(replications >= 1, "workload_rate_curve: need at least one run");
+  const auto bins = static_cast<std::size_t>(config.horizon / window);
+  std::vector<double> counts(bins, 0.0);
+  SplitMix64 seeder(base_seed);
+  for (std::size_t rep = 0; rep < replications; ++rep) {
+    Rng rng(seeder.next());
+    auto source = make_source(config);
+    while (auto arrival = source->next(rng)) {
+      const auto bin = static_cast<std::size_t>(arrival->time / window);
+      if (bin < bins) counts[bin] += 1.0;
+    }
+  }
+  std::vector<SampledSeries::Point> points;
+  points.reserve(bins);
+  for (std::size_t i = 0; i < bins; ++i) {
+    points.push_back(SampledSeries::Point{
+        static_cast<double>(i) * window,
+        counts[i] / (window * static_cast<double>(replications))});
+  }
+  return points;
+}
+
+}  // namespace cloudprov

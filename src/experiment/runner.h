@@ -1,0 +1,48 @@
+// Experiment runner: wires a scenario + policy into a full simulation,
+// executes it, and extracts the paper's output metrics.
+//
+// Each replication derives every random stream (workload, broker, placement)
+// from a single base seed via splitmix64 splitting, so a (scenario, policy,
+// seed) triple is fully reproducible and policies can be compared on
+// identically-seeded workloads.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "experiment/metrics.h"
+#include "experiment/scenario.h"
+#include "stats/timeseries.h"
+
+namespace cloudprov {
+
+struct RunOutput {
+  RunMetrics metrics;
+  /// Adaptive-policy decision history (empty for static runs).
+  std::vector<AdaptivePolicy::DecisionRecord> decisions;
+};
+
+/// Runs one replication. `seed` selects the replication's random streams.
+RunOutput run_scenario(const ScenarioConfig& config, const PolicySpec& policy,
+                       std::uint64_t seed);
+
+/// Runs `replications` independent seeds and returns the per-run metrics in
+/// seed order. `progress` (optional) is invoked after each completed run
+/// (serialized). `parallelism` = 0 uses one worker per hardware thread;
+/// results are identical for any parallelism level because every
+/// replication's seed is fixed up front and no state is shared between runs.
+std::vector<RunMetrics> run_replications(
+    const ScenarioConfig& config, const PolicySpec& policy,
+    std::size_t replications, std::uint64_t base_seed = 42,
+    const std::function<void(const RunMetrics&)>& progress = {},
+    std::size_t parallelism = 1);
+
+/// Samples a workload's realized arrival-rate curve (no serving system):
+/// used by the Figure 3 / Figure 4 reproductions. Returns one point per
+/// `window` seconds averaged over `replications` seeds.
+std::vector<SampledSeries::Point> workload_rate_curve(
+    const ScenarioConfig& config, SimTime window, std::size_t replications,
+    std::uint64_t base_seed = 42);
+
+}  // namespace cloudprov

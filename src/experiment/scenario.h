@@ -1,0 +1,77 @@
+// Scenario and policy specifications for the paper's evaluation
+// (Section V): the web (Wikipedia) and scientific (BoT) usage scenarios,
+// each runnable under the adaptive policy or a static baseline.
+//
+// A `scale` factor multiplies all arrival rates, and — so comparisons stay
+// meaningful — the static baseline sizes are specified at paper scale and
+// scaled alongside. Shapes (who wins, crossover sizes, savings ratios) are
+// preserved; absolute instance counts shrink with the rate. scale = 1
+// reproduces the paper exactly (~500M web requests/week).
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "cloud/datacenter.h"
+#include "core/adaptive_policy.h"
+#include "core/performance_modeler.h"
+#include "core/qos.h"
+#include "core/workload_analyzer.h"
+#include "workload/bot_workload.h"
+#include "workload/web_workload.h"
+
+namespace cloudprov {
+
+enum class WorkloadKind { kWeb, kScientific };
+enum class PredictorKind { kProfile, kOracle, kEwma, kMovingAverage, kAr, kQrsm };
+
+std::string to_string(WorkloadKind kind);
+std::string to_string(PredictorKind kind);
+
+struct PolicySpec {
+  enum class Kind { kAdaptive, kStatic };
+  Kind kind = Kind::kAdaptive;
+  /// Static pool size at paper scale (scaled by ScenarioConfig::scale).
+  std::size_t static_instances = 0;
+  /// Predictor used by the adaptive policy.
+  PredictorKind predictor = PredictorKind::kProfile;
+
+  static PolicySpec adaptive(PredictorKind predictor = PredictorKind::kProfile);
+  static PolicySpec fixed(std::size_t instances);
+  std::string label(double scale) const;
+};
+
+struct ScenarioConfig {
+  WorkloadKind workload = WorkloadKind::kWeb;
+  double scale = 1.0;
+  SimTime horizon = 0.0;  ///< filled by the factory
+
+  QosTargets qos;
+  ModelerConfig modeler;
+  AnalyzerConfig analyzer;
+  DatacenterConfig datacenter;
+  double initial_service_time_estimate = 0.1;
+
+  WebWorkloadConfig web;
+  BotWorkloadConfig bot;
+
+  /// Scales a paper-scale instance count to this scenario's scale,
+  /// rounding to at least 1.
+  std::size_t scaled_instances(std::size_t paper_scale_count) const;
+};
+
+/// Web scenario (Section V-B1): 1-week Wikipedia-model workload,
+/// Ts = 250 ms, Tr = 100 ms (+0-10%), zero rejection target, 80% utilization
+/// floor. Paper baselines: Static-{50,75,100,125,150}.
+ScenarioConfig web_scenario(double scale = 1.0);
+
+/// Scientific scenario (Section V-B2): 1-day BoT workload, Ts = 700 s,
+/// Tr = 300 s (+0-10%). Paper baselines: Static-{15,30,45,60,75}.
+ScenarioConfig scientific_scenario(double scale = 1.0);
+
+/// The static baseline sizes evaluated in Figure 5 / Figure 6 (paper scale).
+std::vector<std::size_t> paper_static_sizes(WorkloadKind kind);
+
+}  // namespace cloudprov

@@ -1,0 +1,73 @@
+#include "predict/ar_model.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/check.h"
+#include "util/linalg.h"
+
+namespace cloudprov {
+
+ArPredictor::ArPredictor(std::size_t order, std::size_t history, double headroom)
+    : order_(order), history_limit_(history), headroom_(headroom) {
+  ensure_arg(order >= 1, "ArPredictor: order must be >= 1");
+  ensure_arg(history > 2 * order, "ArPredictor: history must exceed 2 * order");
+  ensure_arg(headroom >= 0.0, "ArPredictor: headroom must be >= 0");
+}
+
+void ArPredictor::observe(SimTime, SimTime, double observed_rate) {
+  history_.push_back(observed_rate);
+  if (history_.size() > history_limit_) history_.pop_front();
+  refit();
+}
+
+void ArPredictor::refit() {
+  // Need at least order+1 regression rows for a determined system.
+  if (history_.size() < 2 * order_ + 1) {
+    coefficients_.clear();
+    return;
+  }
+  const std::size_t p = order_;
+  const std::size_t dim = p + 1;  // intercept + p lags
+  const std::size_t rows = history_.size() - p;
+  // Normal equations X'X beta = X'y with X = [1, x_{t-1}, ..., x_{t-p}].
+  std::vector<std::vector<double>> xtx(dim, std::vector<double>(dim, 0.0));
+  std::vector<double> xty(dim, 0.0);
+  for (std::size_t r = 0; r < rows; ++r) {
+    std::vector<double> x(dim);
+    x[0] = 1.0;
+    for (std::size_t i = 1; i <= p; ++i) x[i] = history_[r + p - i];
+    const double y = history_[r + p];
+    for (std::size_t i = 0; i < dim; ++i) {
+      for (std::size_t j = 0; j < dim; ++j) xtx[i][j] += x[i] * x[j];
+      xty[i] += x[i] * y;
+    }
+  }
+  // Ridge-regularize slightly: observed rates can sit on a flat segment,
+  // making the lag columns collinear.
+  for (std::size_t i = 0; i < dim; ++i) xtx[i][i] += 1e-8;
+  try {
+    coefficients_ = solve_linear_system(std::move(xtx), std::move(xty));
+  } catch (const std::invalid_argument&) {
+    coefficients_.clear();
+  }
+}
+
+double ArPredictor::predict(SimTime) const {
+  if (history_.empty()) return 0.0;
+  if (coefficients_.empty()) {
+    return history_.back() * (1.0 + headroom_);  // cold-start fallback
+  }
+  double forecast = coefficients_[0];
+  for (std::size_t i = 1; i <= order_; ++i) {
+    forecast += coefficients_[i] * history_[history_.size() - i];
+  }
+  forecast = std::max(0.0, forecast);
+  return forecast * (1.0 + headroom_);
+}
+
+std::string ArPredictor::name() const {
+  return "ar(" + std::to_string(order_) + ")";
+}
+
+}  // namespace cloudprov

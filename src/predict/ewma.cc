@@ -1,0 +1,28 @@
+#include "predict/ewma.h"
+
+#include "util/check.h"
+
+namespace cloudprov {
+
+EwmaPredictor::EwmaPredictor(double alpha, double headroom)
+    : alpha_(alpha), headroom_(headroom) {
+  ensure_arg(alpha > 0.0 && alpha <= 1.0, "EwmaPredictor: alpha must be in (0,1]");
+  ensure_arg(headroom >= 0.0, "EwmaPredictor: headroom must be >= 0");
+}
+
+void EwmaPredictor::observe(SimTime, SimTime, double observed_rate) {
+  if (!primed_) {
+    value_ = observed_rate;
+    primed_ = true;
+    return;
+  }
+  value_ = alpha_ * observed_rate + (1.0 - alpha_) * value_;
+}
+
+double EwmaPredictor::predict(SimTime) const { return value_ * (1.0 + headroom_); }
+
+std::string EwmaPredictor::name() const {
+  return "ewma(alpha=" + std::to_string(alpha_) + ")";
+}
+
+}  // namespace cloudprov

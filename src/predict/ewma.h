@@ -1,0 +1,35 @@
+// Exponentially weighted moving-average predictor.
+//
+// History-based alternative to the paper's time-based profile: the predicted
+// rate is an EWMA of observed window rates times a safety headroom. Reactive
+// (lags rate ramps by ~1/alpha windows) — the predictor-ablation bench
+// quantifies the cost of that lag against the proactive profile predictor.
+#pragma once
+
+#include <string>
+
+#include "predict/predictor.h"
+
+namespace cloudprov {
+
+class EwmaPredictor final : public ArrivalRatePredictor {
+ public:
+  /// alpha in (0, 1]: weight of the newest observation.
+  /// headroom >= 0: prediction = ewma * (1 + headroom).
+  explicit EwmaPredictor(double alpha, double headroom = 0.1);
+
+  void observe(SimTime window_start, SimTime window_end,
+               double observed_rate) override;
+  double predict(SimTime t) const override;
+  std::string name() const override;
+
+  double current() const { return value_; }
+
+ private:
+  double alpha_;
+  double headroom_;
+  double value_ = 0.0;
+  bool primed_ = false;
+};
+
+}  // namespace cloudprov

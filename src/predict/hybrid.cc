@@ -1,0 +1,30 @@
+#include "predict/hybrid.h"
+
+#include <algorithm>
+
+#include "util/check.h"
+
+namespace cloudprov {
+
+HybridPredictor::HybridPredictor(std::shared_ptr<ArrivalRatePredictor> proactive,
+                                 std::shared_ptr<ArrivalRatePredictor> reactive)
+    : proactive_(std::move(proactive)), reactive_(std::move(reactive)) {
+  ensure_arg(proactive_ != nullptr && reactive_ != nullptr,
+             "HybridPredictor: null component");
+}
+
+void HybridPredictor::observe(SimTime window_start, SimTime window_end,
+                              double observed_rate) {
+  proactive_->observe(window_start, window_end, observed_rate);
+  reactive_->observe(window_start, window_end, observed_rate);
+}
+
+double HybridPredictor::predict(SimTime t) const {
+  return std::max(proactive_->predict(t), reactive_->predict(t));
+}
+
+std::string HybridPredictor::name() const {
+  return "hybrid(" + proactive_->name() + ", " + reactive_->name() + ")";
+}
+
+}  // namespace cloudprov

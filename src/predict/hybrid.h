@@ -1,0 +1,33 @@
+// Hybrid predictor: proactive profile with a reactive safety net.
+//
+// The paper's time-based profile is blind to events outside its model —
+// a flash crowd ("highly variable load spikes in demand ... depending on
+// the popularity of an application", Section I) sails straight past it.
+// The hybrid predictor returns the maximum of a model-derived predictor and
+// a history-based one, so the pool is sized for whichever is larger: the
+// planned profile or the load actually being observed.
+#pragma once
+
+#include <memory>
+#include <string>
+
+#include "predict/predictor.h"
+
+namespace cloudprov {
+
+class HybridPredictor final : public ArrivalRatePredictor {
+ public:
+  HybridPredictor(std::shared_ptr<ArrivalRatePredictor> proactive,
+                  std::shared_ptr<ArrivalRatePredictor> reactive);
+
+  void observe(SimTime window_start, SimTime window_end,
+               double observed_rate) override;
+  double predict(SimTime t) const override;
+  std::string name() const override;
+
+ private:
+  std::shared_ptr<ArrivalRatePredictor> proactive_;
+  std::shared_ptr<ArrivalRatePredictor> reactive_;
+};
+
+}  // namespace cloudprov

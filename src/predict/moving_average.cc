@@ -1,0 +1,39 @@
+#include "predict/moving_average.h"
+
+#include <algorithm>
+
+#include "util/check.h"
+
+namespace cloudprov {
+
+MovingAveragePredictor::MovingAveragePredictor(std::size_t window, Mode mode,
+                                               double headroom)
+    : window_(window), mode_(mode), headroom_(headroom) {
+  ensure_arg(window >= 1, "MovingAveragePredictor: window must be >= 1");
+  ensure_arg(headroom >= 0.0, "MovingAveragePredictor: headroom must be >= 0");
+}
+
+void MovingAveragePredictor::observe(SimTime, SimTime, double observed_rate) {
+  history_.push_back(observed_rate);
+  if (history_.size() > window_) history_.pop_front();
+}
+
+double MovingAveragePredictor::predict(SimTime) const {
+  if (history_.empty()) return 0.0;
+  double value = 0.0;
+  if (mode_ == Mode::kMean) {
+    for (double r : history_) value += r;
+    value /= static_cast<double>(history_.size());
+  } else {
+    value = *std::max_element(history_.begin(), history_.end());
+  }
+  return value * (1.0 + headroom_);
+}
+
+std::string MovingAveragePredictor::name() const {
+  return std::string("moving-average(") +
+         (mode_ == Mode::kMean ? "mean" : "max") + "," +
+         std::to_string(window_) + ")";
+}
+
+}  // namespace cloudprov

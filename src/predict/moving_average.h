@@ -1,0 +1,33 @@
+// Sliding-window moving-average predictor with optional max-of-window mode.
+#pragma once
+
+#include <deque>
+#include <string>
+
+#include "predict/predictor.h"
+
+namespace cloudprov {
+
+class MovingAveragePredictor final : public ArrivalRatePredictor {
+ public:
+  enum class Mode {
+    kMean,  ///< predict the window mean (tracks the center of the rate)
+    kMax,   ///< predict the window max (conservative envelope)
+  };
+
+  MovingAveragePredictor(std::size_t window, Mode mode = Mode::kMean,
+                         double headroom = 0.1);
+
+  void observe(SimTime window_start, SimTime window_end,
+               double observed_rate) override;
+  double predict(SimTime t) const override;
+  std::string name() const override;
+
+ private:
+  std::size_t window_;
+  Mode mode_;
+  double headroom_;
+  std::deque<double> history_;
+};
+
+}  // namespace cloudprov

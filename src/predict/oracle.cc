@@ -1,0 +1,16 @@
+#include "predict/oracle.h"
+
+#include "util/check.h"
+
+namespace cloudprov {
+
+OraclePredictor::OraclePredictor(const RequestSource& source, double margin)
+    : source_(source), margin_(margin) {
+  ensure_arg(margin >= 0.0, "OraclePredictor: margin must be >= 0");
+}
+
+double OraclePredictor::predict(SimTime t) const {
+  return source_.expected_rate(t) * (1.0 + margin_);
+}
+
+}  // namespace cloudprov

@@ -1,0 +1,30 @@
+// Oracle predictor: reads the workload's ground-truth expected rate.
+//
+// Not realizable in production — it exists to upper-bound what any predictor
+// could achieve, which the predictor-ablation bench uses to separate
+// "prediction error" from "provisioning-algorithm error".
+#pragma once
+
+#include <string>
+
+#include "predict/predictor.h"
+#include "workload/source.h"
+
+namespace cloudprov {
+
+class OraclePredictor final : public ArrivalRatePredictor {
+ public:
+  /// `source` must outlive the predictor. `margin` inflates the truth, since
+  /// an exact-mean prediction still under-provisions half the time.
+  explicit OraclePredictor(const RequestSource& source, double margin = 0.05);
+
+  void observe(SimTime, SimTime, double) override {}
+  double predict(SimTime t) const override;
+  std::string name() const override { return "oracle"; }
+
+ private:
+  const RequestSource& source_;
+  double margin_;
+};
+
+}  // namespace cloudprov

@@ -1,0 +1,34 @@
+// Arrival-rate prediction interface (the estimation side of the paper's
+// Workload Analyzer, Section IV-A).
+//
+// The analyzer feeds each completed observation window's realized arrival
+// rate to the predictor and asks for the expected rate of an upcoming window.
+// "Prediction can be based on different information; for example ... on
+// historical data about resources usage, or based on statistical models
+// derived from known application workloads" — both families are implemented:
+// model-derived (PeriodicProfilePredictor, OraclePredictor) and history-based
+// (EWMA, moving average, AR(p), QRSM), the latter two being the QRSM/ARMAX
+// direction the paper lists as future work.
+#pragma once
+
+#include <string>
+
+#include "util/units.h"
+
+namespace cloudprov {
+
+class ArrivalRatePredictor {
+ public:
+  virtual ~ArrivalRatePredictor() = default;
+
+  /// Reports the realized mean arrival rate over [window_start, window_end).
+  virtual void observe(SimTime window_start, SimTime window_end,
+                       double observed_rate) = 0;
+
+  /// Expected arrival rate (requests/second) at future time t.
+  virtual double predict(SimTime t) const = 0;
+
+  virtual std::string name() const = 0;
+};
+
+}  // namespace cloudprov

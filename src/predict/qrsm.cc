@@ -1,0 +1,55 @@
+#include "predict/qrsm.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "predict/ar_model.h"  // solve_linear_system
+#include "util/check.h"
+
+namespace cloudprov {
+
+QrsmPredictor::QrsmPredictor(std::size_t history, double headroom)
+    : history_limit_(history), headroom_(headroom) {
+  ensure_arg(history >= 3, "QrsmPredictor: history must be >= 3");
+  ensure_arg(headroom >= 0.0, "QrsmPredictor: headroom must be >= 0");
+}
+
+void QrsmPredictor::observe(SimTime window_start, SimTime window_end,
+                            double observed_rate) {
+  history_.push_back(Observation{0.5 * (window_start + window_end), observed_rate});
+  if (history_.size() > history_limit_) history_.pop_front();
+}
+
+double QrsmPredictor::predict(SimTime t) const {
+  if (history_.empty()) return 0.0;
+  if (history_.size() < 3) return history_.back().rate * (1.0 + headroom_);
+
+  const SimTime origin = history_.back().midpoint;
+  // Scale time to O(1) units for conditioning.
+  const double span =
+      std::max(1.0, history_.back().midpoint - history_.front().midpoint);
+
+  std::vector<std::vector<double>> xtx(3, std::vector<double>(3, 0.0));
+  std::vector<double> xty(3, 0.0);
+  for (const Observation& obs : history_) {
+    const double u = (obs.midpoint - origin) / span;
+    const double x[3] = {1.0, u, u * u};
+    for (std::size_t i = 0; i < 3; ++i) {
+      for (std::size_t j = 0; j < 3; ++j) xtx[i][j] += x[i] * x[j];
+      xty[i] += x[i] * obs.rate;
+    }
+  }
+  for (std::size_t i = 0; i < 3; ++i) xtx[i][i] += 1e-10;
+
+  std::vector<double> beta;
+  try {
+    beta = solve_linear_system(std::move(xtx), std::move(xty));
+  } catch (const std::invalid_argument&) {
+    return history_.back().rate * (1.0 + headroom_);
+  }
+  const double u = (t - origin) / span;
+  const double forecast = beta[0] + beta[1] * u + beta[2] * u * u;
+  return std::max(0.0, forecast) * (1.0 + headroom_);
+}
+
+}  // namespace cloudprov

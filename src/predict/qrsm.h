@@ -1,0 +1,39 @@
+// Quadratic response-surface predictor (QRSM-lite) — the second prediction
+// technique the paper's future work points to (Myers et al., Response Surface
+// Methodology).
+//
+// Fits rate(t) = b0 + b1*t + b2*t^2 by least squares over a sliding window of
+// (window midpoint, observed rate) points and extrapolates to the requested
+// future time. Times are centered on the newest observation before fitting to
+// keep the normal equations well conditioned.
+#pragma once
+
+#include <deque>
+#include <string>
+#include <vector>
+
+#include "predict/predictor.h"
+
+namespace cloudprov {
+
+class QrsmPredictor final : public ArrivalRatePredictor {
+ public:
+  QrsmPredictor(std::size_t history, double headroom = 0.1);
+
+  void observe(SimTime window_start, SimTime window_end,
+               double observed_rate) override;
+  double predict(SimTime t) const override;
+  std::string name() const override { return "qrsm"; }
+
+ private:
+  struct Observation {
+    SimTime midpoint;
+    double rate;
+  };
+
+  std::size_t history_limit_;
+  double headroom_;
+  std::deque<Observation> history_;
+};
+
+}  // namespace cloudprov

@@ -1,0 +1,83 @@
+#include "queueing/birth_death.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/check.h"
+
+namespace cloudprov::queueing {
+
+std::vector<double> birth_death_stationary(const std::vector<double>& birth_rates,
+                                           const std::vector<double>& death_rates) {
+  ensure_arg(birth_rates.size() == death_rates.size(),
+             "birth_death_stationary: rate ladders must have equal length");
+  const std::size_t k = birth_rates.size();
+  std::vector<double> unnormalized(k + 1);
+  unnormalized[0] = 1.0;
+  for (std::size_t n = 0; n < k; ++n) {
+    ensure_arg(birth_rates[n] >= 0.0, "birth_death_stationary: negative birth rate");
+    ensure_arg(death_rates[n] > 0.0, "birth_death_stationary: death rate must be > 0");
+    unnormalized[n + 1] = unnormalized[n] * birth_rates[n] / death_rates[n];
+    // Rescale downwards when the running product approaches overflow. Only
+    // relative magnitudes matter: the final normalization absorbs the
+    // factor. Terms that underflow to zero are left alone — they are
+    // already negligible relative to the (rescaled-to-1) dominant terms,
+    // and rescaling *up* would overflow those dominant terms instead.
+    if (unnormalized[n + 1] > 1e100) {
+      const double factor = 1.0 / unnormalized[n + 1];
+      for (std::size_t i = 0; i <= n + 1; ++i) unnormalized[i] *= factor;
+    }
+  }
+  double total = 0.0;
+  for (double x : unnormalized) total += x;
+  ensure(total > 0.0 && std::isfinite(total),
+         "birth_death_stationary: normalization failed");
+  for (double& x : unnormalized) x /= total;
+  return unnormalized;
+}
+
+QueueMetrics birth_death_queue_metrics(double arrival_rate, double service_rate,
+                                       std::size_t servers, std::size_t capacity) {
+  ensure_arg(arrival_rate >= 0.0, "birth_death_queue_metrics: lambda must be >= 0");
+  ensure_arg(service_rate > 0.0, "birth_death_queue_metrics: mu must be > 0");
+  ensure_arg(servers >= 1, "birth_death_queue_metrics: need at least one server");
+  ensure_arg(capacity >= servers,
+             "birth_death_queue_metrics: capacity must be >= servers");
+
+  std::vector<double> births(capacity, arrival_rate);
+  std::vector<double> deaths(capacity);
+  for (std::size_t n = 0; n < capacity; ++n) {
+    deaths[n] = static_cast<double>(std::min(n + 1, servers)) * service_rate;
+  }
+  const std::vector<double> p = birth_death_stationary(births, deaths);
+
+  QueueMetrics m;
+  m.arrival_rate = arrival_rate;
+  m.service_rate = service_rate;
+  m.servers = servers;
+  m.capacity = capacity;
+  m.offered_load = arrival_rate / service_rate;
+  m.probability_empty = p[0];
+  m.blocking_probability = p[capacity];
+
+  double mean_in_system = 0.0;
+  double mean_busy = 0.0;
+  for (std::size_t n = 0; n <= capacity; ++n) {
+    mean_in_system += static_cast<double>(n) * p[n];
+    mean_busy += static_cast<double>(std::min(n, servers)) * p[n];
+  }
+  m.mean_in_system = mean_in_system;
+  m.mean_in_queue = mean_in_system - mean_busy;
+  m.server_utilization = mean_busy / static_cast<double>(servers);
+  m.throughput = arrival_rate * (1.0 - m.blocking_probability);
+  if (m.throughput > 0.0) {
+    m.mean_response_time = mean_in_system / m.throughput;  // Little's law
+    m.mean_waiting_time = m.mean_in_queue / m.throughput;
+  } else {
+    m.mean_response_time = 0.0;
+    m.mean_waiting_time = 0.0;
+  }
+  return m;
+}
+
+}  // namespace cloudprov::queueing

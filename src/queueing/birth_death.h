@@ -1,0 +1,30 @@
+// General finite birth–death chain solver.
+//
+// Every Markovian queue in this library (M/M/1/k, M/M/c, M/M/c/K, M/M/inf
+// truncated) is a birth–death process; this solver computes the stationary
+// distribution directly from the rate ladders. The closed-form models use it
+// as an independent cross-check in the test suite, and M/M/c/K uses it as the
+// primary implementation.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "queueing/types.h"
+
+namespace cloudprov::queueing {
+
+/// Stationary distribution of a birth–death chain on states 0..K where
+/// birth_rates[n] is the rate n -> n+1 (size K) and death_rates[n] is the
+/// rate n+1 -> n (size K). All death rates must be positive.
+/// Products are renormalized on the fly, so K in the tens of thousands is fine.
+std::vector<double> birth_death_stationary(const std::vector<double>& birth_rates,
+                                           const std::vector<double>& death_rates);
+
+/// Convenience: full queue metrics for a birth–death queue where state n has
+/// min(n, servers) busy servers, per-server rate `service_rate`, and
+/// state-independent arrival rate `arrival_rate` (blocked in state K).
+QueueMetrics birth_death_queue_metrics(double arrival_rate, double service_rate,
+                                       std::size_t servers, std::size_t capacity);
+
+}  // namespace cloudprov::queueing

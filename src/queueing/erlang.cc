@@ -1,0 +1,25 @@
+#include "queueing/erlang.h"
+
+#include "util/check.h"
+
+namespace cloudprov::queueing {
+
+double erlang_b(double offered_load, std::size_t servers) {
+  ensure_arg(offered_load >= 0.0, "erlang_b: offered load must be >= 0");
+  if (offered_load == 0.0) return 0.0;
+  double b = 1.0;  // B(a, 0)
+  for (std::size_t n = 1; n <= servers; ++n) {
+    b = offered_load * b / (static_cast<double>(n) + offered_load * b);
+  }
+  return b;
+}
+
+double erlang_c(double offered_load, std::size_t servers) {
+  ensure_arg(servers >= 1, "erlang_c: need at least one server");
+  const auto c = static_cast<double>(servers);
+  if (offered_load >= c) return 1.0;
+  const double b = erlang_b(offered_load, servers);
+  return c * b / (c - offered_load * (1.0 - b));
+}
+
+}  // namespace cloudprov::queueing

@@ -1,0 +1,18 @@
+// Erlang loss and delay formulas.
+//
+// Computed with the standard numerically-stable recurrences (never through
+// factorials), valid for hundreds of servers.
+#pragma once
+
+#include <cstddef>
+
+namespace cloudprov::queueing {
+
+/// Erlang B: blocking probability of M/M/c/c with offered load `a` erlangs.
+double erlang_b(double offered_load, std::size_t servers);
+
+/// Erlang C: probability an arrival waits in M/M/c (requires a < c for a
+/// meaningful steady state; returns 1.0 when a >= c).
+double erlang_c(double offered_load, std::size_t servers);
+
+}  // namespace cloudprov::queueing

@@ -1,0 +1,31 @@
+#include "queueing/instance_pool_model.h"
+
+#include "queueing/mm1k.h"
+#include "util/check.h"
+
+namespace cloudprov::queueing {
+
+InstancePoolMetrics solve_instance_pool(const InstancePoolModel& model) {
+  ensure_arg(model.instances >= 1, "solve_instance_pool: need at least one instance");
+  ensure_arg(model.service_rate > 0.0, "solve_instance_pool: mu must be > 0");
+  ensure_arg(model.total_arrival_rate >= 0.0,
+             "solve_instance_pool: lambda must be >= 0");
+  ensure_arg(model.queue_capacity >= 1, "solve_instance_pool: k must be >= 1");
+
+  const double per_instance_lambda =
+      model.total_arrival_rate / static_cast<double>(model.instances);
+  const QueueMetrics q =
+      mm1k(per_instance_lambda, model.service_rate, model.queue_capacity);
+
+  InstancePoolMetrics out;
+  out.per_instance = q;
+  out.rejection_probability = q.blocking_probability;
+  out.mean_response_time = q.mean_response_time;
+  out.pool_utilization = q.server_utilization;  // identical instances
+  out.offered_per_instance = q.offered_load;
+  out.total_throughput = q.throughput * static_cast<double>(model.instances);
+  out.mean_in_system_total = q.mean_in_system * static_cast<double>(model.instances);
+  return out;
+}
+
+}  // namespace cloudprov::queueing

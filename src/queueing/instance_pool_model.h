@@ -1,0 +1,44 @@
+// The paper's queueing network (Figure 2): an M/M/inf application
+// provisioner feeding m identical parallel M/M/1/k application instances,
+// with arrivals split evenly (round-robin approximated as a Poisson split of
+// rate lambda/m per instance).
+//
+// This is the model the load predictor and performance modeler solves to
+// decide whether a candidate pool size m meets QoS. It intentionally models
+// only what an application provider can observe (Section IV-B): per-instance
+// service time and the aggregate arrival rate — nothing about hosts or
+// networks.
+//
+// Note on conservatism: real round-robin dispatch feeds each instance a
+// smoother-than-Poisson stream, and the simulator's admission control rejects
+// only when *all* instances are full, so the model's blocking estimate is an
+// upper bound on simulated rejection. The paper exploits exactly this slack.
+#pragma once
+
+#include <cstddef>
+
+#include "queueing/types.h"
+
+namespace cloudprov::queueing {
+
+struct InstancePoolModel {
+  double total_arrival_rate = 0.0;  ///< lambda at the provisioner
+  double service_rate = 0.0;        ///< per-instance mu = 1 / Tm
+  std::size_t instances = 1;        ///< m
+  std::size_t queue_capacity = 1;   ///< k (max requests per instance)
+};
+
+struct InstancePoolMetrics {
+  QueueMetrics per_instance;      ///< one M/M/1/k at lambda/m
+  double rejection_probability = 0.0;  ///< Pr(S_k) under the even-split model
+  double mean_response_time = 0.0;     ///< Tq of accepted requests
+  double pool_utilization = 0.0;       ///< busy fraction averaged over instances
+  double offered_per_instance = 0.0;   ///< rho = lambda / (m * mu)
+  double total_throughput = 0.0;       ///< accepted requests/second, all instances
+  double mean_in_system_total = 0.0;   ///< expected requests across the pool
+};
+
+/// Solves the Figure-2 network for a candidate configuration.
+InstancePoolMetrics solve_instance_pool(const InstancePoolModel& model);
+
+}  // namespace cloudprov::queueing

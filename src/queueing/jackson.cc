@@ -1,0 +1,58 @@
+#include "queueing/jackson.h"
+
+#include "queueing/mmc.h"
+#include "util/check.h"
+#include "util/linalg.h"
+
+namespace cloudprov::queueing {
+
+JacksonMetrics solve_jackson(const JacksonNetwork& network) {
+  const std::size_t n = network.nodes.size();
+  ensure_arg(n >= 1, "solve_jackson: need at least one node");
+  ensure_arg(network.external_arrivals.size() == n,
+             "solve_jackson: external_arrivals size mismatch");
+  ensure_arg(network.routing.size() == n, "solve_jackson: routing size mismatch");
+  double total_external = 0.0;
+  for (double a : network.external_arrivals) {
+    ensure_arg(a >= 0.0, "solve_jackson: negative external arrival rate");
+    total_external += a;
+  }
+  for (const auto& row : network.routing) {
+    ensure_arg(row.size() == n, "solve_jackson: routing row size mismatch");
+    double row_sum = 0.0;
+    for (double p : row) {
+      ensure_arg(p >= 0.0 && p <= 1.0, "solve_jackson: routing probability");
+      row_sum += p;
+    }
+    ensure_arg(row_sum <= 1.0 + 1e-12, "solve_jackson: routing row sum > 1");
+  }
+
+  // Traffic equations: lambda_j - sum_i lambda_i r_ij = a_j, i.e.
+  // (I - R^T) lambda = a.
+  std::vector<std::vector<double>> matrix(n, std::vector<double>(n, 0.0));
+  for (std::size_t j = 0; j < n; ++j) {
+    matrix[j][j] = 1.0;
+    for (std::size_t i = 0; i < n; ++i) {
+      matrix[j][i] -= network.routing[i][j];
+    }
+  }
+  JacksonMetrics result;
+  result.node_arrival_rates =
+      solve_linear_system(std::move(matrix), network.external_arrivals);
+
+  result.node_metrics.reserve(n);
+  for (std::size_t j = 0; j < n; ++j) {
+    const double lambda = result.node_arrival_rates[j];
+    ensure_arg(lambda >= -1e-9, "solve_jackson: negative solved arrival rate");
+    const JacksonNode& node = network.nodes[j];
+    const QueueMetrics metrics =
+        mmc(std::max(0.0, lambda), node.service_rate, node.servers);
+    result.mean_in_network += metrics.mean_in_system;
+    result.node_metrics.push_back(metrics);
+  }
+  result.mean_sojourn_time =
+      total_external > 0.0 ? result.mean_in_network / total_external : 0.0;
+  return result;
+}
+
+}  // namespace cloudprov::queueing

@@ -1,0 +1,48 @@
+// Open Jackson network solver.
+//
+// Generalizes the tandem model to arbitrary probabilistic routing between
+// service stations (e.g. an app tier that calls the cache with probability
+// 0.8 and the database with 0.2, with retries looping back). Each node is an
+// M/M/c station with unbounded queue; the product-form result makes the
+// per-node metrics exact given the traffic-equation solution.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "queueing/types.h"
+
+namespace cloudprov::queueing {
+
+struct JacksonNode {
+  std::size_t servers = 1;
+  double service_rate = 1.0;  ///< per-server mu
+};
+
+struct JacksonNetwork {
+  std::vector<JacksonNode> nodes;
+  /// External Poisson arrival rate into each node.
+  std::vector<double> external_arrivals;
+  /// routing[i][j]: probability a completion at node i proceeds to node j.
+  /// Row sums must be <= 1; the remainder leaves the network.
+  std::vector<std::vector<double>> routing;
+};
+
+struct JacksonMetrics {
+  /// Total arrival rate (external + internal) at each node, from the
+  /// traffic equations lambda_j = a_j + sum_i lambda_i r_ij.
+  std::vector<double> node_arrival_rates;
+  /// Per-node steady state (exact M/M/c by the product-form theorem).
+  std::vector<QueueMetrics> node_metrics;
+  /// Mean number of requests in the whole network.
+  double mean_in_network = 0.0;
+  /// Mean sojourn time of an external arrival (Little on the whole network).
+  double mean_sojourn_time = 0.0;
+};
+
+/// Solves the traffic equations and per-node M/M/c models. Throws
+/// std::invalid_argument on malformed routing or if any node is unstable
+/// (lambda_j >= c_j * mu_j).
+JacksonMetrics solve_jackson(const JacksonNetwork& network);
+
+}  // namespace cloudprov::queueing

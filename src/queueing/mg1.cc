@@ -1,0 +1,50 @@
+#include "queueing/mg1.h"
+
+#include "queueing/mmc.h"
+#include "util/check.h"
+
+namespace cloudprov::queueing {
+
+QueueMetrics mg1(double arrival_rate, double mean_service_time,
+                 double service_scv) {
+  ensure_arg(arrival_rate >= 0.0, "mg1: lambda must be >= 0");
+  ensure_arg(mean_service_time > 0.0, "mg1: mean service time must be > 0");
+  ensure_arg(service_scv >= 0.0, "mg1: SCV must be >= 0");
+  const double rho = arrival_rate * mean_service_time;
+  ensure_arg(rho < 1.0, "mg1: unstable (rho >= 1)");
+
+  QueueMetrics m;
+  m.arrival_rate = arrival_rate;
+  m.service_rate = 1.0 / mean_service_time;
+  m.servers = 1;
+  m.capacity = 0;
+  m.offered_load = rho;
+  m.server_utilization = rho;
+  m.probability_empty = 1.0 - rho;
+  m.blocking_probability = 0.0;
+  // Pollaczek–Khinchine: Wq = lambda E[S^2] / (2 (1 - rho)), with
+  // E[S^2] = E[S]^2 (1 + scv).
+  m.mean_waiting_time = rho * mean_service_time * (1.0 + service_scv) /
+                        (2.0 * (1.0 - rho));
+  m.mean_response_time = m.mean_waiting_time + mean_service_time;
+  m.mean_in_queue = arrival_rate * m.mean_waiting_time;
+  m.mean_in_system = arrival_rate * m.mean_response_time;
+  m.throughput = arrival_rate;
+  return m;
+}
+
+QueueMetrics ggc_allen_cunneen(double arrival_rate, double arrival_scv,
+                               double mean_service_time, double service_scv,
+                               std::size_t servers) {
+  ensure_arg(arrival_scv >= 0.0 && service_scv >= 0.0,
+             "ggc_allen_cunneen: SCVs must be >= 0");
+  QueueMetrics m = mmc(arrival_rate, 1.0 / mean_service_time, servers);
+  const double variability = (arrival_scv + service_scv) / 2.0;
+  m.mean_waiting_time *= variability;
+  m.mean_response_time = m.mean_waiting_time + mean_service_time;
+  m.mean_in_queue = arrival_rate * m.mean_waiting_time;
+  m.mean_in_system = arrival_rate * m.mean_response_time;
+  return m;
+}
+
+}  // namespace cloudprov::queueing

@@ -1,0 +1,30 @@
+#include "queueing/mm1.h"
+
+#include "util/check.h"
+
+namespace cloudprov::queueing {
+
+QueueMetrics mm1(double arrival_rate, double service_rate) {
+  ensure_arg(arrival_rate >= 0.0, "mm1: lambda must be >= 0");
+  ensure_arg(service_rate > 0.0, "mm1: mu must be > 0");
+  const double rho = arrival_rate / service_rate;
+  ensure_arg(rho < 1.0, "mm1: unstable (lambda >= mu)");
+
+  QueueMetrics m;
+  m.arrival_rate = arrival_rate;
+  m.service_rate = service_rate;
+  m.servers = 1;
+  m.capacity = 0;
+  m.offered_load = rho;
+  m.server_utilization = rho;
+  m.probability_empty = 1.0 - rho;
+  m.blocking_probability = 0.0;
+  m.mean_in_system = rho / (1.0 - rho);
+  m.mean_in_queue = rho * rho / (1.0 - rho);
+  m.mean_response_time = 1.0 / (service_rate - arrival_rate);
+  m.mean_waiting_time = m.mean_response_time - 1.0 / service_rate;
+  m.throughput = arrival_rate;
+  return m;
+}
+
+}  // namespace cloudprov::queueing

@@ -1,0 +1,12 @@
+// M/M/1: single server, unbounded queue.
+#pragma once
+
+#include "queueing/types.h"
+
+namespace cloudprov::queueing {
+
+/// Steady-state metrics for M/M/1. Requires lambda < mu (otherwise no steady
+/// state exists and the call throws std::invalid_argument).
+QueueMetrics mm1(double arrival_rate, double service_rate);
+
+}  // namespace cloudprov::queueing

@@ -1,0 +1,66 @@
+#include "queueing/mm1k.h"
+
+#include <cmath>
+
+#include "util/check.h"
+
+namespace cloudprov::queueing {
+namespace {
+
+// Treat rho within this band of 1 as the rho == 1 limit to avoid catastrophic
+// cancellation in (1 - rho^(k+1)).
+constexpr double kUnitRhoBand = 1e-9;
+
+}  // namespace
+
+std::vector<double> mm1k_distribution(double arrival_rate, double service_rate,
+                                      std::size_t capacity) {
+  ensure_arg(arrival_rate >= 0.0, "mm1k: lambda must be >= 0");
+  ensure_arg(service_rate > 0.0, "mm1k: mu must be > 0");
+  ensure_arg(capacity >= 1, "mm1k: capacity must be >= 1");
+  const double rho = arrival_rate / service_rate;
+  const std::size_t k = capacity;
+  std::vector<double> p(k + 1);
+  if (std::abs(rho - 1.0) < kUnitRhoBand) {
+    const double uniform = 1.0 / static_cast<double>(k + 1);
+    for (double& x : p) x = uniform;
+    return p;
+  }
+  const double p0 = (1.0 - rho) / (1.0 - std::pow(rho, static_cast<double>(k + 1)));
+  double term = p0;
+  for (std::size_t n = 0; n <= k; ++n) {
+    p[n] = term;
+    term *= rho;
+  }
+  return p;
+}
+
+QueueMetrics mm1k(double arrival_rate, double service_rate, std::size_t capacity) {
+  const std::vector<double> p =
+      mm1k_distribution(arrival_rate, service_rate, capacity);
+  const double rho = arrival_rate / service_rate;
+  const std::size_t k = capacity;
+
+  QueueMetrics m;
+  m.arrival_rate = arrival_rate;
+  m.service_rate = service_rate;
+  m.servers = 1;
+  m.capacity = k;
+  m.offered_load = rho;
+  m.probability_empty = p[0];
+  m.blocking_probability = p[k];
+  m.server_utilization = 1.0 - p[0];
+
+  double mean = 0.0;
+  for (std::size_t n = 0; n <= k; ++n) mean += static_cast<double>(n) * p[n];
+  m.mean_in_system = mean;
+  m.mean_in_queue = mean - m.server_utilization;
+  m.throughput = arrival_rate * (1.0 - m.blocking_probability);
+  if (m.throughput > 0.0) {
+    m.mean_response_time = m.mean_in_system / m.throughput;
+    m.mean_waiting_time = m.mean_in_queue / m.throughput;
+  }
+  return m;
+}
+
+}  // namespace cloudprov::queueing

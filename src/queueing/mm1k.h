@@ -1,0 +1,26 @@
+// M/M/1/k: single server, at most k requests in the system.
+//
+// This is the paper's model of one virtualized application instance
+// (Section IV-B, Figure 2). `k = floor(Ts / Tr)` bounds the queue so that an
+// accepted request can always finish within the negotiated response time;
+// arrivals that would exceed k are rejected by admission control, and the
+// performance modeler sizes the instance pool from this model's blocking
+// probability Pr(S_k) and response time Tq.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "queueing/types.h"
+
+namespace cloudprov::queueing {
+
+/// Steady-state metrics for M/M/1/k, defined for any lambda >= 0, including
+/// overload (rho >= 1) — the chain is finite and always ergodic.
+QueueMetrics mm1k(double arrival_rate, double service_rate, std::size_t capacity);
+
+/// Full stationary distribution p_0..p_k of M/M/1/k.
+std::vector<double> mm1k_distribution(double arrival_rate, double service_rate,
+                                      std::size_t capacity);
+
+}  // namespace cloudprov::queueing

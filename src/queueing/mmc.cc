@@ -1,0 +1,55 @@
+#include "queueing/mmc.h"
+
+#include "queueing/birth_death.h"
+#include "queueing/erlang.h"
+#include "util/check.h"
+
+namespace cloudprov::queueing {
+
+QueueMetrics mmc(double arrival_rate, double service_rate, std::size_t servers) {
+  ensure_arg(arrival_rate >= 0.0, "mmc: lambda must be >= 0");
+  ensure_arg(service_rate > 0.0, "mmc: mu must be > 0");
+  ensure_arg(servers >= 1, "mmc: need at least one server");
+  const double a = arrival_rate / service_rate;
+  const auto c = static_cast<double>(servers);
+  ensure_arg(a < c, "mmc: unstable (lambda >= c * mu)");
+
+  const double wait_probability = erlang_c(a, servers);
+
+  QueueMetrics m;
+  m.arrival_rate = arrival_rate;
+  m.service_rate = service_rate;
+  m.servers = servers;
+  m.capacity = 0;
+  m.offered_load = a;
+  m.server_utilization = a / c;
+  m.blocking_probability = 0.0;
+  m.throughput = arrival_rate;
+  m.mean_waiting_time =
+      arrival_rate > 0.0
+          ? wait_probability / (c * service_rate - arrival_rate)
+          : 0.0;
+  m.mean_response_time = m.mean_waiting_time + 1.0 / service_rate;
+  m.mean_in_queue = arrival_rate * m.mean_waiting_time;
+  m.mean_in_system = arrival_rate * m.mean_response_time;
+  // P0 from the Erlang-C normalization: reuse the birth-death ladder only for
+  // the empty-system probability of the truncation-free system:
+  // P0 = 1 / (sum_{n<c} a^n/n! + a^c/c! * 1/(1 - rho)). Computed iteratively.
+  double term = 1.0;  // a^0/0!
+  double sum = 1.0;
+  for (std::size_t n = 1; n < servers; ++n) {
+    term *= a / static_cast<double>(n);
+    sum += term;
+  }
+  term *= a / c;                    // a^c / c!
+  sum += term / (1.0 - a / c);      // geometric tail
+  m.probability_empty = 1.0 / sum;
+  return m;
+}
+
+QueueMetrics mmck(double arrival_rate, double service_rate, std::size_t servers,
+                  std::size_t capacity) {
+  return birth_death_queue_metrics(arrival_rate, service_rate, servers, capacity);
+}
+
+}  // namespace cloudprov::queueing

@@ -1,0 +1,19 @@
+// M/M/c (Erlang delay system) and M/M/c/K (finite-capacity multiserver).
+#pragma once
+
+#include <cstddef>
+
+#include "queueing/types.h"
+
+namespace cloudprov::queueing {
+
+/// Steady-state metrics for M/M/c with unbounded queue. Requires
+/// lambda < c * mu.
+QueueMetrics mmc(double arrival_rate, double service_rate, std::size_t servers);
+
+/// Steady-state metrics for M/M/c/K (capacity = max in system, >= servers).
+/// Defined for any lambda >= 0, including overload.
+QueueMetrics mmck(double arrival_rate, double service_rate, std::size_t servers,
+                  std::size_t capacity);
+
+}  // namespace cloudprov::queueing

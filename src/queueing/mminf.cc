@@ -1,0 +1,42 @@
+#include "queueing/mminf.h"
+
+#include <cmath>
+#include <limits>
+
+#include "util/check.h"
+
+namespace cloudprov::queueing {
+
+QueueMetrics mminf(double arrival_rate, double service_rate) {
+  ensure_arg(arrival_rate >= 0.0, "mminf: lambda must be >= 0");
+  ensure_arg(service_rate > 0.0, "mminf: mu must be > 0");
+  const double a = arrival_rate / service_rate;
+
+  QueueMetrics m;
+  m.arrival_rate = arrival_rate;
+  m.service_rate = service_rate;
+  m.servers = std::numeric_limits<std::size_t>::max();
+  m.capacity = 0;
+  m.offered_load = a;
+  m.server_utilization = 0.0;  // infinitely many servers
+  m.probability_empty = std::exp(-a);
+  m.blocking_probability = 0.0;
+  m.mean_in_system = a;
+  m.mean_in_queue = 0.0;
+  m.mean_response_time = 1.0 / service_rate;
+  m.mean_waiting_time = 0.0;
+  m.throughput = arrival_rate;
+  return m;
+}
+
+double mminf_occupancy_pmf(double arrival_rate, double service_rate, std::size_t n) {
+  ensure_arg(arrival_rate >= 0.0, "mminf: lambda must be >= 0");
+  ensure_arg(service_rate > 0.0, "mminf: mu must be > 0");
+  const double a = arrival_rate / service_rate;
+  if (a == 0.0) return n == 0 ? 1.0 : 0.0;
+  // exp(n ln a - a - lgamma(n+1)) avoids overflow for large n.
+  const auto nd = static_cast<double>(n);
+  return std::exp(nd * std::log(a) - a - std::lgamma(nd + 1.0));
+}
+
+}  // namespace cloudprov::queueing

@@ -1,0 +1,17 @@
+// M/M/inf: infinite-server station.
+//
+// The paper models the application provisioner itself as M/M/inf
+// (Section IV-B): dispatch adds latency but never queues, so the station
+// contributes a pure delay and the number in "service" is Poisson(a).
+#pragma once
+
+#include "queueing/types.h"
+
+namespace cloudprov::queueing {
+
+QueueMetrics mminf(double arrival_rate, double service_rate);
+
+/// P(N = n) for M/M/inf: Poisson(a) pmf evaluated without factorials.
+double mminf_occupancy_pmf(double arrival_rate, double service_rate, std::size_t n);
+
+}  // namespace cloudprov::queueing

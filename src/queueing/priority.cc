@@ -1,0 +1,38 @@
+#include "queueing/priority.h"
+
+#include "util/check.h"
+
+namespace cloudprov::queueing {
+
+std::vector<PriorityClassMetrics> priority_mg1(
+    const std::vector<PriorityClassInput>& classes) {
+  ensure_arg(!classes.empty(), "priority_mg1: need at least one class");
+  double w0 = 0.0;
+  double total_rho = 0.0;
+  for (const PriorityClassInput& c : classes) {
+    ensure_arg(c.arrival_rate >= 0.0, "priority_mg1: negative arrival rate");
+    ensure_arg(c.mean_service > 0.0, "priority_mg1: mean service must be > 0");
+    ensure_arg(c.service_second_moment >= c.mean_service * c.mean_service,
+               "priority_mg1: E[S^2] must be >= E[S]^2");
+    w0 += c.arrival_rate * c.service_second_moment / 2.0;
+    total_rho += c.arrival_rate * c.mean_service;
+  }
+  ensure_arg(total_rho < 1.0, "priority_mg1: unstable (total rho >= 1)");
+
+  std::vector<PriorityClassMetrics> out;
+  out.reserve(classes.size());
+  double sigma_prev = 0.0;  // sigma_{p-1}
+  for (const PriorityClassInput& c : classes) {
+    const double rho = c.arrival_rate * c.mean_service;
+    const double sigma = sigma_prev + rho;
+    PriorityClassMetrics m;
+    m.utilization = rho;
+    m.mean_waiting = w0 / ((1.0 - sigma_prev) * (1.0 - sigma));
+    m.mean_response = m.mean_waiting + c.mean_service;
+    out.push_back(m);
+    sigma_prev = sigma;
+  }
+  return out;
+}
+
+}  // namespace cloudprov::queueing

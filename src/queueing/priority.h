@@ -1,0 +1,35 @@
+// Non-preemptive priority M/G/1 (Cobham's formulas).
+//
+// The analytic counterpart of Vm priority queueing: with classes 1..P
+// (1 = highest) each Poisson(lambda_p) with mean service E[S_p] and second
+// moment E[S_p^2], the mean waiting time of class p is
+//
+//     Wq_p = W0 / ((1 - sigma_{p-1}) (1 - sigma_p)),
+//     W0   = sum_i lambda_i E[S_i^2] / 2,
+//     sigma_p = sum_{i <= p} rho_i.
+//
+// Used to predict per-class response times in the SLA extension and
+// validated against the simulator in the test suite.
+#pragma once
+
+#include <vector>
+
+namespace cloudprov::queueing {
+
+struct PriorityClassInput {
+  double arrival_rate = 0.0;        ///< lambda_p
+  double mean_service = 0.0;        ///< E[S_p]
+  double service_second_moment = 0.0;  ///< E[S_p^2]
+};
+
+struct PriorityClassMetrics {
+  double utilization = 0.0;     ///< rho_p = lambda_p E[S_p]
+  double mean_waiting = 0.0;    ///< Wq_p
+  double mean_response = 0.0;   ///< Wq_p + E[S_p]
+};
+
+/// Classes ordered highest priority first. Requires total utilization < 1.
+std::vector<PriorityClassMetrics> priority_mg1(
+    const std::vector<PriorityClassInput>& classes);
+
+}  // namespace cloudprov::queueing

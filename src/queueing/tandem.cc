@@ -1,0 +1,38 @@
+#include "queueing/tandem.h"
+
+#include "util/check.h"
+
+namespace cloudprov::queueing {
+
+TandemMetrics solve_tandem(double arrival_rate,
+                           const std::vector<TandemTier>& tiers) {
+  ensure_arg(arrival_rate >= 0.0, "solve_tandem: lambda must be >= 0");
+  ensure_arg(!tiers.empty(), "solve_tandem: need at least one tier");
+
+  TandemMetrics result;
+  result.tiers.reserve(tiers.size());
+  double flow = arrival_rate;
+  double bottleneck_load = -1.0;
+  for (std::size_t i = 0; i < tiers.size(); ++i) {
+    const TandemTier& tier = tiers[i];
+    InstancePoolModel model;
+    model.total_arrival_rate = flow;
+    model.service_rate = tier.service_rate;
+    model.instances = tier.instances;
+    model.queue_capacity = tier.queue_capacity;
+    const InstancePoolMetrics pool = solve_instance_pool(model);
+
+    result.tiers.push_back(TandemTierMetrics{flow, pool});
+    result.end_to_end_response += pool.mean_response_time;
+    result.end_to_end_acceptance *= 1.0 - pool.rejection_probability;
+    if (pool.offered_per_instance > bottleneck_load) {
+      bottleneck_load = pool.offered_per_instance;
+      result.bottleneck_tier = i;
+    }
+    flow = pool.total_throughput;  // decomposition: downstream input
+  }
+  result.throughput = flow;
+  return result;
+}
+
+}  // namespace cloudprov::queueing

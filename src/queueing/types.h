@@ -1,0 +1,31 @@
+// Common result type for analytic queueing models.
+//
+// All models report the same steady-state summary so the performance modeler
+// and the tests can treat M/M/1, M/M/1/k, M/M/c, M/M/c/K, and M/M/inf
+// uniformly. Times are in the same unit as 1/rate inputs (seconds here).
+#pragma once
+
+#include <cstddef>
+
+namespace cloudprov::queueing {
+
+struct QueueMetrics {
+  // Inputs echoed back.
+  double arrival_rate = 0.0;  ///< offered lambda (before any blocking)
+  double service_rate = 0.0;  ///< per-server mu
+  std::size_t servers = 1;
+  std::size_t capacity = 0;  ///< max in system; 0 means unbounded
+
+  // Steady-state results.
+  double offered_load = 0.0;            ///< a = lambda/mu (erlangs)
+  double server_utilization = 0.0;      ///< busy fraction per server
+  double probability_empty = 0.0;       ///< P0
+  double blocking_probability = 0.0;    ///< P(arrival rejected); Pr(S_k) in the paper
+  double mean_in_system = 0.0;          ///< L
+  double mean_in_queue = 0.0;           ///< Lq
+  double mean_response_time = 0.0;      ///< W (accepted customers); Tq in the paper
+  double mean_waiting_time = 0.0;       ///< Wq
+  double throughput = 0.0;              ///< effective lambda = lambda * (1 - blocking)
+};
+
+}  // namespace cloudprov::queueing

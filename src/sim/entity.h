@@ -1,0 +1,32 @@
+// Base class for named simulation participants.
+//
+// Entities hold a reference to their Simulation and a human-readable name for
+// logging. They are not copyable: model objects have identity.
+#pragma once
+
+#include <string>
+#include <utility>
+
+#include "sim/simulation.h"
+
+namespace cloudprov {
+
+class Entity {
+ public:
+  Entity(Simulation& sim, std::string name)
+      : sim_(sim), name_(std::move(name)) {}
+  virtual ~Entity() = default;
+  Entity(const Entity&) = delete;
+  Entity& operator=(const Entity&) = delete;
+
+  const std::string& name() const { return name_; }
+  Simulation& sim() { return sim_; }
+  const Simulation& sim() const { return sim_; }
+  SimTime now() const { return sim_.now(); }
+
+ private:
+  Simulation& sim_;
+  std::string name_;
+};
+
+}  // namespace cloudprov

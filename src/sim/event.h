@@ -1,0 +1,35 @@
+// Simulation events.
+//
+// An event is a (time, sequence, action) triple. Ties on time are broken by
+// the monotone sequence number, which makes the execution order — and
+// therefore the whole simulation — fully deterministic for a fixed seed.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <utility>
+
+#include "util/units.h"
+
+namespace cloudprov {
+
+/// Stable identifier for a scheduled event; used for cancellation.
+using EventId = std::uint64_t;
+
+/// Sentinel returned when no event handle is needed.
+inline constexpr EventId kInvalidEventId = 0;
+
+/// Deferred action executed when the simulation clock reaches `time`.
+struct Event {
+  SimTime time = 0.0;
+  EventId id = kInvalidEventId;
+  std::function<void()> action;
+
+  /// Min-heap order: earliest time first, FIFO among equal times.
+  friend bool operator>(const Event& a, const Event& b) {
+    if (a.time != b.time) return a.time > b.time;
+    return a.id > b.id;
+  }
+};
+
+}  // namespace cloudprov

@@ -1,0 +1,79 @@
+#include "sim/event_queue.h"
+
+#include <utility>
+
+#include "util/check.h"
+
+namespace cloudprov {
+
+EventId EventQueue::push(SimTime time, std::function<void()> action) {
+  const EventId id = next_id_++;
+  heap_.push_back(Event{time, id, std::move(action)});
+  sift_up(heap_.size() - 1);
+  return id;
+}
+
+void EventQueue::drop_cancelled_top() {
+  while (!heap_.empty() && cancelled_.contains(heap_.front().id)) {
+    cancelled_.erase(heap_.front().id);
+    heap_.front() = std::move(heap_.back());
+    heap_.pop_back();
+    if (!heap_.empty()) sift_down(0);
+  }
+}
+
+Event EventQueue::pop() {
+  drop_cancelled_top();
+  ensure(!heap_.empty(), "pop() on empty event queue");
+  Event top = std::move(heap_.front());
+  heap_.front() = std::move(heap_.back());
+  heap_.pop_back();
+  if (!heap_.empty()) sift_down(0);
+  return top;
+}
+
+void EventQueue::cancel(EventId id) {
+  if (id == kInvalidEventId) return;
+  cancelled_.insert(id);
+}
+
+bool EventQueue::empty() {
+  drop_cancelled_top();
+  return heap_.empty();
+}
+
+SimTime EventQueue::next_time() {
+  drop_cancelled_top();
+  ensure(!heap_.empty(), "next_time() on empty event queue");
+  return heap_.front().time;
+}
+
+void EventQueue::clear() {
+  heap_.clear();
+  cancelled_.clear();
+}
+
+void EventQueue::sift_up(std::size_t index) {
+  while (index > 0) {
+    const std::size_t parent = (index - 1) / 2;
+    if (!(heap_[parent] > heap_[index])) break;
+    std::swap(heap_[parent], heap_[index]);
+    index = parent;
+  }
+}
+
+void EventQueue::sift_down(std::size_t index) {
+  const std::size_t n = heap_.size();
+  for (;;) {
+    const std::size_t left = 2 * index + 1;
+    if (left >= n) return;
+    std::size_t smallest = left;
+    const std::size_t right = left + 1;
+    if (right < n && heap_[left] > heap_[right]) smallest = right;
+    if (!(heap_[index] > heap_[smallest])) return;
+    std::swap(heap_[index], heap_[smallest]);
+    index = smallest;
+  }
+}
+
+}  // namespace cloudprov

@@ -1,0 +1,67 @@
+#include "sim/simulation.h"
+
+#include <utility>
+
+#include "util/check.h"
+
+namespace cloudprov {
+
+EventId Simulation::schedule_at(SimTime time, std::function<void()> action) {
+  ensure_arg(time >= now_, "schedule_at: cannot schedule in the past");
+  return queue_.push(time, std::move(action));
+}
+
+EventId Simulation::schedule_in(SimTime delay, std::function<void()> action) {
+  ensure_arg(delay >= 0.0, "schedule_in: negative delay");
+  return queue_.push(now_ + delay, std::move(action));
+}
+
+std::uint64_t Simulation::run(SimTime until) {
+  stop_requested_ = false;
+  std::uint64_t count = 0;
+  while (!stop_requested_ && !queue_.empty() && queue_.next_time() <= until) {
+    Event event = queue_.pop();
+    now_ = event.time;
+    event.action();
+    ++executed_;
+    ++count;
+  }
+  // Advance the clock to the horizon even if the model went quiet earlier,
+  // so time-weighted statistics cover the full observation window.
+  if (!stop_requested_ && until > now_ &&
+      until < std::numeric_limits<SimTime>::infinity()) {
+    now_ = until;
+  }
+  return count;
+}
+
+bool Simulation::step() {
+  if (queue_.empty()) return false;
+  Event event = queue_.pop();
+  now_ = event.time;
+  event.action();
+  ++executed_;
+  return true;
+}
+
+PeriodicProcess::PeriodicProcess(Simulation& sim, SimTime first_time,
+                                 SimTime period, std::function<void(SimTime)> action)
+    : sim_(sim), period_(period), action_(std::move(action)) {
+  ensure_arg(period > 0.0, "PeriodicProcess: period must be positive");
+  pending_ = sim_.schedule_at(first_time, [this] { fire(sim_.now()); });
+}
+
+void PeriodicProcess::stop() {
+  if (!running_) return;
+  running_ = false;
+  sim_.cancel(pending_);
+  pending_ = kInvalidEventId;
+}
+
+void PeriodicProcess::fire(SimTime time) {
+  if (!running_) return;
+  pending_ = sim_.schedule_in(period_, [this] { fire(sim_.now()); });
+  action_(time);
+}
+
+}  // namespace cloudprov

@@ -1,0 +1,81 @@
+// Discrete-event simulation engine.
+//
+// The C++ substrate standing in for CloudSim (which the paper's evaluation
+// used): a clock, a deterministic pending-event set, and scheduling helpers.
+// Model code (hosts, VMs, provisioners, workload sources) schedules closures;
+// the engine executes them in nondecreasing time order.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <limits>
+
+#include "sim/event_queue.h"
+#include "util/units.h"
+
+namespace cloudprov {
+
+class Simulation {
+ public:
+  Simulation() = default;
+  Simulation(const Simulation&) = delete;
+  Simulation& operator=(const Simulation&) = delete;
+
+  /// Current simulated time in seconds.
+  SimTime now() const { return now_; }
+
+  /// Schedules `action` at absolute simulated time `time` (>= now()).
+  EventId schedule_at(SimTime time, std::function<void()> action);
+
+  /// Schedules `action` after `delay` seconds (>= 0).
+  EventId schedule_in(SimTime delay, std::function<void()> action);
+
+  void cancel(EventId id) { queue_.cancel(id); }
+
+  /// Runs until the event queue drains or the clock passes `until`.
+  /// Events scheduled exactly at `until` are executed. Returns the number of
+  /// events executed by this call.
+  std::uint64_t run(SimTime until = std::numeric_limits<SimTime>::infinity());
+
+  /// Executes exactly one event if available. Returns false when idle.
+  bool step();
+
+  /// Requests run() to return before dispatching the next event.
+  void stop() { stop_requested_ = true; }
+
+  bool idle() { return queue_.empty(); }
+  std::uint64_t executed_events() const { return executed_; }
+  EventQueue& queue() { return queue_; }
+
+ private:
+  EventQueue queue_;
+  SimTime now_ = 0.0;
+  std::uint64_t executed_ = 0;
+  bool stop_requested_ = false;
+};
+
+/// Repeating action helper (monitor ticks, provisioning cycles, rate
+/// re-sampling). The action runs every `period` seconds starting at
+/// `first_time` until stop() or simulation end.
+class PeriodicProcess {
+ public:
+  PeriodicProcess(Simulation& sim, SimTime first_time, SimTime period,
+                  std::function<void(SimTime)> action);
+  ~PeriodicProcess() { stop(); }
+  PeriodicProcess(const PeriodicProcess&) = delete;
+  PeriodicProcess& operator=(const PeriodicProcess&) = delete;
+
+  void stop();
+  bool running() const { return running_; }
+
+ private:
+  void fire(SimTime time);
+
+  Simulation& sim_;
+  SimTime period_;
+  std::function<void(SimTime)> action_;
+  EventId pending_ = kInvalidEventId;
+  bool running_ = true;
+};
+
+}  // namespace cloudprov

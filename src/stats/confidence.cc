@@ -1,0 +1,86 @@
+#include "stats/confidence.h"
+
+#include <cmath>
+#include <numbers>
+
+#include "stats/running_stats.h"
+#include "util/check.h"
+
+namespace cloudprov {
+
+double normal_quantile(double p) {
+  ensure_arg(p > 0.0 && p < 1.0, "normal_quantile: p must be in (0,1)");
+  // Acklam's algorithm.
+  static constexpr double a[] = {-3.969683028665376e+01, 2.209460984245205e+02,
+                                 -2.759285104469687e+02, 1.383577518672690e+02,
+                                 -3.066479806614716e+01, 2.506628277459239e+00};
+  static constexpr double b[] = {-5.447609879822406e+01, 1.615858368580409e+02,
+                                 -1.556989798598866e+02, 6.680131188771972e+01,
+                                 -1.328068155288572e+01};
+  static constexpr double c[] = {-7.784894002430293e-03, -3.223964580411365e-01,
+                                 -2.400758277161838e+00, -2.549732539343734e+00,
+                                 4.374664141464968e+00,  2.938163982698783e+00};
+  static constexpr double d[] = {7.784695709041462e-03, 3.224671290700398e-01,
+                                 2.445134137142996e+00, 3.754408661907416e+00};
+  constexpr double p_low = 0.02425;
+  constexpr double p_high = 1.0 - p_low;
+
+  if (p < p_low) {
+    const double q = std::sqrt(-2.0 * std::log(p));
+    return (((((c[0] * q + c[1]) * q + c[2]) * q + c[3]) * q + c[4]) * q + c[5]) /
+           ((((d[0] * q + d[1]) * q + d[2]) * q + d[3]) * q + 1.0);
+  }
+  if (p <= p_high) {
+    const double q = p - 0.5;
+    const double r = q * q;
+    return (((((a[0] * r + a[1]) * r + a[2]) * r + a[3]) * r + a[4]) * r + a[5]) *
+           q /
+           (((((b[0] * r + b[1]) * r + b[2]) * r + b[3]) * r + b[4]) * r + 1.0);
+  }
+  const double q = std::sqrt(-2.0 * std::log(1.0 - p));
+  return -(((((c[0] * q + c[1]) * q + c[2]) * q + c[3]) * q + c[4]) * q + c[5]) /
+         ((((d[0] * q + d[1]) * q + d[2]) * q + d[3]) * q + 1.0);
+}
+
+double student_t_quantile(double p, std::size_t degrees_of_freedom) {
+  ensure_arg(p > 0.0 && p < 1.0, "student_t_quantile: p must be in (0,1)");
+  ensure_arg(degrees_of_freedom >= 1, "student_t_quantile: df must be >= 1");
+  const auto df = static_cast<double>(degrees_of_freedom);
+  if (degrees_of_freedom == 1) {
+    // Cauchy closed form.
+    return std::tan(std::numbers::pi * (p - 0.5));
+  }
+  if (degrees_of_freedom == 2) {
+    const double alpha = 2.0 * p - 1.0;
+    return alpha * std::sqrt(2.0 / (1.0 - alpha * alpha));
+  }
+  // Hill (1970) asymptotic expansion in terms of the normal quantile.
+  const double z = normal_quantile(p);
+  const double g1 = (z * z * z + z) / 4.0;
+  const double g2 = (5.0 * std::pow(z, 5) + 16.0 * z * z * z + 3.0 * z) / 96.0;
+  const double g3 =
+      (3.0 * std::pow(z, 7) + 19.0 * std::pow(z, 5) + 17.0 * z * z * z - 15.0 * z) /
+      384.0;
+  const double g4 = (79.0 * std::pow(z, 9) + 776.0 * std::pow(z, 7) +
+                     1482.0 * std::pow(z, 5) - 1920.0 * z * z * z - 945.0 * z) /
+                    92160.0;
+  return z + g1 / df + g2 / (df * df) + g3 / (df * df * df) +
+         g4 / (df * df * df * df);
+}
+
+ConfidenceInterval mean_confidence_interval(const std::vector<double>& samples,
+                                            double confidence) {
+  ensure_arg(confidence > 0.0 && confidence < 1.0,
+             "mean_confidence_interval: confidence must be in (0,1)");
+  RunningStats stats;
+  for (double s : samples) stats.add(s);
+  ConfidenceInterval ci;
+  ci.mean = stats.mean();
+  if (stats.count() < 2) return ci;
+  const double p = 1.0 - (1.0 - confidence) / 2.0;
+  const double t = student_t_quantile(p, stats.count() - 1);
+  ci.half_width = t * stats.stddev() / std::sqrt(static_cast<double>(stats.count()));
+  return ci;
+}
+
+}  // namespace cloudprov

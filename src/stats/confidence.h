@@ -1,0 +1,33 @@
+// Confidence intervals over replication means.
+//
+// The paper reports averages over 10 independent simulation runs; the
+// experiment harness additionally reports Student-t confidence intervals so
+// reproduced deltas can be judged against run-to-run noise.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+namespace cloudprov {
+
+/// Two-sided Student-t quantile: P(T_df <= t) = p.
+/// Uses the Cornish–Fisher-style expansion of Hill (1970); accurate to ~1e-4
+/// for df >= 1, exact limiting normal for large df.
+double student_t_quantile(double p, std::size_t degrees_of_freedom);
+
+/// Standard normal quantile (Acklam's rational approximation, |err| < 1.2e-8).
+double normal_quantile(double p);
+
+struct ConfidenceInterval {
+  double mean = 0.0;
+  double half_width = 0.0;
+  double lower() const { return mean - half_width; }
+  double upper() const { return mean + half_width; }
+};
+
+/// CI for the mean of `samples` at the given confidence level (e.g. 0.95).
+/// With fewer than two samples the half-width is zero.
+ConfidenceInterval mean_confidence_interval(const std::vector<double>& samples,
+                                            double confidence = 0.95);
+
+}  // namespace cloudprov

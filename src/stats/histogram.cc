@@ -1,0 +1,81 @@
+#include "stats/histogram.h"
+
+#include <algorithm>
+#include <cmath>
+#include <sstream>
+
+#include "util/check.h"
+
+namespace cloudprov {
+
+Histogram::Histogram(std::vector<double> edges)
+    : edges_(std::move(edges)), counts_(edges_.size() - 1, 0) {}
+
+Histogram Histogram::linear(double lo, double hi, std::size_t bins) {
+  ensure_arg(bins > 0, "Histogram: need at least one bin");
+  ensure_arg(lo < hi, "Histogram: lo must be < hi");
+  std::vector<double> edges(bins + 1);
+  const double width = (hi - lo) / static_cast<double>(bins);
+  for (std::size_t i = 0; i <= bins; ++i) {
+    edges[i] = lo + width * static_cast<double>(i);
+  }
+  edges.back() = hi;
+  return Histogram(std::move(edges));
+}
+
+Histogram Histogram::logarithmic(double lo, double hi, std::size_t bins) {
+  ensure_arg(bins > 0, "Histogram: need at least one bin");
+  ensure_arg(lo > 0.0 && lo < hi, "Histogram: need 0 < lo < hi");
+  std::vector<double> edges(bins + 1);
+  const double log_lo = std::log(lo);
+  const double step = (std::log(hi) - log_lo) / static_cast<double>(bins);
+  for (std::size_t i = 0; i <= bins; ++i) {
+    edges[i] = std::exp(log_lo + step * static_cast<double>(i));
+  }
+  edges.front() = lo;
+  edges.back() = hi;
+  return Histogram(std::move(edges));
+}
+
+void Histogram::add(double value) {
+  ++total_;
+  if (value < edges_.front()) {
+    ++underflow_;
+    return;
+  }
+  if (value >= edges_.back()) {
+    ++overflow_;
+    return;
+  }
+  const auto it = std::upper_bound(edges_.begin(), edges_.end(), value);
+  const auto bin = static_cast<std::size_t>(it - edges_.begin()) - 1;
+  ++counts_[std::min(bin, counts_.size() - 1)];
+}
+
+double Histogram::cumulative_fraction(std::size_t bin) const {
+  ensure_arg(bin < counts_.size(), "Histogram: bin out of range");
+  const std::uint64_t in_range = total_ - underflow_ - overflow_;
+  if (in_range == 0) return 0.0;
+  std::uint64_t cumulative = 0;
+  for (std::size_t i = 0; i <= bin; ++i) cumulative += counts_[i];
+  return static_cast<double>(cumulative) / static_cast<double>(in_range);
+}
+
+std::string Histogram::render(std::size_t width) const {
+  const std::uint64_t peak = counts_.empty()
+                                 ? 0
+                                 : *std::max_element(counts_.begin(), counts_.end());
+  std::ostringstream out;
+  for (std::size_t i = 0; i < counts_.size(); ++i) {
+    const auto bar = peak == 0 ? std::size_t{0}
+                               : static_cast<std::size_t>(
+                                     static_cast<double>(counts_[i]) /
+                                     static_cast<double>(peak) *
+                                     static_cast<double>(width));
+    out << '[' << bin_lower(i) << ", " << bin_upper(i) << ")\t" << counts_[i]
+        << '\t' << std::string(bar, '#') << '\n';
+  }
+  return out.str();
+}
+
+}  // namespace cloudprov

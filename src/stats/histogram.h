@@ -1,0 +1,48 @@
+// Fixed-bin histogram with under/overflow tracking.
+//
+// Linear or logarithmic bin edges. Used for response-time distribution
+// reporting and for chi-square-style sanity checks in the test suite.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace cloudprov {
+
+class Histogram {
+ public:
+  /// Linear bins of equal width covering [lo, hi).
+  static Histogram linear(double lo, double hi, std::size_t bins);
+
+  /// Logarithmic bins covering [lo, hi), lo > 0.
+  static Histogram logarithmic(double lo, double hi, std::size_t bins);
+
+  void add(double value);
+
+  std::size_t bin_count() const { return counts_.size(); }
+  std::uint64_t count(std::size_t bin) const { return counts_.at(bin); }
+  std::uint64_t underflow() const { return underflow_; }
+  std::uint64_t overflow() const { return overflow_; }
+  std::uint64_t total() const { return total_; }
+
+  double bin_lower(std::size_t bin) const { return edges_.at(bin); }
+  double bin_upper(std::size_t bin) const { return edges_.at(bin + 1); }
+
+  /// Fraction of in-range samples at or below the upper edge of `bin`.
+  double cumulative_fraction(std::size_t bin) const;
+
+  /// Multi-line ASCII rendering (for example programs).
+  std::string render(std::size_t width = 50) const;
+
+ private:
+  explicit Histogram(std::vector<double> edges);
+
+  std::vector<double> edges_;
+  std::vector<std::uint64_t> counts_;
+  std::uint64_t underflow_ = 0;
+  std::uint64_t overflow_ = 0;
+  std::uint64_t total_ = 0;
+};
+
+}  // namespace cloudprov

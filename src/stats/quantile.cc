@@ -1,0 +1,113 @@
+#include "stats/quantile.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/check.h"
+
+namespace cloudprov {
+
+void ExactQuantiles::add(double value) {
+  samples_.push_back(value);
+  sorted_ = false;
+}
+
+double ExactQuantiles::quantile(double q) const {
+  ensure_arg(q >= 0.0 && q <= 1.0, "quantile: q must be in [0,1]");
+  ensure(!samples_.empty(), "quantile: no samples");
+  if (!sorted_) {
+    std::sort(samples_.begin(), samples_.end());
+    sorted_ = true;
+  }
+  const double pos = q * static_cast<double>(samples_.size() - 1);
+  const auto lo = static_cast<std::size_t>(pos);
+  const std::size_t hi = std::min(lo + 1, samples_.size() - 1);
+  const double frac = pos - static_cast<double>(lo);
+  return samples_[lo] + frac * (samples_[hi] - samples_[lo]);
+}
+
+P2Quantile::P2Quantile(double quantile) : q_(quantile) {
+  ensure_arg(quantile > 0.0 && quantile < 1.0, "P2Quantile: q must be in (0,1)");
+  desired_ = {1.0, 1.0 + 2.0 * q_, 1.0 + 4.0 * q_, 3.0 + 2.0 * q_, 5.0};
+  increments_ = {0.0, q_ / 2.0, q_, (1.0 + q_) / 2.0, 1.0};
+}
+
+double P2Quantile::parabolic(int i, double d) const {
+  const double qi = heights_[static_cast<std::size_t>(i)];
+  const double qp = heights_[static_cast<std::size_t>(i + 1)];
+  const double qm = heights_[static_cast<std::size_t>(i - 1)];
+  const double ni = positions_[static_cast<std::size_t>(i)];
+  const double np = positions_[static_cast<std::size_t>(i + 1)];
+  const double nm = positions_[static_cast<std::size_t>(i - 1)];
+  return qi + d / (np - nm) *
+                  ((ni - nm + d) * (qp - qi) / (np - ni) +
+                   (np - ni - d) * (qi - qm) / (ni - nm));
+}
+
+double P2Quantile::linear(int i, int d) const {
+  const auto si = static_cast<std::size_t>(i);
+  const auto sd = static_cast<std::size_t>(i + d);
+  return heights_[si] + static_cast<double>(d) * (heights_[sd] - heights_[si]) /
+                            (positions_[sd] - positions_[si]);
+}
+
+void P2Quantile::add(double value) {
+  if (count_ < 5) {
+    heights_[count_] = value;
+    ++count_;
+    if (count_ == 5) {
+      std::sort(heights_.begin(), heights_.end());
+      for (std::size_t i = 0; i < 5; ++i) positions_[i] = static_cast<double>(i + 1);
+    }
+    return;
+  }
+  ++count_;
+
+  std::size_t cell = 0;
+  if (value < heights_[0]) {
+    heights_[0] = value;
+    cell = 0;
+  } else if (value >= heights_[4]) {
+    heights_[4] = value;
+    cell = 3;
+  } else {
+    cell = 0;
+    while (cell < 3 && value >= heights_[cell + 1]) ++cell;
+  }
+
+  for (std::size_t i = cell + 1; i < 5; ++i) positions_[i] += 1.0;
+  for (std::size_t i = 0; i < 5; ++i) desired_[i] += increments_[i];
+
+  for (int i = 1; i <= 3; ++i) {
+    const auto si = static_cast<std::size_t>(i);
+    const double d = desired_[si] - positions_[si];
+    const bool move_right = d >= 1.0 && positions_[si + 1] - positions_[si] > 1.0;
+    const bool move_left = d <= -1.0 && positions_[si - 1] - positions_[si] < -1.0;
+    if (!move_right && !move_left) continue;
+    const int dir = move_right ? 1 : -1;
+    double candidate = parabolic(i, dir);
+    if (heights_[si - 1] < candidate && candidate < heights_[si + 1]) {
+      heights_[si] = candidate;
+    } else {
+      heights_[si] = linear(i, dir);
+    }
+    positions_[si] += dir;
+  }
+}
+
+double P2Quantile::value() const {
+  if (count_ == 0) return 0.0;
+  if (count_ < 5) {
+    // Exact quantile over the few samples seen so far.
+    std::array<double, 5> sorted = heights_;
+    std::sort(sorted.begin(), sorted.begin() + static_cast<long>(count_));
+    const double pos = q_ * static_cast<double>(count_ - 1);
+    const auto lo = static_cast<std::size_t>(pos);
+    const std::size_t hi = std::min<std::size_t>(lo + 1, count_ - 1);
+    const double frac = pos - static_cast<double>(lo);
+    return sorted[lo] + frac * (sorted[hi] - sorted[lo]);
+  }
+  return heights_[2];
+}
+
+}  // namespace cloudprov

@@ -1,0 +1,53 @@
+// Quantile estimation.
+//
+// ExactQuantiles stores every sample (tests, small experiments).
+// P2Quantile is the Jain & Chlamtac (1985) P² streaming estimator: O(1)
+// memory per tracked quantile, used for response-time percentiles in the
+// half-billion-request web scenario.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <vector>
+
+namespace cloudprov {
+
+/// Exact empirical quantiles; O(n) memory, sorts lazily.
+class ExactQuantiles {
+ public:
+  void add(double value);
+  std::size_t count() const { return samples_.size(); }
+
+  /// Empirical quantile with linear interpolation, q in [0, 1].
+  /// Precondition: at least one sample.
+  double quantile(double q) const;
+
+ private:
+  mutable std::vector<double> samples_;
+  mutable bool sorted_ = false;
+};
+
+/// P² single-quantile streaming estimator.
+class P2Quantile {
+ public:
+  explicit P2Quantile(double quantile);
+
+  void add(double value);
+  std::uint64_t count() const { return count_; }
+
+  /// Current estimate. Exact while fewer than 5 samples were seen.
+  double value() const;
+
+ private:
+  double parabolic(int i, double d) const;
+  double linear(int i, int d) const;
+
+  double q_;
+  std::uint64_t count_ = 0;
+  std::array<double, 5> heights_{};
+  std::array<double, 5> positions_{};
+  std::array<double, 5> desired_{};
+  std::array<double, 5> increments_{};
+};
+
+}  // namespace cloudprov

@@ -1,0 +1,41 @@
+// Streaming moment statistics (Welford's online algorithm).
+//
+// Used for response-time accounting over hundreds of millions of requests:
+// O(1) memory, numerically stable variance, and mergeable across replications
+// (parallel-reduction friendly, Chan et al. update).
+#pragma once
+
+#include <cstdint>
+
+namespace cloudprov {
+
+class RunningStats {
+ public:
+  void add(double value);
+
+  /// Merges another accumulator into this one (Chan/Golub/LeVeque).
+  void merge(const RunningStats& other);
+
+  std::uint64_t count() const { return count_; }
+  bool empty() const { return count_ == 0; }
+  double mean() const;
+  /// Sample variance (n-1 denominator); 0 for fewer than two samples.
+  double variance() const;
+  double stddev() const;
+  /// Population variance (n denominator).
+  double population_variance() const;
+  double min() const;
+  double max() const;
+  double sum() const { return mean() * static_cast<double>(count_); }
+
+  void reset();
+
+ private:
+  std::uint64_t count_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+};
+
+}  // namespace cloudprov

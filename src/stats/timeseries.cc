@@ -1,0 +1,51 @@
+#include "stats/timeseries.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/check.h"
+
+namespace cloudprov {
+
+TimeWeightedValue::TimeWeightedValue(SimTime start_time, double value)
+    : start_time_(start_time),
+      last_time_(start_time),
+      current_(value),
+      min_(value),
+      max_(value) {}
+
+void TimeWeightedValue::update(SimTime t, double value) {
+  ensure_arg(t >= last_time_, "TimeWeightedValue: time went backwards");
+  integral_ += current_ * (t - last_time_);
+  last_time_ = t;
+  current_ = value;
+  min_ = std::min(min_, value);
+  max_ = std::max(max_, value);
+}
+
+double TimeWeightedValue::time_average() const {
+  const SimTime duration = last_time_ - start_time_;
+  return duration <= 0.0 ? current_ : integral_ / duration;
+}
+
+SampledSeries::SampledSeries(std::size_t keep_every)
+    : keep_every_(keep_every == 0 ? 1 : keep_every) {}
+
+void SampledSeries::add(SimTime t, double value) {
+  if (seen_ % keep_every_ == 0) points_.push_back(Point{t, value});
+  ++seen_;
+}
+
+double SampledSeries::window_mean(SimTime t0, SimTime t1) const {
+  double sum = 0.0;
+  std::size_t n = 0;
+  for (const Point& p : points_) {
+    if (p.time >= t0 && p.time < t1) {
+      sum += p.value;
+      ++n;
+    }
+  }
+  return n == 0 ? std::nan("") : sum / static_cast<double>(n);
+}
+
+}  // namespace cloudprov

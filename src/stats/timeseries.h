@@ -1,0 +1,73 @@
+// Time-indexed statistics.
+//
+// TimeWeightedValue integrates a piecewise-constant signal over simulated
+// time — the right averaging for "number of running instances", "busy
+// servers", and every utilization metric in the paper, where a value that
+// held for 6 hours must weigh more than one that held for 6 seconds.
+//
+// SampledSeries records (time, value) pairs with optional uniform
+// downsampling; it backs the Figure 3/4 arrival-rate plots.
+#pragma once
+
+#include <cstddef>
+#include <limits>
+#include <vector>
+
+#include "util/units.h"
+
+namespace cloudprov {
+
+class TimeWeightedValue {
+ public:
+  /// Starts tracking at `start_time` with initial value `value`.
+  explicit TimeWeightedValue(SimTime start_time = 0.0, double value = 0.0);
+
+  /// Records that the signal changed to `value` at time `t` (t >= last update).
+  void update(SimTime t, double value);
+
+  /// Advances observation to time `t` without changing the value.
+  void advance(SimTime t) { update(t, current_); }
+
+  double current() const { return current_; }
+  /// Integral of the signal from start to the last update.
+  double integral() const { return integral_; }
+  /// Time-weighted mean over the observed window (0 if the window is empty).
+  double time_average() const;
+  double min() const { return min_; }
+  double max() const { return max_; }
+  SimTime observed_duration() const { return last_time_ - start_time_; }
+
+ private:
+  SimTime start_time_;
+  SimTime last_time_;
+  double current_;
+  double integral_ = 0.0;
+  double min_;
+  double max_;
+};
+
+class SampledSeries {
+ public:
+  /// keep_every = n stores every n-th sample (1 = all).
+  explicit SampledSeries(std::size_t keep_every = 1);
+
+  void add(SimTime t, double value);
+
+  struct Point {
+    SimTime time;
+    double value;
+  };
+  const std::vector<Point>& points() const { return points_; }
+  std::size_t recorded() const { return points_.size(); }
+  std::size_t seen() const { return seen_; }
+
+  /// Mean of the values in a time window [t0, t1); NaN when empty.
+  double window_mean(SimTime t0, SimTime t1) const;
+
+ private:
+  std::size_t keep_every_;
+  std::size_t seen_ = 0;
+  std::vector<Point> points_;
+};
+
+}  // namespace cloudprov

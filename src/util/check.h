@@ -1,0 +1,32 @@
+// Lightweight precondition checking for configuration-time errors.
+//
+// Hot simulation paths use assertions only in debug builds; API-boundary
+// validation uses ensure()/ensure_arg() which throw and therefore survive
+// release builds.
+#pragma once
+
+#include <source_location>
+#include <stdexcept>
+#include <string>
+
+namespace cloudprov {
+
+/// Throws std::logic_error when an internal invariant is violated.
+inline void ensure(bool condition, const std::string& message,
+                   std::source_location loc = std::source_location::current()) {
+  if (!condition) {
+    throw std::logic_error(std::string(loc.file_name()) + ":" +
+                           std::to_string(loc.line()) + ": " + message);
+  }
+}
+
+/// Throws std::invalid_argument for caller-supplied bad values.
+inline void ensure_arg(bool condition, const std::string& message,
+                       std::source_location loc = std::source_location::current()) {
+  if (!condition) {
+    throw std::invalid_argument(std::string(loc.file_name()) + ":" +
+                                std::to_string(loc.line()) + ": " + message);
+  }
+}
+
+}  // namespace cloudprov

@@ -1,0 +1,131 @@
+#include "util/distributions.h"
+
+#include <cmath>
+#include <limits>
+#include <sstream>
+
+#include "util/check.h"
+
+namespace cloudprov {
+namespace {
+
+std::string format_name(const char* base, std::initializer_list<double> params) {
+  std::ostringstream out;
+  out << base << '(';
+  bool first = true;
+  for (double p : params) {
+    if (!first) out << ", ";
+    out << p;
+    first = false;
+  }
+  out << ')';
+  return out.str();
+}
+
+}  // namespace
+
+DeterministicDistribution::DeterministicDistribution(double value) : value_(value) {}
+
+std::string DeterministicDistribution::name() const {
+  return format_name("Deterministic", {value_});
+}
+
+ExponentialDistribution::ExponentialDistribution(double rate) : rate_(rate) {
+  ensure_arg(rate > 0.0, "ExponentialDistribution: rate must be positive");
+}
+
+std::string ExponentialDistribution::name() const {
+  return format_name("Exponential", {rate_});
+}
+
+UniformDistribution::UniformDistribution(double lo, double hi) : lo_(lo), hi_(hi) {
+  ensure_arg(lo <= hi, "UniformDistribution: lo must be <= hi");
+}
+
+std::string UniformDistribution::name() const {
+  return format_name("Uniform", {lo_, hi_});
+}
+
+WeibullDistribution::WeibullDistribution(double shape, double scale)
+    : shape_(shape), scale_(scale) {
+  ensure_arg(shape > 0.0 && scale > 0.0,
+             "WeibullDistribution: parameters must be positive");
+}
+
+double WeibullDistribution::mean() const {
+  return scale_ * std::tgamma(1.0 + 1.0 / shape_);
+}
+
+double WeibullDistribution::variance() const {
+  const double g1 = std::tgamma(1.0 + 1.0 / shape_);
+  const double g2 = std::tgamma(1.0 + 2.0 / shape_);
+  return scale_ * scale_ * (g2 - g1 * g1);
+}
+
+double WeibullDistribution::mode() const {
+  if (shape_ <= 1.0) return 0.0;
+  return scale_ * std::pow((shape_ - 1.0) / shape_, 1.0 / shape_);
+}
+
+std::string WeibullDistribution::name() const {
+  return format_name("Weibull", {shape_, scale_});
+}
+
+NormalDistribution::NormalDistribution(double mean, double stddev)
+    : mean_(mean), stddev_(stddev) {
+  ensure_arg(stddev >= 0.0, "NormalDistribution: stddev must be non-negative");
+}
+
+std::string NormalDistribution::name() const {
+  return format_name("Normal", {mean_, stddev_});
+}
+
+LogNormalDistribution::LogNormalDistribution(double mu, double sigma)
+    : mu_(mu), sigma_(sigma) {
+  ensure_arg(sigma >= 0.0, "LogNormalDistribution: sigma must be non-negative");
+}
+
+double LogNormalDistribution::mean() const {
+  return std::exp(mu_ + 0.5 * sigma_ * sigma_);
+}
+
+double LogNormalDistribution::variance() const {
+  const double s2 = sigma_ * sigma_;
+  return (std::exp(s2) - 1.0) * std::exp(2.0 * mu_ + s2);
+}
+
+std::string LogNormalDistribution::name() const {
+  return format_name("LogNormal", {mu_, sigma_});
+}
+
+ParetoDistribution::ParetoDistribution(double xm, double alpha)
+    : xm_(xm), alpha_(alpha) {
+  ensure_arg(xm > 0.0 && alpha > 0.0,
+             "ParetoDistribution: parameters must be positive");
+}
+
+double ParetoDistribution::mean() const {
+  if (alpha_ <= 1.0) return std::numeric_limits<double>::infinity();
+  return alpha_ * xm_ / (alpha_ - 1.0);
+}
+
+double ParetoDistribution::variance() const {
+  if (alpha_ <= 2.0) return std::numeric_limits<double>::infinity();
+  return xm_ * xm_ * alpha_ / ((alpha_ - 1.0) * (alpha_ - 1.0) * (alpha_ - 2.0));
+}
+
+std::string ParetoDistribution::name() const {
+  return format_name("Pareto", {xm_, alpha_});
+}
+
+ScaledUniformDistribution::ScaledUniformDistribution(double base, double spread)
+    : base_(base), spread_(spread) {
+  ensure_arg(base > 0.0, "ScaledUniformDistribution: base must be positive");
+  ensure_arg(spread >= 0.0, "ScaledUniformDistribution: spread must be non-negative");
+}
+
+std::string ScaledUniformDistribution::name() const {
+  return format_name("ScaledUniform", {base_, spread_});
+}
+
+}  // namespace cloudprov

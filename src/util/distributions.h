@@ -1,0 +1,150 @@
+// Polymorphic random-variate distributions.
+//
+// Workload models are configured from distribution objects so that scenario
+// definitions (and tests) can swap, e.g., the paper's Weibull interarrival
+// process for a deterministic one without touching generator code. Each
+// distribution also reports its analytic mean/variance, which the test suite
+// uses to validate the samplers against closed forms.
+#pragma once
+
+#include <memory>
+#include <string>
+
+#include "util/rng.h"
+
+namespace cloudprov {
+
+/// A real-valued random variate with known first two moments.
+class Distribution {
+ public:
+  virtual ~Distribution() = default;
+
+  virtual double sample(Rng& rng) const = 0;
+  virtual double mean() const = 0;
+  virtual double variance() const = 0;
+  virtual std::string name() const = 0;
+};
+
+using DistributionPtr = std::shared_ptr<const Distribution>;
+
+/// Always returns the same value. Useful for tests and fluid approximations.
+class DeterministicDistribution final : public Distribution {
+ public:
+  explicit DeterministicDistribution(double value);
+  double sample(Rng&) const override { return value_; }
+  double mean() const override { return value_; }
+  double variance() const override { return 0.0; }
+  std::string name() const override;
+
+ private:
+  double value_;
+};
+
+class ExponentialDistribution final : public Distribution {
+ public:
+  explicit ExponentialDistribution(double rate);
+  double sample(Rng& rng) const override { return rng.exponential(rate_); }
+  double mean() const override { return 1.0 / rate_; }
+  double variance() const override { return 1.0 / (rate_ * rate_); }
+  std::string name() const override;
+  double rate() const { return rate_; }
+
+ private:
+  double rate_;
+};
+
+class UniformDistribution final : public Distribution {
+ public:
+  UniformDistribution(double lo, double hi);
+  double sample(Rng& rng) const override { return rng.uniform(lo_, hi_); }
+  double mean() const override { return 0.5 * (lo_ + hi_); }
+  double variance() const override {
+    const double w = hi_ - lo_;
+    return w * w / 12.0;
+  }
+  std::string name() const override;
+
+ private:
+  double lo_;
+  double hi_;
+};
+
+class WeibullDistribution final : public Distribution {
+ public:
+  WeibullDistribution(double shape, double scale);
+  double sample(Rng& rng) const override { return rng.weibull(shape_, scale_); }
+  double mean() const override;
+  double variance() const override;
+  /// Most likely value; the paper's predictors are built on distribution modes.
+  double mode() const;
+  std::string name() const override;
+  double shape() const { return shape_; }
+  double scale() const { return scale_; }
+
+ private:
+  double shape_;
+  double scale_;
+};
+
+class NormalDistribution final : public Distribution {
+ public:
+  NormalDistribution(double mean, double stddev);
+  double sample(Rng& rng) const override { return rng.normal(mean_, stddev_); }
+  double mean() const override { return mean_; }
+  double variance() const override { return stddev_ * stddev_; }
+  std::string name() const override;
+
+ private:
+  double mean_;
+  double stddev_;
+};
+
+class LogNormalDistribution final : public Distribution {
+ public:
+  /// Parameters of the underlying normal.
+  LogNormalDistribution(double mu, double sigma);
+  double sample(Rng& rng) const override { return rng.lognormal(mu_, sigma_); }
+  double mean() const override;
+  double variance() const override;
+  std::string name() const override;
+
+ private:
+  double mu_;
+  double sigma_;
+};
+
+class ParetoDistribution final : public Distribution {
+ public:
+  ParetoDistribution(double xm, double alpha);
+  double sample(Rng& rng) const override { return rng.pareto(xm_, alpha_); }
+  double mean() const override;      // infinite for alpha <= 1
+  double variance() const override;  // infinite for alpha <= 2
+  std::string name() const override;
+
+ private:
+  double xm_;
+  double alpha_;
+};
+
+/// Base value scaled by U(1, 1 + spread): the paper's service-time
+/// heterogeneity ("a uniformly-generated value between 0% and 10%").
+class ScaledUniformDistribution final : public Distribution {
+ public:
+  ScaledUniformDistribution(double base, double spread);
+  double sample(Rng& rng) const override {
+    return base_ * rng.uniform(1.0, 1.0 + spread_);
+  }
+  double mean() const override { return base_ * (1.0 + 0.5 * spread_); }
+  double variance() const override {
+    const double w = base_ * spread_;
+    return w * w / 12.0;
+  }
+  std::string name() const override;
+  double base() const { return base_; }
+
+ private:
+  double base_;
+  double spread_;
+};
+
+}  // namespace cloudprov

@@ -1,0 +1,41 @@
+#include "util/linalg.h"
+
+#include <cmath>
+#include <utility>
+
+#include "util/check.h"
+
+namespace cloudprov {
+
+std::vector<double> solve_linear_system(std::vector<std::vector<double>> a,
+                                        std::vector<double> b) {
+  const std::size_t n = b.size();
+  ensure_arg(a.size() == n, "solve_linear_system: dimension mismatch");
+  for (const auto& row : a) {
+    ensure_arg(row.size() == n, "solve_linear_system: matrix must be square");
+  }
+  for (std::size_t col = 0; col < n; ++col) {
+    std::size_t pivot = col;
+    for (std::size_t row = col + 1; row < n; ++row) {
+      if (std::abs(a[row][col]) > std::abs(a[pivot][col])) pivot = row;
+    }
+    ensure_arg(std::abs(a[pivot][col]) > 1e-12,
+               "solve_linear_system: singular system");
+    std::swap(a[col], a[pivot]);
+    std::swap(b[col], b[pivot]);
+    for (std::size_t row = col + 1; row < n; ++row) {
+      const double factor = a[row][col] / a[col][col];
+      for (std::size_t k = col; k < n; ++k) a[row][k] -= factor * a[col][k];
+      b[row] -= factor * b[col];
+    }
+  }
+  std::vector<double> x(n);
+  for (std::size_t i = n; i-- > 0;) {
+    double sum = b[i];
+    for (std::size_t k = i + 1; k < n; ++k) sum -= a[i][k] * x[k];
+    x[i] = sum / a[i][i];
+  }
+  return x;
+}
+
+}  // namespace cloudprov

@@ -1,0 +1,46 @@
+#include "util/log.h"
+
+#include <iostream>
+
+#include "util/check.h"
+
+namespace cloudprov {
+namespace {
+
+const char* level_name(LogLevel level) {
+  switch (level) {
+    case LogLevel::kTrace: return "TRACE";
+    case LogLevel::kDebug: return "DEBUG";
+    case LogLevel::kInfo: return "INFO";
+    case LogLevel::kWarn: return "WARN";
+    case LogLevel::kError: return "ERROR";
+    case LogLevel::kOff: return "OFF";
+  }
+  return "?";
+}
+
+}  // namespace
+
+Logger& Logger::instance() {
+  static Logger logger;
+  return logger;
+}
+
+void Logger::write(LogLevel level, const std::string& message) {
+  if (!enabled(level)) return;
+  std::scoped_lock lock(mutex_);
+  std::cerr << '[' << level_name(level) << "] " << message << '\n';
+}
+
+LogLevel Logger::parse_level(const std::string& name) {
+  if (name == "trace") return LogLevel::kTrace;
+  if (name == "debug") return LogLevel::kDebug;
+  if (name == "info") return LogLevel::kInfo;
+  if (name == "warn") return LogLevel::kWarn;
+  if (name == "error") return LogLevel::kError;
+  if (name == "off") return LogLevel::kOff;
+  ensure_arg(false, "unknown log level: " + name);
+  return LogLevel::kWarn;
+}
+
+}  // namespace cloudprov

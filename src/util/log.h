@@ -1,0 +1,68 @@
+// Minimal leveled logger.
+//
+// The simulator is deterministic and single-threaded per replication, but
+// replications may run on worker threads, so sink access is serialized.
+// Logging is stream-based and lazily formatted: a disabled level costs one
+// branch.
+//
+//   CLOUDPROV_LOG(Info) << "scaled to " << m << " instances";
+#pragma once
+
+#include <mutex>
+#include <sstream>
+#include <string>
+
+namespace cloudprov {
+
+enum class LogLevel { kTrace = 0, kDebug, kInfo, kWarn, kError, kOff };
+
+/// Global log configuration and sink.
+class Logger {
+ public:
+  static Logger& instance();
+
+  void set_level(LogLevel level) { level_ = level; }
+  LogLevel level() const { return level_; }
+  bool enabled(LogLevel level) const { return level >= level_; }
+
+  /// Writes one formatted line to stderr (thread-safe).
+  void write(LogLevel level, const std::string& message);
+
+  /// Parses "trace", "debug", "info", "warn", "error", "off".
+  static LogLevel parse_level(const std::string& name);
+
+ private:
+  Logger() = default;
+  LogLevel level_ = LogLevel::kWarn;
+  std::mutex mutex_;
+};
+
+namespace detail {
+
+/// Accumulates one log line and flushes it on destruction.
+class LogLine {
+ public:
+  explicit LogLine(LogLevel level) : level_(level) {}
+  LogLine(const LogLine&) = delete;
+  LogLine& operator=(const LogLine&) = delete;
+  ~LogLine() { Logger::instance().write(level_, stream_.str()); }
+
+  template <typename T>
+  LogLine& operator<<(const T& value) {
+    stream_ << value;
+    return *this;
+  }
+
+ private:
+  LogLevel level_;
+  std::ostringstream stream_;
+};
+
+}  // namespace detail
+}  // namespace cloudprov
+
+#define CLOUDPROV_LOG(severity)                                              \
+  if (!::cloudprov::Logger::instance().enabled(                              \
+          ::cloudprov::LogLevel::k##severity)) {                             \
+  } else                                                                     \
+    ::cloudprov::detail::LogLine(::cloudprov::LogLevel::k##severity)

@@ -1,0 +1,172 @@
+#include "util/rng.h"
+
+#include <cmath>
+#include <numbers>
+
+#include "util/check.h"
+
+namespace cloudprov {
+namespace {
+
+constexpr std::uint64_t rotl(std::uint64_t x, int k) {
+  return (x << k) | (x >> (64 - k));
+}
+
+}  // namespace
+
+Rng::Rng(std::uint64_t seed) {
+  SplitMix64 sm(seed);
+  for (auto& word : s_) word = sm.next();
+}
+
+std::uint64_t Rng::next() {
+  const std::uint64_t result = rotl(s_[1] * 5, 7) * 9;
+  const std::uint64_t t = s_[1] << 17;
+  s_[2] ^= s_[0];
+  s_[3] ^= s_[1];
+  s_[1] ^= s_[2];
+  s_[0] ^= s_[3];
+  s_[2] ^= t;
+  s_[3] = rotl(s_[3], 45);
+  return result;
+}
+
+Rng Rng::split() { return Rng(next()); }
+
+double Rng::uniform() {
+  // Top 53 bits -> [0,1) with full double precision.
+  return static_cast<double>(next() >> 11) * 0x1.0p-53;
+}
+
+double Rng::uniform(double lo, double hi) {
+  ensure_arg(lo <= hi, "uniform: lo must be <= hi");
+  return lo + (hi - lo) * uniform();
+}
+
+double Rng::uniform_positive() {
+  // (0,1]: complement of [0,1).
+  return 1.0 - uniform();
+}
+
+std::uint64_t Rng::uniform_int(std::uint64_t lo, std::uint64_t hi) {
+  ensure_arg(lo <= hi, "uniform_int: lo must be <= hi");
+  const std::uint64_t range = hi - lo;
+  if (range == ~std::uint64_t{0}) return next();
+  const std::uint64_t bound = range + 1;
+  // Lemire-style rejection to remove modulo bias.
+  const std::uint64_t threshold = (0 - bound) % bound;
+  for (;;) {
+    const std::uint64_t r = next();
+    // 128-bit multiply-high.
+    const auto wide = static_cast<unsigned __int128>(r) * bound;
+    const auto low = static_cast<std::uint64_t>(wide);
+    if (low >= threshold) return lo + static_cast<std::uint64_t>(wide >> 64);
+  }
+}
+
+bool Rng::bernoulli(double p) {
+  ensure_arg(p >= 0.0 && p <= 1.0, "bernoulli: p must be in [0,1]");
+  return uniform() < p;
+}
+
+double Rng::exponential(double rate) {
+  ensure_arg(rate > 0.0, "exponential: rate must be positive");
+  return -std::log(uniform_positive()) / rate;
+}
+
+double Rng::weibull(double shape, double scale) {
+  ensure_arg(shape > 0.0 && scale > 0.0, "weibull: parameters must be positive");
+  return scale * std::pow(-std::log(uniform_positive()), 1.0 / shape);
+}
+
+double Rng::normal(double mean, double stddev) {
+  ensure_arg(stddev >= 0.0, "normal: stddev must be non-negative");
+  if (has_cached_normal_) {
+    has_cached_normal_ = false;
+    return mean + stddev * cached_normal_;
+  }
+  // Box–Muller transform.
+  const double u1 = uniform_positive();
+  const double u2 = uniform();
+  const double r = std::sqrt(-2.0 * std::log(u1));
+  const double theta = 2.0 * std::numbers::pi * u2;
+  cached_normal_ = r * std::sin(theta);
+  has_cached_normal_ = true;
+  return mean + stddev * r * std::cos(theta);
+}
+
+double Rng::lognormal(double mu, double sigma) {
+  return std::exp(normal(mu, sigma));
+}
+
+double Rng::pareto(double xm, double alpha) {
+  ensure_arg(xm > 0.0 && alpha > 0.0, "pareto: parameters must be positive");
+  return xm / std::pow(uniform_positive(), 1.0 / alpha);
+}
+
+std::uint64_t Rng::poisson(double mean) {
+  ensure_arg(mean >= 0.0, "poisson: mean must be non-negative");
+  if (mean == 0.0) return 0;
+  return mean < 10.0 ? poisson_knuth(mean) : poisson_ptrs(mean);
+}
+
+std::uint64_t Rng::poisson_knuth(double mean) {
+  const double limit = std::exp(-mean);
+  std::uint64_t count = 0;
+  double product = uniform();
+  while (product > limit) {
+    ++count;
+    product *= uniform();
+  }
+  return count;
+}
+
+std::uint64_t Rng::poisson_ptrs(double mean) {
+  // Hörmann (1993), "The transformed rejection method for generating Poisson
+  // random variables", algorithm PTRS. Valid for mean >= 10.
+  const double slam = std::sqrt(mean);
+  const double loglam = std::log(mean);
+  const double b = 0.931 + 2.53 * slam;
+  const double a = -0.059 + 0.02483 * b;
+  const double inv_alpha = 1.1239 + 1.1328 / (b - 3.4);
+  const double vr = 0.9277 - 3.6224 / (b - 2.0);
+  for (;;) {
+    const double u = uniform() - 0.5;
+    const double v = uniform();
+    const double us = 0.5 - std::abs(u);
+    const double k = std::floor((2.0 * a / us + b) * u + mean + 0.43);
+    if (us >= 0.07 && v <= vr) return static_cast<std::uint64_t>(k);
+    if (k < 0.0 || (us < 0.013 && v > us)) continue;
+    if (std::log(v) + std::log(inv_alpha) - std::log(a / (us * us) + b) <=
+        k * loglam - mean - std::lgamma(k + 1.0)) {
+      return static_cast<std::uint64_t>(k);
+    }
+  }
+}
+
+double Rng::gamma(double shape, double scale) {
+  ensure_arg(shape > 0.0 && scale > 0.0, "gamma: parameters must be positive");
+  // Marsaglia & Tsang (2000). For shape < 1 use the boosting identity.
+  if (shape < 1.0) {
+    const double u = uniform_positive();
+    return gamma(shape + 1.0, scale) * std::pow(u, 1.0 / shape);
+  }
+  const double d = shape - 1.0 / 3.0;
+  const double c = 1.0 / std::sqrt(9.0 * d);
+  for (;;) {
+    double x = 0.0;
+    double v = 0.0;
+    do {
+      x = normal(0.0, 1.0);
+      v = 1.0 + c * x;
+    } while (v <= 0.0);
+    v = v * v * v;
+    const double u = uniform_positive();
+    if (u < 1.0 - 0.0331 * x * x * x * x) return d * v * scale;
+    if (std::log(u) < 0.5 * x * x + d * (1.0 - v + std::log(v))) {
+      return d * v * scale;
+    }
+  }
+}
+
+}  // namespace cloudprov

@@ -1,0 +1,101 @@
+// Deterministic pseudo-random number generation.
+//
+// The simulator must produce identical results for identical seeds across
+// platforms and standard-library implementations, so both the engine
+// (xoshiro256** by Blackman & Vigna) and every variate sampler are
+// implemented here instead of relying on the implementation-defined
+// std::<distribution> algorithms.
+//
+// `Rng` satisfies UniformRandomBitGenerator, so it can still be plugged into
+// standard distributions when cross-platform determinism is not required.
+#pragma once
+
+#include <array>
+#include <cstdint>
+
+namespace cloudprov {
+
+/// splitmix64: used to expand a single 64-bit seed into engine state and to
+/// derive independent child seeds (one per replication / per stream).
+class SplitMix64 {
+ public:
+  explicit constexpr SplitMix64(std::uint64_t seed) : state_(seed) {}
+
+  constexpr std::uint64_t next() {
+    std::uint64_t z = (state_ += 0x9e3779b97f4a7c15ULL);
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+    return z ^ (z >> 31);
+  }
+
+ private:
+  std::uint64_t state_;
+};
+
+/// xoshiro256**: fast, high-quality 64-bit generator with 2^256-1 period.
+class Rng {
+ public:
+  using result_type = std::uint64_t;
+
+  /// Seeds the full 256-bit state from a 64-bit seed via splitmix64.
+  explicit Rng(std::uint64_t seed = 0x2011'1c99'0b5c'a1f3ULL);
+
+  static constexpr result_type min() { return 0; }
+  static constexpr result_type max() { return ~result_type{0}; }
+
+  result_type operator()() { return next(); }
+
+  std::uint64_t next();
+
+  /// Derives an independent generator (distinct stream) from this one.
+  /// Uses splitmix64 on a fresh draw, so child streams do not overlap in
+  /// practice even when many are split from one parent.
+  Rng split();
+
+  /// Uniform double in [0, 1) with 53 bits of precision.
+  double uniform();
+
+  /// Uniform double in [lo, hi).
+  double uniform(double lo, double hi);
+
+  /// Uniform double in (0, 1] — safe as a log() argument.
+  double uniform_positive();
+
+  /// Uniform integer in [lo, hi] (inclusive), bias-free via rejection.
+  std::uint64_t uniform_int(std::uint64_t lo, std::uint64_t hi);
+
+  /// True with probability p.
+  bool bernoulli(double p);
+
+  /// Exponential variate with the given rate (mean 1/rate).
+  double exponential(double rate);
+
+  /// Weibull variate with shape alpha and scale beta (mean beta*Gamma(1+1/alpha)).
+  double weibull(double shape, double scale);
+
+  /// Normal variate (Box–Muller with caching of the second deviate).
+  double normal(double mean, double stddev);
+
+  /// Log-normal variate where the *underlying* normal has (mu, sigma).
+  double lognormal(double mu, double sigma);
+
+  /// Pareto variate with minimum xm and tail index alpha.
+  double pareto(double xm, double alpha);
+
+  /// Poisson count with the given mean. Knuth multiplication for small means,
+  /// Hörmann's PTRS transformed rejection for large means.
+  std::uint64_t poisson(double mean);
+
+  /// Gamma variate, shape k and scale theta (Marsaglia–Tsang).
+  double gamma(double shape, double scale);
+
+ private:
+  std::uint64_t poisson_knuth(double mean);
+  std::uint64_t poisson_ptrs(double mean);
+
+  std::array<std::uint64_t, 4> s_{};
+  double cached_normal_ = 0.0;
+  bool has_cached_normal_ = false;
+};
+
+}  // namespace cloudprov

@@ -1,0 +1,38 @@
+// Time units and conversion helpers.
+//
+// Simulation time is a double measured in seconds since the start of the
+// simulated experiment (matching CloudSim's convention, which the paper's
+// evaluation was built on). Named constants keep scenario configuration
+// readable: `3 * duration::kHour` instead of `10800.0`.
+#pragma once
+
+namespace cloudprov {
+
+/// Simulated time in seconds.
+using SimTime = double;
+
+namespace duration {
+inline constexpr SimTime kMillisecond = 1e-3;
+inline constexpr SimTime kSecond = 1.0;
+inline constexpr SimTime kMinute = 60.0;
+inline constexpr SimTime kHour = 3600.0;
+inline constexpr SimTime kDay = 86400.0;
+inline constexpr SimTime kWeek = 7.0 * kDay;
+}  // namespace duration
+
+/// Seconds elapsed since the most recent simulated midnight.
+constexpr SimTime seconds_into_day(SimTime t) {
+  const auto days = static_cast<long long>(t / duration::kDay);
+  SimTime rem = t - static_cast<SimTime>(days) * duration::kDay;
+  if (rem < 0) rem += duration::kDay;
+  return rem;
+}
+
+/// Whole days elapsed since simulation start (day 0 = first simulated day).
+constexpr long long day_index(SimTime t) {
+  auto d = static_cast<long long>(t / duration::kDay);
+  if (static_cast<SimTime>(d) * duration::kDay > t) --d;  // floor for t < 0
+  return d;
+}
+
+}  // namespace cloudprov

@@ -1,0 +1,119 @@
+#include "workload/bot_workload.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/check.h"
+
+namespace cloudprov {
+
+BotWorkload::BotWorkload(BotWorkloadConfig config)
+    : config_(config),
+      service_demand_(config.service_base, config.service_spread),
+      size_class_(config.size_shape, config.size_scale),
+      peak_interarrival_(config.peak_interarrival_shape,
+                         config.peak_interarrival_scale),
+      offpeak_count_(config.offpeak_count_shape, config.offpeak_count_scale) {
+  ensure_arg(config_.peak_start >= 0.0 && config_.peak_start < config_.peak_end &&
+                 config_.peak_end <= duration::kDay,
+             "BotWorkload: peak window must lie within the day");
+  ensure_arg(config_.offpeak_window > 0.0, "BotWorkload: window must be > 0");
+  ensure_arg(config_.horizon > 0.0, "BotWorkload: horizon must be > 0");
+  ensure_arg(config_.scale > 0.0, "BotWorkload: scale must be > 0");
+}
+
+bool BotWorkload::in_peak(SimTime t) const {
+  const SimTime tod = seconds_into_day(t);
+  return tod >= config_.peak_start && tod < config_.peak_end;
+}
+
+double BotWorkload::mean_tasks_per_job() const {
+  // E[max(1, floor(S))] = 1 + sum_{n>=2} P(S >= n), S ~ Weibull(alpha, beta).
+  const double alpha = config_.size_shape;
+  const double beta = config_.size_scale;
+  double mean = 1.0;
+  for (int n = 2; n < 10000; ++n) {
+    const double survival = std::exp(-std::pow(static_cast<double>(n) / beta, alpha));
+    mean += survival;
+    if (survival < 1e-12) break;
+  }
+  return mean;
+}
+
+double BotWorkload::interarrival_mode() const { return peak_interarrival_.mode(); }
+double BotWorkload::offpeak_count_mode() const { return offpeak_count_.mode(); }
+double BotWorkload::size_mode() const { return size_class_.mode(); }
+
+double BotWorkload::expected_rate(SimTime t) const {
+  if (t < 0.0 || t >= config_.horizon) return 0.0;
+  const double tasks = mean_tasks_per_job();
+  if (in_peak(t)) {
+    const double mean_interarrival = peak_interarrival_.mean() / config_.scale;
+    return tasks / mean_interarrival;
+  }
+  // Window counts are floored at generation time; E[floor(X)] ~ E[X] - 0.5
+  // for a smooth X well above zero.
+  const double mean_jobs =
+      std::max(0.0, offpeak_count_.mean() * config_.scale - 0.5);
+  return mean_jobs * tasks / config_.offpeak_window;
+}
+
+void BotWorkload::emit_job(SimTime t, Rng& rng) {
+  const double raw = size_class_.sample(rng);
+  const auto tasks = static_cast<std::uint64_t>(std::max(1.0, std::floor(raw)));
+  for (std::uint64_t i = 0; i < tasks; ++i) {
+    pending_.push_back(Arrival{t, service_demand_.sample(rng)});
+  }
+}
+
+void BotWorkload::generate_offpeak_window(SimTime window_start, Rng& rng) {
+  const double raw = offpeak_count_.sample(rng) * config_.scale;
+  const auto jobs = static_cast<std::uint64_t>(std::max(0.0, std::floor(raw)));
+  if (jobs == 0) return;
+  // "Jobs arrive in equal intervals inside the 30 minutes period."
+  const SimTime spacing = config_.offpeak_window / static_cast<double>(jobs);
+  for (std::uint64_t j = 0; j < jobs; ++j) {
+    const SimTime t = window_start + spacing * static_cast<double>(j);
+    if (t >= config_.horizon) break;
+    // Skip slots that precede the entry point into this window (only possible
+    // with non-window-aligned custom peak boundaries).
+    if (t < cursor_) continue;
+    emit_job(t, rng);
+  }
+}
+
+void BotWorkload::refill(Rng& rng) {
+  while (pending_.empty() && cursor_ < config_.horizon) {
+    if (in_peak(cursor_)) {
+      const SimTime peak_end_abs =
+          static_cast<double>(day_index(cursor_)) * duration::kDay +
+          config_.peak_end;
+      const SimTime gap = peak_interarrival_.sample(rng) / config_.scale;
+      const SimTime candidate = cursor_ + gap;
+      if (candidate >= peak_end_abs) {
+        cursor_ = peak_end_abs;  // switch to off-peak at the boundary
+        continue;
+      }
+      cursor_ = candidate;
+      if (cursor_ >= config_.horizon) break;
+      emit_job(cursor_, rng);
+    } else {
+      // Off-peak windows are aligned to multiples of the window length
+      // (peak boundaries at 8:00/17:00 are multiples of 30 minutes).
+      const SimTime window_start =
+          std::floor(cursor_ / config_.offpeak_window) * config_.offpeak_window;
+      generate_offpeak_window(window_start, rng);
+      cursor_ = window_start + config_.offpeak_window;
+    }
+  }
+}
+
+std::optional<Arrival> BotWorkload::next(Rng& rng) {
+  if (pending_.empty()) refill(rng);
+  if (pending_.empty()) return std::nullopt;
+  Arrival a = pending_.front();
+  pending_.pop_front();
+  return a;
+}
+
+}  // namespace cloudprov

@@ -1,0 +1,99 @@
+// Scientific workload (Section V-B2): Bag-of-Tasks grid jobs following the
+// workload model of Iosup et al. (HPDC'08), with the parameters the paper
+// uses:
+//
+//  * peak time (8 a.m. – 5 p.m.): job interarrival time ~ Weibull(4.25, 7.86)
+//    seconds (mode 7.379 s);
+//  * off-peak: the number of jobs in each 30-minute window ~
+//    Weibull(1.79, 24.16) (mode 15.298), jobs evenly spaced in the window;
+//  * each job carries size-class tasks ~ Weibull(1.76, 2.11) (mode 1.309),
+//    floored with a minimum of one task; every task is one request;
+//  * each request needs 300 s on an idle instance plus uniform 0-10%
+//    heterogeneity.
+//
+// Simulation covers one day starting at midnight (daily-cycle workload).
+#pragma once
+
+#include <deque>
+#include <string>
+
+#include "util/distributions.h"
+#include "workload/source.h"
+
+namespace cloudprov {
+
+struct BotWorkloadConfig {
+  /// Peak window boundaries (seconds into the day).
+  SimTime peak_start = 8.0 * 3600.0;
+  SimTime peak_end = 17.0 * 3600.0;
+
+  /// Weibull(shape, scale) of job interarrival seconds during peak time.
+  double peak_interarrival_shape = 4.25;
+  double peak_interarrival_scale = 7.86;
+
+  /// Weibull(shape, scale) of the job count per off-peak window.
+  double offpeak_count_shape = 1.79;
+  double offpeak_count_scale = 24.16;
+  SimTime offpeak_window = 30.0 * 60.0;
+
+  /// Weibull(shape, scale) of the BoT size class (tasks per job).
+  double size_shape = 1.76;
+  double size_scale = 2.11;
+
+  /// Request processing time: 300 s base, uniform 0-10% spread.
+  double service_base = 300.0;
+  double service_spread = 0.10;
+
+  /// Workload horizon (one day in the paper).
+  SimTime horizon = 86400.0;
+
+  /// Multiplies arrival intensity (1.0 = paper scale, ~8-10k requests/day).
+  double scale = 1.0;
+};
+
+class BotWorkload final : public RequestSource {
+ public:
+  explicit BotWorkload(BotWorkloadConfig config = {});
+
+  std::optional<Arrival> next(Rng& rng) override;
+
+  /// Expected request rate at t: mean tasks-per-job divided by the mean job
+  /// interarrival (peak) or divided into the mean window count (off-peak).
+  /// Uses the *realized* task-count mean E[max(1, floor(S))], not the
+  /// continuous Weibull mean.
+  double expected_rate(SimTime t) const override;
+
+  std::string name() const override { return "BotWorkload(iosup-bot)"; }
+
+  const BotWorkloadConfig& config() const { return config_; }
+
+  /// Mean of max(1, floor(S)) with S ~ Weibull(size_shape, size_scale);
+  /// evaluated numerically from the Weibull CDF.
+  double mean_tasks_per_job() const;
+
+  /// Most likely value of the job interarrival / window count / size class —
+  /// the statistics the paper's predictor is built on.
+  double interarrival_mode() const;
+  double offpeak_count_mode() const;
+  double size_mode() const;
+
+ private:
+  bool in_peak(SimTime t) const;
+  /// Emits all tasks of a job arriving at `t` into the pending queue.
+  void emit_job(SimTime t, Rng& rng);
+  /// Generates job arrivals until at least one task is pending or the
+  /// horizon is reached.
+  void refill(Rng& rng);
+  /// Generates the off-peak window starting at `window_start`.
+  void generate_offpeak_window(SimTime window_start, Rng& rng);
+
+  BotWorkloadConfig config_;
+  ScaledUniformDistribution service_demand_;
+  WeibullDistribution size_class_;
+  WeibullDistribution peak_interarrival_;
+  WeibullDistribution offpeak_count_;
+  SimTime cursor_ = 0.0;  // next candidate job-arrival instant
+  std::deque<Arrival> pending_;
+};
+
+}  // namespace cloudprov

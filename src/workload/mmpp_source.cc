@@ -1,0 +1,75 @@
+#include "workload/mmpp_source.h"
+
+#include <limits>
+
+#include "util/check.h"
+
+namespace cloudprov {
+
+MmppSource::MmppSource(MmppConfig config) : config_(std::move(config)) {
+  ensure_arg(!config_.states.empty(), "MmppSource: need at least one state");
+  for (const MmppState& state : config_.states) {
+    ensure_arg(state.arrival_rate >= 0.0, "MmppSource: negative arrival rate");
+    ensure_arg(state.mean_holding > 0.0, "MmppSource: holding time must be > 0");
+  }
+  ensure_arg(config_.service_demand != nullptr,
+             "MmppSource: null demand distribution");
+  ensure_arg(config_.horizon >= 0.0, "MmppSource: negative horizon");
+}
+
+double MmppSource::expected_rate(SimTime t) const {
+  if (config_.horizon > 0.0 && (t < 0.0 || t >= config_.horizon)) return 0.0;
+  // Stationary distribution of the uniform-switching chain is proportional
+  // to the mean holding times.
+  double weighted = 0.0;
+  double total = 0.0;
+  for (const MmppState& state : config_.states) {
+    weighted += state.arrival_rate * state.mean_holding;
+    total += state.mean_holding;
+  }
+  return weighted / total;
+}
+
+void MmppSource::enter_next_state(Rng& rng) {
+  if (config_.states.size() > 1) {
+    // Uniform among the other states.
+    auto next = static_cast<std::size_t>(
+        rng.uniform_int(0, config_.states.size() - 2));
+    if (next >= state_) ++next;
+    state_ = next;
+  }
+  state_end_ = cursor_ + rng.exponential(1.0 / config_.states[state_].mean_holding);
+}
+
+std::optional<Arrival> MmppSource::next(Rng& rng) {
+  const SimTime horizon = config_.horizon > 0.0
+                              ? config_.horizon
+                              : std::numeric_limits<SimTime>::infinity();
+  if (!started_) {
+    started_ = true;
+    state_ = 0;
+    state_end_ = rng.exponential(1.0 / config_.states[0].mean_holding);
+  }
+  for (;;) {
+    if (cursor_ >= horizon) return std::nullopt;
+    const double rate = config_.states[state_].arrival_rate;
+    if (rate <= 0.0) {
+      cursor_ = state_end_;
+      if (cursor_ >= horizon) return std::nullopt;
+      enter_next_state(rng);
+      continue;
+    }
+    const SimTime candidate = cursor_ + rng.exponential(rate);
+    if (candidate >= state_end_) {
+      // Memoryless: restart the arrival clock at the state boundary.
+      cursor_ = state_end_;
+      enter_next_state(rng);
+      continue;
+    }
+    cursor_ = candidate;
+    if (cursor_ >= horizon) return std::nullopt;
+    return Arrival{cursor_, config_.service_demand->sample(rng)};
+  }
+}
+
+}  // namespace cloudprov

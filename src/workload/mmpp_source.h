@@ -1,0 +1,55 @@
+// Markov-modulated Poisson process (MMPP) source.
+//
+// A hidden continuous-time Markov chain switches between states, each with
+// its own Poisson arrival rate — the standard model for bursty traffic whose
+// bursts are *not* time-of-day-periodic (unlike the paper's web model). Used
+// to stress history-based predictors: an MMPP's next burst is unpredictable
+// by construction, so only reactive headroom protects QoS.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "util/distributions.h"
+#include "workload/source.h"
+
+namespace cloudprov {
+
+struct MmppState {
+  double arrival_rate = 0.0;   ///< Poisson rate while in this state
+  double mean_holding = 1.0;   ///< exponential mean sojourn in seconds
+};
+
+struct MmppConfig {
+  std::vector<MmppState> states;
+  /// Next state is drawn uniformly among the *other* states (a generalized
+  /// ON/OFF process when there are two states).
+  DistributionPtr service_demand;
+  SimTime horizon = 0.0;  ///< 0 means unbounded
+};
+
+class MmppSource final : public RequestSource {
+ public:
+  explicit MmppSource(MmppConfig config);
+
+  std::optional<Arrival> next(Rng& rng) override;
+
+  /// Long-run average rate (time-stationary mixture); the instantaneous
+  /// state is hidden, as it would be in production.
+  double expected_rate(SimTime t) const override;
+
+  std::string name() const override { return "MMPP"; }
+
+  std::size_t current_state() const { return state_; }
+
+ private:
+  void enter_next_state(Rng& rng);
+
+  MmppConfig config_;
+  std::size_t state_ = 0;
+  SimTime cursor_ = 0.0;
+  SimTime state_end_ = 0.0;
+  bool started_ = false;
+};
+
+}  // namespace cloudprov

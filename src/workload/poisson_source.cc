@@ -1,0 +1,33 @@
+#include "workload/poisson_source.h"
+
+#include "util/check.h"
+
+namespace cloudprov {
+
+PoissonSource::PoissonSource(double rate, DistributionPtr service_demand,
+                             SimTime start, SimTime end)
+    : rate_(rate),
+      service_demand_(std::move(service_demand)),
+      end_(end),
+      cursor_(start) {
+  ensure_arg(rate >= 0.0, "PoissonSource: rate must be >= 0");
+  ensure_arg(service_demand_ != nullptr, "PoissonSource: null demand distribution");
+  ensure_arg(start <= end, "PoissonSource: start must be <= end");
+}
+
+std::optional<Arrival> PoissonSource::next(Rng& rng) {
+  if (rate_ == 0.0) return std::nullopt;
+  cursor_ += rng.exponential(rate_);
+  if (cursor_ >= end_) return std::nullopt;
+  return Arrival{cursor_, service_demand_->sample(rng)};
+}
+
+double PoissonSource::expected_rate(SimTime t) const {
+  return (t < end_) ? rate_ : 0.0;
+}
+
+std::string PoissonSource::name() const {
+  return "Poisson(rate=" + std::to_string(rate_) + ")";
+}
+
+}  // namespace cloudprov

@@ -1,0 +1,33 @@
+// Homogeneous Poisson arrival process with pluggable service-demand
+// distribution. The elementary workload used by the quickstart example, the
+// M/M/1/k validation suite, and as a building block for piecewise-constant
+// rate sources.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "util/distributions.h"
+#include "workload/source.h"
+
+namespace cloudprov {
+
+class PoissonSource final : public RequestSource {
+ public:
+  /// Arrivals at `rate` per second over [start, end); demands drawn from
+  /// `service_demand`.
+  PoissonSource(double rate, DistributionPtr service_demand, SimTime start = 0.0,
+                SimTime end = std::numeric_limits<SimTime>::infinity());
+
+  std::optional<Arrival> next(Rng& rng) override;
+  double expected_rate(SimTime t) const override;
+  std::string name() const override;
+
+ private:
+  double rate_;
+  DistributionPtr service_demand_;
+  SimTime end_;
+  SimTime cursor_;
+};
+
+}  // namespace cloudprov

@@ -1,0 +1,29 @@
+// End-user service requests (r_l in the paper's notation).
+//
+// Requests are independent (web requests / Bag-of-Tasks tasks, Section III-B):
+// no inter-request communication, all data available on the serving VM.
+// Priority and deadline fields support the paper's future-work extension
+// (Section VII) of serving high-priority requests first under contention;
+// the baseline experiments leave them at their defaults.
+#pragma once
+
+#include <cstdint>
+#include <limits>
+
+#include "util/units.h"
+
+namespace cloudprov {
+
+struct Request {
+  std::uint64_t id = 0;
+  /// t_l: arrival time at the application provisioner.
+  SimTime arrival_time = 0.0;
+  /// Seconds of work on a unit-speed application instance.
+  double service_demand = 0.0;
+  /// Larger value = more important (extension; 0 in the paper's experiments).
+  int priority = 0;
+  /// Absolute completion deadline (extension; +inf in the paper's experiments).
+  SimTime deadline = std::numeric_limits<SimTime>::infinity();
+};
+
+}  // namespace cloudprov

@@ -1,0 +1,43 @@
+// Request-source abstraction.
+//
+// A RequestSource is a pull-based generator of arrivals with nondecreasing
+// timestamps. The broker entity drains it into the simulation; tests drain it
+// directly. Sources also expose their ground-truth expected arrival rate,
+// which drives the Figure 3/4 reproductions and the oracle predictor used in
+// the predictor-ablation bench.
+#pragma once
+
+#include <limits>
+#include <optional>
+#include <string>
+
+#include "util/rng.h"
+#include "util/units.h"
+
+namespace cloudprov {
+
+/// One generated arrival: when it reaches the provisioner and how much work
+/// it carries.
+struct Arrival {
+  SimTime time = 0.0;
+  double service_demand = 0.0;
+  int priority = 0;
+  SimTime deadline = std::numeric_limits<SimTime>::infinity();
+};
+
+class RequestSource {
+ public:
+  virtual ~RequestSource() = default;
+
+  /// Produces the next arrival, or nullopt when the workload is exhausted.
+  /// Returned times never decrease.
+  virtual std::optional<Arrival> next(Rng& rng) = 0;
+
+  /// Ground-truth expected arrival rate (requests/second) at time t, before
+  /// random noise. Used for plots and the oracle predictor, not by policies.
+  virtual double expected_rate(SimTime t) const = 0;
+
+  virtual std::string name() const = 0;
+};
+
+}  // namespace cloudprov

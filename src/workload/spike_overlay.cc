@@ -1,0 +1,59 @@
+#include "workload/spike_overlay.h"
+
+#include "util/check.h"
+
+namespace cloudprov {
+
+SpikeOverlaySource::SpikeOverlaySource(std::unique_ptr<RequestSource> base,
+                                       SpikeConfig spike)
+    : base_(std::move(base)), spike_(std::move(spike)), spike_cursor_(spike_.start) {
+  ensure_arg(base_ != nullptr, "SpikeOverlaySource: null base source");
+  ensure_arg(spike_.start <= spike_.end, "SpikeOverlaySource: start must be <= end");
+  ensure_arg(spike_.extra_rate >= 0.0, "SpikeOverlaySource: negative spike rate");
+  if (spike_.extra_rate > 0.0) {
+    ensure_arg(spike_.service_demand != nullptr,
+               "SpikeOverlaySource: spike needs a demand distribution");
+  }
+}
+
+double SpikeOverlaySource::true_rate(SimTime t) const {
+  double rate = base_->expected_rate(t);
+  if (t >= spike_.start && t < spike_.end) rate += spike_.extra_rate;
+  return rate;
+}
+
+void SpikeOverlaySource::refill_spike(Rng& rng) {
+  if (pending_spike_.has_value() || spike_.extra_rate <= 0.0) return;
+  while (spike_cursor_ < spike_.end) {
+    spike_cursor_ += rng.exponential(spike_.extra_rate);
+    if (spike_cursor_ >= spike_.end) break;
+    pending_spike_ = Arrival{spike_cursor_, spike_.service_demand->sample(rng)};
+    return;
+  }
+}
+
+std::optional<Arrival> SpikeOverlaySource::next(Rng& rng) {
+  if (!pending_base_.has_value()) pending_base_ = base_->next(rng);
+  refill_spike(rng);
+
+  if (!pending_base_.has_value() && !pending_spike_.has_value()) {
+    return std::nullopt;
+  }
+  const bool take_spike =
+      pending_spike_.has_value() &&
+      (!pending_base_.has_value() || pending_spike_->time <= pending_base_->time);
+  if (take_spike) {
+    const Arrival a = *pending_spike_;
+    pending_spike_.reset();
+    return a;
+  }
+  const Arrival a = *pending_base_;
+  pending_base_.reset();
+  return a;
+}
+
+std::string SpikeOverlaySource::name() const {
+  return "SpikeOverlay(" + base_->name() + ")";
+}
+
+}  // namespace cloudprov

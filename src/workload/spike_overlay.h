@@ -1,0 +1,57 @@
+// Flash-crowd overlay: superimposes an unannounced Poisson burst on top of
+// any base workload.
+//
+// Models the paper's "highly variable load spikes in demand ... depending on
+// ... the popularity of an application" (Section I): the base workload's
+// published model (and therefore the profile predictor built from it) knows
+// nothing about the spike. expected_rate() deliberately reports only the
+// base rate — the spike is invisible to model-derived predictors, exactly
+// like a real flash crowd.
+#pragma once
+
+#include <memory>
+#include <optional>
+#include <string>
+
+#include "util/distributions.h"
+#include "workload/source.h"
+
+namespace cloudprov {
+
+struct SpikeConfig {
+  SimTime start = 0.0;
+  SimTime end = 0.0;
+  /// Additional Poisson arrival rate during [start, end).
+  double extra_rate = 0.0;
+  /// Service demand of spike requests.
+  DistributionPtr service_demand;
+};
+
+class SpikeOverlaySource final : public RequestSource {
+ public:
+  /// `base` is owned by the overlay.
+  SpikeOverlaySource(std::unique_ptr<RequestSource> base, SpikeConfig spike);
+
+  std::optional<Arrival> next(Rng& rng) override;
+
+  /// Base workload's rate only: flash crowds are not in the model.
+  double expected_rate(SimTime t) const override {
+    return base_->expected_rate(t);
+  }
+
+  /// Ground truth including the spike (for analysis, not for predictors).
+  double true_rate(SimTime t) const;
+
+  std::string name() const override;
+
+ private:
+  void refill_spike(Rng& rng);
+
+  std::unique_ptr<RequestSource> base_;
+  SpikeConfig spike_;
+  std::optional<Arrival> pending_base_;
+  std::optional<Arrival> pending_spike_;
+  SimTime spike_cursor_;
+};
+
+}  // namespace cloudprov

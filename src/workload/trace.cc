@@ -1,0 +1,87 @@
+#include "workload/trace.h"
+
+#include <algorithm>
+#include <istream>
+#include <ostream>
+
+#include "util/check.h"
+#include "util/csv.h"
+
+namespace cloudprov {
+
+WorkloadTrace WorkloadTrace::record(RequestSource& source, Rng& rng,
+                                    std::size_t max_arrivals) {
+  WorkloadTrace trace;
+  while (trace.arrivals.size() < max_arrivals) {
+    auto arrival = source.next(rng);
+    if (!arrival) break;
+    trace.arrivals.push_back(*arrival);
+  }
+  return trace;
+}
+
+void WorkloadTrace::write_csv(std::ostream& out) const {
+  CsvWriter writer(out);
+  writer.write_header({"time", "service_demand", "priority", "deadline"});
+  for (const Arrival& a : arrivals) {
+    writer.write_row({CsvWriter::format(a.time), CsvWriter::format(a.service_demand),
+                      CsvWriter::format(static_cast<std::int64_t>(a.priority)),
+                      CsvWriter::format(a.deadline)});
+  }
+}
+
+WorkloadTrace WorkloadTrace::read_csv(std::istream& in) {
+  CsvReader reader(in);
+  WorkloadTrace trace;
+  bool header_skipped = false;
+  while (auto row = reader.next_row()) {
+    if (!header_skipped) {
+      header_skipped = true;
+      continue;
+    }
+    if (row->empty() || (row->size() == 1 && (*row)[0].empty())) continue;
+    ensure_arg(row->size() >= 2, "trace CSV row needs at least time,service_demand");
+    Arrival a;
+    a.time = std::stod((*row)[0]);
+    a.service_demand = std::stod((*row)[1]);
+    if (row->size() > 2) a.priority = std::stoi((*row)[2]);
+    if (row->size() > 3) a.deadline = std::stod((*row)[3]);
+    trace.arrivals.push_back(a);
+  }
+  ensure_arg(std::is_sorted(trace.arrivals.begin(), trace.arrivals.end(),
+                            [](const Arrival& x, const Arrival& y) {
+                              return x.time < y.time;
+                            }),
+             "trace CSV must be sorted by time");
+  return trace;
+}
+
+TraceSource::TraceSource(WorkloadTrace trace, SimTime rate_window)
+    : trace_(std::move(trace)), rate_window_(rate_window) {
+  ensure_arg(rate_window > 0.0, "TraceSource: rate window must be > 0");
+  ensure_arg(std::is_sorted(trace_.arrivals.begin(), trace_.arrivals.end(),
+                            [](const Arrival& x, const Arrival& y) {
+                              return x.time < y.time;
+                            }),
+             "TraceSource: trace must be sorted by time");
+}
+
+std::optional<Arrival> TraceSource::next(Rng&) {
+  if (position_ >= trace_.arrivals.size()) return std::nullopt;
+  return trace_.arrivals[position_++];
+}
+
+double TraceSource::expected_rate(SimTime t) const {
+  const auto& a = trace_.arrivals;
+  const SimTime lo = t - rate_window_ / 2.0;
+  const SimTime hi = t + rate_window_ / 2.0;
+  const auto begin = std::lower_bound(
+      a.begin(), a.end(), lo,
+      [](const Arrival& x, SimTime value) { return x.time < value; });
+  const auto end = std::lower_bound(
+      a.begin(), a.end(), hi,
+      [](const Arrival& x, SimTime value) { return x.time < value; });
+  return static_cast<double>(end - begin) / rate_window_;
+}
+
+}  // namespace cloudprov

@@ -1,0 +1,50 @@
+// Workload trace record and replay.
+//
+// Any RequestSource can be recorded to a trace (in memory or CSV) and played
+// back later; replays are deterministic and ignore the Rng. This supports
+// (a) comparing policies on *identical* arrival sequences instead of merely
+// identically-distributed ones, and (b) feeding real production traces into
+// the provisioner, which is how the paper's model would be used outside a
+// simulator.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "workload/source.h"
+
+namespace cloudprov {
+
+/// Flat in-memory trace of arrivals sorted by time.
+struct WorkloadTrace {
+  std::vector<Arrival> arrivals;
+
+  /// Drains `source` (up to max_arrivals) into a trace.
+  static WorkloadTrace record(RequestSource& source, Rng& rng,
+                              std::size_t max_arrivals = SIZE_MAX);
+
+  /// CSV round-trip: columns time,service_demand,priority,deadline.
+  void write_csv(std::ostream& out) const;
+  static WorkloadTrace read_csv(std::istream& in);
+};
+
+/// Replays a trace as a RequestSource. expected_rate() is estimated from
+/// arrival counts in a sliding window.
+class TraceSource final : public RequestSource {
+ public:
+  explicit TraceSource(WorkloadTrace trace, SimTime rate_window = 60.0);
+
+  std::optional<Arrival> next(Rng& rng) override;
+  double expected_rate(SimTime t) const override;
+  std::string name() const override { return "TraceSource"; }
+
+  std::size_t remaining() const { return trace_.arrivals.size() - position_; }
+
+ private:
+  WorkloadTrace trace_;
+  SimTime rate_window_;
+  std::size_t position_ = 0;
+};
+
+}  // namespace cloudprov

@@ -1,0 +1,71 @@
+#include "workload/web_workload.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numbers>
+
+#include "util/check.h"
+
+namespace cloudprov {
+
+WebWorkload::WebWorkload(WebWorkloadConfig config)
+    : config_(config),
+      service_demand_(config.service_base, config.service_spread) {
+  ensure_arg(config_.rate_interval > 0.0, "WebWorkload: rate_interval must be > 0");
+  ensure_arg(config_.rate_noise_fraction >= 0.0,
+             "WebWorkload: noise fraction must be >= 0");
+  ensure_arg(config_.horizon > 0.0, "WebWorkload: horizon must be > 0");
+  ensure_arg(config_.scale > 0.0, "WebWorkload: scale must be > 0");
+  for (const DayRates& day : config_.week) {
+    ensure_arg(day.min >= 0.0 && day.max >= day.min,
+               "WebWorkload: need 0 <= min <= max for every day");
+  }
+}
+
+double WebWorkload::expected_rate(SimTime t) const {
+  if (t < 0.0 || t >= config_.horizon) return 0.0;
+  const auto day = static_cast<std::size_t>(day_index(t) % 7);
+  const DayRates& rates = config_.week[day];
+  const SimTime tod = seconds_into_day(t);
+  // Equation 2: trough Rmin at midnight, peak Rmax at noon.
+  const double r = rates.min + (rates.max - rates.min) *
+                                   std::sin(std::numbers::pi * tod /
+                                            duration::kDay);
+  return r * config_.scale;
+}
+
+void WebWorkload::begin_interval(SimTime t, Rng& rng) {
+  const double base = expected_rate(t);
+  const double noisy =
+      base * (1.0 + config_.rate_noise_fraction * rng.normal(0.0, 1.0));
+  interval_rate_ = std::max(0.0, noisy);
+  const double intervals_done = std::floor(t / config_.rate_interval);
+  interval_end_ = (intervals_done + 1.0) * config_.rate_interval;
+}
+
+std::optional<Arrival> WebWorkload::next(Rng& rng) {
+  if (interval_rate_ < 0.0) begin_interval(cursor_, rng);
+  for (;;) {
+    if (cursor_ >= config_.horizon) return std::nullopt;
+    if (interval_rate_ <= 0.0) {
+      // Idle interval: jump to the next one.
+      cursor_ = interval_end_;
+      begin_interval(cursor_, rng);
+      continue;
+    }
+    const SimTime candidate = cursor_ + rng.exponential(interval_rate_);
+    if (candidate >= interval_end_) {
+      // Rate changes at the boundary; restart there (exponential arrivals
+      // are memoryless, so this is an exact thinning-free piecewise
+      // construction).
+      cursor_ = interval_end_;
+      begin_interval(cursor_, rng);
+      continue;
+    }
+    cursor_ = candidate;
+    if (cursor_ >= config_.horizon) return std::nullopt;
+    return Arrival{cursor_, service_demand_.sample(rng)};
+  }
+}
+
+}  // namespace cloudprov

@@ -1,0 +1,88 @@
+// Web workload (Section V-B1): a simplified model of the English Wikipedia
+// access traces (Urdaneta et al.).
+//
+// The arrival rate follows Equation 2 of the paper,
+//
+//     r(t) = Rmin + (Rmax - Rmin) * sin(pi * t / 86400),
+//
+// where t is seconds since midnight and (Rmin, Rmax) come from the per-weekday
+// Table II — trough at midnight, peak at noon, 12 hours apart. The data
+// center re-samples the rate every 60 seconds with a 5% relative standard
+// deviation; within an interval arrivals are Poisson at the sampled rate.
+// Each request needs 100 ms on an idle server plus a uniformly distributed
+// 0–10% heterogeneity term. Simulation starts Monday 12 a.m. and runs one
+// week.
+#pragma once
+
+#include <array>
+#include <string>
+
+#include "util/distributions.h"
+#include "workload/source.h"
+
+namespace cloudprov {
+
+/// One Table II row: requests/second bounds for a day of the week.
+struct DayRates {
+  double max = 0.0;
+  double min = 0.0;
+};
+
+struct WebWorkloadConfig {
+  /// Table II, indexed by day offset from the simulation start.
+  /// The simulation starts Monday (paper, Section V-B1), so index 0 = Monday.
+  std::array<DayRates, 7> week = {{
+      {1000.0, 500.0},  // Monday
+      {1200.0, 500.0},  // Tuesday
+      {1200.0, 500.0},  // Wednesday
+      {1200.0, 500.0},  // Thursday
+      {1200.0, 500.0},  // Friday
+      {1000.0, 500.0},  // Saturday
+      {900.0, 400.0},   // Sunday
+  }};
+
+  /// Rate re-sampling interval ("requests are received by the data center in
+  /// intervals of 60 seconds").
+  SimTime rate_interval = 60.0;
+
+  /// Relative standard deviation applied to each interval's Equation-2 rate.
+  double rate_noise_fraction = 0.05;
+
+  /// Base request processing time on an idle server (100 ms) and the
+  /// uniform 0-10% heterogeneity spread.
+  double service_base = 0.100;
+  double service_spread = 0.10;
+
+  /// Workload horizon (one week in the paper).
+  SimTime horizon = 7.0 * 86400.0;
+
+  /// Multiplies all arrival rates; 1.0 reproduces paper scale (~500M
+  /// requests/week). Benches default to 0.1 for tractable single-core runs.
+  double scale = 1.0;
+};
+
+class WebWorkload final : public RequestSource {
+ public:
+  explicit WebWorkload(WebWorkloadConfig config = {});
+
+  std::optional<Arrival> next(Rng& rng) override;
+
+  /// Equation 2 evaluated at t (scaled); the noise-free ground truth.
+  double expected_rate(SimTime t) const override;
+
+  std::string name() const override { return "WebWorkload(wikipedia)"; }
+
+  const WebWorkloadConfig& config() const { return config_; }
+
+ private:
+  /// Enters the interval containing `t` and samples its noisy rate.
+  void begin_interval(SimTime t, Rng& rng);
+
+  WebWorkloadConfig config_;
+  ScaledUniformDistribution service_demand_;
+  SimTime cursor_ = 0.0;
+  SimTime interval_end_ = 0.0;
+  double interval_rate_ = -1.0;  // <0 means "not started"
+};
+
+}  // namespace cloudprov

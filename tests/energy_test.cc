@@ -1,0 +1,81 @@
+// Host power accounting and the data-center energy model.
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "cloud/datacenter.h"
+#include "experiment/energy.h"
+
+namespace cloudprov {
+namespace {
+
+TEST(HostPower, PoweredOnlyWhileOccupied) {
+  Host host(0, HostSpec{});
+  const VmSpec vm{};
+  EXPECT_EQ(host.powered_seconds(100.0), 0.0);
+  host.allocate(vm, 10.0);
+  EXPECT_EQ(host.powered_seconds(25.0), 15.0);  // live interval
+  host.allocate(vm, 20.0);                      // second VM: already powered
+  host.release(vm, 30.0);
+  EXPECT_EQ(host.powered_seconds(30.0), 20.0);  // still one VM resident
+  host.release(vm, 50.0);                       // last VM gone -> power off
+  EXPECT_EQ(host.powered_seconds(100.0), 40.0);
+  // Power cycles accumulate.
+  host.allocate(vm, 200.0);
+  host.release(vm, 210.0);
+  EXPECT_EQ(host.powered_seconds(300.0), 50.0);
+}
+
+TEST(Energy, IdleFloorPlusDynamicPower) {
+  Simulation sim;
+  DatacenterConfig config;
+  config.host_count = 4;
+  Datacenter dc(sim, config, std::make_unique<FirstFitPlacement>());
+  Vm* vm = dc.create_vm(VmSpec{});
+  ASSERT_NE(vm, nullptr);
+  // One host powered for 1 h; the VM busy for 30 min.
+  Request r;
+  r.id = 1;
+  r.service_demand = 1800.0;
+  vm->submit(r);
+  sim.run(3600.0);
+
+  PowerModel model;
+  model.idle_watts = 100.0;
+  model.peak_watts = 180.0;  // (180-100)/8 = 10 W per busy core
+  // E = 100 W * 1 h + 10 W * 0.5 h = 105 Wh = 0.105 kWh.
+  EXPECT_NEAR(energy_kwh(dc, model), 0.105, 1e-9);
+}
+
+TEST(Energy, ConsolidationBeatsSpreadingAtIdenticalVmHours) {
+  auto run = [](std::unique_ptr<PlacementPolicy> placement) {
+    Simulation sim;
+    DatacenterConfig config;
+    config.host_count = 8;
+    Datacenter dc(sim, config, std::move(placement));
+    for (int i = 0; i < 8; ++i) dc.create_vm(VmSpec{});
+    sim.schedule_at(3600.0, [] {});
+    sim.run();
+    return std::pair{dc.vm_hours(), energy_kwh(dc, PowerModel{})};
+  };
+  const auto [spread_hours, spread_energy] =
+      run(std::make_unique<LeastLoadedPlacement>());
+  const auto [packed_hours, packed_energy] =
+      run(std::make_unique<FirstFitPlacement>());
+  EXPECT_EQ(spread_hours, packed_hours);
+  // 8 hosts powered vs 1 host powered.
+  EXPECT_NEAR(spread_energy / packed_energy, 8.0, 0.01);
+}
+
+TEST(Energy, Validation) {
+  Simulation sim;
+  DatacenterConfig config;
+  config.host_count = 1;
+  Datacenter dc(sim, config, std::make_unique<FirstFitPlacement>());
+  PowerModel bad;
+  bad.peak_watts = bad.idle_watts - 1.0;
+  EXPECT_THROW(energy_kwh(dc, bad), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace cloudprov

@@ -1,0 +1,386 @@
+// Tests for the future-work extensions: multi-tier applications, failure
+// injection, pricing models, the hybrid predictor, and the flash-crowd
+// overlay.
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "cloud/broker.h"
+#include "core/failure_injector.h"
+#include "core/multitier.h"
+#include "experiment/pricing.h"
+#include "predict/ewma.h"
+#include "predict/hybrid.h"
+#include "predict/periodic_profile.h"
+#include "queueing/tandem.h"
+#include "workload/poisson_source.h"
+#include "workload/spike_overlay.h"
+
+namespace cloudprov {
+namespace {
+
+struct World {
+  Simulation sim;
+  Datacenter datacenter;
+
+  explicit World(std::size_t hosts = 32)
+      : datacenter(sim, make_dc(hosts), std::make_unique<LeastLoadedPlacement>()) {}
+
+  static DatacenterConfig make_dc(std::size_t hosts) {
+    DatacenterConfig config;
+    config.host_count = hosts;
+    return config;
+  }
+};
+
+MultiTierConfig two_tier_config() {
+  MultiTierConfig config;
+  config.qos.max_response_time = 0.9;  // split 0.6 / 0.3 by the estimates
+  config.tiers.push_back(TierConfig{
+      "frontend", std::make_shared<DeterministicDistribution>(0.2), 0.2, VmSpec{}});
+  config.tiers.push_back(TierConfig{
+      "backend", std::make_shared<DeterministicDistribution>(0.1), 0.1, VmSpec{}});
+  return config;
+}
+
+Request make_request(std::uint64_t id, SimTime t, double demand) {
+  Request r;
+  r.id = id;
+  r.arrival_time = t;
+  r.service_demand = demand;
+  return r;
+}
+
+// ---------------------------------------------------------------- multitier
+
+TEST(MultiTier, BudgetSplitsProportionally) {
+  World world;
+  MultiTierApplication app(world.sim, world.datacenter, two_tier_config(), Rng(1));
+  EXPECT_NEAR(app.tier_budget(0), 0.6, 1e-12);
+  EXPECT_NEAR(app.tier_budget(1), 0.3, 1e-12);
+  // Tier queue bounds follow the split budgets: k = floor(0.6/0.2) = 3 and
+  // floor(0.3/0.1) = 3.
+  EXPECT_EQ(app.tier(0).current_queue_bound(), 3u);
+  EXPECT_EQ(app.tier(1).current_queue_bound(), 3u);
+}
+
+TEST(MultiTier, RequestTraversesAllTiers) {
+  World world;
+  MultiTierApplication app(world.sim, world.datacenter, two_tier_config(), Rng(2));
+  app.tier(0).scale_to(1);
+  app.tier(1).scale_to(1);
+  app.on_request(make_request(1, 0.0, 0.2));
+  world.sim.run();
+  EXPECT_EQ(app.completed(), 1u);
+  // End-to-end = tier-0 service (0.2) + tier-1 service (0.1).
+  EXPECT_NEAR(app.end_to_end_response().mean(), 0.3, 1e-12);
+  EXPECT_EQ(app.end_to_end_violations(), 0u);
+  EXPECT_EQ(app.tier(0).completed(), 1u);
+  EXPECT_EQ(app.tier(1).completed(), 1u);
+}
+
+TEST(MultiTier, EntryRejectionWhenTierZeroFull) {
+  World world;
+  MultiTierApplication app(world.sim, world.datacenter, two_tier_config(), Rng(3));
+  app.tier(0).scale_to(1);
+  app.tier(1).scale_to(1);
+  // k = 3 at tier 0: the 4th concurrent request is rejected at entry.
+  for (std::uint64_t i = 1; i <= 4; ++i) {
+    app.on_request(make_request(i, 0.0, 0.2));
+  }
+  EXPECT_EQ(app.rejected_at_entry(), 1u);
+  world.sim.run();
+  EXPECT_EQ(app.completed(), 3u);
+}
+
+TEST(MultiTier, MidChainDropWhenDownstreamFull) {
+  World world;
+  MultiTierConfig config = two_tier_config();
+  // Make the backend the bottleneck: huge service time and k = 1.
+  config.tiers[1].service_demand = std::make_shared<DeterministicDistribution>(10.0);
+  config.tiers[1].initial_service_time_estimate = 0.1;  // keeps budget split
+  MultiTierApplication app(world.sim, world.datacenter, config, Rng(4));
+  app.tier(0).scale_to(3);
+  app.tier(1).scale_to(1);
+  // Three requests clear tier 0 quickly; the backend (k=3, but each takes
+  // 10 s > budget) holds 3, so none is dropped yet; push more through.
+  for (std::uint64_t i = 1; i <= 6; ++i) {
+    app.on_request(make_request(i, 0.0, 0.2));
+  }
+  world.sim.run(30.0);
+  EXPECT_GT(app.dropped_mid_chain(), 0u);
+  EXPECT_EQ(app.entered(), 6u);
+}
+
+TEST(MultiTier, LossRateCombinesEntryAndMidChain) {
+  World world;
+  MultiTierApplication app(world.sim, world.datacenter, two_tier_config(), Rng(5));
+  // No instances at all: everything rejected at entry.
+  app.on_request(make_request(1, 0.0, 0.2));
+  app.on_request(make_request(2, 0.0, 0.2));
+  EXPECT_EQ(app.end_to_end_loss_rate(), 1.0);
+}
+
+TEST(MultiTier, AdaptivePolicySizesHeavyTierLarger) {
+  World world(128);
+  MultiTierConfig config;
+  config.qos.max_response_time = 0.9;
+  config.tiers.push_back(TierConfig{
+      "frontend", std::make_shared<ScaledUniformDistribution>(0.05, 0.1), 0.0525,
+      VmSpec{}});
+  config.tiers.push_back(TierConfig{
+      "backend", std::make_shared<ScaledUniformDistribution>(0.2, 0.1), 0.21,
+      VmSpec{}});
+  MultiTierApplication app(world.sim, world.datacenter, config, Rng(6));
+
+  auto predictor = std::make_shared<PeriodicProfilePredictor>(
+      std::vector<ProfileEntry>{{-1, 0.0, 40.0}}, 1);
+  ModelerConfig modeler;
+  modeler.max_vms = 500;
+  AnalyzerConfig analyzer;
+  analyzer.analysis_interval = 30.0;
+  MultiTierAdaptivePolicy policy(world.sim, predictor, modeler, analyzer);
+  policy.attach(app);
+
+  PoissonSource source(40.0, std::make_shared<ScaledUniformDistribution>(0.05, 0.1),
+                       0.0, 600.0);
+  Broker broker(world.sim, source, app, Rng(7));
+  broker.start();
+  world.sim.run(600.0);
+
+  // Backend needs ~4x the instances of the frontend (service time ratio).
+  const double ratio = static_cast<double>(app.tier(1).active_instances()) /
+                       static_cast<double>(app.tier(0).active_instances());
+  EXPECT_GT(ratio, 2.5);
+  EXPECT_LT(ratio, 6.0);
+  EXPECT_LT(app.end_to_end_loss_rate(), 0.05);
+  EXPECT_EQ(app.end_to_end_violations(), 0u);
+  EXPECT_EQ(policy.current_targets().size(), 2u);
+}
+
+TEST(MultiTier, SimulationMatchesTandemModel) {
+  // Fixed pools, exponential service: the simulated chain must agree with
+  // queueing::solve_tandem on acceptance and end-to-end response.
+  World world;
+  MultiTierConfig config;
+  config.qos.max_response_time = 6.0;  // roomy budgets: k ~ 20 per tier
+  config.tiers.push_back(TierConfig{
+      "a", std::make_shared<ExponentialDistribution>(10.0), 0.1, VmSpec{}});
+  config.tiers.push_back(TierConfig{
+      "b", std::make_shared<ExponentialDistribution>(5.0), 0.2, VmSpec{}});
+  MultiTierApplication app(world.sim, world.datacenter, config, Rng(8));
+  app.tier(0).scale_to(2);
+  app.tier(1).scale_to(4);
+  // Fix the queue bounds so they do not drift with monitored times.
+  // (k from budgets: huge Ts => large k; force small k via fresh config.)
+  const double lambda = 12.0;
+  PoissonSource source(lambda, std::make_shared<ExponentialDistribution>(10.0),
+                       0.0, 20000.0);
+  Broker broker(world.sim, source, app, Rng(9));
+  broker.start();
+  world.sim.run();
+
+  const std::size_t k0 = app.tier(0).current_queue_bound();
+  const std::size_t k1 = app.tier(1).current_queue_bound();
+  const queueing::TandemMetrics model = queueing::solve_tandem(
+      lambda, {queueing::TandemTier{2, 10.0, k0}, queueing::TandemTier{4, 5.0, k1}});
+  const double simulated_acceptance =
+      1.0 - app.end_to_end_loss_rate();
+  // The model's independent-split blocking is an upper bound (conservative),
+  // so simulated acceptance is at least the model's.
+  EXPECT_GE(simulated_acceptance, model.end_to_end_acceptance - 0.02);
+  // Response times agree within the decomposition error.
+  EXPECT_NEAR(app.end_to_end_response().mean(), model.end_to_end_response,
+              0.35 * model.end_to_end_response);
+}
+
+// ---------------------------------------------------------------- failures
+
+TEST(Failure, VmFailLosesInFlightWork) {
+  Simulation sim;
+  Vm vm(sim, 1, VmSpec{});
+  vm.submit(make_request(1, 0.0, 5.0));
+  vm.submit(make_request(2, 0.0, 5.0));
+  sim.run(1.0);
+  const auto lost = vm.fail();
+  ASSERT_EQ(lost.size(), 2u);
+  EXPECT_EQ(vm.state(), VmState::kDestroyed);
+  EXPECT_DOUBLE_EQ(vm.busy_seconds(), 1.0);  // partial work counted
+  sim.run();  // cancelled completion must not fire
+  EXPECT_EQ(vm.completed_requests(), 0u);
+}
+
+TEST(Failure, ProvisionerAccountsLostRequests) {
+  World world;
+  QosTargets qos;
+  qos.max_response_time = 10.0;
+  ProvisionerConfig config;
+  config.initial_service_time_estimate = 1.0;
+  ApplicationProvisioner provisioner(world.sim, world.datacenter, qos, config);
+  provisioner.scale_to(2);
+  provisioner.on_request(make_request(1, 0.0, 5.0));
+  provisioner.on_request(make_request(2, 0.0, 5.0));
+  const std::size_t lost = provisioner.inject_instance_failure(0);
+  EXPECT_EQ(lost, 1u);
+  EXPECT_EQ(provisioner.lost_to_failures(), 1u);
+  EXPECT_EQ(provisioner.instance_failures(), 1u);
+  EXPECT_EQ(provisioner.active_instances(), 1u);
+  EXPECT_EQ(world.datacenter.live_vm_count(), 1u);
+  // The surviving instance still completes its request.
+  world.sim.run();
+  EXPECT_EQ(provisioner.completed(), 1u);
+}
+
+TEST(Failure, FailedCapacityCanBeReprovisioned) {
+  World world(1);  // 8 slots
+  QosTargets qos;
+  ProvisionerConfig config;
+  ApplicationProvisioner provisioner(world.sim, world.datacenter, qos, config);
+  provisioner.scale_to(8);
+  provisioner.inject_instance_failure(3);
+  EXPECT_EQ(provisioner.scale_to(8), 8u);  // host slot was released
+}
+
+TEST(Failure, InjectorFailsAtConfiguredRate) {
+  World world;
+  QosTargets qos;
+  ProvisionerConfig config;
+  ApplicationProvisioner provisioner(world.sim, world.datacenter, qos, config);
+  provisioner.scale_to(10);
+  FailureConfig fconfig;
+  fconfig.mtbf_per_instance = 1000.0;  // 10 instances -> ~1 failure / 100 s
+  FailureInjector injector(world.sim, provisioner, fconfig, Rng(11));
+  injector.start();
+  // Keep the pool at 10 via a reconciler, so the rate stays constant.
+  PeriodicProcess reconcile(world.sim, 50.0, 50.0,
+                            [&](SimTime) { provisioner.scale_to(10); });
+  world.sim.run(20000.0);
+  // Expect ~200 failures; allow generous slack.
+  EXPECT_GT(injector.failures_injected(), 140u);
+  EXPECT_LT(injector.failures_injected(), 270u);
+  EXPECT_EQ(provisioner.instance_failures(), injector.failures_injected());
+}
+
+TEST(Failure, InjectorSurvivesEmptyPool) {
+  World world;
+  QosTargets qos;
+  ProvisionerConfig config;
+  ApplicationProvisioner provisioner(world.sim, world.datacenter, qos, config);
+  FailureConfig fconfig;
+  fconfig.mtbf_per_instance = 10.0;
+  FailureInjector injector(world.sim, provisioner, fconfig, Rng(12));
+  injector.start();
+  world.sim.run(500.0);
+  EXPECT_EQ(injector.failures_injected(), 0u);
+}
+
+// ---------------------------------------------------------------- pricing
+
+TEST(Pricing, HourlyQuantumRoundsUp) {
+  PricingPolicy hourly;
+  hourly.billing_quantum = 3600.0;
+  hourly.price_per_hour = 2.0;
+  EXPECT_DOUBLE_EQ(billed_cost(1.0, hourly), 2.0);        // 1 s -> 1 h
+  EXPECT_DOUBLE_EQ(billed_cost(3600.0, hourly), 2.0);     // exactly 1 h
+  EXPECT_DOUBLE_EQ(billed_cost(3661.0, hourly), 4.0);     // 61 min -> 2 h
+}
+
+TEST(Pricing, PerSecondWithMinimum) {
+  PricingPolicy per_second;
+  per_second.billing_quantum = 1.0;
+  per_second.minimum_billed = 60.0;
+  EXPECT_NEAR(billed_cost(10.0, per_second), 60.0 / 3600.0, 1e-12);
+  EXPECT_NEAR(billed_cost(7200.0, per_second), 2.0, 1e-12);
+}
+
+TEST(Pricing, RawCostEqualsVmHours) {
+  PricingPolicy unit;
+  const std::vector<SimTime> lifetimes{3600.0, 1800.0, 900.0};
+  EXPECT_NEAR(raw_cost(lifetimes, unit), 1.75, 1e-12);
+  // Billed cost under coarse quantum always >= raw cost.
+  PricingPolicy hourly;
+  hourly.billing_quantum = 3600.0;
+  EXPECT_GE(billed_cost(lifetimes, hourly), raw_cost(lifetimes, unit));
+  EXPECT_DOUBLE_EQ(billed_cost(lifetimes, hourly), 3.0);
+}
+
+TEST(Pricing, Validation) {
+  PricingPolicy bad;
+  bad.billing_quantum = 0.0;
+  EXPECT_THROW(billed_cost(1.0, bad), std::invalid_argument);
+  EXPECT_THROW(billed_cost(-1.0, PricingPolicy{}), std::invalid_argument);
+}
+
+// ---------------------------------------------------------------- hybrid
+
+TEST(Hybrid, TakesMaxOfComponents) {
+  auto profile = std::make_shared<PeriodicProfilePredictor>(
+      std::vector<ProfileEntry>{{-1, 0.0, 50.0}}, 1);
+  auto reactive = std::make_shared<EwmaPredictor>(1.0, 0.0);
+  HybridPredictor hybrid(profile, reactive);
+  // Observed load below profile: profile wins.
+  hybrid.observe(0.0, 60.0, 20.0);
+  EXPECT_NEAR(hybrid.predict(100.0), 50.0, 1e-12);
+  // Flash crowd above profile: reactive wins.
+  hybrid.observe(60.0, 120.0, 300.0);
+  EXPECT_NEAR(hybrid.predict(130.0), 300.0, 1e-12);
+}
+
+TEST(Hybrid, FeedsObservationsToBothComponents) {
+  auto reactive_a = std::make_shared<EwmaPredictor>(1.0, 0.0);
+  auto reactive_b = std::make_shared<EwmaPredictor>(1.0, 0.0);
+  HybridPredictor hybrid(reactive_a, reactive_b);
+  hybrid.observe(0.0, 60.0, 10.0);
+  EXPECT_EQ(reactive_a->current(), 10.0);
+  EXPECT_EQ(reactive_b->current(), 10.0);
+}
+
+// ---------------------------------------------------------------- spikes
+
+TEST(Spike, OverlayAddsArrivalsOnlyInWindow) {
+  auto base = std::make_unique<PoissonSource>(
+      5.0, std::make_shared<DeterministicDistribution>(0.1), 0.0, 3000.0);
+  SpikeConfig spike;
+  spike.start = 1000.0;
+  spike.end = 2000.0;
+  spike.extra_rate = 20.0;
+  spike.service_demand = std::make_shared<DeterministicDistribution>(0.1);
+  SpikeOverlaySource source(std::move(base), spike);
+
+  Rng rng(13);
+  std::size_t before = 0;
+  std::size_t during = 0;
+  std::size_t after = 0;
+  SimTime last = 0.0;
+  while (auto arrival = source.next(rng)) {
+    ASSERT_GE(arrival->time, last);  // merged stream stays sorted
+    last = arrival->time;
+    if (arrival->time < 1000.0) {
+      ++before;
+    } else if (arrival->time < 2000.0) {
+      ++during;
+    } else {
+      ++after;
+    }
+  }
+  EXPECT_NEAR(static_cast<double>(before), 5000.0, 350.0);
+  EXPECT_NEAR(static_cast<double>(during), 25000.0, 800.0);
+  EXPECT_NEAR(static_cast<double>(after), 5000.0, 350.0);
+}
+
+TEST(Spike, ExpectedRateHidesTheSpike) {
+  auto base = std::make_unique<PoissonSource>(
+      5.0, std::make_shared<DeterministicDistribution>(0.1), 0.0, 3000.0);
+  SpikeConfig spike;
+  spike.start = 1000.0;
+  spike.end = 2000.0;
+  spike.extra_rate = 20.0;
+  spike.service_demand = std::make_shared<DeterministicDistribution>(0.1);
+  SpikeOverlaySource source(std::move(base), spike);
+  EXPECT_EQ(source.expected_rate(1500.0), 5.0);   // model view
+  EXPECT_EQ(source.true_rate(1500.0), 25.0);      // reality
+  EXPECT_EQ(source.true_rate(500.0), 5.0);
+}
+
+}  // namespace
+}  // namespace cloudprov

@@ -1,0 +1,94 @@
+// Figure-level smoke tests: run the actual experiment scenarios end to end
+// (scientific at paper scale, web at reduced scale) and assert the paper's
+// headline orderings, so a regression anywhere in the stack that would
+// change the reproduced figures fails CI directly.
+#include <gtest/gtest.h>
+
+#include "experiment/metrics.h"
+#include "experiment/runner.h"
+#include "experiment/scenario.h"
+
+namespace cloudprov {
+namespace {
+
+TEST(Figure6Smoke, PaperHeadlineNumbers) {
+  const ScenarioConfig config = scientific_scenario(1.0);
+  const auto adaptive =
+      aggregate(run_replications(config, PolicySpec::adaptive(), 2, 11));
+  const auto static15 =
+      aggregate(run_replications(config, PolicySpec::fixed(15), 2, 11));
+  const auto static45 =
+      aggregate(run_replications(config, PolicySpec::fixed(45), 2, 11));
+  const auto static75 =
+      aggregate(run_replications(config, PolicySpec::fixed(75), 2, 11));
+
+  // Figure 6(a): adaptive swings ~13..80.
+  EXPECT_NEAR(adaptive.min_instances.mean, 13.0, 2.0);
+  EXPECT_NEAR(adaptive.max_instances.mean, 81.0, 6.0);
+
+  // Figure 6(b): rejection decreases monotonically with static size and is
+  // near zero for adaptive; Static-45 ~ 31.7% (paper).
+  EXPECT_GT(static15.rejection_rate.mean, static45.rejection_rate.mean);
+  EXPECT_GT(static45.rejection_rate.mean, static75.rejection_rate.mean);
+  EXPECT_NEAR(static45.rejection_rate.mean, 0.317, 0.05);
+  EXPECT_LT(adaptive.rejection_rate.mean, 0.01);
+  EXPECT_LT(static75.rejection_rate.mean, 0.001);
+
+  // Figure 6(b): utilization — adaptive ~0.78 (paper), Static-75 ~0.42.
+  EXPECT_NEAR(adaptive.utilization.mean, 0.78, 0.03);
+  EXPECT_NEAR(static75.utilization.mean, 0.42, 0.04);
+
+  // Figure 6(c): VM hours — adaptive ~ a constant 40-instance pool and
+  // ~46% below Static-75 (paper).
+  EXPECT_NEAR(adaptive.vm_hours.mean, 40.0 * 24.0, 90.0);
+  const double saving = 1.0 - adaptive.vm_hours.mean / static75.vm_hours.mean;
+  EXPECT_NEAR(saving, 0.46, 0.06);
+
+  // Figure 6(d) + caption: response within Ts, zero violations everywhere.
+  for (const auto* agg : {&adaptive, &static15, &static45, &static75}) {
+    EXPECT_EQ(agg->qos_violations.mean, 0.0) << agg->policy;
+    EXPECT_LE(agg->avg_response_time.mean, 700.0) << agg->policy;
+  }
+
+  // The paper's Figure 6(d) ordering: undersized static pools have *longer*
+  // accepted-response times (queues always full).
+  EXPECT_GT(static45.avg_response_time.mean, adaptive.avg_response_time.mean);
+}
+
+TEST(Figure5Smoke, ShapeAtReducedScale) {
+  // One simulated day at 5% scale keeps this test ~15 s while preserving
+  // the orderings; EXPERIMENTS.md records the full paper-scale run.
+  ScenarioConfig config = web_scenario(0.05);
+  config.horizon = 86400.0;
+  config.web.horizon = config.horizon;
+
+  const auto adaptive =
+      aggregate(run_replications(config, PolicySpec::adaptive(), 1, 5));
+  const auto small =
+      aggregate(run_replications(config, PolicySpec::fixed(50), 1, 5));
+  const auto large =
+      aggregate(run_replications(config, PolicySpec::fixed(150), 1, 5));
+
+  // Figure 5(b): the small static pool rejects heavily at high utilization;
+  // the peak-sized pool doesn't reject but idles.
+  EXPECT_GT(small.rejection_rate.mean, 0.15);
+  EXPECT_GT(small.utilization.mean, large.utilization.mean);
+  EXPECT_LT(large.rejection_rate.mean, 0.01);
+
+  // Adaptive: near-zero rejection at fewer VM-hours than the peak-sized
+  // static pool.
+  EXPECT_LT(adaptive.rejection_rate.mean, 0.02);
+  EXPECT_LT(adaptive.vm_hours.mean, large.vm_hours.mean);
+  EXPECT_GT(adaptive.utilization.mean, large.utilization.mean);
+
+  // Caption: no QoS violations anywhere.
+  EXPECT_EQ(adaptive.qos_violations.mean, 0.0);
+  EXPECT_EQ(small.qos_violations.mean, 0.0);
+  EXPECT_EQ(large.qos_violations.mean, 0.0);
+
+  // Figure 5(a): the pool tracks the sinusoid (max materially above min).
+  EXPECT_GT(adaptive.max_instances.mean, 1.5 * adaptive.min_instances.mean);
+}
+
+}  // namespace
+}  // namespace cloudprov

@@ -1,0 +1,154 @@
+// Priority scheduling: Vm-level non-preemptive priority order and its
+// analytic counterpart (Cobham's M/G/1 priority formulas), validated against
+// each other.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <memory>
+
+#include "cloud/broker.h"
+#include "core/application_provisioner.h"
+#include "queueing/priority.h"
+#include "stats/running_stats.h"
+#include "workload/poisson_source.h"
+
+namespace cloudprov {
+namespace {
+
+Request make_request(std::uint64_t id, SimTime t, double demand, int priority) {
+  Request r;
+  r.id = id;
+  r.arrival_time = t;
+  r.service_demand = demand;
+  r.priority = priority;
+  return r;
+}
+
+TEST(VmPriorityQueue, HighPriorityJumpsQueue) {
+  Simulation sim;
+  Vm vm(sim, 1, VmSpec{});
+  vm.set_priority_queueing(true);
+  std::vector<std::uint64_t> completion_order;
+  vm.set_completion_callback([&](Vm&, const Request& r, double) {
+    completion_order.push_back(r.id);
+  });
+  vm.submit(make_request(1, 0.0, 1.0, 0));  // starts service (not preempted)
+  vm.submit(make_request(2, 0.0, 1.0, 0));
+  vm.submit(make_request(3, 0.0, 1.0, 5));  // jumps ahead of 2
+  vm.submit(make_request(4, 0.0, 1.0, 9));  // jumps ahead of 3
+  vm.submit(make_request(5, 0.0, 1.0, 5));  // FIFO within class: behind 3
+  sim.run();
+  EXPECT_EQ(completion_order,
+            (std::vector<std::uint64_t>{1, 4, 3, 5, 2}));
+}
+
+TEST(VmPriorityQueue, FifoByDefault) {
+  Simulation sim;
+  Vm vm(sim, 1, VmSpec{});
+  std::vector<std::uint64_t> completion_order;
+  vm.set_completion_callback([&](Vm&, const Request& r, double) {
+    completion_order.push_back(r.id);
+  });
+  vm.submit(make_request(1, 0.0, 1.0, 0));
+  vm.submit(make_request(2, 0.0, 1.0, 0));
+  vm.submit(make_request(3, 0.0, 1.0, 9));
+  sim.run();
+  EXPECT_EQ(completion_order, (std::vector<std::uint64_t>{1, 2, 3}));
+}
+
+TEST(CobhamFormulas, SingleClassReducesToPollaczekKhinchine) {
+  // One class = plain M/G/1: Wq = lambda E[S^2] / (2 (1 - rho)).
+  const double lambda = 4.0;
+  const double mean = 0.2;
+  const double second = 2.0 * mean * mean;  // exponential: E[S^2] = 2 E[S]^2
+  const auto metrics =
+      queueing::priority_mg1({{lambda, mean, second}});
+  ASSERT_EQ(metrics.size(), 1u);
+  const double rho = lambda * mean;
+  EXPECT_NEAR(metrics[0].mean_waiting, lambda * second / (2.0 * (1.0 - rho)),
+              1e-12);
+  EXPECT_NEAR(metrics[0].utilization, rho, 1e-12);
+}
+
+TEST(CobhamFormulas, HighClassWaitsLess) {
+  const queueing::PriorityClassInput cls{2.0, 0.1, 0.02};
+  const auto metrics = queueing::priority_mg1({cls, cls, cls});
+  EXPECT_LT(metrics[0].mean_waiting, metrics[1].mean_waiting);
+  EXPECT_LT(metrics[1].mean_waiting, metrics[2].mean_waiting);
+}
+
+TEST(CobhamFormulas, ConservationLaw) {
+  // M/G/1 work conservation: sum rho_p Wq_p is invariant under the
+  // scheduling order — it must equal the FIFO value rho * Wq(FIFO).
+  const std::vector<queueing::PriorityClassInput> classes{
+      {3.0, 0.1, 0.02}, {1.0, 0.3, 0.18}};
+  const auto metrics = queueing::priority_mg1(classes);
+  double weighted = 0.0;
+  double w0 = 0.0;
+  double rho = 0.0;
+  for (std::size_t i = 0; i < classes.size(); ++i) {
+    weighted += metrics[i].utilization * metrics[i].mean_waiting;
+    w0 += classes[i].arrival_rate * classes[i].service_second_moment / 2.0;
+    rho += metrics[i].utilization;
+  }
+  const double fifo_wq = w0 / (1.0 - rho);
+  EXPECT_NEAR(weighted, rho * fifo_wq, 1e-12);
+}
+
+TEST(CobhamFormulas, Validation) {
+  EXPECT_THROW(queueing::priority_mg1({}), std::invalid_argument);
+  EXPECT_THROW(queueing::priority_mg1({{12.0, 0.1, 0.02}}),
+               std::invalid_argument);  // rho > 1
+  EXPECT_THROW(queueing::priority_mg1({{1.0, 0.1, 0.001}}),
+               std::invalid_argument);  // E[S^2] < E[S]^2
+}
+
+TEST(SimVsCobham, TwoClassWaitingTimesMatch) {
+  // Single instance, deep queue, exponential service, 30% high priority:
+  // simulated per-class response must match Cobham.
+  Simulation sim;
+  DatacenterConfig dc;
+  dc.host_count = 1;
+  Datacenter datacenter(sim, dc, std::make_unique<LeastLoadedPlacement>());
+  QosTargets qos;
+  qos.max_response_time = 1e6;
+  ProvisionerConfig config;
+  config.fixed_queue_bound = 1000000;
+  config.initial_service_time_estimate = 0.1;
+  config.priority_queueing = true;
+  ApplicationProvisioner provisioner(sim, datacenter, qos, config);
+  provisioner.scale_to(1);
+
+  RunningStats high_response;
+  RunningStats low_response;
+  provisioner.set_completion_listener([&](const Request& r, double response) {
+    (r.priority > 0 ? high_response : low_response).add(response);
+  });
+
+  const double lambda = 8.0;
+  const double mu = 10.0;
+  Rng rng(51);
+  double t = 0.0;
+  std::uint64_t id = 0;
+  while (t < 40000.0) {
+    t += rng.exponential(lambda);
+    const int priority = rng.bernoulli(0.3) ? 1 : 0;
+    const Request r = make_request(++id, t, rng.exponential(mu), priority);
+    sim.schedule_at(t, [&provisioner, r] { provisioner.on_request(r); });
+  }
+  sim.run();
+
+  const double mean = 1.0 / mu;
+  const double second = 2.0 * mean * mean;
+  const auto theory = queueing::priority_mg1(
+      {{0.3 * lambda, mean, second}, {0.7 * lambda, mean, second}});
+  EXPECT_NEAR(high_response.mean(), theory[0].mean_response,
+              0.05 * theory[0].mean_response);
+  EXPECT_NEAR(low_response.mean(), theory[1].mean_response,
+              0.05 * theory[1].mean_response);
+  // And the split is dramatic at rho = 0.8: low waits ~5x longer.
+  EXPECT_GT(low_response.mean(), 2.5 * high_response.mean());
+}
+
+}  // namespace
+}  // namespace cloudprov

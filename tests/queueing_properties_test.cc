@@ -1,0 +1,127 @@
+// Cross-model queueing-law property sweeps: invariants that every model in
+// the library must satisfy regardless of parameters (Little's law, PASTA
+// consistency, monotonicity in load / capacity / servers).
+#include <gtest/gtest.h>
+
+#include <tuple>
+
+#include "queueing/birth_death.h"
+#include "queueing/mg1.h"
+#include "queueing/mm1.h"
+#include "queueing/mm1k.h"
+#include "queueing/mmc.h"
+#include "queueing/mminf.h"
+
+namespace cloudprov::queueing {
+namespace {
+
+class LittlesLawTest
+    : public ::testing::TestWithParam<std::tuple<double, std::size_t, std::size_t>> {
+};
+
+TEST_P(LittlesLawTest, LEqualsEffectiveLambdaTimesW) {
+  const auto [rho, servers, capacity_factor] = GetParam();
+  const double mu = 5.0;
+  const double lambda = rho * mu * static_cast<double>(servers);
+  const std::size_t capacity = servers * capacity_factor;
+  const QueueMetrics m = mmck(lambda, mu, servers, capacity);
+  EXPECT_NEAR(m.mean_in_system, m.throughput * m.mean_response_time, 1e-9);
+  EXPECT_NEAR(m.mean_in_queue, m.throughput * m.mean_waiting_time, 1e-9);
+  // Consistency: W = Wq + 1/mu for accepted customers.
+  EXPECT_NEAR(m.mean_response_time, m.mean_waiting_time + 1.0 / mu, 1e-9);
+  // Utilization equals carried load per server.
+  EXPECT_NEAR(m.server_utilization,
+              m.throughput / (mu * static_cast<double>(servers)), 1e-9);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    LoadServerCapacityGrid, LittlesLawTest,
+    ::testing::Combine(::testing::Values(0.3, 0.8, 1.0, 1.4),
+                       ::testing::Values<std::size_t>(1, 3, 10),
+                       ::testing::Values<std::size_t>(1, 2, 8)));
+
+TEST(Monotonicity, BlockingDecreasesWithCapacity) {
+  double previous = 1.0;
+  for (std::size_t k = 1; k <= 20; ++k) {
+    const double blocking = mm1k(8.0, 10.0, k).blocking_probability;
+    EXPECT_LT(blocking, previous) << k;
+    previous = blocking;
+  }
+}
+
+TEST(Monotonicity, ResponseGrowsWithLoad) {
+  double previous = 0.0;
+  for (double rho = 0.05; rho < 2.0; rho += 0.05) {
+    const double response = mm1k(rho * 10.0, 10.0, 5).mean_response_time;
+    EXPECT_GE(response, previous) << rho;
+    previous = response;
+  }
+}
+
+TEST(Monotonicity, MoreServersReduceWaiting) {
+  double previous = 1e9;
+  for (std::size_t c = 9; c <= 30; c += 3) {
+    const double waiting = mmc(80.0, 10.0, c).mean_waiting_time;
+    EXPECT_LT(waiting, previous) << c;
+    previous = waiting;
+  }
+}
+
+TEST(Monotonicity, Mg1WaitingGrowsWithVariability) {
+  double previous = -1.0;
+  for (double scv : {0.0, 0.25, 1.0, 4.0, 16.0}) {
+    const double waiting = mg1(8.0, 0.1, scv).mean_waiting_time;
+    EXPECT_GT(waiting, previous) << scv;
+    previous = waiting;
+  }
+}
+
+TEST(Consistency, ScalingInvariance) {
+  // Rescaling time units (lambda, mu) -> (a*lambda, a*mu) scales times by
+  // 1/a and leaves probabilities and occupancies unchanged.
+  const QueueMetrics base = mm1k(8.0, 10.0, 3);
+  const QueueMetrics scaled = mm1k(80.0, 100.0, 3);
+  EXPECT_NEAR(scaled.blocking_probability, base.blocking_probability, 1e-12);
+  EXPECT_NEAR(scaled.mean_in_system, base.mean_in_system, 1e-12);
+  EXPECT_NEAR(scaled.mean_response_time, base.mean_response_time / 10.0, 1e-12);
+}
+
+TEST(Consistency, DistributionMatchesMetrics) {
+  // Metrics derived independently from the stationary distribution must
+  // agree with the closed-form summary.
+  const double lambda = 7.0;
+  const double mu = 10.0;
+  const std::size_t k = 4;
+  const auto p = mm1k_distribution(lambda, mu, k);
+  const QueueMetrics m = mm1k(lambda, mu, k);
+  double mean = 0.0;
+  for (std::size_t n = 0; n <= k; ++n) mean += static_cast<double>(n) * p[n];
+  EXPECT_NEAR(mean, m.mean_in_system, 1e-12);
+  EXPECT_NEAR(p[k], m.blocking_probability, 1e-12);
+  EXPECT_NEAR(p[0], m.probability_empty, 1e-12);
+}
+
+TEST(Consistency, MminfIsTheLimitOfMmc) {
+  // M/M/c -> M/M/inf as c grows: waiting vanishes, L -> a.
+  const double lambda = 12.0;
+  const double mu = 2.0;
+  const QueueMetrics many = mmc(lambda, mu, 60);
+  const QueueMetrics infinite = mminf(lambda, mu);
+  EXPECT_NEAR(many.mean_in_system, infinite.mean_in_system, 1e-6);
+  EXPECT_LT(many.mean_waiting_time, 1e-9);
+}
+
+TEST(Consistency, ThroughputNeverExceedsCapacityOrOffered) {
+  for (double rho : {0.2, 0.9, 1.5, 4.0}) {
+    for (std::size_t c : {1u, 4u}) {
+      const double mu = 3.0;
+      const double lambda = rho * mu * static_cast<double>(c);
+      const QueueMetrics m = mmck(lambda, mu, c, 3 * c);
+      EXPECT_LE(m.throughput, lambda + 1e-12);
+      EXPECT_LE(m.throughput, mu * static_cast<double>(c) + 1e-12);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace cloudprov::queueing

@@ -1,0 +1,284 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "queueing/birth_death.h"
+#include "queueing/erlang.h"
+#include "queueing/instance_pool_model.h"
+#include "queueing/mm1.h"
+#include "queueing/mm1k.h"
+#include "queueing/mmc.h"
+#include "queueing/mminf.h"
+
+namespace cloudprov::queueing {
+namespace {
+
+constexpr double kTol = 1e-9;
+
+TEST(Mm1, TextbookValues) {
+  // lambda = 2, mu = 5: rho = 0.4, L = 2/3, W = 1/3.
+  const QueueMetrics m = mm1(2.0, 5.0);
+  EXPECT_NEAR(m.server_utilization, 0.4, kTol);
+  EXPECT_NEAR(m.mean_in_system, 2.0 / 3.0, kTol);
+  EXPECT_NEAR(m.mean_response_time, 1.0 / 3.0, kTol);
+  EXPECT_NEAR(m.mean_waiting_time, 1.0 / 3.0 - 0.2, kTol);
+  EXPECT_NEAR(m.mean_in_queue, 0.4 * 0.4 / 0.6, kTol);
+  EXPECT_EQ(m.blocking_probability, 0.0);
+  EXPECT_NEAR(m.probability_empty, 0.6, kTol);
+}
+
+TEST(Mm1, LittlesLawHolds) {
+  for (double rho : {0.1, 0.5, 0.9, 0.99}) {
+    const QueueMetrics m = mm1(rho * 3.0, 3.0);
+    EXPECT_NEAR(m.mean_in_system, m.throughput * m.mean_response_time, 1e-9)
+        << rho;
+  }
+}
+
+TEST(Mm1, UnstableThrows) {
+  EXPECT_THROW(mm1(5.0, 5.0), std::invalid_argument);
+  EXPECT_THROW(mm1(6.0, 5.0), std::invalid_argument);
+}
+
+TEST(Mm1k, DistributionIsGeometricTruncated) {
+  const double lambda = 4.0;
+  const double mu = 5.0;
+  const std::size_t k = 3;
+  const auto p = mm1k_distribution(lambda, mu, k);
+  ASSERT_EQ(p.size(), k + 1);
+  double total = 0.0;
+  for (double x : p) total += x;
+  EXPECT_NEAR(total, 1.0, kTol);
+  const double rho = lambda / mu;
+  for (std::size_t n = 1; n <= k; ++n) {
+    EXPECT_NEAR(p[n] / p[n - 1], rho, kTol);
+  }
+}
+
+TEST(Mm1k, PaperOperatingPoint) {
+  // The web scenario's per-instance model: Tm = 105 ms, k = 2,
+  // lambda_si ~ 7.84 req/s -> rho ~ 0.823.
+  const double tm = 0.105;
+  const QueueMetrics m = mm1k(1200.0 / 153.0, 1.0 / tm, 2);
+  EXPECT_NEAR(m.offered_load, 0.8235, 0.001);
+  // Response time of accepted requests can never exceed k * Tm <= Ts.
+  EXPECT_LE(m.mean_response_time, 2.0 * tm + 1e-9);
+  EXPECT_GT(m.blocking_probability, 0.2);
+  EXPECT_LT(m.blocking_probability, 0.35);
+}
+
+TEST(Mm1k, RhoEqualsOneIsUniform) {
+  const auto p = mm1k_distribution(3.0, 3.0, 4);
+  for (double x : p) EXPECT_NEAR(x, 0.2, kTol);
+  const QueueMetrics m = mm1k(3.0, 3.0, 4);
+  EXPECT_NEAR(m.mean_in_system, 2.0, kTol);  // K/2
+  EXPECT_NEAR(m.blocking_probability, 0.2, kTol);
+}
+
+TEST(Mm1k, NearUnityRhoIsContinuous) {
+  // Values straddling the rho == 1 special case must agree closely.
+  const QueueMetrics below = mm1k(2.9999999, 3.0, 5);
+  const QueueMetrics at = mm1k(3.0, 3.0, 5);
+  const QueueMetrics above = mm1k(3.0000001, 3.0, 5);
+  EXPECT_NEAR(below.mean_in_system, at.mean_in_system, 1e-4);
+  EXPECT_NEAR(above.mean_in_system, at.mean_in_system, 1e-4);
+}
+
+TEST(Mm1k, CapacityOneIsErlangB) {
+  // M/M/1/1 blocking = a / (1 + a).
+  for (double a : {0.1, 0.5, 1.0, 2.0, 10.0}) {
+    const QueueMetrics m = mm1k(a, 1.0, 1);
+    EXPECT_NEAR(m.blocking_probability, a / (1.0 + a), kTol) << a;
+    EXPECT_NEAR(m.blocking_probability, erlang_b(a, 1), kTol) << a;
+  }
+}
+
+TEST(Mm1k, ConvergesToMm1ForLargeK) {
+  const QueueMetrics bounded = mm1k(4.0, 5.0, 500);
+  const QueueMetrics unbounded = mm1(4.0, 5.0);
+  EXPECT_NEAR(bounded.mean_in_system, unbounded.mean_in_system, 1e-6);
+  EXPECT_NEAR(bounded.mean_response_time, unbounded.mean_response_time, 1e-6);
+  EXPECT_LT(bounded.blocking_probability, 1e-12);
+}
+
+TEST(Mm1k, OverloadIsWellDefined) {
+  // rho = 2: the finite chain still has a stationary distribution, and
+  // blocking must absorb the excess: throughput <= mu.
+  const QueueMetrics m = mm1k(10.0, 5.0, 2);
+  EXPECT_GT(m.blocking_probability, 0.5);
+  EXPECT_LE(m.throughput, 5.0 + kTol);
+}
+
+class Mm1kVsBirthDeath
+    : public ::testing::TestWithParam<std::tuple<double, std::size_t>> {};
+
+TEST_P(Mm1kVsBirthDeath, ClosedFormMatchesGenericSolver) {
+  const auto [rho, k] = GetParam();
+  const double mu = 2.0;
+  const double lambda = rho * mu;
+  const QueueMetrics closed = mm1k(lambda, mu, k);
+  const QueueMetrics general = birth_death_queue_metrics(lambda, mu, 1, k);
+  EXPECT_NEAR(closed.blocking_probability, general.blocking_probability, 1e-9);
+  EXPECT_NEAR(closed.mean_in_system, general.mean_in_system, 1e-9);
+  EXPECT_NEAR(closed.mean_response_time, general.mean_response_time, 1e-9);
+  EXPECT_NEAR(closed.server_utilization, general.server_utilization, 1e-9);
+  EXPECT_NEAR(closed.probability_empty, general.probability_empty, 1e-9);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    RhoAndCapacitySweep, Mm1kVsBirthDeath,
+    ::testing::Combine(::testing::Values(0.05, 0.3, 0.8, 0.95, 1.0, 1.2, 3.0),
+                       ::testing::Values<std::size_t>(1, 2, 3, 5, 10, 50)));
+
+TEST(ErlangB, KnownValues) {
+  // Classic traffic-table values.
+  EXPECT_NEAR(erlang_b(1.0, 1), 0.5, kTol);
+  EXPECT_NEAR(erlang_b(2.0, 2), 0.4, kTol);
+  EXPECT_NEAR(erlang_b(10.0, 10), 0.2146, 5e-4);
+  EXPECT_NEAR(erlang_b(0.0, 5), 0.0, kTol);
+}
+
+TEST(ErlangB, MonotoneInServersAndLoad) {
+  for (std::size_t c = 1; c < 30; ++c) {
+    EXPECT_LT(erlang_b(8.0, c + 1), erlang_b(8.0, c));
+  }
+  for (double a = 1.0; a < 20.0; a += 1.0) {
+    EXPECT_GT(erlang_b(a + 1.0, 10), erlang_b(a, 10));
+  }
+}
+
+TEST(ErlangC, KnownValuesAndLimits) {
+  // a = 2 erlangs on 3 servers: C ~ 0.2222? Compute: B(2,3)=0.2105,
+  // C = 3*0.2105 / (3 - 2*(1-0.2105)) = 0.6316/1.4211 = 0.4444.
+  EXPECT_NEAR(erlang_c(2.0, 3), 0.44444, 5e-4);
+  EXPECT_EQ(erlang_c(5.0, 3), 1.0);    // overloaded => certain wait
+  EXPECT_NEAR(erlang_c(0.0, 3), 0.0, kTol);
+  EXPECT_GE(erlang_c(2.0, 3), erlang_b(2.0, 3));  // C >= B always
+}
+
+TEST(Mmc, AgainstBirthDeathLargeCapacity) {
+  const QueueMetrics closed = mmc(7.0, 1.0, 10);
+  const QueueMetrics general = birth_death_queue_metrics(7.0, 1.0, 10, 2000);
+  EXPECT_NEAR(closed.mean_in_queue, general.mean_in_queue, 1e-5);
+  EXPECT_NEAR(closed.mean_response_time, general.mean_response_time, 1e-6);
+  EXPECT_NEAR(closed.probability_empty, general.probability_empty, 1e-9);
+}
+
+TEST(Mmc, SingleServerReducesToMm1) {
+  const QueueMetrics multi = mmc(2.0, 5.0, 1);
+  const QueueMetrics single = mm1(2.0, 5.0);
+  EXPECT_NEAR(multi.mean_response_time, single.mean_response_time, kTol);
+  EXPECT_NEAR(multi.mean_in_system, single.mean_in_system, kTol);
+}
+
+TEST(Mmc, UnstableThrows) { EXPECT_THROW(mmc(10.0, 1.0, 10), std::invalid_argument); }
+
+TEST(Mmck, LossSystemMatchesErlangB) {
+  // M/M/c/c: blocking equals Erlang B.
+  for (std::size_t c : {1u, 2u, 5u, 20u}) {
+    const QueueMetrics m = mmck(6.0, 1.0, c, c);
+    EXPECT_NEAR(m.blocking_probability, erlang_b(6.0, c), 1e-9) << c;
+  }
+}
+
+TEST(Mmck, WaitingRoomReducesBlocking) {
+  const QueueMetrics loss = mmck(6.0, 1.0, 5, 5);
+  const QueueMetrics buffered = mmck(6.0, 1.0, 5, 15);
+  EXPECT_LT(buffered.blocking_probability, loss.blocking_probability);
+  EXPECT_GT(buffered.mean_response_time, loss.mean_response_time);
+}
+
+TEST(Mminf, PureDelayStation) {
+  const QueueMetrics m = mminf(8.0, 2.0);
+  EXPECT_NEAR(m.mean_in_system, 4.0, kTol);
+  EXPECT_NEAR(m.mean_response_time, 0.5, kTol);
+  EXPECT_EQ(m.mean_waiting_time, 0.0);
+  EXPECT_EQ(m.blocking_probability, 0.0);
+  EXPECT_NEAR(m.probability_empty, std::exp(-4.0), kTol);
+}
+
+TEST(Mminf, OccupancyIsPoisson) {
+  // P(N = n) sums to ~1 and has the Poisson mean.
+  const double lambda = 6.0;
+  const double mu = 2.0;
+  double total = 0.0;
+  double mean = 0.0;
+  for (std::size_t n = 0; n < 60; ++n) {
+    const double p = mminf_occupancy_pmf(lambda, mu, n);
+    total += p;
+    mean += static_cast<double>(n) * p;
+  }
+  EXPECT_NEAR(total, 1.0, 1e-9);
+  EXPECT_NEAR(mean, 3.0, 1e-9);
+}
+
+TEST(BirthDeath, HandlesHugeStateSpacesWithoutOverflow) {
+  // rho > 1 over 20000 states would overflow naive products.
+  const QueueMetrics m = birth_death_queue_metrics(30.0, 1.0, 10, 20000);
+  EXPECT_GT(m.blocking_probability, 0.0);
+  EXPECT_LE(m.blocking_probability, 1.0);
+  EXPECT_NEAR(m.server_utilization, 1.0, 1e-6);  // saturated
+}
+
+TEST(BirthDeath, StableChainWithHugeCapacityUnderflowsGracefully) {
+  // Regression: a = 80 erlangs on 100 servers with 20000 states makes the
+  // tail terms underflow to zero; a buggy upward rescale used to overflow
+  // the dominant terms into inf and fail normalization.
+  const QueueMetrics m = birth_death_queue_metrics(80.0, 1.0, 100, 20000);
+  EXPECT_NEAR(m.blocking_probability, 0.0, 1e-12);
+  EXPECT_NEAR(m.server_utilization, 0.8, 1e-6);
+  // Matches the unbounded M/M/c model.
+  const QueueMetrics open = mmc(80.0, 1.0, 100);
+  EXPECT_NEAR(m.mean_in_queue, open.mean_in_queue, 1e-6);
+}
+
+TEST(BirthDeath, ValidatesInput) {
+  EXPECT_THROW(birth_death_stationary({1.0}, {0.0}), std::invalid_argument);
+  EXPECT_THROW(birth_death_stationary({1.0, 1.0}, {1.0}), std::invalid_argument);
+  EXPECT_THROW(birth_death_queue_metrics(1.0, 1.0, 5, 3), std::invalid_argument);
+}
+
+TEST(InstancePool, EvenSplitMatchesSingleInstanceModel) {
+  InstancePoolModel model;
+  model.total_arrival_rate = 40.0;
+  model.service_rate = 10.0;
+  model.instances = 8;
+  model.queue_capacity = 2;
+  const InstancePoolMetrics pool = solve_instance_pool(model);
+  const QueueMetrics single = mm1k(5.0, 10.0, 2);
+  EXPECT_NEAR(pool.rejection_probability, single.blocking_probability, kTol);
+  EXPECT_NEAR(pool.mean_response_time, single.mean_response_time, kTol);
+  EXPECT_NEAR(pool.offered_per_instance, 0.5, kTol);
+  EXPECT_NEAR(pool.total_throughput, 8.0 * single.throughput, kTol);
+  EXPECT_NEAR(pool.mean_in_system_total, 8.0 * single.mean_in_system, kTol);
+}
+
+TEST(InstancePool, MoreInstancesReduceRejection) {
+  InstancePoolModel model;
+  model.total_arrival_rate = 100.0;
+  model.service_rate = 10.0;
+  model.queue_capacity = 2;
+  double previous = 1.0;
+  for (std::size_t m = 5; m <= 40; m += 5) {
+    model.instances = m;
+    const double rejection = solve_instance_pool(model).rejection_probability;
+    EXPECT_LT(rejection, previous) << m;
+    previous = rejection;
+  }
+}
+
+TEST(InstancePool, ResponseTimeBoundedByKServiceTimes) {
+  // Structural guarantee behind Equation 1: W <= k / mu for any load.
+  for (double lambda : {1.0, 10.0, 100.0, 1000.0}) {
+    InstancePoolModel model;
+    model.total_arrival_rate = lambda;
+    model.service_rate = 10.0;
+    model.instances = 4;
+    model.queue_capacity = 3;
+    const InstancePoolMetrics pool = solve_instance_pool(model);
+    EXPECT_LE(pool.mean_response_time, 3.0 / 10.0 + 1e-12) << lambda;
+  }
+}
+
+}  // namespace
+}  // namespace cloudprov::queueing

@@ -1,0 +1,233 @@
+// Second-round robustness tests: lifecycle edge cases, monitored-parameter
+// drift, boot delays, and additional simulation-vs-theory cross-checks.
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "cloud/broker.h"
+#include "core/application_provisioner.h"
+#include <cmath>
+
+#include "queueing/mm1.h"
+#include "queueing/mmc.h"
+#include "stats/quantile.h"
+#include "workload/poisson_source.h"
+
+namespace cloudprov {
+namespace {
+
+struct World {
+  Simulation sim;
+  Datacenter datacenter;
+
+  explicit World(DatacenterConfig config = {})
+      : datacenter(sim, config, std::make_unique<LeastLoadedPlacement>()) {}
+};
+
+Request make_request(std::uint64_t id, SimTime t, double demand) {
+  Request r;
+  r.id = id;
+  r.arrival_time = t;
+  r.service_demand = demand;
+  return r;
+}
+
+TEST(LifecycleEdge, DrainUndrainDrainCycle) {
+  Simulation sim;
+  Vm vm(sim, 1, VmSpec{});
+  int drained = 0;
+  vm.set_drained_callback([&](Vm&) { ++drained; });
+  vm.submit(make_request(1, 0.0, 1.0));
+  vm.drain();
+  vm.undrain();
+  vm.drain();
+  EXPECT_EQ(drained, 0);  // still serving
+  sim.run();
+  EXPECT_EQ(drained, 1);
+  EXPECT_EQ(vm.state(), VmState::kDraining);
+}
+
+TEST(LifecycleEdge, FailWhileBootingIsClean) {
+  Simulation sim;
+  Vm vm(sim, 1, VmSpec{}, /*boot_delay=*/10.0);
+  const auto lost = vm.fail();
+  EXPECT_TRUE(lost.empty());
+  EXPECT_EQ(vm.state(), VmState::kDestroyed);
+  sim.run();  // the boot event must not resurrect the VM
+  EXPECT_EQ(vm.state(), VmState::kDestroyed);
+}
+
+TEST(LifecycleEdge, FailIdleVmLosesNothing) {
+  Simulation sim;
+  Vm vm(sim, 1, VmSpec{});
+  EXPECT_TRUE(vm.fail().empty());
+}
+
+TEST(LifecycleEdge, DestroyedVmRejectsFurtherOperations) {
+  Simulation sim;
+  Vm vm(sim, 1, VmSpec{});
+  vm.destroy();
+  EXPECT_THROW(vm.submit(make_request(1, 0.0, 1.0)), std::logic_error);
+  EXPECT_THROW(vm.drain(), std::logic_error);
+  EXPECT_THROW((void)vm.fail(), std::logic_error);
+}
+
+TEST(BootDelay, ProvisionerSkipsBootingInstances) {
+  DatacenterConfig dc_config;
+  dc_config.host_count = 4;
+  dc_config.vm_boot_delay = 30.0;
+  World world(dc_config);
+  QosTargets qos;
+  qos.max_response_time = 0.25;
+  ProvisionerConfig config;
+  config.initial_service_time_estimate = 0.1;
+  ApplicationProvisioner provisioner(world.sim, world.datacenter, qos, config);
+  provisioner.scale_to(2);
+  // Both instances are booting: requests must be rejected, not crash.
+  provisioner.on_request(make_request(1, 0.0, 0.1));
+  EXPECT_EQ(provisioner.rejected(), 1u);
+  // Once booted, dispatch works.
+  world.sim.run(31.0);
+  provisioner.on_request(make_request(2, 31.0, 0.1));
+  EXPECT_EQ(provisioner.accepted(), 1u);
+}
+
+TEST(MonitoredDrift, QueueBoundShrinksWhenServiceSlowsDown) {
+  World world;
+  QosTargets qos;
+  qos.max_response_time = 1.0;
+  ProvisionerConfig config;
+  config.initial_service_time_estimate = 0.1;  // seed k = 10
+  ApplicationProvisioner provisioner(world.sim, world.datacenter, qos, config);
+  provisioner.scale_to(1);
+  EXPECT_EQ(provisioner.current_queue_bound(), 10u);
+  // Requests turn out to take 0.5 s: k must drop to floor(1.0/0.5) = 2.
+  provisioner.on_request(make_request(1, 0.0, 0.5));
+  world.sim.run();
+  EXPECT_EQ(provisioner.current_queue_bound(), 2u);
+}
+
+TEST(MonitoredDrift, EquationOneGuaranteeUnderDrift) {
+  // Even while k adapts, accepted requests never violate Ts when demands are
+  // bounded by Ts * k_max safety (here demands ~ U(0.09, 0.11), Ts = 0.25).
+  World world;
+  QosTargets qos;
+  qos.max_response_time = 0.25;
+  ProvisionerConfig config;
+  config.initial_service_time_estimate = 0.08;  // deliberately wrong seed
+  ApplicationProvisioner provisioner(world.sim, world.datacenter, qos, config);
+  provisioner.scale_to(3);
+  PoissonSource source(25.0, std::make_shared<ScaledUniformDistribution>(0.09,
+                                                                         0.22),
+                       0.0, 500.0);
+  Broker broker(world.sim, source, provisioner, Rng(3));
+  broker.start();
+  world.sim.run();
+  EXPECT_GT(provisioner.completed(), 1000u);
+  EXPECT_EQ(provisioner.qos_violations(), 0u);
+}
+
+TEST(SimVsTheory, MultiInstanceDeepQueueApproachesMmc) {
+  // 4 instances with deep per-instance queues (k = 25) and round-robin
+  // dispatch behave close to M/M/4 at moderate load (round-robin splitting
+  // is *smoother* than Poisson splitting, so waiting is at or below the
+  // M/M/4-with-random-split prediction but above the single shared queue).
+  World world;
+  QosTargets qos;
+  qos.max_response_time = 1e6;
+  ProvisionerConfig config;
+  config.fixed_queue_bound = 25;
+  config.initial_service_time_estimate = 0.1;
+  ApplicationProvisioner provisioner(world.sim, world.datacenter, qos, config);
+  provisioner.scale_to(4);
+  const double lambda = 28.0;  // rho = 0.7
+  PoissonSource source(lambda, std::make_shared<ExponentialDistribution>(10.0),
+                       0.0, 30000.0);
+  Broker broker(world.sim, source, provisioner, Rng(17));
+  broker.start();
+  world.sim.run();
+
+  const double shared_queue =
+      queueing::mmc(lambda, 10.0, 4).mean_response_time;
+  const double random_split =
+      queueing::mm1(lambda / 4.0, 10.0).mean_response_time;
+  const double simulated = provisioner.response_time_stats().mean();
+  EXPECT_GT(simulated, shared_queue * 0.98);
+  EXPECT_LT(simulated, random_split * 1.02);
+  EXPECT_LT(provisioner.rejection_rate(), 1e-3);
+}
+
+TEST(SimVsTheory, ResponseTailMatchesMm1Percentile) {
+  // M/M/1 response time is exponential with rate mu - lambda; the P2
+  // streaming p99 must match the closed-form quantile.
+  World world;
+  QosTargets qos;
+  qos.max_response_time = 1e6;
+  ProvisionerConfig config;
+  config.fixed_queue_bound = 1000000;
+  config.initial_service_time_estimate = 0.1;
+  ApplicationProvisioner provisioner(world.sim, world.datacenter, qos, config);
+  provisioner.scale_to(1);
+  const double lambda = 7.0;
+  const double mu = 10.0;
+  PoissonSource source(lambda, std::make_shared<ExponentialDistribution>(mu),
+                       0.0, 60000.0);
+  Broker broker(world.sim, source, provisioner, Rng(23));
+  broker.start();
+  world.sim.run();
+  const double p99_theory = -std::log(0.01) / (mu - lambda);
+  EXPECT_NEAR(provisioner.response_p99(), p99_theory, 0.06 * p99_theory);
+}
+
+TEST(ScaleToIdempotence, RepeatedCallsAreStable) {
+  World world;
+  QosTargets qos;
+  ProvisionerConfig config;
+  ApplicationProvisioner provisioner(world.sim, world.datacenter, qos, config);
+  for (int i = 0; i < 5; ++i) EXPECT_EQ(provisioner.scale_to(7), 7u);
+  EXPECT_EQ(world.datacenter.total_vms_created(), 7u);  // no churn
+  for (int i = 0; i < 5; ++i) EXPECT_EQ(provisioner.scale_to(3), 3u);
+  EXPECT_EQ(world.datacenter.live_vm_count(), 3u);
+}
+
+TEST(ScaleToZero, DrainsEntirePool) {
+  World world;
+  QosTargets qos;
+  ProvisionerConfig config;
+  ApplicationProvisioner provisioner(world.sim, world.datacenter, qos, config);
+  provisioner.scale_to(4);
+  provisioner.on_request(make_request(1, 0.0, 1.0));
+  EXPECT_EQ(provisioner.scale_to(0), 0u);
+  EXPECT_EQ(provisioner.draining_instances(), 1u);  // the busy one
+  world.sim.run();
+  EXPECT_EQ(world.datacenter.live_vm_count(), 0u);
+  EXPECT_EQ(provisioner.completed(), 1u);  // drained gracefully, not killed
+}
+
+TEST(RoundRobin, CursorSurvivesScaleChanges) {
+  // Interleave dispatch and scaling; the provisioner must neither crash nor
+  // lose instances, and every accepted request must complete.
+  World world;
+  QosTargets qos;
+  qos.max_response_time = 10.0;
+  ProvisionerConfig config;
+  config.initial_service_time_estimate = 0.5;
+  ApplicationProvisioner provisioner(world.sim, world.datacenter, qos, config);
+  Rng rng(31);
+  provisioner.scale_to(3);
+  std::uint64_t id = 0;
+  for (int round = 0; round < 200; ++round) {
+    provisioner.scale_to(1 + rng.uniform_int(0, 7));
+    for (int j = 0; j < 3; ++j) {
+      provisioner.on_request(
+          make_request(++id, world.sim.now(), 0.3 * rng.uniform(1.0, 1.1)));
+    }
+    world.sim.run(world.sim.now() + 0.5);
+  }
+  world.sim.run();
+  EXPECT_EQ(provisioner.completed(), provisioner.accepted());
+  EXPECT_EQ(provisioner.qos_violations(), 0u);
+}
+
+}  // namespace
+}  // namespace cloudprov

@@ -1,0 +1,99 @@
+#include "util/distributions.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <memory>
+
+#include "stats/running_stats.h"
+
+namespace cloudprov {
+namespace {
+
+/// Samples `dist` and checks the empirical mean/variance against the
+/// distribution's self-reported analytic moments.
+void expect_moments_match(const Distribution& dist, int n = 300000) {
+  Rng rng(314159);
+  RunningStats stats;
+  for (int i = 0; i < n; ++i) stats.add(dist.sample(rng));
+  const double mean_tol = 5.0 * std::sqrt(dist.variance() / n) +
+                          1e-3 * std::abs(dist.mean()) + 1e-12;
+  EXPECT_NEAR(stats.mean(), dist.mean(), mean_tol) << dist.name();
+  EXPECT_NEAR(stats.variance(), dist.variance(),
+              0.05 * dist.variance() + 1e-9)
+      << dist.name();
+}
+
+TEST(Deterministic, AlwaysSameValue) {
+  DeterministicDistribution d(4.2);
+  Rng rng(1);
+  for (int i = 0; i < 10; ++i) EXPECT_EQ(d.sample(rng), 4.2);
+  EXPECT_EQ(d.mean(), 4.2);
+  EXPECT_EQ(d.variance(), 0.0);
+}
+
+TEST(Exponential, Moments) { expect_moments_match(ExponentialDistribution(2.5)); }
+TEST(Uniform, Moments) { expect_moments_match(UniformDistribution(1.0, 9.0)); }
+TEST(Weibull, Moments) { expect_moments_match(WeibullDistribution(1.79, 24.16)); }
+TEST(Normal, Moments) { expect_moments_match(NormalDistribution(5.0, 1.5)); }
+TEST(LogNormal, Moments) { expect_moments_match(LogNormalDistribution(0.2, 0.5)); }
+TEST(ScaledUniform, Moments) {
+  expect_moments_match(ScaledUniformDistribution(0.1, 0.10));
+}
+
+TEST(ScaledUniform, PaperServiceTimeRange) {
+  // The paper's 100 ms + 0-10% heterogeneity: samples in [100, 110] ms.
+  ScaledUniformDistribution d(0.100, 0.10);
+  Rng rng(3);
+  for (int i = 0; i < 10000; ++i) {
+    const double s = d.sample(rng);
+    EXPECT_GE(s, 0.100);
+    EXPECT_LE(s, 0.110);
+  }
+  EXPECT_NEAR(d.mean(), 0.105, 1e-12);
+}
+
+TEST(Weibull, PaperModes) {
+  // The three distribution modes the paper's predictor relies on
+  // (Section V-B2): 7.379 s, 15.298 jobs, 1.309 tasks.
+  EXPECT_NEAR(WeibullDistribution(4.25, 7.86).mode(), 7.379, 0.01);
+  EXPECT_NEAR(WeibullDistribution(1.79, 24.16).mode(), 15.298, 0.01);
+  EXPECT_NEAR(WeibullDistribution(1.76, 2.11).mode(), 1.309, 0.01);
+}
+
+TEST(Weibull, ModeIsZeroForShapeBelowOne) {
+  EXPECT_EQ(WeibullDistribution(0.9, 5.0).mode(), 0.0);
+  EXPECT_EQ(WeibullDistribution(1.0, 5.0).mode(), 0.0);
+}
+
+TEST(Pareto, InfiniteMomentsReported) {
+  EXPECT_TRUE(std::isinf(ParetoDistribution(1.0, 0.9).mean()));
+  EXPECT_TRUE(std::isinf(ParetoDistribution(1.0, 1.5).variance()));
+  EXPECT_FALSE(std::isinf(ParetoDistribution(1.0, 2.5).variance()));
+}
+
+TEST(Distributions, NamesIncludeParameters) {
+  EXPECT_EQ(ExponentialDistribution(2.0).name(), "Exponential(2)");
+  EXPECT_EQ(WeibullDistribution(4.25, 7.86).name(), "Weibull(4.25, 7.86)");
+  EXPECT_EQ(UniformDistribution(0.0, 1.0).name(), "Uniform(0, 1)");
+}
+
+TEST(Distributions, ConstructorValidation) {
+  EXPECT_THROW(ExponentialDistribution(0.0), std::invalid_argument);
+  EXPECT_THROW(WeibullDistribution(-1.0, 1.0), std::invalid_argument);
+  EXPECT_THROW(UniformDistribution(2.0, 1.0), std::invalid_argument);
+  EXPECT_THROW(NormalDistribution(0.0, -1.0), std::invalid_argument);
+  EXPECT_THROW(ParetoDistribution(0.0, 1.0), std::invalid_argument);
+  EXPECT_THROW(ScaledUniformDistribution(0.0, 0.1), std::invalid_argument);
+  EXPECT_THROW(ScaledUniformDistribution(1.0, -0.1), std::invalid_argument);
+}
+
+TEST(Distributions, PolymorphicUseThroughPointer) {
+  DistributionPtr d = std::make_shared<ExponentialDistribution>(1.0);
+  Rng rng(1);
+  EXPECT_GT(d->sample(rng), 0.0);
+  EXPECT_EQ(d->mean(), 1.0);
+}
+
+}  // namespace
+}  // namespace cloudprov
