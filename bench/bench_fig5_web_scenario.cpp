@@ -26,6 +26,10 @@ int main(int argc, char** argv) {
                 "workload + baseline scale factor (1.0 = paper scale)",
                 "<double>");
   args.add_flag("reps", "2", "replications per policy (paper: 10)", "<int>");
+  args.add_flag("parallelism", "1",
+                "replication worker threads (0 = one per hardware thread); "
+                "results are identical at any level",
+                "<int>");
   args.add_flag("seed", "42", "base random seed", "<int>");
   args.add_flag("csv", "", "also write results to this CSV file", "<path>");
   args.add_flag("log", "warn", "log level (trace..off)", "<level>");
@@ -38,6 +42,7 @@ int main(int argc, char** argv) {
 
   const double scale = args.get_double("scale");
   const auto reps = static_cast<std::size_t>(args.get_int("reps"));
+  const auto parallelism = static_cast<std::size_t>(args.get_int("parallelism"));
   const auto seed = static_cast<std::uint64_t>(args.get_int("seed"));
 
   const ScenarioConfig config = web_scenario(scale);
@@ -75,7 +80,8 @@ int main(int argc, char** argv) {
                                                    << " done in " << fmt(m.wall_seconds, 1)
                                                    << "s (" << m.generated
                                                    << " requests)\n";
-                                       });
+                                       },
+                                       parallelism);
     const AggregateMetrics agg = aggregate(runs);
     if (policy.kind == PolicySpec::Kind::kAdaptive) {
       adaptive_vm_hours = agg.vm_hours.mean;

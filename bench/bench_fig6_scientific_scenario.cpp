@@ -20,6 +20,10 @@ int main(int argc, char** argv) {
       "static provisioning on the Grid Workloads Archive BoT workload.");
   args.add_flag("scale", "1.0", "workload + baseline scale factor", "<double>");
   args.add_flag("reps", "10", "replications per policy (paper: 10)", "<int>");
+  args.add_flag("parallelism", "1",
+                "replication worker threads (0 = one per hardware thread); "
+                "results are identical at any level",
+                "<int>");
   args.add_flag("seed", "42", "base random seed", "<int>");
   args.add_flag("csv", "", "also write results to this CSV file", "<path>");
   args.add_flag("log", "warn", "log level (trace..off)", "<level>");
@@ -28,6 +32,7 @@ int main(int argc, char** argv) {
 
   const double scale = args.get_double("scale");
   const auto reps = static_cast<std::size_t>(args.get_int("reps"));
+  const auto parallelism = static_cast<std::size_t>(args.get_int("parallelism"));
   const auto seed = static_cast<std::uint64_t>(args.get_int("seed"));
 
   const ScenarioConfig config = scientific_scenario(scale);
@@ -48,7 +53,8 @@ int main(int argc, char** argv) {
   double static75_vm_hours = 0.0;
   double static75_util = 0.0;
   for (const PolicySpec& policy : policies) {
-    const auto runs = run_replications(config, policy, reps, seed);
+    const auto runs =
+        run_replications(config, policy, reps, seed, {}, parallelism);
     const AggregateMetrics agg = aggregate(runs);
     if (policy.kind == PolicySpec::Kind::kAdaptive) {
       adaptive_vm_hours = agg.vm_hours.mean;

@@ -5,11 +5,15 @@
 //   ./run_scenario --workload scientific --policy static --instances 45
 //   ./run_scenario --workload web --policy adaptive --predictor ewma \
 //                  --interval 30 --csv out.csv --decisions decisions.csv
+//   ./run_scenario --workload web --scale 0.01 --trace-out trace.json \
+//                  --metrics-out metrics.csv        # Perfetto-loadable trace
+//   ./run_scenario --reps 8 --parallelism 0         # one worker per core
 #include <fstream>
 #include <iostream>
 
 #include "experiment/report.h"
 #include "experiment/runner.h"
+#include "telemetry/export.h"
 #include "util/cli.h"
 #include "util/csv.h"
 #include "util/log.h"
@@ -28,6 +32,23 @@ PredictorKind parse_predictor(const std::string& name) {
   throw std::invalid_argument("unknown predictor: " + name);
 }
 
+void write_decisions_csv(const std::string& path,
+                         const std::vector<AdaptivePolicy::DecisionRecord>& decisions) {
+  std::ofstream out(path);
+  CsvWriter csv(out);
+  csv.write_header({"time", "expected_rate", "monitored_service_time",
+                    "queue_bound", "target_instances", "achieved_instances"});
+  for (const auto& d : decisions) {
+    csv.write_row({CsvWriter::format(d.time), CsvWriter::format(d.expected_rate),
+                   CsvWriter::format(d.monitored_service_time),
+                   CsvWriter::format(static_cast<std::int64_t>(d.queue_bound)),
+                   CsvWriter::format(static_cast<std::int64_t>(d.target_instances)),
+                   CsvWriter::format(
+                       static_cast<std::int64_t>(d.achieved_instances))});
+  }
+  std::cout << "decision timeline written to " << path << '\n';
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -43,6 +64,9 @@ int main(int argc, char** argv) {
                 "<int>");
   args.add_flag("reps", "1", "replications", "<int>");
   args.add_flag("seed", "42", "base random seed", "<int>");
+  args.add_flag("parallelism", "1",
+                "replication worker threads (0 = one per hardware thread)",
+                "<int>");
   args.add_flag("interval", "0", "analysis interval override in seconds (0 = default)",
                 "<double>");
   args.add_flag("tolerance", "0", "modeler rejection tolerance override (0 = default)",
@@ -51,9 +75,27 @@ int main(int argc, char** argv) {
   args.add_flag("csv", "", "write aggregate metrics CSV here", "<path>");
   args.add_flag("decisions", "", "write the adaptive decision timeline CSV here",
                 "<path>");
+  args.add_flag("trace-out", "",
+                "write a Chrome trace-format JSON of replication 0 here "
+                "(load in chrome://tracing or ui.perfetto.dev)",
+                "<path>");
+  args.add_flag("metrics-out", "",
+                "write the telemetry metrics registry of replication 0 as CSV here",
+                "<path>");
+  args.add_flag("trace-capacity", "65536",
+                "trace ring capacity in events (oldest dropped beyond this)",
+                "<int>");
   args.add_flag("log", "warn", "log level", "<level>");
+  args.add_flag("log-file", "", "redirect log lines from stderr to this file",
+                "<path>");
   if (!args.parse(argc, argv)) return 0;
   Logger::instance().set_level(Logger::parse_level(args.get_string("log")));
+  if (const std::string path = args.get_string("log-file"); !path.empty()) {
+    if (!Logger::instance().set_sink_file(path)) {
+      std::cerr << "cannot open log file " << path << '\n';
+      return 1;
+    }
+  }
 
   ScenarioConfig config = args.get_string("workload") == "scientific"
                               ? scientific_scenario(args.get_double("scale"))
@@ -81,16 +123,54 @@ int main(int argc, char** argv) {
 
   const auto reps = static_cast<std::size_t>(args.get_int("reps"));
   const auto seed = static_cast<std::uint64_t>(args.get_int("seed"));
+  const auto parallelism = static_cast<std::size_t>(args.get_int("parallelism"));
 
+  const std::string trace_path = args.get_string("trace-out");
+  const std::string metrics_path = args.get_string("metrics-out");
+  const std::string decisions_path = args.get_string("decisions");
+  std::optional<TelemetryOptions> telemetry_opts;
+  if (!trace_path.empty() || !metrics_path.empty()) {
+    TelemetryOptions opts;
+    opts.trace_capacity =
+        static_cast<std::size_t>(args.get_int("trace-capacity"));
+    telemetry_opts = opts;
+  }
+
+  // Telemetry and the decision timeline always describe replication 0, no
+  // matter how the batch is executed.
   std::vector<RunMetrics> runs;
   std::vector<AdaptivePolicy::DecisionRecord> decisions;
-  SplitMix64 seeder(seed);
-  for (std::size_t i = 0; i < reps; ++i) {
-    RunOutput output = run_scenario(config, policy, seeder.next());
-    std::cerr << "rep " << i + 1 << "/" << reps << ": " << output.metrics.generated
-              << " requests in " << fmt(output.metrics.wall_seconds, 1) << " s\n";
-    if (i == 0) decisions = output.decisions;
-    runs.push_back(std::move(output.metrics));
+  std::unique_ptr<Telemetry> telemetry;
+  const std::vector<std::uint64_t> seeds = replication_seeds(reps, seed);
+  if (parallelism == 1) {
+    for (std::size_t i = 0; i < reps; ++i) {
+      RunOutput output = run_scenario(
+          config, policy, seeds[i],
+          i == 0 ? telemetry_opts : std::optional<TelemetryOptions>{});
+      std::cerr << "rep " << i + 1 << "/" << reps << ": "
+                << output.metrics.generated << " requests in "
+                << fmt(output.metrics.wall_seconds, 1) << " s\n";
+      if (i == 0) {
+        decisions = std::move(output.decisions);
+        telemetry = std::move(output.telemetry);
+      }
+      runs.push_back(std::move(output.metrics));
+    }
+  } else {
+    runs = run_replications(
+        config, policy, reps, seed,
+        [&](const RunMetrics& m) {
+          std::cerr << "rep seed=" << m.seed << ": " << m.generated
+                    << " requests in " << fmt(m.wall_seconds, 1) << " s\n";
+        },
+        parallelism);
+    // Instrumentation needs a dedicated sequential pass (the collector is
+    // per-replication and the workers only keep metrics).
+    if (telemetry_opts.has_value() || !decisions_path.empty()) {
+      RunOutput output = run_scenario(config, policy, seeds[0], telemetry_opts);
+      decisions = std::move(output.decisions);
+      telemetry = std::move(output.telemetry);
+    }
   }
   const AggregateMetrics agg = aggregate(runs);
 
@@ -107,19 +187,23 @@ int main(int argc, char** argv) {
     write_policy_csv(out, {agg});
     std::cout << "metrics CSV written to " << path << '\n';
   }
-  if (const std::string path = args.get_string("decisions");
-      !path.empty() && !decisions.empty()) {
-    std::ofstream out(path);
-    CsvWriter csv(out);
-    csv.write_header({"time", "expected_rate", "target_instances",
-                      "achieved_instances"});
-    for (const auto& d : decisions) {
-      csv.write_row({CsvWriter::format(d.time), CsvWriter::format(d.expected_rate),
-                     CsvWriter::format(static_cast<std::int64_t>(d.target_instances)),
-                     CsvWriter::format(
-                         static_cast<std::int64_t>(d.achieved_instances))});
+  if (!decisions_path.empty() && !decisions.empty()) {
+    write_decisions_csv(decisions_path, decisions);
+  }
+  if (telemetry != nullptr) {
+    if (!trace_path.empty()) {
+      std::ofstream out(trace_path);
+      write_chrome_trace(out, telemetry->trace(),
+                         "cloudprov " + policy.label(config.scale));
+      std::cout << "trace written to " << trace_path << " ("
+                << telemetry->trace().size() << " events, "
+                << telemetry->trace().dropped() << " dropped)\n";
     }
-    std::cout << "decision timeline written to " << path << '\n';
+    if (!metrics_path.empty()) {
+      std::ofstream out(metrics_path);
+      write_metrics_csv(out, telemetry->metrics().snapshot());
+      std::cout << "telemetry metrics written to " << metrics_path << '\n';
+    }
   }
   return 0;
 }

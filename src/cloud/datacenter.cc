@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "telemetry/telemetry.h"
 #include "util/check.h"
 #include "util/log.h"
 
@@ -31,7 +32,12 @@ Vm* Datacenter::create_vm(const VmSpec& spec) {
       std::make_unique<Vm>(sim(), next_vm_id_++, spec, config_.vm_boot_delay));
   vm_host_.push_back(host);
   ++live_vms_;
-  return vms_.back().get();
+  Vm* vm = vms_.back().get();
+  if (telemetry_ != nullptr) {
+    vm->set_telemetry(telemetry_);
+    telemetry_->vm_created(now(), vm->id());
+  }
+  return vm;
 }
 
 void Datacenter::destroy_vm(Vm& vm) {
@@ -43,6 +49,9 @@ void Datacenter::destroy_vm(Vm& vm) {
   vm_host_[index]->release(vm.spec(), now());
   ensure(live_vms_ > 0, "destroy_vm: live VM accounting underflow");
   --live_vms_;
+  if (telemetry_ != nullptr) {
+    telemetry_->vm_destroyed(now(), vm.id(), vm.lifetime_seconds(now()));
+  }
 }
 
 void Datacenter::release_failed_vm(Vm& vm) {

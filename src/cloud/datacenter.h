@@ -34,6 +34,11 @@ class Datacenter final : public Entity {
   Datacenter(Simulation& sim, DatacenterConfig config,
              std::unique_ptr<PlacementPolicy> placement);
 
+  /// Attaches the replication's telemetry collector (null disables). VM
+  /// create/destroy/fail events are recorded here; the pointer is also
+  /// propagated to every VM created afterwards.
+  void set_telemetry(Telemetry* telemetry) { telemetry_ = telemetry; }
+
   /// Creates and places a VM; nullptr when no host has capacity.
   Vm* create_vm(const VmSpec& spec);
 
@@ -75,6 +80,7 @@ class Datacenter final : public Entity {
   std::vector<Host*> vm_host_;            // parallel to vms_: placement record
   std::size_t live_vms_ = 0;
   std::uint64_t next_vm_id_ = 1;
+  Telemetry* telemetry_ = nullptr;
 };
 
 }  // namespace cloudprov

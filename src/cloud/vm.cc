@@ -2,6 +2,7 @@
 
 #include <iterator>
 
+#include "telemetry/telemetry.h"
 #include "util/check.h"
 #include "util/log.h"
 
@@ -34,6 +35,7 @@ Vm::Vm(Simulation& sim, std::uint64_t id, VmSpec spec, SimTime boot_delay)
 void Vm::finish_boot() {
   if (state_ != VmState::kBooting) return;  // destroyed while booting
   state_ = VmState::kRunning;
+  if (telemetry_ != nullptr) telemetry_->vm_boot_complete(now(), id_);
   CLOUDPROV_LOG(Debug) << name() << " booted at t=" << now();
 }
 
@@ -92,12 +94,14 @@ void Vm::finish_service() {
 void Vm::drain() {
   ensure(state_ == VmState::kRunning, "Vm::drain on non-RUNNING instance");
   state_ = VmState::kDraining;
+  if (telemetry_ != nullptr) telemetry_->vm_drain(now(), id_, load());
   if (idle() && on_drained_) on_drained_(*this);
 }
 
 void Vm::undrain() {
   ensure(state_ == VmState::kDraining, "Vm::undrain on non-DRAINING instance");
   state_ = VmState::kRunning;
+  if (telemetry_ != nullptr) telemetry_->vm_resurrected(now(), id_);
 }
 
 void Vm::destroy() {

@@ -23,6 +23,8 @@
 
 namespace cloudprov {
 
+class Telemetry;
+
 enum class VmState { kBooting, kRunning, kDraining, kDestroyed };
 
 const char* to_string(VmState state);
@@ -53,6 +55,11 @@ class Vm final : public Entity {
 
   void set_completion_callback(CompletionCallback cb) { on_complete_ = std::move(cb); }
   void set_drained_callback(DrainedCallback cb) { on_drained_ = std::move(cb); }
+
+  /// Attaches the replication's telemetry collector (null disables); the
+  /// data center wires this up at creation so lifecycle transitions
+  /// (boot/drain/resurrect) land in the trace.
+  void set_telemetry(Telemetry* telemetry) { telemetry_ = telemetry; }
 
   /// Accepts a request (queue it or start service). Only legal while
   /// RUNNING; the provisioner enforces admission control (the k bound)
@@ -117,6 +124,7 @@ class Vm final : public Entity {
   VmState state_;
   CompletionCallback on_complete_;
   DrainedCallback on_drained_;
+  Telemetry* telemetry_ = nullptr;
 
   bool priority_queueing_ = false;
   std::deque<Request> waiting_;

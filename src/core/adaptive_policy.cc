@@ -1,5 +1,6 @@
 #include "core/adaptive_policy.h"
 
+#include "telemetry/telemetry.h"
 #include "util/check.h"
 #include "util/log.h"
 
@@ -26,12 +27,18 @@ void AdaptivePolicy::attach(ApplicationProvisioner& provisioner) {
 }
 
 void AdaptivePolicy::on_rate_alert(SimTime t, double expected_rate) {
+  const double tm = provisioner_->monitored_service_time();
+  const std::size_t k = provisioner_->current_queue_bound();
   const ModelerDecision decision = modeler_->required_instances(
       std::max<std::size_t>(provisioner_->active_instances(), 1), expected_rate,
-      provisioner_->monitored_service_time(), provisioner_->current_queue_bound());
+      tm, k);
   const std::size_t achieved = provisioner_->scale_to(decision.instances);
   decisions_.push_back(
-      DecisionRecord{t, expected_rate, decision.instances, achieved});
+      DecisionRecord{t, expected_rate, tm, k, decision.instances, achieved});
+  if (telemetry_ != nullptr) {
+    telemetry_->scaling_decision(t, expected_rate, tm, k, decision.instances,
+                                 achieved);
+  }
   CLOUDPROV_LOG(Debug) << "adaptive: t=" << t << " lambda=" << expected_rate
                        << " -> m=" << decision.instances
                        << " (achieved " << achieved << ")";

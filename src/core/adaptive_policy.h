@@ -19,6 +19,8 @@
 
 namespace cloudprov {
 
+class Telemetry;
+
 class AdaptivePolicy final : public ProvisioningPolicy {
  public:
   AdaptivePolicy(Simulation& sim, std::shared_ptr<ArrivalRatePredictor> predictor,
@@ -27,10 +29,18 @@ class AdaptivePolicy final : public ProvisioningPolicy {
   void attach(ApplicationProvisioner& provisioner) override;
   std::string name() const override { return "Adaptive"; }
 
-  /// One provisioning decision, for diagnostics and the examples.
+  /// Attaches the replication's telemetry collector (null disables); every
+  /// Algorithm 1 run is then recorded with its inputs (lambda, Tm, k) and
+  /// the chosen instance count. Set before attach().
+  void set_telemetry(Telemetry* telemetry) { telemetry_ = telemetry; }
+
+  /// One provisioning decision (Algorithm 1 inputs + outcome), for
+  /// diagnostics, the examples, and the decision-timeline CSV.
   struct DecisionRecord {
     SimTime time = 0.0;
-    double expected_rate = 0.0;
+    double expected_rate = 0.0;         ///< lambda fed to the modeler
+    double monitored_service_time = 0.0;  ///< Tm at decision time
+    std::size_t queue_bound = 0;        ///< k (Equation 1) at decision time
     std::size_t target_instances = 0;
     std::size_t achieved_instances = 0;
   };
@@ -49,6 +59,7 @@ class AdaptivePolicy final : public ProvisioningPolicy {
   AnalyzerConfig analyzer_config_;
 
   ApplicationProvisioner* provisioner_ = nullptr;
+  Telemetry* telemetry_ = nullptr;
   std::optional<PerformanceModeler> modeler_;
   std::optional<WorkloadAnalyzer> analyzer_;
   std::vector<DecisionRecord> decisions_;

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "telemetry/telemetry.h"
 #include "util/check.h"
 #include "util/log.h"
 
@@ -83,9 +84,17 @@ bool ApplicationProvisioner::try_submit(const Request& request) {
     // "If all virtualized application instances have k requests in their
     // queues, new requests are rejected."
     ++rejected_;
+    if (telemetry_ != nullptr) {
+      telemetry_->request_arrival(now(), request.id);
+      telemetry_->request_rejected(now(), request.id);
+    }
     return false;
   }
   ++accepted_;
+  if (telemetry_ != nullptr) {
+    telemetry_->request_arrival(now(), request.id);
+    telemetry_->request_admitted(now(), request.id, vm->id());
+  }
   vm->submit(request);
   return true;
 }
@@ -152,12 +161,18 @@ std::size_t ApplicationProvisioner::scale_to(std::size_t target) {
 void ApplicationProvisioner::on_vm_complete(Vm& vm, const Request& request,
                                             double response_time) {
   response_stats_.add(response_time);
-  service_stats_.add(request.service_demand / vm.spec().speed);
+  const double service_time = request.service_demand / vm.spec().speed;
+  service_stats_.add(service_time);
   if (config_.track_quantiles) {
     p95_.add(response_time);
     p99_.add(response_time);
   }
-  if (response_time > qos_.max_response_time) ++qos_violations_;
+  const bool violation = response_time > qos_.max_response_time;
+  if (violation) ++qos_violations_;
+  if (telemetry_ != nullptr) {
+    telemetry_->request_completed(now(), request.id, response_time,
+                                  service_time, violation);
+  }
   if (completion_listener_) completion_listener_(request, response_time);
 }
 
@@ -170,6 +185,9 @@ void ApplicationProvisioner::on_vm_drained(Vm& vm) {
 }
 
 void ApplicationProvisioner::record_instance_count() {
+  if (telemetry_ != nullptr) {
+    telemetry_->instance_count(now(), instances_.size(), draining_.size());
+  }
   if (!instance_history_started_) {
     instance_history_started_ = true;
     instance_count_ = TimeWeightedValue(now(), static_cast<double>(live_instances()));
@@ -206,6 +224,9 @@ std::size_t ApplicationProvisioner::inject_instance_failure(std::size_t index) {
   datacenter_.release_failed_vm(*victim);
   lost_to_failures_ += lost.size();
   ++instance_failures_;
+  if (telemetry_ != nullptr) {
+    telemetry_->vm_failed(now(), victim->id(), lost.size());
+  }
   record_instance_count();
   CLOUDPROV_LOG(Debug) << "instance failure at t=" << now() << ", lost "
                        << lost.size() << " request(s)";

@@ -54,6 +54,11 @@ class ApplicationProvisioner final : public Entity,
                          std::unique_ptr<AdmissionPolicy> admission =
                              std::make_unique<KBoundAdmission>());
 
+  /// Attaches the replication's telemetry collector (null disables):
+  /// request admission outcomes, completion spans, and pool-size counter
+  /// samples. Purely observational — enabling it never changes decisions.
+  void set_telemetry(Telemetry* telemetry) { telemetry_ = telemetry; }
+
   // --- RequestSink ------------------------------------------------------
   /// Admission control + round-robin dispatch of one end-user request.
   void on_request(const Request& request) override;
@@ -149,6 +154,7 @@ class ApplicationProvisioner final : public Entity,
   QosTargets qos_;
   ProvisionerConfig config_;
   std::unique_ptr<AdmissionPolicy> admission_;
+  Telemetry* telemetry_ = nullptr;
 
   CompletionListener completion_listener_;
   std::vector<Vm*> instances_;  ///< RUNNING, in round-robin order

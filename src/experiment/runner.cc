@@ -16,6 +16,7 @@
 #include "predict/periodic_profile.h"
 #include "predict/qrsm.h"
 #include "util/check.h"
+#include "util/log.h"
 
 namespace cloudprov {
 namespace {
@@ -26,6 +27,19 @@ std::unique_ptr<RequestSource> make_source(const ScenarioConfig& config) {
   }
   return std::make_unique<BotWorkload>(config.bot);
 }
+
+// Scoped sim-time log prefix: while a telemetry-instrumented replication
+// runs, CLOUDPROV_LOG lines carry [t=...] so they correlate with trace
+// events. Never installed for batch/parallel runs (the provider is global).
+class ScopedLogTime {
+ public:
+  explicit ScopedLogTime(const Simulation& sim) {
+    Logger::instance().set_time_provider([&sim] { return sim.now(); });
+  }
+  ~ScopedLogTime() { Logger::instance().set_time_provider(nullptr); }
+  ScopedLogTime(const ScopedLogTime&) = delete;
+  ScopedLogTime& operator=(const ScopedLogTime&) = delete;
+};
 
 std::shared_ptr<ArrivalRatePredictor> make_predictor(const ScenarioConfig& config,
                                                      PredictorKind kind,
@@ -58,7 +72,8 @@ std::shared_ptr<ArrivalRatePredictor> make_predictor(const ScenarioConfig& confi
 }  // namespace
 
 RunOutput run_scenario(const ScenarioConfig& config, const PolicySpec& policy,
-                       std::uint64_t seed) {
+                       std::uint64_t seed,
+                       const std::optional<TelemetryOptions>& telemetry_opts) {
   const auto wall_start = std::chrono::steady_clock::now();
 
   SplitMix64 seeder(seed);
@@ -67,14 +82,24 @@ RunOutput run_scenario(const ScenarioConfig& config, const PolicySpec& policy,
   // enabling them does not disturb the workload stream of existing seeds.
   Rng placement_rng(seeder.next());
 
+  std::unique_ptr<Telemetry> telemetry;
+  if (telemetry_opts.has_value()) {
+    telemetry = std::make_unique<Telemetry>(*telemetry_opts);
+  }
+
   Simulation sim;
+  sim.set_telemetry(telemetry.get());
+  std::optional<ScopedLogTime> log_time;
+  if (telemetry != nullptr) log_time.emplace(sim);
   Datacenter datacenter(sim, config.datacenter,
                         std::make_unique<LeastLoadedPlacement>());
+  datacenter.set_telemetry(telemetry.get());
 
   ProvisionerConfig prov_config;
   prov_config.vm_spec = VmSpec{};  // 1 core, 2 GB, unit speed
   prov_config.initial_service_time_estimate = config.initial_service_time_estimate;
   ApplicationProvisioner provisioner(sim, datacenter, config.qos, prov_config);
+  provisioner.set_telemetry(telemetry.get());
 
   auto source = make_source(config);
   Broker broker(sim, *source, provisioner, workload_rng);
@@ -89,6 +114,7 @@ RunOutput run_scenario(const ScenarioConfig& config, const PolicySpec& policy,
         sim, make_predictor(config, policy.predictor, *source), config.modeler,
         config.analyzer);
     adaptive = owned.get();
+    adaptive->set_telemetry(telemetry.get());
     prov_policy = std::move(owned);
   }
 
@@ -126,8 +152,17 @@ RunOutput run_scenario(const ScenarioConfig& config, const PolicySpec& policy,
                        std::chrono::steady_clock::now() - wall_start)
                        .count();
   if (adaptive != nullptr) output.decisions = adaptive->decisions();
+  output.telemetry = std::move(telemetry);
   (void)placement_rng;
   return output;
+}
+
+std::vector<std::uint64_t> replication_seeds(std::size_t replications,
+                                             std::uint64_t base_seed) {
+  std::vector<std::uint64_t> seeds(replications);
+  SplitMix64 seeder(base_seed);
+  for (auto& seed : seeds) seed = seeder.next();
+  return seeds;
 }
 
 std::vector<RunMetrics> run_replications(
@@ -144,9 +179,8 @@ std::vector<RunMetrics> run_replications(
   // Seeds are fixed up front so the result set does not depend on worker
   // scheduling; each replication is fully self-contained (own Simulation,
   // Datacenter, RNG streams), making this loop embarrassingly parallel.
-  std::vector<std::uint64_t> seeds(replications);
-  SplitMix64 seeder(base_seed);
-  for (auto& seed : seeds) seed = seeder.next();
+  const std::vector<std::uint64_t> seeds =
+      replication_seeds(replications, base_seed);
 
   std::vector<RunMetrics> runs(replications);
   if (parallelism == 1) {

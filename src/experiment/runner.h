@@ -9,11 +9,14 @@
 
 #include <cstdint>
 #include <functional>
+#include <memory>
+#include <optional>
 #include <vector>
 
 #include "experiment/metrics.h"
 #include "experiment/scenario.h"
 #include "stats/timeseries.h"
+#include "telemetry/telemetry.h"
 
 namespace cloudprov {
 
@@ -21,11 +24,26 @@ struct RunOutput {
   RunMetrics metrics;
   /// Adaptive-policy decision history (empty for static runs).
   std::vector<AdaptivePolicy::DecisionRecord> decisions;
+  /// The replication's telemetry collector (metrics registry + trace
+  /// buffer); null unless telemetry was requested. Telemetry is purely
+  /// observational: metrics are identical with it on or off.
+  std::unique_ptr<Telemetry> telemetry;
 };
 
 /// Runs one replication. `seed` selects the replication's random streams.
+/// Passing `telemetry` options instruments the whole pipeline (engine,
+/// data center, VMs, provisioner, adaptive policy) and returns the
+/// collector in RunOutput::telemetry.
 RunOutput run_scenario(const ScenarioConfig& config, const PolicySpec& policy,
-                       std::uint64_t seed);
+                       std::uint64_t seed,
+                       const std::optional<TelemetryOptions>& telemetry =
+                           std::nullopt);
+
+/// Seeds used by run_replications for `replications` runs from `base_seed`
+/// (splitmix64 sequence): lets callers re-run any single replication —
+/// e.g. replication 0 with telemetry attached — outside the batch.
+std::vector<std::uint64_t> replication_seeds(std::size_t replications,
+                                             std::uint64_t base_seed);
 
 /// Runs `replications` independent seeds and returns the per-run metrics in
 /// seed order. `progress` (optional) is invoked after each completed run

@@ -2,6 +2,7 @@
 
 #include <utility>
 
+#include "telemetry/telemetry.h"
 #include "util/check.h"
 
 namespace cloudprov {
@@ -25,6 +26,9 @@ std::uint64_t Simulation::run(SimTime until) {
     event.action();
     ++executed_;
     ++count;
+    if (telemetry_ != nullptr && executed_ % sample_stride_ == 0) {
+      telemetry_->engine_sample(now_, executed_, queue_.size());
+    }
   }
   // Advance the clock to the horizon even if the model went quiet earlier,
   // so time-weighted statistics cover the full observation window.
@@ -33,6 +37,13 @@ std::uint64_t Simulation::run(SimTime until) {
     now_ = until;
   }
   return count;
+}
+
+void Simulation::set_telemetry(Telemetry* telemetry,
+                               std::uint64_t sample_stride) {
+  ensure_arg(sample_stride >= 1, "set_telemetry: stride must be >= 1");
+  telemetry_ = telemetry;
+  sample_stride_ = sample_stride;
 }
 
 bool Simulation::step() {

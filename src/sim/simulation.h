@@ -15,6 +15,8 @@
 
 namespace cloudprov {
 
+class Telemetry;
+
 class Simulation {
  public:
   Simulation() = default;
@@ -43,15 +45,24 @@ class Simulation {
   /// Requests run() to return before dispatching the next event.
   void stop() { stop_requested_ = true; }
 
-  bool idle() { return queue_.empty(); }
+  bool idle() const { return queue_.size() == 0; }
   std::uint64_t executed_events() const { return executed_; }
   EventQueue& queue() { return queue_; }
+
+  /// Attaches an engine self-profile collector: every `sample_stride`
+  /// executed events, run() records executed-event count and pending-queue
+  /// depth. Null (the default) disables sampling; the run loop then pays a
+  /// single predicted branch per event.
+  void set_telemetry(Telemetry* telemetry, std::uint64_t sample_stride = 1024);
+  Telemetry* telemetry() const { return telemetry_; }
 
  private:
   EventQueue queue_;
   SimTime now_ = 0.0;
   std::uint64_t executed_ = 0;
   bool stop_requested_ = false;
+  Telemetry* telemetry_ = nullptr;
+  std::uint64_t sample_stride_ = 1024;
 };
 
 /// Repeating action helper (monitor ticks, provisioning cycles, rate

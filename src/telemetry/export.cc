@@ -1,0 +1,140 @@
+#include "telemetry/export.h"
+
+#include <cmath>
+#include <cstdio>
+#include <ostream>
+#include <sstream>
+
+#include "telemetry/telemetry.h"
+#include "util/csv.h"
+
+namespace cloudprov {
+namespace {
+
+// Plain JSON number with round-trip precision; JSON has no inf/nan, so
+// non-finite values (which no instrumented site should produce) become 0.
+std::string json_number(double value) {
+  if (!std::isfinite(value)) return "0";
+  std::ostringstream out;
+  out.precision(17);
+  out << value;
+  return out.str();
+}
+
+std::string json_string(const std::string& text) {
+  std::string escaped = "\"";
+  for (const char c : text) {
+    switch (c) {
+      case '"': escaped += "\\\""; break;
+      case '\\': escaped += "\\\\"; break;
+      case '\n': escaped += "\\n"; break;
+      case '\t': escaped += "\\t"; break;
+      case '\r': escaped += "\\r"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buffer[8];
+          std::snprintf(buffer, sizeof(buffer), "\\u%04x",
+                        static_cast<unsigned>(c));
+          escaped += buffer;
+        } else {
+          escaped += c;
+        }
+    }
+  }
+  escaped += '"';
+  return escaped;
+}
+
+void write_metadata_event(std::ostream& out, const char* kind,
+                          std::uint32_t tid, const std::string& label,
+                          bool& first) {
+  if (!first) out << ",\n";
+  first = false;
+  out << "  {\"name\":" << json_string(kind) << ",\"ph\":\"M\",\"pid\":0";
+  if (tid != 0) out << ",\"tid\":" << tid;
+  out << ",\"args\":{\"name\":" << json_string(label) << "}}";
+}
+
+void write_trace_event(std::ostream& out, const TraceEvent& event,
+                       bool& first) {
+  if (!first) out << ",\n";
+  first = false;
+  out << "  {\"name\":" << json_string(event.name)
+      << ",\"cat\":" << json_string(event.category) << ",\"ph\":\""
+      << to_string(event.phase) << "\",\"ts\":"
+      << json_number(event.time * 1e6) << ",\"pid\":0,\"tid\":"
+      << event.track;
+  if (event.phase == TracePhase::kComplete) {
+    out << ",\"dur\":" << json_number(event.duration * 1e6);
+  }
+  if (event.phase == TracePhase::kInstant) {
+    out << ",\"s\":\"t\"";  // thread-scoped instant
+  }
+  out << ",\"args\":{";
+  bool first_arg = true;
+  if (event.id != 0) {
+    out << "\"id\":" << event.id;
+    first_arg = false;
+  }
+  for (std::uint8_t i = 0; i < event.arg_count; ++i) {
+    if (!first_arg) out << ',';
+    first_arg = false;
+    out << json_string(event.args[i].key) << ':'
+        << json_number(event.args[i].value);
+  }
+  out << "}}";
+}
+
+}  // namespace
+
+void write_chrome_trace(std::ostream& out, const TraceBuffer& trace,
+                        const std::string& process_name) {
+  out << "{\n\"displayTimeUnit\":\"ms\",\n\"otherData\":{"
+      << "\"recorded_events\":" << trace.recorded()
+      << ",\"dropped_events\":" << trace.dropped() << "},\n\"traceEvents\":[\n";
+  bool first = true;
+  write_metadata_event(out, "process_name", 0, process_name, first);
+  write_metadata_event(out, "thread_name", kTrackRequests, "requests", first);
+  write_metadata_event(out, "thread_name", kTrackVms, "vms", first);
+  write_metadata_event(out, "thread_name", kTrackPolicy, "policy", first);
+  write_metadata_event(out, "thread_name", kTrackEngine, "engine", first);
+  for (const TraceEvent& event : trace.events()) {
+    write_trace_event(out, event, first);
+  }
+  out << "\n]}\n";
+}
+
+void write_metrics_csv(std::ostream& out,
+                       const MetricsRegistry::Snapshot& snapshot) {
+  CsvWriter csv(out);
+  csv.write_header({"metric", "type", "field", "value"});
+  for (const auto& counter : snapshot.counters) {
+    csv.write_row({counter.name, "counter", "value",
+                   CsvWriter::format(static_cast<std::int64_t>(counter.value))});
+  }
+  for (const auto& gauge : snapshot.gauges) {
+    csv.write_row({gauge.name, "gauge", "value", CsvWriter::format(gauge.value)});
+  }
+  for (const auto& histogram : snapshot.histograms) {
+    std::uint64_t cumulative = 0;
+    for (std::size_t i = 0; i < histogram.upper_bounds.size(); ++i) {
+      cumulative += histogram.bucket_counts[i];
+      csv.write_row({histogram.name, "histogram",
+                     "le_" + CsvWriter::format(histogram.upper_bounds[i]),
+                     CsvWriter::format(static_cast<std::int64_t>(cumulative))});
+    }
+    csv.write_row({histogram.name, "histogram", "le_inf",
+                   CsvWriter::format(static_cast<std::int64_t>(histogram.count))});
+    csv.write_row({histogram.name, "histogram", "count",
+                   CsvWriter::format(static_cast<std::int64_t>(histogram.count))});
+    csv.write_row(
+        {histogram.name, "histogram", "sum", CsvWriter::format(histogram.sum)});
+    const double mean =
+        histogram.count == 0
+            ? 0.0
+            : histogram.sum / static_cast<double>(histogram.count);
+    csv.write_row({histogram.name, "histogram", "mean", CsvWriter::format(mean)});
+  }
+}
+
+}  // namespace cloudprov

@@ -1,0 +1,29 @@
+// Telemetry exporters.
+//
+// write_chrome_trace emits Chrome trace-format JSON (the "JSON object
+// format" with a traceEvents array) loadable in chrome://tracing and
+// Perfetto: instants map to ph="i", spans to ph="X" with a dur, counter
+// lanes to ph="C". Sim-time seconds become trace microseconds. Track ids
+// (TelemetryTrack) are labeled via thread_name metadata events.
+//
+// write_metrics_csv emits the registry snapshot as long-form CSV
+// (metric,type,field,value) alongside the experiment CSVs in results/:
+// counters and gauges one row each, histograms one row per cumulative
+// bucket plus count/sum/mean.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "telemetry/metrics_registry.h"
+#include "telemetry/trace_buffer.h"
+
+namespace cloudprov {
+
+void write_chrome_trace(std::ostream& out, const TraceBuffer& trace,
+                        const std::string& process_name = "cloudprov");
+
+void write_metrics_csv(std::ostream& out,
+                       const MetricsRegistry::Snapshot& snapshot);
+
+}  // namespace cloudprov

@@ -1,0 +1,188 @@
+#include "telemetry/telemetry.h"
+
+namespace cloudprov {
+namespace {
+
+// 1 ms .. 1000 s log-spaced 1-2-5 buckets: covers the web scenario's 250 ms
+// QoS target and the scientific scenario's 700 s target in one fixed layout,
+// so cross-scenario dashboards can share axes.
+std::vector<double> response_bounds() { return decade_bounds(1e-3, 1e3); }
+
+TraceEvent instant(const char* category, const char* name, std::uint32_t track,
+                   SimTime t, std::uint64_t id) {
+  TraceEvent event;
+  event.name = name;
+  event.category = category;
+  event.phase = TracePhase::kInstant;
+  event.track = track;
+  event.time = t;
+  event.id = id;
+  return event;
+}
+
+}  // namespace
+
+Telemetry::Telemetry(TelemetryOptions options)
+    : options_(options),
+      trace_(options.trace_capacity),
+      requests_arrived_(&metrics_.counter("requests_arrived")),
+      requests_admitted_(&metrics_.counter("requests_admitted")),
+      requests_rejected_(&metrics_.counter("requests_rejected")),
+      requests_completed_(&metrics_.counter("requests_completed")),
+      qos_violations_(&metrics_.counter("qos_violations")),
+      requests_lost_(&metrics_.counter("requests_lost_to_failures")),
+      vms_created_(&metrics_.counter("vms_created")),
+      vms_destroyed_(&metrics_.counter("vms_destroyed")),
+      vms_failed_(&metrics_.counter("vms_failed")),
+      vm_drains_(&metrics_.counter("vm_drains")),
+      vm_resurrections_(&metrics_.counter("vm_resurrections")),
+      scaling_decisions_(&metrics_.counter("scaling_decisions")),
+      response_time_(
+          &metrics_.histogram("response_time_seconds", response_bounds())),
+      service_time_(
+          &metrics_.histogram("service_time_seconds", response_bounds())),
+      active_instances_(&metrics_.gauge("active_instances")),
+      draining_instances_(&metrics_.gauge("draining_instances")),
+      engine_queue_depth_(&metrics_.gauge("engine_queue_depth")) {}
+
+void Telemetry::request_arrival(SimTime t, std::uint64_t request_id) {
+  requests_arrived_->add();
+  if (options_.trace_requests) {
+    trace_.record(instant("request", "arrival", kTrackRequests, t, request_id));
+  }
+}
+
+void Telemetry::request_admitted(SimTime t, std::uint64_t request_id,
+                                 std::uint64_t vm_id) {
+  requests_admitted_->add();
+  if (options_.trace_requests) {
+    TraceEvent event =
+        instant("request", "admit", kTrackRequests, t, request_id);
+    event.arg("vm", static_cast<double>(vm_id));
+    trace_.record(event);
+  }
+}
+
+void Telemetry::request_rejected(SimTime t, std::uint64_t request_id) {
+  requests_rejected_->add();
+  if (options_.trace_requests) {
+    trace_.record(instant("request", "reject", kTrackRequests, t, request_id));
+  }
+}
+
+void Telemetry::request_completed(SimTime t, std::uint64_t request_id,
+                                  double response_time, double service_time,
+                                  bool qos_violation) {
+  requests_completed_->add();
+  if (qos_violation) qos_violations_->add();
+  response_time_->observe(response_time);
+  service_time_->observe(service_time);
+  if (options_.trace_requests) {
+    TraceEvent span;
+    span.name = "request";
+    span.category = "request";
+    span.phase = TracePhase::kComplete;
+    span.track = kTrackRequests;
+    span.time = t - response_time;
+    span.duration = response_time;
+    span.id = request_id;
+    span.arg("response_time", response_time)
+        .arg("service_time", service_time)
+        .arg("qos_violation", qos_violation ? 1.0 : 0.0);
+    trace_.record(span);
+    TraceEvent service = span;
+    service.name = "service";
+    service.time = t - service_time;
+    service.duration = service_time;
+    service.arg_count = 0;
+    trace_.record(service);
+  }
+}
+
+void Telemetry::vm_created(SimTime t, std::uint64_t vm_id) {
+  vms_created_->add();
+  trace_.record(instant("vm", "create", kTrackVms, t, vm_id));
+}
+
+void Telemetry::vm_boot_complete(SimTime t, std::uint64_t vm_id) {
+  trace_.record(instant("vm", "boot", kTrackVms, t, vm_id));
+}
+
+void Telemetry::vm_drain(SimTime t, std::uint64_t vm_id, std::size_t load) {
+  vm_drains_->add();
+  TraceEvent event = instant("vm", "drain", kTrackVms, t, vm_id);
+  event.arg("load", static_cast<double>(load));
+  trace_.record(event);
+}
+
+void Telemetry::vm_resurrected(SimTime t, std::uint64_t vm_id) {
+  vm_resurrections_->add();
+  trace_.record(instant("vm", "resurrect", kTrackVms, t, vm_id));
+}
+
+void Telemetry::vm_destroyed(SimTime t, std::uint64_t vm_id,
+                             SimTime lifetime) {
+  vms_destroyed_->add();
+  TraceEvent span;
+  span.name = "lifetime";
+  span.category = "vm";
+  span.phase = TracePhase::kComplete;
+  span.track = kTrackVms;
+  span.time = t - lifetime;
+  span.duration = lifetime;
+  span.id = vm_id;
+  trace_.record(span);
+}
+
+void Telemetry::vm_failed(SimTime t, std::uint64_t vm_id,
+                          std::size_t lost_requests) {
+  vms_failed_->add();
+  requests_lost_->add(lost_requests);
+  TraceEvent event = instant("vm", "fail", kTrackVms, t, vm_id);
+  event.arg("lost_requests", static_cast<double>(lost_requests));
+  trace_.record(event);
+}
+
+void Telemetry::instance_count(SimTime t, std::size_t active,
+                               std::size_t draining) {
+  active_instances_->set(static_cast<double>(active));
+  draining_instances_->set(static_cast<double>(draining));
+  TraceEvent event;
+  event.name = "instances";
+  event.category = "vm";
+  event.phase = TracePhase::kCounter;
+  event.track = kTrackVms;
+  event.time = t;
+  event.arg("active", static_cast<double>(active))
+      .arg("draining", static_cast<double>(draining));
+  trace_.record(event);
+}
+
+void Telemetry::scaling_decision(SimTime t, double lambda, double tm,
+                                 std::size_t queue_bound, std::size_t target,
+                                 std::size_t achieved) {
+  scaling_decisions_->add();
+  TraceEvent event = instant("policy", "decision", kTrackPolicy, t, 0);
+  event.arg("lambda", lambda)
+      .arg("tm", tm)
+      .arg("k", static_cast<double>(queue_bound))
+      .arg("target_m", static_cast<double>(target))
+      .arg("achieved_m", static_cast<double>(achieved));
+  trace_.record(event);
+}
+
+void Telemetry::engine_sample(SimTime t, std::uint64_t executed_events,
+                              std::size_t queue_depth) {
+  engine_queue_depth_->set(static_cast<double>(queue_depth));
+  TraceEvent event;
+  event.name = "engine";
+  event.category = "engine";
+  event.phase = TracePhase::kCounter;
+  event.track = kTrackEngine;
+  event.time = t;
+  event.arg("executed_events", static_cast<double>(executed_events))
+      .arg("queue_depth", static_cast<double>(queue_depth));
+  trace_.record(event);
+}
+
+}  // namespace cloudprov

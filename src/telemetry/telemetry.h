@@ -1,0 +1,117 @@
+// Telemetry facade: one metrics registry + one sim-time trace buffer per
+// replication, with typed record helpers for every instrumented subsystem.
+//
+// Instrumented code holds a `Telemetry*` that is null when telemetry is
+// disabled, so the entire cost of the subsystem in the default configuration
+// is one well-predicted branch per event (the CLOUDPROV_LOG discipline).
+// Recording never allocates: trace events are fixed-size PODs in a
+// pre-allocated ring, and the hot-path instruments are resolved to pointers
+// in the constructor.
+//
+// Event vocabulary (Chrome trace categories / names):
+//   request  : arrival, admit, reject (instants, id = request id);
+//              request (span arrival->finish), service (span start->finish)
+//   vm       : create, boot, drain, resurrect, destroy, fail (instants,
+//              id = vm id); lifetime (span create->destroy); instances
+//              (counter lane: active/draining)
+//   policy   : decision (instant; args lambda, tm, k, target m, achieved m)
+//   engine   : events (counter lane: executed events, pending queue depth)
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+
+#include "telemetry/metrics_registry.h"
+#include "telemetry/trace_buffer.h"
+#include "util/units.h"
+
+namespace cloudprov {
+
+/// Display lanes in the exported trace (Chrome "tid").
+enum TelemetryTrack : std::uint32_t {
+  kTrackRequests = 1,
+  kTrackVms = 2,
+  kTrackPolicy = 3,
+  kTrackEngine = 4,
+};
+
+struct TelemetryOptions {
+  /// Ring capacity in events (~120 bytes each). The default keeps full
+  /// scenario runs under ~8 MB of trace memory; raise it to retain more
+  /// than the most recent ~65k events.
+  std::size_t trace_capacity = 1 << 16;
+  /// Per-request trace events (the high-volume class). Metrics are always
+  /// collected; disabling this keeps only lifecycle/decision/engine events.
+  bool trace_requests = true;
+};
+
+class Telemetry {
+ public:
+  explicit Telemetry(TelemetryOptions options = {});
+  Telemetry(const Telemetry&) = delete;
+  Telemetry& operator=(const Telemetry&) = delete;
+
+  const TelemetryOptions& options() const { return options_; }
+  MetricsRegistry& metrics() { return metrics_; }
+  const MetricsRegistry& metrics() const { return metrics_; }
+  TraceBuffer& trace() { return trace_; }
+  const TraceBuffer& trace() const { return trace_; }
+
+  // --- request lifecycle (ApplicationProvisioner) -----------------------
+  void request_arrival(SimTime t, std::uint64_t request_id);
+  void request_admitted(SimTime t, std::uint64_t request_id,
+                        std::uint64_t vm_id);
+  void request_rejected(SimTime t, std::uint64_t request_id);
+  /// Records the request span (arrival -> finish, duration = response time)
+  /// and the service span (start -> finish), plus the response-time
+  /// histogram and QoS-violation counter.
+  void request_completed(SimTime t, std::uint64_t request_id,
+                         double response_time, double service_time,
+                         bool qos_violation);
+
+  // --- VM lifecycle (Datacenter / Vm) -----------------------------------
+  void vm_created(SimTime t, std::uint64_t vm_id);
+  void vm_boot_complete(SimTime t, std::uint64_t vm_id);
+  void vm_drain(SimTime t, std::uint64_t vm_id, std::size_t load);
+  void vm_resurrected(SimTime t, std::uint64_t vm_id);
+  void vm_destroyed(SimTime t, std::uint64_t vm_id, SimTime lifetime);
+  void vm_failed(SimTime t, std::uint64_t vm_id, std::size_t lost_requests);
+  /// Counter lane sample of the pool size (stepped chart in Perfetto).
+  void instance_count(SimTime t, std::size_t active, std::size_t draining);
+
+  // --- Algorithm 1 decisions (AdaptivePolicy) ---------------------------
+  void scaling_decision(SimTime t, double lambda, double tm,
+                        std::size_t queue_bound, std::size_t target,
+                        std::size_t achieved);
+
+  // --- engine self-profile (Simulation) ---------------------------------
+  void engine_sample(SimTime t, std::uint64_t executed_events,
+                     std::size_t queue_depth);
+
+ private:
+  TelemetryOptions options_;
+  MetricsRegistry metrics_;
+  TraceBuffer trace_;
+
+  // Hot-path instruments, resolved once at construction.
+  Counter* requests_arrived_;
+  Counter* requests_admitted_;
+  Counter* requests_rejected_;
+  Counter* requests_completed_;
+  Counter* qos_violations_;
+  Counter* requests_lost_;
+  Counter* vms_created_;
+  Counter* vms_destroyed_;
+  Counter* vms_failed_;
+  Counter* vm_drains_;
+  Counter* vm_resurrections_;
+  Counter* scaling_decisions_;
+  Histogram* response_time_;
+  Histogram* service_time_;
+  Gauge* active_instances_;
+  Gauge* draining_instances_;
+  Gauge* engine_queue_depth_;
+};
+
+}  // namespace cloudprov

@@ -26,10 +26,34 @@ Logger& Logger::instance() {
   return logger;
 }
 
+void Logger::set_sink(std::ostream* sink) {
+  std::scoped_lock lock(mutex_);
+  if (file_.is_open()) file_.close();
+  sink_ = sink;
+}
+
+bool Logger::set_sink_file(const std::string& path) {
+  std::scoped_lock lock(mutex_);
+  std::ofstream file(path, std::ios::trunc);
+  if (!file.is_open()) return false;
+  if (file_.is_open()) file_.close();
+  file_ = std::move(file);
+  sink_ = &file_;
+  return true;
+}
+
+void Logger::set_time_provider(std::function<double()> provider) {
+  std::scoped_lock lock(mutex_);
+  time_provider_ = std::move(provider);
+}
+
 void Logger::write(LogLevel level, const std::string& message) {
   if (!enabled(level)) return;
   std::scoped_lock lock(mutex_);
-  std::cerr << '[' << level_name(level) << "] " << message << '\n';
+  std::ostream& out = sink_ != nullptr ? *sink_ : std::cerr;
+  out << '[' << level_name(level) << "] ";
+  if (time_provider_) out << "[t=" << time_provider_() << "] ";
+  out << message << '\n';
 }
 
 LogLevel Logger::parse_level(const std::string& name) {

@@ -6,8 +6,15 @@
 // branch.
 //
 //   CLOUDPROV_LOG(Info) << "scaled to " << m << " instances";
+//
+// The sink defaults to stderr and can be redirected to any std::ostream or
+// a file. An optional sim-time provider prefixes lines with [t=...] so log
+// output correlates with telemetry trace events; it is global, so only
+// install one for single-replication (non-parallel) runs.
 #pragma once
 
+#include <fstream>
+#include <functional>
 #include <mutex>
 #include <sstream>
 #include <string>
@@ -25,7 +32,19 @@ class Logger {
   LogLevel level() const { return level_; }
   bool enabled(LogLevel level) const { return level >= level_; }
 
-  /// Writes one formatted line to stderr (thread-safe).
+  /// Redirects output to `sink` (not owned; must outlive the redirection).
+  /// Pass nullptr to restore stderr. Closes any set_sink_file() file.
+  void set_sink(std::ostream* sink);
+
+  /// Opens `path` (truncating) and sinks log lines there. Returns false and
+  /// leaves the sink unchanged when the file cannot be opened.
+  bool set_sink_file(const std::string& path);
+
+  /// Installs a sim-time source; when set, every line is prefixed with
+  /// [t=<seconds>]. Pass nullptr to remove.
+  void set_time_provider(std::function<double()> provider);
+
+  /// Writes one formatted line to the current sink (thread-safe).
   void write(LogLevel level, const std::string& message);
 
   /// Parses "trace", "debug", "info", "warn", "error", "off".
@@ -35,6 +54,9 @@ class Logger {
   Logger() = default;
   LogLevel level_ = LogLevel::kWarn;
   std::mutex mutex_;
+  std::ostream* sink_ = nullptr;  ///< null = stderr
+  std::ofstream file_;
+  std::function<double()> time_provider_;
 };
 
 namespace detail {

@@ -114,6 +114,43 @@ TEST(Runner, ParallelReplicationsMatchSequential) {
   }
 }
 
+TEST(Runner, AdaptiveParallelReplicationsMatchSequential) {
+  // Same guarantee for the adaptive policy, whose monitor/analyzer/modeler
+  // loop exercises far more per-replication state than a static pool.
+  const ScenarioConfig config = scientific_scenario(1.0);
+  const auto sequential = run_replications(config, PolicySpec::adaptive(), 3,
+                                           11, {}, /*parallelism=*/1);
+  const auto parallel = run_replications(config, PolicySpec::adaptive(), 3,
+                                         11, {}, /*parallelism=*/3);
+  ASSERT_EQ(sequential.size(), parallel.size());
+  for (std::size_t i = 0; i < sequential.size(); ++i) {
+    EXPECT_EQ(sequential[i].seed, parallel[i].seed);
+    EXPECT_EQ(sequential[i].generated, parallel[i].generated);
+    EXPECT_EQ(sequential[i].accepted, parallel[i].accepted);
+    EXPECT_EQ(sequential[i].rejected, parallel[i].rejected);
+    EXPECT_EQ(sequential[i].qos_violations, parallel[i].qos_violations);
+    EXPECT_EQ(sequential[i].avg_response_time, parallel[i].avg_response_time);
+    EXPECT_EQ(sequential[i].vm_hours, parallel[i].vm_hours);
+    EXPECT_EQ(sequential[i].max_instances, parallel[i].max_instances);
+    EXPECT_EQ(sequential[i].simulated_events, parallel[i].simulated_events);
+  }
+}
+
+TEST(Runner, ReplicationSeedsMatchBatchExecution) {
+  // replication_seeds() exposes the exact seed sequence run_replications
+  // uses, so a single replication can be reproduced outside a batch.
+  const ScenarioConfig config = scientific_scenario(1.0);
+  const auto seeds = replication_seeds(3, 5);
+  ASSERT_EQ(seeds.size(), 3u);
+  const auto runs = run_replications(config, PolicySpec::fixed(30), 3, 5);
+  for (std::size_t i = 0; i < runs.size(); ++i) {
+    EXPECT_EQ(runs[i].seed, seeds[i]);
+  }
+  const RunOutput solo = run_scenario(config, PolicySpec::fixed(30), seeds[0]);
+  EXPECT_EQ(solo.metrics.generated, runs[0].generated);
+  EXPECT_EQ(solo.metrics.simulated_events, runs[0].simulated_events);
+}
+
 TEST(Runner, ProgressCallbackFires) {
   const ScenarioConfig config = scientific_scenario(1.0);
   int calls = 0;
