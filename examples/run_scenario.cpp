@@ -8,6 +8,8 @@
 //   ./run_scenario --workload web --scale 0.01 --trace-out trace.json \
 //                  --metrics-out metrics.csv        # Perfetto-loadable trace
 //   ./run_scenario --reps 8 --parallelism 0         # one worker per core
+//   ./run_scenario --workload scientific --policy static --instances 45 \
+//                  --vm-mtbf 6 --host-mtbf 48 --reconcile 30   # self-healing
 #include <fstream>
 #include <iostream>
 
@@ -72,6 +74,30 @@ int main(int argc, char** argv) {
   args.add_flag("tolerance", "0", "modeler rejection tolerance override (0 = default)",
                 "<double>");
   args.add_flag("max-vms", "0", "MaxVMs override (0 = default)", "<int>");
+  args.add_flag("vm-mtbf", "0",
+                "per-instance mean time between crash-failures in hours "
+                "(0 = no VM crashes)",
+                "<double>");
+  args.add_flag("host-mtbf", "0",
+                "per-occupied-host MTBF in hours; a host crash kills every "
+                "VM on it (0 = no host crashes)",
+                "<double>");
+  args.add_flag("boot-fail-prob", "0",
+                "probability a new VM never finishes booting", "<double>");
+  args.add_flag("boot-straggler", "0",
+                "probability a boot is a heavy-tailed straggler", "<double>");
+  args.add_flag("outage", "",
+                "IaaS allocation outage windows \"t0:t1[,t0:t1...]\" in "
+                "seconds (create_vm fails inside them)",
+                "<spec>");
+  args.add_flag("boot-delay", "0", "VM boot delay in seconds", "<double>");
+  args.add_flag("boot-timeout", "0",
+                "boot watchdog: fail instances still booting after this many "
+                "seconds (0 = off)",
+                "<double>");
+  args.add_flag("reconcile", "0",
+                "self-healing reconciler check interval in seconds (0 = off)",
+                "<double>");
   args.add_flag("csv", "", "write aggregate metrics CSV here", "<path>");
   args.add_flag("decisions", "", "write the adaptive decision timeline CSV here",
                 "<path>");
@@ -114,6 +140,19 @@ int main(int argc, char** argv) {
   }
   if (const auto max_vms = args.get_int("max-vms"); max_vms > 0) {
     config.modeler.max_vms = static_cast<std::size_t>(max_vms);
+  }
+  config.fault.vm_mtbf = args.get_double("vm-mtbf") * 3600.0;
+  config.fault.host_mtbf = args.get_double("host-mtbf") * 3600.0;
+  config.fault.boot_fail_prob = args.get_double("boot-fail-prob");
+  config.fault.straggler_prob = args.get_double("boot-straggler");
+  if (const std::string spec = args.get_string("outage"); !spec.empty()) {
+    config.fault.outages = parse_outage_windows(spec);
+  }
+  config.datacenter.vm_boot_delay = args.get_double("boot-delay");
+  config.boot_timeout = args.get_double("boot-timeout");
+  if (const double interval = args.get_double("reconcile"); interval > 0.0) {
+    config.reconciler.enabled = true;
+    config.reconciler.interval = interval;
   }
 
   PolicySpec policy =
@@ -181,6 +220,11 @@ int main(int argc, char** argv) {
   std::cout << "\n95% CIs: rejection " << fmt_ci(agg.rejection_rate, 4)
             << ", utilization " << fmt_ci(agg.utilization, 3) << ", VM-hours "
             << fmt_ci(agg.vm_hours, 1) << '\n';
+  if (config.fault.enabled() || config.reconciler.enabled) {
+    std::cout << "\nfault injection / self-healing (per replication):\n";
+    print_fault_table(std::cout, runs);
+    std::cout << "availability " << fmt_ci(agg.availability, 4) << " (95% CI)\n";
+  }
 
   if (const std::string path = args.get_string("csv"); !path.empty()) {
     std::ofstream out(path);

@@ -22,14 +22,22 @@ Datacenter::Datacenter(Simulation& sim, DatacenterConfig config,
 }
 
 Vm* Datacenter::create_vm(const VmSpec& spec) {
+  if (allocation_suspended_) {
+    CLOUDPROV_LOG(Debug) << "VM allocation suspended (IaaS outage) at t="
+                         << now();
+    if (telemetry_ != nullptr) telemetry_->allocation_denied(now());
+    return nullptr;
+  }
   Host* host = placement_->select(hosts_, spec);
   if (host == nullptr) {
     CLOUDPROV_LOG(Warn) << "datacenter out of capacity for new VM at t=" << now();
     return nullptr;
   }
   host->allocate(spec, now());
-  vms_.push_back(
-      std::make_unique<Vm>(sim(), next_vm_id_++, spec, config_.vm_boot_delay));
+  BootOutcome boot{config_.vm_boot_delay, false};
+  if (boot_sampler_) boot = boot_sampler_(now(), config_.vm_boot_delay);
+  vms_.push_back(std::make_unique<Vm>(sim(), next_vm_id_++, spec,
+                                      boot.boot_delay, boot.fail_boot));
   vm_host_.push_back(host);
   ++live_vms_;
   Vm* vm = vms_.back().get();
@@ -46,7 +54,9 @@ void Datacenter::destroy_vm(Vm& vm) {
   ensure(vms_[index].get() == &vm, "destroy_vm: id/slot mismatch");
   ensure(vm.state() != VmState::kDestroyed, "destroy_vm: VM already destroyed");
   vm.destroy();
+  ensure(vm_host_[index] != nullptr, "destroy_vm: resources already released");
   vm_host_[index]->release(vm.spec(), now());
+  vm_host_[index] = nullptr;
   ensure(live_vms_ > 0, "destroy_vm: live VM accounting underflow");
   --live_vms_;
   if (telemetry_ != nullptr) {
@@ -60,14 +70,56 @@ void Datacenter::release_failed_vm(Vm& vm) {
   ensure(vms_[index].get() == &vm, "release_failed_vm: id/slot mismatch");
   ensure(vm.state() == VmState::kDestroyed,
          "release_failed_vm: VM must have failed already");
+  if (vm_host_[index] == nullptr) return;  // already released
   vm_host_[index]->release(vm.spec(), now());
+  vm_host_[index] = nullptr;
   ensure(live_vms_ > 0, "release_failed_vm: live VM accounting underflow");
   --live_vms_;
+}
+
+std::size_t Datacenter::fail_vm(Vm& vm, FaultCause cause) {
+  ensure(vm.id() >= 1 && vm.id() <= vms_.size(), "fail_vm: unknown VM");
+  ensure(vms_[vm.id() - 1].get() == &vm, "fail_vm: id/slot mismatch");
+  ensure(vm.state() != VmState::kDestroyed, "fail_vm: VM already destroyed");
+  // fail() fires the owner's failure callback, which typically calls
+  // release_failed_vm itself; the explicit call below is then a no-op and
+  // only covers VMs without a registered owner.
+  const std::vector<Request> lost = vm.fail(cause);
+  release_failed_vm(vm);
+  return lost.size();
+}
+
+std::size_t Datacenter::fail_host(std::size_t host_index) {
+  ensure_arg(host_index < hosts_.size(), "fail_host: host index out of range");
+  Host& host = *hosts_[host_index];
+  if (host.failed()) return 0;
+  host.fail(now());
+  ++failed_hosts_;
+  // Collect victims first: failure callbacks mutate owner dispatch lists,
+  // but vms_/vm_host_ themselves only change via the release path.
+  std::vector<Vm*> victims;
+  for (std::size_t i = 0; i < vms_.size(); ++i) {
+    if (vm_host_[i] == &host && vms_[i]->state() != VmState::kDestroyed) {
+      victims.push_back(vms_[i].get());
+    }
+  }
+  for (Vm* vm : victims) (void)fail_vm(*vm, FaultCause::kHostCrash);
+  if (telemetry_ != nullptr) {
+    telemetry_->host_failed(now(), host.id(), victims.size());
+  }
+  CLOUDPROV_LOG(Info) << "host " << host.id() << " crash-failed at t=" << now()
+                      << ", killed " << victims.size() << " VM(s)";
+  return victims.size();
+}
+
+void Datacenter::set_allocation_suspended(bool suspended) {
+  allocation_suspended_ = suspended;
 }
 
 std::size_t Datacenter::remaining_capacity(const VmSpec& spec) const {
   std::size_t total = 0;
   for (const auto& host : hosts_) {
+    if (host->failed()) continue;
     const auto by_cores = host->free_cores() / spec.cores;
     const auto by_ram = spec.ram_gb > 0.0
                             ? static_cast<std::size_t>(host->free_ram_gb() /

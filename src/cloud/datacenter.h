@@ -9,6 +9,7 @@
 #pragma once
 
 #include <cstdint>
+#include <functional>
 #include <memory>
 #include <string>
 #include <vector>
@@ -39,15 +40,48 @@ class Datacenter final : public Entity {
   /// propagated to every VM created afterwards.
   void set_telemetry(Telemetry* telemetry) { telemetry_ = telemetry; }
 
-  /// Creates and places a VM; nullptr when no host has capacity.
+  /// Creates and places a VM; nullptr when no host has capacity or VM
+  /// allocation is suspended (IaaS outage window).
   Vm* create_vm(const VmSpec& spec);
 
   /// Destroys an idle VM and releases its host resources.
   void destroy_vm(Vm& vm);
 
   /// Releases host resources of a VM that crash-failed (Vm::fail() already
-  /// moved it to DESTROYED). Precondition: vm.state() == kDestroyed.
+  /// moved it to DESTROYED). Idempotent: calling it again for a VM whose
+  /// resources were already released is a no-op, so the failure-callback
+  /// chain and the crash entry points cannot double-release.
+  /// Precondition: vm.state() == kDestroyed.
   void release_failed_vm(Vm& vm);
+
+  // --- fault injection (src/fault) --------------------------------------
+  /// Crash-fails a live VM in any state: Vm::fail(cause) — which fires the
+  /// owner's failure callback — followed by host-resource release. Returns
+  /// the number of in-flight requests lost.
+  std::size_t fail_vm(Vm& vm, FaultCause cause);
+
+  /// Crash-fails a host (fault-domain failure): every live VM resident on
+  /// it is fail_vm()'d with FaultCause::kHostCrash and the host permanently
+  /// stops accepting placements. Returns the number of VMs killed.
+  std::size_t fail_host(std::size_t host_index);
+  std::size_t failed_hosts() const { return failed_hosts_; }
+
+  /// IaaS allocation outage: while suspended, create_vm returns nullptr
+  /// regardless of capacity (the provisioning API itself is down).
+  void set_allocation_suspended(bool suspended);
+  bool allocation_suspended() const { return allocation_suspended_; }
+
+  /// Boot-fault sampler hook: invoked once per create_vm with the configured
+  /// base boot delay; the returned outcome may inflate the delay (straggler
+  /// boot) and/or plan a boot failure. Null restores fault-free boots.
+  struct BootOutcome {
+    SimTime boot_delay = 0.0;
+    bool fail_boot = false;
+  };
+  using BootFaultSampler = std::function<BootOutcome(SimTime now, SimTime base_delay)>;
+  void set_boot_fault_sampler(BootFaultSampler sampler) {
+    boot_sampler_ = std::move(sampler);
+  }
 
   // --- capacity -------------------------------------------------------
   std::size_t host_count() const { return hosts_.size(); }
@@ -77,9 +111,14 @@ class Datacenter final : public Entity {
   std::unique_ptr<PlacementPolicy> placement_;
   std::vector<std::unique_ptr<Host>> hosts_;
   std::vector<std::unique_ptr<Vm>> vms_;  // full history, including destroyed
-  std::vector<Host*> vm_host_;            // parallel to vms_: placement record
+  // Parallel to vms_: placement record; nulled once the slot's resources are
+  // released (destroy or crash), which is what makes release idempotent.
+  std::vector<Host*> vm_host_;
   std::size_t live_vms_ = 0;
+  std::size_t failed_hosts_ = 0;
   std::uint64_t next_vm_id_ = 1;
+  bool allocation_suspended_ = false;
+  BootFaultSampler boot_sampler_;
   Telemetry* telemetry_ = nullptr;
 };
 

@@ -10,7 +10,16 @@ Host::Host(std::uint64_t id, HostSpec spec) : id_(id), spec_(spec) {
 }
 
 bool Host::can_fit(const VmSpec& vm) const {
-  return free_cores() >= vm.cores && free_ram_gb() >= vm.ram_gb;
+  return !failed_ && free_cores() >= vm.cores && free_ram_gb() >= vm.ram_gb;
+}
+
+void Host::fail(SimTime now) {
+  ensure(!failed_, "Host::fail called twice");
+  failed_ = true;
+  if (powered_) {
+    powered_ = false;
+    powered_seconds_ += now - powered_since_;
+  }
 }
 
 void Host::allocate(const VmSpec& vm, SimTime now) {

@@ -33,6 +33,14 @@ class Host {
 
   bool can_fit(const VmSpec& vm) const;
 
+  /// Crash-fails the whole server (fault-domain failure): the host stops
+  /// accepting placements (can_fit() is false forever after) and its power
+  /// accounting stops at `now`. The data center cascade
+  /// (Datacenter::fail_host) kills the resident VMs; their resources are
+  /// still release()d individually for accounting symmetry.
+  void fail(SimTime now);
+  bool failed() const { return failed_; }
+
   /// Reserves resources for a VM. Precondition: can_fit(vm). `now` feeds the
   /// power accounting: a host is powered on while it has resident VMs.
   void allocate(const VmSpec& vm, SimTime now = 0.0);
@@ -54,6 +62,7 @@ class Host {
   double powered_seconds_ = 0.0;
   SimTime powered_since_ = 0.0;
   bool powered_ = false;
+  bool failed_ = false;
 };
 
 }  // namespace cloudprov

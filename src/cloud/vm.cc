@@ -18,11 +18,24 @@ const char* to_string(VmState state) {
   return "?";
 }
 
-Vm::Vm(Simulation& sim, std::uint64_t id, VmSpec spec, SimTime boot_delay)
+const char* to_string(FaultCause cause) {
+  switch (cause) {
+    case FaultCause::kVmCrash: return "vm_crash";
+    case FaultCause::kHostCrash: return "host_crash";
+    case FaultCause::kBootFailure: return "boot_failure";
+    case FaultCause::kBootTimeout: return "boot_timeout";
+  }
+  return "?";
+}
+
+Vm::Vm(Simulation& sim, std::uint64_t id, VmSpec spec, SimTime boot_delay,
+       bool fail_boot)
     : Entity(sim, "vm-" + std::to_string(id)),
       id_(id),
       spec_(spec),
-      state_(boot_delay > 0.0 ? VmState::kBooting : VmState::kRunning),
+      state_(boot_delay > 0.0 || fail_boot ? VmState::kBooting
+                                           : VmState::kRunning),
+      boot_fail_(fail_boot),
       creation_time_(sim.now()) {
   ensure_arg(spec.cores >= 1, "Vm: need at least one core");
   ensure_arg(spec.speed > 0.0, "Vm: speed must be positive");
@@ -34,6 +47,11 @@ Vm::Vm(Simulation& sim, std::uint64_t id, VmSpec spec, SimTime boot_delay)
 
 void Vm::finish_boot() {
   if (state_ != VmState::kBooting) return;  // destroyed while booting
+  if (boot_fail_) {
+    CLOUDPROV_LOG(Debug) << name() << " boot failed at t=" << now();
+    (void)fail(FaultCause::kBootFailure);
+    return;
+  }
   state_ = VmState::kRunning;
   if (telemetry_ != nullptr) telemetry_->vm_boot_complete(now(), id_);
   CLOUDPROV_LOG(Debug) << name() << " booted at t=" << now();
@@ -115,7 +133,7 @@ void Vm::destroy() {
   destruction_time_ = now();
 }
 
-std::vector<Request> Vm::fail() {
+std::vector<Request> Vm::fail(FaultCause cause) {
   ensure(state_ != VmState::kDestroyed, "Vm::fail on destroyed instance");
   std::vector<Request> lost;
   if (in_service_.has_value()) {
@@ -131,6 +149,9 @@ std::vector<Request> Vm::fail() {
   }
   state_ = VmState::kDestroyed;
   destruction_time_ = now();
+  // The DESTROYED guard above makes re-entry impossible: the callback fires
+  // exactly once per instance, no matter how the failure was triggered.
+  if (on_failed_) on_failed_(*this, cause, lost);
   return lost;
 }
 

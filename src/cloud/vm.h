@@ -29,6 +29,20 @@ enum class VmState { kBooting, kRunning, kDraining, kDestroyed };
 
 const char* to_string(VmState state);
 
+/// Why an instance crash-failed (the fault taxonomy of src/fault): an
+/// independent VM crash, a correlated host crash taking every pinned VM
+/// down, a boot that never produced a usable instance, or the provisioner's
+/// boot-timeout watchdog giving up on a straggler.
+enum class FaultCause : std::uint8_t {
+  kVmCrash = 0,
+  kHostCrash = 1,
+  kBootFailure = 2,
+  kBootTimeout = 3,
+};
+inline constexpr std::size_t kFaultCauseCount = 4;
+
+const char* to_string(FaultCause cause);
+
 /// Resource shape of a VM ("one core and 2GB of RAM", Section V-A).
 struct VmSpec {
   unsigned cores = 1;
@@ -46,8 +60,19 @@ class Vm final : public Entity {
       std::function<void(Vm&, const Request&, double response_time)>;
   /// Invoked when a DRAINING instance finishes its last request.
   using DrainedCallback = std::function<void(Vm&)>;
+  /// Invoked exactly once when the instance crash-fails (fail() or a planned
+  /// boot failure), after the transition to DESTROYED. `lost` holds the
+  /// in-flight requests that died with the instance. The owner uses this to
+  /// drop the VM from its dispatch lists and release host resources.
+  using FailureCallback =
+      std::function<void(Vm&, FaultCause, const std::vector<Request>& lost)>;
 
-  Vm(Simulation& sim, std::uint64_t id, VmSpec spec, SimTime boot_delay = 0.0);
+  /// `fail_boot` plans a boot failure: the VM starts BOOTING (even with a
+  /// zero boot delay) and transitions to DESTROYED — firing the failure
+  /// callback — when the boot would have completed, modeling an IaaS
+  /// instance that never comes up.
+  Vm(Simulation& sim, std::uint64_t id, VmSpec spec, SimTime boot_delay = 0.0,
+     bool fail_boot = false);
 
   std::uint64_t id() const { return id_; }
   const VmSpec& spec() const { return spec_; }
@@ -55,6 +80,7 @@ class Vm final : public Entity {
 
   void set_completion_callback(CompletionCallback cb) { on_complete_ = std::move(cb); }
   void set_drained_callback(DrainedCallback cb) { on_drained_ = std::move(cb); }
+  void set_failure_callback(FailureCallback cb) { on_failed_ = std::move(cb); }
 
   /// Attaches the replication's telemetry collector (null disables); the
   /// data center wires this up at creation so lifecycle transitions
@@ -95,8 +121,13 @@ class Vm final : public Entity {
   /// Crash-fails the instance: the in-service request and every queued
   /// request are lost (returned so the caller can account for them), the
   /// pending completion is cancelled, and the VM transitions to DESTROYED.
-  /// Models the paper's "uncertain behavior" of virtualized resources.
-  std::vector<Request> fail();
+  /// The failure callback (if set) fires exactly once, after the state
+  /// transition. Models the paper's "uncertain behavior" of virtualized
+  /// resources.
+  std::vector<Request> fail(FaultCause cause = FaultCause::kVmCrash);
+
+  /// True when this VM was created with a planned boot failure.
+  bool boot_failure_planned() const { return boot_fail_; }
 
   /// Changes processing speed (vertical scaling extension). Applies to
   /// subsequently started requests; the in-flight one finishes at the speed
@@ -124,7 +155,9 @@ class Vm final : public Entity {
   VmState state_;
   CompletionCallback on_complete_;
   DrainedCallback on_drained_;
+  FailureCallback on_failed_;
   Telemetry* telemetry_ = nullptr;
+  bool boot_fail_ = false;
 
   bool priority_queueing_ = false;
   std::deque<Request> waiting_;

@@ -108,6 +108,22 @@ Vm* ApplicationProvisioner::create_instance() {
         on_vm_complete(v, r, response_time);
       });
   vm->set_drained_callback([this](Vm& v) { on_vm_drained(v); });
+  vm->set_failure_callback(
+      [this](Vm& v, FaultCause cause, const std::vector<Request>& lost) {
+        on_vm_failed(v, cause, lost);
+      });
+  if (config_.boot_timeout > 0.0 && vm->state() == VmState::kBooting) {
+    // Boot watchdog: the VM pointer stays valid for the whole run (the data
+    // center owns the full VM history), so the check is state-based.
+    Vm* watched = vm;
+    sim().schedule_in(config_.boot_timeout, [this, watched] {
+      if (watched->state() == VmState::kBooting) {
+        CLOUDPROV_LOG(Debug) << "boot timeout for vm-" << watched->id()
+                             << " at t=" << now();
+        (void)datacenter_.fail_vm(*watched, FaultCause::kBootTimeout);
+      }
+    });
+  }
   instances_.push_back(vm);
   return vm;
 }
@@ -123,6 +139,7 @@ void ApplicationProvisioner::drain_instance(std::size_t index) {
 }
 
 std::size_t ApplicationProvisioner::scale_to(std::size_t target) {
+  commanded_target_ = target;
   // Scale up: resurrect draining instances first, newest selections first
   // (they are the least drained).
   while (instances_.size() < target && !draining_.empty()) {
@@ -154,6 +171,7 @@ std::size_t ApplicationProvisioner::scale_to(std::size_t target) {
     }
     drain_instance(victim);
   }
+  update_deficit();
   record_instance_count();
   return instances_.size();
 }
@@ -210,27 +228,58 @@ void ApplicationProvisioner::for_each_instance(
 std::size_t ApplicationProvisioner::inject_instance_failure(std::size_t index) {
   ensure_arg(index < live_instances(),
              "inject_instance_failure: index out of range");
-  Vm* victim = nullptr;
-  if (index < instances_.size()) {
-    victim = instances_[index];
-    instances_.erase(instances_.begin() + static_cast<std::ptrdiff_t>(index));
+  Vm* victim = index < instances_.size()
+                   ? instances_[index]
+                   : draining_[index - instances_.size()];
+  // The VM's failure callback (on_vm_failed) removes it from the dispatch
+  // lists and does all the accounting.
+  return datacenter_.fail_vm(*victim, FaultCause::kVmCrash);
+}
+
+void ApplicationProvisioner::on_vm_failed(Vm& vm, FaultCause cause,
+                                          const std::vector<Request>& lost) {
+  const auto it = std::find(instances_.begin(), instances_.end(), &vm);
+  if (it != instances_.end()) {
+    instances_.erase(it);
     if (rr_cursor_ >= instances_.size() && !instances_.empty()) rr_cursor_ = 0;
   } else {
-    const std::size_t drain_index = index - instances_.size();
-    victim = draining_[drain_index];
-    draining_.erase(draining_.begin() + static_cast<std::ptrdiff_t>(drain_index));
+    const auto dit = std::find(draining_.begin(), draining_.end(), &vm);
+    ensure(dit != draining_.end(), "on_vm_failed: VM not in the pool");
+    draining_.erase(dit);
   }
-  const std::vector<Request> lost = victim->fail();
-  datacenter_.release_failed_vm(*victim);
+  datacenter_.release_failed_vm(vm);
   lost_to_failures_ += lost.size();
   ++instance_failures_;
+  failures_by_cause_[static_cast<std::size_t>(cause)] += 1;
+  lost_by_cause_[static_cast<std::size_t>(cause)] += lost.size();
   if (telemetry_ != nullptr) {
-    telemetry_->vm_failed(now(), victim->id(), lost.size());
+    telemetry_->vm_failed(now(), vm.id(), lost.size(), to_string(cause));
   }
+  update_deficit();
   record_instance_count();
-  CLOUDPROV_LOG(Debug) << "instance failure at t=" << now() << ", lost "
-                       << lost.size() << " request(s)";
-  return lost.size();
+  CLOUDPROV_LOG(Debug) << "instance failure (" << to_string(cause)
+                       << ") at t=" << now() << ", lost " << lost.size()
+                       << " request(s)";
+}
+
+void ApplicationProvisioner::update_deficit() {
+  const bool deficit = instances_.size() < commanded_target_;
+  if (deficit && !in_deficit_) {
+    in_deficit_ = true;
+    deficit_since_ = now();
+  } else if (!deficit && in_deficit_) {
+    in_deficit_ = false;
+    const SimTime repair = now() - deficit_since_;
+    deficit_seconds_ += repair;
+    recovery_stats_.add(repair);
+    if (telemetry_ != nullptr) telemetry_->pool_recovered(now(), repair);
+  }
+}
+
+double ApplicationProvisioner::deficit_seconds() const {
+  double total = deficit_seconds_;
+  if (in_deficit_) total += now() - deficit_since_;
+  return total;
 }
 
 MonitoringSnapshot ApplicationProvisioner::snapshot() const {

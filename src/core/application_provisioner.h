@@ -14,6 +14,7 @@
 // then asks the data center's resource provisioner for fresh VMs.
 #pragma once
 
+#include <array>
 #include <cstdint>
 #include <memory>
 #include <vector>
@@ -43,6 +44,10 @@ struct ProvisionerConfig {
   /// Serve waiting requests in priority order within each instance
   /// (Section VII extension); default FIFO as in the paper.
   bool priority_queueing = false;
+  /// Boot watchdog: an instance still BOOTING after this many seconds is
+  /// declared failed (FaultCause::kBootTimeout) and dropped from the pool,
+  /// so stragglers do not occupy commanded slots forever. 0 disables.
+  SimTime boot_timeout = 0.0;
 };
 
 class ApplicationProvisioner final : public Entity,
@@ -138,8 +143,31 @@ class ApplicationProvisioner final : public Entity,
 
   /// Accepted requests that were lost to instance failures.
   std::uint64_t lost_to_failures() const { return lost_to_failures_; }
-  /// Instance crash-failures injected so far.
+  /// Instance crash-failures (all causes) so far.
   std::uint64_t instance_failures() const { return instance_failures_; }
+
+  // --- fault awareness & self-healing accounting ---------------------------
+  /// The last pool size commanded through scale_to: the reconciler's heal
+  /// target, and the reference line for availability/MTTR accounting.
+  std::size_t commanded_target() const { return commanded_target_; }
+  /// Crash-failures broken down by the fault taxonomy.
+  std::uint64_t failures_by_cause(FaultCause cause) const {
+    return failures_by_cause_[static_cast<std::size_t>(cause)];
+  }
+  /// Lost in-flight requests broken down by the fault taxonomy.
+  std::uint64_t lost_by_cause(FaultCause cause) const {
+    return lost_by_cause_[static_cast<std::size_t>(cause)];
+  }
+  /// Boot-watchdog kills (== failures_by_cause(kBootTimeout)).
+  std::uint64_t boot_timeouts() const {
+    return failures_by_cause(FaultCause::kBootTimeout);
+  }
+  /// Distribution of repair times: seconds from the active pool first
+  /// dropping below the commanded target until it is restored (MTTR).
+  const RunningStats& recovery_time_stats() const { return recovery_stats_; }
+  /// Total seconds (up to now) the active pool spent below the commanded
+  /// target; 1 - deficit_seconds()/elapsed is the pool availability.
+  double deficit_seconds() const;
 
  private:
   Vm* select_instance(const Request& request);
@@ -147,6 +175,8 @@ class ApplicationProvisioner final : public Entity,
   void drain_instance(std::size_t index);
   void on_vm_complete(Vm& vm, const Request& request, double response_time);
   void on_vm_drained(Vm& vm);
+  void on_vm_failed(Vm& vm, FaultCause cause, const std::vector<Request>& lost);
+  void update_deficit();
   void record_instance_count();
   PoolView pool_view() const;
 
@@ -167,6 +197,13 @@ class ApplicationProvisioner final : public Entity,
   std::uint64_t lost_to_failures_ = 0;
   std::uint64_t instance_failures_ = 0;
   std::uint64_t window_arrivals_ = 0;
+  std::size_t commanded_target_ = 0;
+  std::array<std::uint64_t, kFaultCauseCount> failures_by_cause_{};
+  std::array<std::uint64_t, kFaultCauseCount> lost_by_cause_{};
+  RunningStats recovery_stats_;
+  bool in_deficit_ = false;
+  SimTime deficit_since_ = 0.0;
+  double deficit_seconds_ = 0.0;
   RunningStats response_stats_;
   RunningStats service_stats_;
   P2Quantile p95_{0.95};

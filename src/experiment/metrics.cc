@@ -38,6 +38,8 @@ AggregateMetrics aggregate(const std::vector<RunMetrics>& runs, double confidenc
   agg.qos_violations = field_ci(runs, confidence, [](const RunMetrics& r) {
     return static_cast<double>(r.qos_violations);
   });
+  agg.availability =
+      field_ci(runs, confidence, [](const RunMetrics& r) { return r.availability; });
   double generated = 0.0;
   for (const RunMetrics& run : runs) generated += static_cast<double>(run.generated);
   agg.generated_mean = generated / static_cast<double>(runs.size());

@@ -38,6 +38,30 @@ struct RunMetrics {
   double utilization = 0.0;
   double rejection_rate = 0.0;
 
+  // --- fault injection & self-healing (src/fault; all zero in fault-free
+  // runs, so existing outputs are unchanged) ------------------------------
+  std::uint64_t instance_failures = 0;  ///< all causes
+  std::uint64_t vm_crashes = 0;
+  std::uint64_t host_crashes = 0;  ///< hosts crash-failed
+  std::uint64_t boot_failures = 0;
+  std::uint64_t boot_timeouts = 0;
+  std::uint64_t lost_requests = 0;  ///< accepted, then lost to a failure
+  std::uint64_t lost_to_vm_crashes = 0;
+  std::uint64_t lost_to_host_crashes = 0;
+  /// Fraction of the run the active pool met the commanded target
+  /// (1 - deficit seconds / horizon); 1.0 when no faults are configured.
+  double availability = 1.0;
+  /// Closed deficit episodes (pool dropped below target, then recovered).
+  std::uint64_t recoveries = 0;
+  double mttr_mean = 0.0;  ///< mean repair time over closed episodes, s
+  double mttr_max = 0.0;
+  std::uint64_t reconciler_heals = 0;
+  std::uint64_t reconciler_retries = 0;
+  std::uint64_t reconciler_aborts = 0;
+  /// Active instances at the horizon (shows permanent loss for unhealed
+  /// static pools).
+  std::uint64_t final_instances = 0;
+
   // Simulator diagnostics (not paper metrics).
   std::uint64_t simulated_events = 0;
   double wall_seconds = 0.0;
@@ -56,6 +80,7 @@ struct AggregateMetrics {
   ConfidenceInterval utilization;
   ConfidenceInterval rejection_rate;
   ConfidenceInterval qos_violations;
+  ConfidenceInterval availability;
   double generated_mean = 0.0;
 };
 

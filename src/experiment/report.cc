@@ -90,6 +90,53 @@ void write_policy_csv(std::ostream& out,
   }
 }
 
+namespace {
+
+std::string fmt_u64(std::uint64_t value) {
+  return std::to_string(value);
+}
+
+}  // namespace
+
+void print_fault_table(std::ostream& out, const std::vector<RunMetrics>& runs) {
+  TextTable table({"policy", "fails", "vm", "host", "boot", "timeout", "lost",
+                   "avail", "mttr_s", "heals", "retries", "aborts",
+                   "final_m", "rejection"});
+  for (const RunMetrics& r : runs) {
+    table.add_row({r.policy, fmt_u64(r.instance_failures), fmt_u64(r.vm_crashes),
+                   fmt_u64(r.host_crashes), fmt_u64(r.boot_failures),
+                   fmt_u64(r.boot_timeouts), fmt_u64(r.lost_requests),
+                   fmt(r.availability, 4), fmt(r.mttr_mean, 1),
+                   fmt_u64(r.reconciler_heals), fmt_u64(r.reconciler_retries),
+                   fmt_u64(r.reconciler_aborts), fmt_u64(r.final_instances),
+                   fmt(r.rejection_rate, 4)});
+  }
+  table.print(out);
+}
+
+void write_fault_csv(std::ostream& out, const std::vector<RunMetrics>& runs) {
+  CsvWriter csv(out);
+  csv.write_header({"policy", "seed", "instance_failures", "vm_crashes",
+                    "host_crashes", "boot_failures", "boot_timeouts",
+                    "lost_requests", "lost_to_vm_crashes",
+                    "lost_to_host_crashes", "availability", "recoveries",
+                    "mttr_mean", "mttr_max", "reconciler_heals",
+                    "reconciler_retries", "reconciler_aborts",
+                    "final_instances", "rejection_rate"});
+  for (const RunMetrics& r : runs) {
+    csv.write_row({r.policy, fmt_u64(r.seed), fmt_u64(r.instance_failures),
+                   fmt_u64(r.vm_crashes), fmt_u64(r.host_crashes),
+                   fmt_u64(r.boot_failures), fmt_u64(r.boot_timeouts),
+                   fmt_u64(r.lost_requests), fmt_u64(r.lost_to_vm_crashes),
+                   fmt_u64(r.lost_to_host_crashes),
+                   CsvWriter::format(r.availability), fmt_u64(r.recoveries),
+                   CsvWriter::format(r.mttr_mean), CsvWriter::format(r.mttr_max),
+                   fmt_u64(r.reconciler_heals), fmt_u64(r.reconciler_retries),
+                   fmt_u64(r.reconciler_aborts), fmt_u64(r.final_instances),
+                   CsvWriter::format(r.rejection_rate)});
+  }
+}
+
 void print_claim(std::ostream& out, const std::string& claim, double paper_value,
                  double measured_value, int precision) {
   out << "  [claim] " << claim << ": paper=" << fmt(paper_value, precision)

@@ -37,6 +37,14 @@ void print_policy_table(std::ostream& out,
 void write_policy_csv(std::ostream& out,
                       const std::vector<AggregateMetrics>& results);
 
+/// Prints the fault/self-healing comparison: one row per run with failure
+/// counts by cause, lost requests, availability, MTTR, reconciler activity,
+/// and the final pool size (shows permanent loss for unhealed static pools).
+void print_fault_table(std::ostream& out, const std::vector<RunMetrics>& runs);
+
+/// Writes the same fault comparison as CSV.
+void write_fault_csv(std::ostream& out, const std::vector<RunMetrics>& runs);
+
 /// One "paper vs measured" line for EXPERIMENTS.md-style reporting.
 void print_claim(std::ostream& out, const std::string& claim, double paper_value,
                  double measured_value, int precision = 2);

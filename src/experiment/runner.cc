@@ -9,6 +9,8 @@
 #include "cloud/broker.h"
 #include "core/application_provisioner.h"
 #include "core/provisioning_policy.h"
+#include "fault/fault_injector.h"
+#include "fault/reconciler.h"
 #include "predict/ar_model.h"
 #include "predict/ewma.h"
 #include "predict/moving_average.h"
@@ -81,6 +83,10 @@ RunOutput run_scenario(const ScenarioConfig& config, const PolicySpec& policy,
   // Reserved stream: RandomPlacement experiments draw from here so that
   // enabling them does not disturb the workload stream of existing seeds.
   Rng placement_rng(seeder.next());
+  // Fault-injection stream, drawn after the reserved streams so enabling
+  // faults never perturbs the workload of existing seeds; each replication
+  // seed therefore carries its own independent fault stream.
+  const std::uint64_t fault_seed = seeder.next();
 
   std::unique_ptr<Telemetry> telemetry;
   if (telemetry_opts.has_value()) {
@@ -98,8 +104,20 @@ RunOutput run_scenario(const ScenarioConfig& config, const PolicySpec& policy,
   ProvisionerConfig prov_config;
   prov_config.vm_spec = VmSpec{};  // 1 core, 2 GB, unit speed
   prov_config.initial_service_time_estimate = config.initial_service_time_estimate;
+  prov_config.boot_timeout = config.boot_timeout;
   ApplicationProvisioner provisioner(sim, datacenter, config.qos, prov_config);
   provisioner.set_telemetry(telemetry.get());
+
+  std::optional<FaultInjector> faults;
+  if (config.fault.enabled()) {
+    faults.emplace(sim, datacenter, provisioner, config.fault, fault_seed);
+    faults->set_telemetry(telemetry.get());
+  }
+  std::optional<Reconciler> reconciler;
+  if (config.reconciler.enabled) {
+    reconciler.emplace(sim, provisioner, config.reconciler);
+    reconciler->set_telemetry(telemetry.get());
+  }
 
   auto source = make_source(config);
   Broker broker(sim, *source, provisioner, workload_rng);
@@ -120,6 +138,8 @@ RunOutput run_scenario(const ScenarioConfig& config, const PolicySpec& policy,
 
   prov_policy->attach(provisioner);
   broker.start();
+  if (faults.has_value()) faults->start();
+  if (reconciler.has_value()) reconciler->start();
   sim.run(config.horizon);
 
   RunOutput output;
@@ -147,6 +167,31 @@ RunOutput run_scenario(const ScenarioConfig& config, const PolicySpec& policy,
   m.busy_vm_hours = datacenter.busy_vm_hours();
   m.utilization = datacenter.utilization();
   m.rejection_rate = provisioner.rejection_rate();
+
+  m.instance_failures = provisioner.instance_failures();
+  m.vm_crashes = provisioner.failures_by_cause(FaultCause::kVmCrash);
+  m.host_crashes = datacenter.failed_hosts();
+  m.boot_failures = provisioner.failures_by_cause(FaultCause::kBootFailure);
+  m.boot_timeouts = provisioner.boot_timeouts();
+  m.lost_requests = provisioner.lost_to_failures();
+  m.lost_to_vm_crashes = provisioner.lost_by_cause(FaultCause::kVmCrash);
+  m.lost_to_host_crashes = provisioner.lost_by_cause(FaultCause::kHostCrash);
+  m.availability =
+      sim.now() > 0.0 ? 1.0 - provisioner.deficit_seconds() / sim.now() : 1.0;
+  m.recoveries = provisioner.recovery_time_stats().count();
+  m.mttr_mean = provisioner.recovery_time_stats().empty()
+                    ? 0.0
+                    : provisioner.recovery_time_stats().mean();
+  m.mttr_max = provisioner.recovery_time_stats().empty()
+                   ? 0.0
+                   : provisioner.recovery_time_stats().max();
+  if (reconciler.has_value()) {
+    m.reconciler_heals = reconciler->heals();
+    m.reconciler_retries = reconciler->retries();
+    m.reconciler_aborts = reconciler->aborts();
+  }
+  m.final_instances = provisioner.active_instances();
+
   m.simulated_events = sim.executed_events();
   m.wall_seconds = std::chrono::duration<double>(
                        std::chrono::steady_clock::now() - wall_start)

@@ -19,6 +19,8 @@
 #include "core/performance_modeler.h"
 #include "core/qos.h"
 #include "core/workload_analyzer.h"
+#include "fault/fault_plan.h"
+#include "fault/reconciler.h"
 #include "workload/bot_workload.h"
 #include "workload/web_workload.h"
 
@@ -56,6 +58,14 @@ struct ScenarioConfig {
 
   WebWorkloadConfig web;
   BotWorkloadConfig bot;
+
+  /// Fault injection (src/fault): disabled by default, so the paper
+  /// scenarios stay fault-free and byte-identical to previous outputs.
+  FaultPlan fault;
+  /// Self-healing reconciler; ReconcilerConfig::enabled defaults to false.
+  ReconcilerConfig reconciler;
+  /// Provisioner boot watchdog (ProvisionerConfig::boot_timeout); 0 off.
+  SimTime boot_timeout = 0.0;
 
   /// Scales a paper-scale instance count to this scenario's scale,
   /// rounding to at least 1.

@@ -1,4 +1,4 @@
-#include "core/failure_injector.h"
+#include "fault/failure_injector.h"
 
 #include "util/check.h"
 

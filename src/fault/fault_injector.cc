@@ -1,0 +1,242 @@
+#include "fault/fault_injector.h"
+
+#include "telemetry/telemetry.h"
+#include "util/check.h"
+#include "util/log.h"
+
+namespace cloudprov {
+
+FaultInjector::FaultInjector(Simulation& sim, Datacenter& datacenter,
+                             ApplicationProvisioner& provisioner,
+                             FaultPlan plan, std::uint64_t seed)
+    : sim_(sim),
+      datacenter_(datacenter),
+      provisioner_(provisioner),
+      plan_(std::move(plan)),
+      // Independent sub-streams per fault source: enabling or re-rating one
+      // source never perturbs the draws of another.
+      vm_rng_(SplitMix64(seed).next()),
+      host_rng_(SplitMix64(seed ^ 0x9e3779b97f4a7c15ULL).next()),
+      boot_rng_(SplitMix64(seed ^ 0x6a09e667f3bcc909ULL).next()),
+      degrade_rng_(SplitMix64(seed ^ 0xbb67ae8584caa73bULL).next()) {
+  plan_.validate();
+}
+
+void FaultInjector::start() {
+  if (running_) return;
+  running_ = true;
+  if (plan_.vm_mtbf > 0.0) schedule_vm_crash();
+  if (plan_.host_mtbf > 0.0) schedule_host_crash();
+  if (plan_.degraded_mtbf > 0.0) schedule_degradation();
+  if (plan_.boot_fail_prob > 0.0 || plan_.straggler_prob > 0.0) {
+    install_boot_sampler();
+  }
+  schedule_outages();
+  schedule_script();
+}
+
+void FaultInjector::stop() {
+  if (!running_) return;
+  running_ = false;
+  sim_.cancel(pending_vm_);
+  sim_.cancel(pending_host_);
+  sim_.cancel(pending_degrade_);
+  pending_vm_ = pending_host_ = pending_degrade_ = kInvalidEventId;
+  for (const EventId id : timed_events_) sim_.cancel(id);
+  timed_events_.clear();
+  datacenter_.set_boot_fault_sampler(nullptr);
+  if (active_outages_ > 0) {
+    active_outages_ = 0;
+    datacenter_.set_allocation_suspended(false);
+  }
+}
+
+// --- stochastic VM crashes -------------------------------------------------
+
+void FaultInjector::schedule_vm_crash() {
+  const std::size_t live = provisioner_.live_instances();
+  // Superposition of per-instance exponential lifetimes: next crash anywhere
+  // in the pool arrives at rate live / MTBF, re-evaluated at every event.
+  const SimTime delay =
+      live == 0
+          ? plan_.idle_retry
+          : vm_rng_.exponential(static_cast<double>(live) / plan_.vm_mtbf);
+  pending_vm_ = sim_.schedule_in(delay, [this] { fire_vm_crash(); });
+}
+
+void FaultInjector::fire_vm_crash() {
+  if (!running_) return;
+  const std::size_t live = provisioner_.live_instances();
+  if (live > 0) {
+    const auto victim =
+        static_cast<std::size_t>(vm_rng_.uniform_int(0, live - 1));
+    provisioner_.inject_instance_failure(victim);
+    ++vm_crashes_;
+  }
+  schedule_vm_crash();
+}
+
+// --- correlated host crashes -----------------------------------------------
+
+std::size_t FaultInjector::occupied_hosts() const {
+  std::size_t count = 0;
+  for (const auto& host : datacenter_.hosts()) {
+    if (!host->failed() && host->vm_count() > 0) ++count;
+  }
+  return count;
+}
+
+void FaultInjector::schedule_host_crash() {
+  const std::size_t occupied = occupied_hosts();
+  const SimTime delay =
+      occupied == 0 ? plan_.idle_retry
+                    : host_rng_.exponential(static_cast<double>(occupied) /
+                                            plan_.host_mtbf);
+  pending_host_ = sim_.schedule_in(delay, [this] { fire_host_crash(); });
+}
+
+void FaultInjector::fire_host_crash() {
+  if (!running_) return;
+  const std::size_t occupied = occupied_hosts();
+  if (occupied > 0) {
+    // Victim: the pick-th occupied host in index order.
+    auto pick = static_cast<std::size_t>(
+        host_rng_.uniform_int(0, occupied - 1));
+    const auto& hosts = datacenter_.hosts();
+    for (std::size_t i = 0; i < hosts.size(); ++i) {
+      if (hosts[i]->failed() || hosts[i]->vm_count() == 0) continue;
+      if (pick == 0) {
+        datacenter_.fail_host(i);
+        ++host_crashes_;
+        break;
+      }
+      --pick;
+    }
+  }
+  schedule_host_crash();
+}
+
+// --- boot faults (failures + stragglers) -----------------------------------
+
+void FaultInjector::install_boot_sampler() {
+  datacenter_.set_boot_fault_sampler(
+      [this](SimTime now, SimTime base_delay) {
+        Datacenter::BootOutcome out{base_delay, false};
+        // Draw only the streams whose probability is non-zero so enabling
+        // one boot fault does not shift the other's sequence.
+        if (plan_.straggler_prob > 0.0 &&
+            boot_rng_.bernoulli(plan_.straggler_prob)) {
+          out.boot_delay = base_delay + boot_rng_.pareto(plan_.straggler_scale,
+                                                         plan_.straggler_shape);
+          ++stragglers_;
+          if (telemetry_ != nullptr) {
+            telemetry_->boot_straggler(now, out.boot_delay);
+          }
+        }
+        if (plan_.boot_fail_prob > 0.0 &&
+            boot_rng_.bernoulli(plan_.boot_fail_prob)) {
+          out.fail_boot = true;
+          ++boot_failures_;
+        }
+        return out;
+      });
+}
+
+// --- temporary performance degradation --------------------------------------
+
+void FaultInjector::schedule_degradation() {
+  const std::size_t active = provisioner_.active_instances();
+  const SimTime delay =
+      active == 0 ? plan_.idle_retry
+                  : degrade_rng_.exponential(static_cast<double>(active) /
+                                             plan_.degraded_mtbf);
+  pending_degrade_ = sim_.schedule_in(delay, [this] { fire_degradation(); });
+}
+
+void FaultInjector::fire_degradation() {
+  if (!running_) return;
+  std::vector<Vm*> actives;
+  provisioner_.for_each_instance([&actives](Vm& vm) { actives.push_back(&vm); });
+  if (!actives.empty()) {
+    const auto pick = static_cast<std::size_t>(
+        degrade_rng_.uniform_int(0, actives.size() - 1));
+    Vm* victim = actives[pick];
+    const double original = victim->spec().speed;
+    victim->set_speed(original * plan_.degraded_factor);
+    ++degradations_;
+    if (telemetry_ != nullptr) {
+      telemetry_->vm_degraded(sim_.now(), victim->id(), plan_.degraded_factor);
+    }
+    CLOUDPROV_LOG(Debug) << "vm-" << victim->id() << " degraded to "
+                         << plan_.degraded_factor << "x at t=" << sim_.now();
+    timed_events_.push_back(
+        sim_.schedule_in(plan_.degraded_duration, [this, victim, original] {
+          if (victim->state() == VmState::kDestroyed) return;
+          victim->set_speed(original);
+          if (telemetry_ != nullptr) {
+            telemetry_->vm_restored(sim_.now(), victim->id());
+          }
+        }));
+  }
+  schedule_degradation();
+}
+
+// --- allocation outages + deterministic script -------------------------------
+
+void FaultInjector::schedule_outages() {
+  // Edges already in the past (e.g. after a stop()/start() cycle) are
+  // skipped pairwise so the suspension refcount stays balanced.
+  for (const OutageWindow& window : plan_.outages) {
+    if (window.end <= sim_.now()) continue;
+    if (window.begin <= sim_.now()) {
+      // Re-entering mid-window: raise the suspension immediately.
+      ++active_outages_;
+      datacenter_.set_allocation_suspended(true);
+    } else {
+      timed_events_.push_back(sim_.schedule_at(window.begin, [this] {
+        ++active_outages_;
+        datacenter_.set_allocation_suspended(true);
+        if (telemetry_ != nullptr) {
+          telemetry_->allocation_outage(sim_.now(), /*begin=*/true);
+        }
+        CLOUDPROV_LOG(Info) << "IaaS allocation outage begins at t="
+                            << sim_.now();
+      }));
+    }
+    timed_events_.push_back(sim_.schedule_at(window.end, [this] {
+      ensure(active_outages_ > 0, "FaultInjector: outage accounting underflow");
+      if (--active_outages_ == 0) datacenter_.set_allocation_suspended(false);
+      if (telemetry_ != nullptr) {
+        telemetry_->allocation_outage(sim_.now(), /*begin=*/false);
+      }
+      CLOUDPROV_LOG(Info) << "IaaS allocation outage ends at t=" << sim_.now();
+    }));
+  }
+}
+
+void FaultInjector::schedule_script() {
+  for (const ScriptedFault& fault : plan_.scripted) {
+    if (fault.time <= sim_.now()) continue;  // already fired before a restart
+    timed_events_.push_back(sim_.schedule_at(fault.time, [this, fault] {
+      switch (fault.kind) {
+        case ScriptedFault::Kind::kHostCrash:
+          if (fault.target < datacenter_.host_count() &&
+              !datacenter_.hosts()[fault.target]->failed()) {
+            datacenter_.fail_host(fault.target);
+            ++host_crashes_;
+          }
+          break;
+        case ScriptedFault::Kind::kVmCrash: {
+          const std::size_t live = provisioner_.live_instances();
+          if (live > 0) {
+            provisioner_.inject_instance_failure(fault.target % live);
+            ++vm_crashes_;
+          }
+          break;
+        }
+      }
+    }));
+  }
+}
+
+}  // namespace cloudprov

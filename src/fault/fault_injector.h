@@ -1,0 +1,101 @@
+// Seeded fault-plan executor.
+//
+// Drives every fault source of a FaultPlan against a live Datacenter +
+// ApplicationProvisioner pair: stochastic VM crashes, correlated host
+// crashes (fault domains), boot failures and straggler boots (via the data
+// center's boot-fault sampler hook), temporary performance degradation
+// (noisy neighbours), IaaS allocation-outage windows, and a deterministic
+// script of timed faults.
+//
+// Determinism: the injector owns four RNG sub-streams (VM crash, host
+// crash, boot sampling, degradation) derived from one 64-bit seed via
+// splitmix64, so fault arrivals are reproducible and independent of the
+// workload/placement streams — changing a fault rate never perturbs the
+// arrival process, and replications get independent fault streams through
+// replication_seeds().
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "core/application_provisioner.h"
+#include "fault/fault_plan.h"
+#include "util/rng.h"
+
+namespace cloudprov {
+
+class FaultInjector {
+ public:
+  /// `seed` feeds all fault sub-streams; the plan is validated here.
+  FaultInjector(Simulation& sim, Datacenter& datacenter,
+                ApplicationProvisioner& provisioner, FaultPlan plan,
+                std::uint64_t seed);
+  ~FaultInjector() { stop(); }
+  FaultInjector(const FaultInjector&) = delete;
+  FaultInjector& operator=(const FaultInjector&) = delete;
+
+  /// Attaches the replication's telemetry collector (null disables).
+  void set_telemetry(Telemetry* telemetry) { telemetry_ = telemetry; }
+
+  /// Arms every configured fault source (idempotent). Scripted faults and
+  /// outage edges are scheduled at absolute times, so start() should run
+  /// before the simulation does.
+  void start();
+  /// Cancels all pending fault events, uninstalls the boot sampler, and
+  /// lifts any active allocation suspension. Safe to call at any time,
+  /// including while stochastic events are pending.
+  void stop();
+  bool running() const { return running_; }
+
+  const FaultPlan& plan() const { return plan_; }
+
+  // --- injection statistics ---------------------------------------------
+  std::uint64_t vm_crashes() const { return vm_crashes_; }
+  std::uint64_t host_crashes() const { return host_crashes_; }
+  /// Boots the sampler planned to fail (the provisioner counts the
+  /// failures that actually fired).
+  std::uint64_t boot_failures_planned() const { return boot_failures_; }
+  std::uint64_t stragglers() const { return stragglers_; }
+  std::uint64_t degradations() const { return degradations_; }
+  bool outage_active() const { return active_outages_ > 0; }
+
+ private:
+  void schedule_vm_crash();
+  void fire_vm_crash();
+  void schedule_host_crash();
+  void fire_host_crash();
+  void schedule_degradation();
+  void fire_degradation();
+  void install_boot_sampler();
+  void schedule_outages();
+  void schedule_script();
+  std::size_t occupied_hosts() const;
+
+  Simulation& sim_;
+  Datacenter& datacenter_;
+  ApplicationProvisioner& provisioner_;
+  FaultPlan plan_;
+  Telemetry* telemetry_ = nullptr;
+
+  Rng vm_rng_;
+  Rng host_rng_;
+  Rng boot_rng_;
+  Rng degrade_rng_;
+
+  bool running_ = false;
+  EventId pending_vm_ = kInvalidEventId;
+  EventId pending_host_ = kInvalidEventId;
+  EventId pending_degrade_ = kInvalidEventId;
+  /// Absolute-time events (script, outage edges, degradation restores) —
+  /// cancelled wholesale by stop().
+  std::vector<EventId> timed_events_;
+  std::size_t active_outages_ = 0;
+
+  std::uint64_t vm_crashes_ = 0;
+  std::uint64_t host_crashes_ = 0;
+  std::uint64_t boot_failures_ = 0;
+  std::uint64_t stragglers_ = 0;
+  std::uint64_t degradations_ = 0;
+};
+
+}  // namespace cloudprov

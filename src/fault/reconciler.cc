@@ -1,0 +1,107 @@
+#include "fault/reconciler.h"
+
+#include <algorithm>
+
+#include "telemetry/telemetry.h"
+#include "util/check.h"
+#include "util/log.h"
+
+namespace cloudprov {
+
+Reconciler::Reconciler(Simulation& sim, ApplicationProvisioner& provisioner,
+                       ReconcilerConfig config)
+    : sim_(sim),
+      provisioner_(provisioner),
+      config_(config),
+      next_backoff_(config.backoff_base) {
+  ensure_arg(config_.interval > 0.0, "Reconciler: interval must be > 0");
+  ensure_arg(config_.backoff_base > 0.0,
+             "Reconciler: backoff_base must be > 0");
+  ensure_arg(config_.backoff_factor >= 1.0,
+             "Reconciler: backoff_factor must be >= 1");
+  ensure_arg(config_.backoff_max >= config_.backoff_base,
+             "Reconciler: backoff_max must be >= backoff_base");
+}
+
+void Reconciler::start() {
+  if (running_) return;
+  running_ = true;
+  schedule(config_.interval);
+}
+
+void Reconciler::stop() {
+  if (!running_) return;
+  running_ = false;
+  sim_.cancel(pending_);
+  pending_ = kInvalidEventId;
+}
+
+void Reconciler::schedule(SimTime delay) {
+  pending_ = sim_.schedule_in(delay, [this] { tick(); });
+}
+
+void Reconciler::tick() {
+  if (!running_) return;
+  const std::size_t target = provisioner_.commanded_target();
+  if (target != last_target_) {
+    // A new commanded target opens a fresh episode: forget prior backoff
+    // escalation and any abort.
+    last_target_ = target;
+    attempt_ = 0;
+    next_backoff_ = config_.backoff_base;
+    aborted_ = false;
+  }
+  const std::size_t active = provisioner_.active_instances();
+  if (active >= target) {
+    attempt_ = 0;
+    next_backoff_ = config_.backoff_base;
+    aborted_ = false;
+    schedule(config_.interval);
+    return;
+  }
+  // Deficit: re-command the target; scale_to resurrects draining instances
+  // first and then requests fresh VMs, so this is the full heal action.
+  const std::size_t achieved = provisioner_.scale_to(target);
+  ++heals_;
+  if (telemetry_ != nullptr) {
+    telemetry_->reconcile(sim_.now(), target, active, achieved);
+  }
+  CLOUDPROV_LOG(Debug) << "reconcile at t=" << sim_.now() << ": active "
+                       << active << " -> " << achieved << " (target " << target
+                       << ")";
+  if (achieved >= target) {
+    attempt_ = 0;
+    next_backoff_ = config_.backoff_base;
+    aborted_ = false;
+    schedule(config_.interval);
+    return;
+  }
+  if (aborted_) {
+    // Retry budget already spent for this episode; keep checking at the
+    // plain cadence so a later capacity recovery still heals the pool.
+    schedule(config_.interval);
+    return;
+  }
+  if (attempt_ >= config_.max_retries) {
+    aborted_ = true;
+    ++aborts_;
+    if (telemetry_ != nullptr) {
+      telemetry_->reconcile_abort(sim_.now(), attempt_);
+    }
+    CLOUDPROV_LOG(Warn) << "reconciler giving up backoff escalation after "
+                        << attempt_ << " retries at t=" << sim_.now();
+    schedule(config_.interval);
+    return;
+  }
+  ++attempt_;
+  ++retries_;
+  const SimTime backoff = next_backoff_;
+  next_backoff_ = std::min(config_.backoff_max,
+                           next_backoff_ * config_.backoff_factor);
+  if (telemetry_ != nullptr) {
+    telemetry_->reconcile_retry(sim_.now(), attempt_, backoff);
+  }
+  schedule(backoff);
+}
+
+}  // namespace cloudprov

@@ -1,5 +1,7 @@
 #include "telemetry/telemetry.h"
 
+#include <string>
+
 namespace cloudprov {
 namespace {
 
@@ -37,10 +39,20 @@ Telemetry::Telemetry(TelemetryOptions options)
       vm_drains_(&metrics_.counter("vm_drains")),
       vm_resurrections_(&metrics_.counter("vm_resurrections")),
       scaling_decisions_(&metrics_.counter("scaling_decisions")),
+      hosts_failed_(&metrics_.counter("hosts_failed")),
+      allocations_denied_(&metrics_.counter("allocations_denied")),
+      boot_stragglers_(&metrics_.counter("boot_stragglers")),
+      vms_degraded_(&metrics_.counter("vms_degraded")),
+      reconciles_(&metrics_.counter("reconciler_heals")),
+      reconcile_retries_(&metrics_.counter("reconciler_retries")),
+      reconcile_aborts_(&metrics_.counter("reconciler_aborts")),
+      pool_recoveries_(&metrics_.counter("pool_recoveries")),
       response_time_(
           &metrics_.histogram("response_time_seconds", response_bounds())),
       service_time_(
           &metrics_.histogram("service_time_seconds", response_bounds())),
+      recovery_time_(&metrics_.histogram("recovery_time_seconds",
+                                         decade_bounds(1.0, 1e4))),
       active_instances_(&metrics_.gauge("active_instances")),
       draining_instances_(&metrics_.gauge("draining_instances")),
       engine_queue_depth_(&metrics_.gauge("engine_queue_depth")) {}
@@ -135,10 +147,16 @@ void Telemetry::vm_destroyed(SimTime t, std::uint64_t vm_id,
 }
 
 void Telemetry::vm_failed(SimTime t, std::uint64_t vm_id,
-                          std::size_t lost_requests) {
+                          std::size_t lost_requests, const char* cause) {
   vms_failed_->add();
   requests_lost_->add(lost_requests);
+  // Failures are rare; per-cause counters are resolved by name on demand.
+  metrics_.counter(std::string("vm_failures_") + cause).add();
+  if (lost_requests > 0) {
+    metrics_.counter(std::string("requests_lost_") + cause).add(lost_requests);
+  }
   TraceEvent event = instant("vm", "fail", kTrackVms, t, vm_id);
+  event.name = cause;
   event.arg("lost_requests", static_cast<double>(lost_requests));
   trace_.record(event);
 }
@@ -155,6 +173,77 @@ void Telemetry::instance_count(SimTime t, std::size_t active,
   event.time = t;
   event.arg("active", static_cast<double>(active))
       .arg("draining", static_cast<double>(draining));
+  trace_.record(event);
+}
+
+void Telemetry::host_failed(SimTime t, std::uint64_t host_id,
+                            std::size_t vms_killed) {
+  hosts_failed_->add();
+  TraceEvent event = instant("fault", "host_fail", kTrackFaults, t, host_id);
+  event.arg("vms_killed", static_cast<double>(vms_killed));
+  trace_.record(event);
+}
+
+void Telemetry::allocation_denied(SimTime t) {
+  allocations_denied_->add();
+  trace_.record(instant("fault", "alloc_denied", kTrackFaults, t, 0));
+}
+
+void Telemetry::allocation_outage(SimTime t, bool begin) {
+  TraceEvent event = instant(
+      "fault", begin ? "outage_begin" : "outage_end", kTrackFaults, t, 0);
+  trace_.record(event);
+}
+
+void Telemetry::boot_straggler(SimTime t, SimTime boot_delay) {
+  boot_stragglers_->add();
+  TraceEvent event = instant("fault", "straggler", kTrackFaults, t, 0);
+  event.arg("boot_delay", boot_delay);
+  trace_.record(event);
+}
+
+void Telemetry::vm_degraded(SimTime t, std::uint64_t vm_id,
+                            double speed_factor) {
+  vms_degraded_->add();
+  TraceEvent event = instant("fault", "degrade", kTrackFaults, t, vm_id);
+  event.arg("speed_factor", speed_factor);
+  trace_.record(event);
+}
+
+void Telemetry::vm_restored(SimTime t, std::uint64_t vm_id) {
+  trace_.record(instant("fault", "restore", kTrackFaults, t, vm_id));
+}
+
+void Telemetry::reconcile(SimTime t, std::size_t target, std::size_t active,
+                          std::size_t achieved) {
+  reconciles_->add();
+  TraceEvent event = instant("fault", "reconcile", kTrackFaults, t, 0);
+  event.arg("target", static_cast<double>(target))
+      .arg("active", static_cast<double>(active))
+      .arg("achieved", static_cast<double>(achieved));
+  trace_.record(event);
+}
+
+void Telemetry::reconcile_retry(SimTime t, std::uint64_t attempt,
+                                SimTime backoff) {
+  reconcile_retries_->add();
+  TraceEvent event = instant("fault", "retry", kTrackFaults, t, attempt);
+  event.arg("attempt", static_cast<double>(attempt)).arg("backoff", backoff);
+  trace_.record(event);
+}
+
+void Telemetry::reconcile_abort(SimTime t, std::uint64_t attempts) {
+  reconcile_aborts_->add();
+  TraceEvent event = instant("fault", "abort", kTrackFaults, t, 0);
+  event.arg("attempts", static_cast<double>(attempts));
+  trace_.record(event);
+}
+
+void Telemetry::pool_recovered(SimTime t, SimTime repair_seconds) {
+  pool_recoveries_->add();
+  recovery_time_->observe(repair_seconds);
+  TraceEvent event = instant("fault", "recovered", kTrackFaults, t, 0);
+  event.arg("repair_seconds", repair_seconds);
   trace_.record(event);
 }
 

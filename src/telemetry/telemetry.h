@@ -16,6 +16,10 @@
 //              (counter lane: active/draining)
 //   policy   : decision (instant; args lambda, tm, k, target m, achieved m)
 //   engine   : events (counter lane: executed events, pending queue depth)
+//   fault    : host_fail, outage begin/end, alloc_denied, straggler, degrade,
+//              restore, reconcile, retry, abort, recovered (instants on the
+//              fault/reconciler lane; VM fail instants stay on the vm lane
+//              with a cause arg)
 #pragma once
 
 #include <cstddef>
@@ -34,6 +38,7 @@ enum TelemetryTrack : std::uint32_t {
   kTrackVms = 2,
   kTrackPolicy = 3,
   kTrackEngine = 4,
+  kTrackFaults = 5,
 };
 
 struct TelemetryOptions {
@@ -76,9 +81,33 @@ class Telemetry {
   void vm_drain(SimTime t, std::uint64_t vm_id, std::size_t load);
   void vm_resurrected(SimTime t, std::uint64_t vm_id);
   void vm_destroyed(SimTime t, std::uint64_t vm_id, SimTime lifetime);
-  void vm_failed(SimTime t, std::uint64_t vm_id, std::size_t lost_requests);
+  /// `cause` is the FaultCause string (to_string), used to key the per-cause
+  /// failure/loss counters — a cold path, so name lookup is fine here.
+  void vm_failed(SimTime t, std::uint64_t vm_id, std::size_t lost_requests,
+                 const char* cause);
   /// Counter lane sample of the pool size (stepped chart in Perfetto).
   void instance_count(SimTime t, std::size_t active, std::size_t draining);
+
+  // --- fault injection & self-healing (Datacenter / src/fault) -----------
+  void host_failed(SimTime t, std::uint64_t host_id, std::size_t vms_killed);
+  /// create_vm refused because the IaaS allocation API is suspended.
+  void allocation_denied(SimTime t);
+  /// Outage-window edge (begin = true at t0, false at t1).
+  void allocation_outage(SimTime t, bool begin);
+  /// Boot-fault sampler stretched a boot beyond its base delay.
+  void boot_straggler(SimTime t, SimTime boot_delay);
+  void vm_degraded(SimTime t, std::uint64_t vm_id, double speed_factor);
+  void vm_restored(SimTime t, std::uint64_t vm_id);
+  /// One reconciler pass that found a deficit and commanded a heal.
+  void reconcile(SimTime t, std::size_t target, std::size_t active,
+                 std::size_t achieved);
+  /// A heal fell short; retry `attempt` runs after `backoff` seconds.
+  void reconcile_retry(SimTime t, std::uint64_t attempt, SimTime backoff);
+  /// Retry budget exhausted; the reconciler falls back to interval cadence.
+  void reconcile_abort(SimTime t, std::uint64_t attempts);
+  /// The active pool climbed back to the commanded target after `repair`
+  /// seconds below it (one MTTR sample).
+  void pool_recovered(SimTime t, SimTime repair_seconds);
 
   // --- Algorithm 1 decisions (AdaptivePolicy) ---------------------------
   void scaling_decision(SimTime t, double lambda, double tm,
@@ -107,8 +136,17 @@ class Telemetry {
   Counter* vm_drains_;
   Counter* vm_resurrections_;
   Counter* scaling_decisions_;
+  Counter* hosts_failed_;
+  Counter* allocations_denied_;
+  Counter* boot_stragglers_;
+  Counter* vms_degraded_;
+  Counter* reconciles_;
+  Counter* reconcile_retries_;
+  Counter* reconcile_aborts_;
+  Counter* pool_recoveries_;
   Histogram* response_time_;
   Histogram* service_time_;
+  Histogram* recovery_time_;
   Gauge* active_instances_;
   Gauge* draining_instances_;
   Gauge* engine_queue_depth_;

@@ -6,7 +6,7 @@
 #include <memory>
 
 #include "cloud/broker.h"
-#include "core/failure_injector.h"
+#include "fault/failure_injector.h"
 #include "core/multitier.h"
 #include "experiment/pricing.h"
 #include "predict/ewma.h"
