@@ -16,6 +16,7 @@
 #include "predict/ewma.h"
 #include "predict/hybrid.h"
 #include "predict/periodic_profile.h"
+#include "telemetry/telemetry.h"
 #include "util/cli.h"
 #include "workload/spike_overlay.h"
 
@@ -29,17 +30,26 @@ struct Row {
   double rejection_in_spike;
   double vm_hours;
   double max_instances;
+  std::uint64_t slo_alerts;
+  double worst_burn;
 };
 
 Row run_once(const ScenarioConfig& config, const SpikeConfig& spike,
              std::shared_ptr<ArrivalRatePredictor> predictor,
              const std::string& label, std::uint64_t seed) {
   Simulation sim;
+  // SLO burn-rate alerting rides along (observational only): an unabsorbed
+  // flash crowd should burn the rejection budget fast enough to page.
+  TelemetryOptions telemetry_options;
+  telemetry_options.slo_enabled = true;
+  telemetry_options.slo.log_alerts = false;
+  Telemetry telemetry(telemetry_options);
   Datacenter datacenter(sim, config.datacenter,
                         std::make_unique<LeastLoadedPlacement>());
   ProvisionerConfig prov_config;
   prov_config.initial_service_time_estimate = config.initial_service_time_estimate;
   ApplicationProvisioner provisioner(sim, datacenter, config.qos, prov_config);
+  provisioner.set_telemetry(&telemetry);
 
   SpikeOverlaySource source(std::make_unique<WebWorkload>(config.web), spike);
   Broker broker(sim, source, provisioner, Rng(seed));
@@ -67,11 +77,15 @@ Row run_once(const ScenarioConfig& config, const SpikeConfig& spike,
   const auto spike_rejected = rejected_at_spike_end - rejected_at_spike_start;
   TimeWeightedValue history = provisioner.instance_history();
   history.advance(sim.now());
+  telemetry.slo()->evaluate(sim.now());  // final reading at the horizon
   return Row{label, provisioner.rejection_rate(),
              spike_total == 0 ? 0.0
                               : static_cast<double>(spike_rejected) /
                                     static_cast<double>(spike_total),
-             datacenter.vm_hours(), history.max()};
+             datacenter.vm_hours(), history.max(),
+             telemetry.slo()->response_alerts() +
+                 telemetry.slo()->rejection_alerts(),
+             telemetry.slo()->worst_burn_rate()};
 }
 
 }  // namespace
@@ -83,11 +97,17 @@ int main(int argc, char** argv) {
   args.add_flag("spike-factor", "3.0", "spike rate as multiple of base rate",
                 "<double>");
   args.add_flag("seed", "42", "random seed", "<int>");
+  args.add_flag("smoke", "false",
+                "CI smoke mode: small scale, horizon cut after the spike "
+                "window");
   if (!args.parse(argc, argv)) return 0;
   const auto seed = static_cast<std::uint64_t>(args.get_int("seed"));
+  const bool smoke = args.get_bool("smoke");
 
-  ScenarioConfig config = web_scenario(args.get_double("scale"));
-  config.horizon = static_cast<double>(args.get_int("days")) * 86400.0;
+  ScenarioConfig config =
+      web_scenario(smoke ? 0.05 : args.get_double("scale"));
+  config.horizon = smoke ? 16.0 * 3600.0
+                         : static_cast<double>(args.get_int("days")) * 86400.0;
   config.web.horizon = config.horizon;
 
   // One-hour spike starting 14:00, (factor-1)x the base rate on top.
@@ -105,21 +125,26 @@ int main(int argc, char** argv) {
             << args.get_double("spike-factor") << "x spike at 14:00) ===\n\n";
 
   TextTable table({"predictor", "rejection overall", "rejection in spike",
-                   "vm_hours", "max_inst"});
+                   "vm_hours", "max_inst", "slo_alerts", "worst_burn"});
+  const auto add_row = [&table](const Row& row) {
+    table.add_row({row.predictor, fmt(row.rejection_overall, 4),
+                   fmt(row.rejection_in_spike, 4), fmt(row.vm_hours, 1),
+                   fmt(row.max_instances, 1), std::to_string(row.slo_alerts),
+                   fmt(row.worst_burn, 1)});
+  };
+  std::uint64_t total_alerts = 0;
   {
     auto profile = std::make_shared<PeriodicProfilePredictor>(
         web_profile_predictor(config.web));
     const Row row = run_once(config, spike, profile, "profile (paper)", seed);
-    table.add_row({row.predictor, fmt(row.rejection_overall, 4),
-                   fmt(row.rejection_in_spike, 4), fmt(row.vm_hours, 1),
-                   fmt(row.max_instances, 1)});
+    total_alerts += row.slo_alerts;
+    add_row(row);
   }
   {
     auto reactive = std::make_shared<EwmaPredictor>(0.4, 0.15);
     const Row row = run_once(config, spike, reactive, "ewma (reactive)", seed);
-    table.add_row({row.predictor, fmt(row.rejection_overall, 4),
-                   fmt(row.rejection_in_spike, 4), fmt(row.vm_hours, 1),
-                   fmt(row.max_instances, 1)});
+    total_alerts += row.slo_alerts;
+    add_row(row);
   }
   {
     // The hybrid's reactive arm uses no headroom: off-spike the profile
@@ -130,11 +155,11 @@ int main(int argc, char** argv) {
             web_profile_predictor(config.web)),
         std::make_shared<EwmaPredictor>(0.4, 0.0));
     const Row row = run_once(config, spike, hybrid, "hybrid (extension)", seed);
-    table.add_row({row.predictor, fmt(row.rejection_overall, 4),
-                   fmt(row.rejection_in_spike, 4), fmt(row.vm_hours, 1),
-                   fmt(row.max_instances, 1)});
+    total_alerts += row.slo_alerts;
+    add_row(row);
   }
   table.print(std::cout);
+  std::cout << "\nSLO alerts (all configurations): " << total_alerts << '\n';
 
   std::cout
       << "\nReading: the profile predictor cannot see the spike (its model\n"
@@ -142,6 +167,8 @@ int main(int argc, char** argv) {
          "the reactive EWMA covers the spike after a one-interval lag but\n"
          "tracks noisily all day; the hybrid takes max(profile, reactive):\n"
          "profile economy in normal operation, reactive coverage during the\n"
-         "crowd.\n";
+         "crowd. The slo_alerts column counts multi-window burn-rate alerts\n"
+         "raised during the run (the spike should page at least the blind\n"
+         "profile configuration).\n";
   return 0;
 }

@@ -10,6 +10,7 @@
 
 #include "cloud/broker.h"
 #include "core/application_provisioner.h"
+#include "telemetry/telemetry.h"
 #include "workload/bot_workload.h"
 #include "workload/poisson_source.h"
 #include "workload/web_workload.h"
@@ -45,6 +46,53 @@ void BM_ServedPoissonRequests(benchmark::State& state) {
   state.SetItemsProcessed(static_cast<std::int64_t>(total_requests));
 }
 BENCHMARK(BM_ServedPoissonRequests)->Arg(2)->Arg(16)->Arg(150)
+    ->Unit(benchmark::kMillisecond);
+
+// Telemetry overhead on the served-request hot path: arg 0 selects the
+// configuration (0 = telemetry off, 1 = monitors on + spans sampled at 5%,
+// 2 = monitors on + every request traced). Compare items/s against
+// configuration 0 to price the observability subsystem.
+void BM_ServedRequestsTelemetry(benchmark::State& state) {
+  const int mode = static_cast<int>(state.range(0));
+  constexpr std::size_t kInstances = 16;
+  std::uint64_t total_requests = 0;
+  for (auto _ : state) {
+    state.PauseTiming();
+    std::unique_ptr<Telemetry> telemetry;
+    if (mode > 0) {
+      TelemetryOptions options;
+      options.span_sample_rate = mode == 1 ? 0.05 : 1.0;
+      options.drift_enabled = true;
+      options.slo_enabled = true;
+      options.slo.log_alerts = false;
+      telemetry = std::make_unique<Telemetry>(options);
+    }
+    Simulation sim;
+    sim.set_telemetry(telemetry.get());
+    DatacenterConfig dc_config;
+    dc_config.host_count = kInstances / 8 + 1;
+    Datacenter datacenter(sim, dc_config, std::make_unique<LeastLoadedPlacement>());
+    datacenter.set_telemetry(telemetry.get());
+    QosTargets qos;
+    qos.max_response_time = 0.250;
+    ProvisionerConfig prov_config;
+    prov_config.initial_service_time_estimate = 0.105;
+    ApplicationProvisioner provisioner(sim, datacenter, qos, prov_config);
+    provisioner.set_telemetry(telemetry.get());
+    provisioner.scale_to(kInstances);
+    const double lambda = 8.0 * static_cast<double>(kInstances);  // rho = 0.84
+    PoissonSource source(lambda,
+                         std::make_shared<ScaledUniformDistribution>(0.1, 0.1),
+                         0.0, 100000.0 / lambda);
+    Broker broker(sim, source, provisioner, Rng(7));
+    broker.start();
+    state.ResumeTiming();
+    sim.run();
+    total_requests += broker.generated();
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(total_requests));
+}
+BENCHMARK(BM_ServedRequestsTelemetry)->Arg(0)->Arg(1)->Arg(2)
     ->Unit(benchmark::kMillisecond);
 
 void BM_WebWorkloadGeneration(benchmark::State& state) {

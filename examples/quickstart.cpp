@@ -16,12 +16,20 @@
 #include "core/adaptive_policy.h"
 #include "core/application_provisioner.h"
 #include "predict/ewma.h"
+#include "telemetry/telemetry.h"
 #include "workload/poisson_source.h"
 
 using namespace cloudprov;
 
 int main() {
   Simulation sim;
+
+  // SLO burn-rate alerting rides along for free: the monitor piggybacks on
+  // the request hooks and never schedules events. A healthy steady-state run
+  // like this one should finish with zero alerts.
+  TelemetryOptions telemetry_options;
+  telemetry_options.slo_enabled = true;
+  Telemetry telemetry(telemetry_options);
 
   // A small IaaS data center: 20 hosts of 8 cores each.
   DatacenterConfig dc_config;
@@ -36,6 +44,7 @@ int main() {
   ProvisionerConfig prov_config;
   prov_config.initial_service_time_estimate = 0.105;
   ApplicationProvisioner provisioner(sim, datacenter, qos, prov_config);
+  provisioner.set_telemetry(&telemetry);
 
   // Workload: Poisson arrivals at 40 req/s, 100 ms (+0-10%) demands, 1 hour.
   Rng rng(7);
@@ -69,6 +78,12 @@ int main() {
               static_cast<unsigned long long>(provisioner.qos_violations()));
   std::printf("VM hours:         %.2f (utilization %.1f%%)\n",
               datacenter.vm_hours(), 100.0 * datacenter.utilization());
+  telemetry.slo()->evaluate(sim.now());  // final reading at the horizon
+  std::printf("SLO alerts:       %llu response, %llu rejection "
+              "(worst burn %.2fx budget)\n",
+              static_cast<unsigned long long>(telemetry.slo()->response_alerts()),
+              static_cast<unsigned long long>(telemetry.slo()->rejection_alerts()),
+              telemetry.slo()->worst_burn_rate());
 
   std::printf("\nfirst provisioning decisions:\n");
   std::size_t shown = 0;

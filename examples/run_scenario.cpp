@@ -7,6 +7,9 @@
 //                  --interval 30 --csv out.csv --decisions decisions.csv
 //   ./run_scenario --workload web --scale 0.01 --trace-out trace.json \
 //                  --metrics-out metrics.csv        # Perfetto-loadable trace
+//   ./run_scenario --workload web --scale 0.01 --trace-sample-rate 0.05 \
+//                  --spans-out spans.csv --drift-out drift.csv \
+//                  --slo-out slo.csv               # observability monitors
 //   ./run_scenario --reps 8 --parallelism 0         # one worker per core
 //   ./run_scenario --workload scientific --policy static --instances 45 \
 //                  --vm-mtbf 6 --host-mtbf 48 --reconcile 30   # self-healing
@@ -106,11 +109,31 @@ int main(int argc, char** argv) {
                 "(load in chrome://tracing or ui.perfetto.dev)",
                 "<path>");
   args.add_flag("metrics-out", "",
-                "write the telemetry metrics registry of replication 0 as CSV here",
+                "write the telemetry metrics registry of replication 0 here",
                 "<path>");
+  args.add_flag("metrics-format", "csv",
+                "metrics registry output format: csv | prom "
+                "(Prometheus text exposition)",
+                "<name>");
   args.add_flag("trace-capacity", "65536",
                 "trace ring capacity in events (oldest dropped beyond this)",
                 "<int>");
+  args.add_flag("trace-sample-rate", "0",
+                "fraction of requests given full lifecycle spans in "
+                "replication 0 (deterministic per-request hash; 0 = off)",
+                "<double>");
+  args.add_flag("spans-out", "",
+                "write the sampled request spans of replication 0 as CSV here "
+                "(requires --trace-sample-rate > 0)",
+                "<path>");
+  args.add_flag("drift-out", "",
+                "write the model-drift observatory CSV of replication 0 here "
+                "(predicted vs observed per analysis window)",
+                "<path>");
+  args.add_flag("slo-out", "",
+                "write the SLO burn-rate samples of replication 0 as CSV "
+                "here (also enables burn-rate alerting)",
+                "<path>");
   args.add_flag("log", "warn", "log level", "<level>");
   args.add_flag("log-file", "", "redirect log lines from stderr to this file",
                 "<path>");
@@ -166,12 +189,27 @@ int main(int argc, char** argv) {
 
   const std::string trace_path = args.get_string("trace-out");
   const std::string metrics_path = args.get_string("metrics-out");
+  const std::string metrics_format = args.get_string("metrics-format");
+  if (metrics_format != "csv" && metrics_format != "prom") {
+    std::cerr << "unknown --metrics-format: " << metrics_format << '\n';
+    return 1;
+  }
   const std::string decisions_path = args.get_string("decisions");
+  const std::string spans_path = args.get_string("spans-out");
+  const std::string drift_path = args.get_string("drift-out");
+  const std::string slo_path = args.get_string("slo-out");
+  const double sample_rate = args.get_double("trace-sample-rate");
   std::optional<TelemetryOptions> telemetry_opts;
-  if (!trace_path.empty() || !metrics_path.empty()) {
+  if (!trace_path.empty() || !metrics_path.empty() || !spans_path.empty() ||
+      !drift_path.empty() || !slo_path.empty() || sample_rate > 0.0) {
     TelemetryOptions opts;
     opts.trace_capacity =
         static_cast<std::size_t>(args.get_int("trace-capacity"));
+    opts.span_sample_rate = sample_rate;
+    opts.span_seed = seed;
+    opts.drift_enabled = !drift_path.empty();
+    opts.drift.qos_max_response_time = config.qos.max_response_time;
+    opts.slo_enabled = !slo_path.empty();
     telemetry_opts = opts;
   }
 
@@ -180,6 +218,7 @@ int main(int argc, char** argv) {
   std::vector<RunMetrics> runs;
   std::vector<AdaptivePolicy::DecisionRecord> decisions;
   std::unique_ptr<Telemetry> telemetry;
+  RunMetrics instrumented;  // metrics of the telemetry-carrying run
   const std::vector<std::uint64_t> seeds = replication_seeds(reps, seed);
   if (parallelism == 1) {
     for (std::size_t i = 0; i < reps; ++i) {
@@ -192,6 +231,7 @@ int main(int argc, char** argv) {
       if (i == 0) {
         decisions = std::move(output.decisions);
         telemetry = std::move(output.telemetry);
+        instrumented = output.metrics;
       }
       runs.push_back(std::move(output.metrics));
     }
@@ -209,6 +249,7 @@ int main(int argc, char** argv) {
       RunOutput output = run_scenario(config, policy, seeds[0], telemetry_opts);
       decisions = std::move(output.decisions);
       telemetry = std::move(output.telemetry);
+      instrumented = std::move(output.metrics);
     }
   }
   const AggregateMetrics agg = aggregate(runs);
@@ -235,18 +276,44 @@ int main(int argc, char** argv) {
     write_decisions_csv(decisions_path, decisions);
   }
   if (telemetry != nullptr) {
+    print_observability_summary(std::cout, instrumented);
     if (!trace_path.empty()) {
       std::ofstream out(trace_path);
       write_chrome_trace(out, telemetry->trace(),
-                         "cloudprov " + policy.label(config.scale));
+                         "cloudprov " + policy.label(config.scale),
+                         telemetry->spans());
       std::cout << "trace written to " << trace_path << " ("
                 << telemetry->trace().size() << " events, "
                 << telemetry->trace().dropped() << " dropped)\n";
     }
     if (!metrics_path.empty()) {
       std::ofstream out(metrics_path);
-      write_metrics_csv(out, telemetry->metrics().snapshot());
-      std::cout << "telemetry metrics written to " << metrics_path << '\n';
+      if (metrics_format == "prom") {
+        write_prometheus_text(out, telemetry->metrics().snapshot());
+      } else {
+        write_metrics_csv(out, telemetry->metrics().snapshot());
+      }
+      std::cout << "telemetry metrics written to " << metrics_path << " ("
+                << metrics_format << ")\n";
+    }
+    if (!spans_path.empty() && telemetry->spans() != nullptr) {
+      std::ofstream out(spans_path);
+      write_span_csv(out, *telemetry->spans());
+      std::cout << "request spans written to " << spans_path << " ("
+                << telemetry->spans()->finished().size() << " traces, "
+                << telemetry->spans()->dropped() << " dropped)\n";
+    }
+    if (!drift_path.empty() && telemetry->drift() != nullptr) {
+      std::ofstream out(drift_path);
+      write_drift_csv(out, *telemetry->drift());
+      std::cout << "model-drift windows written to " << drift_path << " ("
+                << telemetry->drift()->windows().size() << " windows)\n";
+    }
+    if (!slo_path.empty() && telemetry->slo() != nullptr) {
+      std::ofstream out(slo_path);
+      write_slo_csv(out, *telemetry->slo());
+      std::cout << "SLO burn-rate samples written to " << slo_path << " ("
+                << telemetry->slo()->alerts().size() << " alert edges)\n";
     }
   }
   return 0;

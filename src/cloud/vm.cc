@@ -80,6 +80,9 @@ void Vm::submit(const Request& request) {
 void Vm::start_service(const Request& request) {
   in_service_ = request;
   service_started_ = now();
+  if (telemetry_ != nullptr) {
+    telemetry_->request_service_start(now(), request.id, id_);
+  }
   const double service_time = request.service_demand / spec_.speed;
   completion_event_ = sim().schedule_in(service_time, [this] { finish_service(); });
 }

@@ -33,11 +33,26 @@ void AdaptivePolicy::on_rate_alert(SimTime t, double expected_rate) {
       std::max<std::size_t>(provisioner_->active_instances(), 1), expected_rate,
       tm, k);
   const std::size_t achieved = provisioner_->scale_to(decision.instances);
-  decisions_.push_back(
-      DecisionRecord{t, expected_rate, tm, k, decision.instances, achieved});
+  decisions_.push_back(DecisionRecord{
+      t, expected_rate, tm, k, decision.instances, achieved,
+      decision.predicted_response_time, decision.predicted_rejection,
+      decision.predicted_utilization});
   if (telemetry_ != nullptr) {
     telemetry_->scaling_decision(t, expected_rate, tm, k, decision.instances,
                                  achieved);
+    if (DriftMonitor* drift = telemetry_->drift(); drift != nullptr) {
+      DriftMonitor::Prediction prediction;
+      prediction.response_time = decision.predicted_response_time;
+      prediction.rejection = decision.predicted_rejection;
+      prediction.utilization = decision.predicted_utilization;
+      prediction.lambda = expected_rate;
+      prediction.tm = tm;
+      prediction.queue_bound = k;
+      prediction.instances = achieved;
+      const Datacenter& datacenter = provisioner_->datacenter();
+      drift->on_decision(t, prediction, datacenter.vm_hours(),
+                         datacenter.busy_vm_hours());
+    }
   }
   CLOUDPROV_LOG(Debug) << "adaptive: t=" << t << " lambda=" << expected_rate
                        << " -> m=" << decision.instances

@@ -43,6 +43,11 @@ class AdaptivePolicy final : public ProvisioningPolicy {
     std::size_t queue_bound = 0;        ///< k (Equation 1) at decision time
     std::size_t target_instances = 0;
     std::size_t achieved_instances = 0;
+    // What the M/M/1/k model promised for the chosen pool size — paired
+    // with the window's observations by the drift observatory.
+    double predicted_response_time = 0.0;
+    double predicted_rejection = 0.0;
+    double predicted_utilization = 0.0;
   };
   const std::vector<DecisionRecord>& decisions() const { return decisions_; }
 

@@ -254,6 +254,9 @@ void ApplicationProvisioner::on_vm_failed(Vm& vm, FaultCause cause,
   lost_by_cause_[static_cast<std::size_t>(cause)] += lost.size();
   if (telemetry_ != nullptr) {
     telemetry_->vm_failed(now(), vm.id(), lost.size(), to_string(cause));
+    for (const Request& request : lost) {
+      telemetry_->request_lost(now(), request.id);
+    }
   }
   update_deficit();
   record_instance_count();

@@ -62,6 +62,16 @@ struct RunMetrics {
   /// static pools).
   std::uint64_t final_instances = 0;
 
+  // --- observability (src/telemetry monitors; all zero when the span
+  // tracer, drift observatory, and SLO monitor are disabled) ---------------
+  std::uint64_t slo_response_alerts = 0;  ///< burn-rate alerts raised (Ts)
+  std::uint64_t slo_rejection_alerts = 0;
+  double slo_worst_burn_rate = 0.0;  ///< peak short-window burn, any rule
+  std::uint64_t drift_windows = 0;   ///< closed predicted-vs-observed windows
+  double drift_response_mape = 0.0;  ///< response-time MAPE, percent
+  double drift_response_bias = 0.0;  ///< mean signed error (pred - obs), s
+  std::uint64_t spans_traced = 0;    ///< requests sampled by the span tracer
+
   // Simulator diagnostics (not paper metrics).
   std::uint64_t simulated_events = 0;
   double wall_seconds = 0.0;

@@ -143,4 +143,23 @@ void print_claim(std::ostream& out, const std::string& claim, double paper_value
       << " measured=" << fmt(measured_value, precision) << '\n';
 }
 
+void print_observability_summary(std::ostream& out, const RunMetrics& run) {
+  const bool any = run.slo_response_alerts > 0 || run.slo_rejection_alerts > 0 ||
+                   run.slo_worst_burn_rate > 0.0 || run.drift_windows > 0 ||
+                   run.spans_traced > 0;
+  if (!any) return;
+  out << "observability:\n"
+      << "  SLO alerts: " << run.slo_response_alerts << " response, "
+      << run.slo_rejection_alerts << " rejection (worst burn "
+      << fmt(run.slo_worst_burn_rate, 2) << "x budget)\n";
+  if (run.drift_windows > 0) {
+    out << "  model drift: " << run.drift_windows
+        << " windows, response MAPE " << fmt(run.drift_response_mape, 1)
+        << "%, bias " << fmt(run.drift_response_bias, 4) << " s\n";
+  }
+  if (run.spans_traced > 0) {
+    out << "  spans: " << run.spans_traced << " requests traced\n";
+  }
+}
+
 }  // namespace cloudprov

@@ -49,4 +49,10 @@ void write_fault_csv(std::ostream& out, const std::vector<RunMetrics>& runs);
 void print_claim(std::ostream& out, const std::string& claim, double paper_value,
                  double measured_value, int precision = 2);
 
+/// Prints the observability summary of one run: SLO burn-rate alert counts
+/// and the worst observed burn rate, model-drift window count with
+/// response-time MAPE/bias, and the number of sampled request spans. Prints
+/// nothing if the run had no monitor enabled (all fields zero).
+void print_observability_summary(std::ostream& out, const RunMetrics& run);
+
 }  // namespace cloudprov

@@ -142,6 +142,18 @@ RunOutput run_scenario(const ScenarioConfig& config, const PolicySpec& policy,
   if (reconciler.has_value()) reconciler->start();
   sim.run(config.horizon);
 
+  if (telemetry != nullptr) {
+    // Close the drift observatory's trailing window and take a final SLO
+    // reading at the horizon (both purely observational).
+    if (DriftMonitor* drift = telemetry->drift(); drift != nullptr) {
+      drift->finalize(sim.now(), datacenter.vm_hours(),
+                      datacenter.busy_vm_hours());
+    }
+    if (SloMonitor* slo = telemetry->slo(); slo != nullptr) {
+      slo->evaluate(sim.now());
+    }
+  }
+
   RunOutput output;
   RunMetrics& m = output.metrics;
   m.policy = policy.label(config.scale);
@@ -191,6 +203,23 @@ RunOutput run_scenario(const ScenarioConfig& config, const PolicySpec& policy,
     m.reconciler_aborts = reconciler->aborts();
   }
   m.final_instances = provisioner.active_instances();
+
+  if (telemetry != nullptr) {
+    if (const SloMonitor* slo = telemetry->slo(); slo != nullptr) {
+      m.slo_response_alerts = slo->response_alerts();
+      m.slo_rejection_alerts = slo->rejection_alerts();
+      m.slo_worst_burn_rate = slo->worst_burn_rate();
+    }
+    if (const DriftMonitor* drift = telemetry->drift(); drift != nullptr) {
+      m.drift_windows = drift->closed_windows();
+      const DriftMonitor::ErrorStats response = drift->response_error();
+      m.drift_response_mape = response.mape;
+      m.drift_response_bias = response.bias;
+    }
+    if (const SpanTracer* spans = telemetry->spans(); spans != nullptr) {
+      m.spans_traced = spans->traced();
+    }
+  }
 
   m.simulated_events = sim.executed_events();
   m.wall_seconds = std::chrono::duration<double>(

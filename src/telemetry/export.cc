@@ -85,10 +85,40 @@ void write_trace_event(std::ostream& out, const TraceEvent& event,
   out << "}}";
 }
 
+// One derived child span of a request trace as a ph="X" slice on the span
+// lane, tagged with the trace id so Perfetto's flow arrows can link them.
+void write_request_span(std::ostream& out, const char* name, SimTime start,
+                        SimTime duration, const SpanTracer::RequestTrace& trace,
+                        bool& first) {
+  if (!first) out << ",\n";
+  first = false;
+  out << "  {\"name\":" << json_string(name)
+      << ",\"cat\":\"span\",\"ph\":\"X\",\"ts\":" << json_number(start * 1e6)
+      << ",\"dur\":" << json_number(duration * 1e6)
+      << ",\"pid\":0,\"tid\":" << kTrackSpans << ",\"args\":{\"trace_id\":"
+      << trace.trace_id << ",\"vm\":" << trace.vm_id
+      << ",\"outcome\":" << json_string(to_string(trace.outcome))
+      << ",\"qos_violation\":" << (trace.qos_violation ? 1 : 0) << "}}";
+}
+
+// Flow arrow endpoint (ph="s" start / ph="f" finish) binding the admission
+// decision to the service span of the same trace id.
+void write_flow_event(std::ostream& out, const char phase, std::uint64_t id,
+                      SimTime t, bool& first) {
+  if (!first) out << ",\n";
+  first = false;
+  out << "  {\"name\":\"request_flow\",\"cat\":\"span\",\"ph\":\"" << phase
+      << "\",\"id\":" << id << ",\"ts\":" << json_number(t * 1e6)
+      << ",\"pid\":0,\"tid\":" << kTrackSpans;
+  if (phase == 'f') out << ",\"bp\":\"e\"";
+  out << ",\"args\":{}}";
+}
+
 }  // namespace
 
 void write_chrome_trace(std::ostream& out, const TraceBuffer& trace,
-                        const std::string& process_name) {
+                        const std::string& process_name,
+                        const SpanTracer* spans) {
   out << "{\n\"displayTimeUnit\":\"ms\",\n\"otherData\":{"
       << "\"recorded_events\":" << trace.recorded()
       << ",\"dropped_events\":" << trace.dropped() << "},\n\"traceEvents\":[\n";
@@ -98,8 +128,30 @@ void write_chrome_trace(std::ostream& out, const TraceBuffer& trace,
   write_metadata_event(out, "thread_name", kTrackVms, "vms", first);
   write_metadata_event(out, "thread_name", kTrackPolicy, "policy", first);
   write_metadata_event(out, "thread_name", kTrackEngine, "engine", first);
+  write_metadata_event(out, "thread_name", kTrackFaults, "faults", first);
+  write_metadata_event(out, "thread_name", kTrackSpans, "spans", first);
+  write_metadata_event(out, "thread_name", kTrackDrift, "drift", first);
+  write_metadata_event(out, "thread_name", kTrackSlo, "slo", first);
   for (const TraceEvent& event : trace.events()) {
     write_trace_event(out, event, first);
+  }
+  if (spans != nullptr) {
+    for (const SpanTracer::RequestTrace& req : spans->finished()) {
+      // Admission decision: a point-like slice at arrival.
+      write_request_span(out, "admission", req.arrival, 0.0, req, first);
+      if (req.outcome == SpanTracer::Outcome::kRejected) continue;
+      const SimTime wait_end =
+          req.service_start > 0.0 ? req.service_start : req.finish;
+      write_request_span(out, "queue_wait", req.arrival,
+                         wait_end - req.arrival, req, first);
+      if (req.service_start > 0.0) {
+        write_request_span(out, "service", req.service_start,
+                           req.finish - req.service_start, req, first);
+        // Causal arrow: admission decision -> service start.
+        write_flow_event(out, 's', req.trace_id, req.arrival, first);
+        write_flow_event(out, 'f', req.trace_id, req.service_start, first);
+      }
+    }
   }
   out << "\n]}\n";
 }
@@ -134,6 +186,117 @@ void write_metrics_csv(std::ostream& out,
             ? 0.0
             : histogram.sum / static_cast<double>(histogram.count);
     csv.write_row({histogram.name, "histogram", "mean", CsvWriter::format(mean)});
+  }
+}
+
+void write_prometheus_text(std::ostream& out,
+                           const MetricsRegistry::Snapshot& snapshot) {
+  // The registry's names are already snake_case identifiers; the exporter
+  // adds the conventional namespace prefix and unit-free HELP strings.
+  for (const auto& counter : snapshot.counters) {
+    const std::string name = "cloudprov_" + counter.name + "_total";
+    out << "# HELP " << name << " Cumulative " << counter.name
+        << " event count.\n";
+    out << "# TYPE " << name << " counter\n";
+    out << name << ' ' << counter.value << '\n';
+  }
+  for (const auto& gauge : snapshot.gauges) {
+    const std::string name = "cloudprov_" + gauge.name;
+    out << "# HELP " << name << " Last observed " << gauge.name << ".\n";
+    out << "# TYPE " << name << " gauge\n";
+    out << name << ' ' << CsvWriter::format(gauge.value) << '\n';
+  }
+  for (const auto& histogram : snapshot.histograms) {
+    const std::string name = "cloudprov_" + histogram.name;
+    out << "# HELP " << name << " Distribution of " << histogram.name
+        << ".\n";
+    out << "# TYPE " << name << " histogram\n";
+    std::uint64_t cumulative = 0;
+    for (std::size_t i = 0; i < histogram.upper_bounds.size(); ++i) {
+      cumulative += histogram.bucket_counts[i];
+      out << name << "_bucket{le=\""
+          << CsvWriter::format(histogram.upper_bounds[i]) << "\"} "
+          << cumulative << '\n';
+    }
+    out << name << "_bucket{le=\"+Inf\"} " << histogram.count << '\n';
+    out << name << "_sum " << CsvWriter::format(histogram.sum) << '\n';
+    out << name << "_count " << histogram.count << '\n';
+  }
+}
+
+void write_span_csv(std::ostream& out, const SpanTracer& spans) {
+  CsvWriter csv(out);
+  csv.write_header({"trace_id", "span", "start", "end", "duration", "vm_id",
+                    "outcome", "qos_violation"});
+  const auto row = [&csv](const SpanTracer::RequestTrace& trace,
+                          const char* span, SimTime start, SimTime end) {
+    csv.write_row({CsvWriter::format(static_cast<std::int64_t>(trace.trace_id)),
+                   span, CsvWriter::format(start), CsvWriter::format(end),
+                   CsvWriter::format(end - start),
+                   CsvWriter::format(static_cast<std::int64_t>(trace.vm_id)),
+                   to_string(trace.outcome),
+                   trace.qos_violation ? "1" : "0"});
+  };
+  for (const SpanTracer::RequestTrace& trace : spans.finished()) {
+    row(trace, "admission", trace.arrival, trace.arrival);
+    if (trace.outcome == SpanTracer::Outcome::kRejected) continue;
+    const SimTime wait_end =
+        trace.service_start > 0.0 ? trace.service_start : trace.finish;
+    row(trace, "queue_wait", trace.arrival, wait_end);
+    if (trace.service_start > 0.0) {
+      row(trace, "service", trace.service_start, trace.finish);
+    }
+  }
+}
+
+void write_drift_csv(std::ostream& out, const DriftMonitor& drift) {
+  CsvWriter csv(out);
+  csv.write_header(
+      {"window_start", "window_end", "lambda", "tm", "queue_bound",
+       "instances", "predicted_response_time", "observed_response_time",
+       "response_error", "predicted_rejection", "observed_rejection",
+       "rejection_error", "predicted_utilization", "observed_utilization",
+       "utilization_error", "arrivals", "completed", "rejected",
+       "within_bound"});
+  for (const DriftMonitor::WindowRecord& window : drift.windows()) {
+    csv.write_row(
+        {CsvWriter::format(window.start), CsvWriter::format(window.end),
+         CsvWriter::format(window.predicted.lambda),
+         CsvWriter::format(window.predicted.tm),
+         CsvWriter::format(
+             static_cast<std::int64_t>(window.predicted.queue_bound)),
+         CsvWriter::format(
+             static_cast<std::int64_t>(window.predicted.instances)),
+         CsvWriter::format(window.predicted.response_time),
+         CsvWriter::format(window.observed_response_time),
+         CsvWriter::format(window.response_error),
+         CsvWriter::format(window.predicted.rejection),
+         CsvWriter::format(window.observed_rejection),
+         CsvWriter::format(window.rejection_error),
+         CsvWriter::format(window.predicted.utilization),
+         CsvWriter::format(window.observed_utilization),
+         CsvWriter::format(window.utilization_error),
+         CsvWriter::format(static_cast<std::int64_t>(window.arrivals)),
+         CsvWriter::format(static_cast<std::int64_t>(window.completed)),
+         CsvWriter::format(static_cast<std::int64_t>(window.rejected)),
+         window.within_bound ? "1" : "0"});
+  }
+}
+
+void write_slo_csv(std::ostream& out, const SloMonitor& slo) {
+  CsvWriter csv(out);
+  csv.write_header({"time", "objective", "rule", "short_window", "long_window",
+                    "threshold", "burn_short", "burn_long", "alerting"});
+  for (const SloMonitor::BurnSample& sample : slo.samples()) {
+    const SloMonitor::BurnWindow& rule = slo.config().windows[sample.rule];
+    csv.write_row({CsvWriter::format(sample.time), to_string(sample.objective),
+                   CsvWriter::format(static_cast<std::int64_t>(sample.rule)),
+                   CsvWriter::format(rule.short_window),
+                   CsvWriter::format(rule.long_window),
+                   CsvWriter::format(rule.threshold),
+                   CsvWriter::format(sample.burn_short),
+                   CsvWriter::format(sample.burn_long),
+                   sample.alerting ? "1" : "0"});
   }
 }
 

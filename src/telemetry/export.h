@@ -10,20 +10,51 @@
 // (metric,type,field,value) alongside the experiment CSVs in results/:
 // counters and gauges one row each, histograms one row per cumulative
 // bucket plus count/sum/mean.
+//
+// write_prometheus_text emits the same snapshot in the Prometheus text
+// exposition format (# HELP / # TYPE, histogram _bucket{le=...}/_sum/_count)
+// so runs can be scraped into real dashboards; write_span_csv,
+// write_drift_csv, and write_slo_csv flatten the observability monitors
+// (span tracer, drift observatory, SLO burn rates) into long-form CSVs.
 #pragma once
 
 #include <iosfwd>
 #include <string>
 
+#include "telemetry/drift_monitor.h"
 #include "telemetry/metrics_registry.h"
+#include "telemetry/slo_monitor.h"
+#include "telemetry/span_tracer.h"
 #include "telemetry/trace_buffer.h"
 
 namespace cloudprov {
 
+/// When `spans` is non-null, every finished sampled trace is appended as
+/// admission/queue_wait/service sub-spans on the span lane, causally linked
+/// with flow arrows from arrival to service start.
 void write_chrome_trace(std::ostream& out, const TraceBuffer& trace,
-                        const std::string& process_name = "cloudprov");
+                        const std::string& process_name = "cloudprov",
+                        const SpanTracer* spans = nullptr);
 
 void write_metrics_csv(std::ostream& out,
                        const MetricsRegistry::Snapshot& snapshot);
+
+/// Prometheus text exposition format. Metric names get a `cloudprov_`
+/// prefix and the registry's histograms are rendered with cumulative
+/// `_bucket{le="..."}` series plus `_sum` and `_count`.
+void write_prometheus_text(std::ostream& out,
+                           const MetricsRegistry::Snapshot& snapshot);
+
+/// Long-form per-span CSV: one row per derived child span
+/// (admission / queue_wait / service) of every finished trace, in
+/// completion order — deterministic for a fixed seed and sample rate.
+void write_span_csv(std::ostream& out, const SpanTracer& spans);
+
+/// One row per closed analysis window: prediction, observation, and signed
+/// error for response time, rejection probability, and utilization.
+void write_drift_csv(std::ostream& out, const DriftMonitor& drift);
+
+/// One row per burn-rate evaluation of every (objective, rule) pair.
+void write_slo_csv(std::ostream& out, const SloMonitor& slo);
 
 }  // namespace cloudprov

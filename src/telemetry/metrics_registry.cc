@@ -94,10 +94,9 @@ MetricsRegistry::Snapshot MetricsRegistry::snapshot() const {
   return snap;
 }
 
-MetricsRegistry::Snapshot snapshot_delta(
-    const MetricsRegistry::Snapshot& later,
-    const MetricsRegistry::Snapshot& earlier) {
-  MetricsRegistry::Snapshot delta = later;
+MetricsRegistry::Snapshot MetricsRegistry::Snapshot::diff(
+    const Snapshot& earlier) const {
+  Snapshot delta = *this;
   for (auto& counter : delta.counters) {
     for (const auto& base : earlier.counters) {
       if (base.name == counter.name) {
@@ -121,6 +120,12 @@ MetricsRegistry::Snapshot snapshot_delta(
     }
   }
   return delta;
+}
+
+MetricsRegistry::Snapshot snapshot_delta(
+    const MetricsRegistry::Snapshot& later,
+    const MetricsRegistry::Snapshot& earlier) {
+  return later.diff(earlier);
 }
 
 }  // namespace cloudprov

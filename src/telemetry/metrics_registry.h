@@ -103,6 +103,13 @@ class MetricsRegistry {
     std::vector<CounterView> counters;
     std::vector<GaugeView> gauges;
     std::vector<HistogramView> histograms;
+
+    /// Windowed view of two cumulative snapshots: counter and histogram
+    /// values of *this minus `earlier` (gauges keep this snapshot's value);
+    /// instruments absent from `earlier` are returned as-is. The windowed
+    /// monitors (drift observatory, SLO burn rates) consume this instead of
+    /// hand-differencing fields.
+    Snapshot diff(const Snapshot& earlier) const;
   };
   Snapshot snapshot() const;
 

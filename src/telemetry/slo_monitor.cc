@@ -1,0 +1,148 @@
+#include "telemetry/slo_monitor.h"
+
+#include <algorithm>
+
+#include "telemetry/telemetry.h"
+#include "util/check.h"
+#include "util/log.h"
+
+namespace cloudprov {
+
+const char* to_string(SloMonitor::Objective objective) {
+  switch (objective) {
+    case SloMonitor::Objective::kResponse: return "response_time";
+    case SloMonitor::Objective::kRejection: return "rejection";
+  }
+  return "?";
+}
+
+SloMonitor::SloMonitor(MetricsRegistry& metrics, TraceBuffer& trace,
+                       Config config)
+    : metrics_(&metrics),
+      trace_(&trace),
+      config_(std::move(config)),
+      completed_(&metrics.counter("requests_completed")),
+      violations_(&metrics.counter("qos_violations")),
+      arrivals_(&metrics.counter("requests_arrived")),
+      rejected_(&metrics.counter("requests_rejected")),
+      response_alerts_(&metrics.counter("slo_response_alerts")),
+      rejection_alerts_(&metrics.counter("slo_rejection_alerts")) {
+  ensure_arg(config_.response_budget > 0.0 && config_.response_budget <= 1.0,
+             "SloMonitor: response budget must be in (0, 1]");
+  ensure_arg(config_.rejection_budget > 0.0 && config_.rejection_budget <= 1.0,
+             "SloMonitor: rejection budget must be in (0, 1]");
+  ensure_arg(!config_.windows.empty(), "SloMonitor: need >= 1 burn window");
+  ensure_arg(config_.eval_interval > 0.0,
+             "SloMonitor: eval interval must be > 0");
+  for (const BurnWindow& rule : config_.windows) {
+    ensure_arg(rule.short_window > 0.0 && rule.long_window >= rule.short_window,
+               "SloMonitor: need 0 < short_window <= long_window");
+    ensure_arg(rule.threshold > 0.0, "SloMonitor: threshold must be > 0");
+    longest_window_ = std::max(longest_window_, rule.long_window);
+  }
+  alerting_.assign(2 * config_.windows.size(), false);
+}
+
+double SloMonitor::burn_rate(Objective objective, SimTime window) const {
+  const Sample& now = history_.back();
+  // Most recent sample at or before the window start; none while history is
+  // shorter than the window (start-up: no alert without a full window).
+  const SimTime cutoff = now.time - window;
+  const Sample* base = nullptr;
+  for (auto it = history_.rbegin(); it != history_.rend(); ++it) {
+    if (it->time <= cutoff) {
+      base = &*it;
+      break;
+    }
+  }
+  if (base == nullptr) return 0.0;
+
+  std::uint64_t bad = 0;
+  std::uint64_t total = 0;
+  double budget = 1.0;
+  if (objective == Objective::kResponse) {
+    bad = now.violations - base->violations;
+    total = now.completed - base->completed;
+    budget = config_.response_budget;
+  } else {
+    bad = now.rejected - base->rejected;
+    total = now.arrivals - base->arrivals;
+    budget = config_.rejection_budget;
+  }
+  if (total == 0) return 0.0;
+  return static_cast<double>(bad) / static_cast<double>(total) / budget;
+}
+
+void SloMonitor::evaluate_rule(SimTime now, Objective objective,
+                               std::size_t rule) {
+  const BurnWindow& window = config_.windows[rule];
+  const double burn_short = burn_rate(objective, window.short_window);
+  const double burn_long = burn_rate(objective, window.long_window);
+  worst_burn_ = std::max(worst_burn_, burn_short);
+
+  const std::size_t state_index =
+      static_cast<std::size_t>(objective) * config_.windows.size() + rule;
+  const bool was_alerting = alerting_[state_index];
+  bool alerting = was_alerting;
+  if (!was_alerting &&
+      burn_short > window.threshold && burn_long > window.threshold) {
+    alerting = true;
+  } else if (was_alerting && burn_short < window.threshold) {
+    alerting = false;
+  }
+  alerting_[state_index] = alerting;
+
+  if (alerting != was_alerting) {
+    alerts_.push_back(
+        AlertEvent{now, objective, rule, burn_short, burn_long, alerting});
+    if (alerting) {
+      (objective == Objective::kResponse ? response_alerts_
+                                         : rejection_alerts_)
+          ->add();
+    }
+    TraceEvent event;
+    event.name = alerting ? "slo_alert" : "slo_clear";
+    event.category = "slo";
+    event.phase = TracePhase::kInstant;
+    event.track = kTrackSlo;
+    event.time = now;
+    event.id = rule;
+    event.arg("objective", static_cast<double>(objective))
+        .arg("burn_short", burn_short)
+        .arg("burn_long", burn_long)
+        .arg("threshold", window.threshold);
+    trace_->record(event);
+    if (config_.log_alerts && alerting) {
+      CLOUDPROV_LOG(Warn) << "SLO " << to_string(objective)
+                          << " budget burning at " << burn_short
+                          << "x (threshold " << window.threshold << ", "
+                          << window.short_window << "s/" << window.long_window
+                          << "s windows)";
+    }
+  }
+
+  if (samples_.size() == config_.max_samples) {
+    samples_.pop_front();
+    ++sample_drops_;
+  }
+  samples_.push_back(
+      BurnSample{now, objective, rule, burn_short, burn_long, alerting});
+}
+
+void SloMonitor::evaluate(SimTime now) {
+  next_eval_ = now + config_.eval_interval;
+  history_.push_back(Sample{now, completed_->value(), violations_->value(),
+                            arrivals_->value(), rejected_->value()});
+  // Keep one sample beyond the longest lookback so burn_rate always finds a
+  // base once the history spans the window.
+  const SimTime horizon = now - longest_window_ - config_.eval_interval;
+  while (history_.size() > 2 && history_[1].time <= horizon) {
+    history_.pop_front();
+  }
+  for (std::size_t rule = 0; rule < config_.windows.size(); ++rule) {
+    evaluate_rule(now, Objective::kResponse, rule);
+    evaluate_rule(now, Objective::kRejection, rule);
+  }
+}
+
+}  // namespace cloudprov

@@ -1,0 +1,143 @@
+// SLO burn-rate alerting over the telemetry counters.
+//
+// The scenario's QoS contract is turned into two error budgets: a fraction
+// of completed requests allowed to violate the response-time target Ts, and
+// a fraction of arrivals allowed to be rejected. The monitor evaluates
+// multi-window burn rates (Google SRE style: a fast short window paired
+// with a confirming long window) on a fixed sim-time cadence and raises a
+// structured alert — a telemetry instant, an alert counter, and a Warn log
+// line — when both windows of a pair burn faster than the pair's threshold.
+// Alerts clear (a separate event, not counted as an alert) once the short
+// window falls back under the threshold, so a sustained incident fires
+// once instead of every tick.
+//
+// Evaluation piggybacks on the request hooks (maybe_evaluate), so enabling
+// the monitor schedules no simulation events and cannot perturb results.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <deque>
+#include <vector>
+
+#include "telemetry/metrics_registry.h"
+#include "telemetry/trace_buffer.h"
+#include "util/units.h"
+
+namespace cloudprov {
+
+class SloMonitor {
+ public:
+  /// One multi-window burn-rate rule. `threshold` is the burn rate (budget
+  /// consumption speed; 1.0 = exactly on budget) both windows must exceed.
+  struct BurnWindow {
+    SimTime short_window = 300.0;
+    SimTime long_window = 3600.0;
+    double threshold = 14.4;
+  };
+
+  struct Config {
+    /// Fraction of completed requests allowed to exceed Ts.
+    double response_budget = 0.05;
+    /// Fraction of arrivals allowed to be rejected.
+    double rejection_budget = 0.01;
+    /// Burn-rate rules; the defaults pair a page-fast 5-min/1-h rule with a
+    /// slower 30-min/6-h rule (thresholds 14.4 and 6, the classic
+    /// 2%- and 5%-of-budget-per-window settings).
+    std::vector<BurnWindow> windows = {{300.0, 3600.0, 14.4},
+                                       {1800.0, 21600.0, 6.0}};
+    /// Evaluation cadence in sim seconds.
+    SimTime eval_interval = 60.0;
+    /// Emit a CLOUDPROV_LOG(Warn) line per raised alert.
+    bool log_alerts = true;
+    /// Burn-rate samples retained for export (oldest dropped beyond this).
+    std::size_t max_samples = 1 << 20;
+  };
+
+  enum class Objective : std::uint8_t { kResponse, kRejection };
+
+  /// One alert edge (raise or clear) for one (objective, rule) pair.
+  struct AlertEvent {
+    SimTime time = 0.0;
+    Objective objective = Objective::kResponse;
+    std::size_t rule = 0;  ///< index into Config::windows
+    double burn_short = 0.0;
+    double burn_long = 0.0;
+    bool raised = false;  ///< true = raise edge, false = clear edge
+  };
+
+  /// One evaluation of one (objective, rule) pair, for the burn-rate CSV.
+  struct BurnSample {
+    SimTime time = 0.0;
+    Objective objective = Objective::kResponse;
+    std::size_t rule = 0;
+    double burn_short = 0.0;
+    double burn_long = 0.0;
+    bool alerting = false;  ///< alert state after this evaluation
+  };
+
+  /// `metrics` must be the registry the request hooks write into; the
+  /// monitor registers its alert counters there. `trace` receives one
+  /// instant per alert edge on the SLO lane.
+  SloMonitor(MetricsRegistry& metrics, TraceBuffer& trace, Config config);
+
+  const Config& config() const { return config_; }
+
+  /// Cheap cadence check called from the request hot path; runs a full
+  /// evaluation once per eval_interval of sim time.
+  void maybe_evaluate(SimTime now) {
+    if (now >= next_eval_) evaluate(now);
+  }
+
+  /// Forces one evaluation at `now` (also used by tests).
+  void evaluate(SimTime now);
+
+  std::uint64_t response_alerts() const { return response_alerts_->value(); }
+  std::uint64_t rejection_alerts() const { return rejection_alerts_->value(); }
+  /// Highest short-window burn rate seen by any rule of any objective.
+  double worst_burn_rate() const { return worst_burn_; }
+
+  const std::vector<AlertEvent>& alerts() const { return alerts_; }
+  const std::deque<BurnSample>& samples() const { return samples_; }
+
+ private:
+  struct Sample {
+    SimTime time = 0.0;
+    std::uint64_t completed = 0;
+    std::uint64_t violations = 0;
+    std::uint64_t arrivals = 0;
+    std::uint64_t rejected = 0;
+  };
+
+  /// Burn rate of `objective` over the window ending at `history_.back()`
+  /// and starting `window` seconds earlier; 0 while the history is shorter
+  /// than the window (no alert before a full window of evidence).
+  double burn_rate(Objective objective, SimTime window) const;
+  void evaluate_rule(SimTime now, Objective objective, std::size_t rule);
+
+  MetricsRegistry* metrics_;
+  TraceBuffer* trace_;
+  Config config_;
+  SimTime next_eval_ = 0.0;
+  SimTime longest_window_ = 0.0;
+
+  // Cumulative inputs, resolved once.
+  const Counter* completed_;
+  const Counter* violations_;
+  const Counter* arrivals_;
+  const Counter* rejected_;
+  // Alert outputs.
+  Counter* response_alerts_;
+  Counter* rejection_alerts_;
+
+  std::deque<Sample> history_;
+  std::vector<bool> alerting_;  ///< per (objective, rule) pair
+  std::vector<AlertEvent> alerts_;
+  std::deque<BurnSample> samples_;
+  std::uint64_t sample_drops_ = 0;
+  double worst_burn_ = 0.0;
+};
+
+const char* to_string(SloMonitor::Objective objective);
+
+}  // namespace cloudprov

@@ -1,0 +1,101 @@
+// Request-lifecycle span tracing.
+//
+// Assigns each sampled request a trace id (its request id) and follows it
+// through the provisioning pipeline: admission decision at arrival, queue
+// wait inside the chosen instance, service, and the terminal outcome
+// (completed / rejected at admission / lost to an instance failure). The
+// sampling decision is a pure hash of the request id and a fixed seed, so
+// it is deterministic for a given workload seed, independent of every
+// simulation RNG stream, and consistent across the arrival/service/finish
+// hooks without any per-request handshake.
+//
+// Finished traces are retained in a bounded deque (oldest evicted first,
+// with an explicit drop counter) so paper-scale runs stay bounded at any
+// sample rate. Exporters (telemetry/export.h) turn the retained traces into
+// Chrome-trace spans + flow events and a long-form per-span CSV.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <deque>
+#include <unordered_map>
+
+#include "util/units.h"
+
+namespace cloudprov {
+
+class SpanTracer {
+ public:
+  struct Options {
+    /// Fraction of requests traced; <= 0 disables, >= 1 traces everything.
+    double sample_rate = 0.0;
+    /// Hashed with the request id for the sampling decision. Fixed by
+    /// default so the same ids are sampled in every run of a seed.
+    std::uint64_t seed = 0;
+    /// Finished traces retained (oldest evicted beyond this).
+    std::size_t capacity = 1 << 16;
+  };
+
+  /// Terminal outcome of a traced request.
+  enum class Outcome : std::uint8_t {
+    kInFlight = 0,  ///< not yet finished (never exported)
+    kCompleted,     ///< served and completed
+    kRejected,      ///< refused by admission control
+    kLost,          ///< admitted, then died with a failed instance
+  };
+
+  /// One request's causally-ordered lifecycle timestamps. Child spans are
+  /// derived: admission [arrival, arrival], queue_wait
+  /// [arrival, service_start], service [service_start, finish]. A request
+  /// lost before service starts has service_start == 0 (no service span);
+  /// its queue_wait runs to the loss time.
+  struct RequestTrace {
+    std::uint64_t trace_id = 0;  ///< == request id
+    SimTime arrival = 0.0;
+    SimTime service_start = 0.0;  ///< 0 = never reached service
+    SimTime finish = 0.0;         ///< completion / rejection / loss time
+    std::uint64_t vm_id = 0;      ///< serving instance; 0 when rejected
+    Outcome outcome = Outcome::kInFlight;
+    bool qos_violation = false;
+  };
+
+  explicit SpanTracer(Options options);
+
+  const Options& options() const { return options_; }
+
+  /// Deterministic per-request sampling decision (pure hash, no state).
+  bool sampled(std::uint64_t request_id) const;
+
+  // --- lifecycle hooks (called via the Telemetry facade) ------------------
+  void on_arrival(SimTime t, std::uint64_t request_id);
+  void on_admit(SimTime t, std::uint64_t request_id, std::uint64_t vm_id);
+  void on_reject(SimTime t, std::uint64_t request_id);
+  void on_service_start(SimTime t, std::uint64_t request_id,
+                        std::uint64_t vm_id);
+  void on_complete(SimTime t, std::uint64_t request_id, bool qos_violation);
+  void on_lost(SimTime t, std::uint64_t request_id);
+
+  /// Finished traces, oldest first (completion order — deterministic).
+  const std::deque<RequestTrace>& finished() const { return finished_; }
+  /// Requests the sampler selected so far.
+  std::uint64_t traced() const { return traced_; }
+  /// Finished traces evicted because the deque was full.
+  std::uint64_t dropped() const { return dropped_; }
+  /// Sampled requests still in flight (bounded by pool occupancy).
+  std::size_t in_flight() const { return pending_.size(); }
+
+ private:
+  void finish(SimTime t, std::uint64_t request_id, Outcome outcome,
+              bool qos_violation);
+
+  Options options_;
+  std::uint64_t sample_threshold_ = 0;  ///< hash < threshold => sampled
+  std::unordered_map<std::uint64_t, RequestTrace> pending_;
+  std::deque<RequestTrace> finished_;
+  std::uint64_t traced_ = 0;
+  std::uint64_t dropped_ = 0;
+};
+
+const char* to_string(SpanTracer::Outcome outcome);
+
+}  // namespace cloudprov

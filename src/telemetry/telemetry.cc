@@ -55,10 +55,28 @@ Telemetry::Telemetry(TelemetryOptions options)
                                          decade_bounds(1.0, 1e4))),
       active_instances_(&metrics_.gauge("active_instances")),
       draining_instances_(&metrics_.gauge("draining_instances")),
-      engine_queue_depth_(&metrics_.gauge("engine_queue_depth")) {}
+      engine_queue_depth_(&metrics_.gauge("engine_queue_depth")) {
+  // The optional monitors are built after the hot-path instruments so the
+  // registry's registration order (and thus CSV/snapshot order) is stable
+  // whether or not they are enabled.
+  if (options_.span_sample_rate > 0.0) {
+    SpanTracer::Options span_options;
+    span_options.sample_rate = options_.span_sample_rate;
+    span_options.seed = options_.span_seed;
+    span_options.capacity = options_.span_capacity;
+    spans_ = std::make_unique<SpanTracer>(span_options);
+  }
+  if (options_.drift_enabled) {
+    drift_ = std::make_unique<DriftMonitor>(metrics_, trace_, options_.drift);
+  }
+  if (options_.slo_enabled) {
+    slo_ = std::make_unique<SloMonitor>(metrics_, trace_, options_.slo);
+  }
+}
 
 void Telemetry::request_arrival(SimTime t, std::uint64_t request_id) {
   requests_arrived_->add();
+  if (spans_) spans_->on_arrival(t, request_id);
   if (options_.trace_requests) {
     trace_.record(instant("request", "arrival", kTrackRequests, t, request_id));
   }
@@ -67,6 +85,7 @@ void Telemetry::request_arrival(SimTime t, std::uint64_t request_id) {
 void Telemetry::request_admitted(SimTime t, std::uint64_t request_id,
                                  std::uint64_t vm_id) {
   requests_admitted_->add();
+  if (spans_) spans_->on_admit(t, request_id, vm_id);
   if (options_.trace_requests) {
     TraceEvent event =
         instant("request", "admit", kTrackRequests, t, request_id);
@@ -77,9 +96,20 @@ void Telemetry::request_admitted(SimTime t, std::uint64_t request_id,
 
 void Telemetry::request_rejected(SimTime t, std::uint64_t request_id) {
   requests_rejected_->add();
+  if (spans_) spans_->on_reject(t, request_id);
+  if (slo_) slo_->maybe_evaluate(t);
   if (options_.trace_requests) {
     trace_.record(instant("request", "reject", kTrackRequests, t, request_id));
   }
+}
+
+void Telemetry::request_service_start(SimTime t, std::uint64_t request_id,
+                                      std::uint64_t vm_id) {
+  if (spans_) spans_->on_service_start(t, request_id, vm_id);
+}
+
+void Telemetry::request_lost(SimTime t, std::uint64_t request_id) {
+  if (spans_) spans_->on_lost(t, request_id);
 }
 
 void Telemetry::request_completed(SimTime t, std::uint64_t request_id,
@@ -89,6 +119,8 @@ void Telemetry::request_completed(SimTime t, std::uint64_t request_id,
   if (qos_violation) qos_violations_->add();
   response_time_->observe(response_time);
   service_time_->observe(service_time);
+  if (spans_) spans_->on_complete(t, request_id, qos_violation);
+  if (slo_) slo_->maybe_evaluate(t);
   if (options_.trace_requests) {
     TraceEvent span;
     span.name = "request";

@@ -20,13 +20,21 @@
 //              restore, reconcile, retry, abort, recovered (instants on the
 //              fault/reconciler lane; VM fail instants stay on the vm lane
 //              with a cause arg)
+//   span     : sampled per-request lifecycle spans (SpanTracer; exported as
+//              admission/queue_wait/service sub-spans with flow arrows)
+//   drift    : predicted-vs-observed counter lanes per analysis window
+//              (DriftMonitor)
+//   slo      : burn-rate alert raise/clear instants (SloMonitor)
 #pragma once
 
 #include <cstddef>
 #include <cstdint>
 #include <memory>
 
+#include "telemetry/drift_monitor.h"
 #include "telemetry/metrics_registry.h"
+#include "telemetry/slo_monitor.h"
+#include "telemetry/span_tracer.h"
 #include "telemetry/trace_buffer.h"
 #include "util/units.h"
 
@@ -39,6 +47,9 @@ enum TelemetryTrack : std::uint32_t {
   kTrackPolicy = 3,
   kTrackEngine = 4,
   kTrackFaults = 5,
+  kTrackSpans = 6,
+  kTrackDrift = 7,
+  kTrackSlo = 8,
 };
 
 struct TelemetryOptions {
@@ -49,6 +60,22 @@ struct TelemetryOptions {
   /// Per-request trace events (the high-volume class). Metrics are always
   /// collected; disabling this keeps only lifecycle/decision/engine events.
   bool trace_requests = true;
+
+  /// Fraction of requests given full lifecycle spans (0 disables the span
+  /// tracer entirely). Selection is a pure hash of (request id, span_seed),
+  /// so it is deterministic and perturbs no simulation RNG stream.
+  double span_sample_rate = 0.0;
+  std::uint64_t span_seed = 0;
+  /// Finished request traces retained (oldest dropped beyond this).
+  std::size_t span_capacity = 1 << 16;
+
+  /// Model-drift observatory (predicted vs observed per analysis window).
+  bool drift_enabled = false;
+  DriftMonitor::Config drift;
+
+  /// SLO burn-rate alerting over the request counters.
+  bool slo_enabled = false;
+  SloMonitor::Config slo;
 };
 
 class Telemetry {
@@ -63,17 +90,32 @@ class Telemetry {
   TraceBuffer& trace() { return trace_; }
   const TraceBuffer& trace() const { return trace_; }
 
+  /// Null unless the corresponding option enabled the monitor.
+  SpanTracer* spans() { return spans_.get(); }
+  const SpanTracer* spans() const { return spans_.get(); }
+  DriftMonitor* drift() { return drift_.get(); }
+  const DriftMonitor* drift() const { return drift_.get(); }
+  SloMonitor* slo() { return slo_.get(); }
+  const SloMonitor* slo() const { return slo_.get(); }
+
   // --- request lifecycle (ApplicationProvisioner) -----------------------
   void request_arrival(SimTime t, std::uint64_t request_id);
   void request_admitted(SimTime t, std::uint64_t request_id,
                         std::uint64_t vm_id);
   void request_rejected(SimTime t, std::uint64_t request_id);
+  /// A VM pulled the request off its queue and began serving it (Vm).
+  /// Only feeds the span tracer; no-op when spans are off.
+  void request_service_start(SimTime t, std::uint64_t request_id,
+                             std::uint64_t vm_id);
   /// Records the request span (arrival -> finish, duration = response time)
   /// and the service span (start -> finish), plus the response-time
   /// histogram and QoS-violation counter.
   void request_completed(SimTime t, std::uint64_t request_id,
                          double response_time, double service_time,
                          bool qos_violation);
+  /// The request was in flight on a VM that failed (ApplicationProvisioner).
+  /// Closes the sampled span as lost; loss counters stay with vm_failed.
+  void request_lost(SimTime t, std::uint64_t request_id);
 
   // --- VM lifecycle (Datacenter / Vm) -----------------------------------
   void vm_created(SimTime t, std::uint64_t vm_id);
@@ -122,6 +164,9 @@ class Telemetry {
   TelemetryOptions options_;
   MetricsRegistry metrics_;
   TraceBuffer trace_;
+  std::unique_ptr<SpanTracer> spans_;
+  std::unique_ptr<DriftMonitor> drift_;
+  std::unique_ptr<SloMonitor> slo_;
 
   // Hot-path instruments, resolved once at construction.
   Counter* requests_arrived_;

@@ -392,8 +392,8 @@ TEST(Export, ChromeTraceJsonRoundTrips) {
   EXPECT_DOUBLE_EQ(doc.at("otherData").at("dropped_events").number, 0.0);
 
   const auto& events = doc.at("traceEvents").array;
-  // 5 metadata events (process + 4 named tracks) + recorded events.
-  ASSERT_EQ(events.size(), 5u + telemetry.trace().size());
+  // 9 metadata events (process + 8 named tracks) + recorded events.
+  ASSERT_EQ(events.size(), 9u + telemetry.trace().size());
   std::size_t metadata = 0;
   for (const auto& event : events) {
     ASSERT_EQ(event.type, Json::Type::kObject);
@@ -413,7 +413,7 @@ TEST(Export, ChromeTraceJsonRoundTrips) {
       EXPECT_TRUE(event.has("dur"));
     }
   }
-  EXPECT_EQ(metadata, 5u);
+  EXPECT_EQ(metadata, 9u);
 
   // Span arithmetic survives the microsecond conversion: the request span
   // starts at arrival (0.5 s) and lasts the response time (0.4 s).
@@ -498,8 +498,16 @@ TEST(Telemetry, RunMetricsIdenticalWithTelemetryOnAndOff) {
   const ScenarioConfig config = scientific_scenario(1.0);
   const RunOutput plain =
       run_scenario(config, PolicySpec::adaptive(), 4242);
+  // Every observability monitor enabled: span tracing, the drift
+  // observatory, and SLO burn-rate alerting must all be purely
+  // observational — identical results down to the event count.
   TelemetryOptions opts;
   opts.trace_capacity = 1 << 14;
+  opts.span_sample_rate = 0.25;
+  opts.drift_enabled = true;
+  opts.drift.qos_max_response_time = config.qos.max_response_time;
+  opts.slo_enabled = true;
+  opts.slo.log_alerts = false;
   const RunOutput traced =
       run_scenario(config, PolicySpec::adaptive(), 4242, opts);
 
@@ -560,7 +568,7 @@ TEST(Telemetry, WebScenarioTraceExportsValidChromeJson) {
   write_chrome_trace(out, output.telemetry->trace());
   const Json doc = JsonParser(out.str()).parse();
   const auto& events = doc.at("traceEvents").array;
-  EXPECT_EQ(events.size(), 5u + output.telemetry->trace().size());
+  EXPECT_EQ(events.size(), 9u + output.telemetry->trace().size());
   for (const auto& event : events) {
     ASSERT_EQ(event.type, Json::Type::kObject);
     ASSERT_TRUE(event.has("name"));
