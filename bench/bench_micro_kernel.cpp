@@ -41,22 +41,59 @@ void BM_EventQueueCancel(benchmark::State& state) {
 BENCHMARK(BM_EventQueueCancel);
 
 void BM_SimulationSelfScheduling(benchmark::State& state) {
-  // A single self-rescheduling event chain: pure kernel dispatch overhead.
+  // A single self-rescheduling event chain: pure kernel dispatch overhead
+  // through the typed inline-delegate path (no per-event allocation).
+  struct Chain {
+    Simulation* sim;
+    std::uint64_t remaining;
+    void fire() {
+      if (--remaining > 0) {
+        sim->schedule_in(0.001, EventAction::method<&Chain::fire>(this));
+      }
+    }
+  };
   for (auto _ : state) {
     state.PauseTiming();
     Simulation sim;
-    std::function<void()> chain;
-    std::uint64_t remaining = 100000;
-    chain = [&] {
-      if (--remaining > 0) sim.schedule_in(0.001, chain);
-    };
-    sim.schedule_at(0.0, chain);
+    Chain chain{&sim, 100000};
+    sim.schedule_at(0.0, EventAction::method<&Chain::fire>(&chain));
     state.ResumeTiming();
     sim.run();
   }
   state.SetItemsProcessed(state.iterations() * 100000);
 }
 BENCHMARK(BM_SimulationSelfScheduling)->Unit(benchmark::kMillisecond);
+
+void BM_SimulationSelfSchedulingBoxed(benchmark::State& state) {
+  // Same chain through the rare-path escape hatch (a capturing closure too
+  // large for the inline budget): prices the boxed fallback.
+  struct Chain {
+    Simulation* sim;
+    std::uint64_t remaining;
+    std::uint64_t pad[2] = {0, 0};  // force the closure past 16 bytes
+    void fire() {
+      if (--remaining > 0) {
+        Chain* self = this;
+        const std::uint64_t pad0 = pad[0];
+        const std::uint64_t pad1 = pad[1];
+        sim->schedule_in(0.001, [self, pad0, pad1] {
+          benchmark::DoNotOptimize(pad0 + pad1);
+          self->fire();
+        });
+      }
+    }
+  };
+  for (auto _ : state) {
+    state.PauseTiming();
+    Simulation sim;
+    Chain chain{&sim, 100000};
+    sim.schedule_at(0.0, EventAction::method<&Chain::fire>(&chain));
+    state.ResumeTiming();
+    sim.run();
+  }
+  state.SetItemsProcessed(state.iterations() * 100000);
+}
+BENCHMARK(BM_SimulationSelfSchedulingBoxed)->Unit(benchmark::kMillisecond);
 
 void BM_RngNext(benchmark::State& state) {
   Rng rng(1);

@@ -1,0 +1,120 @@
+#!/usr/bin/env python3
+"""Record microbenchmark results into a tracked trajectory file.
+
+Runs the google-benchmark binaries in JSON mode and appends one labelled
+entry (git commit, date, name -> items/s) to BENCH_kernel.json at the repo
+root, so kernel performance is tracked across PRs rather than asserted in
+prose. Re-running with an existing label replaces that entry in place, which
+keeps the file idempotent under repeated local runs.
+
+Usage:
+    python3 bench/record_bench.py --build-dir build --label after-slab-kernel
+    python3 bench/record_bench.py --label ci-smoke --min-time 0.01 \
+        --output /tmp/bench_check.json --no-compare
+
+Exit status is non-zero when a benchmark binary is missing or fails, so CI
+can use this script as a smoke test for the perf tooling itself.
+"""
+import argparse
+import datetime
+import json
+import pathlib
+import subprocess
+import sys
+
+REPO_ROOT = pathlib.Path(__file__).resolve().parent.parent
+DEFAULT_BENCHMARKS = ["bench/bench_micro_kernel", "bench/bench_micro_simulator"]
+
+
+def git_commit() -> str:
+    try:
+        out = subprocess.run(
+            ["git", "rev-parse", "--short", "HEAD"],
+            cwd=REPO_ROOT, capture_output=True, text=True, check=True)
+        return out.stdout.strip()
+    except (subprocess.CalledProcessError, FileNotFoundError):
+        return "unknown"
+
+
+def run_benchmark(binary: pathlib.Path, min_time: str, bench_filter: str) -> dict:
+    cmd = [str(binary), "--benchmark_format=json"]
+    if min_time:
+        cmd.append(f"--benchmark_min_time={min_time}")
+    if bench_filter:
+        cmd.append(f"--benchmark_filter={bench_filter}")
+    print(f"running {' '.join(cmd)}", file=sys.stderr)
+    out = subprocess.run(cmd, capture_output=True, text=True, check=True)
+    report = json.loads(out.stdout)
+    results = {}
+    for bench in report.get("benchmarks", []):
+        # Skip aggregate rows (mean/median/stddev) if repetitions were used.
+        if bench.get("run_type") == "aggregate":
+            continue
+        if "items_per_second" in bench:
+            results[bench["name"]] = bench["items_per_second"]
+    return results
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--build-dir", default="build",
+                        help="CMake build directory holding bench binaries")
+    parser.add_argument("--label", required=True,
+                        help="entry label, e.g. 'before' or 'after-slab-kernel'")
+    parser.add_argument("--output", default=str(REPO_ROOT / "BENCH_kernel.json"),
+                        help="trajectory file to append to")
+    parser.add_argument("--benchmarks", nargs="*", default=DEFAULT_BENCHMARKS,
+                        help="bench binaries relative to the build dir")
+    parser.add_argument("--min-time", default="",
+                        help="forwarded as --benchmark_min_time in seconds (e.g. '0.01' for CI)")
+    parser.add_argument("--filter", default="",
+                        help="forwarded as --benchmark_filter")
+    parser.add_argument("--no-compare", action="store_true",
+                        help="skip the ratio table against the previous entry")
+    args = parser.parse_args()
+
+    build_dir = pathlib.Path(args.build_dir)
+    if not build_dir.is_absolute():
+        build_dir = REPO_ROOT / build_dir
+
+    results = {}
+    for rel in args.benchmarks:
+        binary = build_dir / rel
+        if not binary.exists():
+            print(f"error: benchmark binary not found: {binary}", file=sys.stderr)
+            return 1
+        results.update(run_benchmark(binary, args.min_time, args.filter))
+    if not results:
+        print("error: no benchmark results collected", file=sys.stderr)
+        return 1
+
+    output = pathlib.Path(args.output)
+    trajectory = []
+    if output.exists():
+        trajectory = json.loads(output.read_text())["entries"]
+
+    entry = {
+        "label": args.label,
+        "commit": git_commit(),
+        "date": datetime.datetime.now(datetime.timezone.utc)
+                .strftime("%Y-%m-%d"),
+        "results": results,
+    }
+    previous = trajectory[-1] if trajectory else None
+    trajectory = [e for e in trajectory if e["label"] != args.label]
+    trajectory.append(entry)
+    output.write_text(json.dumps({"entries": trajectory}, indent=2) + "\n")
+    print(f"recorded '{args.label}' ({len(results)} benchmarks) -> {output}",
+          file=sys.stderr)
+
+    if previous is not None and not args.no_compare:
+        print(f"\nitems/s vs previous entry '{previous['label']}':")
+        for name in sorted(results):
+            if name in previous["results"]:
+                ratio = results[name] / previous["results"][name]
+                print(f"  {name:45s} {results[name] / 1e6:8.2f}M  x{ratio:.2f}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

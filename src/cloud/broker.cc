@@ -30,23 +30,25 @@ void Broker::deliver_next() {
   if (!arrival) return;  // workload exhausted
   ensure(arrival->time >= now(), "Broker: source produced a past arrival");
   pending_arrival_ = *arrival;
+  sim().schedule_at(arrival->time,
+                    EventAction::method<&Broker::fire_arrival>(this));
+}
 
-  sim().schedule_at(arrival->time, [this] {
-    const Arrival a = pending_arrival_;
-    Request request;
-    request.id = next_request_id_++;
-    request.arrival_time = a.time;
-    request.service_demand = a.service_demand;
-    request.priority = a.priority;
-    request.deadline = a.deadline;
-    ++generated_;
-    if (record_rates_) {
-      flush_rate_window(a.time);
-      ++window_count_;
-    }
-    sink_.on_request(request);
-    deliver_next();
-  });
+void Broker::fire_arrival() {
+  const Arrival a = pending_arrival_;
+  Request request;
+  request.id = next_request_id_++;
+  request.arrival_time = a.time;
+  request.service_demand = a.service_demand;
+  request.priority = a.priority;
+  request.deadline = a.deadline;
+  ++generated_;
+  if (record_rates_) {
+    flush_rate_window(a.time);
+    ++window_count_;
+  }
+  sink_.on_request(request);
+  deliver_next();
 }
 
 }  // namespace cloudprov

@@ -43,6 +43,7 @@ class Broker final : public Entity {
 
  private:
   void deliver_next();
+  void fire_arrival();
   void flush_rate_window(SimTime arrival_time);
 
   RequestSource& source_;
@@ -50,9 +51,9 @@ class Broker final : public Entity {
   Rng rng_;
   std::uint64_t generated_ = 0;
   std::uint64_t next_request_id_ = 1;
-  // The one in-flight arrival, stored here so the scheduled closure captures
-  // only `this` (stays within std::function's small-buffer optimization; the
-  // web scenario schedules half a billion of these per replication).
+  // The one in-flight arrival, stored here so the scheduled event is a bare
+  // {target, method} inline delegate — no per-arrival allocation; the web
+  // scenario schedules half a billion of these per replication.
   Arrival pending_arrival_;
 
   // Rate-series recording.

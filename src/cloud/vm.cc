@@ -41,7 +41,7 @@ Vm::Vm(Simulation& sim, std::uint64_t id, VmSpec spec, SimTime boot_delay,
   ensure_arg(spec.speed > 0.0, "Vm: speed must be positive");
   ensure_arg(boot_delay >= 0.0, "Vm: boot delay must be >= 0");
   if (state_ == VmState::kBooting) {
-    sim.schedule_in(boot_delay, [this] { finish_boot(); });
+    sim.schedule_in(boot_delay, EventAction::method<&Vm::finish_boot>(this));
   }
 }
 
@@ -63,9 +63,9 @@ void Vm::submit(const Request& request) {
     if (priority_queueing_) {
       // Insert behind the last waiter of priority >= ours: non-preemptive
       // priority order, FIFO within a class.
-      auto position = waiting_.end();
-      while (position != waiting_.begin() &&
-             std::prev(position)->priority < request.priority) {
+      std::size_t position = waiting_.size();
+      while (position > 0 &&
+             waiting_[position - 1].priority < request.priority) {
         --position;
       }
       waiting_.insert(position, request);
@@ -84,7 +84,8 @@ void Vm::start_service(const Request& request) {
     telemetry_->request_service_start(now(), request.id, id_);
   }
   const double service_time = request.service_demand / spec_.speed;
-  completion_event_ = sim().schedule_in(service_time, [this] { finish_service(); });
+  completion_event_ = sim().schedule_in(
+      service_time, EventAction::method<&Vm::finish_service>(this));
 }
 
 void Vm::finish_service() {
@@ -144,7 +145,7 @@ std::vector<Request> Vm::fail(FaultCause cause) {
     lost.push_back(*in_service_);
     in_service_.reset();
   }
-  lost.insert(lost.end(), waiting_.begin(), waiting_.end());
+  for (std::size_t i = 0; i < waiting_.size(); ++i) lost.push_back(waiting_[i]);
   waiting_.clear();
   if (completion_event_ != kInvalidEventId) {
     sim().cancel(completion_event_);

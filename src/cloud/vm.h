@@ -12,13 +12,13 @@
 #pragma once
 
 #include <cstdint>
-#include <deque>
 #include <functional>
 #include <optional>
 #include <string>
 #include <vector>
 
 #include "sim/entity.h"
+#include "util/ring_buffer.h"
 #include "workload/request.h"
 
 namespace cloudprov {
@@ -160,7 +160,7 @@ class Vm final : public Entity {
   bool boot_fail_ = false;
 
   bool priority_queueing_ = false;
-  std::deque<Request> waiting_;
+  RingBuffer<Request> waiting_;
   std::optional<Request> in_service_;
   EventId completion_event_ = kInvalidEventId;
   SimTime service_started_ = 0.0;

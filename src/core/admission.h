@@ -35,6 +35,12 @@ class AdmissionPolicy {
   virtual bool admit(const Request& request, const Vm& candidate,
                      const PoolView& pool) const = 0;
 
+  /// Whether admit() reads the PoolView. Building the view is an O(pool)
+  /// scan per arrival, so the provisioner skips it for policies (like the
+  /// paper baseline) that decide per-candidate only. Defaults to true so
+  /// custom policies stay correct without opting in.
+  virtual bool needs_pool_view() const { return true; }
+
   virtual std::string name() const = 0;
 };
 
@@ -44,6 +50,7 @@ class KBoundAdmission final : public AdmissionPolicy {
   bool admit(const Request&, const Vm&, const PoolView&) const override {
     return true;
   }
+  bool needs_pool_view() const override { return false; }
   std::string name() const override { return "k-bound"; }
 };
 

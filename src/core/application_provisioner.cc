@@ -29,7 +29,15 @@ double ApplicationProvisioner::monitored_service_time() const {
 
 std::size_t ApplicationProvisioner::current_queue_bound() const {
   if (config_.fixed_queue_bound > 0) return config_.fixed_queue_bound;
-  return queue_bound(qos_.max_response_time, monitored_service_time());
+  // The adaptive bound only moves when the monitored mean moves, i.e. when a
+  // completion lands in service_stats_; memoize on the completion count so
+  // the per-arrival query costs two loads instead of two FP divisions.
+  const std::uint64_t completions = service_stats_.count();
+  if (completions != bound_cache_completions_) {
+    bound_cache_ = queue_bound(qos_.max_response_time, monitored_service_time());
+    bound_cache_completions_ = completions;
+  }
+  return bound_cache_;
 }
 
 double ApplicationProvisioner::rejection_rate() const {
@@ -56,19 +64,25 @@ PoolView ApplicationProvisioner::pool_view() const {
 Vm* ApplicationProvisioner::select_instance(const Request& request) {
   if (instances_.empty()) return nullptr;
   const std::size_t k = current_queue_bound();
-  const PoolView view = pool_view();
+  // The pool-wide view costs an O(n) scan per arrival; build it only for
+  // policies that read it (the paper's k-bound baseline does not).
+  PoolView view;
+  if (admission_->needs_pool_view()) view = pool_view();
   const std::size_t n = instances_.size();
   // Round-robin scan starting at the cursor; the first instance with a free
   // slot that admission accepts gets the request ("following a round-robin
-  // strategy", Section IV-C).
+  // strategy", Section IV-C). Wrap by comparison, not modulo: the scan runs
+  // per arrival and an integer division per step is measurable there.
+  std::size_t index = rr_cursor_ % n;
   for (std::size_t step = 0; step < n; ++step) {
-    const std::size_t index = (rr_cursor_ + step) % n;
     Vm* vm = instances_[index];
-    if (vm->state() != VmState::kRunning) continue;  // still booting
-    if (vm->load() >= k) continue;
-    if (!admission_->admit(request, *vm, view)) continue;
-    rr_cursor_ = (index + 1) % n;
-    return vm;
+    const std::size_t next = index + 1 == n ? 0 : index + 1;
+    if (vm->state() == VmState::kRunning && vm->load() < k &&
+        admission_->admit(request, *vm, view)) {
+      rr_cursor_ = next;
+      return vm;
+    }
+    index = next;
   }
   return nullptr;
 }

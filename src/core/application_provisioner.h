@@ -191,6 +191,12 @@ class ApplicationProvisioner final : public Entity,
   std::vector<Vm*> draining_;   ///< DRAINING, pending destruction
   std::size_t rr_cursor_ = 0;
 
+  /// Memo for the adaptive queue bound, keyed on the completion count (the
+  /// monitored mean — and therefore k — only changes when a completion is
+  /// recorded). The sentinel forces a compute on first use.
+  mutable std::size_t bound_cache_ = 0;
+  mutable std::uint64_t bound_cache_completions_ = UINT64_MAX;
+
   std::uint64_t accepted_ = 0;
   std::uint64_t rejected_ = 0;
   std::uint64_t qos_violations_ = 0;

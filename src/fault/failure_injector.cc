@@ -37,7 +37,8 @@ void FailureInjector::schedule_next() {
       live == 0 ? config_.idle_retry
                 : rng_.exponential(static_cast<double>(live) /
                                    config_.mtbf_per_instance);
-  pending_ = sim_.schedule_in(delay, [this] { fire(); });
+  pending_ = sim_.schedule_in(
+      delay, EventAction::method<&FailureInjector::fire>(this));
 }
 
 void FailureInjector::fire() {

@@ -37,7 +37,8 @@ void Reconciler::stop() {
 }
 
 void Reconciler::schedule(SimTime delay) {
-  pending_ = sim_.schedule_in(delay, [this] { tick(); });
+  pending_ = sim_.schedule_in(
+      delay, EventAction::method<&Reconciler::tick>(this));
 }
 
 void Reconciler::tick() {

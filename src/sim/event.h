@@ -1,35 +1,154 @@
-// Simulation events.
+// Simulation events: typed POD event bodies and the inline delegate that
+// dispatches them.
 //
-// An event is a (time, sequence, action) triple. Ties on time are broken by
-// the monotone sequence number, which makes the execution order — and
-// therefore the whole simulation — fully deterministic for a fixed seed.
+// The paper-scale web scenario pops ~1.5 billion events per replication, so
+// the event representation is built for the hot path:
+//
+//  - EventAction is a fixed-size inline delegate: a plain function pointer
+//    plus 16 bytes of inline storage for the callable's captures (typically
+//    a target-entity pointer and a small payload). Scheduling a small,
+//    trivially-copyable callable performs no heap allocation and dispatch is
+//    a single indirect call — no std::function, no type-erased virtual call.
+//  - Callables that don't fit (large captures, non-trivial types) take the
+//    rare-path escape hatch: the callable is boxed on the heap and a destroy
+//    hook is recorded so cancelled events release it. Model code on the
+//    steady-state serve path (arrivals, completions, periodic controls)
+//    captures at most two pointers/doubles and always stays inline.
+//  - Ties on time are broken by a monotone per-push sequence number held in
+//    the queue's heap entries, which makes execution order — and therefore
+//    the whole simulation — fully deterministic for a fixed seed.
 #pragma once
 
+#include <cstddef>
 #include <cstdint>
-#include <functional>
+#include <cstring>
+#include <new>
+#include <type_traits>
 #include <utility>
 
 #include "util/units.h"
 
 namespace cloudprov {
 
-/// Stable identifier for a scheduled event; used for cancellation.
+/// Stable identifier for a scheduled event; used for cancellation. Encodes
+/// the event's slab slot (low 32 bits) and the slot's generation at push
+/// time (high 32 bits), so a stale handle — already executed, already
+/// cancelled, or from a reused slot — is rejected in O(1) without hashing.
 using EventId = std::uint64_t;
 
-/// Sentinel returned when no event handle is needed.
+/// Sentinel returned when no event handle is needed. Generations start at 1,
+/// so no live event ever packs to 0.
 inline constexpr EventId kInvalidEventId = 0;
 
-/// Deferred action executed when the simulation clock reaches `time`.
+/// Fixed-size inline delegate: the deferred action executed when the
+/// simulation clock reaches the event's time.
+///
+/// Move-only and self-cleaning: inline callables are trivially discarded,
+/// boxed ones are deleted by reset()/the destructor, so cancelled events
+/// never leak their payload.
+class EventAction {
+ public:
+  /// Inline capture budget: a target-entity pointer plus one pointer-sized
+  /// payload word (or two doubles). Chosen so every steady-state serve-path
+  /// event fits without allocation.
+  static constexpr std::size_t kInlineCapacity = 16;
+
+  EventAction() = default;
+  EventAction(EventAction&& other) noexcept
+      : invoke_(other.invoke_), destroy_(other.destroy_) {
+    std::memcpy(storage_, other.storage_, kInlineCapacity);
+    other.invoke_ = nullptr;
+    other.destroy_ = nullptr;
+  }
+  EventAction& operator=(EventAction&& other) noexcept {
+    if (this != &other) {
+      reset();
+      invoke_ = other.invoke_;
+      destroy_ = other.destroy_;
+      std::memcpy(storage_, other.storage_, kInlineCapacity);
+      other.invoke_ = nullptr;
+      other.destroy_ = nullptr;
+    }
+    return *this;
+  }
+  EventAction(const EventAction&) = delete;
+  EventAction& operator=(const EventAction&) = delete;
+  ~EventAction() { reset(); }
+
+  /// True when a callable fits the inline fast path.
+  template <typename D>
+  static constexpr bool fits_inline =
+      sizeof(D) <= kInlineCapacity && alignof(D) <= alignof(void*) &&
+      std::is_trivially_copyable_v<D> && std::is_trivially_destructible_v<D>;
+
+  /// Wraps any callable. Small trivially-copyable callables are stored
+  /// inline (zero allocation); anything else is boxed on the heap — the
+  /// rare-path escape hatch for genuinely capturing closures.
+  template <typename F>
+  static EventAction make(F&& f) {
+    using D = std::decay_t<F>;
+    EventAction action;
+    if constexpr (fits_inline<D>) {
+      ::new (static_cast<void*>(action.storage_)) D(std::forward<F>(f));
+      action.invoke_ = [](void* storage) {
+        (*std::launder(reinterpret_cast<D*>(storage)))();
+      };
+    } else {
+      D* boxed = new D(std::forward<F>(f));
+      std::memcpy(action.storage_, &boxed, sizeof(boxed));
+      action.invoke_ = [](void* storage) {
+        D* callable;
+        std::memcpy(&callable, storage, sizeof(callable));
+        (*callable)();
+      };
+      action.destroy_ = [](void* storage) {
+        D* callable;
+        std::memcpy(&callable, storage, sizeof(callable));
+        delete callable;
+      };
+    }
+    return action;
+  }
+
+  /// Binds a member function on a target entity: the typed
+  /// {target, method} form of an event, e.g.
+  /// `EventAction::method<&Vm::finish_service>(this)`. Always inline.
+  template <auto Method, typename T>
+  static EventAction method(T* target) {
+    return make([target] { (target->*Method)(); });
+  }
+
+  /// Invokes the callable. Precondition: valid (not moved-from/reset).
+  void operator()() { invoke_(storage_); }
+
+  explicit operator bool() const { return invoke_ != nullptr; }
+
+  /// True when this action took the boxed (heap) escape hatch.
+  bool is_boxed() const { return destroy_ != nullptr; }
+
+  /// Releases a boxed payload (no-op for inline actions) and empties.
+  void reset() {
+    if (destroy_ != nullptr) destroy_(storage_);
+    invoke_ = nullptr;
+    destroy_ = nullptr;
+  }
+
+ private:
+  using InvokeFn = void (*)(void* storage);
+  using DestroyFn = void (*)(void* storage);
+
+  InvokeFn invoke_ = nullptr;
+  DestroyFn destroy_ = nullptr;  // non-null only for boxed actions
+  alignas(void*) unsigned char storage_[kInlineCapacity];
+};
+
+/// A popped event: execution time, the handle it was scheduled under, and
+/// the action to run. Returned by EventQueue::pop(); never stored in the
+/// heap (the heap holds 24-byte POD entries, see event_queue.h).
 struct Event {
   SimTime time = 0.0;
   EventId id = kInvalidEventId;
-  std::function<void()> action;
-
-  /// Min-heap order: earliest time first, FIFO among equal times.
-  friend bool operator>(const Event& a, const Event& b) {
-    if (a.time != b.time) return a.time > b.time;
-    return a.id > b.id;
-  }
+  EventAction action;
 };
 
 }  // namespace cloudprov

@@ -1,79 +1,157 @@
 #include "sim/event_queue.h"
 
-#include <utility>
+#include <algorithm>
 
 #include "util/check.h"
 
 namespace cloudprov {
 
-EventId EventQueue::push(SimTime time, std::function<void()> action) {
-  const EventId id = next_id_++;
-  heap_.push_back(Event{time, id, std::move(action)});
-  sift_up(heap_.size() - 1);
-  return id;
+std::uint32_t EventQueue::acquire_slot() {
+  if (free_head_ != kNoSlot) {
+    const std::uint32_t slot = free_head_;
+    free_head_ = slots_[slot].next_free;
+    slots_[slot].next_free = kNoSlot;
+    return slot;
+  }
+  ensure(slots_.size() < kNoSlot, "EventQueue: slab exhausted");
+  slots_.emplace_back();
+  return static_cast<std::uint32_t>(slots_.size() - 1);
 }
 
-void EventQueue::drop_cancelled_top() {
-  while (!heap_.empty() && cancelled_.contains(heap_.front().id)) {
-    cancelled_.erase(heap_.front().id);
-    heap_.front() = std::move(heap_.back());
-    heap_.pop_back();
-    if (!heap_.empty()) sift_down(0);
+void EventQueue::release_slot(std::uint32_t slot) {
+  Slot& s = slots_[slot];
+  ++s.gen;
+  if (s.gen == 0) s.gen = 1;  // generation 0 is reserved for kInvalidEventId
+  s.next_free = free_head_;
+  free_head_ = slot;
+}
+
+EventId EventQueue::push(SimTime time, EventAction action) {
+  const std::uint32_t slot = acquire_slot();
+  Slot& s = slots_[slot];
+  if (action.is_boxed()) ++boxed_pushed_;
+  s.action = std::move(action);
+  heap_.push_back(HeapEntry{time, ++pushed_, slot, s.gen});
+  sift_up(heap_.size() - 1);
+  ++live_;
+  return pack(slot, s.gen);
+}
+
+void EventQueue::drop_dead_tops() {
+  while (!heap_.empty() &&
+         slots_[heap_.front().slot].gen != heap_.front().gen) {
+    pop_top();
   }
 }
 
 Event EventQueue::pop() {
-  drop_cancelled_top();
+  drop_dead_tops();
   ensure(!heap_.empty(), "pop() on empty event queue");
-  Event top = std::move(heap_.front());
-  heap_.front() = std::move(heap_.back());
-  heap_.pop_back();
-  if (!heap_.empty()) sift_down(0);
-  return top;
+  const HeapEntry top = heap_.front();
+  Event event;
+  event.time = top.time;
+  event.id = pack(top.slot, top.gen);
+  event.action = std::move(slots_[top.slot].action);
+  release_slot(top.slot);
+  --live_;
+  pop_top();
+  return event;
+}
+
+bool EventQueue::pop_due(SimTime until, SimTime& time_out,
+                         EventAction& action_out) {
+  drop_dead_tops();
+  if (heap_.empty() || heap_.front().time > until) return false;
+  const HeapEntry top = heap_.front();
+  time_out = top.time;
+  action_out = std::move(slots_[top.slot].action);
+  release_slot(top.slot);
+  --live_;
+  pop_top();
+  return true;
 }
 
 void EventQueue::cancel(EventId id) {
   if (id == kInvalidEventId) return;
-  cancelled_.insert(id);
-}
-
-bool EventQueue::empty() {
-  drop_cancelled_top();
-  return heap_.empty();
+  const auto slot = static_cast<std::uint32_t>(id & 0xffffffffu);
+  const auto gen = static_cast<std::uint32_t>(id >> 32);
+  if (slot >= slots_.size()) return;   // never issued
+  if (slots_[slot].gen != gen) return;  // already executed/cancelled: no-op
+  slots_[slot].action.reset();
+  release_slot(slot);
+  --live_;
+  // The heap entry stays behind as a stale record; drop_dead_tops() discards
+  // it in O(1) when it surfaces. Under cancel-heavy workloads stale records
+  // can outnumber live ones before surfacing — compact when they dominate so
+  // heap memory stays O(live).
+  if (heap_.size() >= 64 && live_ < heap_.size() / 2) compact();
 }
 
 SimTime EventQueue::next_time() {
-  drop_cancelled_top();
+  drop_dead_tops();
   ensure(!heap_.empty(), "next_time() on empty event queue");
   return heap_.front().time;
 }
 
 void EventQueue::clear() {
+  for (const HeapEntry& entry : heap_) {
+    Slot& s = slots_[entry.slot];
+    if (s.gen == entry.gen) {  // live event: release its body
+      s.action.reset();
+      release_slot(entry.slot);
+    }
+  }
   heap_.clear();
-  cancelled_.clear();
+  live_ = 0;
+}
+
+void EventQueue::compact() {
+  // Keep only entries whose generation still matches their slot, then
+  // re-heapify. Pop order is unaffected: (time, seq) is a strict total order,
+  // so the extraction sequence is independent of the heap's internal layout.
+  std::size_t keep = 0;
+  for (const HeapEntry& entry : heap_) {
+    if (slots_[entry.slot].gen == entry.gen) heap_[keep++] = entry;
+  }
+  heap_.resize(keep);
+  if (keep > 1) {
+    for (std::size_t i = (keep - 2) / 4 + 1; i-- > 0;) sift_down(i);
+  }
+}
+
+void EventQueue::pop_top() {
+  heap_.front() = heap_.back();
+  heap_.pop_back();
+  if (!heap_.empty()) sift_down(0);
 }
 
 void EventQueue::sift_up(std::size_t index) {
+  const HeapEntry entry = heap_[index];
   while (index > 0) {
-    const std::size_t parent = (index - 1) / 2;
-    if (!(heap_[parent] > heap_[index])) break;
-    std::swap(heap_[parent], heap_[index]);
+    const std::size_t parent = (index - 1) / 4;
+    if (!earlier(entry, heap_[parent])) break;
+    heap_[index] = heap_[parent];
     index = parent;
   }
+  heap_[index] = entry;
 }
 
 void EventQueue::sift_down(std::size_t index) {
   const std::size_t n = heap_.size();
+  const HeapEntry entry = heap_[index];
   for (;;) {
-    const std::size_t left = 2 * index + 1;
-    if (left >= n) return;
-    std::size_t smallest = left;
-    const std::size_t right = left + 1;
-    if (right < n && heap_[left] > heap_[right]) smallest = right;
-    if (!(heap_[index] > heap_[smallest])) return;
-    std::swap(heap_[index], heap_[smallest]);
-    index = smallest;
+    const std::size_t first = 4 * index + 1;
+    if (first >= n) break;
+    const std::size_t last = std::min(first + 4, n);
+    std::size_t best = first;
+    for (std::size_t child = first + 1; child < last; ++child) {
+      if (earlier(heap_[child], heap_[best])) best = child;
+    }
+    if (!earlier(heap_[best], entry)) break;
+    heap_[index] = heap_[best];
+    index = best;
   }
+  heap_[index] = entry;
 }
 
 }  // namespace cloudprov

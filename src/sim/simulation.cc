@@ -7,12 +7,12 @@
 
 namespace cloudprov {
 
-EventId Simulation::schedule_at(SimTime time, std::function<void()> action) {
+EventId Simulation::schedule_at(SimTime time, EventAction action) {
   ensure_arg(time >= now_, "schedule_at: cannot schedule in the past");
   return queue_.push(time, std::move(action));
 }
 
-EventId Simulation::schedule_in(SimTime delay, std::function<void()> action) {
+EventId Simulation::schedule_in(SimTime delay, EventAction action) {
   ensure_arg(delay >= 0.0, "schedule_in: negative delay");
   return queue_.push(now_ + delay, std::move(action));
 }
@@ -20,10 +20,14 @@ EventId Simulation::schedule_in(SimTime delay, std::function<void()> action) {
 std::uint64_t Simulation::run(SimTime until) {
   stop_requested_ = false;
   std::uint64_t count = 0;
-  while (!stop_requested_ && !queue_.empty() && queue_.next_time() <= until) {
-    Event event = queue_.pop();
-    now_ = event.time;
-    event.action();
+  SimTime time = 0.0;
+  EventAction action;
+  // Single-scan dispatch: pop_due() combines the empty / next_time / pop
+  // checks, so each event costs one heap pop plus one indirect call.
+  while (!stop_requested_ && queue_.pop_due(until, time, action)) {
+    now_ = time;
+    action();
+    action.reset();
     ++executed_;
     ++count;
     if (telemetry_ != nullptr && executed_ % sample_stride_ == 0) {
@@ -47,10 +51,13 @@ void Simulation::set_telemetry(Telemetry* telemetry,
 }
 
 bool Simulation::step() {
-  if (queue_.empty()) return false;
-  Event event = queue_.pop();
-  now_ = event.time;
-  event.action();
+  SimTime time = 0.0;
+  EventAction action;
+  if (!queue_.pop_due(std::numeric_limits<SimTime>::infinity(), time, action)) {
+    return false;
+  }
+  now_ = time;
+  action();
   ++executed_;
   return true;
 }
@@ -59,7 +66,8 @@ PeriodicProcess::PeriodicProcess(Simulation& sim, SimTime first_time,
                                  SimTime period, std::function<void(SimTime)> action)
     : sim_(sim), period_(period), action_(std::move(action)) {
   ensure_arg(period > 0.0, "PeriodicProcess: period must be positive");
-  pending_ = sim_.schedule_at(first_time, [this] { fire(sim_.now()); });
+  pending_ = sim_.schedule_at(first_time,
+                              EventAction::method<&PeriodicProcess::fire>(this));
 }
 
 void PeriodicProcess::stop() {
@@ -69,10 +77,11 @@ void PeriodicProcess::stop() {
   pending_ = kInvalidEventId;
 }
 
-void PeriodicProcess::fire(SimTime time) {
+void PeriodicProcess::fire() {
   if (!running_) return;
-  pending_ = sim_.schedule_in(period_, [this] { fire(sim_.now()); });
-  action_(time);
+  pending_ = sim_.schedule_in(period_,
+                              EventAction::method<&PeriodicProcess::fire>(this));
+  action_(sim_.now());
 }
 
 }  // namespace cloudprov

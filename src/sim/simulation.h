@@ -2,13 +2,17 @@
 //
 // The C++ substrate standing in for CloudSim (which the paper's evaluation
 // used): a clock, a deterministic pending-event set, and scheduling helpers.
-// Model code (hosts, VMs, provisioners, workload sources) schedules closures;
-// the engine executes them in nondecreasing time order.
+// Model code (hosts, VMs, provisioners, workload sources) schedules typed
+// EventActions — small callables dispatched through the kernel's inline
+// delegate with no per-event heap allocation; the engine executes them in
+// nondecreasing time order (FIFO among equal times).
 #pragma once
 
 #include <cstdint>
 #include <functional>
 #include <limits>
+#include <type_traits>
+#include <utility>
 
 #include "sim/event_queue.h"
 #include "util/units.h"
@@ -27,10 +31,24 @@ class Simulation {
   SimTime now() const { return now_; }
 
   /// Schedules `action` at absolute simulated time `time` (>= now()).
-  EventId schedule_at(SimTime time, std::function<void()> action);
+  EventId schedule_at(SimTime time, EventAction action);
 
   /// Schedules `action` after `delay` seconds (>= 0).
-  EventId schedule_in(SimTime delay, std::function<void()> action);
+  EventId schedule_in(SimTime delay, EventAction action);
+
+  /// Convenience overloads: wrap any callable in an EventAction (inline —
+  /// zero-allocation — when it is small and trivially copyable, boxed on
+  /// the heap otherwise).
+  template <typename F>
+    requires(!std::is_same_v<std::remove_cvref_t<F>, EventAction>)
+  EventId schedule_at(SimTime time, F&& f) {
+    return schedule_at(time, EventAction::make(std::forward<F>(f)));
+  }
+  template <typename F>
+    requires(!std::is_same_v<std::remove_cvref_t<F>, EventAction>)
+  EventId schedule_in(SimTime delay, F&& f) {
+    return schedule_in(delay, EventAction::make(std::forward<F>(f)));
+  }
 
   void cancel(EventId id) { queue_.cancel(id); }
 
@@ -80,7 +98,7 @@ class PeriodicProcess {
   bool running() const { return running_; }
 
  private:
-  void fire(SimTime time);
+  void fire();
 
   Simulation& sim_;
   SimTime period_;

@@ -1,0 +1,90 @@
+// Fixed-capacity-reusing FIFO ring.
+//
+// std::deque allocates and frees ~512-byte blocks as elements migrate
+// across block boundaries, which puts one allocation every few requests on
+// the simulator's steady-state serve path (VM waiting lines). RingBuffer
+// grows geometrically like vector but never releases capacity, so after
+// warm-up a push/pop cycle touches no allocator at all.
+//
+// Supports the three waiting-line operations the VM needs: push_back
+// (FIFO), pop_front, and insert-at-index (non-preemptive priority order,
+// the Section VII extension). Indexing is front-relative: [0] is the next
+// element to pop.
+#pragma once
+
+#include <cstddef>
+#include <utility>
+#include <vector>
+
+#include "util/check.h"
+
+namespace cloudprov {
+
+template <typename T>
+class RingBuffer {
+ public:
+  std::size_t size() const { return size_; }
+  bool empty() const { return size_ == 0; }
+
+  T& operator[](std::size_t index) {
+    return storage_[wrap(head_ + index)];
+  }
+  const T& operator[](std::size_t index) const {
+    return storage_[wrap(head_ + index)];
+  }
+
+  T& front() { return (*this)[0]; }
+  const T& front() const { return (*this)[0]; }
+
+  void push_back(T value) {
+    reserve_for_one();
+    storage_[wrap(head_ + size_)] = std::move(value);
+    ++size_;
+  }
+
+  void pop_front() {
+    ensure(size_ > 0, "RingBuffer::pop_front on empty ring");
+    head_ = wrap(head_ + 1);
+    --size_;
+  }
+
+  /// Inserts before front-relative position `index` (0 = new front,
+  /// size() = push_back). Shifts the tail right; O(size - index).
+  void insert(std::size_t index, T value) {
+    ensure_arg(index <= size_, "RingBuffer::insert: index out of range");
+    reserve_for_one();
+    for (std::size_t i = size_; i > index; --i) {
+      storage_[wrap(head_ + i)] = std::move(storage_[wrap(head_ + i - 1)]);
+    }
+    storage_[wrap(head_ + index)] = std::move(value);
+    ++size_;
+  }
+
+  void clear() {
+    head_ = 0;
+    size_ = 0;
+  }
+
+ private:
+  std::size_t wrap(std::size_t index) const {
+    // Capacity is a power of two, so wrapping is a mask.
+    return index & (storage_.size() - 1);
+  }
+
+  void reserve_for_one() {
+    if (size_ < storage_.size()) return;
+    const std::size_t capacity = storage_.empty() ? 8 : storage_.size() * 2;
+    std::vector<T> grown(capacity);
+    for (std::size_t i = 0; i < size_; ++i) {
+      grown[i] = std::move((*this)[i]);
+    }
+    storage_ = std::move(grown);
+    head_ = 0;
+  }
+
+  std::vector<T> storage_;
+  std::size_t head_ = 0;
+  std::size_t size_ = 0;
+};
+
+}  // namespace cloudprov

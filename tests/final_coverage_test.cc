@@ -44,12 +44,17 @@ TEST(TimeWeightedEdge, SameTimeUpdatesKeepLastValue) {
   EXPECT_EQ(v.max(), 3.0);
 }
 
-TEST(EventQueueEdge, IdsStayMonotoneAcrossCancels) {
+TEST(EventQueueEdge, CancelledIdsAreNeverRevalidatedByReuse) {
   EventQueue queue;
   const EventId a = queue.push(1.0, [] {});
   queue.cancel(a);
+  // The replacement may reuse a's slab slot, but its bumped generation makes
+  // the handle distinct — the stale handle can never alias the new event.
   const EventId b = queue.push(1.0, [] {});
-  EXPECT_GT(b, a);  // cancelled ids are never reused
+  EXPECT_NE(b, a);
+  queue.cancel(a);  // stale: must be a no-op on b
+  EXPECT_EQ(queue.size(), 1u);
+  EXPECT_EQ(queue.pop().id, b);
 }
 
 TEST(CsvEdge, IntegerFormatAndQuotedOnlyField) {

@@ -1,0 +1,180 @@
+// Fixed-seed golden cross-check for the event-kernel rewrite.
+//
+// Every literal below was captured from the pre-rewrite kernel (type-erased
+// std::function payloads in a binary std::priority_queue) running the same
+// two scenario smokes. The slab/typed-delegate kernel must reproduce them
+// bit-for-bit: integers with ==, doubles with exact equality via hexfloat
+// literals, and the full span CSV through an FNV-1a hash of the byte stream.
+// A mismatch here means the kernel changed observable behavior — event
+// ordering, RNG draw sequence, or telemetry sampling — not just performance.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <sstream>
+#include <string>
+
+#include "experiment/runner.h"
+#include "experiment/scenario.h"
+#include "telemetry/export.h"
+
+namespace cloudprov {
+namespace {
+
+std::uint64_t fnv1a(const std::string& bytes) {
+  std::uint64_t hash = 1469598103934665603ULL;
+  for (const unsigned char c : bytes) {
+    hash ^= c;
+    hash *= 1099511628211ULL;
+  }
+  return hash;
+}
+
+/// Golden copy of every deterministic RunMetrics field (wall_seconds is the
+/// only field excluded: it measures the host, not the simulation).
+struct GoldenMetrics {
+  std::uint64_t generated, accepted, rejected, completed, qos_violations;
+  double avg_response_time, std_response_time;
+  double p95_response_time, p99_response_time;
+  double min_instances, max_instances, avg_instances;
+  double vm_hours, busy_vm_hours, utilization, rejection_rate;
+  std::uint64_t instance_failures, vm_crashes, host_crashes, boot_failures,
+      boot_timeouts;
+  std::uint64_t lost_requests, lost_to_vm_crashes, lost_to_host_crashes;
+  double availability;
+  std::uint64_t recoveries;
+  double mttr_mean, mttr_max;
+  std::uint64_t reconciler_heals, reconciler_retries, reconciler_aborts,
+      final_instances;
+  std::uint64_t slo_response_alerts, slo_rejection_alerts;
+  double slo_worst_burn_rate;
+  std::uint64_t drift_windows;
+  double drift_response_mape, drift_response_bias;
+  std::uint64_t spans_traced;
+  std::uint64_t simulated_events;
+};
+
+#define EXPECT_FIELD_EQ(field) EXPECT_EQ(m.field, g.field) << #field
+
+void expect_bit_identical(const RunMetrics& m, const GoldenMetrics& g) {
+  EXPECT_FIELD_EQ(generated);
+  EXPECT_FIELD_EQ(accepted);
+  EXPECT_FIELD_EQ(rejected);
+  EXPECT_FIELD_EQ(completed);
+  EXPECT_FIELD_EQ(qos_violations);
+  EXPECT_FIELD_EQ(avg_response_time);
+  EXPECT_FIELD_EQ(std_response_time);
+  EXPECT_FIELD_EQ(p95_response_time);
+  EXPECT_FIELD_EQ(p99_response_time);
+  EXPECT_FIELD_EQ(min_instances);
+  EXPECT_FIELD_EQ(max_instances);
+  EXPECT_FIELD_EQ(avg_instances);
+  EXPECT_FIELD_EQ(vm_hours);
+  EXPECT_FIELD_EQ(busy_vm_hours);
+  EXPECT_FIELD_EQ(utilization);
+  EXPECT_FIELD_EQ(rejection_rate);
+  EXPECT_FIELD_EQ(instance_failures);
+  EXPECT_FIELD_EQ(vm_crashes);
+  EXPECT_FIELD_EQ(host_crashes);
+  EXPECT_FIELD_EQ(boot_failures);
+  EXPECT_FIELD_EQ(boot_timeouts);
+  EXPECT_FIELD_EQ(lost_requests);
+  EXPECT_FIELD_EQ(lost_to_vm_crashes);
+  EXPECT_FIELD_EQ(lost_to_host_crashes);
+  EXPECT_FIELD_EQ(availability);
+  EXPECT_FIELD_EQ(recoveries);
+  EXPECT_FIELD_EQ(mttr_mean);
+  EXPECT_FIELD_EQ(mttr_max);
+  EXPECT_FIELD_EQ(reconciler_heals);
+  EXPECT_FIELD_EQ(reconciler_retries);
+  EXPECT_FIELD_EQ(reconciler_aborts);
+  EXPECT_FIELD_EQ(final_instances);
+  EXPECT_FIELD_EQ(slo_response_alerts);
+  EXPECT_FIELD_EQ(slo_rejection_alerts);
+  EXPECT_FIELD_EQ(slo_worst_burn_rate);
+  EXPECT_FIELD_EQ(drift_windows);
+  EXPECT_FIELD_EQ(drift_response_mape);
+  EXPECT_FIELD_EQ(drift_response_bias);
+  EXPECT_FIELD_EQ(spans_traced);
+  EXPECT_FIELD_EQ(simulated_events);
+}
+
+#undef EXPECT_FIELD_EQ
+
+// Figure 5 smoke with full telemetry: web workload at scale 0.01, one day,
+// adaptive policy, seed 42, every request traced. Captured 2026-08 from the
+// pre-rewrite kernel.
+TEST(KernelGolden, Fig5SmokeWithTelemetryIsBitIdentical) {
+  ScenarioConfig config = web_scenario(0.01);
+  config.horizon = 86400.0;
+  config.web.horizon = config.horizon;
+  TelemetryOptions opts;
+  opts.span_sample_rate = 1.0;
+  opts.drift_enabled = true;
+  opts.drift.qos_max_response_time = config.qos.max_response_time;
+  opts.slo_enabled = true;
+  opts.slo.log_alerts = false;
+  const RunOutput out = run_scenario(config, PolicySpec::adaptive(), 42, opts);
+
+  GoldenMetrics g{};
+  g.generated=707184; g.accepted=676603; g.rejected=30581; g.completed=676603; g.qos_violations=0;
+  g.avg_response_time=0x1.e89d23e44bea6p-4; g.std_response_time=0x1.bd98ac964c12fp-6;
+  g.p95_response_time=0x1.88639ec3041d5p-3; g.p99_response_time=0x1.a815581ff9e3p-3;
+  g.min_instances=0x1p+0; g.max_instances=0x1p+1; g.avg_instances=0x1.cad82d82d82d8p+0;
+  g.vm_hours=0x1.5822222222222p+5; g.busy_vm_hours=0x1.3bbff6c5920b7p+4; g.utilization=0x1.d5c56d2983e2ap-2; g.rejection_rate=0x1.623fdcc8e3a5fp-5;
+  g.instance_failures=0; g.vm_crashes=0; g.host_crashes=0; g.boot_failures=0; g.boot_timeouts=0;
+  g.lost_requests=0; g.lost_to_vm_crashes=0; g.lost_to_host_crashes=0;
+  g.availability=0x1p+0; g.recoveries=0; g.mttr_mean=0x0p+0; g.mttr_max=0x0p+0;
+  g.reconciler_heals=0; g.reconciler_retries=0; g.reconciler_aborts=0; g.final_instances=2;
+  g.slo_response_alerts=0; g.slo_rejection_alerts=4; g.slo_worst_burn_rate=0x1.7f84aa656d227p+4;
+  g.drift_windows=1440; g.drift_response_mape=0x1.0fec0be5c6417p+4; g.drift_response_bias=0x1.46dbc50b9b7e1p-6; g.spans_traced=707184;
+  g.simulated_events=1385227;
+  expect_bit_identical(out.metrics, g);
+
+  // The span trace pins per-request timing end to end: one flipped bit in
+  // any arrival, admission, or completion timestamp changes the hash.
+  ASSERT_NE(out.telemetry, nullptr);
+  std::ostringstream csv;
+  write_span_csv(csv, *out.telemetry->spans());
+  const std::string bytes = csv.str();
+  EXPECT_EQ(bytes.size(), 14729937u);
+  EXPECT_EQ(fnv1a(bytes), 0xbdf90a2e3fd773c6ULL);
+}
+
+// Fault-ablation smoke: same workload with stochastic VM/host crashes, boot
+// faults, degradations, an allocation outage, a scripted host crash, and the
+// reconciler — covers the cancellation path (completion events of failed
+// VMs) and every boxed-closure scheduler. Seed 7, telemetry off.
+TEST(KernelGolden, FaultAblationSmokeIsBitIdentical) {
+  ScenarioConfig config = web_scenario(0.01);
+  config.horizon = 86400.0;
+  config.web.horizon = config.horizon;
+  config.fault.vm_mtbf = 4.0 * 3600.0;
+  config.fault.host_mtbf = 12.0 * 3600.0;
+  config.fault.boot_fail_prob = 0.1;
+  config.fault.straggler_prob = 0.1;
+  config.fault.degraded_mtbf = 2.0 * 3600.0;
+  config.fault.outages.push_back({30000.0, 32000.0});
+  config.fault.scripted.push_back({ScriptedFault::Kind::kHostCrash, 40000.0, 1});
+  config.boot_timeout = 300.0;
+  config.reconciler.enabled = true;
+  config.reconciler.interval = 60.0;
+  const RunOutput out = run_scenario(config, PolicySpec::adaptive(), 7);
+
+  GoldenMetrics g{};
+  g.generated=706949; g.accepted=677908; g.rejected=29041; g.completed=677905; g.qos_violations=6275;
+  g.avg_response_time=0x1.02a3b4dc745a5p-3; g.std_response_time=0x1.9e2e88e3b5937p-5;
+  g.p95_response_time=0x1.bcaf0485fe111p-3; g.p99_response_time=0x1.374210281e37dp-2;
+  g.min_instances=0x1p+0; g.max_instances=0x1p+2; g.avg_instances=0x1.a5b8ec3682487p+1;
+  g.vm_hours=0x1.3c4ab128e1b65p+6; g.busy_vm_hours=0x1.77bbb3dbb66e1p+4; g.utilization=0x1.301c553cb1bcbp-2; g.rejection_rate=0x1.50859ffee0405p-5;
+  g.instance_failures=13; g.vm_crashes=9; g.host_crashes=1; g.boot_failures=3; g.boot_timeouts=0;
+  g.lost_requests=3; g.lost_to_vm_crashes=3; g.lost_to_host_crashes=0;
+  g.availability=0x1.fcef11901482bp-1; g.recoveries=13; g.mttr_mean=0x1.3e681b3f10876p+5; g.mttr_max=0x1.ep+5;
+  g.reconciler_heals=0; g.reconciler_retries=0; g.reconciler_aborts=0; g.final_instances=2;
+  g.slo_response_alerts=0; g.slo_rejection_alerts=0; g.slo_worst_burn_rate=0x0p+0;
+  g.drift_windows=0; g.drift_response_mape=0x0p+0; g.drift_response_bias=0x0p+0; g.spans_traced=0;
+  g.simulated_events=1387838;
+  expect_bit_identical(out.metrics, g);
+}
+
+}  // namespace
+}  // namespace cloudprov
