@@ -11,6 +11,15 @@ Usage:
     python3 bench/record_bench.py --build-dir build --label after-slab-kernel
     python3 bench/record_bench.py --label ci-smoke --min-time 0.01 \
         --output /tmp/bench_check.json --no-compare
+    python3 bench/record_bench.py --check --min-time 0.01
+
+With --check the script becomes a regression gate instead of a recorder: it
+runs the benchmarks, compares items/s against the stored baseline entry in
+BENCH_kernel.json (the newest entry, or the one named by --baseline-label),
+and exits non-zero when any shared benchmark regresses by more than
+--tolerance (default 15%). The trajectory file is never modified in this
+mode. Benchmarks present on only one side are reported but never fail the
+gate, so adding a new benchmark does not require re-recording first.
 
 Exit status is non-zero when a benchmark binary is missing or fails, so CI
 can use this script as a smoke test for the perf tooling itself.
@@ -44,7 +53,13 @@ def run_benchmark(binary: pathlib.Path, min_time: str, bench_filter: str) -> dic
         cmd.append(f"--benchmark_filter={bench_filter}")
     print(f"running {' '.join(cmd)}", file=sys.stderr)
     out = subprocess.run(cmd, capture_output=True, text=True, check=True)
-    report = json.loads(out.stdout)
+    try:
+        report = json.loads(out.stdout)
+    except json.JSONDecodeError:
+        # google-benchmark exits 0 with non-JSON output when --benchmark_filter
+        # matches nothing in this binary; treat that as an empty result set.
+        print(f"warning: no parsable output from {binary.name}", file=sys.stderr)
+        return {}
     results = {}
     for bench in report.get("benchmarks", []):
         # Skip aggregate rows (mean/median/stddev) if repetitions were used.
@@ -55,14 +70,65 @@ def run_benchmark(binary: pathlib.Path, min_time: str, bench_filter: str) -> dic
     return results
 
 
+def check_against_baseline(results: dict, trajectory: list,
+                           baseline_label: str, tolerance: float) -> int:
+    """Compare a fresh run against a stored entry; 1 on regression, else 0."""
+    if baseline_label:
+        matches = [e for e in trajectory if e["label"] == baseline_label]
+        if not matches:
+            print(f"error: no baseline entry labelled '{baseline_label}'",
+                  file=sys.stderr)
+            return 1
+        baseline = matches[-1]
+    else:
+        if not trajectory:
+            print("error: baseline trajectory file has no entries",
+                  file=sys.stderr)
+            return 1
+        baseline = trajectory[-1]
+
+    shared = sorted(set(results) & set(baseline["results"]))
+    if not shared:
+        print("error: no benchmarks in common with the baseline",
+              file=sys.stderr)
+        return 1
+
+    print(f"checking {len(shared)} benchmarks against baseline "
+          f"'{baseline['label']}' (commit {baseline['commit']}, "
+          f"tolerance {tolerance:.0%}):")
+    regressions = []
+    for name in shared:
+        base = baseline["results"][name]
+        ratio = results[name] / base
+        flag = ""
+        if ratio < 1.0 - tolerance:
+            regressions.append(name)
+            flag = "  REGRESSION"
+        print(f"  {name:45s} {results[name] / 1e6:8.2f}M vs "
+              f"{base / 1e6:8.2f}M  x{ratio:.2f}{flag}")
+    for name in sorted(set(results) - set(baseline["results"])):
+        print(f"  {name:45s} {results[name] / 1e6:8.2f}M  (new, not gated)")
+    for name in sorted(set(baseline["results"]) - set(results)):
+        print(f"  {name:45s} missing from this run (not gated)")
+
+    if regressions:
+        print(f"\nFAIL: {len(regressions)} benchmark(s) regressed more than "
+              f"{tolerance:.0%}: {', '.join(regressions)}", file=sys.stderr)
+        return 1
+    print(f"\nOK: no benchmark regressed more than {tolerance:.0%}")
+    return 0
+
+
 def main() -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument("--build-dir", default="build",
                         help="CMake build directory holding bench binaries")
-    parser.add_argument("--label", required=True,
-                        help="entry label, e.g. 'before' or 'after-slab-kernel'")
+    parser.add_argument("--label",
+                        help="entry label, e.g. 'before' or 'after-slab-kernel' "
+                             "(required unless --check)")
     parser.add_argument("--output", default=str(REPO_ROOT / "BENCH_kernel.json"),
-                        help="trajectory file to append to")
+                        help="trajectory file to append to (or, with --check, "
+                             "the baseline file to compare against)")
     parser.add_argument("--benchmarks", nargs="*", default=DEFAULT_BENCHMARKS,
                         help="bench binaries relative to the build dir")
     parser.add_argument("--min-time", default="",
@@ -71,7 +137,18 @@ def main() -> int:
                         help="forwarded as --benchmark_filter")
     parser.add_argument("--no-compare", action="store_true",
                         help="skip the ratio table against the previous entry")
+    parser.add_argument("--check", action="store_true",
+                        help="compare against the stored baseline instead of "
+                             "recording; exit non-zero on regression")
+    parser.add_argument("--baseline-label", default="",
+                        help="with --check: baseline entry label "
+                             "(default: newest entry)")
+    parser.add_argument("--tolerance", type=float, default=0.15,
+                        help="with --check: allowed items/s drop before "
+                             "failing (default 0.15 = 15%%)")
     args = parser.parse_args()
+    if not args.check and not args.label:
+        parser.error("--label is required unless --check is given")
 
     build_dir = pathlib.Path(args.build_dir)
     if not build_dir.is_absolute():
@@ -89,6 +166,15 @@ def main() -> int:
         return 1
 
     output = pathlib.Path(args.output)
+    if args.check:
+        trajectory = []
+        if output.exists():
+            trajectory = json.loads(output.read_text())["entries"]
+        else:
+            print(f"error: baseline file not found: {output}", file=sys.stderr)
+            return 1
+        return check_against_baseline(results, trajectory,
+                                      args.baseline_label, args.tolerance)
     trajectory = []
     if output.exists():
         trajectory = json.loads(output.read_text())["entries"]

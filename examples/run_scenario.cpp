@@ -13,6 +13,8 @@
 //   ./run_scenario --reps 8 --parallelism 0         # one worker per core
 //   ./run_scenario --workload scientific --policy static --instances 45 \
 //                  --vm-mtbf 6 --host-mtbf 48 --reconcile 30   # self-healing
+//   ./run_scenario --workload web --spot-frac 0.5 --bid 0.7 --reconcile 60 \
+//                  --market-out market.csv        # spot-market provisioning
 #include <fstream>
 #include <iostream>
 
@@ -101,6 +103,27 @@ int main(int argc, char** argv) {
   args.add_flag("reconcile", "0",
                 "self-healing reconciler check interval in seconds (0 = off)",
                 "<double>");
+  args.add_flag("market", "false",
+                "buy capacity from the IaaS market (src/market) instead of "
+                "conjuring uniform VMs; implied by the other market flags");
+  args.add_flag("spot-frac", "0",
+                "cap on the spot share of the commanded pool "
+                "(0 = pure on-demand)",
+                "<double>");
+  args.add_flag("bid", "0",
+                "spot bid in currency per instance-hour (on-demand lists at "
+                "1.0/h, spot at 0.35/h); 0 disables spot purchases",
+                "<double>");
+  args.add_flag("spot-notice", "120",
+                "revocation notice window in seconds before the hard kill",
+                "<double>");
+  args.add_flag("reserved", "0",
+                "base-load slots bought as reserved capacity (term-billed)",
+                "<int>");
+  args.add_flag("market-out", "",
+                "write the market ledger + realized spot path of "
+                "replication 0 as CSV here",
+                "<path>");
   args.add_flag("csv", "", "write aggregate metrics CSV here", "<path>");
   args.add_flag("decisions", "", "write the adaptive decision timeline CSV here",
                 "<path>");
@@ -177,6 +200,15 @@ int main(int argc, char** argv) {
     config.reconciler.enabled = true;
     config.reconciler.interval = interval;
   }
+  const std::string market_path = args.get_string("market-out");
+  config.market.enabled = args.get_bool("market") || args.was_set("spot-frac") ||
+                          args.was_set("bid") || args.was_set("reserved") ||
+                          !market_path.empty();
+  config.market.acquisition.spot_fraction = args.get_double("spot-frac");
+  config.market.acquisition.bid = args.get_double("bid");
+  config.market.acquisition.reserved_pool =
+      static_cast<std::size_t>(args.get_int("reserved"));
+  config.market.revocation.notice = args.get_double("spot-notice");
 
   PolicySpec policy =
       args.get_string("policy") == "static"
@@ -218,6 +250,7 @@ int main(int argc, char** argv) {
   std::vector<RunMetrics> runs;
   std::vector<AdaptivePolicy::DecisionRecord> decisions;
   std::unique_ptr<Telemetry> telemetry;
+  std::optional<MarketReport> market_report;  // replication 0's ledger
   RunMetrics instrumented;  // metrics of the telemetry-carrying run
   const std::vector<std::uint64_t> seeds = replication_seeds(reps, seed);
   if (parallelism == 1) {
@@ -231,6 +264,7 @@ int main(int argc, char** argv) {
       if (i == 0) {
         decisions = std::move(output.decisions);
         telemetry = std::move(output.telemetry);
+        market_report = std::move(output.market);
         instrumented = output.metrics;
       }
       runs.push_back(std::move(output.metrics));
@@ -245,10 +279,12 @@ int main(int argc, char** argv) {
         parallelism);
     // Instrumentation needs a dedicated sequential pass (the collector is
     // per-replication and the workers only keep metrics).
-    if (telemetry_opts.has_value() || !decisions_path.empty()) {
+    if (telemetry_opts.has_value() || !decisions_path.empty() ||
+        !market_path.empty()) {
       RunOutput output = run_scenario(config, policy, seeds[0], telemetry_opts);
       decisions = std::move(output.decisions);
       telemetry = std::move(output.telemetry);
+      market_report = std::move(output.market);
       instrumented = std::move(output.metrics);
     }
   }
@@ -266,6 +302,11 @@ int main(int argc, char** argv) {
     print_fault_table(std::cout, runs);
     std::cout << "availability " << fmt_ci(agg.availability, 4) << " (95% CI)\n";
   }
+  if (config.market.enabled) {
+    std::cout << "\nIaaS market (per replication):\n";
+    print_market_table(std::cout, runs);
+    std::cout << "billed cost " << fmt_ci(agg.billed_cost, 2) << " (95% CI)\n";
+  }
 
   if (const std::string path = args.get_string("csv"); !path.empty()) {
     std::ofstream out(path);
@@ -274,6 +315,13 @@ int main(int argc, char** argv) {
   }
   if (!decisions_path.empty() && !decisions.empty()) {
     write_decisions_csv(decisions_path, decisions);
+  }
+  if (!market_path.empty() && market_report.has_value()) {
+    std::ofstream out(market_path);
+    write_market_csv(out, *market_report);
+    std::cout << "market ledger written to " << market_path << " ("
+              << market_report->ledger.size() << " purchases, "
+              << market_report->spot_path.size() << " price points)\n";
   }
   if (telemetry != nullptr) {
     print_observability_summary(std::cout, instrumented);

@@ -22,6 +22,15 @@ Datacenter::Datacenter(Simulation& sim, DatacenterConfig config,
 }
 
 Vm* Datacenter::create_vm(const VmSpec& spec) {
+  return create_vm_impl(spec, config_.vm_boot_delay);
+}
+
+Vm* Datacenter::create_vm(const VmSpec& spec, SimTime boot_delay) {
+  ensure_arg(boot_delay >= 0.0, "create_vm: negative boot delay");
+  return create_vm_impl(spec, boot_delay);
+}
+
+Vm* Datacenter::create_vm_impl(const VmSpec& spec, SimTime base_boot_delay) {
   if (allocation_suspended_) {
     CLOUDPROV_LOG(Debug) << "VM allocation suspended (IaaS outage) at t="
                          << now();
@@ -34,8 +43,8 @@ Vm* Datacenter::create_vm(const VmSpec& spec) {
     return nullptr;
   }
   host->allocate(spec, now());
-  BootOutcome boot{config_.vm_boot_delay, false};
-  if (boot_sampler_) boot = boot_sampler_(now(), config_.vm_boot_delay);
+  BootOutcome boot{base_boot_delay, false};
+  if (boot_sampler_) boot = boot_sampler_(now(), base_boot_delay);
   vms_.push_back(std::make_unique<Vm>(sim(), next_vm_id_++, spec,
                                       boot.boot_delay, boot.fail_boot));
   vm_host_.push_back(host);

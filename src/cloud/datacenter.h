@@ -44,6 +44,11 @@ class Datacenter final : public Entity {
   /// allocation is suspended (IaaS outage window).
   Vm* create_vm(const VmSpec& spec);
 
+  /// Same, but with a per-instance base boot delay instead of the configured
+  /// default — the market broker's per-class delivery profile (src/market).
+  /// The boot-fault sampler still applies on top of `boot_delay`.
+  Vm* create_vm(const VmSpec& spec, SimTime boot_delay);
+
   /// Destroys an idle VM and releases its host resources.
   void destroy_vm(Vm& vm);
 
@@ -99,7 +104,7 @@ class Datacenter final : public Entity {
   double utilization() const;
   std::uint64_t total_vms_created() const { return vms_.size(); }
   /// Per-VM wall-clock lifetimes in seconds (live VMs measured to `now`);
-  /// input to the pricing models in experiment/pricing.h.
+  /// input to the pricing models in market/pricing.h.
   std::vector<SimTime> vm_lifetimes() const;
   /// Sum over hosts of powered-on time (hours); input to the energy model.
   double host_powered_hours() const;
@@ -107,6 +112,8 @@ class Datacenter final : public Entity {
   const std::vector<std::unique_ptr<Host>>& hosts() const { return hosts_; }
 
  private:
+  Vm* create_vm_impl(const VmSpec& spec, SimTime base_boot_delay);
+
   DatacenterConfig config_;
   std::unique_ptr<PlacementPolicy> placement_;
   std::vector<std::unique_ptr<Host>> hosts_;

@@ -24,6 +24,7 @@ const char* to_string(FaultCause cause) {
     case FaultCause::kHostCrash: return "host_crash";
     case FaultCause::kBootFailure: return "boot_failure";
     case FaultCause::kBootTimeout: return "boot_timeout";
+    case FaultCause::kSpotRevocation: return "spot_revocation";
   }
   return "?";
 }

@@ -31,15 +31,17 @@ const char* to_string(VmState state);
 
 /// Why an instance crash-failed (the fault taxonomy of src/fault): an
 /// independent VM crash, a correlated host crash taking every pinned VM
-/// down, a boot that never produced a usable instance, or the provisioner's
-/// boot-timeout watchdog giving up on a straggler.
+/// down, a boot that never produced a usable instance, the provisioner's
+/// boot-timeout watchdog giving up on a straggler, or the IaaS spot market
+/// reclaiming a revoked instance whose drain notice expired (src/market).
 enum class FaultCause : std::uint8_t {
   kVmCrash = 0,
   kHostCrash = 1,
   kBootFailure = 2,
   kBootTimeout = 3,
+  kSpotRevocation = 4,
 };
-inline constexpr std::size_t kFaultCauseCount = 4;
+inline constexpr std::size_t kFaultCauseCount = 5;
 
 const char* to_string(FaultCause cause);
 
@@ -129,6 +131,13 @@ class Vm final : public Entity {
   /// True when this VM was created with a planned boot failure.
   bool boot_failure_planned() const { return boot_fail_; }
 
+  /// Spot-market revocation notice (src/market): a revoked instance drains
+  /// normally but must not be resurrected by scale-ups — the market will
+  /// reclaim it when the notice expires. Sticky: revocations are never
+  /// rescinded.
+  void set_revoked() { revoked_ = true; }
+  bool revoked() const { return revoked_; }
+
   /// Changes processing speed (vertical scaling extension). Applies to
   /// subsequently started requests; the in-flight one finishes at the speed
   /// it started with.
@@ -158,6 +167,7 @@ class Vm final : public Entity {
   FailureCallback on_failed_;
   Telemetry* telemetry_ = nullptr;
   bool boot_fail_ = false;
+  bool revoked_ = false;
 
   bool priority_queueing_ = false;
   RingBuffer<Request> waiting_;

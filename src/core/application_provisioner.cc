@@ -114,7 +114,8 @@ bool ApplicationProvisioner::try_submit(const Request& request) {
 }
 
 Vm* ApplicationProvisioner::create_instance() {
-  Vm* vm = datacenter_.create_vm(config_.vm_spec);
+  Vm* vm = vm_factory_ ? vm_factory_(config_.vm_spec)
+                       : datacenter_.create_vm(config_.vm_spec);
   if (vm == nullptr) return nullptr;
   vm->set_priority_queueing(config_.priority_queueing);
   vm->set_completion_callback(
@@ -155,10 +156,19 @@ void ApplicationProvisioner::drain_instance(std::size_t index) {
 std::size_t ApplicationProvisioner::scale_to(std::size_t target) {
   commanded_target_ = target;
   // Scale up: resurrect draining instances first, newest selections first
-  // (they are the least drained).
+  // (they are the least drained). Revoked instances are skipped — the spot
+  // market has already reclaimed them and will hard-kill any survivor.
   while (instances_.size() < target && !draining_.empty()) {
-    Vm* vm = draining_.back();
-    draining_.pop_back();
+    std::size_t pick = draining_.size();
+    for (std::size_t i = draining_.size(); i-- > 0;) {
+      if (!draining_[i]->revoked()) {
+        pick = i;
+        break;
+      }
+    }
+    if (pick == draining_.size()) break;  // every drainer is revoked
+    Vm* vm = draining_[pick];
+    draining_.erase(draining_.begin() + static_cast<std::ptrdiff_t>(pick));
     vm->undrain();
     instances_.push_back(vm);
   }
@@ -237,6 +247,28 @@ std::uint64_t ApplicationProvisioner::take_window_arrivals() {
 void ApplicationProvisioner::for_each_instance(
     const std::function<void(Vm&)>& fn) {
   for (Vm* vm : instances_) fn(*vm);
+}
+
+void ApplicationProvisioner::revoke_instance(Vm& vm) {
+  vm.set_revoked();
+  const auto it = std::find(instances_.begin(), instances_.end(), &vm);
+  if (it == instances_.end()) {
+    // Already draining (or not ours): the sticky revoked flag is enough.
+    return;
+  }
+  const auto index = static_cast<std::size_t>(it - instances_.begin());
+  if (vm.state() == VmState::kBooting) {
+    // Never came up: nothing to drain, release the slot immediately.
+    instances_.erase(it);
+    if (rr_cursor_ >= instances_.size()) rr_cursor_ = 0;
+    datacenter_.destroy_vm(vm);
+  } else {
+    drain_instance(index);
+  }
+  update_deficit();
+  record_instance_count();
+  CLOUDPROV_LOG(Debug) << "spot revocation notice for vm-" << vm.id()
+                       << " at t=" << now();
 }
 
 std::size_t ApplicationProvisioner::inject_instance_failure(std::size_t index) {

@@ -64,6 +64,15 @@ class ApplicationProvisioner final : public Entity,
   /// samples. Purely observational — enabling it never changes decisions.
   void set_telemetry(Telemetry* telemetry) { telemetry_ = telemetry; }
 
+  /// Routes instance creation through an external supplier instead of the
+  /// data center directly — the seam the IaaS market broker (src/market)
+  /// plugs into so every scale-up becomes a purchase. The factory must
+  /// return a VM from this provisioner's data center (or nullptr on
+  /// capacity/outage denial); lifecycle callbacks and the boot watchdog are
+  /// still installed here. Null restores direct creation.
+  using VmFactory = std::function<Vm*(const VmSpec&)>;
+  void set_vm_factory(VmFactory factory) { vm_factory_ = std::move(factory); }
+
   // --- RequestSink ------------------------------------------------------
   /// Admission control + round-robin dispatch of one end-user request.
   void on_request(const Request& request) override;
@@ -141,6 +150,15 @@ class ApplicationProvisioner final : public Entity,
   /// index < live_instances().
   std::size_t inject_instance_failure(std::size_t index);
 
+  // --- spot-market revocation (src/market) --------------------------------
+  /// Serves a revocation notice on a pool instance: marks it revoked (barred
+  /// from resurrection), then starts the graceful exit — a BOOTING instance
+  /// is destroyed outright (it holds no requests), a RUNNING one drains so
+  /// in-flight requests finish inside the notice window, and an already
+  /// DRAINING one just keeps draining. The market's hard kill at notice
+  /// expiry arrives through the fault path (FaultCause::kSpotRevocation).
+  void revoke_instance(Vm& vm);
+
   /// Accepted requests that were lost to instance failures.
   std::uint64_t lost_to_failures() const { return lost_to_failures_; }
   /// Instance crash-failures (all causes) so far.
@@ -185,6 +203,7 @@ class ApplicationProvisioner final : public Entity,
   ProvisionerConfig config_;
   std::unique_ptr<AdmissionPolicy> admission_;
   Telemetry* telemetry_ = nullptr;
+  VmFactory vm_factory_;
 
   CompletionListener completion_listener_;
   std::vector<Vm*> instances_;  ///< RUNNING, in round-robin order

@@ -40,6 +40,8 @@ AggregateMetrics aggregate(const std::vector<RunMetrics>& runs, double confidenc
   });
   agg.availability =
       field_ci(runs, confidence, [](const RunMetrics& r) { return r.availability; });
+  agg.billed_cost =
+      field_ci(runs, confidence, [](const RunMetrics& r) { return r.billed_cost; });
   double generated = 0.0;
   for (const RunMetrics& run : runs) generated += static_cast<double>(run.generated);
   agg.generated_mean = generated / static_cast<double>(runs.size());

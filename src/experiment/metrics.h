@@ -72,6 +72,21 @@ struct RunMetrics {
   double drift_response_bias = 0.0;  ///< mean signed error (pred - obs), s
   std::uint64_t spans_traced = 0;    ///< requests sampled by the span tracer
 
+  // --- IaaS market (src/market; all zero when the market is disabled, so
+  // existing outputs are unchanged) ----------------------------------------
+  double billed_cost = 0.0;  ///< total, currency units
+  double on_demand_cost = 0.0;
+  double spot_cost = 0.0;
+  double reserved_cost = 0.0;
+  std::uint64_t on_demand_purchases = 0;
+  std::uint64_t spot_purchases = 0;
+  std::uint64_t reserved_purchases = 0;
+  std::uint64_t spot_revocations = 0;   ///< notices served
+  std::uint64_t revocation_kills = 0;   ///< notices that expired into kills
+  std::uint64_t lost_to_revocations = 0;
+  double spot_price_mean = 0.0;  ///< time-weighted over the horizon
+  double spot_price_max = 0.0;
+
   // Simulator diagnostics (not paper metrics).
   std::uint64_t simulated_events = 0;
   double wall_seconds = 0.0;
@@ -91,6 +106,7 @@ struct AggregateMetrics {
   ConfidenceInterval rejection_rate;
   ConfidenceInterval qos_violations;
   ConfidenceInterval availability;
+  ConfidenceInterval billed_cost;
   double generated_mean = 0.0;
 };
 

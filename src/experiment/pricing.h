@@ -1,43 +1,5 @@
-// IaaS pricing models.
-//
-// The paper reports cost as raw VM-hours "independent from pricing policies
-// applied by specific IaaS Cloud vendors" (Section V-A). This module maps
-// VM lifetimes to billed cost under concrete vendor policies — notably
-// billing-quantum rounding (classic EC2 billed per started hour), which
-// penalizes the adaptive policy's churn: a VM destroyed after 61 minutes
-// bills two full hours. The billing-granularity ablation quantifies how much
-// of the paper's VM-hour saving survives coarse billing.
+// Pricing moved to the market subsystem (market/pricing.h) when the IaaS
+// market layer landed; this forwarder keeps existing includes working.
 #pragma once
 
-#include <string>
-#include <vector>
-
-#include "util/units.h"
-
-namespace cloudprov {
-
-struct PricingPolicy {
-  std::string name = "on-demand";
-  /// Price of one instance-hour in arbitrary currency units.
-  double price_per_hour = 1.0;
-  /// Billing granularity in seconds: usage is rounded *up* to a multiple of
-  /// this per VM (3600 = classic per-started-hour; 1 = per-second billing).
-  SimTime billing_quantum = 3600.0;
-  /// Minimum billed duration per VM in seconds (e.g. per-second billing with
-  /// a 60 s minimum, as current EC2/GCE do).
-  SimTime minimum_billed = 0.0;
-};
-
-/// Billed cost of one VM lifetime under `policy`.
-double billed_cost(SimTime lifetime_seconds, const PricingPolicy& policy);
-
-/// Billed cost of a set of VM lifetimes.
-double billed_cost(const std::vector<SimTime>& lifetimes,
-                   const PricingPolicy& policy);
-
-/// Raw (un-quantized) cost: lifetime * hourly price. Equals the paper's
-/// VM-hours metric when price_per_hour == 1.
-double raw_cost(const std::vector<SimTime>& lifetimes,
-                const PricingPolicy& policy);
-
-}  // namespace cloudprov
+#include "market/pricing.h"  // IWYU pragma: export

@@ -137,6 +137,47 @@ void write_fault_csv(std::ostream& out, const std::vector<RunMetrics>& runs) {
   }
 }
 
+void print_market_table(std::ostream& out, const std::vector<RunMetrics>& runs) {
+  TextTable table({"policy", "cost", "od_cost", "spot_cost", "rsv_cost",
+                   "buys_od", "buys_spot", "revoked", "kills", "lost",
+                   "price_avg", "price_max", "qos_viol", "rejection"});
+  for (const RunMetrics& r : runs) {
+    table.add_row({r.policy, fmt(r.billed_cost, 2), fmt(r.on_demand_cost, 2),
+                   fmt(r.spot_cost, 2), fmt(r.reserved_cost, 2),
+                   fmt_u64(r.on_demand_purchases), fmt_u64(r.spot_purchases),
+                   fmt_u64(r.spot_revocations), fmt_u64(r.revocation_kills),
+                   fmt_u64(r.lost_to_revocations), fmt(r.spot_price_mean, 3),
+                   fmt(r.spot_price_max, 3), fmt_u64(r.qos_violations),
+                   fmt(r.rejection_rate, 4)});
+  }
+  table.print(out);
+}
+
+void write_market_metrics_csv(std::ostream& out,
+                              const std::vector<RunMetrics>& runs) {
+  CsvWriter csv(out);
+  csv.write_header({"policy", "seed", "billed_cost", "on_demand_cost",
+                    "spot_cost", "reserved_cost", "on_demand_purchases",
+                    "spot_purchases", "reserved_purchases", "spot_revocations",
+                    "revocation_kills", "lost_to_revocations",
+                    "spot_price_mean", "spot_price_max", "qos_violations",
+                    "rejection_rate", "avg_response_time"});
+  for (const RunMetrics& r : runs) {
+    csv.write_row({r.policy, fmt_u64(r.seed), CsvWriter::format(r.billed_cost),
+                   CsvWriter::format(r.on_demand_cost),
+                   CsvWriter::format(r.spot_cost),
+                   CsvWriter::format(r.reserved_cost),
+                   fmt_u64(r.on_demand_purchases), fmt_u64(r.spot_purchases),
+                   fmt_u64(r.reserved_purchases), fmt_u64(r.spot_revocations),
+                   fmt_u64(r.revocation_kills), fmt_u64(r.lost_to_revocations),
+                   CsvWriter::format(r.spot_price_mean),
+                   CsvWriter::format(r.spot_price_max),
+                   fmt_u64(r.qos_violations),
+                   CsvWriter::format(r.rejection_rate),
+                   CsvWriter::format(r.avg_response_time)});
+  }
+}
+
 void print_claim(std::ostream& out, const std::string& claim, double paper_value,
                  double measured_value, int precision) {
   out << "  [claim] " << claim << ": paper=" << fmt(paper_value, precision)

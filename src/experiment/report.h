@@ -49,6 +49,15 @@ void write_fault_csv(std::ostream& out, const std::vector<RunMetrics>& runs);
 void print_claim(std::ostream& out, const std::string& claim, double paper_value,
                  double measured_value, int precision = 2);
 
+/// Prints the spot-market comparison: one row per run with billed cost by
+/// purchase kind, purchase/revocation counts, requests lost to revocation
+/// kills, realized spot-price statistics, and QoS outcomes.
+void print_market_table(std::ostream& out, const std::vector<RunMetrics>& runs);
+
+/// Writes the same market comparison as CSV.
+void write_market_metrics_csv(std::ostream& out,
+                              const std::vector<RunMetrics>& runs);
+
 /// Prints the observability summary of one run: SLO burn-rate alert counts
 /// and the worst observed burn rate, model-drift window count with
 /// response-time MAPE/bias, and the number of sampled request spans. Prints

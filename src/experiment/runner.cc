@@ -87,6 +87,10 @@ RunOutput run_scenario(const ScenarioConfig& config, const PolicySpec& policy,
   // faults never perturbs the workload of existing seeds; each replication
   // seed therefore carries its own independent fault stream.
   const std::uint64_t fault_seed = seeder.next();
+  // Spot-price stream, drawn unconditionally after the fault stream (same
+  // derivation discipline): enabling the market never perturbs the
+  // workload/placement/fault streams of existing seeds.
+  const std::uint64_t market_seed = seeder.next();
 
   std::unique_ptr<Telemetry> telemetry;
   if (telemetry_opts.has_value()) {
@@ -107,6 +111,15 @@ RunOutput run_scenario(const ScenarioConfig& config, const PolicySpec& policy,
   prov_config.boot_timeout = config.boot_timeout;
   ApplicationProvisioner provisioner(sim, datacenter, config.qos, prov_config);
   provisioner.set_telemetry(telemetry.get());
+
+  // The market broker is attached before any policy commands capacity so
+  // even the initial pool is bought on the market.
+  std::optional<MarketBroker> market;
+  if (config.market.enabled) {
+    market.emplace(sim, datacenter, config.market, market_seed);
+    market->set_telemetry(telemetry.get());
+    market->attach(provisioner);
+  }
 
   std::optional<FaultInjector> faults;
   if (config.fault.enabled()) {
@@ -140,6 +153,7 @@ RunOutput run_scenario(const ScenarioConfig& config, const PolicySpec& policy,
   broker.start();
   if (faults.has_value()) faults->start();
   if (reconciler.has_value()) reconciler->start();
+  if (market.has_value()) market->start();
   sim.run(config.horizon);
 
   if (telemetry != nullptr) {
@@ -219,6 +233,25 @@ RunOutput run_scenario(const ScenarioConfig& config, const PolicySpec& policy,
     if (const SpanTracer* spans = telemetry->spans(); spans != nullptr) {
       m.spans_traced = spans->traced();
     }
+  }
+
+  if (market.has_value()) {
+    market->stop();
+    const MarketReport report = market->finalize(sim.now());
+    m.billed_cost = report.total_cost;
+    m.on_demand_cost = report.on_demand_cost;
+    m.spot_cost = report.spot_cost;
+    m.reserved_cost = report.reserved_cost;
+    m.on_demand_purchases = report.on_demand_purchases;
+    m.spot_purchases = report.spot_purchases;
+    m.reserved_purchases = report.reserved_purchases;
+    m.spot_revocations = report.revocations;
+    m.revocation_kills = report.revocation_kills;
+    m.lost_to_revocations =
+        provisioner.lost_by_cause(FaultCause::kSpotRevocation);
+    m.spot_price_mean = report.spot_price_mean;
+    m.spot_price_max = report.spot_price_max;
+    output.market = report;
   }
 
   m.simulated_events = sim.executed_events();

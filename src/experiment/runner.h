@@ -24,6 +24,9 @@ struct RunOutput {
   RunMetrics metrics;
   /// Adaptive-policy decision history (empty for static runs).
   std::vector<AdaptivePolicy::DecisionRecord> decisions;
+  /// Market ledger + realized spot path (src/market); nullopt unless the
+  /// scenario enabled the market.
+  std::optional<MarketReport> market;
   /// The replication's telemetry collector (metrics registry + trace
   /// buffer); null unless telemetry was requested. Telemetry is purely
   /// observational: metrics are identical with it on or off.

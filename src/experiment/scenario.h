@@ -21,6 +21,7 @@
 #include "core/workload_analyzer.h"
 #include "fault/fault_plan.h"
 #include "fault/reconciler.h"
+#include "market/market_broker.h"
 #include "workload/bot_workload.h"
 #include "workload/web_workload.h"
 
@@ -66,6 +67,12 @@ struct ScenarioConfig {
   ReconcilerConfig reconciler;
   /// Provisioner boot watchdog (ProvisionerConfig::boot_timeout); 0 off.
   SimTime boot_timeout = 0.0;
+
+  /// IaaS market layer (src/market): MarketConfig::enabled defaults to
+  /// false, keeping the paper scenarios market-free and byte-identical to
+  /// previous outputs. Enabled with pure on-demand terms it is still a
+  /// strict no-op on every simulation observable.
+  MarketConfig market;
 
   /// Scales a paper-scale instance count to this scenario's scale,
   /// rounding to at least 1.

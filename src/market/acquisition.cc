@@ -1,0 +1,36 @@
+#include "market/acquisition.h"
+
+#include <cmath>
+
+#include "util/check.h"
+
+namespace cloudprov {
+
+void AcquisitionPolicy::validate() const {
+  ensure_arg(spot_fraction >= 0.0 && spot_fraction <= 1.0,
+             "AcquisitionPolicy: spot_fraction outside [0, 1]");
+  ensure_arg(bid >= 0.0, "AcquisitionPolicy: negative bid");
+}
+
+void RevocationPolicy::validate() const {
+  ensure_arg(notice >= 0.0, "RevocationPolicy: negative notice window");
+}
+
+std::size_t AcquisitionPolicy::choose(const MarketCatalog& catalog,
+                                      double spot_price,
+                                      std::size_t live_reserved,
+                                      std::size_t live_spot,
+                                      std::size_t commanded_target) const {
+  if (const std::size_t reserved = catalog.find(PurchaseKind::kReserved);
+      reserved != MarketCatalog::npos && live_reserved < reserved_pool) {
+    return reserved;
+  }
+  if (spot_enabled(catalog) && spot_price <= bid) {
+    const auto cap = static_cast<std::size_t>(
+        std::floor(spot_fraction * static_cast<double>(commanded_target)));
+    if (live_spot < cap) return catalog.find(PurchaseKind::kSpot);
+  }
+  return catalog.find(PurchaseKind::kOnDemand);
+}
+
+}  // namespace cloudprov

@@ -1,0 +1,63 @@
+// Cost-aware acquisition and revocation policies.
+//
+// AcquisitionPolicy extends Algorithm 1 downstream: the modeler still picks
+// the target pool size m from the analytic performance model, and this
+// policy decides *how to buy* each of those m instances — reserved base
+// capacity first, spot while the market price sits at or under the bid and
+// the spot share stays under the configured cap, on-demand otherwise (and
+// as the fallback the reconciler heals revoked deficits with, since a
+// just-revoked market has price > bid by definition).
+//
+// RevocationPolicy is the seller side: when the spot price crosses the bid,
+// spot instances receive a revocation notice and must drain within the
+// notice window before the hard kill lands.
+#pragma once
+
+#include <cstddef>
+
+#include "market/instance_class.h"
+#include "util/units.h"
+
+namespace cloudprov {
+
+struct AcquisitionPolicy {
+  /// Cap on the spot share of the commanded pool: at most
+  /// floor(spot_fraction * commanded_target) live spot instances.
+  double spot_fraction = 0.0;
+  /// Bid, currency per instance-hour. Spot is bought only while the market
+  /// price is <= bid; 0 disables spot purchases entirely.
+  double bid = 0.0;
+  /// Base-load slots bought as reserved capacity (term-billed to the
+  /// horizon); 0 disables reserved purchases.
+  std::size_t reserved_pool = 0;
+
+  /// Class index into `catalog` for the next purchase, given the market
+  /// state. Pure: drives both the broker and the unit tests.
+  std::size_t choose(const MarketCatalog& catalog, double spot_price,
+                     std::size_t live_reserved, std::size_t live_spot,
+                     std::size_t commanded_target) const;
+
+  /// True when this policy can ever buy spot from `catalog`.
+  bool spot_enabled(const MarketCatalog& catalog) const {
+    return bid > 0.0 && spot_fraction > 0.0 &&
+           catalog.has(PurchaseKind::kSpot);
+  }
+
+  void validate() const;
+};
+
+struct RevocationPolicy {
+  /// Seconds between the revocation notice and the hard kill; instances
+  /// drain through the provisioner's graceful protocol inside this window.
+  SimTime notice = 120.0;
+
+  /// Out-bid semantics: the market reclaims spot capacity whenever its
+  /// price strictly exceeds the buyer's bid.
+  bool should_revoke(double spot_price, double bid) const {
+    return spot_price > bid;
+  }
+
+  void validate() const;
+};
+
+}  // namespace cloudprov

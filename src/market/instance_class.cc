@@ -1,0 +1,73 @@
+#include "market/instance_class.h"
+
+#include "util/check.h"
+
+namespace cloudprov {
+
+const char* to_string(PurchaseKind kind) {
+  switch (kind) {
+    case PurchaseKind::kOnDemand: return "on_demand";
+    case PurchaseKind::kSpot: return "spot";
+    case PurchaseKind::kReserved: return "reserved";
+  }
+  return "?";
+}
+
+void InstanceClass::validate() const {
+  ensure_arg(!name.empty(), "InstanceClass: empty name");
+  ensure_arg(pricing.price_per_hour >= 0.0,
+             "InstanceClass: negative price_per_hour");
+  ensure_arg(pricing.billing_quantum > 0.0,
+             "InstanceClass: billing_quantum must be > 0");
+  ensure_arg(pricing.minimum_billed >= 0.0,
+             "InstanceClass: negative minimum_billed");
+  ensure_arg(!boot_delay.has_value() || *boot_delay >= 0.0,
+             "InstanceClass: negative boot_delay");
+}
+
+std::size_t MarketCatalog::find(PurchaseKind kind) const {
+  for (std::size_t i = 0; i < classes.size(); ++i) {
+    if (classes[i].kind == kind) return i;
+  }
+  return npos;
+}
+
+void MarketCatalog::validate() const {
+  ensure_arg(!classes.empty(), "MarketCatalog: no classes");
+  std::size_t by_kind[kPurchaseKindCount] = {};
+  for (const InstanceClass& cls : classes) {
+    cls.validate();
+    by_kind[static_cast<std::size_t>(cls.kind)] += 1;
+  }
+  for (std::size_t count : by_kind) {
+    ensure_arg(count <= 1, "MarketCatalog: duplicate purchase kind");
+  }
+  ensure_arg(has(PurchaseKind::kOnDemand),
+             "MarketCatalog: an on-demand class is required");
+}
+
+MarketCatalog MarketCatalog::standard(double on_demand_price) {
+  ensure_arg(on_demand_price >= 0.0,
+             "MarketCatalog::standard: negative price");
+  MarketCatalog catalog;
+  InstanceClass on_demand;
+  on_demand.name = "od.standard";
+  on_demand.kind = PurchaseKind::kOnDemand;
+  on_demand.pricing = {"on-demand", on_demand_price, 1.0, 60.0};
+  catalog.classes.push_back(on_demand);
+
+  InstanceClass spot;
+  spot.name = "spot.standard";
+  spot.kind = PurchaseKind::kSpot;
+  spot.pricing = {"spot", 0.35 * on_demand_price, 1.0, 60.0};
+  catalog.classes.push_back(spot);
+
+  InstanceClass reserved;
+  reserved.name = "rsv.standard";
+  reserved.kind = PurchaseKind::kReserved;
+  reserved.pricing = {"reserved", 0.60 * on_demand_price, 1.0, 0.0};
+  catalog.classes.push_back(reserved);
+  return catalog;
+}
+
+}  // namespace cloudprov

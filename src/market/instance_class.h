@@ -1,0 +1,74 @@
+// IaaS market catalog: the instance classes an online market sells.
+//
+// The paper reports cost as raw VM-hours, "independent from pricing policies
+// applied by specific IaaS Cloud vendors" (Section V-A). A real SaaS
+// provider buys from a live market instead: heterogeneous purchase kinds
+// (on-demand, spot, reserved) whose prices differ, whose billing follows a
+// concrete PricingPolicy (market/pricing.h), and whose delivery latency
+// (boot-delay profile) varies by class. MarketCatalog is the static half of
+// that market; SpotPriceProcess (market/spot_price.h) supplies the moving
+// spot price and MarketBroker (market/market_broker.h) executes purchases
+// and revocations against it.
+#pragma once
+
+#include <cstddef>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "market/pricing.h"
+#include "util/units.h"
+
+namespace cloudprov {
+
+/// How capacity is bought. Spot capacity is cheap but revocable when the
+/// market price crosses the buyer's bid; reserved capacity is a term
+/// commitment billed to the horizon regardless of early destruction.
+enum class PurchaseKind : std::uint8_t {
+  kOnDemand = 0,
+  kSpot = 1,
+  kReserved = 2,
+};
+inline constexpr std::size_t kPurchaseKindCount = 3;
+
+const char* to_string(PurchaseKind kind);
+
+/// One sellable instance class: purchase kind, billing policy, and delivery
+/// profile. The VM shape itself stays the provisioner's choice (the paper's
+/// 1-core/2-GB application instance); classes differ in commercial terms.
+struct InstanceClass {
+  std::string name = "od.standard";
+  PurchaseKind kind = PurchaseKind::kOnDemand;
+  /// Billing terms. For spot classes `pricing.price_per_hour` is only the
+  /// reference (list) price — the billed rate follows the SpotPriceProcess —
+  /// while quantum/minimum still shape rounding.
+  PricingPolicy pricing;
+  /// Class boot-delay profile in seconds; nullopt inherits the data center's
+  /// configured delay (which keeps the default on-demand class bit-identical
+  /// to market-less provisioning).
+  std::optional<SimTime> boot_delay;
+
+  void validate() const;
+};
+
+/// The set of classes one market sells. At most one class per purchase kind
+/// (the acquisition policy addresses classes by kind).
+struct MarketCatalog {
+  std::vector<InstanceClass> classes;
+
+  /// Index of the first class of `kind`, or npos.
+  static constexpr std::size_t npos = static_cast<std::size_t>(-1);
+  std::size_t find(PurchaseKind kind) const;
+  bool has(PurchaseKind kind) const { return find(kind) != npos; }
+
+  /// Throws on empty catalogs, duplicate kinds, invalid pricing, or a
+  /// missing on-demand class (the fallback every acquisition needs).
+  void validate() const;
+
+  /// EC2-flavoured default: on-demand at `on_demand_price`/hour, spot listed
+  /// at 35% of it, reserved at 60% — all per-second billing with a 60 s
+  /// minimum, boot delays inherited from the data center.
+  static MarketCatalog standard(double on_demand_price = 1.0);
+};
+
+}  // namespace cloudprov

@@ -1,4 +1,4 @@
-#include "experiment/pricing.h"
+#include "market/pricing.h"
 
 #include <cmath>
 

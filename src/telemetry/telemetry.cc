@@ -55,7 +55,12 @@ Telemetry::Telemetry(TelemetryOptions options)
                                          decade_bounds(1.0, 1e4))),
       active_instances_(&metrics_.gauge("active_instances")),
       draining_instances_(&metrics_.gauge("draining_instances")),
-      engine_queue_depth_(&metrics_.gauge("engine_queue_depth")) {
+      engine_queue_depth_(&metrics_.gauge("engine_queue_depth")),
+      market_purchases_(&metrics_.counter("market_purchases")),
+      spot_revocations_(&metrics_.counter("spot_revocations")),
+      spot_kills_(&metrics_.counter("spot_revocation_kills")),
+      spot_price_(&metrics_.gauge("spot_price")),
+      market_cost_burn_(&metrics_.gauge("market_cost_burn")) {
   // The optional monitors are built after the hot-path instruments so the
   // registry's registration order (and thus CSV/snapshot order) is stable
   // whether or not they are enabled.
@@ -289,6 +294,45 @@ void Telemetry::scaling_decision(SimTime t, double lambda, double tm,
       .arg("k", static_cast<double>(queue_bound))
       .arg("target_m", static_cast<double>(target))
       .arg("achieved_m", static_cast<double>(achieved));
+  trace_.record(event);
+}
+
+void Telemetry::spot_price_sample(SimTime t, double price, double cost_burn) {
+  spot_price_->set(price);
+  market_cost_burn_->set(cost_burn);
+  TraceEvent event;
+  event.name = "spot_price";
+  event.category = "market";
+  event.phase = TracePhase::kCounter;
+  event.track = kTrackMarket;
+  event.time = t;
+  event.arg("price", price).arg("cost_burn", cost_burn);
+  trace_.record(event);
+}
+
+void Telemetry::market_purchase(SimTime t, std::uint64_t vm_id,
+                                const char* kind) {
+  market_purchases_->add();
+  // Purchases are infrequent; per-kind counters resolve by name on demand.
+  metrics_.counter(std::string("market_purchases_") + kind).add();
+  TraceEvent event = instant("market", "purchase", kTrackMarket, t, vm_id);
+  event.name = kind;
+  trace_.record(event);
+}
+
+void Telemetry::spot_revoked(SimTime t, std::uint64_t vm_id, double price,
+                             double bid) {
+  spot_revocations_->add();
+  TraceEvent event = instant("market", "revoke", kTrackMarket, t, vm_id);
+  event.arg("price", price).arg("bid", bid);
+  trace_.record(event);
+}
+
+void Telemetry::spot_kill(SimTime t, std::uint64_t vm_id,
+                          std::size_t lost_requests) {
+  spot_kills_->add();
+  TraceEvent event = instant("market", "kill", kTrackMarket, t, vm_id);
+  event.arg("lost_requests", static_cast<double>(lost_requests));
   trace_.record(event);
 }
 

@@ -25,6 +25,8 @@
 //   drift    : predicted-vs-observed counter lanes per analysis window
 //              (DriftMonitor)
 //   slo      : burn-rate alert raise/clear instants (SloMonitor)
+//   market   : spot-price/cost-burn counter lanes, purchase instants,
+//              revocation notice + hard-kill instants (MarketBroker)
 #pragma once
 
 #include <cstddef>
@@ -50,6 +52,7 @@ enum TelemetryTrack : std::uint32_t {
   kTrackSpans = 6,
   kTrackDrift = 7,
   kTrackSlo = 8,
+  kTrackMarket = 9,
 };
 
 struct TelemetryOptions {
@@ -156,6 +159,19 @@ class Telemetry {
                         std::size_t queue_bound, std::size_t target,
                         std::size_t achieved);
 
+  // --- IaaS market (MarketBroker, src/market) ----------------------------
+  /// Counter-lane sample of the spot price and the cumulative cost burn,
+  /// recorded once per market tick.
+  void spot_price_sample(SimTime t, double price, double cost_burn);
+  /// One capacity purchase; `kind` is the PurchaseKind string (to_string),
+  /// keying the per-kind purchase counters on this cold path.
+  void market_purchase(SimTime t, std::uint64_t vm_id, const char* kind);
+  /// Revocation notice served on an out-bid spot instance.
+  void spot_revoked(SimTime t, std::uint64_t vm_id, double price, double bid);
+  /// Hard kill of a spot instance that outlived its revocation notice; the
+  /// per-cause failure counters stay with vm_failed (fault path).
+  void spot_kill(SimTime t, std::uint64_t vm_id, std::size_t lost_requests);
+
   // --- engine self-profile (Simulation) ---------------------------------
   void engine_sample(SimTime t, std::uint64_t executed_events,
                      std::size_t queue_depth);
@@ -195,6 +211,13 @@ class Telemetry {
   Gauge* active_instances_;
   Gauge* draining_instances_;
   Gauge* engine_queue_depth_;
+  // Market instruments sit after every pre-market one so the registry's
+  // registration order is unchanged for existing consumers.
+  Counter* market_purchases_;
+  Counter* spot_revocations_;
+  Counter* spot_kills_;
+  Gauge* spot_price_;
+  Gauge* market_cost_burn_;
 };
 
 }  // namespace cloudprov

@@ -293,6 +293,42 @@ TEST(Pricing, PerSecondWithMinimum) {
   EXPECT_NEAR(billed_cost(7200.0, per_second), 2.0, 1e-12);
 }
 
+TEST(Pricing, ZeroLengthLifetime) {
+  // A VM created and destroyed at the same instant bills nothing without a
+  // minimum, and exactly the minimum with one.
+  PricingPolicy hourly;  // quantum 3600, no minimum
+  EXPECT_DOUBLE_EQ(billed_cost(0.0, hourly), 0.0);
+  PricingPolicy per_second;
+  per_second.billing_quantum = 1.0;
+  EXPECT_DOUBLE_EQ(billed_cost(0.0, per_second), 0.0);
+  PricingPolicy with_minimum;
+  with_minimum.billing_quantum = 1.0;
+  with_minimum.minimum_billed = 60.0;
+  EXPECT_NEAR(billed_cost(0.0, with_minimum), 60.0 / 3600.0, 1e-12);
+}
+
+TEST(Pricing, LifetimeShorterThanMinimumBillsTheMinimum) {
+  PricingPolicy policy;
+  policy.billing_quantum = 3600.0;
+  policy.minimum_billed = 3600.0;
+  policy.price_per_hour = 3.0;
+  EXPECT_DOUBLE_EQ(billed_cost(10.0, policy), 3.0);    // lifted to 1 h
+  EXPECT_DOUBLE_EQ(billed_cost(3600.0, policy), 3.0);  // exactly the minimum
+  EXPECT_DOUBLE_EQ(billed_cost(3601.0, policy), 6.0);  // past it: next quantum
+}
+
+TEST(Pricing, MinimumNotAMultipleOfTheQuantumRoundsUpFromTheMinimum) {
+  // minimum 90 s with a 60 s quantum: the minimum itself is quantized, so
+  // the shortest possible bill is 120 s, not 90.
+  PricingPolicy policy;
+  policy.billing_quantum = 60.0;
+  policy.minimum_billed = 90.0;
+  EXPECT_NEAR(billed_cost(0.0, policy), 120.0 / 3600.0, 1e-12);
+  EXPECT_NEAR(billed_cost(89.0, policy), 120.0 / 3600.0, 1e-12);
+  EXPECT_NEAR(billed_cost(100.0, policy), 120.0 / 3600.0, 1e-12);  // < 2 quanta
+  EXPECT_NEAR(billed_cost(121.0, policy), 180.0 / 3600.0, 1e-12);
+}
+
 TEST(Pricing, RawCostEqualsVmHours) {
   PricingPolicy unit;
   const std::vector<SimTime> lifetimes{3600.0, 1800.0, 900.0};

@@ -100,21 +100,29 @@ void expect_bit_identical(const RunMetrics& m, const GoldenMetrics& g) {
 
 #undef EXPECT_FIELD_EQ
 
-// Figure 5 smoke with full telemetry: web workload at scale 0.01, one day,
-// adaptive policy, seed 42, every request traced. Captured 2026-08 from the
-// pre-rewrite kernel.
-TEST(KernelGolden, Fig5SmokeWithTelemetryIsBitIdentical) {
+// Figure 5 smoke configuration: web workload at scale 0.01, one day,
+// adaptive policy, seed 42, every request traced.
+ScenarioConfig fig5_config() {
   ScenarioConfig config = web_scenario(0.01);
   config.horizon = 86400.0;
   config.web.horizon = config.horizon;
+  return config;
+}
+
+TelemetryOptions fig5_telemetry(const ScenarioConfig& config) {
   TelemetryOptions opts;
   opts.span_sample_rate = 1.0;
   opts.drift_enabled = true;
   opts.drift.qos_max_response_time = config.qos.max_response_time;
   opts.slo_enabled = true;
   opts.slo.log_alerts = false;
-  const RunOutput out = run_scenario(config, PolicySpec::adaptive(), 42, opts);
+  return opts;
+}
 
+// Golden literals of the Figure 5 smoke, captured 2026-08 from the
+// pre-rewrite kernel. Shared by the kernel test and the market no-op test:
+// a market buying pure on-demand capacity must reproduce every one.
+GoldenMetrics fig5_golden() {
   GoldenMetrics g{};
   g.generated=707184; g.accepted=676603; g.rejected=30581; g.completed=676603; g.qos_violations=0;
   g.avg_response_time=0x1.e89d23e44bea6p-4; g.std_response_time=0x1.bd98ac964c12fp-6;
@@ -128,8 +136,10 @@ TEST(KernelGolden, Fig5SmokeWithTelemetryIsBitIdentical) {
   g.slo_response_alerts=0; g.slo_rejection_alerts=4; g.slo_worst_burn_rate=0x1.7f84aa656d227p+4;
   g.drift_windows=1440; g.drift_response_mape=0x1.0fec0be5c6417p+4; g.drift_response_bias=0x1.46dbc50b9b7e1p-6; g.spans_traced=707184;
   g.simulated_events=1385227;
-  expect_bit_identical(out.metrics, g);
+  return g;
+}
 
+void expect_fig5_span_csv(const RunOutput& out) {
   // The span trace pins per-request timing end to end: one flipped bit in
   // any arrival, admission, or completion timestamp changes the hash.
   ASSERT_NE(out.telemetry, nullptr);
@@ -138,6 +148,32 @@ TEST(KernelGolden, Fig5SmokeWithTelemetryIsBitIdentical) {
   const std::string bytes = csv.str();
   EXPECT_EQ(bytes.size(), 14729937u);
   EXPECT_EQ(fnv1a(bytes), 0xbdf90a2e3fd773c6ULL);
+}
+
+TEST(KernelGolden, Fig5SmokeWithTelemetryIsBitIdentical) {
+  const ScenarioConfig config = fig5_config();
+  const RunOutput out = run_scenario(config, PolicySpec::adaptive(), 42,
+                                     fig5_telemetry(config));
+  expect_bit_identical(out.metrics, fig5_golden());
+  expect_fig5_span_csv(out);
+}
+
+// The market layer must be a strict no-op when it only sells on-demand
+// capacity at the inherited boot delay: same goldens, same span bytes, plus
+// a billed ledger on the side (ISSUE 5 acceptance).
+TEST(KernelGolden, MarketPureOnDemandReproducesFig5Goldens) {
+  ScenarioConfig config = fig5_config();
+  config.market.enabled = true;  // standard catalog, spot_fraction 0, bid 0
+  const RunOutput out = run_scenario(config, PolicySpec::adaptive(), 42,
+                                     fig5_telemetry(config));
+  expect_bit_identical(out.metrics, fig5_golden());
+  expect_fig5_span_csv(out);
+
+  // The ledger exists and bills every purchase, but scheduled zero events.
+  EXPECT_GT(out.metrics.billed_cost, 0.0);
+  EXPECT_GT(out.metrics.on_demand_purchases, 0u);
+  EXPECT_EQ(out.metrics.spot_purchases, 0u);
+  EXPECT_EQ(out.metrics.spot_revocations, 0u);
 }
 
 // Fault-ablation smoke: same workload with stochastic VM/host crashes, boot
