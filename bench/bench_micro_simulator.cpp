@@ -10,6 +10,7 @@
 
 #include "cloud/broker.h"
 #include "core/application_provisioner.h"
+#include "experiment/world.h"
 #include "telemetry/telemetry.h"
 #include "workload/bot_workload.h"
 #include "workload/poisson_source.h"
@@ -94,6 +95,35 @@ void BM_ServedRequestsTelemetry(benchmark::State& state) {
 }
 BENCHMARK(BM_ServedRequestsTelemetry)->Arg(0)->Arg(1)->Arg(2)
     ->Unit(benchmark::kMillisecond);
+
+// Cost of one what-if fork: snapshot the whole world (telemetry and
+// decision logs off, as LookaheadPolicy's clones run) and restore it into a
+// fresh World with every pending event re-pushed. This prices a lookahead
+// candidate before its forecast windows even run; the arg is how many
+// simulated hours of the web day the world has already executed (pool
+// history, VM records, and pending events all grow the state).
+void BM_WorldSnapshotClone(benchmark::State& state) {
+  const auto hours = static_cast<double>(state.range(0));
+  ScenarioConfig config = web_scenario(0.02);
+  config.horizon = 86400.0;
+  config.web.horizon = config.horizon;
+  World world(config, PolicySpec::adaptive(), 42);
+  world.start();
+  world.run_to(hours * 3600.0);
+  std::uint64_t clones = 0;
+  for (auto _ : state) {
+    World::SnapshotOptions options;
+    options.include_telemetry = false;
+    options.include_decisions = false;
+    const WorldState snap = world.snapshot(options);
+    World clone(config, PolicySpec::adaptive(), 42, snap);
+    benchmark::DoNotOptimize(clone.now());
+    ++clones;
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(clones));
+}
+BENCHMARK(BM_WorldSnapshotClone)->Arg(1)->Arg(6)->Arg(18)
+    ->Unit(benchmark::kMicrosecond);
 
 void BM_WebWorkloadGeneration(benchmark::State& state) {
   std::uint64_t generated = 0;

@@ -15,11 +15,18 @@
 //                  --vm-mtbf 6 --host-mtbf 48 --reconcile 30   # self-healing
 //   ./run_scenario --workload web --spot-frac 0.5 --bid 0.7 --reconcile 60 \
 //                  --market-out market.csv        # spot-market provisioning
+//   ./run_scenario --workload web --lookahead 5,3 --spot-frac 0.5 --bid 0.7 \
+//                  --lookahead-bids 0.45,1.0      # model-predictive sizing
+//   ./run_scenario --workload web --checkpoint world.ckpt --checkpoint-at 43200
+//   ./run_scenario --workload web --restore world.ckpt    # same config + seed
 #include <fstream>
 #include <iostream>
+#include <sstream>
 
 #include "experiment/report.h"
 #include "experiment/runner.h"
+#include "experiment/world.h"
+#include "lookahead/checkpoint.h"
 #include "telemetry/export.h"
 #include "util/cli.h"
 #include "util/csv.h"
@@ -56,6 +63,50 @@ void write_decisions_csv(const std::string& path,
   std::cout << "decision timeline written to " << path << '\n';
 }
 
+std::vector<double> parse_double_list(const std::string& spec,
+                                      const std::string& flag) {
+  std::vector<double> values;
+  std::stringstream in(spec);
+  std::string item;
+  while (std::getline(in, item, ',')) {
+    try {
+      values.push_back(std::stod(item));
+    } catch (const std::exception&) {
+      throw std::invalid_argument("bad " + flag + " entry: " + item);
+    }
+  }
+  return values;
+}
+
+/// Replication-0 runner that supports the checkpoint/restore flags: either
+/// resumes a World from a checkpoint file, or runs fresh and optionally
+/// drops a checkpoint mid-flight before continuing to the horizon.
+RunOutput run_replication_zero(const ScenarioConfig& config,
+                               const PolicySpec& policy, std::uint64_t seed,
+                               const std::optional<TelemetryOptions>& telemetry,
+                               const std::string& restore_path,
+                               const std::string& checkpoint_path,
+                               double checkpoint_at) {
+  if (!restore_path.empty()) {
+    const WorldState state = read_checkpoint_file(restore_path);
+    std::cerr << "restored " << restore_path << " at t=" << fmt(state.now, 1)
+              << " s (" << state.executed_events << " events executed)\n";
+    World world(config, policy, seed, state);
+    world.run_to(config.horizon);
+    return world.finish();
+  }
+  World world(config, policy, seed, telemetry);
+  world.start();
+  if (!checkpoint_path.empty()) {
+    world.run_to(checkpoint_at);
+    write_checkpoint_file(checkpoint_path, world.snapshot());
+    std::cout << "checkpoint written to " << checkpoint_path << " (t="
+              << fmt(world.now(), 1) << " s)\n";
+  }
+  world.run_to(config.horizon);
+  return world.finish();
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -79,6 +130,16 @@ int main(int argc, char** argv) {
   args.add_flag("tolerance", "0", "modeler rejection tolerance override (0 = default)",
                 "<double>");
   args.add_flag("max-vms", "0", "MaxVMs override (0 = default)", "<int>");
+  args.add_flag("lookahead", "",
+                "model-predictive provisioning \"K,H\": at each analysis "
+                "window fork up to K what-if clones of the world, score each "
+                "candidate pool size H windows ahead, commit the cheapest "
+                "QoS-feasible one (empty = off; uses --predictor)",
+                "<K,H>");
+  args.add_flag("lookahead-bids", "",
+                "comma-separated spot bids the lookahead search may switch "
+                "to (requires --lookahead and a live spot market)",
+                "<list>");
   args.add_flag("vm-mtbf", "0",
                 "per-instance mean time between crash-failures in hours "
                 "(0 = no VM crashes)",
@@ -157,6 +218,19 @@ int main(int argc, char** argv) {
                 "write the SLO burn-rate samples of replication 0 as CSV "
                 "here (also enables burn-rate alerting)",
                 "<path>");
+  args.add_flag("checkpoint", "",
+                "write a binary snapshot of replication 0's world here at "
+                "--checkpoint-at, then keep running to the horizon",
+                "<path>");
+  args.add_flag("checkpoint-at", "0",
+                "simulation time in seconds at which --checkpoint snapshots "
+                "(0 = half the horizon)",
+                "<double>");
+  args.add_flag("restore", "",
+                "resume replication 0 from a checkpoint file instead of "
+                "starting at t=0; the workload, policy, and seed flags must "
+                "match the run that wrote it (checkpoints carry no config)",
+                "<path>");
   args.add_flag("log", "warn", "log level", "<level>");
   args.add_flag("log-file", "", "redirect log lines from stderr to this file",
                 "<path>");
@@ -214,10 +288,33 @@ int main(int argc, char** argv) {
       args.get_string("policy") == "static"
           ? PolicySpec::fixed(static_cast<std::size_t>(args.get_int("instances")))
           : PolicySpec::adaptive(parse_predictor(args.get_string("predictor")));
+  if (const std::string spec = args.get_string("lookahead"); !spec.empty()) {
+    const auto comma = spec.find(',');
+    if (comma == std::string::npos) {
+      std::cerr << "--lookahead expects \"K,H\" (e.g. 5,3), got: " << spec
+                << '\n';
+      return 1;
+    }
+    policy = PolicySpec::lookahead_spec(
+        std::stoul(spec.substr(0, comma)), std::stoul(spec.substr(comma + 1)),
+        parse_predictor(args.get_string("predictor")),
+        parse_double_list(args.get_string("lookahead-bids"),
+                          "--lookahead-bids"));
+  }
 
   const auto reps = static_cast<std::size_t>(args.get_int("reps"));
   const auto seed = static_cast<std::uint64_t>(args.get_int("seed"));
   const auto parallelism = static_cast<std::size_t>(args.get_int("parallelism"));
+
+  const std::string checkpoint_path = args.get_string("checkpoint");
+  const std::string restore_path = args.get_string("restore");
+  double checkpoint_at = args.get_double("checkpoint-at");
+  if (checkpoint_at <= 0.0) checkpoint_at = config.horizon / 2.0;
+  if ((!checkpoint_path.empty() || !restore_path.empty()) && reps != 1) {
+    std::cerr << "--checkpoint/--restore snapshot a single world; "
+                 "use --reps 1\n";
+    return 1;
+  }
 
   const std::string trace_path = args.get_string("trace-out");
   const std::string metrics_path = args.get_string("metrics-out");
@@ -255,9 +352,14 @@ int main(int argc, char** argv) {
   const std::vector<std::uint64_t> seeds = replication_seeds(reps, seed);
   if (parallelism == 1) {
     for (std::size_t i = 0; i < reps; ++i) {
-      RunOutput output = run_scenario(
-          config, policy, seeds[i],
-          i == 0 ? telemetry_opts : std::optional<TelemetryOptions>{});
+      RunOutput output =
+          i == 0 && (!checkpoint_path.empty() || !restore_path.empty())
+              ? run_replication_zero(config, policy, seeds[i], telemetry_opts,
+                                     restore_path, checkpoint_path,
+                                     checkpoint_at)
+              : run_scenario(config, policy, seeds[i],
+                             i == 0 ? telemetry_opts
+                                    : std::optional<TelemetryOptions>{});
       std::cerr << "rep " << i + 1 << "/" << reps << ": "
                 << output.metrics.generated << " requests in "
                 << fmt(output.metrics.wall_seconds, 1) << " s\n";

@@ -41,6 +41,22 @@ class Broker final : public Entity {
   void record_rate_series(SimTime window);
   const SampledSeries& rate_series() const { return rate_series_; }
 
+  // --- snapshot/restore (src/lookahead) ---------------------------------
+  /// RNG stream, counters, and the one in-flight arrival with its event
+  /// stamp. Rate-series recording (plots only) is not checkpointed.
+  struct Snapshot {
+    Rng::State rng;
+    std::uint64_t generated = 0;
+    std::uint64_t next_request_id = 1;
+    Arrival pending_arrival;
+    std::optional<EventStamp> pending_event;
+  };
+  Snapshot snapshot() const;
+  /// Restores counters/stream and re-arms the pending arrival. Use instead
+  /// of start(); the source must already be positioned consistently (the
+  /// restoring side rebuilds it from its own snapshot).
+  void restore(const Snapshot& snap);
+
  private:
   void deliver_next();
   void fire_arrival();
@@ -55,6 +71,7 @@ class Broker final : public Entity {
   // {target, method} inline delegate — no per-arrival allocation; the web
   // scenario schedules half a billion of these per replication.
   Arrival pending_arrival_;
+  EventId pending_event_ = kInvalidEventId;
 
   // Rate-series recording.
   bool record_rates_ = false;

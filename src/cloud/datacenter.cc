@@ -164,6 +164,49 @@ double Datacenter::host_powered_hours() const {
   return seconds / duration::kHour;
 }
 
+Datacenter::Snapshot Datacenter::snapshot() const {
+  Snapshot s;
+  s.hosts.reserve(hosts_.size());
+  for (const auto& host : hosts_) s.hosts.push_back(host->snapshot());
+  s.vms.reserve(vms_.size());
+  for (const auto& vm : vms_) s.vms.push_back(vm->snapshot());
+  s.vm_host.reserve(vm_host_.size());
+  for (const Host* host : vm_host_) {
+    s.vm_host.push_back(host == nullptr
+                            ? Snapshot::kNoHost
+                            : static_cast<std::uint32_t>(host->id()));
+  }
+  s.live_vms = live_vms_;
+  s.failed_hosts = failed_hosts_;
+  s.next_vm_id = next_vm_id_;
+  s.allocation_suspended = allocation_suspended_;
+  return s;
+}
+
+void Datacenter::restore(const Snapshot& s) {
+  ensure(hosts_.size() == s.hosts.size(),
+         "Datacenter::restore: host count mismatch");
+  ensure(s.vms.size() == s.vm_host.size(),
+         "Datacenter::restore: vm/vm_host size mismatch");
+  ensure(vms_.empty(), "Datacenter::restore: data center already populated");
+  for (std::size_t i = 0; i < hosts_.size(); ++i) {
+    hosts_[i]->restore(s.hosts[i]);
+  }
+  vms_.reserve(s.vms.size());
+  vm_host_.reserve(s.vm_host.size());
+  for (std::size_t i = 0; i < s.vms.size(); ++i) {
+    vms_.push_back(std::make_unique<Vm>(sim(), s.vms[i]));
+    if (telemetry_ != nullptr) vms_.back()->set_telemetry(telemetry_);
+    vm_host_.push_back(s.vm_host[i] == Snapshot::kNoHost
+                           ? nullptr
+                           : hosts_[s.vm_host[i]].get());
+  }
+  live_vms_ = s.live_vms;
+  failed_hosts_ = s.failed_hosts;
+  next_vm_id_ = s.next_vm_id;
+  allocation_suspended_ = s.allocation_suspended;
+}
+
 double Datacenter::utilization() const {
   const double hours = vm_hours();
   return hours > 0.0 ? busy_vm_hours() / hours : 0.0;

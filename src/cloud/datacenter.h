@@ -111,6 +111,35 @@ class Datacenter final : public Entity {
 
   const std::vector<std::unique_ptr<Host>>& hosts() const { return hosts_; }
 
+  /// Looks up a VM by id (1-based creation order); nullptr when unknown.
+  /// Restore paths use this to rebind snapshot vm ids to live objects.
+  Vm* find_vm(std::uint64_t vm_id) {
+    if (vm_id < 1 || vm_id > vms_.size()) return nullptr;
+    return vms_[vm_id - 1].get();
+  }
+
+  // --- snapshot/restore (src/lookahead) ---------------------------------
+  /// Value snapshot of host occupancy and the full VM history (live VMs
+  /// carry their pending event stamps). Placement-policy, boot-sampler, and
+  /// telemetry hooks are wiring, not state: the restoring side re-attaches
+  /// them.
+  struct Snapshot {
+    static constexpr std::uint32_t kNoHost = 0xffffffffu;
+    std::vector<Host::Snapshot> hosts;
+    std::vector<Vm::Snapshot> vms;
+    /// Parallel to vms: placement host index, kNoHost once released.
+    std::vector<std::uint32_t> vm_host;
+    std::size_t live_vms = 0;
+    std::size_t failed_hosts = 0;
+    std::uint64_t next_vm_id = 1;
+    bool allocation_suspended = false;
+  };
+  Snapshot snapshot() const;
+  /// Rebuilds VM/host state from a snapshot taken on an identically
+  /// configured data center (same host count/spec). Re-pushes every live
+  /// VM's pending events into the simulation's queue under their stamps.
+  void restore(const Snapshot& snap);
+
  private:
   Vm* create_vm_impl(const VmSpec& spec, SimTime base_boot_delay);
 

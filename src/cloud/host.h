@@ -53,6 +53,31 @@ class Host {
   /// motivates provisioning with "reduced financial and environmental costs".
   double powered_seconds(SimTime now) const;
 
+  /// Value snapshot of the mutable occupancy/power state for
+  /// checkpoint/restore (src/lookahead); id and spec stay construction-time.
+  struct Snapshot {
+    unsigned used_cores = 0;
+    double used_ram_gb = 0.0;
+    std::size_t vm_count = 0;
+    double powered_seconds = 0.0;
+    SimTime powered_since = 0.0;
+    bool powered = false;
+    bool failed = false;
+  };
+  Snapshot snapshot() const {
+    return Snapshot{used_cores_, used_ram_gb_, vm_count_, powered_seconds_,
+                    powered_since_, powered_, failed_};
+  }
+  void restore(const Snapshot& s) {
+    used_cores_ = s.used_cores;
+    used_ram_gb_ = s.used_ram_gb;
+    vm_count_ = s.vm_count;
+    powered_seconds_ = s.powered_seconds;
+    powered_since_ = s.powered_since;
+    powered_ = s.powered;
+    failed_ = s.failed;
+  }
+
  private:
   std::uint64_t id_;
   HostSpec spec_;

@@ -42,7 +42,56 @@ Vm::Vm(Simulation& sim, std::uint64_t id, VmSpec spec, SimTime boot_delay,
   ensure_arg(spec.speed > 0.0, "Vm: speed must be positive");
   ensure_arg(boot_delay >= 0.0, "Vm: boot delay must be >= 0");
   if (state_ == VmState::kBooting) {
-    sim.schedule_in(boot_delay, EventAction::method<&Vm::finish_boot>(this));
+    boot_event_ =
+        sim.schedule_in(boot_delay, EventAction::method<&Vm::finish_boot>(this));
+  }
+}
+
+Vm::Snapshot Vm::snapshot() const {
+  Snapshot s;
+  s.id = id_;
+  s.spec = spec_;
+  s.state = state_;
+  s.boot_fail = boot_fail_;
+  s.revoked = revoked_;
+  s.priority_queueing = priority_queueing_;
+  s.waiting.reserve(waiting_.size());
+  for (std::size_t i = 0; i < waiting_.size(); ++i) {
+    s.waiting.push_back(waiting_[i]);
+  }
+  s.in_service = in_service_;
+  s.service_started = service_started_;
+  s.creation_time = creation_time_;
+  s.destruction_time = destruction_time_;
+  s.busy_seconds = busy_seconds_;
+  s.completed = completed_;
+  s.boot_event = sim().stamp(boot_event_);
+  s.completion_event = sim().stamp(completion_event_);
+  return s;
+}
+
+Vm::Vm(Simulation& sim, const Snapshot& s)
+    : Entity(sim, "vm-" + std::to_string(s.id)),
+      id_(s.id),
+      spec_(s.spec),
+      state_(s.state),
+      boot_fail_(s.boot_fail),
+      revoked_(s.revoked),
+      priority_queueing_(s.priority_queueing),
+      in_service_(s.in_service),
+      service_started_(s.service_started),
+      creation_time_(s.creation_time),
+      destruction_time_(s.destruction_time),
+      busy_seconds_(s.busy_seconds),
+      completed_(s.completed) {
+  for (const Request& request : s.waiting) waiting_.push_back(request);
+  if (s.boot_event.has_value()) {
+    boot_event_ = sim.schedule_stamped(
+        *s.boot_event, EventAction::method<&Vm::finish_boot>(this));
+  }
+  if (s.completion_event.has_value()) {
+    completion_event_ = sim.schedule_stamped(
+        *s.completion_event, EventAction::method<&Vm::finish_service>(this));
   }
 }
 

@@ -76,6 +76,38 @@ class Vm final : public Entity {
   Vm(Simulation& sim, std::uint64_t id, VmSpec spec, SimTime boot_delay = 0.0,
      bool fail_boot = false);
 
+  /// Value snapshot of one instance for checkpoint/restore (src/lookahead):
+  /// every accounting field plus the stamps of the pending boot/completion
+  /// events, so a restored twin replays the exact same event order. The
+  /// owner's callbacks are not captured — they bind to live objects and are
+  /// re-installed by the restored provisioner.
+  struct Snapshot {
+    std::uint64_t id = 0;
+    VmSpec spec;
+    VmState state = VmState::kRunning;
+    bool boot_fail = false;
+    bool revoked = false;
+    bool priority_queueing = false;
+    std::vector<Request> waiting;  ///< front-relative FIFO order
+    std::optional<Request> in_service;
+    SimTime service_started = 0.0;
+    SimTime creation_time = 0.0;
+    std::optional<SimTime> destruction_time;
+    double busy_seconds = 0.0;
+    std::uint64_t completed = 0;
+    /// Armed boot event. Present even for instances destroyed while booting:
+    /// their stale finish_boot still pops (as a no-op) and counts towards
+    /// executed_events(), which paces telemetry engine sampling.
+    std::optional<EventStamp> boot_event;
+    std::optional<EventStamp> completion_event;
+  };
+
+  Snapshot snapshot() const;
+
+  /// Restore constructor: rebuilds the instance from a snapshot and
+  /// re-pushes its pending events under their original stamps.
+  Vm(Simulation& sim, const Snapshot& snap);
+
   std::uint64_t id() const { return id_; }
   const VmSpec& spec() const { return spec_; }
   VmState state() const { return state_; }
@@ -172,6 +204,7 @@ class Vm final : public Entity {
   bool priority_queueing_ = false;
   RingBuffer<Request> waiting_;
   std::optional<Request> in_service_;
+  EventId boot_event_ = kInvalidEventId;
   EventId completion_event_ = kInvalidEventId;
   SimTime service_started_ = 0.0;
 

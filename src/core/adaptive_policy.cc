@@ -26,6 +26,27 @@ void AdaptivePolicy::attach(ApplicationProvisioner& provisioner) {
       [this](SimTime t, double rate) { on_rate_alert(t, rate); });
 }
 
+AdaptivePolicy::State AdaptivePolicy::checkpoint() const {
+  ensure(analyzer_.has_value(), "AdaptivePolicy::checkpoint: not attached");
+  State state;
+  state.analyzer = analyzer_->checkpoint();
+  predictor_->save_state(state.predictor);
+  state.decisions = decisions_;
+  return state;
+}
+
+void AdaptivePolicy::restore_attach(ApplicationProvisioner& provisioner,
+                                    const State& state) {
+  ensure(provisioner_ == nullptr, "AdaptivePolicy: attached twice");
+  provisioner_ = &provisioner;
+  modeler_.emplace(provisioner.qos(), modeler_config_);
+  predictor_->load_state(state.predictor);
+  decisions_ = state.decisions;
+  analyzer_.emplace(sim_, provisioner, predictor_, analyzer_config_);
+  analyzer_->restore([this](SimTime t, double rate) { on_rate_alert(t, rate); },
+                     state.analyzer);
+}
+
 void AdaptivePolicy::on_rate_alert(SimTime t, double expected_rate) {
   const double tm = provisioner_->monitored_service_time();
   const std::size_t k = provisioner_->current_queue_bound();

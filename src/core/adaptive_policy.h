@@ -55,6 +55,19 @@ class AdaptivePolicy final : public ProvisioningPolicy {
     return modeler_ ? &*modeler_ : nullptr;
   }
 
+  // --- checkpoint support (src/lookahead) ---------------------------------
+  /// Mutable policy state: the analyzer position, the predictor's fit state,
+  /// and the decision log. The modeler is stateless.
+  struct State {
+    WorkloadAnalyzer::State analyzer;
+    std::vector<double> predictor;
+    std::vector<DecisionRecord> decisions;
+  };
+  State checkpoint() const;
+  /// attach() variant for a restored world: binds the provisioner, restores
+  /// the predictor fit and analyzer tick, and replays no initial sizing.
+  void restore_attach(ApplicationProvisioner& provisioner, const State& state);
+
  private:
   void on_rate_alert(SimTime t, double expected_rate);
 

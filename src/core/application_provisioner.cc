@@ -113,31 +113,53 @@ bool ApplicationProvisioner::try_submit(const Request& request) {
   return true;
 }
 
+void ApplicationProvisioner::install_callbacks(Vm& vm) {
+  vm.set_completion_callback(
+      [this](Vm& v, const Request& r, double response_time) {
+        on_vm_complete(v, r, response_time);
+      });
+  vm.set_drained_callback([this](Vm& v) { on_vm_drained(v); });
+  vm.set_failure_callback(
+      [this](Vm& v, FaultCause cause, const std::vector<Request>& lost) {
+        on_vm_failed(v, cause, lost);
+      });
+}
+
+void ApplicationProvisioner::arm_boot_watchdog(Vm& vm,
+                                               std::optional<EventStamp> stamp) {
+  // Boot watchdog: the VM pointer stays valid for the whole run (the data
+  // center owns the full VM history), so the check is state-based. The
+  // record is erased when the event fires, pending records ride along in
+  // checkpoints.
+  Vm* watched = &vm;
+  const std::uint64_t vm_id = vm.id();
+  auto fire = [this, watched, vm_id] {
+    for (std::size_t i = 0; i < watchdogs_.size(); ++i) {
+      if (watchdogs_[i].vm_id == vm_id) {
+        watchdogs_.erase(watchdogs_.begin() + static_cast<std::ptrdiff_t>(i));
+        break;
+      }
+    }
+    if (watched->state() == VmState::kBooting) {
+      CLOUDPROV_LOG(Debug) << "boot timeout for vm-" << watched->id()
+                           << " at t=" << now();
+      (void)datacenter_.fail_vm(*watched, FaultCause::kBootTimeout);
+    }
+  };
+  const EventId event =
+      stamp ? sim().schedule_stamped(*stamp, std::move(fire))
+            : sim().schedule_in(config_.boot_timeout, std::move(fire));
+  watchdogs_.push_back(WatchdogRecord{event, vm_id});
+}
+
 Vm* ApplicationProvisioner::create_instance() {
   Vm* vm = vm_factory_ ? vm_factory_(config_.vm_spec)
                        : datacenter_.create_vm(config_.vm_spec);
   if (vm == nullptr) return nullptr;
   vm->set_priority_queueing(config_.priority_queueing);
-  vm->set_completion_callback(
-      [this](Vm& v, const Request& r, double response_time) {
-        on_vm_complete(v, r, response_time);
-      });
-  vm->set_drained_callback([this](Vm& v) { on_vm_drained(v); });
-  vm->set_failure_callback(
-      [this](Vm& v, FaultCause cause, const std::vector<Request>& lost) {
-        on_vm_failed(v, cause, lost);
-      });
+  install_callbacks(*vm);
   if (config_.boot_timeout > 0.0 && vm->state() == VmState::kBooting) {
-    // Boot watchdog: the VM pointer stays valid for the whole run (the data
-    // center owns the full VM history), so the check is state-based.
-    Vm* watched = vm;
-    sim().schedule_in(config_.boot_timeout, [this, watched] {
-      if (watched->state() == VmState::kBooting) {
-        CLOUDPROV_LOG(Debug) << "boot timeout for vm-" << watched->id()
-                             << " at t=" << now();
-        (void)datacenter_.fail_vm(*watched, FaultCause::kBootTimeout);
-      }
-    });
+    arm_boot_watchdog(*vm, std::nullopt);
   }
   instances_.push_back(vm);
   return vm;
@@ -329,6 +351,88 @@ double ApplicationProvisioner::deficit_seconds() const {
   double total = deficit_seconds_;
   if (in_deficit_) total += now() - deficit_since_;
   return total;
+}
+
+ApplicationProvisioner::Snapshot ApplicationProvisioner::checkpoint() const {
+  Snapshot snap;
+  snap.instances.reserve(instances_.size());
+  for (const Vm* vm : instances_) snap.instances.push_back(vm->id());
+  snap.draining.reserve(draining_.size());
+  for (const Vm* vm : draining_) snap.draining.push_back(vm->id());
+  snap.rr_cursor = rr_cursor_;
+  for (const WatchdogRecord& record : watchdogs_) {
+    if (auto stamp = sim().stamp(record.event)) {
+      snap.watchdogs.push_back(Snapshot::Watchdog{*stamp, record.vm_id});
+    }
+  }
+  snap.accepted = accepted_;
+  snap.rejected = rejected_;
+  snap.qos_violations = qos_violations_;
+  snap.lost_to_failures = lost_to_failures_;
+  snap.instance_failures = instance_failures_;
+  snap.window_arrivals = window_arrivals_;
+  snap.commanded_target = commanded_target_;
+  snap.failures_by_cause = failures_by_cause_;
+  snap.lost_by_cause = lost_by_cause_;
+  snap.recovery_stats = recovery_stats_;
+  snap.in_deficit = in_deficit_;
+  snap.deficit_since = deficit_since_;
+  snap.deficit_seconds = deficit_seconds_;
+  snap.response_stats = response_stats_;
+  snap.service_stats = service_stats_;
+  snap.p95 = p95_;
+  snap.p99 = p99_;
+  snap.instance_count = instance_count_;
+  snap.instance_history_started = instance_history_started_;
+  return snap;
+}
+
+void ApplicationProvisioner::restore(const Snapshot& snap) {
+  ensure(instances_.empty() && draining_.empty() && accepted_ == 0,
+         "ApplicationProvisioner::restore: provisioner already used");
+  instances_.clear();
+  for (std::uint64_t id : snap.instances) {
+    Vm* vm = datacenter_.find_vm(id);
+    ensure(vm != nullptr, "restore: active instance missing from data center");
+    install_callbacks(*vm);
+    instances_.push_back(vm);
+  }
+  draining_.clear();
+  for (std::uint64_t id : snap.draining) {
+    Vm* vm = datacenter_.find_vm(id);
+    ensure(vm != nullptr, "restore: draining instance missing from data center");
+    install_callbacks(*vm);
+    draining_.push_back(vm);
+  }
+  rr_cursor_ = snap.rr_cursor;
+  watchdogs_.clear();
+  for (const Snapshot::Watchdog& watchdog : snap.watchdogs) {
+    Vm* vm = datacenter_.find_vm(watchdog.vm_id);
+    ensure(vm != nullptr, "restore: watchdog target missing from data center");
+    arm_boot_watchdog(*vm, watchdog.stamp);
+  }
+  accepted_ = snap.accepted;
+  rejected_ = snap.rejected;
+  qos_violations_ = snap.qos_violations;
+  lost_to_failures_ = snap.lost_to_failures;
+  instance_failures_ = snap.instance_failures;
+  window_arrivals_ = snap.window_arrivals;
+  commanded_target_ = snap.commanded_target;
+  failures_by_cause_ = snap.failures_by_cause;
+  lost_by_cause_ = snap.lost_by_cause;
+  recovery_stats_ = snap.recovery_stats;
+  in_deficit_ = snap.in_deficit;
+  deficit_since_ = snap.deficit_since;
+  deficit_seconds_ = snap.deficit_seconds;
+  response_stats_ = snap.response_stats;
+  service_stats_ = snap.service_stats;
+  p95_ = snap.p95;
+  p99_ = snap.p99;
+  instance_count_ = snap.instance_count;
+  instance_history_started_ = snap.instance_history_started;
+  // The queue-bound memo recomputes lazily (it is a pure function of the
+  // restored service statistics).
+  bound_cache_completions_ = UINT64_MAX;
 }
 
 MonitoringSnapshot ApplicationProvisioner::snapshot() const {

@@ -17,6 +17,7 @@
 #include <array>
 #include <cstdint>
 #include <memory>
+#include <optional>
 #include <vector>
 
 #include "cloud/broker.h"
@@ -187,9 +188,53 @@ class ApplicationProvisioner final : public Entity,
   /// target; 1 - deficit_seconds()/elapsed is the pool availability.
   double deficit_seconds() const;
 
+  // --- checkpoint support (src/lookahead) ---------------------------------
+  /// Full mutable state: pool membership (by VM id), dispatch cursor, all
+  /// counters/statistics, and pending boot-watchdog events. Callbacks and
+  /// the VM factory are wiring, not state — the restoring side re-installs
+  /// them (restore() reattaches the lifecycle callbacks itself; the factory
+  /// is re-bound by whoever owns the market broker).
+  struct Snapshot {
+    std::vector<std::uint64_t> instances;  ///< RUNNING vm ids, rr order
+    std::vector<std::uint64_t> draining;   ///< DRAINING vm ids
+    std::size_t rr_cursor = 0;
+    struct Watchdog {
+      EventStamp stamp;
+      std::uint64_t vm_id = 0;
+    };
+    std::vector<Watchdog> watchdogs;  ///< pending boot-timeout checks
+    std::uint64_t accepted = 0;
+    std::uint64_t rejected = 0;
+    std::uint64_t qos_violations = 0;
+    std::uint64_t lost_to_failures = 0;
+    std::uint64_t instance_failures = 0;
+    std::uint64_t window_arrivals = 0;
+    std::size_t commanded_target = 0;
+    std::array<std::uint64_t, kFaultCauseCount> failures_by_cause{};
+    std::array<std::uint64_t, kFaultCauseCount> lost_by_cause{};
+    RunningStats recovery_stats;
+    bool in_deficit = false;
+    SimTime deficit_since = 0.0;
+    double deficit_seconds = 0.0;
+    RunningStats response_stats;
+    RunningStats service_stats;
+    P2Quantile p95{0.95};
+    P2Quantile p99{0.99};
+    TimeWeightedValue instance_count;
+    bool instance_history_started = false;
+  };
+  Snapshot checkpoint() const;
+  /// Rebinds the pool against the (already restored) data center, reattaches
+  /// lifecycle callbacks on every live pool VM, and re-arms pending boot
+  /// watchdogs under their original event stamps. Must run on a freshly
+  /// constructed provisioner with identical configuration.
+  void restore(const Snapshot& snap);
+
  private:
   Vm* select_instance(const Request& request);
   Vm* create_instance();
+  void install_callbacks(Vm& vm);
+  void arm_boot_watchdog(Vm& vm, std::optional<EventStamp> stamp);
   void drain_instance(std::size_t index);
   void on_vm_complete(Vm& vm, const Request& request, double response_time);
   void on_vm_drained(Vm& vm);
@@ -209,6 +254,14 @@ class ApplicationProvisioner final : public Entity,
   std::vector<Vm*> instances_;  ///< RUNNING, in round-robin order
   std::vector<Vm*> draining_;   ///< DRAINING, pending destruction
   std::size_t rr_cursor_ = 0;
+
+  /// Pending boot watchdogs, tracked so checkpoints can carry them across a
+  /// restore. Each entry is erased when its event fires.
+  struct WatchdogRecord {
+    EventId event = kInvalidEventId;
+    std::uint64_t vm_id = 0;
+  };
+  std::vector<WatchdogRecord> watchdogs_;
 
   /// Memo for the adaptive queue bound, keyed on the completion count (the
   /// monitored mean — and therefore k — only changes when a completion is

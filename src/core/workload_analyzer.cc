@@ -36,6 +36,29 @@ void WorkloadAnalyzer::stop() {
   if (process_) process_->stop();
 }
 
+WorkloadAnalyzer::State WorkloadAnalyzer::checkpoint() const {
+  State state;
+  state.last_prediction = last_prediction_;
+  if (process_) {
+    if (auto stamp = process_->pending_stamp()) {
+      state.running = true;
+      state.tick = *stamp;
+    }
+  }
+  return state;
+}
+
+void WorkloadAnalyzer::restore(RateAlert alert, const State& state) {
+  ensure_arg(static_cast<bool>(alert), "WorkloadAnalyzer: empty alert callback");
+  ensure(!process_, "WorkloadAnalyzer::restore: analyzer already started");
+  alert_ = std::move(alert);
+  last_prediction_ = state.last_prediction;
+  if (state.running) {
+    process_.emplace(sim_, state.tick, config_.analysis_interval,
+                     [this](SimTime t) { tick(t); });
+  }
+}
+
 void WorkloadAnalyzer::tick(SimTime t) {
   const double observed =
       static_cast<double>(provisioner_.take_window_arrivals()) /

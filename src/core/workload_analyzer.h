@@ -44,6 +44,22 @@ class WorkloadAnalyzer {
 
   double last_prediction() const { return last_prediction_; }
   const ArrivalRatePredictor& predictor() const { return *predictor_; }
+  ArrivalRatePredictor& mutable_predictor() { return *predictor_; }
+
+  // --- checkpoint support (src/lookahead) ---------------------------------
+  /// Analyzer position: the last alerted prediction and the pending periodic
+  /// tick. Predictor fit state is checkpointed separately (the predictor may
+  /// be shared between analyzers).
+  struct State {
+    double last_prediction = -1.0;
+    bool running = false;
+    EventStamp tick;  ///< pending tick stamp; meaningful when running
+  };
+  State checkpoint() const;
+  /// Re-installs the alert callback and re-arms the periodic tick under its
+  /// original stamp — without the initial-sizing alert that start() fires.
+  /// Must run on a freshly constructed analyzer.
+  void restore(RateAlert alert, const State& state);
 
  private:
   void tick(SimTime t);

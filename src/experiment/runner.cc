@@ -1,34 +1,16 @@
 #include "experiment/runner.h"
 
 #include <atomic>
-#include <chrono>
 #include <mutex>
 #include <thread>
 #include <memory>
 
-#include "cloud/broker.h"
-#include "core/application_provisioner.h"
-#include "core/provisioning_policy.h"
-#include "fault/fault_injector.h"
-#include "fault/reconciler.h"
-#include "predict/ar_model.h"
-#include "predict/ewma.h"
-#include "predict/moving_average.h"
-#include "predict/oracle.h"
-#include "predict/periodic_profile.h"
-#include "predict/qrsm.h"
+#include "experiment/world.h"
 #include "util/check.h"
 #include "util/log.h"
 
 namespace cloudprov {
 namespace {
-
-std::unique_ptr<RequestSource> make_source(const ScenarioConfig& config) {
-  if (config.workload == WorkloadKind::kWeb) {
-    return std::make_unique<WebWorkload>(config.web);
-  }
-  return std::make_unique<BotWorkload>(config.bot);
-}
 
 // Scoped sim-time log prefix: while a telemetry-instrumented replication
 // runs, CLOUDPROV_LOG lines carry [t=...] so they correlate with trace
@@ -43,225 +25,17 @@ class ScopedLogTime {
   ScopedLogTime& operator=(const ScopedLogTime&) = delete;
 };
 
-std::shared_ptr<ArrivalRatePredictor> make_predictor(const ScenarioConfig& config,
-                                                     PredictorKind kind,
-                                                     const RequestSource& source) {
-  switch (kind) {
-    case PredictorKind::kProfile:
-      if (config.workload == WorkloadKind::kWeb) {
-        return std::make_shared<PeriodicProfilePredictor>(
-            web_profile_predictor(config.web));
-      }
-      return std::make_shared<PeriodicProfilePredictor>(
-          bot_profile_predictor(config.bot));
-    case PredictorKind::kOracle:
-      return std::make_shared<OraclePredictor>(source, /*margin=*/0.05);
-    case PredictorKind::kEwma:
-      return std::make_shared<EwmaPredictor>(/*alpha=*/0.3, /*headroom=*/0.15);
-    case PredictorKind::kMovingAverage:
-      return std::make_shared<MovingAveragePredictor>(
-          /*window=*/10, MovingAveragePredictor::Mode::kMax, /*headroom=*/0.1);
-    case PredictorKind::kAr:
-      return std::make_shared<ArPredictor>(/*order=*/4, /*history=*/60,
-                                           /*headroom=*/0.15);
-    case PredictorKind::kQrsm:
-      return std::make_shared<QrsmPredictor>(/*history=*/15, /*headroom=*/0.15);
-  }
-  ensure(false, "make_predictor: unknown kind");
-  return nullptr;
-}
-
 }  // namespace
 
 RunOutput run_scenario(const ScenarioConfig& config, const PolicySpec& policy,
                        std::uint64_t seed,
                        const std::optional<TelemetryOptions>& telemetry_opts) {
-  const auto wall_start = std::chrono::steady_clock::now();
-
-  SplitMix64 seeder(seed);
-  Rng workload_rng(seeder.next());
-  // Reserved stream: RandomPlacement experiments draw from here so that
-  // enabling them does not disturb the workload stream of existing seeds.
-  Rng placement_rng(seeder.next());
-  // Fault-injection stream, drawn after the reserved streams so enabling
-  // faults never perturbs the workload of existing seeds; each replication
-  // seed therefore carries its own independent fault stream.
-  const std::uint64_t fault_seed = seeder.next();
-  // Spot-price stream, drawn unconditionally after the fault stream (same
-  // derivation discipline): enabling the market never perturbs the
-  // workload/placement/fault streams of existing seeds.
-  const std::uint64_t market_seed = seeder.next();
-
-  std::unique_ptr<Telemetry> telemetry;
-  if (telemetry_opts.has_value()) {
-    telemetry = std::make_unique<Telemetry>(*telemetry_opts);
-  }
-
-  Simulation sim;
-  sim.set_telemetry(telemetry.get());
+  World world(config, policy, seed, telemetry_opts);
   std::optional<ScopedLogTime> log_time;
-  if (telemetry != nullptr) log_time.emplace(sim);
-  Datacenter datacenter(sim, config.datacenter,
-                        std::make_unique<LeastLoadedPlacement>());
-  datacenter.set_telemetry(telemetry.get());
-
-  ProvisionerConfig prov_config;
-  prov_config.vm_spec = VmSpec{};  // 1 core, 2 GB, unit speed
-  prov_config.initial_service_time_estimate = config.initial_service_time_estimate;
-  prov_config.boot_timeout = config.boot_timeout;
-  ApplicationProvisioner provisioner(sim, datacenter, config.qos, prov_config);
-  provisioner.set_telemetry(telemetry.get());
-
-  // The market broker is attached before any policy commands capacity so
-  // even the initial pool is bought on the market.
-  std::optional<MarketBroker> market;
-  if (config.market.enabled) {
-    market.emplace(sim, datacenter, config.market, market_seed);
-    market->set_telemetry(telemetry.get());
-    market->attach(provisioner);
-  }
-
-  std::optional<FaultInjector> faults;
-  if (config.fault.enabled()) {
-    faults.emplace(sim, datacenter, provisioner, config.fault, fault_seed);
-    faults->set_telemetry(telemetry.get());
-  }
-  std::optional<Reconciler> reconciler;
-  if (config.reconciler.enabled) {
-    reconciler.emplace(sim, provisioner, config.reconciler);
-    reconciler->set_telemetry(telemetry.get());
-  }
-
-  auto source = make_source(config);
-  Broker broker(sim, *source, provisioner, workload_rng);
-
-  std::unique_ptr<ProvisioningPolicy> prov_policy;
-  AdaptivePolicy* adaptive = nullptr;
-  if (policy.kind == PolicySpec::Kind::kStatic) {
-    prov_policy =
-        std::make_unique<StaticPolicy>(config.scaled_instances(policy.static_instances));
-  } else {
-    auto owned = std::make_unique<AdaptivePolicy>(
-        sim, make_predictor(config, policy.predictor, *source), config.modeler,
-        config.analyzer);
-    adaptive = owned.get();
-    adaptive->set_telemetry(telemetry.get());
-    prov_policy = std::move(owned);
-  }
-
-  prov_policy->attach(provisioner);
-  broker.start();
-  if (faults.has_value()) faults->start();
-  if (reconciler.has_value()) reconciler->start();
-  if (market.has_value()) market->start();
-  sim.run(config.horizon);
-
-  if (telemetry != nullptr) {
-    // Close the drift observatory's trailing window and take a final SLO
-    // reading at the horizon (both purely observational).
-    if (DriftMonitor* drift = telemetry->drift(); drift != nullptr) {
-      drift->finalize(sim.now(), datacenter.vm_hours(),
-                      datacenter.busy_vm_hours());
-    }
-    if (SloMonitor* slo = telemetry->slo(); slo != nullptr) {
-      slo->evaluate(sim.now());
-    }
-  }
-
-  RunOutput output;
-  RunMetrics& m = output.metrics;
-  m.policy = policy.label(config.scale);
-  m.seed = seed;
-  m.generated = broker.generated();
-  m.accepted = provisioner.accepted();
-  m.rejected = provisioner.rejected();
-  m.completed = provisioner.completed();
-  m.qos_violations = provisioner.qos_violations();
-  m.avg_response_time = provisioner.response_time_stats().mean();
-  m.std_response_time = provisioner.response_time_stats().stddev();
-  m.p95_response_time = provisioner.response_p95();
-  m.p99_response_time = provisioner.response_p99();
-
-  // Advance the time-weighted instance series to the horizon, then read it.
-  TimeWeightedValue history = provisioner.instance_history();
-  history.advance(sim.now());
-  m.min_instances = history.min();
-  m.max_instances = history.max();
-  m.avg_instances = history.time_average();
-
-  m.vm_hours = datacenter.vm_hours();
-  m.busy_vm_hours = datacenter.busy_vm_hours();
-  m.utilization = datacenter.utilization();
-  m.rejection_rate = provisioner.rejection_rate();
-
-  m.instance_failures = provisioner.instance_failures();
-  m.vm_crashes = provisioner.failures_by_cause(FaultCause::kVmCrash);
-  m.host_crashes = datacenter.failed_hosts();
-  m.boot_failures = provisioner.failures_by_cause(FaultCause::kBootFailure);
-  m.boot_timeouts = provisioner.boot_timeouts();
-  m.lost_requests = provisioner.lost_to_failures();
-  m.lost_to_vm_crashes = provisioner.lost_by_cause(FaultCause::kVmCrash);
-  m.lost_to_host_crashes = provisioner.lost_by_cause(FaultCause::kHostCrash);
-  m.availability =
-      sim.now() > 0.0 ? 1.0 - provisioner.deficit_seconds() / sim.now() : 1.0;
-  m.recoveries = provisioner.recovery_time_stats().count();
-  m.mttr_mean = provisioner.recovery_time_stats().empty()
-                    ? 0.0
-                    : provisioner.recovery_time_stats().mean();
-  m.mttr_max = provisioner.recovery_time_stats().empty()
-                   ? 0.0
-                   : provisioner.recovery_time_stats().max();
-  if (reconciler.has_value()) {
-    m.reconciler_heals = reconciler->heals();
-    m.reconciler_retries = reconciler->retries();
-    m.reconciler_aborts = reconciler->aborts();
-  }
-  m.final_instances = provisioner.active_instances();
-
-  if (telemetry != nullptr) {
-    if (const SloMonitor* slo = telemetry->slo(); slo != nullptr) {
-      m.slo_response_alerts = slo->response_alerts();
-      m.slo_rejection_alerts = slo->rejection_alerts();
-      m.slo_worst_burn_rate = slo->worst_burn_rate();
-    }
-    if (const DriftMonitor* drift = telemetry->drift(); drift != nullptr) {
-      m.drift_windows = drift->closed_windows();
-      const DriftMonitor::ErrorStats response = drift->response_error();
-      m.drift_response_mape = response.mape;
-      m.drift_response_bias = response.bias;
-    }
-    if (const SpanTracer* spans = telemetry->spans(); spans != nullptr) {
-      m.spans_traced = spans->traced();
-    }
-  }
-
-  if (market.has_value()) {
-    market->stop();
-    const MarketReport report = market->finalize(sim.now());
-    m.billed_cost = report.total_cost;
-    m.on_demand_cost = report.on_demand_cost;
-    m.spot_cost = report.spot_cost;
-    m.reserved_cost = report.reserved_cost;
-    m.on_demand_purchases = report.on_demand_purchases;
-    m.spot_purchases = report.spot_purchases;
-    m.reserved_purchases = report.reserved_purchases;
-    m.spot_revocations = report.revocations;
-    m.revocation_kills = report.revocation_kills;
-    m.lost_to_revocations =
-        provisioner.lost_by_cause(FaultCause::kSpotRevocation);
-    m.spot_price_mean = report.spot_price_mean;
-    m.spot_price_max = report.spot_price_max;
-    output.market = report;
-  }
-
-  m.simulated_events = sim.executed_events();
-  m.wall_seconds = std::chrono::duration<double>(
-                       std::chrono::steady_clock::now() - wall_start)
-                       .count();
-  if (adaptive != nullptr) output.decisions = adaptive->decisions();
-  output.telemetry = std::move(telemetry);
-  (void)placement_rng;
-  return output;
+  if (world.telemetry() != nullptr) log_time.emplace(world.sim());
+  world.start();
+  world.run_to(config.horizon);
+  return world.finish();
 }
 
 std::vector<std::uint64_t> replication_seeds(std::size_t replications,
@@ -329,7 +103,7 @@ std::vector<SampledSeries::Point> workload_rate_curve(
   SplitMix64 seeder(base_seed);
   for (std::size_t rep = 0; rep < replications; ++rep) {
     Rng rng(seeder.next());
-    auto source = make_source(config);
+    auto source = make_scenario_source(config);
     while (auto arrival = source->next(rng)) {
       const auto bin = static_cast<std::size_t>(arrival->time / window);
       if (bin < bins) counts[bin] += 1.0;

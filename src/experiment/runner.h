@@ -15,23 +15,13 @@
 
 #include "experiment/metrics.h"
 #include "experiment/scenario.h"
+#include "experiment/world.h"
 #include "stats/timeseries.h"
 #include "telemetry/telemetry.h"
 
 namespace cloudprov {
-
-struct RunOutput {
-  RunMetrics metrics;
-  /// Adaptive-policy decision history (empty for static runs).
-  std::vector<AdaptivePolicy::DecisionRecord> decisions;
-  /// Market ledger + realized spot path (src/market); nullopt unless the
-  /// scenario enabled the market.
-  std::optional<MarketReport> market;
-  /// The replication's telemetry collector (metrics registry + trace
-  /// buffer); null unless telemetry was requested. Telemetry is purely
-  /// observational: metrics are identical with it on or off.
-  std::unique_ptr<Telemetry> telemetry;
-};
+// RunOutput lives in experiment/world.h; run_scenario is a thin wrapper over
+// World (construct, start, run to horizon, finish).
 
 /// Runs one replication. `seed` selects the replication's random streams.
 /// Passing `telemetry` options instruments the whole pipeline (engine,

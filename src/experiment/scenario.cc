@@ -38,11 +38,34 @@ PolicySpec PolicySpec::fixed(std::size_t instances) {
   return spec;
 }
 
+PolicySpec PolicySpec::lookahead_spec(std::size_t candidates,
+                                      std::size_t horizon_windows,
+                                      PredictorKind predictor,
+                                      std::vector<double> bid_levels) {
+  ensure_arg(horizon_windows >= 1,
+             "PolicySpec::lookahead_spec: need a >= 1 window horizon");
+  PolicySpec spec;
+  spec.kind = Kind::kLookahead;
+  spec.predictor = predictor;
+  spec.lookahead.candidates = candidates;
+  spec.lookahead.horizon_windows = horizon_windows;
+  spec.lookahead.bid_levels = std::move(bid_levels);
+  return spec;
+}
+
 std::string PolicySpec::label(double scale) const {
   if (kind == Kind::kStatic) {
     const auto scaled = static_cast<std::size_t>(std::max(
         1.0, std::round(static_cast<double>(static_instances) * scale)));
     return "Static-" + std::to_string(scaled);
+  }
+  if (kind == Kind::kLookahead) {
+    std::string label = "Lookahead-" + std::to_string(lookahead.candidates) +
+                        "x" + std::to_string(lookahead.horizon_windows);
+    if (predictor != PredictorKind::kProfile) {
+      label += "(" + to_string(predictor) + ")";
+    }
+    return label;
   }
   if (predictor == PredictorKind::kProfile) return "Adaptive";
   return "Adaptive(" + to_string(predictor) + ")";

@@ -21,6 +21,7 @@
 #include "core/workload_analyzer.h"
 #include "fault/fault_plan.h"
 #include "fault/reconciler.h"
+#include "lookahead/lookahead_policy.h"
 #include "market/market_broker.h"
 #include "workload/bot_workload.h"
 #include "workload/web_workload.h"
@@ -34,15 +35,25 @@ std::string to_string(WorkloadKind kind);
 std::string to_string(PredictorKind kind);
 
 struct PolicySpec {
-  enum class Kind { kAdaptive, kStatic };
+  enum class Kind { kAdaptive, kStatic, kLookahead };
   Kind kind = Kind::kAdaptive;
   /// Static pool size at paper scale (scaled by ScenarioConfig::scale).
   std::size_t static_instances = 0;
-  /// Predictor used by the adaptive policy.
+  /// Predictor used by the adaptive and lookahead policies.
   PredictorKind predictor = PredictorKind::kProfile;
+  /// Co-simulation search knobs (kLookahead only). The forecast-stream seed
+  /// is derived per replication (SeedStreams::lookahead), not taken from
+  /// here.
+  LookaheadConfig lookahead;
 
   static PolicySpec adaptive(PredictorKind predictor = PredictorKind::kProfile);
   static PolicySpec fixed(std::size_t instances);
+  /// Model-predictive provisioner: K candidate pool sizes evaluated H
+  /// analysis windows ahead in what-if clones of the world (src/lookahead).
+  static PolicySpec lookahead_spec(
+      std::size_t candidates, std::size_t horizon_windows,
+      PredictorKind predictor = PredictorKind::kProfile,
+      std::vector<double> bid_levels = {});
   std::string label(double scale) const;
 };
 

@@ -1,0 +1,419 @@
+#include "experiment/world.h"
+
+#include <chrono>
+#include <utility>
+
+#include "core/provisioning_policy.h"
+#include "predict/ar_model.h"
+#include "predict/ewma.h"
+#include "predict/moving_average.h"
+#include "predict/oracle.h"
+#include "predict/periodic_profile.h"
+#include "predict/qrsm.h"
+#include "util/check.h"
+#include "util/log.h"
+#include "workload/bot_workload.h"
+#include "workload/web_workload.h"
+
+namespace cloudprov {
+namespace {
+
+std::shared_ptr<ArrivalRatePredictor> make_predictor(
+    const ScenarioConfig& config, PredictorKind kind,
+    const RequestSource& source) {
+  switch (kind) {
+    case PredictorKind::kProfile:
+      if (config.workload == WorkloadKind::kWeb) {
+        return std::make_shared<PeriodicProfilePredictor>(
+            web_profile_predictor(config.web));
+      }
+      return std::make_shared<PeriodicProfilePredictor>(
+          bot_profile_predictor(config.bot));
+    case PredictorKind::kOracle:
+      return std::make_shared<OraclePredictor>(source, /*margin=*/0.05);
+    case PredictorKind::kEwma:
+      return std::make_shared<EwmaPredictor>(/*alpha=*/0.3, /*headroom=*/0.15);
+    case PredictorKind::kMovingAverage:
+      return std::make_shared<MovingAveragePredictor>(
+          /*window=*/10, MovingAveragePredictor::Mode::kMax, /*headroom=*/0.1);
+    case PredictorKind::kAr:
+      return std::make_shared<ArPredictor>(/*order=*/4, /*history=*/60,
+                                           /*headroom=*/0.15);
+    case PredictorKind::kQrsm:
+      return std::make_shared<QrsmPredictor>(/*history=*/15, /*headroom=*/0.15);
+  }
+  ensure(false, "make_predictor: unknown kind");
+  return nullptr;
+}
+
+double scenario_service_base(const ScenarioConfig& config) {
+  return config.workload == WorkloadKind::kWeb ? config.web.service_base
+                                               : config.bot.service_base;
+}
+
+double scenario_service_spread(const ScenarioConfig& config) {
+  return config.workload == WorkloadKind::kWeb ? config.web.service_spread
+                                               : config.bot.service_spread;
+}
+
+}  // namespace
+
+std::unique_ptr<RequestSource> make_scenario_source(
+    const ScenarioConfig& config) {
+  if (config.workload == WorkloadKind::kWeb) {
+    return std::make_unique<WebWorkload>(config.web);
+  }
+  return std::make_unique<BotWorkload>(config.bot);
+}
+
+void World::build_platform() {
+  sim_.set_telemetry(telemetry_.get());
+  datacenter_.emplace(sim_, config_.datacenter,
+                      std::make_unique<LeastLoadedPlacement>());
+  datacenter_->set_telemetry(telemetry_.get());
+
+  ProvisionerConfig prov_config;
+  prov_config.vm_spec = VmSpec{};  // 1 core, 2 GB, unit speed
+  prov_config.initial_service_time_estimate =
+      config_.initial_service_time_estimate;
+  prov_config.boot_timeout = config_.boot_timeout;
+  provisioner_.emplace(sim_, *datacenter_, config_.qos, prov_config);
+  provisioner_->set_telemetry(telemetry_.get());
+
+  // The market broker is attached before any policy commands capacity so
+  // even the initial pool is bought on the market.
+  if (config_.market.enabled) {
+    market_.emplace(sim_, *datacenter_, config_.market, streams_.market);
+    market_->set_telemetry(telemetry_.get());
+    market_->attach(*provisioner_);
+  }
+  if (config_.fault.enabled()) {
+    faults_.emplace(sim_, *datacenter_, *provisioner_, config_.fault,
+                    streams_.fault);
+    faults_->set_telemetry(telemetry_.get());
+  }
+  if (config_.reconciler.enabled) {
+    reconciler_.emplace(sim_, *provisioner_, config_.reconciler);
+    reconciler_->set_telemetry(telemetry_.get());
+  }
+}
+
+void World::build_policy(const AdaptivePolicy::State* restored,
+                         const std::optional<Rng::State>& lookahead_rng,
+                         bool force_adaptive) {
+  if (policy_.kind == PolicySpec::Kind::kStatic) {
+    if (restored == nullptr) {
+      prov_policy_ = std::make_unique<StaticPolicy>(
+          config_.scaled_instances(policy_.static_instances));
+    }
+    // Restored static worlds need no policy object at all: the pool size is
+    // already part of the provisioner snapshot and never changes again.
+    return;
+  }
+
+  if (policy_.kind == PolicySpec::Kind::kAdaptive || force_adaptive) {
+    auto owned = std::make_unique<AdaptivePolicy>(
+        sim_, make_predictor(config_, policy_.predictor, *source_),
+        config_.modeler, config_.analyzer);
+    adaptive_ = owned.get();
+    adaptive_->set_telemetry(telemetry_.get());
+    prov_policy_ = std::move(owned);
+    if (restored != nullptr) adaptive_->restore_attach(*provisioner_, *restored);
+    return;
+  }
+
+  LookaheadConfig lookahead_config = policy_.lookahead;
+  lookahead_config.seed = streams_.lookahead;
+  auto owned = std::make_unique<LookaheadPolicy>(
+      sim_, make_predictor(config_, policy_.predictor, *source_),
+      config_.modeler, config_.analyzer, std::move(lookahead_config));
+  lookahead_ = owned.get();
+  lookahead_->set_telemetry(telemetry_.get());
+  lookahead_->set_engine(this);
+  prov_policy_ = std::move(owned);
+  if (restored != nullptr) {
+    lookahead_->restore_attach(*provisioner_, *restored, lookahead_rng);
+  }
+}
+
+World::World(const ScenarioConfig& config, const PolicySpec& policy,
+             std::uint64_t seed,
+             const std::optional<TelemetryOptions>& telemetry_opts)
+    : config_(config),
+      policy_(policy),
+      seed_(seed),
+      streams_(derive_streams(seed)),
+      wall_start_(std::chrono::steady_clock::now()) {
+  if (telemetry_opts.has_value()) {
+    telemetry_ = std::make_unique<Telemetry>(*telemetry_opts);
+  }
+  build_platform();
+  source_ = make_scenario_source(config_);
+  broker_.emplace(sim_, *source_, *provisioner_, Rng(streams_.workload));
+  build_policy(nullptr, std::nullopt, /*force_adaptive=*/false);
+}
+
+World::World(const ScenarioConfig& config, const PolicySpec& policy,
+             std::uint64_t seed, const WorldState& state,
+             const Overrides& overrides)
+    : config_(config),
+      policy_(policy),
+      seed_(seed),
+      streams_(derive_streams(seed)),
+      wall_start_(std::chrono::steady_clock::now()) {
+  if (state.telemetry != nullptr) telemetry_ = state.telemetry->clone();
+  build_platform();
+  // Component restore order is free (each re-pushes under explicit stamps);
+  // only the clock restore must come last, after every re-push.
+  datacenter_->restore(state.datacenter);
+  provisioner_->restore(state.provisioner);
+  if (market_.has_value() && state.market.has_value()) {
+    market_->restore(*state.market);
+  }
+  if (faults_.has_value() && state.faults.has_value()) {
+    faults_->restore(*state.faults);
+  }
+  if (reconciler_.has_value() && state.reconciler.has_value()) {
+    reconciler_->restore(*state.reconciler);
+  }
+
+  Broker::Snapshot broker_snap = state.broker;
+  if (overrides.forecast_rate.has_value()) {
+    // What-if fork: future arrivals come from a synthetic Poisson stream at
+    // the forecast rate, continuing from the in-flight arrival's timestamp,
+    // on a per-window stream (common random numbers across candidates).
+    source_ = std::make_unique<PoissonForecastSource>(
+        *overrides.forecast_rate, scenario_service_base(config_),
+        scenario_service_spread(config_), state.broker.pending_arrival.time);
+    broker_snap.rng = Rng(overrides.forecast_seed).state();
+  } else {
+    source_ = make_scenario_source(config_);
+    source_->load_state(state.source);
+  }
+  broker_.emplace(sim_, *source_, *provisioner_, Rng(streams_.workload));
+  broker_->restore(broker_snap);
+
+  build_policy(state.policy_present ? &state.policy : nullptr,
+               state.lookahead_rng, overrides.force_adaptive);
+
+  sim_.restore_clock(state.now, state.executed_events, state.push_counter);
+  started_ = true;
+
+  // Candidate overrides act only after the clock is back, so any VM churn
+  // they cause is stamped at the fork time like the live commit would be.
+  if (overrides.bid.has_value() && market_.has_value()) {
+    market_->set_bid(*overrides.bid);
+  }
+  if (overrides.initial_target.has_value()) {
+    provisioner_->scale_to(*overrides.initial_target);
+  }
+}
+
+World::~World() = default;
+
+void World::start() {
+  ensure(!started_, "World::start: already started (or restored)");
+  started_ = true;
+  if (prov_policy_ != nullptr) prov_policy_->attach(*provisioner_);
+  broker_->start();
+  if (faults_.has_value()) faults_->start();
+  if (reconciler_.has_value()) reconciler_->start();
+  if (market_.has_value()) market_->start();
+}
+
+void World::run_to(SimTime t) {
+  ensure(started_, "World::run_to: start() first");
+  sim_.run(t);
+}
+
+SimTime World::now() const { return sim_.now(); }
+
+WorldState World::snapshot(const SnapshotOptions& options) const {
+  WorldState state;
+  state.now = sim_.now();
+  state.executed_events = sim_.executed_events();
+  state.push_counter = sim_.event_push_counter();
+  state.datacenter = datacenter_->snapshot();
+  state.provisioner = provisioner_->checkpoint();
+  state.broker = broker_->snapshot();
+  source_->save_state(state.source);
+  if (adaptive_ != nullptr) {
+    state.policy_present = true;
+    state.policy = adaptive_->checkpoint();
+  } else if (lookahead_ != nullptr) {
+    state.policy_present = true;
+    state.policy = lookahead_->checkpoint();
+    state.lookahead_rng = lookahead_->rng_state();
+  }
+  if (!options.include_decisions) state.policy.decisions.clear();
+  if (market_.has_value()) state.market = market_->checkpoint();
+  if (faults_.has_value()) state.faults = faults_->checkpoint();
+  if (reconciler_.has_value()) state.reconciler = reconciler_->checkpoint();
+  if (options.include_telemetry && telemetry_ != nullptr) {
+    state.telemetry = telemetry_->clone();
+  }
+  return state;
+}
+
+RunOutput World::finish() {
+  if (telemetry_ != nullptr) {
+    // Close the drift observatory's trailing window and take a final SLO
+    // reading at the horizon (both purely observational).
+    if (DriftMonitor* drift = telemetry_->drift(); drift != nullptr) {
+      drift->finalize(sim_.now(), datacenter_->vm_hours(),
+                      datacenter_->busy_vm_hours());
+    }
+    if (SloMonitor* slo = telemetry_->slo(); slo != nullptr) {
+      slo->evaluate(sim_.now());
+    }
+  }
+
+  RunOutput output;
+  RunMetrics& m = output.metrics;
+  m.policy = policy_.label(config_.scale);
+  m.seed = seed_;
+  m.generated = broker_->generated();
+  m.accepted = provisioner_->accepted();
+  m.rejected = provisioner_->rejected();
+  m.completed = provisioner_->completed();
+  m.qos_violations = provisioner_->qos_violations();
+  m.avg_response_time = provisioner_->response_time_stats().mean();
+  m.std_response_time = provisioner_->response_time_stats().stddev();
+  m.p95_response_time = provisioner_->response_p95();
+  m.p99_response_time = provisioner_->response_p99();
+
+  // Advance the time-weighted instance series to the horizon, then read it.
+  TimeWeightedValue history = provisioner_->instance_history();
+  history.advance(sim_.now());
+  m.min_instances = history.min();
+  m.max_instances = history.max();
+  m.avg_instances = history.time_average();
+
+  m.vm_hours = datacenter_->vm_hours();
+  m.busy_vm_hours = datacenter_->busy_vm_hours();
+  m.utilization = datacenter_->utilization();
+  m.rejection_rate = provisioner_->rejection_rate();
+
+  m.instance_failures = provisioner_->instance_failures();
+  m.vm_crashes = provisioner_->failures_by_cause(FaultCause::kVmCrash);
+  m.host_crashes = datacenter_->failed_hosts();
+  m.boot_failures = provisioner_->failures_by_cause(FaultCause::kBootFailure);
+  m.boot_timeouts = provisioner_->boot_timeouts();
+  m.lost_requests = provisioner_->lost_to_failures();
+  m.lost_to_vm_crashes = provisioner_->lost_by_cause(FaultCause::kVmCrash);
+  m.lost_to_host_crashes = provisioner_->lost_by_cause(FaultCause::kHostCrash);
+  m.availability = sim_.now() > 0.0
+                       ? 1.0 - provisioner_->deficit_seconds() / sim_.now()
+                       : 1.0;
+  m.recoveries = provisioner_->recovery_time_stats().count();
+  m.mttr_mean = provisioner_->recovery_time_stats().empty()
+                    ? 0.0
+                    : provisioner_->recovery_time_stats().mean();
+  m.mttr_max = provisioner_->recovery_time_stats().empty()
+                   ? 0.0
+                   : provisioner_->recovery_time_stats().max();
+  if (reconciler_.has_value()) {
+    m.reconciler_heals = reconciler_->heals();
+    m.reconciler_retries = reconciler_->retries();
+    m.reconciler_aborts = reconciler_->aborts();
+  }
+  m.final_instances = provisioner_->active_instances();
+
+  if (telemetry_ != nullptr) {
+    if (const SloMonitor* slo = telemetry_->slo(); slo != nullptr) {
+      m.slo_response_alerts = slo->response_alerts();
+      m.slo_rejection_alerts = slo->rejection_alerts();
+      m.slo_worst_burn_rate = slo->worst_burn_rate();
+    }
+    if (const DriftMonitor* drift = telemetry_->drift(); drift != nullptr) {
+      m.drift_windows = drift->closed_windows();
+      const DriftMonitor::ErrorStats response = drift->response_error();
+      m.drift_response_mape = response.mape;
+      m.drift_response_bias = response.bias;
+    }
+    if (const SpanTracer* spans = telemetry_->spans(); spans != nullptr) {
+      m.spans_traced = spans->traced();
+    }
+  }
+
+  if (market_.has_value()) {
+    market_->stop();
+    const MarketReport report = market_->finalize(sim_.now());
+    m.billed_cost = report.total_cost;
+    m.on_demand_cost = report.on_demand_cost;
+    m.spot_cost = report.spot_cost;
+    m.reserved_cost = report.reserved_cost;
+    m.on_demand_purchases = report.on_demand_purchases;
+    m.spot_purchases = report.spot_purchases;
+    m.reserved_purchases = report.reserved_purchases;
+    m.spot_revocations = report.revocations;
+    m.revocation_kills = report.revocation_kills;
+    m.lost_to_revocations =
+        provisioner_->lost_by_cause(FaultCause::kSpotRevocation);
+    m.spot_price_mean = report.spot_price_mean;
+    m.spot_price_max = report.spot_price_max;
+    output.market = report;
+  }
+
+  m.simulated_events = sim_.executed_events();
+  m.wall_seconds = std::chrono::duration<double>(
+                       std::chrono::steady_clock::now() - wall_start_)
+                       .count();
+  if (adaptive_ != nullptr) output.decisions = adaptive_->decisions();
+  if (lookahead_ != nullptr) output.decisions = lookahead_->decisions();
+  output.telemetry = std::move(telemetry_);
+  return output;
+}
+
+WhatIfOutcome World::what_if(const WhatIfSpec& spec) {
+  WhatIfOutcome outcome;
+  if (spec.horizon <= sim_.now()) return outcome;
+  // One base snapshot per frozen instant; every candidate of a search
+  // window forks from it.
+  if (!whatif_base_.has_value() || whatif_base_->now != sim_.now() ||
+      whatif_base_->executed_events != sim_.executed_events()) {
+    SnapshotOptions options;
+    options.include_telemetry = false;
+    options.include_decisions = false;
+    whatif_base_ = snapshot(options);
+  }
+
+  Overrides overrides;
+  overrides.force_adaptive = true;
+  overrides.forecast_rate = spec.forecast_rate;
+  overrides.forecast_seed = spec.forecast_seed;
+  overrides.bid = spec.bid;
+  overrides.initial_target = spec.target_instances;
+  World clone(config_, policy_, seed_, *whatif_base_, overrides);
+
+  const std::uint64_t rejected_before = clone.provisioner_->rejected();
+  const std::uint64_t violations_before = clone.provisioner_->qos_violations();
+  const std::uint64_t completed_before = clone.provisioner_->completed();
+  clone.run_to(spec.horizon);
+
+  outcome.valid = true;
+  outcome.rejected = clone.provisioner_->rejected() - rejected_before;
+  outcome.qos_violations =
+      clone.provisioner_->qos_violations() - violations_before;
+  outcome.completed = clone.provisioner_->completed() - completed_before;
+  if (clone.market_.has_value()) {
+    // Candidates share the pre-fork ledger prefix, so from-zero totals rank
+    // them the same way deltas would.
+    clone.market_->stop();
+    outcome.cost = clone.market_->finalize(clone.now()).total_cost;
+  } else {
+    outcome.cost = clone.datacenter_->vm_hours();
+  }
+  return outcome;
+}
+
+void World::commit_bid(double bid) {
+  if (market_.has_value()) market_->set_bid(bid);
+}
+
+std::optional<double> World::current_bid() const {
+  if (!market_.has_value() || !market_->spot_active()) return std::nullopt;
+  return market_->config().acquisition.bid;
+}
+
+}  // namespace cloudprov

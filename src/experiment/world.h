@@ -1,0 +1,151 @@
+// World: one fully wired replication — simulation engine, data center,
+// provisioner, optional market/fault/reconciler layers, workload broker,
+// and the provisioning policy — plus the snapshot/restore machinery that
+// makes it a value.
+//
+// A World can be built two ways from the same (ScenarioConfig, PolicySpec,
+// seed) triple:
+//   - fresh: construct, start(), run_to(horizon), finish()   (what
+//     run_scenario does), or
+//   - restored: construct from a WorldState snapshot, which rebuilds every
+//     component, re-pushes their pending events under the original
+//     (time, seq) stamps, and restores the clock — the continued run is
+//     bit-identical to the uninterrupted one.
+//
+// World also implements WhatIfEngine for LookaheadPolicy: what_if() forks a
+// throwaway clone from a cached snapshot (telemetry off, arrivals replaced
+// by a Poisson forecast), applies the candidate, runs it to the horizon, and
+// reports cost/QoS. The live world is untouched.
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+#include <memory>
+#include <optional>
+
+#include "cloud/broker.h"
+#include "experiment/metrics.h"
+#include "experiment/scenario.h"
+#include "lookahead/lookahead_policy.h"
+#include "lookahead/world_state.h"
+#include "telemetry/telemetry.h"
+
+namespace cloudprov {
+
+struct RunOutput {
+  RunMetrics metrics;
+  /// Adaptive/lookahead decision history (empty for static runs).
+  std::vector<AdaptivePolicy::DecisionRecord> decisions;
+  /// Market ledger + realized spot path (src/market); nullopt unless the
+  /// scenario enabled the market.
+  std::optional<MarketReport> market;
+  /// The replication's telemetry collector (metrics registry + trace
+  /// buffer); null unless telemetry was requested. Telemetry is purely
+  /// observational: metrics are identical with it on or off.
+  std::unique_ptr<Telemetry> telemetry;
+};
+
+/// The scenario's workload generator (web or BoT). Exposed for rate-curve
+/// sampling and oracle predictors outside a full World.
+std::unique_ptr<RequestSource> make_scenario_source(
+    const ScenarioConfig& config);
+
+class World final : public WhatIfEngine {
+ public:
+  /// Fresh world at t = 0. Call start() before run_to().
+  World(const ScenarioConfig& config, const PolicySpec& policy,
+        std::uint64_t seed,
+        const std::optional<TelemetryOptions>& telemetry_opts = std::nullopt);
+
+  /// Restore-time deviations from the snapshotted trajectory, used by
+  /// what-if clones. A default-constructed Overrides resumes faithfully.
+  struct Overrides {
+    /// Continue under a plain AdaptivePolicy even when the spec says
+    /// lookahead: what-if clones must not recursively search.
+    bool force_adaptive = false;
+    /// Replace the workload source with a Poisson forecast at this rate
+    /// (reseeding the broker stream with forecast_seed).
+    std::optional<double> forecast_rate;
+    std::uint64_t forecast_seed = 0;
+    /// Spot-bid override applied to the restored market broker.
+    std::optional<double> bid;
+    /// Pool-size command applied immediately after restore (the candidate
+    /// under evaluation).
+    std::optional<std::size_t> initial_target;
+  };
+
+  /// Restored world: resumes from `state` at state.now. The triple
+  /// (config, policy, seed) must match the world the snapshot was taken
+  /// from; this is unchecked (checkpoints carry no config). Do not call
+  /// start() on a restored world.
+  World(const ScenarioConfig& config, const PolicySpec& policy,
+        std::uint64_t seed, const WorldState& state,
+        const Overrides& overrides);
+  World(const ScenarioConfig& config, const PolicySpec& policy,
+        std::uint64_t seed, const WorldState& state)
+      : World(config, policy, seed, state, Overrides{}) {}
+
+  ~World() override;
+  World(const World&) = delete;
+  World& operator=(const World&) = delete;
+
+  /// Initial policy sizing + component start processes. Fresh worlds only.
+  void start();
+  /// Runs the engine until `t` (inclusive of events at t).
+  void run_to(SimTime t);
+  SimTime now() const;
+  const Simulation& sim() const { return sim_; }
+  Telemetry* telemetry() { return telemetry_.get(); }
+
+  struct SnapshotOptions {
+    bool include_telemetry = true;
+    /// Decision logs are replay bulk, not behavior; what-if forks drop them.
+    bool include_decisions = true;
+  };
+  WorldState snapshot(const SnapshotOptions& options) const;
+  WorldState snapshot() const { return snapshot(SnapshotOptions{}); }
+
+  /// Finalizes monitors/ledgers at the current clock and extracts the
+  /// paper's output metrics. Call once, after the horizon was reached;
+  /// consumes the telemetry collector.
+  RunOutput finish();
+
+  // --- WhatIfEngine (LookaheadPolicy) -------------------------------------
+  WhatIfOutcome what_if(const WhatIfSpec& spec) override;
+  void commit_bid(double bid) override;
+  std::optional<double> current_bid() const override;
+
+ private:
+  /// Shared wiring for both constructors: everything up to (but excluding)
+  /// source/broker/policy construction and any restore call.
+  void build_platform();
+  void build_policy(const AdaptivePolicy::State* restored,
+                    const std::optional<Rng::State>& lookahead_rng,
+                    bool force_adaptive);
+
+  ScenarioConfig config_;
+  PolicySpec policy_;
+  std::uint64_t seed_;
+  SeedStreams streams_;
+  std::chrono::steady_clock::time_point wall_start_;
+
+  std::unique_ptr<Telemetry> telemetry_;
+  Simulation sim_;
+  std::optional<Datacenter> datacenter_;
+  std::optional<ApplicationProvisioner> provisioner_;
+  std::optional<MarketBroker> market_;
+  std::optional<FaultInjector> faults_;
+  std::optional<Reconciler> reconciler_;
+  std::unique_ptr<RequestSource> source_;
+  std::optional<Broker> broker_;
+  std::unique_ptr<ProvisioningPolicy> prov_policy_;
+  AdaptivePolicy* adaptive_ = nullptr;
+  LookaheadPolicy* lookahead_ = nullptr;
+  bool started_ = false;
+
+  /// what_if() base-snapshot cache: all candidates of one search window
+  /// fork from the same frozen world, snapshotted once.
+  std::optional<WorldState> whatif_base_;
+};
+
+}  // namespace cloudprov

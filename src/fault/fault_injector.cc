@@ -42,7 +42,7 @@ void FaultInjector::stop() {
   sim_.cancel(pending_host_);
   sim_.cancel(pending_degrade_);
   pending_vm_ = pending_host_ = pending_degrade_ = kInvalidEventId;
-  for (const EventId id : timed_events_) sim_.cancel(id);
+  for (const TimedRecord& record : timed_events_) sim_.cancel(record.event);
   timed_events_.clear();
   datacenter_.set_boot_fault_sampler(nullptr);
   if (active_outages_ > 0) {
@@ -172,22 +172,91 @@ void FaultInjector::fire_degradation() {
     }
     CLOUDPROV_LOG(Debug) << "vm-" << victim->id() << " degraded to "
                          << plan_.degraded_factor << "x at t=" << sim_.now();
-    // Three captured words exceed the kernel's 16-byte inline budget, so
-    // this closure takes the boxed escape hatch — fine off the hot path
-    // (one per rare degradation episode).
-    timed_events_.push_back(
-        sim_.schedule_in(plan_.degraded_duration, [this, victim, original] {
-          if (victim->state() == VmState::kDestroyed) return;
-          victim->set_speed(original);
-          if (telemetry_ != nullptr) {
-            telemetry_->vm_restored(sim_.now(), victim->id());
-          }
-        }));
+    TimedRecord record;
+    record.kind = TimedKind::kDegradeRestore;
+    record.vm_id = victim->id();
+    record.original_speed = original;
+    schedule_timed(std::move(record), sim_.now() + plan_.degraded_duration,
+                   std::nullopt);
   }
   schedule_degradation();
 }
 
+void FaultInjector::fire_degrade_restore(std::uint64_t vm_id,
+                                         double original_speed) {
+  Vm* victim = datacenter_.find_vm(vm_id);
+  if (victim == nullptr || victim->state() == VmState::kDestroyed) return;
+  victim->set_speed(original_speed);
+  if (telemetry_ != nullptr) {
+    telemetry_->vm_restored(sim_.now(), victim->id());
+  }
+}
+
 // --- allocation outages + deterministic script -------------------------------
+
+void FaultInjector::fire_outage_begin() {
+  ++active_outages_;
+  datacenter_.set_allocation_suspended(true);
+  if (telemetry_ != nullptr) {
+    telemetry_->allocation_outage(sim_.now(), /*begin=*/true);
+  }
+  CLOUDPROV_LOG(Info) << "IaaS allocation outage begins at t=" << sim_.now();
+}
+
+void FaultInjector::fire_outage_end() {
+  ensure(active_outages_ > 0, "FaultInjector: outage accounting underflow");
+  if (--active_outages_ == 0) datacenter_.set_allocation_suspended(false);
+  if (telemetry_ != nullptr) {
+    telemetry_->allocation_outage(sim_.now(), /*begin=*/false);
+  }
+  CLOUDPROV_LOG(Info) << "IaaS allocation outage ends at t=" << sim_.now();
+}
+
+void FaultInjector::fire_script(const ScriptedFault& fault) {
+  switch (fault.kind) {
+    case ScriptedFault::Kind::kHostCrash:
+      if (fault.target < datacenter_.host_count() &&
+          !datacenter_.hosts()[fault.target]->failed()) {
+        datacenter_.fail_host(fault.target);
+        ++host_crashes_;
+      }
+      break;
+    case ScriptedFault::Kind::kVmCrash: {
+      const std::size_t live = provisioner_.live_instances();
+      if (live > 0) {
+        provisioner_.inject_instance_failure(fault.target % live);
+        ++vm_crashes_;
+      }
+      break;
+    }
+  }
+}
+
+void FaultInjector::schedule_timed(TimedRecord record, SimTime at,
+                                   std::optional<EventStamp> stamp) {
+  // Captures more than the kernel's 16-byte inline budget: boxed escape
+  // hatch, once per rare fault edge — never on the serve path.
+  auto fire = [this, kind = record.kind, script = record.script,
+               vm_id = record.vm_id, speed = record.original_speed] {
+    switch (kind) {
+      case TimedKind::kOutageBegin:
+        fire_outage_begin();
+        break;
+      case TimedKind::kOutageEnd:
+        fire_outage_end();
+        break;
+      case TimedKind::kScript:
+        fire_script(script);
+        break;
+      case TimedKind::kDegradeRestore:
+        fire_degrade_restore(vm_id, speed);
+        break;
+    }
+  };
+  record.event = stamp ? sim_.schedule_stamped(*stamp, std::move(fire))
+                       : sim_.schedule_at(at, std::move(fire));
+  timed_events_.push_back(std::move(record));
+}
 
 void FaultInjector::schedule_outages() {
   // Edges already in the past (e.g. after a stop()/start() cycle) are
@@ -199,52 +268,94 @@ void FaultInjector::schedule_outages() {
       ++active_outages_;
       datacenter_.set_allocation_suspended(true);
     } else {
-      timed_events_.push_back(sim_.schedule_at(window.begin, [this] {
-        ++active_outages_;
-        datacenter_.set_allocation_suspended(true);
-        if (telemetry_ != nullptr) {
-          telemetry_->allocation_outage(sim_.now(), /*begin=*/true);
-        }
-        CLOUDPROV_LOG(Info) << "IaaS allocation outage begins at t="
-                            << sim_.now();
-      }));
+      TimedRecord begin;
+      begin.kind = TimedKind::kOutageBegin;
+      schedule_timed(std::move(begin), window.begin, std::nullopt);
     }
-    timed_events_.push_back(sim_.schedule_at(window.end, [this] {
-      ensure(active_outages_ > 0, "FaultInjector: outage accounting underflow");
-      if (--active_outages_ == 0) datacenter_.set_allocation_suspended(false);
-      if (telemetry_ != nullptr) {
-        telemetry_->allocation_outage(sim_.now(), /*begin=*/false);
-      }
-      CLOUDPROV_LOG(Info) << "IaaS allocation outage ends at t=" << sim_.now();
-    }));
+    TimedRecord end;
+    end.kind = TimedKind::kOutageEnd;
+    schedule_timed(std::move(end), window.end, std::nullopt);
   }
 }
 
 void FaultInjector::schedule_script() {
   for (const ScriptedFault& fault : plan_.scripted) {
     if (fault.time <= sim_.now()) continue;  // already fired before a restart
-    // Captures a whole ScriptedFault: boxed escape hatch, once per scripted
-    // entry at plan installation — never on the serve path.
-    timed_events_.push_back(sim_.schedule_at(fault.time, [this, fault] {
-      switch (fault.kind) {
-        case ScriptedFault::Kind::kHostCrash:
-          if (fault.target < datacenter_.host_count() &&
-              !datacenter_.hosts()[fault.target]->failed()) {
-            datacenter_.fail_host(fault.target);
-            ++host_crashes_;
-          }
-          break;
-        case ScriptedFault::Kind::kVmCrash: {
-          const std::size_t live = provisioner_.live_instances();
-          if (live > 0) {
-            provisioner_.inject_instance_failure(fault.target % live);
-            ++vm_crashes_;
-          }
-          break;
-        }
-      }
-    }));
+    TimedRecord record;
+    record.kind = TimedKind::kScript;
+    record.script = fault;
+    schedule_timed(std::move(record), fault.time, std::nullopt);
   }
+}
+
+FaultInjector::Snapshot FaultInjector::checkpoint() const {
+  Snapshot snap;
+  snap.vm_rng = vm_rng_.state();
+  snap.host_rng = host_rng_.state();
+  snap.boot_rng = boot_rng_.state();
+  snap.degrade_rng = degrade_rng_.state();
+  snap.running = running_;
+  snap.pending_vm = sim_.stamp(pending_vm_);
+  snap.pending_host = sim_.stamp(pending_host_);
+  snap.pending_degrade = sim_.stamp(pending_degrade_);
+  for (const TimedRecord& record : timed_events_) {
+    if (auto stamp = sim_.stamp(record.event)) {
+      snap.timed.push_back(Snapshot::Timed{record.kind, *stamp, record.script,
+                                           record.vm_id,
+                                           record.original_speed});
+    }
+  }
+  snap.active_outages = active_outages_;
+  snap.vm_crashes = vm_crashes_;
+  snap.host_crashes = host_crashes_;
+  snap.boot_failures = boot_failures_;
+  snap.stragglers = stragglers_;
+  snap.degradations = degradations_;
+  return snap;
+}
+
+void FaultInjector::restore(const Snapshot& snap) {
+  ensure(!running_ && timed_events_.empty(),
+         "FaultInjector::restore: injector already started");
+  vm_rng_.set_state(snap.vm_rng);
+  host_rng_.set_state(snap.host_rng);
+  boot_rng_.set_state(snap.boot_rng);
+  degrade_rng_.set_state(snap.degrade_rng);
+  vm_crashes_ = snap.vm_crashes;
+  host_crashes_ = snap.host_crashes;
+  boot_failures_ = snap.boot_failures;
+  stragglers_ = snap.stragglers;
+  degradations_ = snap.degradations;
+  active_outages_ = snap.active_outages;
+  running_ = snap.running;
+  if (!running_) return;
+  if (snap.pending_vm) {
+    pending_vm_ = sim_.schedule_stamped(
+        *snap.pending_vm, EventAction::method<&FaultInjector::fire_vm_crash>(this));
+  }
+  if (snap.pending_host) {
+    pending_host_ = sim_.schedule_stamped(
+        *snap.pending_host,
+        EventAction::method<&FaultInjector::fire_host_crash>(this));
+  }
+  if (snap.pending_degrade) {
+    pending_degrade_ = sim_.schedule_stamped(
+        *snap.pending_degrade,
+        EventAction::method<&FaultInjector::fire_degradation>(this));
+  }
+  for (const Snapshot::Timed& timed : snap.timed) {
+    TimedRecord record;
+    record.kind = timed.kind;
+    record.script = timed.script;
+    record.vm_id = timed.vm_id;
+    record.original_speed = timed.original_speed;
+    schedule_timed(std::move(record), 0.0, timed.stamp);
+  }
+  if (plan_.boot_fail_prob > 0.0 || plan_.straggler_prob > 0.0) {
+    install_boot_sampler();
+  }
+  // Note: the datacenter's allocation-suspended flag is restored by the
+  // Datacenter snapshot; only the refcount lives here.
 }
 
 }  // namespace cloudprov

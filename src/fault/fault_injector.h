@@ -16,6 +16,7 @@
 #pragma once
 
 #include <cstdint>
+#include <optional>
 #include <vector>
 
 #include "core/application_provisioner.h"
@@ -59,7 +60,57 @@ class FaultInjector {
   std::uint64_t degradations() const { return degradations_; }
   bool outage_active() const { return active_outages_ > 0; }
 
+  // --- checkpoint support (src/lookahead) ---------------------------------
+  /// Kinds of absolute-time fault events; each pending one is carried across
+  /// a restore as a typed record plus its original event stamp.
+  enum class TimedKind {
+    kOutageBegin,
+    kOutageEnd,
+    kScript,
+    kDegradeRestore,
+  };
+  struct Snapshot {
+    Rng::State vm_rng;
+    Rng::State host_rng;
+    Rng::State boot_rng;
+    Rng::State degrade_rng;
+    bool running = false;
+    std::optional<EventStamp> pending_vm;
+    std::optional<EventStamp> pending_host;
+    std::optional<EventStamp> pending_degrade;
+    struct Timed {
+      TimedKind kind = TimedKind::kScript;
+      EventStamp stamp;
+      ScriptedFault script{};       ///< kScript payload
+      std::uint64_t vm_id = 0;      ///< kDegradeRestore victim
+      double original_speed = 0.0;  ///< kDegradeRestore payload
+    };
+    std::vector<Timed> timed;
+    std::size_t active_outages = 0;
+    std::uint64_t vm_crashes = 0;
+    std::uint64_t host_crashes = 0;
+    std::uint64_t boot_failures = 0;
+    std::uint64_t stragglers = 0;
+    std::uint64_t degradations = 0;
+  };
+  Snapshot checkpoint() const;
+  /// Re-arms all pending fault events under their original stamps and
+  /// restores the RNG sub-streams. Use instead of start() on a fresh
+  /// injector built with the same plan/seed; the allocation-suspension flag
+  /// itself travels with the Datacenter snapshot.
+  void restore(const Snapshot& snap);
+
  private:
+  /// One pending absolute-time fault event; fired records keep their slot
+  /// (the dead EventId makes them invisible to checkpoint/stop).
+  struct TimedRecord {
+    TimedKind kind = TimedKind::kScript;
+    EventId event = kInvalidEventId;
+    ScriptedFault script{};
+    std::uint64_t vm_id = 0;
+    double original_speed = 0.0;
+  };
+
   void schedule_vm_crash();
   void fire_vm_crash();
   void schedule_host_crash();
@@ -69,6 +120,14 @@ class FaultInjector {
   void install_boot_sampler();
   void schedule_outages();
   void schedule_script();
+  /// Schedules the record's action; `stamp` re-pushes under an original
+  /// stamp (restore), nullopt schedules at `at`.
+  void schedule_timed(TimedRecord record, SimTime at,
+                      std::optional<EventStamp> stamp);
+  void fire_outage_begin();
+  void fire_outage_end();
+  void fire_script(const ScriptedFault& fault);
+  void fire_degrade_restore(std::uint64_t vm_id, double original_speed);
   std::size_t occupied_hosts() const;
 
   Simulation& sim_;
@@ -87,8 +146,8 @@ class FaultInjector {
   EventId pending_host_ = kInvalidEventId;
   EventId pending_degrade_ = kInvalidEventId;
   /// Absolute-time events (script, outage edges, degradation restores) —
-  /// cancelled wholesale by stop().
-  std::vector<EventId> timed_events_;
+  /// cancelled wholesale by stop(), carried typed across checkpoints.
+  std::vector<TimedRecord> timed_events_;
   std::size_t active_outages_ = 0;
 
   std::uint64_t vm_crashes_ = 0;

@@ -36,6 +36,36 @@ void Reconciler::stop() {
   pending_ = kInvalidEventId;
 }
 
+Reconciler::Snapshot Reconciler::checkpoint() const {
+  Snapshot snap;
+  snap.running = running_;
+  snap.pending = sim_.stamp(pending_);
+  snap.last_target = last_target_;
+  snap.attempt = attempt_;
+  snap.next_backoff = next_backoff_;
+  snap.aborted = aborted_;
+  snap.heals = heals_;
+  snap.retries = retries_;
+  snap.aborts = aborts_;
+  return snap;
+}
+
+void Reconciler::restore(const Snapshot& snap) {
+  ensure(!running_, "Reconciler::restore: reconciler already started");
+  running_ = snap.running;
+  last_target_ = snap.last_target;
+  attempt_ = snap.attempt;
+  next_backoff_ = snap.next_backoff;
+  aborted_ = snap.aborted;
+  heals_ = snap.heals;
+  retries_ = snap.retries;
+  aborts_ = snap.aborts;
+  if (snap.pending) {
+    pending_ = sim_.schedule_stamped(
+        *snap.pending, EventAction::method<&Reconciler::tick>(this));
+  }
+}
+
 void Reconciler::schedule(SimTime delay) {
   pending_ = sim_.schedule_in(
       delay, EventAction::method<&Reconciler::tick>(this));

@@ -13,6 +13,7 @@
 #pragma once
 
 #include <cstdint>
+#include <optional>
 
 #include "core/application_provisioner.h"
 
@@ -65,6 +66,23 @@ class Reconciler {
   /// True while the reconciler has given up on backoff escalation for the
   /// current deficit episode.
   bool in_aborted_state() const { return aborted_; }
+
+  // --- checkpoint support (src/lookahead) ---------------------------------
+  struct Snapshot {
+    bool running = false;
+    std::optional<EventStamp> pending;
+    std::size_t last_target = 0;
+    std::uint64_t attempt = 0;
+    SimTime next_backoff = 0.0;
+    bool aborted = false;
+    std::uint64_t heals = 0;
+    std::uint64_t retries = 0;
+    std::uint64_t aborts = 0;
+  };
+  Snapshot checkpoint() const;
+  /// Re-arms the pending check under its original stamp. Use instead of
+  /// start() on a fresh reconciler with the same configuration.
+  void restore(const Snapshot& snap);
 
  private:
   void tick();

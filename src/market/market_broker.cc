@@ -152,8 +152,10 @@ void MarketBroker::revoke(std::size_t entry_index) {
   if (provisioner_ != nullptr) provisioner_->revoke_instance(*entry.vm);
   // The hard kill outlives stop(): a notice already served is the IaaS
   // provider's commitment. entries_ is append-only, so the index is stable.
-  sim_.schedule_in(config_.revocation.notice,
-                   [this, entry_index] { hard_kill(entry_index); });
+  kills_.push_back(KillRecord{
+      sim_.schedule_in(config_.revocation.notice,
+                       [this, entry_index] { hard_kill(entry_index); }),
+      entry_index});
 }
 
 void MarketBroker::hard_kill(std::size_t entry_index) {
@@ -166,6 +168,65 @@ void MarketBroker::hard_kill(std::size_t entry_index) {
   if (telemetry_ != nullptr) {
     telemetry_->spot_kill(sim_.now(), entry.vm->id(), lost);
   }
+}
+
+MarketBroker::Snapshot MarketBroker::checkpoint() const {
+  Snapshot snap;
+  if (price_.has_value()) snap.price = price_->state();
+  snap.entries.reserve(entries_.size());
+  for (const Entry& entry : entries_) {
+    snap.entries.push_back(Snapshot::EntrySnap{
+        entry.vm->id(), entry.class_index, entry.kind, entry.purchase_time,
+        entry.revoked, entry.hard_killed});
+  }
+  for (const KillRecord& kill : kills_) {
+    if (auto stamp = sim_.stamp(kill.event)) {
+      snap.kills.push_back(Snapshot::Kill{*stamp, kill.entry_index});
+    }
+  }
+  snap.running = running_;
+  snap.pending_tick = sim_.stamp(pending_tick_);
+  snap.last_accrual = last_accrual_;
+  snap.accrued_burn = accrued_burn_;
+  for (std::size_t i = 0; i < kPurchaseKindCount; ++i) {
+    snap.purchases[i] = purchases_[i];
+  }
+  snap.revocations = revocations_;
+  snap.revocation_kills = revocation_kills_;
+  return snap;
+}
+
+void MarketBroker::restore(const Snapshot& snap) {
+  ensure(!running_ && entries_.empty(),
+         "MarketBroker::restore: broker already used");
+  ensure(price_.has_value() == snap.price.has_value(),
+         "MarketBroker::restore: spot-stream configuration mismatch");
+  if (snap.price) price_->set_state(*snap.price);
+  entries_.reserve(snap.entries.size());
+  for (const Snapshot::EntrySnap& entry : snap.entries) {
+    Vm* vm = datacenter_.find_vm(entry.vm_id);
+    ensure(vm != nullptr, "MarketBroker::restore: ledger VM missing");
+    entries_.push_back({vm, entry.class_index, entry.kind, entry.purchase_time,
+                        entry.revoked, entry.hard_killed});
+  }
+  for (const Snapshot::Kill& kill : snap.kills) {
+    const std::size_t entry_index = kill.entry_index;
+    kills_.push_back(KillRecord{
+        sim_.schedule_stamped(kill.stamp,
+                              [this, entry_index] { hard_kill(entry_index); }),
+        entry_index});
+  }
+  running_ = snap.running;
+  if (snap.pending_tick) {
+    pending_tick_ = sim_.schedule_stamped(*snap.pending_tick, [this] { tick(); });
+  }
+  last_accrual_ = snap.last_accrual;
+  accrued_burn_ = snap.accrued_burn;
+  for (std::size_t i = 0; i < kPurchaseKindCount; ++i) {
+    purchases_[i] = snap.purchases[i];
+  }
+  revocations_ = snap.revocations;
+  revocation_kills_ = snap.revocation_kills;
 }
 
 MarketReport MarketBroker::finalize(SimTime horizon) {

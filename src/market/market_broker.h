@@ -22,6 +22,7 @@
 // and every simulation observable stays bit-identical to a market-less run.
 #pragma once
 
+#include <array>
 #include <cstdint>
 #include <iosfwd>
 #include <optional>
@@ -129,6 +130,42 @@ class MarketBroker {
 
   const MarketConfig& config() const { return config_; }
 
+  /// Adjusts the spot bid in place (lookahead what-if candidates explore
+  /// bid levels). Takes effect from the next tick/purchase.
+  void set_bid(double bid) { config_.acquisition.bid = bid; }
+
+  // --- checkpoint support (src/lookahead) ---------------------------------
+  struct Snapshot {
+    std::optional<SpotPriceProcess::State> price;
+    struct EntrySnap {
+      std::uint64_t vm_id = 0;
+      std::size_t class_index = 0;
+      PurchaseKind kind = PurchaseKind::kOnDemand;
+      SimTime purchase_time = 0.0;
+      bool revoked = false;
+      bool hard_killed = false;
+    };
+    std::vector<EntrySnap> entries;
+    struct Kill {
+      EventStamp stamp;
+      std::size_t entry_index = 0;
+    };
+    std::vector<Kill> kills;  ///< pending hard-kill notices
+    bool running = false;
+    std::optional<EventStamp> pending_tick;
+    SimTime last_accrual = 0.0;
+    double accrued_burn = 0.0;
+    std::array<std::uint64_t, kPurchaseKindCount> purchases{};
+    std::uint64_t revocations = 0;
+    std::uint64_t revocation_kills = 0;
+  };
+  Snapshot checkpoint() const;
+  /// Rebinds the ledger against the (already restored) data center and
+  /// re-arms the market tick and pending hard-kills under their original
+  /// stamps. Call attach() first; use instead of start() on a fresh broker
+  /// built with the same config/seed.
+  void restore(const Snapshot& snap);
+
  private:
   struct Entry {
     Vm* vm = nullptr;
@@ -154,6 +191,13 @@ class MarketBroker {
 
   std::optional<SpotPriceProcess> price_;
   std::vector<Entry> entries_;
+  /// Hard-kill notices in flight (fired records keep a dead EventId and are
+  /// skipped by checkpoint()).
+  struct KillRecord {
+    EventId event = kInvalidEventId;
+    std::size_t entry_index = 0;
+  };
+  std::vector<KillRecord> kills_;
   bool running_ = false;
   EventId pending_tick_ = kInvalidEventId;
   SimTime last_accrual_ = 0.0;

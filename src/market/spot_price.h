@@ -85,6 +85,23 @@ class SpotPriceProcess {
   const std::vector<PricePoint>& path() const { return path_; }
   bool in_spike() const { return spike_; }
 
+  // --- checkpoint support (src/lookahead) ---------------------------------
+  /// Full mutable state; (config, seed) stay with the owning process, so a
+  /// restored process continues the exact same realized path.
+  struct State {
+    Rng::State rng;
+    std::vector<PricePoint> path;
+    bool spike = false;
+    SimTime spike_until = 0.0;
+  };
+  State state() const { return State{rng_.state(), path_, spike_, spike_until_}; }
+  void set_state(const State& state) {
+    rng_.set_state(state.rng);
+    path_ = state.path;
+    spike_ = state.spike;
+    spike_until_ = state.spike_until;
+  }
+
  private:
   void step();
 

@@ -70,4 +70,17 @@ std::string ArPredictor::name() const {
   return "ar(" + std::to_string(order_) + ")";
 }
 
+void ArPredictor::save_state(std::vector<double>& out) const {
+  out.push_back(static_cast<double>(history_.size()));
+  for (double r : history_) out.push_back(r);
+}
+
+void ArPredictor::load_state(const std::vector<double>& in) {
+  ensure_arg(!in.empty(), "ArPredictor::load_state: bad encoding");
+  const auto count = static_cast<std::size_t>(in[0]);
+  ensure_arg(in.size() == 1 + count, "ArPredictor::load_state: bad encoding");
+  history_.assign(in.begin() + 1, in.end());
+  refit();  // coefficients are a pure function of the history
+}
+
 }  // namespace cloudprov

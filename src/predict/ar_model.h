@@ -31,6 +31,9 @@ class ArPredictor final : public ArrivalRatePredictor {
   /// Last fitted coefficients [c, a_1..a_p]; empty before the first fit.
   const std::vector<double>& coefficients() const { return coefficients_; }
 
+  void save_state(std::vector<double>& out) const override;
+  void load_state(const std::vector<double>& in) override;
+
  private:
   void refit();
 

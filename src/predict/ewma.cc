@@ -25,4 +25,15 @@ std::string EwmaPredictor::name() const {
   return "ewma(alpha=" + std::to_string(alpha_) + ")";
 }
 
+void EwmaPredictor::save_state(std::vector<double>& out) const {
+  out.push_back(value_);
+  out.push_back(primed_ ? 1.0 : 0.0);
+}
+
+void EwmaPredictor::load_state(const std::vector<double>& in) {
+  ensure_arg(in.size() == 2, "EwmaPredictor::load_state: bad encoding");
+  value_ = in[0];
+  primed_ = in[1] != 0.0;
+}
+
 }  // namespace cloudprov

@@ -25,6 +25,9 @@ class EwmaPredictor final : public ArrivalRatePredictor {
 
   double current() const { return value_; }
 
+  void save_state(std::vector<double>& out) const override;
+  void load_state(const std::vector<double>& in) override;
+
  private:
   double alpha_;
   double headroom_;

@@ -27,4 +27,30 @@ std::string HybridPredictor::name() const {
   return "hybrid(" + proactive_->name() + ", " + reactive_->name() + ")";
 }
 
+void HybridPredictor::save_state(std::vector<double>& out) const {
+  // Length-prefix each component so the combined encoding self-describes.
+  std::vector<double> part;
+  proactive_->save_state(part);
+  out.push_back(static_cast<double>(part.size()));
+  out.insert(out.end(), part.begin(), part.end());
+  part.clear();
+  reactive_->save_state(part);
+  out.push_back(static_cast<double>(part.size()));
+  out.insert(out.end(), part.begin(), part.end());
+}
+
+void HybridPredictor::load_state(const std::vector<double>& in) {
+  ensure_arg(!in.empty(), "HybridPredictor::load_state: bad encoding");
+  std::size_t pos = 0;
+  for (ArrivalRatePredictor* part : {proactive_.get(), reactive_.get()}) {
+    ensure_arg(pos < in.size(), "HybridPredictor::load_state: bad encoding");
+    const auto len = static_cast<std::size_t>(in[pos++]);
+    ensure_arg(pos + len <= in.size(), "HybridPredictor::load_state: bad encoding");
+    part->load_state(std::vector<double>(in.begin() + static_cast<std::ptrdiff_t>(pos),
+                                         in.begin() + static_cast<std::ptrdiff_t>(pos + len)));
+    pos += len;
+  }
+  ensure_arg(pos == in.size(), "HybridPredictor::load_state: bad encoding");
+}
+
 }  // namespace cloudprov

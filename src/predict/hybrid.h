@@ -25,6 +25,9 @@ class HybridPredictor final : public ArrivalRatePredictor {
   double predict(SimTime t) const override;
   std::string name() const override;
 
+  void save_state(std::vector<double>& out) const override;
+  void load_state(const std::vector<double>& in) override;
+
  private:
   std::shared_ptr<ArrivalRatePredictor> proactive_;
   std::shared_ptr<ArrivalRatePredictor> reactive_;

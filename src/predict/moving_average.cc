@@ -30,6 +30,19 @@ double MovingAveragePredictor::predict(SimTime) const {
   return value * (1.0 + headroom_);
 }
 
+void MovingAveragePredictor::save_state(std::vector<double>& out) const {
+  out.push_back(static_cast<double>(history_.size()));
+  for (double r : history_) out.push_back(r);
+}
+
+void MovingAveragePredictor::load_state(const std::vector<double>& in) {
+  ensure_arg(!in.empty(), "MovingAveragePredictor::load_state: bad encoding");
+  const auto count = static_cast<std::size_t>(in[0]);
+  ensure_arg(in.size() == 1 + count,
+             "MovingAveragePredictor::load_state: bad encoding");
+  history_.assign(in.begin() + 1, in.end());
+}
+
 std::string MovingAveragePredictor::name() const {
   return std::string("moving-average(") +
          (mode_ == Mode::kMean ? "mean" : "max") + "," +

@@ -23,6 +23,9 @@ class MovingAveragePredictor final : public ArrivalRatePredictor {
   double predict(SimTime t) const override;
   std::string name() const override;
 
+  void save_state(std::vector<double>& out) const override;
+  void load_state(const std::vector<double>& in) override;
+
  private:
   std::size_t window_;
   Mode mode_;

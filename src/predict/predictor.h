@@ -12,6 +12,7 @@
 #pragma once
 
 #include <string>
+#include <vector>
 
 #include "util/units.h"
 
@@ -29,6 +30,14 @@ class ArrivalRatePredictor {
   virtual double predict(SimTime t) const = 0;
 
   virtual std::string name() const = 0;
+
+  // --- checkpoint support (src/lookahead) --------------------------------
+  /// Appends the predictor's mutable fit state (histories, smoothed values)
+  /// to `out` as a flat double encoding; load_state consumes the same
+  /// encoding on an identically configured predictor. Stateless predictors
+  /// (profile, oracle) keep the default no-ops.
+  virtual void save_state(std::vector<double>& out) const { (void)out; }
+  virtual void load_state(const std::vector<double>& in) { (void)in; }
 };
 
 }  // namespace cloudprov

@@ -52,4 +52,22 @@ double QrsmPredictor::predict(SimTime t) const {
   return std::max(0.0, forecast) * (1.0 + headroom_);
 }
 
+void QrsmPredictor::save_state(std::vector<double>& out) const {
+  out.push_back(static_cast<double>(history_.size()));
+  for (const Observation& obs : history_) {
+    out.push_back(obs.midpoint);
+    out.push_back(obs.rate);
+  }
+}
+
+void QrsmPredictor::load_state(const std::vector<double>& in) {
+  ensure_arg(!in.empty(), "QrsmPredictor::load_state: bad encoding");
+  const auto count = static_cast<std::size_t>(in[0]);
+  ensure_arg(in.size() == 1 + 2 * count, "QrsmPredictor::load_state: bad encoding");
+  history_.clear();
+  for (std::size_t i = 0; i < count; ++i) {
+    history_.push_back(Observation{in[1 + 2 * i], in[2 + 2 * i]});
+  }
+}
+
 }  // namespace cloudprov

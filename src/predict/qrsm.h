@@ -25,6 +25,9 @@ class QrsmPredictor final : public ArrivalRatePredictor {
   double predict(SimTime t) const override;
   std::string name() const override { return "qrsm"; }
 
+  void save_state(std::vector<double>& out) const override;
+  void load_state(const std::vector<double>& in) override;
+
  private:
   struct Observation {
     SimTime midpoint;

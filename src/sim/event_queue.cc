@@ -37,6 +37,30 @@ EventId EventQueue::push(SimTime time, EventAction action) {
   return pack(slot, s.gen);
 }
 
+std::optional<EventStamp> EventQueue::stamp(EventId id) const {
+  if (id == kInvalidEventId) return std::nullopt;
+  const auto slot = static_cast<std::uint32_t>(id & 0xffffffffu);
+  const auto gen = static_cast<std::uint32_t>(id >> 32);
+  if (slot >= slots_.size() || slots_[slot].gen != gen) return std::nullopt;
+  for (const HeapEntry& entry : heap_) {
+    if (entry.slot == slot && entry.gen == gen) {
+      return EventStamp{entry.time, entry.seq};
+    }
+  }
+  return std::nullopt;
+}
+
+EventId EventQueue::push_stamped(const EventStamp& stamp, EventAction action) {
+  const std::uint32_t slot = acquire_slot();
+  Slot& s = slots_[slot];
+  if (action.is_boxed()) ++boxed_pushed_;
+  s.action = std::move(action);
+  heap_.push_back(HeapEntry{stamp.time, stamp.seq, slot, s.gen});
+  sift_up(heap_.size() - 1);
+  ++live_;
+  return pack(slot, s.gen);
+}
+
 void EventQueue::drop_dead_tops() {
   while (!heap_.empty() &&
          slots_[heap_.front().slot].gen != heap_.front().gen) {

@@ -23,12 +23,23 @@
 
 #include <cstddef>
 #include <cstdint>
+#include <optional>
 #include <utility>
 #include <vector>
 
 #include "sim/event.h"
 
 namespace cloudprov {
+
+/// Snapshot identity of a pending event: its scheduled time and the push
+/// sequence number that breaks FIFO ties among equal times. (slot, gen) are
+/// storage details that differ between a queue and its restored twin;
+/// (time, seq) is the total order pop() follows, so it is the only thing a
+/// checkpoint must preserve for a restored run to replay bit-identically.
+struct EventStamp {
+  SimTime time = 0.0;
+  std::uint64_t seq = 0;
+};
 
 class EventQueue {
  public:
@@ -70,6 +81,23 @@ class EventQueue {
 
   /// Total events ever pushed (diagnostics / determinism checks).
   std::uint64_t pushed_count() const { return pushed_; }
+
+  // --- snapshot/restore support (src/lookahead) --------------------------
+
+  /// Stamp of a live pending event, or nullopt when the handle is stale
+  /// (already executed / cancelled / never issued). O(heap) scan — meant
+  /// for snapshots, never for the event hot path.
+  std::optional<EventStamp> stamp(EventId id) const;
+
+  /// Re-inserts an event captured by stamp() into a restored queue under
+  /// its original (time, seq), so FIFO tie-breaks replay identically. Does
+  /// not advance the push counter; call set_push_counter() once after all
+  /// components re-pushed their pending events.
+  EventId push_stamped(const EventStamp& stamp, EventAction action);
+
+  /// Restores the monotone push counter so events scheduled after a restore
+  /// continue the original seq sequence.
+  void set_push_counter(std::uint64_t pushed) { pushed_ = pushed; }
 
   /// Events that took the boxed (heap-allocated) escape hatch; stays 0 on
   /// the steady-state serve path (see the zero-allocation test).

@@ -70,6 +70,20 @@ PeriodicProcess::PeriodicProcess(Simulation& sim, SimTime first_time,
                               EventAction::method<&PeriodicProcess::fire>(this));
 }
 
+PeriodicProcess::PeriodicProcess(Simulation& sim, const EventStamp& stamp,
+                                 SimTime period,
+                                 std::function<void(SimTime)> action)
+    : sim_(sim), period_(period), action_(std::move(action)) {
+  ensure_arg(period > 0.0, "PeriodicProcess: period must be positive");
+  pending_ = sim_.schedule_stamped(
+      stamp, EventAction::method<&PeriodicProcess::fire>(this));
+}
+
+std::optional<EventStamp> PeriodicProcess::pending_stamp() const {
+  if (!running_) return std::nullopt;
+  return sim_.stamp(pending_);
+}
+
 void PeriodicProcess::stop() {
   if (!running_) return;
   running_ = false;

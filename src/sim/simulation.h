@@ -67,6 +67,35 @@ class Simulation {
   std::uint64_t executed_events() const { return executed_; }
   EventQueue& queue() { return queue_; }
 
+  // --- snapshot/restore support (src/lookahead) --------------------------
+
+  /// Stamp of a live scheduled event; nullopt for stale handles.
+  std::optional<EventStamp> stamp(EventId id) const { return queue_.stamp(id); }
+
+  /// Re-inserts an event captured by stamp() under its original
+  /// (time, seq) into a restored world's queue.
+  EventId schedule_stamped(const EventStamp& stamp, EventAction action) {
+    return queue_.push_stamped(stamp, std::move(action));
+  }
+  template <typename F>
+    requires(!std::is_same_v<std::remove_cvref_t<F>, EventAction>)
+  EventId schedule_stamped(const EventStamp& stamp, F&& f) {
+    return queue_.push_stamped(stamp, EventAction::make(std::forward<F>(f)));
+  }
+
+  std::uint64_t event_push_counter() const { return queue_.pushed_count(); }
+
+  /// Restores the clock, the executed-event counter (which paces the
+  /// telemetry engine-sample stride), and the queue's push counter to a
+  /// snapshot's values. Call once after every component re-pushed its
+  /// pending events.
+  void restore_clock(SimTime now, std::uint64_t executed,
+                     std::uint64_t push_counter) {
+    now_ = now;
+    executed_ = executed;
+    queue_.set_push_counter(push_counter);
+  }
+
   /// Attaches an engine self-profile collector: every `sample_stride`
   /// executed events, run() records executed-event count and pending-queue
   /// depth. Null (the default) disables sampling; the run loop then pays a
@@ -90,12 +119,19 @@ class PeriodicProcess {
  public:
   PeriodicProcess(Simulation& sim, SimTime first_time, SimTime period,
                   std::function<void(SimTime)> action);
+  /// Restore form: re-arms the tick captured by `stamp` (checkpoint path)
+  /// instead of scheduling a fresh first fire.
+  PeriodicProcess(Simulation& sim, const EventStamp& stamp, SimTime period,
+                  std::function<void(SimTime)> action);
   ~PeriodicProcess() { stop(); }
   PeriodicProcess(const PeriodicProcess&) = delete;
   PeriodicProcess& operator=(const PeriodicProcess&) = delete;
 
   void stop();
   bool running() const { return running_; }
+  SimTime period() const { return period_; }
+  /// Stamp of the armed tick, for snapshots; nullopt when stopped.
+  std::optional<EventStamp> pending_stamp() const;
 
  private:
   void fire();

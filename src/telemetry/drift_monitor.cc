@@ -197,4 +197,15 @@ DriftMonitor::ErrorStats DriftMonitor::utilization_error() const {
   return stats;
 }
 
+void DriftMonitor::restore_from(const DriftMonitor& other) {
+  window_open_ = other.window_open_;
+  window_start_ = other.window_start_;
+  pending_ = other.pending_;
+  window_base_ = other.window_base_;
+  base_vm_hours_ = other.base_vm_hours_;
+  base_busy_vm_hours_ = other.base_busy_vm_hours_;
+  windows_ = other.windows_;
+  closed_ = other.closed_;
+}
+
 }  // namespace cloudprov

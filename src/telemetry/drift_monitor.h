@@ -107,6 +107,11 @@ class DriftMonitor {
   ErrorStats rejection_error() const;
   ErrorStats utilization_error() const;
 
+  /// Checkpoint support (src/lookahead): copies `other`'s window state and
+  /// history into this monitor, keeping this monitor's own registry/trace
+  /// bindings. Configurations must match.
+  void restore_from(const DriftMonitor& other);
+
  private:
   void close_window(SimTime t, double vm_hours, double busy_vm_hours);
 

@@ -74,6 +74,28 @@ Histogram& MetricsRegistry::histogram(const std::string& name,
   return histograms_.back().second;
 }
 
+void Histogram::restore(const std::vector<std::uint64_t>& counts,
+                        std::uint64_t count, double sum) {
+  ensure_arg(counts.size() == counts_.size(),
+             "Histogram::restore: bucket layout mismatch");
+  counts_ = counts;
+  count_ = count;
+  sum_ = sum;
+}
+
+void MetricsRegistry::copy_values_from(const MetricsRegistry& other) {
+  for (const auto& [name, src] : other.counters_) {
+    counter(name).restore(src.value());
+  }
+  for (const auto& [name, src] : other.gauges_) {
+    gauge(name).set(src.value());
+  }
+  for (const auto& [name, src] : other.histograms_) {
+    histogram(name, src.upper_bounds())
+        .restore(src.bucket_counts(), src.count(), src.sum());
+  }
+}
+
 MetricsRegistry::Snapshot MetricsRegistry::snapshot() const {
   Snapshot snap;
   snap.counters.reserve(counters_.size());

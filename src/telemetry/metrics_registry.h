@@ -21,6 +21,8 @@ class Counter {
  public:
   void add(std::uint64_t delta = 1) { value_ += delta; }
   std::uint64_t value() const { return value_; }
+  /// Checkpoint restore only — counters are otherwise monotonic.
+  void restore(std::uint64_t value) { value_ = value; }
 
  private:
   std::uint64_t value_ = 0;
@@ -56,6 +58,9 @@ class Histogram {
   double mean() const {
     return count_ == 0 ? 0.0 : sum_ / static_cast<double>(count_);
   }
+  /// Checkpoint restore only; `counts` must match the bucket layout.
+  void restore(const std::vector<std::uint64_t>& counts, std::uint64_t count,
+               double sum);
 
  private:
   std::vector<double> upper_bounds_;
@@ -112,6 +117,13 @@ class MetricsRegistry {
     Snapshot diff(const Snapshot& earlier) const;
   };
   Snapshot snapshot() const;
+
+  /// Checkpoint support (src/lookahead): overwrites this registry's
+  /// instrument values with `other`'s, creating any instrument this registry
+  /// has not registered yet (lazily-registered per-cause counters) in
+  /// `other`'s per-kind registration order — so a freshly constructed
+  /// registry becomes value- and order-identical to the source.
+  void copy_values_from(const MetricsRegistry& other);
 
   std::size_t instrument_count() const {
     return counters_.size() + gauges_.size() + histograms_.size();

@@ -145,4 +145,14 @@ void SloMonitor::evaluate(SimTime now) {
   }
 }
 
+void SloMonitor::restore_from(const SloMonitor& other) {
+  next_eval_ = other.next_eval_;
+  history_ = other.history_;
+  alerting_ = other.alerting_;
+  alerts_ = other.alerts_;
+  samples_ = other.samples_;
+  sample_drops_ = other.sample_drops_;
+  worst_burn_ = other.worst_burn_;
+}
+
 }  // namespace cloudprov

@@ -100,6 +100,12 @@ class SloMonitor {
   const std::vector<AlertEvent>& alerts() const { return alerts_; }
   const std::deque<BurnSample>& samples() const { return samples_; }
 
+  /// Checkpoint support (src/lookahead): copies `other`'s evaluation state
+  /// and history into this monitor, keeping this monitor's own
+  /// registry/trace bindings (the alert counters live in the registry and
+  /// travel with it). Configurations must match.
+  void restore_from(const SloMonitor& other);
+
  private:
   struct Sample {
     SimTime time = 0.0;

@@ -79,6 +79,19 @@ Telemetry::Telemetry(TelemetryOptions options)
   }
 }
 
+std::unique_ptr<Telemetry> Telemetry::clone() const {
+  // Fresh construction registers the same instruments in the same order;
+  // copying values (plus any lazily-registered per-cause counters) then
+  // makes registry contents and ordering identical.
+  auto copy = std::make_unique<Telemetry>(options_);
+  copy->metrics_.copy_values_from(metrics_);
+  copy->trace_.copy_from(trace_);
+  if (spans_ != nullptr) *copy->spans_ = *spans_;
+  if (drift_ != nullptr) copy->drift_->restore_from(*drift_);
+  if (slo_ != nullptr) copy->slo_->restore_from(*slo_);
+  return copy;
+}
+
 void Telemetry::request_arrival(SimTime t, std::uint64_t request_id) {
   requests_arrived_->add();
   if (spans_) spans_->on_arrival(t, request_id);

@@ -176,6 +176,13 @@ class Telemetry {
   void engine_sample(SimTime t, std::uint64_t executed_events,
                      std::size_t queue_depth);
 
+  // --- checkpoint support (src/lookahead) --------------------------------
+  /// Deep copy: a freshly constructed Telemetry with the same options whose
+  /// registry values, trace ring, and monitor state equal this one's — so a
+  /// restored world continues recording into an identical collector and its
+  /// final exports are byte-identical to an uninterrupted run's.
+  std::unique_ptr<Telemetry> clone() const;
+
  private:
   TelemetryOptions options_;
   MetricsRegistry metrics_;

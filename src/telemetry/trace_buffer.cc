@@ -42,4 +42,13 @@ void TraceBuffer::clear() {
   recorded_ = 0;
 }
 
+void TraceBuffer::copy_from(const TraceBuffer& other) {
+  ensure_arg(ring_.size() == other.ring_.size(),
+             "TraceBuffer::copy_from: capacity mismatch");
+  ring_ = other.ring_;
+  head_ = other.head_;
+  size_ = other.size_;
+  recorded_ = other.recorded_;
+}
+
 }  // namespace cloudprov

@@ -78,6 +78,10 @@ class TraceBuffer {
 
   void clear();
 
+  /// Checkpoint support (src/lookahead): becomes an exact copy of `other`,
+  /// which must have the same capacity.
+  void copy_from(const TraceBuffer& other);
+
  private:
   std::vector<TraceEvent> ring_;
   std::size_t head_ = 0;  ///< next write slot

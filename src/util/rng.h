@@ -89,6 +89,21 @@ class Rng {
   /// Gamma variate, shape k and scale theta (Marsaglia–Tsang).
   double gamma(double shape, double scale);
 
+  /// Raw engine state, exposed for checkpoint/restore (src/lookahead): the
+  /// four xoshiro256** words plus the cached Box–Muller second deviate.
+  /// Restoring it reproduces the draw sequence exactly.
+  struct State {
+    std::array<std::uint64_t, 4> s{};
+    double cached_normal = 0.0;
+    bool has_cached_normal = false;
+  };
+  State state() const { return State{s_, cached_normal_, has_cached_normal_}; }
+  void set_state(const State& state) {
+    s_ = state.s;
+    cached_normal_ = state.cached_normal;
+    has_cached_normal_ = state.has_cached_normal;
+  }
+
  private:
   std::uint64_t poisson_knuth(double mean);
   std::uint64_t poisson_ptrs(double mean);

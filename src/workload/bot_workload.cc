@@ -108,6 +108,33 @@ void BotWorkload::refill(Rng& rng) {
   }
 }
 
+void BotWorkload::save_state(std::vector<double>& out) const {
+  out.push_back(cursor_);
+  out.push_back(static_cast<double>(pending_.size()));
+  for (const Arrival& a : pending_) {
+    out.push_back(a.time);
+    out.push_back(a.service_demand);
+    out.push_back(static_cast<double>(a.priority));
+    out.push_back(a.deadline);
+  }
+}
+
+void BotWorkload::load_state(const std::vector<double>& in) {
+  ensure_arg(in.size() >= 2, "BotWorkload::load_state: bad encoding");
+  cursor_ = in[0];
+  const auto count = static_cast<std::size_t>(in[1]);
+  ensure_arg(in.size() == 2 + 4 * count, "BotWorkload::load_state: bad encoding");
+  pending_.clear();
+  for (std::size_t i = 0; i < count; ++i) {
+    Arrival a;
+    a.time = in[2 + 4 * i];
+    a.service_demand = in[3 + 4 * i];
+    a.priority = static_cast<int>(in[4 + 4 * i]);
+    a.deadline = in[5 + 4 * i];
+    pending_.push_back(a);
+  }
+}
+
 std::optional<Arrival> BotWorkload::next(Rng& rng) {
   if (pending_.empty()) refill(rng);
   if (pending_.empty()) return std::nullopt;

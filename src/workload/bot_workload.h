@@ -67,6 +67,9 @@ class BotWorkload final : public RequestSource {
 
   const BotWorkloadConfig& config() const { return config_; }
 
+  void save_state(std::vector<double>& out) const override;
+  void load_state(const std::vector<double>& in) override;
+
   /// Mean of max(1, floor(S)) with S ~ Weibull(size_shape, size_scale);
   /// evaluated numerically from the Weibull CDF.
   double mean_tasks_per_job() const;

@@ -10,6 +10,7 @@
 #include <limits>
 #include <optional>
 #include <string>
+#include <vector>
 
 #include "util/rng.h"
 #include "util/units.h"
@@ -38,6 +39,16 @@ class RequestSource {
   virtual double expected_rate(SimTime t) const = 0;
 
   virtual std::string name() const = 0;
+
+  // --- checkpoint support (src/lookahead) --------------------------------
+  /// Appends the source's mutable position (interval cursors, buffered
+  /// arrivals) to `out` as a flat double encoding; load_state consumes the
+  /// same encoding on an identically configured source. Sources without
+  /// mutable state keep the default no-ops. The RNG is external (the
+  /// broker's stream), so restoring (state, rng) reproduces the arrival
+  /// sequence exactly.
+  virtual void save_state(std::vector<double>& out) const { (void)out; }
+  virtual void load_state(const std::vector<double>& in) { (void)in; }
 };
 
 }  // namespace cloudprov

@@ -43,6 +43,19 @@ void WebWorkload::begin_interval(SimTime t, Rng& rng) {
   interval_end_ = (intervals_done + 1.0) * config_.rate_interval;
 }
 
+void WebWorkload::save_state(std::vector<double>& out) const {
+  out.push_back(cursor_);
+  out.push_back(interval_end_);
+  out.push_back(interval_rate_);
+}
+
+void WebWorkload::load_state(const std::vector<double>& in) {
+  ensure_arg(in.size() == 3, "WebWorkload::load_state: bad encoding");
+  cursor_ = in[0];
+  interval_end_ = in[1];
+  interval_rate_ = in[2];
+}
+
 std::optional<Arrival> WebWorkload::next(Rng& rng) {
   if (interval_rate_ < 0.0) begin_interval(cursor_, rng);
   for (;;) {

@@ -74,6 +74,9 @@ class WebWorkload final : public RequestSource {
 
   const WebWorkloadConfig& config() const { return config_; }
 
+  void save_state(std::vector<double>& out) const override;
+  void load_state(const std::vector<double>& in) override;
+
  private:
   /// Enters the interval containing `t` and samples its noisy rate.
   void begin_interval(SimTime t, Rng& rng);

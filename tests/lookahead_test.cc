@@ -1,0 +1,389 @@
+// Co-simulation lookahead subsystem tests (src/lookahead + experiment/World):
+//
+//   - seed-stream derivation order regression (workload -> placement ->
+//     fault -> market -> lookahead, pinned against raw splitmix64 draws),
+//   - clone-continue bit-identity: snapshot a run mid-flight, restore into a
+//     fresh World, continue to the horizon, and require every deterministic
+//     RunMetrics field (and the full span CSV byte stream) to equal the
+//     uninterrupted run's — with telemetry, with the fault layer, and with a
+//     live spot market,
+//   - snapshot fuzz at arbitrary (window-unaligned) times plus a chained
+//     snapshot-of-a-restored-world,
+//   - disk checkpoint roundtrip through the binary codec,
+//   - LookaheadPolicy: the disabled search (K = 1, no bids) is bit-identical
+//     to AdaptivePolicy, and an enabled search only ever commits candidates
+//     that do not degrade QoS versus Algorithm 1's own choice.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <sstream>
+#include <string>
+
+#include "experiment/runner.h"
+#include "experiment/world.h"
+#include "lookahead/checkpoint.h"
+#include "lookahead/world_state.h"
+#include "telemetry/export.h"
+#include "util/rng.h"
+
+namespace cloudprov {
+namespace {
+
+std::uint64_t fnv1a(const std::string& bytes) {
+  std::uint64_t hash = 1469598103934665603ULL;
+  for (const unsigned char c : bytes) {
+    hash ^= c;
+    hash *= 1099511628211ULL;
+  }
+  return hash;
+}
+
+// Every deterministic RunMetrics field, compared exactly (doubles with ==).
+// wall_seconds is the only exclusion: it measures the host, not the
+// simulation. `policy` is compared by the caller when labels should match.
+#define EXPECT_SAME(field) EXPECT_EQ(a.field, b.field) << #field
+void expect_identical_metrics(const RunMetrics& a, const RunMetrics& b) {
+  EXPECT_SAME(generated);
+  EXPECT_SAME(accepted);
+  EXPECT_SAME(rejected);
+  EXPECT_SAME(completed);
+  EXPECT_SAME(qos_violations);
+  EXPECT_SAME(avg_response_time);
+  EXPECT_SAME(std_response_time);
+  EXPECT_SAME(p95_response_time);
+  EXPECT_SAME(p99_response_time);
+  EXPECT_SAME(min_instances);
+  EXPECT_SAME(max_instances);
+  EXPECT_SAME(avg_instances);
+  EXPECT_SAME(vm_hours);
+  EXPECT_SAME(busy_vm_hours);
+  EXPECT_SAME(utilization);
+  EXPECT_SAME(rejection_rate);
+  EXPECT_SAME(instance_failures);
+  EXPECT_SAME(vm_crashes);
+  EXPECT_SAME(host_crashes);
+  EXPECT_SAME(boot_failures);
+  EXPECT_SAME(boot_timeouts);
+  EXPECT_SAME(lost_requests);
+  EXPECT_SAME(lost_to_vm_crashes);
+  EXPECT_SAME(lost_to_host_crashes);
+  EXPECT_SAME(availability);
+  EXPECT_SAME(recoveries);
+  EXPECT_SAME(mttr_mean);
+  EXPECT_SAME(mttr_max);
+  EXPECT_SAME(reconciler_heals);
+  EXPECT_SAME(reconciler_retries);
+  EXPECT_SAME(reconciler_aborts);
+  EXPECT_SAME(final_instances);
+  EXPECT_SAME(slo_response_alerts);
+  EXPECT_SAME(slo_rejection_alerts);
+  EXPECT_SAME(slo_worst_burn_rate);
+  EXPECT_SAME(drift_windows);
+  EXPECT_SAME(drift_response_mape);
+  EXPECT_SAME(drift_response_bias);
+  EXPECT_SAME(spans_traced);
+  EXPECT_SAME(billed_cost);
+  EXPECT_SAME(on_demand_cost);
+  EXPECT_SAME(spot_cost);
+  EXPECT_SAME(reserved_cost);
+  EXPECT_SAME(on_demand_purchases);
+  EXPECT_SAME(spot_purchases);
+  EXPECT_SAME(reserved_purchases);
+  EXPECT_SAME(spot_revocations);
+  EXPECT_SAME(revocation_kills);
+  EXPECT_SAME(lost_to_revocations);
+  EXPECT_SAME(spot_price_mean);
+  EXPECT_SAME(spot_price_max);
+  EXPECT_SAME(simulated_events);
+}
+#undef EXPECT_SAME
+
+// Figure 5 smoke (same literals the kernel golden test pins): web workload
+// at scale 0.01, one day, adaptive, seed 42, every request traced.
+ScenarioConfig fig5_config() {
+  ScenarioConfig config = web_scenario(0.01);
+  config.horizon = 86400.0;
+  config.web.horizon = config.horizon;
+  return config;
+}
+
+TelemetryOptions fig5_telemetry(const ScenarioConfig& config) {
+  TelemetryOptions opts;
+  opts.span_sample_rate = 1.0;
+  opts.drift_enabled = true;
+  opts.drift.qos_max_response_time = config.qos.max_response_time;
+  opts.slo_enabled = true;
+  opts.slo.log_alerts = false;
+  return opts;
+}
+
+// The fault-ablation smoke of the kernel golden test: stochastic VM/host
+// crashes, boot faults, degradations, an outage window, a scripted host
+// crash, boot watchdog, reconciler. Seed 7, simulated_events = 1387838.
+ScenarioConfig fault_smoke_config() {
+  ScenarioConfig config = web_scenario(0.01);
+  config.horizon = 86400.0;
+  config.web.horizon = config.horizon;
+  config.fault.vm_mtbf = 4.0 * 3600.0;
+  config.fault.host_mtbf = 12.0 * 3600.0;
+  config.fault.boot_fail_prob = 0.1;
+  config.fault.straggler_prob = 0.1;
+  config.fault.degraded_mtbf = 2.0 * 3600.0;
+  config.fault.outages.push_back({30000.0, 32000.0});
+  config.fault.scripted.push_back(
+      {ScriptedFault::Kind::kHostCrash, 40000.0, 1});
+  config.boot_timeout = 300.0;
+  config.reconciler.enabled = true;
+  config.reconciler.interval = 60.0;
+  return config;
+}
+
+// Live spot market: half the pool on revocable spot capacity at a 0.70 bid,
+// reconciler healing revocation deficits (bench_ablation_spotmarket smoke).
+ScenarioConfig spot_smoke_config() {
+  ScenarioConfig config = web_scenario(0.02);
+  config.horizon = 6.0 * 3600.0;
+  config.web.horizon = config.horizon;
+  config.market.enabled = true;
+  config.market.acquisition.spot_fraction = 0.5;
+  config.market.acquisition.bid = 0.70;
+  config.reconciler.enabled = true;
+  config.reconciler.interval = 60.0;
+  return config;
+}
+
+/// Runs to `snapshot_time`, snapshots, restores into a fresh World, and
+/// finishes the run there.
+RunOutput clone_continue(const ScenarioConfig& config, const PolicySpec& policy,
+                         std::uint64_t seed,
+                         const std::optional<TelemetryOptions>& telemetry,
+                         SimTime snapshot_time) {
+  World world(config, policy, seed, telemetry);
+  world.start();
+  world.run_to(snapshot_time);
+  const WorldState state = world.snapshot();
+  World resumed(config, policy, seed, state);
+  resumed.run_to(config.horizon);
+  return resumed.finish();
+}
+
+// --- satellite: seed-stream derivation order ------------------------------
+
+TEST(SeedStreams, DerivationOrderIsWorkloadPlacementFaultMarketLookahead) {
+  for (const std::uint64_t seed : {0ULL, 7ULL, 42ULL, 0xdeadbeefULL}) {
+    SplitMix64 seeder(seed);
+    const std::uint64_t workload = seeder.next();
+    const std::uint64_t placement = seeder.next();
+    const std::uint64_t fault = seeder.next();
+    const std::uint64_t market = seeder.next();
+    const std::uint64_t lookahead = seeder.next();
+
+    const SeedStreams streams = derive_streams(seed);
+    EXPECT_EQ(streams.workload, workload) << "seed " << seed;
+    EXPECT_EQ(streams.placement, placement) << "seed " << seed;
+    EXPECT_EQ(streams.fault, fault) << "seed " << seed;
+    EXPECT_EQ(streams.market, market) << "seed " << seed;
+    EXPECT_EQ(streams.lookahead, lookahead) << "seed " << seed;
+  }
+}
+
+TEST(SeedStreams, DistinctStreamsAndSeeds) {
+  const SeedStreams a = derive_streams(42);
+  const SeedStreams b = derive_streams(43);
+  EXPECT_NE(a.workload, a.placement);
+  EXPECT_NE(a.workload, a.fault);
+  EXPECT_NE(a.workload, a.market);
+  EXPECT_NE(a.workload, a.lookahead);
+  EXPECT_NE(a.workload, b.workload);
+  EXPECT_NE(a.lookahead, b.lookahead);
+}
+
+// --- tentpole: clone-continue bit-identity --------------------------------
+
+// Snapshot the telemetry-instrumented Figure 5 smoke mid-run (at a
+// window-unaligned instant), restore, continue — and reproduce the exact
+// pre-PR golden literals plus the full span CSV byte stream.
+TEST(WorldClone, Fig5GoldenCloneContinueIsBitIdentical) {
+  const ScenarioConfig config = fig5_config();
+  const TelemetryOptions telemetry = fig5_telemetry(config);
+
+  const RunOutput full =
+      run_scenario(config, PolicySpec::adaptive(), 42, telemetry);
+  const RunOutput resumed = clone_continue(config, PolicySpec::adaptive(), 42,
+                                           telemetry, /*snapshot_time=*/40323.7);
+
+  expect_identical_metrics(resumed.metrics, full.metrics);
+  EXPECT_EQ(resumed.metrics.policy, full.metrics.policy);
+  // Anchor against the historical goldens, not just the sibling run.
+  EXPECT_EQ(resumed.metrics.generated, 707184u);
+  EXPECT_EQ(resumed.metrics.simulated_events, 1385227u);
+
+  ASSERT_NE(resumed.telemetry, nullptr);
+  std::ostringstream csv;
+  write_span_csv(csv, *resumed.telemetry->spans());
+  const std::string bytes = csv.str();
+  EXPECT_EQ(bytes.size(), 14729937u);
+  EXPECT_EQ(fnv1a(bytes), 0xbdf90a2e3fd773c6ULL);
+}
+
+// Same contract with the whole fault/self-healing layer live: the snapshot
+// carries injector RNG sub-streams, pending crash/degrade events, watchdogs,
+// and reconciler backoff state. Snapshot lands after the outage window and
+// the scripted host crash so their consequences are mid-flight.
+TEST(WorldClone, FaultSmokeCloneContinueIsBitIdentical) {
+  const ScenarioConfig config = fault_smoke_config();
+  const RunOutput full = run_scenario(config, PolicySpec::adaptive(), 7);
+  const RunOutput resumed = clone_continue(config, PolicySpec::adaptive(), 7,
+                                           std::nullopt,
+                                           /*snapshot_time=*/50411.3);
+  expect_identical_metrics(resumed.metrics, full.metrics);
+  EXPECT_EQ(resumed.metrics.simulated_events, 1387838u);
+  EXPECT_GT(resumed.metrics.instance_failures, 0u);
+}
+
+// And with a live spot market: price-path RNG, ledger entries, accrued burn,
+// pending revocation hard-kills, and the market tick all travel through the
+// snapshot; the final bill must come out identical to the cent (bitwise).
+TEST(WorldClone, SpotMarketCloneContinueIsBitIdentical) {
+  const ScenarioConfig config = spot_smoke_config();
+  const RunOutput full = run_scenario(config, PolicySpec::adaptive(), 42);
+  const RunOutput resumed = clone_continue(config, PolicySpec::adaptive(), 42,
+                                           std::nullopt,
+                                           /*snapshot_time=*/9013.9);
+  expect_identical_metrics(resumed.metrics, full.metrics);
+  EXPECT_GT(resumed.metrics.billed_cost, 0.0);
+  EXPECT_GT(resumed.metrics.spot_purchases, 0u);
+}
+
+// Snapshot times swept across the run (none window-aligned), including a
+// chained snapshot taken on an already-restored world: restoring a restore
+// must be as good as the original.
+TEST(WorldClone, SnapshotFuzzAtArbitraryTimes) {
+  ScenarioConfig config = web_scenario(0.02);
+  config.horizon = 2.0 * 3600.0;
+  config.web.horizon = config.horizon;
+  config.fault.vm_mtbf = 2.0 * 3600.0;
+  config.fault.boot_fail_prob = 0.05;
+  config.boot_timeout = 300.0;
+
+  const RunOutput full = run_scenario(config, PolicySpec::adaptive(), 11);
+
+  Rng fuzz(0xf0220ed);
+  for (int round = 0; round < 5; ++round) {
+    const SimTime snap_time = fuzz.uniform(60.0, config.horizon - 60.0);
+    const RunOutput resumed = clone_continue(
+        config, PolicySpec::adaptive(), 11, std::nullopt, snap_time);
+    expect_identical_metrics(resumed.metrics, full.metrics);
+  }
+
+  // Chained: snapshot at t1, restore, run to t2, snapshot again, restore.
+  World world(config, PolicySpec::adaptive(), 11, std::nullopt);
+  world.start();
+  world.run_to(1234.5);
+  const WorldState first = world.snapshot();
+  World middle(config, PolicySpec::adaptive(), 11, first);
+  middle.run_to(4321.0);
+  const WorldState second = middle.snapshot();
+  World last(config, PolicySpec::adaptive(), 11, second);
+  last.run_to(config.horizon);
+  expect_identical_metrics(last.finish().metrics, full.metrics);
+}
+
+// --- satellite: disk checkpoint roundtrip ---------------------------------
+
+TEST(Checkpoint, DiskRoundtripContinuesBitIdentical) {
+  const ScenarioConfig config = spot_smoke_config();
+  const RunOutput full = run_scenario(config, PolicySpec::adaptive(), 42);
+
+  World world(config, PolicySpec::adaptive(), 42, std::nullopt);
+  world.start();
+  world.run_to(7777.0);
+  const WorldState state = world.snapshot();
+
+  std::stringstream buffer(std::ios::in | std::ios::out | std::ios::binary);
+  write_checkpoint(buffer, state);
+  const WorldState loaded = read_checkpoint(buffer);
+
+  EXPECT_EQ(loaded.now, state.now);
+  EXPECT_EQ(loaded.executed_events, state.executed_events);
+  EXPECT_EQ(loaded.push_counter, state.push_counter);
+  EXPECT_EQ(loaded.datacenter.vms.size(), state.datacenter.vms.size());
+  EXPECT_EQ(loaded.policy_present, state.policy_present);
+  ASSERT_TRUE(loaded.market.has_value());
+  EXPECT_EQ(loaded.telemetry, nullptr);  // disk format excludes telemetry
+
+  World resumed(config, PolicySpec::adaptive(), 42, loaded);
+  resumed.run_to(config.horizon);
+  expect_identical_metrics(resumed.finish().metrics, full.metrics);
+}
+
+TEST(Checkpoint, RejectsGarbageAndTruncation) {
+  std::stringstream garbage(std::ios::in | std::ios::out | std::ios::binary);
+  garbage << "not a checkpoint";
+  EXPECT_THROW(read_checkpoint(garbage), std::runtime_error);
+
+  ScenarioConfig config = web_scenario(0.02);
+  config.horizon = 600.0;
+  config.web.horizon = config.horizon;
+  World world(config, PolicySpec::adaptive(), 3, std::nullopt);
+  world.start();
+  world.run_to(300.0);
+  std::stringstream buffer(std::ios::in | std::ios::out | std::ios::binary);
+  write_checkpoint(buffer, world.snapshot());
+  const std::string bytes = buffer.str();
+  std::stringstream truncated(std::ios::in | std::ios::out | std::ios::binary);
+  truncated << bytes.substr(0, bytes.size() / 2);
+  EXPECT_THROW(read_checkpoint(truncated), std::runtime_error);
+}
+
+// --- lookahead policy -----------------------------------------------------
+
+// K = 1 with no bid levels must never consult the engine or draw from the
+// lookahead stream: the run is bit-identical to the adaptive baseline.
+TEST(LookaheadPolicy, DisabledSearchIsBitIdenticalToAdaptive) {
+  ScenarioConfig config = web_scenario(0.02);
+  config.horizon = 6.0 * 3600.0;
+  config.web.horizon = config.horizon;
+
+  const RunOutput adaptive =
+      run_scenario(config, PolicySpec::adaptive(), 42);
+  const RunOutput lookahead =
+      run_scenario(config, PolicySpec::lookahead_spec(1, 1), 42);
+
+  expect_identical_metrics(lookahead.metrics, adaptive.metrics);
+  ASSERT_EQ(lookahead.decisions.size(), adaptive.decisions.size());
+  for (std::size_t i = 0; i < adaptive.decisions.size(); ++i) {
+    EXPECT_EQ(lookahead.decisions[i].target_instances,
+              adaptive.decisions[i].target_instances);
+    EXPECT_EQ(lookahead.decisions[i].achieved_instances,
+              adaptive.decisions[i].achieved_instances);
+  }
+}
+
+// An enabled search commits only candidates its clones certified as no
+// worse than Algorithm 1's choice — so the realized pool can shrink (cost
+// win) but rejections/violations stay in the same regime as adaptive.
+TEST(LookaheadPolicy, SearchNeverDegradesQosVersusAdaptive) {
+  ScenarioConfig config = web_scenario(0.02);
+  config.horizon = 4.0 * 3600.0;
+  config.web.horizon = config.horizon;
+
+  const RunMetrics adaptive =
+      run_scenario(config, PolicySpec::adaptive(), 42).metrics;
+  const RunOutput lookahead_out =
+      run_scenario(config, PolicySpec::lookahead_spec(3, 2), 42);
+  const RunMetrics& lookahead = lookahead_out.metrics;
+
+  EXPECT_FALSE(lookahead_out.decisions.empty());
+  EXPECT_GT(lookahead.completed, 0u);
+  // Without a market the what-if cost is the VM-hours proxy, so committed
+  // overrides can only shrink the pool.
+  EXPECT_LE(lookahead.vm_hours, adaptive.vm_hours * 1.02);
+  // The clones' feasibility gate keeps the QoS regime: allow stochastic
+  // drift (forecast vs realized arrivals) but not a different regime.
+  EXPECT_LE(lookahead.rejection_rate,
+            adaptive.rejection_rate + config.modeler.rejection_tolerance);
+}
+
+}  // namespace
+}  // namespace cloudprov
