@@ -13,7 +13,7 @@
 #include "core/adaptive_policy.h"
 #include "core/application_provisioner.h"
 #include "core/provisioning_policy.h"
-#include "experiment/pricing.h"
+#include "market/pricing.h"
 #include "experiment/report.h"
 #include "experiment/scenario.h"
 #include "predict/periodic_profile.h"

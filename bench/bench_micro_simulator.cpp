@@ -7,10 +7,12 @@
 #include <benchmark/benchmark.h>
 
 #include <memory>
+#include <optional>
 
 #include "cloud/broker.h"
 #include "core/application_provisioner.h"
 #include "experiment/world.h"
+#include "resilience/retry_gateway.h"
 #include "telemetry/telemetry.h"
 #include "workload/bot_workload.h"
 #include "workload/poisson_source.h"
@@ -94,6 +96,51 @@ void BM_ServedRequestsTelemetry(benchmark::State& state) {
   state.SetItemsProcessed(static_cast<std::int64_t>(total_requests));
 }
 BENCHMARK(BM_ServedRequestsTelemetry)->Arg(0)->Arg(1)->Arg(2)
+    ->Unit(benchmark::kMillisecond);
+
+// Overhead of the neutral resilience gateway on the served-request hot
+// path: arg 0 wires the Broker straight to the provisioner, arg 1 inserts a
+// RetryGateway with every feature off (attempt 1 forwards verbatim, no
+// timers, no RNG). Compare items/s: the delta prices the per-request
+// accounting the layer adds when merely enabled.
+void BM_RetryPathOverhead(benchmark::State& state) {
+  const bool gated = state.range(0) != 0;
+  constexpr std::size_t kInstances = 16;
+  std::uint64_t total_requests = 0;
+  for (auto _ : state) {
+    state.PauseTiming();
+    Simulation sim;
+    DatacenterConfig dc_config;
+    dc_config.host_count = kInstances / 8 + 1;
+    Datacenter datacenter(sim, dc_config,
+                          std::make_unique<LeastLoadedPlacement>());
+    QosTargets qos;
+    qos.max_response_time = 0.250;
+    ProvisionerConfig prov_config;
+    prov_config.initial_service_time_estimate = 0.105;
+    ApplicationProvisioner provisioner(sim, datacenter, qos, prov_config);
+    provisioner.scale_to(kInstances);
+    std::optional<RetryGateway> gateway;
+    if (gated) {
+      ResilienceConfig resilience;
+      resilience.enabled = true;  // every feature at its neutral default
+      gateway.emplace(sim, provisioner, resilience, Rng(11));
+    }
+    RequestSink& sink = gated ? static_cast<RequestSink&>(*gateway)
+                              : static_cast<RequestSink&>(provisioner);
+    const double lambda = 8.0 * kInstances;  // rho = 0.84
+    PoissonSource source(lambda,
+                         std::make_shared<ScaledUniformDistribution>(0.1, 0.1),
+                         0.0, 100000.0 / lambda);
+    Broker broker(sim, source, sink, Rng(7));
+    broker.start();
+    state.ResumeTiming();
+    sim.run();
+    total_requests += broker.generated();
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(total_requests));
+}
+BENCHMARK(BM_RetryPathOverhead)->Arg(0)->Arg(1)
     ->Unit(benchmark::kMillisecond);
 
 // Cost of one what-if fork: snapshot the whole world (telemetry and

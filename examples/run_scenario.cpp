@@ -19,6 +19,9 @@
 //                  --lookahead-bids 0.45,1.0      # model-predictive sizing
 //   ./run_scenario --workload web --checkpoint world.ckpt --checkpoint-at 43200
 //   ./run_scenario --workload web --restore world.ckpt    # same config + seed
+//   ./run_scenario --workload web --timeout 0.2 --retry 3:jitter:0.05:1 \
+//                  --retry-budget 0.1 --breaker 0.5:32:5:3 \
+//                  --shed deadline,brownout:0.9:0.5:1   # request-path resilience
 #include <fstream>
 #include <iostream>
 #include <sstream>
@@ -76,6 +79,80 @@ std::vector<double> parse_double_list(const std::string& spec,
     }
   }
   return values;
+}
+
+std::vector<std::string> split_colon(const std::string& spec) {
+  std::vector<std::string> parts;
+  std::stringstream in(spec);
+  std::string item;
+  while (std::getline(in, item, ':')) parts.push_back(item);
+  return parts;
+}
+
+void parse_retry_spec(const std::string& spec, RetryPolicyConfig* retry) {
+  const std::vector<std::string> parts = split_colon(spec);
+  try {
+    retry->max_attempts = std::stoul(parts.at(0));
+    if (parts.size() > 1) {
+      if (parts[1] == "fixed") {
+        retry->backoff = RetryPolicyConfig::Backoff::kFixed;
+      } else if (parts[1] == "jitter") {
+        retry->backoff = RetryPolicyConfig::Backoff::kExpoJitter;
+      } else {
+        throw std::invalid_argument("kind must be fixed | jitter");
+      }
+    }
+    if (parts.size() > 2) retry->base = std::stod(parts[2]);
+    if (parts.size() > 3) retry->cap = std::stod(parts[3]);
+  } catch (const std::invalid_argument&) {
+    throw std::invalid_argument("bad --retry spec: " + spec);
+  }
+}
+
+void parse_budget_spec(const std::string& spec, RetryBudgetConfig* budget) {
+  const std::vector<std::string> parts = split_colon(spec);
+  try {
+    budget->enabled = true;
+    budget->ratio = std::stod(parts.at(0));
+    if (parts.size() > 1) budget->burst = std::stod(parts[1]);
+  } catch (const std::invalid_argument&) {
+    throw std::invalid_argument("bad --retry-budget spec: " + spec);
+  }
+}
+
+void parse_breaker_spec(const std::string& spec, CircuitBreakerConfig* breaker) {
+  const std::vector<std::string> parts = split_colon(spec);
+  try {
+    breaker->enabled = true;
+    breaker->failure_threshold = std::stod(parts.at(0));
+    if (parts.size() > 1) breaker->window = std::stoul(parts[1]);
+    if (parts.size() > 2) breaker->open_duration = std::stod(parts[2]);
+    if (parts.size() > 3) breaker->half_open_probes = std::stoul(parts[3]);
+  } catch (const std::invalid_argument&) {
+    throw std::invalid_argument("bad --breaker spec: " + spec);
+  }
+}
+
+void parse_shed_spec(const std::string& spec, ShedConfig* shed) {
+  std::stringstream in(spec);
+  std::string mechanism;
+  while (std::getline(in, mechanism, ',')) {
+    const std::vector<std::string> parts = split_colon(mechanism);
+    try {
+      if (parts.at(0) == "deadline") {
+        shed->deadline_enabled = true;
+      } else if (parts[0] == "brownout") {
+        shed->brownout_enabled = true;
+        if (parts.size() > 1) shed->brownout_utilization = std::stod(parts[1]);
+        if (parts.size() > 2) shed->brownout_fraction = std::stod(parts[2]);
+        if (parts.size() > 3) shed->brownout_priority = std::stoi(parts[3]);
+      } else {
+        throw std::invalid_argument("mechanism must be deadline | brownout");
+      }
+    } catch (const std::invalid_argument&) {
+      throw std::invalid_argument("bad --shed spec: " + spec);
+    }
+  }
 }
 
 /// Replication-0 runner that supports the checkpoint/restore flags: either
@@ -164,6 +241,36 @@ int main(int argc, char** argv) {
   args.add_flag("reconcile", "0",
                 "self-healing reconciler check interval in seconds (0 = off)",
                 "<double>");
+  args.add_flag("timeout", "0",
+                "client per-attempt timeout in seconds: admitted attempts not "
+                "completed in time are abandoned (0 = off)",
+                "<double>");
+  args.add_flag("request-deadline", "0",
+                "total client deadline per logical request in seconds, from "
+                "first arrival; also readable by --shed deadline (0 = off)",
+                "<double>");
+  args.add_flag("retry", "",
+                "client retry policy \"max[:kind[:base[:cap]]]\": max total "
+                "attempts (0 = unbounded), kind fixed | jitter, backoff "
+                "base/cap in seconds (e.g. 3:jitter:0.05:1)",
+                "<spec>");
+  args.add_flag("retry-budget", "",
+                "token-bucket retry budget \"ratio[:burst]\": retries may not "
+                "exceed ratio of fresh traffic (e.g. 0.1:10)",
+                "<spec>");
+  args.add_flag("breaker", "",
+                "circuit breaker \"thresh[:window[:open_s[:probes]]]\": open "
+                "at this failure fraction over the outcome window, stay open "
+                "open_s seconds, then admit probes (e.g. 0.5:32:5:3)",
+                "<spec>");
+  args.add_flag("shed", "",
+                "server-side load shedding, comma list of \"deadline\" and "
+                "\"brownout[:util[:frac[:prio]]]\" (e.g. "
+                "deadline,brownout:0.9:0.5:1)",
+                "<spec>");
+  args.add_flag("resilience-out", "",
+                "write the per-replication resilience metrics as CSV here",
+                "<path>");
   args.add_flag("market", "false",
                 "buy capacity from the IaaS market (src/market) instead of "
                 "conjuring uniform VMs; implied by the other market flags");
@@ -273,6 +380,31 @@ int main(int argc, char** argv) {
   if (const double interval = args.get_double("reconcile"); interval > 0.0) {
     config.reconciler.enabled = true;
     config.reconciler.interval = interval;
+  }
+  if (const double timeout = args.get_double("timeout"); timeout > 0.0) {
+    config.resilience.attempt_timeout = timeout;
+    config.resilience.enabled = true;
+  }
+  if (const double deadline = args.get_double("request-deadline");
+      deadline > 0.0) {
+    config.resilience.request_deadline = deadline;
+    config.resilience.enabled = true;
+  }
+  if (const std::string spec = args.get_string("retry"); !spec.empty()) {
+    parse_retry_spec(spec, &config.resilience.retry);
+    config.resilience.enabled = true;
+  }
+  if (const std::string spec = args.get_string("retry-budget"); !spec.empty()) {
+    parse_budget_spec(spec, &config.resilience.budget);
+    config.resilience.enabled = true;
+  }
+  if (const std::string spec = args.get_string("breaker"); !spec.empty()) {
+    parse_breaker_spec(spec, &config.resilience.breaker);
+    config.resilience.enabled = true;
+  }
+  if (const std::string spec = args.get_string("shed"); !spec.empty()) {
+    parse_shed_spec(spec, &config.resilience.shed);
+    config.resilience.enabled = true;
   }
   const std::string market_path = args.get_string("market-out");
   config.market.enabled = args.get_bool("market") || args.was_set("spot-frac") ||
@@ -408,6 +540,16 @@ int main(int argc, char** argv) {
     std::cout << "\nIaaS market (per replication):\n";
     print_market_table(std::cout, runs);
     std::cout << "billed cost " << fmt_ci(agg.billed_cost, 2) << " (95% CI)\n";
+  }
+  if (config.resilience.enabled) {
+    std::cout << "\nrequest-path resilience (per replication):\n";
+    print_resilience_table(std::cout, runs);
+  }
+  if (const std::string path = args.get_string("resilience-out");
+      !path.empty()) {
+    std::ofstream out(path);
+    write_resilience_csv(out, runs);
+    std::cout << "resilience metrics written to " << path << '\n';
   }
 
   if (const std::string path = args.get_string("csv"); !path.empty()) {

@@ -87,6 +87,23 @@ struct RunMetrics {
   double spot_price_mean = 0.0;  ///< time-weighted over the horizon
   double spot_price_max = 0.0;
 
+  // --- request-path resilience (src/resilience; all zero when the layer is
+  // disabled, so existing outputs are unchanged) ---------------------------
+  std::uint64_t client_requests = 0;   ///< fresh logical requests
+  std::uint64_t client_succeeded = 0;  ///< served within the client's patience
+  std::uint64_t client_failed = 0;     ///< client gave up (attempts/deadline/budget)
+  std::uint64_t client_attempts = 0;   ///< dispatches incl. retries + fast-fails
+  std::uint64_t client_retries = 0;
+  std::uint64_t retry_budget_denied = 0;
+  std::uint64_t client_timeouts = 0;
+  std::uint64_t wasted_completions = 0;  ///< served after the client gave up
+  std::uint64_t breaker_opens = 0;
+  std::uint64_t breaker_half_opens = 0;
+  std::uint64_t breaker_closes = 0;
+  std::uint64_t breaker_fast_fails = 0;
+  std::uint64_t shed_deadline = 0;  ///< admission sheds: unmeetable deadline
+  std::uint64_t shed_brownout = 0;  ///< admission sheds: brownout
+
   // Simulator diagnostics (not paper metrics).
   std::uint64_t simulated_events = 0;
   double wall_seconds = 0.0;

@@ -184,6 +184,44 @@ void print_claim(std::ostream& out, const std::string& claim, double paper_value
       << " measured=" << fmt(measured_value, precision) << '\n';
 }
 
+void print_resilience_table(std::ostream& out,
+                            const std::vector<RunMetrics>& runs) {
+  TextTable table({"policy", "requests", "ok", "failed", "attempts", "retries",
+                   "budget_deny", "timeouts", "wasted", "br_open", "br_close",
+                   "fast_fail", "shed_ddl", "shed_brown"});
+  for (const RunMetrics& r : runs) {
+    table.add_row({r.policy, fmt_u64(r.client_requests),
+                   fmt_u64(r.client_succeeded), fmt_u64(r.client_failed),
+                   fmt_u64(r.client_attempts), fmt_u64(r.client_retries),
+                   fmt_u64(r.retry_budget_denied), fmt_u64(r.client_timeouts),
+                   fmt_u64(r.wasted_completions), fmt_u64(r.breaker_opens),
+                   fmt_u64(r.breaker_closes), fmt_u64(r.breaker_fast_fails),
+                   fmt_u64(r.shed_deadline), fmt_u64(r.shed_brownout)});
+  }
+  table.print(out);
+}
+
+void write_resilience_csv(std::ostream& out,
+                          const std::vector<RunMetrics>& runs) {
+  CsvWriter csv(out);
+  csv.write_header({"policy", "seed", "client_requests", "client_succeeded",
+                    "client_failed", "client_attempts", "client_retries",
+                    "retry_budget_denied", "client_timeouts",
+                    "wasted_completions", "breaker_opens", "breaker_half_opens",
+                    "breaker_closes", "breaker_fast_fails", "shed_deadline",
+                    "shed_brownout"});
+  for (const RunMetrics& r : runs) {
+    csv.write_row({r.policy, fmt_u64(r.seed), fmt_u64(r.client_requests),
+                   fmt_u64(r.client_succeeded), fmt_u64(r.client_failed),
+                   fmt_u64(r.client_attempts), fmt_u64(r.client_retries),
+                   fmt_u64(r.retry_budget_denied), fmt_u64(r.client_timeouts),
+                   fmt_u64(r.wasted_completions), fmt_u64(r.breaker_opens),
+                   fmt_u64(r.breaker_half_opens), fmt_u64(r.breaker_closes),
+                   fmt_u64(r.breaker_fast_fails), fmt_u64(r.shed_deadline),
+                   fmt_u64(r.shed_brownout)});
+  }
+}
+
 void print_observability_summary(std::ostream& out, const RunMetrics& run) {
   const bool any = run.slo_response_alerts > 0 || run.slo_rejection_alerts > 0 ||
                    run.slo_worst_burn_rate > 0.0 || run.drift_windows > 0 ||

@@ -58,6 +58,17 @@ void print_market_table(std::ostream& out, const std::vector<RunMetrics>& runs);
 void write_market_metrics_csv(std::ostream& out,
                               const std::vector<RunMetrics>& runs);
 
+/// Prints the request-path resilience comparison: one row per run with
+/// logical-request goodput (succeeded/failed), attempt/retry volume, budget
+/// denials, client timeouts, wasted (post-abandonment) completions, breaker
+/// activity, and admission sheds by kind.
+void print_resilience_table(std::ostream& out,
+                            const std::vector<RunMetrics>& runs);
+
+/// Writes the same resilience comparison as CSV.
+void write_resilience_csv(std::ostream& out,
+                          const std::vector<RunMetrics>& runs);
+
 /// Prints the observability summary of one run: SLO burn-rate alert counts
 /// and the worst observed burn rate, model-drift window count with
 /// response-time MAPE/bias, and the number of sampled request spans. Prints

@@ -23,6 +23,7 @@
 #include "fault/reconciler.h"
 #include "lookahead/lookahead_policy.h"
 #include "market/market_broker.h"
+#include "resilience/resilience_config.h"
 #include "workload/bot_workload.h"
 #include "workload/web_workload.h"
 
@@ -84,6 +85,13 @@ struct ScenarioConfig {
   /// previous outputs. Enabled with pure on-demand terms it is still a
   /// strict no-op on every simulation observable.
   MarketConfig market;
+
+  /// Request-path resilience layer (src/resilience): client retries /
+  /// timeouts / budget / breaker plus server-side load shedding.
+  /// ResilienceConfig::enabled defaults to false; enabled with every
+  /// feature neutral (no timeout, one attempt, no budget/breaker/shed) it
+  /// is still a strict no-op on every simulation observable.
+  ResilienceConfig resilience;
 
   /// Scales a paper-scale instance count to this scenario's scale,
   /// rounding to at least 1.

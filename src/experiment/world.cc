@@ -1,8 +1,10 @@
 #include "experiment/world.h"
 
 #include <chrono>
+#include <memory>
 #include <utility>
 
+#include "core/admission.h"
 #include "core/provisioning_policy.h"
 #include "predict/ar_model.h"
 #include "predict/ewma.h"
@@ -77,7 +79,17 @@ void World::build_platform() {
   prov_config.initial_service_time_estimate =
       config_.initial_service_time_estimate;
   prov_config.boot_timeout = config_.boot_timeout;
-  provisioner_.emplace(sim_, *datacenter_, config_.qos, prov_config);
+  std::unique_ptr<AdmissionPolicy> admission;
+  if (config_.resilience.enabled && config_.resilience.shed.enabled()) {
+    auto shedding = std::make_unique<SheddingAdmission>(config_.resilience.shed,
+                                                        telemetry_.get());
+    shedding_ = shedding.get();
+    admission = std::move(shedding);
+  } else {
+    admission = std::make_unique<KBoundAdmission>();
+  }
+  provisioner_.emplace(sim_, *datacenter_, config_.qos, prov_config,
+                       std::move(admission));
   provisioner_->set_telemetry(telemetry_.get());
 
   // The market broker is attached before any policy commands capacity so
@@ -96,6 +108,15 @@ void World::build_platform() {
     reconciler_.emplace(sim_, *provisioner_, config_.reconciler);
     reconciler_->set_telemetry(telemetry_.get());
   }
+  if (config_.resilience.enabled) {
+    gateway_.emplace(sim_, *provisioner_, config_.resilience,
+                     Rng(streams_.resilience), telemetry_.get());
+  }
+}
+
+RequestSink& World::request_sink() {
+  if (gateway_.has_value()) return *gateway_;
+  return *provisioner_;
 }
 
 void World::build_policy(const AdaptivePolicy::State* restored,
@@ -149,7 +170,7 @@ World::World(const ScenarioConfig& config, const PolicySpec& policy,
   }
   build_platform();
   source_ = make_scenario_source(config_);
-  broker_.emplace(sim_, *source_, *provisioner_, Rng(streams_.workload));
+  broker_.emplace(sim_, *source_, request_sink(), Rng(streams_.workload));
   build_policy(nullptr, std::nullopt, /*force_adaptive=*/false);
 }
 
@@ -176,6 +197,10 @@ World::World(const ScenarioConfig& config, const PolicySpec& policy,
   if (reconciler_.has_value() && state.reconciler.has_value()) {
     reconciler_->restore(*state.reconciler);
   }
+  if (gateway_.has_value() && state.resilience.has_value()) {
+    gateway_->restore(state.resilience->gateway);
+    if (shedding_ != nullptr) shedding_->restore(state.resilience->shedding);
+  }
 
   Broker::Snapshot broker_snap = state.broker;
   if (overrides.forecast_rate.has_value()) {
@@ -190,7 +215,7 @@ World::World(const ScenarioConfig& config, const PolicySpec& policy,
     source_ = make_scenario_source(config_);
     source_->load_state(state.source);
   }
-  broker_.emplace(sim_, *source_, *provisioner_, Rng(streams_.workload));
+  broker_.emplace(sim_, *source_, request_sink(), Rng(streams_.workload));
   broker_->restore(broker_snap);
 
   build_policy(state.policy_present ? &state.policy : nullptr,
@@ -249,6 +274,12 @@ WorldState World::snapshot(const SnapshotOptions& options) const {
   if (market_.has_value()) state.market = market_->checkpoint();
   if (faults_.has_value()) state.faults = faults_->checkpoint();
   if (reconciler_.has_value()) state.reconciler = reconciler_->checkpoint();
+  if (gateway_.has_value()) {
+    WorldState::ResilienceState resilience;
+    resilience.gateway = gateway_->checkpoint();
+    if (shedding_ != nullptr) resilience.shedding = shedding_->checkpoint();
+    state.resilience = std::move(resilience);
+  }
   if (options.include_telemetry && telemetry_ != nullptr) {
     state.telemetry = telemetry_->clone();
   }
@@ -318,6 +349,26 @@ RunOutput World::finish() {
     m.reconciler_aborts = reconciler_->aborts();
   }
   m.final_instances = provisioner_->active_instances();
+
+  if (gateway_.has_value()) {
+    m.client_requests = gateway_->client_requests();
+    m.client_succeeded = gateway_->client_succeeded();
+    m.client_failed = gateway_->client_failed();
+    m.client_attempts = gateway_->client_attempts();
+    m.client_retries = gateway_->client_retries();
+    m.retry_budget_denied = gateway_->retry_budget_denied();
+    m.client_timeouts = gateway_->client_timeouts();
+    m.wasted_completions = gateway_->wasted_completions();
+    m.breaker_opens = gateway_->breaker_opens();
+    m.breaker_half_opens = gateway_->breaker_half_opens();
+    m.breaker_closes = gateway_->breaker_closes();
+    m.breaker_fast_fails = gateway_->breaker_fast_fails();
+  }
+  if (shedding_ != nullptr) {
+    shedding_->flush();
+    m.shed_deadline = shedding_->shed_deadline();
+    m.shed_brownout = shedding_->shed_brownout();
+  }
 
   if (telemetry_ != nullptr) {
     if (const SloMonitor* slo = telemetry_->slo(); slo != nullptr) {

@@ -28,6 +28,8 @@
 #include "experiment/scenario.h"
 #include "lookahead/lookahead_policy.h"
 #include "lookahead/world_state.h"
+#include "resilience/retry_gateway.h"
+#include "resilience/shedding_admission.h"
 #include "telemetry/telemetry.h"
 
 namespace cloudprov {
@@ -96,6 +98,11 @@ class World final : public WhatIfEngine {
   SimTime now() const;
   const Simulation& sim() const { return sim_; }
   Telemetry* telemetry() { return telemetry_.get(); }
+  /// Live resilience gateway (nullptr when the layer is disabled): lets the
+  /// retry-storm ablation sample client goodput at the trigger boundary.
+  const RetryGateway* gateway() const {
+    return gateway_.has_value() ? &*gateway_ : nullptr;
+  }
 
   struct SnapshotOptions {
     bool include_telemetry = true;
@@ -119,6 +126,9 @@ class World final : public WhatIfEngine {
   /// Shared wiring for both constructors: everything up to (but excluding)
   /// source/broker/policy construction and any restore call.
   void build_platform();
+  /// The Broker's sink: the resilience gateway when enabled, else the
+  /// provisioner directly.
+  RequestSink& request_sink();
   void build_policy(const AdaptivePolicy::State* restored,
                     const std::optional<Rng::State>& lookahead_rng,
                     bool force_adaptive);
@@ -136,6 +146,12 @@ class World final : public WhatIfEngine {
   std::optional<MarketBroker> market_;
   std::optional<FaultInjector> faults_;
   std::optional<Reconciler> reconciler_;
+  /// Client-side resilience gateway (src/resilience); present iff
+  /// config_.resilience.enabled. The Broker's sink when present.
+  std::optional<RetryGateway> gateway_;
+  /// The provisioner's shedding admission policy (owned by the provisioner);
+  /// null unless shedding is configured.
+  SheddingAdmission* shedding_ = nullptr;
   std::unique_ptr<RequestSource> source_;
   std::optional<Broker> broker_;
   std::unique_ptr<ProvisioningPolicy> prov_policy_;

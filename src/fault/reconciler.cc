@@ -74,14 +74,12 @@ void Reconciler::schedule(SimTime delay) {
 void Reconciler::tick() {
   if (!running_) return;
   const std::size_t target = provisioner_.commanded_target();
-  if (target != last_target_) {
-    // A new commanded target opens a fresh episode: forget prior backoff
-    // escalation and any abort.
-    last_target_ = target;
-    attempt_ = 0;
-    next_backoff_ = config_.backoff_base;
-    aborted_ = false;
-  }
+  // A changed commanded target does NOT reset the backoff ladder: if the
+  // deficit persists (say the IaaS allocation API is in an outage), resetting
+  // on every policy re-command would restart fast retries and hammer the
+  // provider for the whole outage. The ladder resets only when the pool
+  // actually reaches the target below.
+  last_target_ = target;
   const std::size_t active = provisioner_.active_instances();
   if (active >= target) {
     attempt_ = 0;

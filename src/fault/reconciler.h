@@ -9,7 +9,9 @@
 // allocation outage — are retried with exponential backoff up to a bounded
 // retry budget; after the budget is exhausted the reconciler emits one
 // abort event and degrades to plain interval-cadence checking (no retry
-// storm, no deadlock) until the pool heals or the target changes.
+// storm, no deadlock) until the pool heals. The ladder survives commanded-
+// target changes mid-deficit: only an actually healed pool resets it, so a
+// policy re-commanding targets during an outage cannot restart fast retries.
 #pragma once
 
 #include <cstdint>

@@ -12,7 +12,11 @@ namespace cloudprov {
 namespace {
 
 constexpr std::uint32_t kMagic = 0x43505753u;  // "CPWS"
-constexpr std::uint32_t kVersion = 1;
+// Version 2 appended the optional resilience state (RetryGateway +
+// SheddingAdmission); version-1 files (pre-resilience) still load, with the
+// layer absent.
+constexpr std::uint32_t kVersion = 2;
+constexpr std::uint32_t kMinVersion = 1;
 
 // --- primitive layer ------------------------------------------------------
 
@@ -52,6 +56,14 @@ void put(std::ostream& out, const FaultInjector::Snapshot& snap);
 void get(std::istream& in, FaultInjector::Snapshot& snap);
 void put(std::ostream& out, const Reconciler::Snapshot& snap);
 void get(std::istream& in, Reconciler::Snapshot& snap);
+void put(std::ostream& out, const RetryGateway::InFlightEntry& entry);
+void get(std::istream& in, RetryGateway::InFlightEntry& entry);
+void put(std::ostream& out, const RetryGateway::PendingRetry& entry);
+void get(std::istream& in, RetryGateway::PendingRetry& entry);
+void put(std::ostream& out, const RetryGateway::Snapshot& snap);
+void get(std::istream& in, RetryGateway::Snapshot& snap);
+void put(std::ostream& out, const WorldState::ResilienceState& state);
+void get(std::istream& in, WorldState::ResilienceState& state);
 
 // Vectors and optionals of already-handled element types.
 template <typename T>
@@ -330,6 +342,114 @@ void get(std::istream& in, Reconciler::Snapshot& snap) {
   get(in, snap.aborts);
 }
 
+void put(std::ostream& out, const RetryGateway::InFlightEntry& entry) {
+  put(out, entry.attempt_id);
+  put(out, entry.request);
+  put(out, entry.attempt);
+  put(out, entry.prev_delay);
+  put(out, entry.probe);
+  put(out, entry.timeout_event);
+}
+
+void get(std::istream& in, RetryGateway::InFlightEntry& entry) {
+  get(in, entry.attempt_id);
+  get(in, entry.request);
+  get(in, entry.attempt);
+  get(in, entry.prev_delay);
+  get(in, entry.probe);
+  get(in, entry.timeout_event);
+}
+
+void put(std::ostream& out, const RetryGateway::PendingRetry& entry) {
+  put(out, entry.request);
+  put(out, entry.attempt);
+  put(out, entry.prev_delay);
+  put(out, entry.event);
+}
+
+void get(std::istream& in, RetryGateway::PendingRetry& entry) {
+  get(in, entry.request);
+  get(in, entry.attempt);
+  get(in, entry.prev_delay);
+  get(in, entry.event);
+}
+
+void put(std::ostream& out, const RetryGateway::Snapshot& snap) {
+  put(out, snap.rng);
+  put(out, snap.budget_tokens);
+  put(out, snap.breaker_state);
+  put(out, snap.breaker_opened_at);
+  put(out, snap.breaker_ring);
+  put(out, snap.breaker_ring_idx);
+  put(out, snap.breaker_in_window);
+  put(out, snap.breaker_failures);
+  put(out, snap.probes_issued);
+  put(out, snap.probe_successes);
+  put(out, snap.next_retry_seq);
+  put(out, snap.client_requests);
+  put(out, snap.client_succeeded);
+  put(out, snap.client_failed);
+  put(out, snap.client_attempts);
+  put(out, snap.client_retries);
+  put(out, snap.retry_budget_denied);
+  put(out, snap.client_timeouts);
+  put(out, snap.wasted_completions);
+  put(out, snap.breaker_opens);
+  put(out, snap.breaker_half_opens);
+  put(out, snap.breaker_closes);
+  put(out, snap.breaker_fast_fails);
+  put(out, snap.in_flight);
+  put(out, snap.retries);
+}
+
+void get(std::istream& in, RetryGateway::Snapshot& snap) {
+  get(in, snap.rng);
+  get(in, snap.budget_tokens);
+  get(in, snap.breaker_state);
+  get(in, snap.breaker_opened_at);
+  get(in, snap.breaker_ring);
+  get(in, snap.breaker_ring_idx);
+  get(in, snap.breaker_in_window);
+  get(in, snap.breaker_failures);
+  get(in, snap.probes_issued);
+  get(in, snap.probe_successes);
+  get(in, snap.next_retry_seq);
+  get(in, snap.client_requests);
+  get(in, snap.client_succeeded);
+  get(in, snap.client_failed);
+  get(in, snap.client_attempts);
+  get(in, snap.client_retries);
+  get(in, snap.retry_budget_denied);
+  get(in, snap.client_timeouts);
+  get(in, snap.wasted_completions);
+  get(in, snap.breaker_opens);
+  get(in, snap.breaker_half_opens);
+  get(in, snap.breaker_closes);
+  get(in, snap.breaker_fast_fails);
+  get(in, snap.in_flight);
+  get(in, snap.retries);
+}
+
+void put(std::ostream& out, const WorldState::ResilienceState& state) {
+  put(out, state.gateway);
+  put(out, state.shedding.shed_deadline);
+  put(out, state.shedding.shed_brownout);
+  put(out, state.shedding.has_pending);
+  put(out, state.shedding.pending_id);
+  put(out, state.shedding.pending_kind);
+  put(out, state.shedding.pending_time);
+}
+
+void get(std::istream& in, WorldState::ResilienceState& state) {
+  get(in, state.gateway);
+  get(in, state.shedding.shed_deadline);
+  get(in, state.shedding.shed_brownout);
+  get(in, state.shedding.has_pending);
+  get(in, state.shedding.pending_id);
+  get(in, state.shedding.pending_kind);
+  get(in, state.shedding.pending_time);
+}
+
 }  // namespace
 
 void write_checkpoint(std::ostream& out, const WorldState& state) {
@@ -348,6 +468,7 @@ void write_checkpoint(std::ostream& out, const WorldState& state) {
   put(out, state.market);
   put(out, state.faults);
   put(out, state.reconciler);
+  put(out, state.resilience);
   if (!out) throw std::runtime_error("checkpoint: write failed");
 }
 
@@ -359,7 +480,7 @@ WorldState read_checkpoint(std::istream& in) {
     throw std::runtime_error("checkpoint: bad magic (not a checkpoint file)");
   }
   get(in, version);
-  if (version != kVersion) {
+  if (version < kMinVersion || version > kVersion) {
     throw std::runtime_error("checkpoint: unsupported version");
   }
   WorldState state;
@@ -376,6 +497,7 @@ WorldState read_checkpoint(std::istream& in) {
   get(in, state.market);
   get(in, state.faults);
   get(in, state.reconciler);
+  if (version >= 2) get(in, state.resilience);
   if (in.peek() != std::istream::traits_type::eof()) {
     throw std::runtime_error("checkpoint: trailing bytes after state");
   }

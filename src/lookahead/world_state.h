@@ -33,6 +33,8 @@
 #include "fault/fault_injector.h"
 #include "fault/reconciler.h"
 #include "market/market_broker.h"
+#include "resilience/retry_gateway.h"
+#include "resilience/shedding_admission.h"
 #include "telemetry/telemetry.h"
 #include "util/rng.h"
 #include "util/units.h"
@@ -44,13 +46,15 @@ namespace cloudprov {
 /// seeder — so adding a later stream (or enabling the subsystem that uses
 /// it) can never perturb the draws of an earlier one for existing seeds.
 /// The lookahead stream feeds the what-if clones' synthetic arrival
-/// processes and is drawn last.
+/// processes; the resilience stream (retry-backoff jitter) was added after
+/// it and is drawn last.
 struct SeedStreams {
   std::uint64_t workload = 0;
   std::uint64_t placement = 0;
   std::uint64_t fault = 0;
   std::uint64_t market = 0;
   std::uint64_t lookahead = 0;
+  std::uint64_t resilience = 0;
 };
 
 inline SeedStreams derive_streams(std::uint64_t seed) {
@@ -61,6 +65,7 @@ inline SeedStreams derive_streams(std::uint64_t seed) {
   streams.fault = seeder.next();
   streams.market = seeder.next();
   streams.lookahead = seeder.next();
+  streams.resilience = seeder.next();
   return streams;
 }
 
@@ -88,6 +93,15 @@ struct WorldState {
   std::optional<MarketBroker::Snapshot> market;
   std::optional<FaultInjector::Snapshot> faults;
   std::optional<Reconciler::Snapshot> reconciler;
+
+  /// Request-path resilience layer (client gateway + server shedding);
+  /// present only when the layer is enabled, so LookaheadPolicy clones and
+  /// checkpoints carry retry/breaker/shed state through a storm.
+  struct ResilienceState {
+    RetryGateway::Snapshot gateway;
+    SheddingAdmission::Snapshot shedding;
+  };
+  std::optional<ResilienceState> resilience;
 
   /// Deep copy of the replication's collector, so a restored run keeps
   /// recording into identical instruments and its final exports stay

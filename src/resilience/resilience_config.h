@@ -1,0 +1,104 @@
+// Configuration for the request-path resilience layer (src/resilience).
+//
+// Client side (RetryGateway, between the Broker and the provisioner):
+// per-attempt timeouts, a total per-request deadline, retry policies with
+// bounded attempts, a token-bucket retry budget, and a circuit breaker.
+// Server side (SheddingAdmission, plugged into the provisioner's admission
+// seam): queue-deadline shedding and utilization-triggered brownout.
+//
+// Everything defaults to off; a default-constructed ResilienceConfig leaves
+// the simulation bit-identical to a build without the layer.
+#pragma once
+
+#include <cstddef>
+
+#include "util/units.h"
+
+namespace cloudprov {
+
+/// Client retry behavior after a rejected, timed-out, or fast-failed attempt.
+struct RetryPolicyConfig {
+  enum class Backoff {
+    kFixed,        ///< every retry waits exactly `base` seconds
+    kExpoJitter,   ///< decorrelated jitter: U(base, 3 * previous delay), <= cap
+  };
+  Backoff backoff = Backoff::kExpoJitter;
+  /// Total attempts per logical request (first try included). 1 disables
+  /// retries; 0 means unbounded — the naive client of the AB12 ablation.
+  std::size_t max_attempts = 1;
+  /// First/backstop delay before a retry, seconds.
+  SimTime base = 0.05;
+  /// Upper bound on any single backoff delay, seconds.
+  SimTime cap = 1.0;
+};
+
+/// Token-bucket retry budget: retries may not exceed `ratio` of fresh
+/// traffic over any long window. Each fresh arrival earns `ratio` tokens
+/// (capped at `burst`); each retry spends one whole token or is dropped.
+struct RetryBudgetConfig {
+  bool enabled = false;
+  double ratio = 0.1;
+  double burst = 10.0;
+};
+
+/// Per-application circuit breaker over attempt outcomes
+/// (closed -> open -> half-open), driven by the rejection/timeout rate in a
+/// sliding count window.
+struct CircuitBreakerConfig {
+  bool enabled = false;
+  /// Sliding window of most recent attempt outcomes consulted by the trip
+  /// condition.
+  std::size_t window = 32;
+  /// Open when the failure fraction in the window reaches this level...
+  double failure_threshold = 0.5;
+  /// ...but only after the window holds at least this many outcomes.
+  std::size_t min_volume = 16;
+  /// Seconds the breaker stays open (fast-failing everything) before
+  /// letting probe requests through.
+  SimTime open_duration = 5.0;
+  /// Concurrent probe attempts admitted while half-open; all must succeed
+  /// to close, any failure re-opens.
+  std::size_t half_open_probes = 3;
+};
+
+/// Server-side load shedding in the provisioner's admission path.
+struct ShedConfig {
+  /// Queue-deadline shedding (CoDel-style bound): reject a request at
+  /// admission when `now + (queue depth + 1) * Tm` already exceeds the
+  /// request's absolute deadline — the work is doomed, so don't enqueue it.
+  bool deadline_enabled = false;
+  /// Utilization-triggered brownout: when pool occupancy reaches
+  /// `brownout_utilization`, deterministically shed `brownout_fraction` of
+  /// requests whose priority is below `brownout_priority`.
+  bool brownout_enabled = false;
+  double brownout_utilization = 0.9;
+  double brownout_fraction = 0.5;
+  int brownout_priority = 1;
+
+  bool enabled() const { return deadline_enabled || brownout_enabled; }
+};
+
+struct ResilienceConfig {
+  /// Master switch. False leaves the Broker wired straight to the
+  /// provisioner exactly as before this layer existed.
+  bool enabled = false;
+
+  /// Per-attempt client timeout, seconds. An admitted attempt not completed
+  /// within this window is abandoned by the client (the server still wastes
+  /// capacity finishing it — the fuel of retry-storm metastability) and
+  /// handled like a rejection. 0 disables client timeouts.
+  SimTime attempt_timeout = 0.0;
+
+  /// Total deadline per logical request measured from its first arrival,
+  /// seconds. Retries are never scheduled past it, and the gateway stamps
+  /// it on forwarded requests so deadline shedding can read it. 0 means no
+  /// deadline.
+  SimTime request_deadline = 0.0;
+
+  RetryPolicyConfig retry;
+  RetryBudgetConfig budget;
+  CircuitBreakerConfig breaker;
+  ShedConfig shed;
+};
+
+}  // namespace cloudprov

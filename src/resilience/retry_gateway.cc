@@ -1,0 +1,345 @@
+#include "resilience/retry_gateway.h"
+
+#include <algorithm>
+
+#include "core/application_provisioner.h"
+#include "telemetry/telemetry.h"
+#include "util/check.h"
+
+namespace cloudprov {
+
+const char* to_string(RetryGateway::BreakerState state) {
+  switch (state) {
+    case RetryGateway::BreakerState::kClosed: return "closed";
+    case RetryGateway::BreakerState::kOpen: return "open";
+    case RetryGateway::BreakerState::kHalfOpen: return "half-open";
+  }
+  return "?";
+}
+
+RetryGateway::RetryGateway(Simulation& sim, ApplicationProvisioner& provisioner,
+                           const ResilienceConfig& config, Rng rng,
+                           Telemetry* telemetry)
+    : sim_(sim),
+      provisioner_(provisioner),
+      config_(config),
+      rng_(rng),
+      telemetry_(telemetry),
+      budget_tokens_(config.budget.burst) {
+  if (config_.breaker.enabled) {
+    ensure_arg(config_.breaker.window >= 1, "RetryGateway: breaker window >= 1");
+    ensure_arg(config_.breaker.half_open_probes >= 1,
+               "RetryGateway: breaker needs at least one half-open probe");
+    breaker_ring_.assign(config_.breaker.window, 0);
+  }
+  provisioner_.set_completion_listener(
+      [this](const Request& request, double /*response_time*/) {
+        on_completion(request);
+      });
+}
+
+void RetryGateway::on_request(const Request& request) {
+  ++client_requests_;
+  if (config_.budget.enabled) {
+    budget_tokens_ =
+        std::min(config_.budget.burst, budget_tokens_ + config_.budget.ratio);
+  }
+  Request logical = request;
+  if (config_.request_deadline > 0.0) {
+    logical.deadline = std::min(logical.deadline,
+                                request.arrival_time + config_.request_deadline);
+  }
+  dispatch_attempt(logical, 1, config_.retry.base);
+}
+
+void RetryGateway::dispatch_attempt(const Request& request,
+                                    std::uint64_t attempt, SimTime prev_delay) {
+  ++client_attempts_;
+  const SimTime now = sim_.now();
+  bool probe = false;
+  if (config_.breaker.enabled) {
+    if (breaker_state_ == BreakerState::kOpen &&
+        now >= breaker_opened_at_ + config_.breaker.open_duration) {
+      breaker_transition_to_half_open();
+    }
+    if (breaker_state_ == BreakerState::kOpen ||
+        (breaker_state_ == BreakerState::kHalfOpen &&
+         probes_issued_ >= config_.breaker.half_open_probes)) {
+      ++breaker_fast_fails_;
+      if (telemetry_) telemetry_->breaker_fast_fail(now, request.id);
+      handle_attempt_failure(request, attempt, prev_delay);
+      return;
+    }
+    if (breaker_state_ == BreakerState::kHalfOpen) {
+      probe = true;
+      ++probes_issued_;
+    }
+  }
+
+  // Attempt 1 forwards the Broker's request verbatim; retries get a fresh
+  // synthetic id and re-arrive "now" (their response time is measured from
+  // the retry, but the logical deadline stays anchored at first arrival).
+  Request forwarded = request;
+  if (attempt > 1) {
+    forwarded.id = kRetryIdBase | next_retry_seq_++;
+    forwarded.arrival_time = now;
+  }
+  const bool admitted = provisioner_.try_submit(forwarded);
+  if (!admitted) {
+    breaker_outcome(false, probe);
+    handle_attempt_failure(request, attempt, prev_delay);
+    return;
+  }
+  if (config_.attempt_timeout > 0.0) {
+    const std::uint64_t attempt_id = forwarded.id;
+    const EventId timeout = sim_.schedule_at(
+        now + config_.attempt_timeout,
+        [this, attempt_id] { fire_timeout(attempt_id); });
+    in_flight_.emplace(attempt_id,
+                       InFlight{request, attempt, prev_delay, probe, timeout});
+  } else {
+    // No client timeout: admission is the whole outcome.
+    breaker_outcome(true, probe);
+  }
+}
+
+void RetryGateway::on_completion(const Request& request) {
+  if (config_.attempt_timeout <= 0.0) {
+    ++client_succeeded_;
+    return;
+  }
+  auto it = in_flight_.find(request.id);
+  if (it == in_flight_.end()) {
+    // The client abandoned this attempt at its timeout; the server finished
+    // it anyway. Capacity burned for nothing.
+    ++wasted_completions_;
+    return;
+  }
+  sim_.cancel(it->second.timeout_event);
+  breaker_outcome(true, it->second.probe);
+  ++client_succeeded_;
+  in_flight_.erase(it);
+}
+
+void RetryGateway::fire_timeout(std::uint64_t attempt_id) {
+  auto it = in_flight_.find(attempt_id);
+  if (it == in_flight_.end()) return;  // stale (cancelled) timeout
+  const InFlight record = it->second;
+  in_flight_.erase(it);
+  ++client_timeouts_;
+  if (telemetry_) telemetry_->client_timeout(sim_.now(), attempt_id);
+  breaker_outcome(false, record.probe);
+  handle_attempt_failure(record.request, record.attempt, record.prev_delay);
+}
+
+void RetryGateway::handle_attempt_failure(const Request& request,
+                                          std::uint64_t attempt,
+                                          SimTime prev_delay) {
+  const std::size_t max_attempts = config_.retry.max_attempts;
+  if (max_attempts != 0 && attempt >= max_attempts) {
+    ++client_failed_;
+    return;
+  }
+  const SimTime delay = next_backoff(prev_delay);
+  const SimTime fire_at = sim_.now() + delay;
+  if (fire_at >= request.deadline) {
+    ++client_failed_;
+    return;
+  }
+  if (config_.budget.enabled) {
+    if (budget_tokens_ < 1.0) {
+      ++retry_budget_denied_;
+      ++client_failed_;
+      if (telemetry_) telemetry_->retry_budget_exhausted(sim_.now(), request.id);
+      return;
+    }
+    budget_tokens_ -= 1.0;
+  }
+  ++client_retries_;
+  if (telemetry_) {
+    telemetry_->retry_scheduled(sim_.now(), request.id, attempt + 1, delay);
+  }
+  const std::uint64_t token = next_retry_token_++;
+  const EventId event =
+      sim_.schedule_at(fire_at, [this, token] { fire_retry(token); });
+  pending_retries_.emplace(token, Waiting{request, attempt + 1, delay, event});
+}
+
+void RetryGateway::fire_retry(std::uint64_t token) {
+  auto it = pending_retries_.find(token);
+  if (it == pending_retries_.end()) return;
+  const Waiting record = it->second;
+  pending_retries_.erase(it);
+  dispatch_attempt(record.request, record.attempt, record.prev_delay);
+}
+
+SimTime RetryGateway::next_backoff(SimTime prev_delay) {
+  if (config_.retry.backoff == RetryPolicyConfig::Backoff::kFixed) {
+    return config_.retry.base;
+  }
+  // Decorrelated jitter (the AWS architecture-blog variant): each delay is
+  // U(base, 3 * previous delay), clamped to the cap.
+  const double hi = std::max(config_.retry.base, 3.0 * prev_delay);
+  const double drawn = rng_.uniform(config_.retry.base, hi);
+  return std::min(config_.retry.cap, drawn);
+}
+
+// --- circuit breaker ------------------------------------------------------
+
+void RetryGateway::breaker_outcome(bool success, bool probe) {
+  if (!config_.breaker.enabled) return;
+  if (breaker_state_ == BreakerState::kHalfOpen) {
+    // Only designated probes decide the half-open verdict; stragglers
+    // admitted before the trip are ignored.
+    if (!probe) return;
+    if (!success) {
+      breaker_open("half-open");
+      return;
+    }
+    if (++probe_successes_ >= config_.breaker.half_open_probes) {
+      breaker_state_ = BreakerState::kClosed;
+      ++breaker_closes_;
+      breaker_ring_.assign(config_.breaker.window, 0);
+      breaker_ring_idx_ = 0;
+      breaker_in_window_ = 0;
+      breaker_failures_ = 0;
+      if (telemetry_) {
+        telemetry_->breaker_transition(sim_.now(), "half-open", "closed");
+      }
+    }
+    return;
+  }
+  if (breaker_state_ == BreakerState::kOpen) return;  // stale outcomes
+  // Closed: slide the outcome window and test the trip condition.
+  const std::uint8_t failed = success ? 0 : 1;
+  if (breaker_in_window_ == breaker_ring_.size()) {
+    breaker_failures_ -= breaker_ring_[breaker_ring_idx_];
+  } else {
+    ++breaker_in_window_;
+  }
+  breaker_ring_[breaker_ring_idx_] = failed;
+  breaker_failures_ += failed;
+  breaker_ring_idx_ = (breaker_ring_idx_ + 1) % breaker_ring_.size();
+  if (breaker_in_window_ >= config_.breaker.min_volume &&
+      static_cast<double>(breaker_failures_) >=
+          config_.breaker.failure_threshold *
+              static_cast<double>(breaker_in_window_)) {
+    breaker_open("closed");
+  }
+}
+
+void RetryGateway::breaker_open(const char* from) {
+  breaker_state_ = BreakerState::kOpen;
+  breaker_opened_at_ = sim_.now();
+  ++breaker_opens_;
+  if (telemetry_) telemetry_->breaker_transition(sim_.now(), from, "open");
+}
+
+void RetryGateway::breaker_transition_to_half_open() {
+  breaker_state_ = BreakerState::kHalfOpen;
+  ++breaker_half_opens_;
+  probes_issued_ = 0;
+  probe_successes_ = 0;
+  if (telemetry_) {
+    telemetry_->breaker_transition(sim_.now(), "open", "half-open");
+  }
+}
+
+// --- checkpoint/restore ---------------------------------------------------
+
+RetryGateway::Snapshot RetryGateway::checkpoint() const {
+  Snapshot snap;
+  snap.rng = rng_.state();
+  snap.budget_tokens = budget_tokens_;
+  snap.breaker_state = static_cast<std::uint8_t>(breaker_state_);
+  snap.breaker_opened_at = breaker_opened_at_;
+  snap.breaker_ring = breaker_ring_;
+  snap.breaker_ring_idx = breaker_ring_idx_;
+  snap.breaker_in_window = breaker_in_window_;
+  snap.breaker_failures = breaker_failures_;
+  snap.probes_issued = probes_issued_;
+  snap.probe_successes = probe_successes_;
+  snap.next_retry_seq = next_retry_seq_;
+  snap.client_requests = client_requests_;
+  snap.client_succeeded = client_succeeded_;
+  snap.client_failed = client_failed_;
+  snap.client_attempts = client_attempts_;
+  snap.client_retries = client_retries_;
+  snap.retry_budget_denied = retry_budget_denied_;
+  snap.client_timeouts = client_timeouts_;
+  snap.wasted_completions = wasted_completions_;
+  snap.breaker_opens = breaker_opens_;
+  snap.breaker_half_opens = breaker_half_opens_;
+  snap.breaker_closes = breaker_closes_;
+  snap.breaker_fast_fails = breaker_fast_fails_;
+  snap.in_flight.reserve(in_flight_.size());
+  for (const auto& [attempt_id, record] : in_flight_) {
+    const auto stamp = sim_.stamp(record.timeout_event);
+    ensure(stamp.has_value(), "RetryGateway: in-flight timeout has no stamp");
+    snap.in_flight.push_back(InFlightEntry{attempt_id, record.request,
+                                           record.attempt, record.prev_delay,
+                                           record.probe, *stamp});
+  }
+  std::sort(snap.in_flight.begin(), snap.in_flight.end(),
+            [](const InFlightEntry& a, const InFlightEntry& b) {
+              return a.attempt_id < b.attempt_id;
+            });
+  snap.retries.reserve(pending_retries_.size());
+  for (const auto& [token, record] : pending_retries_) {
+    const auto stamp = sim_.stamp(record.event);
+    ensure(stamp.has_value(), "RetryGateway: pending retry has no stamp");
+    snap.retries.push_back(
+        PendingRetry{record.request, record.attempt, record.prev_delay, *stamp});
+  }
+  std::sort(snap.retries.begin(), snap.retries.end(),
+            [](const PendingRetry& a, const PendingRetry& b) {
+              return a.event.seq < b.event.seq;
+            });
+  return snap;
+}
+
+void RetryGateway::restore(const Snapshot& snap) {
+  rng_.set_state(snap.rng);
+  budget_tokens_ = snap.budget_tokens;
+  breaker_state_ = static_cast<BreakerState>(snap.breaker_state);
+  breaker_opened_at_ = snap.breaker_opened_at;
+  breaker_ring_ = snap.breaker_ring;
+  breaker_ring_idx_ = static_cast<std::size_t>(snap.breaker_ring_idx);
+  breaker_in_window_ = static_cast<std::size_t>(snap.breaker_in_window);
+  breaker_failures_ = static_cast<std::size_t>(snap.breaker_failures);
+  probes_issued_ = static_cast<std::size_t>(snap.probes_issued);
+  probe_successes_ = static_cast<std::size_t>(snap.probe_successes);
+  next_retry_seq_ = snap.next_retry_seq;
+  client_requests_ = snap.client_requests;
+  client_succeeded_ = snap.client_succeeded;
+  client_failed_ = snap.client_failed;
+  client_attempts_ = snap.client_attempts;
+  client_retries_ = snap.client_retries;
+  retry_budget_denied_ = snap.retry_budget_denied;
+  client_timeouts_ = snap.client_timeouts;
+  wasted_completions_ = snap.wasted_completions;
+  breaker_opens_ = snap.breaker_opens;
+  breaker_half_opens_ = snap.breaker_half_opens;
+  breaker_closes_ = snap.breaker_closes;
+  breaker_fast_fails_ = snap.breaker_fast_fails;
+  in_flight_.clear();
+  for (const InFlightEntry& entry : snap.in_flight) {
+    const std::uint64_t attempt_id = entry.attempt_id;
+    const EventId timeout = sim_.schedule_stamped(
+        entry.timeout_event, [this, attempt_id] { fire_timeout(attempt_id); });
+    in_flight_.emplace(attempt_id, InFlight{entry.request, entry.attempt,
+                                            entry.prev_delay, entry.probe,
+                                            timeout});
+  }
+  pending_retries_.clear();
+  next_retry_token_ = 0;
+  for (const PendingRetry& entry : snap.retries) {
+    const std::uint64_t token = next_retry_token_++;
+    const EventId event = sim_.schedule_stamped(
+        entry.event, [this, token] { fire_retry(token); });
+    pending_retries_.emplace(
+        token, Waiting{entry.request, entry.attempt, entry.prev_delay, event});
+  }
+}
+
+}  // namespace cloudprov

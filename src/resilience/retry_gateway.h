@@ -1,0 +1,194 @@
+// Client-side resilience model: the RetryGateway sits between the Broker and
+// the ApplicationProvisioner and plays the part of a real SaaS front-end's
+// HTTP client stack — per-attempt timeouts, bounded retries with backoff, a
+// token-bucket retry budget, and a circuit breaker.
+//
+// A fresh arrival becomes attempt 1 of a *logical request*. An attempt fails
+// by admission rejection, by client timeout (the server keeps serving the
+// abandoned request — wasted capacity, the fuel of retry-storm
+// metastability), or by breaker fast-fail. A failed attempt is retried after
+// a backoff delay until the attempt bound, the request deadline, or the
+// retry budget says stop. Attempt 1 forwards the Broker's request verbatim
+// (ids, arrival time, spans all unchanged), so a gateway with every feature
+// off is bit-identical to wiring the Broker straight to the provisioner.
+//
+// Determinism: backoff jitter is the only randomness and draws from the
+// dedicated `resilience` seed stream, so enabling retries perturbs no other
+// subsystem's stream. All breaker/budget state is counters — no clocks, no
+// wall time — and everything (including pending retry/timeout events, under
+// their original (time, seq) stamps) is captured by checkpoint()/restore().
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <unordered_map>
+#include <vector>
+
+#include "cloud/broker.h"
+#include "resilience/resilience_config.h"
+#include "sim/simulation.h"
+#include "util/rng.h"
+
+namespace cloudprov {
+
+class ApplicationProvisioner;
+class Telemetry;
+
+class RetryGateway final : public RequestSink {
+ public:
+  /// Retry attempts carry synthetic ids above this base so they never
+  /// collide with Broker-issued ids (span tracing and timeout bookkeeping
+  /// key on the forwarded id).
+  static constexpr std::uint64_t kRetryIdBase = 1ull << 63;
+
+  enum class BreakerState : std::uint8_t { kClosed = 0, kOpen = 1, kHalfOpen = 2 };
+
+  /// Installs itself as the provisioner's completion listener; the World
+  /// wires the Broker's sink to this gateway instead of the provisioner.
+  RetryGateway(Simulation& sim, ApplicationProvisioner& provisioner,
+               const ResilienceConfig& config, Rng rng,
+               Telemetry* telemetry = nullptr);
+
+  /// Fresh traffic from the Broker: attempt 1 of a new logical request.
+  void on_request(const Request& request) override;
+
+  // --- accounting -------------------------------------------------------
+  std::uint64_t client_requests() const { return client_requests_; }
+  /// Logical requests whose some attempt completed within the client's
+  /// patience (every completion when timeouts are off): the goodput
+  /// numerator of the AB12 ablation.
+  std::uint64_t client_succeeded() const { return client_succeeded_; }
+  /// Logical requests the client gave up on (attempts, deadline, or budget
+  /// exhausted).
+  std::uint64_t client_failed() const { return client_failed_; }
+  std::uint64_t client_attempts() const { return client_attempts_; }
+  std::uint64_t client_retries() const { return client_retries_; }
+  std::uint64_t retry_budget_denied() const { return retry_budget_denied_; }
+  std::uint64_t client_timeouts() const { return client_timeouts_; }
+  /// Completions the server delivered after the client had already timed
+  /// the attempt out: pure wasted capacity.
+  std::uint64_t wasted_completions() const { return wasted_completions_; }
+  std::uint64_t breaker_opens() const { return breaker_opens_; }
+  std::uint64_t breaker_half_opens() const { return breaker_half_opens_; }
+  std::uint64_t breaker_closes() const { return breaker_closes_; }
+  std::uint64_t breaker_fast_fails() const { return breaker_fast_fails_; }
+  BreakerState breaker_state() const { return breaker_state_; }
+  double budget_tokens() const { return budget_tokens_; }
+
+  // --- checkpoint/restore (src/lookahead) -------------------------------
+  /// An attempt sitting in the provisioner with a live client-timeout event.
+  struct InFlightEntry {
+    std::uint64_t attempt_id = 0;  ///< forwarded request id (map key)
+    Request request;               ///< logical request (original id/deadline)
+    std::uint64_t attempt = 1;
+    SimTime prev_delay = 0.0;
+    bool probe = false;
+    EventStamp timeout_event;
+  };
+  /// A backoff wait with a scheduled re-dispatch event.
+  struct PendingRetry {
+    Request request;
+    std::uint64_t attempt = 1;  ///< attempt number the retry will carry
+    SimTime prev_delay = 0.0;
+    EventStamp event;
+  };
+  struct Snapshot {
+    Rng::State rng;
+    double budget_tokens = 0.0;
+    std::uint8_t breaker_state = 0;
+    SimTime breaker_opened_at = 0.0;
+    std::vector<std::uint8_t> breaker_ring;  ///< outcome ring, slot order
+    std::uint64_t breaker_ring_idx = 0;
+    std::uint64_t breaker_in_window = 0;
+    std::uint64_t breaker_failures = 0;
+    std::uint64_t probes_issued = 0;
+    std::uint64_t probe_successes = 0;
+    std::uint64_t next_retry_seq = 0;
+    std::uint64_t client_requests = 0;
+    std::uint64_t client_succeeded = 0;
+    std::uint64_t client_failed = 0;
+    std::uint64_t client_attempts = 0;
+    std::uint64_t client_retries = 0;
+    std::uint64_t retry_budget_denied = 0;
+    std::uint64_t client_timeouts = 0;
+    std::uint64_t wasted_completions = 0;
+    std::uint64_t breaker_opens = 0;
+    std::uint64_t breaker_half_opens = 0;
+    std::uint64_t breaker_closes = 0;
+    std::uint64_t breaker_fast_fails = 0;
+    std::vector<InFlightEntry> in_flight;  ///< sorted by attempt_id
+    std::vector<PendingRetry> retries;     ///< sorted by event seq
+  };
+
+  Snapshot checkpoint() const;
+  /// Re-arms every pending timeout/retry under its original stamp. Call on
+  /// a freshly constructed gateway before Simulation::restore_clock.
+  void restore(const Snapshot& snap);
+
+ private:
+  struct InFlight {
+    Request request;
+    std::uint64_t attempt = 1;
+    SimTime prev_delay = 0.0;
+    bool probe = false;
+    EventId timeout_event = kInvalidEventId;
+  };
+  struct Waiting {
+    Request request;
+    std::uint64_t attempt = 1;
+    SimTime prev_delay = 0.0;
+    EventId event = kInvalidEventId;
+  };
+
+  void dispatch_attempt(const Request& request, std::uint64_t attempt,
+                        SimTime prev_delay);
+  void handle_attempt_failure(const Request& request, std::uint64_t attempt,
+                              SimTime prev_delay);
+  void on_completion(const Request& request);
+  void fire_timeout(std::uint64_t attempt_id);
+  void fire_retry(std::uint64_t token);
+  SimTime next_backoff(SimTime prev_delay);
+
+  // Breaker internals.
+  void breaker_outcome(bool success, bool probe);
+  void breaker_open(const char* from);
+  void breaker_transition_to_half_open();
+
+  Simulation& sim_;
+  ApplicationProvisioner& provisioner_;
+  ResilienceConfig config_;
+  Rng rng_;
+  Telemetry* telemetry_;
+
+  double budget_tokens_;
+  BreakerState breaker_state_ = BreakerState::kClosed;
+  SimTime breaker_opened_at_ = 0.0;
+  std::vector<std::uint8_t> breaker_ring_;
+  std::size_t breaker_ring_idx_ = 0;
+  std::size_t breaker_in_window_ = 0;
+  std::size_t breaker_failures_ = 0;
+  std::size_t probes_issued_ = 0;
+  std::size_t probe_successes_ = 0;
+
+  std::uint64_t next_retry_seq_ = 0;
+  std::uint64_t next_retry_token_ = 0;
+  std::unordered_map<std::uint64_t, InFlight> in_flight_;
+  std::unordered_map<std::uint64_t, Waiting> pending_retries_;
+
+  std::uint64_t client_requests_ = 0;
+  std::uint64_t client_succeeded_ = 0;
+  std::uint64_t client_failed_ = 0;
+  std::uint64_t client_attempts_ = 0;
+  std::uint64_t client_retries_ = 0;
+  std::uint64_t retry_budget_denied_ = 0;
+  std::uint64_t client_timeouts_ = 0;
+  std::uint64_t wasted_completions_ = 0;
+  std::uint64_t breaker_opens_ = 0;
+  std::uint64_t breaker_half_opens_ = 0;
+  std::uint64_t breaker_closes_ = 0;
+  std::uint64_t breaker_fast_fails_ = 0;
+};
+
+const char* to_string(RetryGateway::BreakerState state);
+
+}  // namespace cloudprov

@@ -1,0 +1,107 @@
+#include "resilience/shedding_admission.h"
+
+#include <cmath>
+
+#include "cloud/vm.h"
+#include "telemetry/telemetry.h"
+
+namespace cloudprov {
+namespace {
+
+// SplitMix64 finalizer: a pure, well-mixed hash of the request id, so the
+// brownout coin flip is deterministic, replayable, and burns no RNG stream.
+double shed_hash(std::uint64_t id) {
+  std::uint64_t z = id + 0x9e3779b97f4a7c15ull;
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+  z ^= z >> 31;
+  return static_cast<double>(z >> 11) * 0x1.0p-53;
+}
+
+}  // namespace
+
+SheddingAdmission::SheddingAdmission(ShedConfig config, Telemetry* telemetry)
+    : config_(config), telemetry_(telemetry) {}
+
+bool SheddingAdmission::admit(const Request& request, const Vm& vm,
+                              const PoolView& pool) const {
+  if (config_.brownout_enabled &&
+      request.priority < config_.brownout_priority) {
+    const double capacity = static_cast<double>(pool.active_instances) *
+                            static_cast<double>(pool.queue_bound);
+    const double occupancy =
+        capacity > 0.0
+            ? 1.0 - static_cast<double>(pool.total_free_slots) / capacity
+            : 1.0;
+    if (occupancy >= config_.brownout_utilization &&
+        shed_hash(request.id) < config_.brownout_fraction) {
+      return deny(request, Kind::kBrownout, pool.now);
+    }
+  }
+  if (config_.deadline_enabled && std::isfinite(request.deadline)) {
+    const double predicted_response =
+        static_cast<double>(vm.load() + 1) * pool.mean_service_time;
+    if (pool.now + predicted_response > request.deadline) {
+      return deny(request, Kind::kDeadline, pool.now);
+    }
+  }
+  if (pending_.has_value() && pending_->request_id == request.id) {
+    // An earlier candidate in this round-robin scan was denied, but this VM
+    // can serve the request after all: retract the provisional shed.
+    (pending_->kind == Kind::kDeadline ? shed_deadline_ : shed_brownout_) -= 1;
+    pending_.reset();
+  } else {
+    flush();
+  }
+  return true;
+}
+
+bool SheddingAdmission::deny(const Request& request, Kind kind,
+                             SimTime now) const {
+  if (pending_.has_value() && pending_->request_id == request.id) {
+    return false;  // later candidate, same request: already counted
+  }
+  flush();
+  pending_ = PendingShed{request.id, kind, now};
+  (kind == Kind::kDeadline ? shed_deadline_ : shed_brownout_) += 1;
+  return false;
+}
+
+void SheddingAdmission::flush() const {
+  if (!pending_.has_value()) return;
+  if (telemetry_) {
+    telemetry_->request_shed(
+        pending_->time, pending_->request_id,
+        pending_->kind == Kind::kDeadline ? "deadline" : "brownout");
+  }
+  pending_.reset();
+}
+
+std::uint64_t SheddingAdmission::shed_deadline() const { return shed_deadline_; }
+
+std::uint64_t SheddingAdmission::shed_brownout() const { return shed_brownout_; }
+
+SheddingAdmission::Snapshot SheddingAdmission::checkpoint() const {
+  Snapshot snap;
+  snap.shed_deadline = shed_deadline_;
+  snap.shed_brownout = shed_brownout_;
+  if (pending_.has_value()) {
+    snap.has_pending = true;
+    snap.pending_id = pending_->request_id;
+    snap.pending_kind = static_cast<std::uint8_t>(pending_->kind);
+    snap.pending_time = pending_->time;
+  }
+  return snap;
+}
+
+void SheddingAdmission::restore(const Snapshot& snap) {
+  shed_deadline_ = snap.shed_deadline;
+  shed_brownout_ = snap.shed_brownout;
+  pending_.reset();
+  if (snap.has_pending) {
+    pending_ = PendingShed{snap.pending_id, static_cast<Kind>(snap.pending_kind),
+                           snap.pending_time};
+  }
+}
+
+}  // namespace cloudprov

@@ -1,0 +1,86 @@
+// Server-side overload protection: an AdmissionPolicy that sheds load the
+// k-bound alone cannot (src/core/admission.h is the seam).
+//
+// Two independent mechanisms, both deterministic and RNG-free:
+//
+//  * Queue-deadline shedding (a CoDel-style bound): a request whose
+//    remaining deadline cannot be met even if admitted right now —
+//    now + (queue depth + 1) * Tm exceeds its absolute deadline — is doomed
+//    work; enqueueing it would only burn capacity the client has already
+//    written off. Requests without deadlines are never deadline-shed.
+//
+//  * Utilization-triggered brownout: when pool occupancy reaches the
+//    configured level, a fixed fraction of low-priority requests (selected
+//    by a pure hash of the request id, so the choice is deterministic and
+//    replayable) is turned away to keep headroom for important traffic.
+//
+// Shed decisions look exactly like admission rejections to the provisioner
+// and the client (which is the point: clients cannot tell "full" from
+// "shedding"), but are counted separately for RunMetrics.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+
+#include "core/admission.h"
+#include "resilience/resilience_config.h"
+
+namespace cloudprov {
+
+class Telemetry;
+
+class SheddingAdmission final : public AdmissionPolicy {
+ public:
+  explicit SheddingAdmission(ShedConfig config, Telemetry* telemetry = nullptr);
+
+  bool admit(const Request& request, const Vm& vm,
+             const PoolView& pool) const override;
+  bool needs_pool_view() const override { return true; }
+  std::string name() const override { return "shedding"; }
+
+  /// Requests turned away because their deadline was unmeetable / by
+  /// brownout. Exact per logical admission decision: a candidate-level
+  /// denial that a later VM in the same round-robin scan retracts is not
+  /// counted.
+  std::uint64_t shed_deadline() const;
+  std::uint64_t shed_brownout() const;
+
+  /// Flushes the trailing pending decision (call before reading counters at
+  /// the end of a run).
+  void flush() const;
+
+  struct Snapshot {
+    std::uint64_t shed_deadline = 0;
+    std::uint64_t shed_brownout = 0;
+    /// The provisional last decision rides along so a restored run flushes
+    /// its trace instant at exactly the same point the uninterrupted run
+    /// would have.
+    bool has_pending = false;
+    std::uint64_t pending_id = 0;
+    std::uint8_t pending_kind = 0;
+    SimTime pending_time = 0.0;
+  };
+  Snapshot checkpoint() const;
+  void restore(const Snapshot& snap);
+
+ private:
+  enum class Kind : std::uint8_t { kDeadline, kBrownout };
+  struct PendingShed {
+    std::uint64_t request_id = 0;
+    Kind kind = Kind::kDeadline;
+    SimTime time = 0.0;
+  };
+
+  bool deny(const Request& request, Kind kind, SimTime now) const;
+
+  ShedConfig config_;
+  Telemetry* telemetry_;
+  // admit() is const in the AdmissionPolicy contract; the shed accounting is
+  // observer state, not simulation state.
+  mutable std::uint64_t shed_deadline_ = 0;
+  mutable std::uint64_t shed_brownout_ = 0;
+  mutable std::optional<PendingShed> pending_;
+};
+
+}  // namespace cloudprov

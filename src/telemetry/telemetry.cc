@@ -60,7 +60,13 @@ Telemetry::Telemetry(TelemetryOptions options)
       spot_revocations_(&metrics_.counter("spot_revocations")),
       spot_kills_(&metrics_.counter("spot_revocation_kills")),
       spot_price_(&metrics_.gauge("spot_price")),
-      market_cost_burn_(&metrics_.gauge("market_cost_burn")) {
+      market_cost_burn_(&metrics_.gauge("market_cost_burn")),
+      client_retries_(&metrics_.counter("client_retries")),
+      retry_budget_denied_(&metrics_.counter("retry_budget_denied")),
+      client_timeouts_(&metrics_.counter("client_timeouts")),
+      breaker_transitions_(&metrics_.counter("breaker_transitions")),
+      breaker_fast_fails_(&metrics_.counter("breaker_fast_fails")),
+      requests_shed_(&metrics_.counter("requests_shed")) {
   // The optional monitors are built after the hot-path instruments so the
   // registry's registration order (and thus CSV/snapshot order) is stable
   // whether or not they are enabled.
@@ -346,6 +352,56 @@ void Telemetry::spot_kill(SimTime t, std::uint64_t vm_id,
   spot_kills_->add();
   TraceEvent event = instant("market", "kill", kTrackMarket, t, vm_id);
   event.arg("lost_requests", static_cast<double>(lost_requests));
+  trace_.record(event);
+}
+
+void Telemetry::retry_scheduled(SimTime t, std::uint64_t request_id,
+                                std::uint64_t attempt, SimTime backoff) {
+  client_retries_->add();
+  TraceEvent event = instant("resilience", "retry", kTrackResilience, t,
+                             request_id);
+  event.arg("attempt", static_cast<double>(attempt)).arg("backoff", backoff);
+  trace_.record(event);
+}
+
+void Telemetry::retry_budget_exhausted(SimTime t, std::uint64_t request_id) {
+  retry_budget_denied_->add();
+  trace_.record(
+      instant("resilience", "budget_exhausted", kTrackResilience, t, request_id));
+}
+
+void Telemetry::client_timeout(SimTime t, std::uint64_t request_id) {
+  client_timeouts_->add();
+  trace_.record(
+      instant("resilience", "client_timeout", kTrackResilience, t, request_id));
+}
+
+void Telemetry::breaker_transition(SimTime t, const char* from,
+                                   const char* to) {
+  breaker_transitions_->add();
+  // Transitions are rare; the per-edge counters resolve by name on demand.
+  metrics_.counter(std::string("breaker_to_") + to).add();
+  // Trace-arg values are numeric-only; `from` is implied by the previous
+  // edge on the lane, so the instant carries just the new state.
+  (void)from;
+  TraceEvent event = instant("resilience", "breaker", kTrackResilience, t, 0);
+  event.name = to;
+  trace_.record(event);
+}
+
+void Telemetry::breaker_fast_fail(SimTime t, std::uint64_t request_id) {
+  breaker_fast_fails_->add();
+  trace_.record(
+      instant("resilience", "fast_fail", kTrackResilience, t, request_id));
+}
+
+void Telemetry::request_shed(SimTime t, std::uint64_t request_id,
+                             const char* kind) {
+  requests_shed_->add();
+  metrics_.counter(std::string("requests_shed_") + kind).add();
+  TraceEvent event = instant("resilience", "shed", kTrackResilience, t,
+                             request_id);
+  event.name = kind;
   trace_.record(event);
 }
 

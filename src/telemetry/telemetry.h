@@ -27,6 +27,9 @@
 //   slo      : burn-rate alert raise/clear instants (SloMonitor)
 //   market   : spot-price/cost-burn counter lanes, purchase instants,
 //              revocation notice + hard-kill instants (MarketBroker)
+//   resilience: retry/budget-exhausted/client-timeout/fast-fail instants,
+//              breaker state edges, admission shed instants (RetryGateway /
+//              SheddingAdmission, src/resilience)
 #pragma once
 
 #include <cstddef>
@@ -53,6 +56,7 @@ enum TelemetryTrack : std::uint32_t {
   kTrackDrift = 7,
   kTrackSlo = 8,
   kTrackMarket = 9,
+  kTrackResilience = 10,
 };
 
 struct TelemetryOptions {
@@ -172,6 +176,24 @@ class Telemetry {
   /// per-cause failure counters stay with vm_failed (fault path).
   void spot_kill(SimTime t, std::uint64_t vm_id, std::size_t lost_requests);
 
+  // --- request-path resilience (RetryGateway / SheddingAdmission) --------
+  /// A failed attempt will be retried: `attempt` is the attempt number the
+  /// retry will carry, after `backoff` seconds of delay.
+  void retry_scheduled(SimTime t, std::uint64_t request_id,
+                       std::uint64_t attempt, SimTime backoff);
+  /// The token-bucket retry budget had no token; the request gave up.
+  void retry_budget_exhausted(SimTime t, std::uint64_t request_id);
+  /// The client abandoned an admitted attempt at its timeout.
+  void client_timeout(SimTime t, std::uint64_t request_id);
+  /// Circuit-breaker edge (cold path; `from`/`to` are state names).
+  void breaker_transition(SimTime t, const char* from, const char* to);
+  /// An attempt rejected locally by an open (or probe-saturated half-open)
+  /// breaker without contacting the provisioner.
+  void breaker_fast_fail(SimTime t, std::uint64_t request_id);
+  /// Admission shed a request (`kind` is "deadline" or "brownout", keying
+  /// the per-kind counters on this cold path).
+  void request_shed(SimTime t, std::uint64_t request_id, const char* kind);
+
   // --- engine self-profile (Simulation) ---------------------------------
   void engine_sample(SimTime t, std::uint64_t executed_events,
                      std::size_t queue_depth);
@@ -225,6 +247,13 @@ class Telemetry {
   Counter* spot_kills_;
   Gauge* spot_price_;
   Gauge* market_cost_burn_;
+  // Resilience instruments likewise append after every pre-resilience one.
+  Counter* client_retries_;
+  Counter* retry_budget_denied_;
+  Counter* client_timeouts_;
+  Counter* breaker_transitions_;
+  Counter* breaker_fast_fails_;
+  Counter* requests_shed_;
 };
 
 }  // namespace cloudprov

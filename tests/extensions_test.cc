@@ -6,9 +6,9 @@
 #include <memory>
 
 #include "cloud/broker.h"
-#include "fault/failure_injector.h"
 #include "core/multitier.h"
-#include "experiment/pricing.h"
+#include "fault/fault_injector.h"
+#include "market/pricing.h"
 #include "predict/ewma.h"
 #include "predict/hybrid.h"
 #include "predict/periodic_profile.h"
@@ -247,18 +247,18 @@ TEST(Failure, InjectorFailsAtConfiguredRate) {
   ProvisionerConfig config;
   ApplicationProvisioner provisioner(world.sim, world.datacenter, qos, config);
   provisioner.scale_to(10);
-  FailureConfig fconfig;
-  fconfig.mtbf_per_instance = 1000.0;  // 10 instances -> ~1 failure / 100 s
-  FailureInjector injector(world.sim, provisioner, fconfig, Rng(11));
+  FaultPlan plan;
+  plan.vm_mtbf = 1000.0;  // 10 instances -> ~1 failure / 100 s
+  FaultInjector injector(world.sim, world.datacenter, provisioner, plan, 11);
   injector.start();
   // Keep the pool at 10 via a reconciler, so the rate stays constant.
   PeriodicProcess reconcile(world.sim, 50.0, 50.0,
                             [&](SimTime) { provisioner.scale_to(10); });
   world.sim.run(20000.0);
   // Expect ~200 failures; allow generous slack.
-  EXPECT_GT(injector.failures_injected(), 140u);
-  EXPECT_LT(injector.failures_injected(), 270u);
-  EXPECT_EQ(provisioner.instance_failures(), injector.failures_injected());
+  EXPECT_GT(injector.vm_crashes(), 140u);
+  EXPECT_LT(injector.vm_crashes(), 270u);
+  EXPECT_EQ(provisioner.instance_failures(), injector.vm_crashes());
 }
 
 TEST(Failure, InjectorSurvivesEmptyPool) {
@@ -266,12 +266,12 @@ TEST(Failure, InjectorSurvivesEmptyPool) {
   QosTargets qos;
   ProvisionerConfig config;
   ApplicationProvisioner provisioner(world.sim, world.datacenter, qos, config);
-  FailureConfig fconfig;
-  fconfig.mtbf_per_instance = 10.0;
-  FailureInjector injector(world.sim, provisioner, fconfig, Rng(12));
+  FaultPlan plan;
+  plan.vm_mtbf = 10.0;
+  FaultInjector injector(world.sim, world.datacenter, provisioner, plan, 12);
   injector.start();
   world.sim.run(500.0);
-  EXPECT_EQ(injector.failures_injected(), 0u);
+  EXPECT_EQ(injector.vm_crashes(), 0u);
 }
 
 // ---------------------------------------------------------------- pricing

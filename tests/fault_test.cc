@@ -8,7 +8,6 @@
 
 #include "core/application_provisioner.h"
 #include "experiment/runner.h"
-#include "fault/failure_injector.h"
 #include "fault/fault_injector.h"
 #include "fault/reconciler.h"
 
@@ -375,6 +374,44 @@ TEST(ReconcilerTest, BoundedBackoffAbortsThenHealsAfterOutage) {
   reconciler.stop();
 }
 
+// Regression: a commanded-target change mid-deficit (the adaptive policy
+// re-sizing while the IaaS allocation API is down) must not reset the backoff
+// ladder — otherwise every policy tick restarts fast retries and the
+// reconciler hammers the provider for the whole outage.
+TEST(ReconcilerTest, TargetChangeDuringOutageKeepsBackoffLadder) {
+  World world(1);
+  ApplicationProvisioner provisioner(world.sim, world.datacenter, lenient_qos(),
+                                     provisioner_config());
+  provisioner.scale_to(4);
+  FaultPlan plan;
+  plan.outages.push_back({5.0, 300.0});
+  FaultInjector injector(world.sim, world.datacenter, provisioner, plan, 17);
+  ReconcilerConfig rc;
+  rc.enabled = true;
+  rc.interval = 10.0;
+  rc.backoff_base = 5.0;
+  rc.backoff_factor = 2.0;
+  rc.backoff_max = 60.0;
+  rc.max_retries = 3;
+  Reconciler reconciler(world.sim, provisioner, rc);
+  injector.start();
+  reconciler.start();
+  world.sim.schedule_at(22.0,
+                        [&] { provisioner.inject_instance_failure(0); });
+  // Ladder so far: tick t=30 (heal falls short, retry in 5), retry t=35
+  // (short, retry in 10). The target change lands between retries...
+  world.sim.schedule_at(40.0, [&] { provisioner.scale_to(5); });
+  world.sim.run(400.0);
+  // ...and the t=45 retry must continue the escalation (attempt 3, then the
+  // abort) rather than opening a fresh episode with its budget refilled.
+  EXPECT_EQ(reconciler.retries(), rc.max_retries);
+  EXPECT_EQ(reconciler.aborts(), 1u);
+  EXPECT_FALSE(reconciler.in_aborted_state());
+  EXPECT_EQ(provisioner.active_instances(), 5u);
+  injector.stop();
+  reconciler.stop();
+}
+
 TEST(ReconcilerTest, AvailabilityReflectsDeficitTime) {
   World world(1);
   ApplicationProvisioner provisioner(world.sim, world.datacenter, lenient_qos(),
@@ -533,23 +570,6 @@ TEST(FaultDeterminism, StaticPolicyHealsOnlyWithTheReconciler) {
   EXPECT_GE(healed.reconciler_heals, 2u);
   EXPECT_GT(bare.availability, 0.0);
   EXPECT_GT(healed.availability, bare.availability);
-}
-
-// ----------------------------------------------- legacy failure injector
-
-TEST(LegacyFailureInjector, StopWithPendingEventIsSafe) {
-  World world;
-  ApplicationProvisioner provisioner(world.sim, world.datacenter, lenient_qos(),
-                                     provisioner_config());
-  provisioner.scale_to(4);
-  FailureConfig config;
-  config.mtbf_per_instance = 10.0;
-  FailureInjector injector(world.sim, provisioner, config, Rng(18));
-  injector.start();
-  injector.stop();
-  world.sim.run(1000.0);
-  EXPECT_EQ(injector.failures_injected(), 0u);
-  EXPECT_EQ(provisioner.instance_failures(), 0u);
 }
 
 }  // namespace

@@ -176,6 +176,32 @@ TEST(KernelGolden, MarketPureOnDemandReproducesFig5Goldens) {
   EXPECT_EQ(out.metrics.spot_revocations, 0u);
 }
 
+// The resilience layer must be a strict no-op when enabled with every
+// feature neutral (no timeout, single attempt, no budget/breaker/shed):
+// attempt 1 forwards the Broker's request verbatim and the gateway draws no
+// RNG and schedules no events, so the goldens and the span bytes are
+// reproduced exactly — with client-side accounting on the side (ISSUE 7
+// acceptance).
+TEST(KernelGolden, NeutralResilienceReproducesFig5Goldens) {
+  ScenarioConfig config = fig5_config();
+  config.resilience.enabled = true;  // defaults: everything off
+  const RunOutput out = run_scenario(config, PolicySpec::adaptive(), 42,
+                                     fig5_telemetry(config));
+  expect_bit_identical(out.metrics, fig5_golden());
+  expect_fig5_span_csv(out);
+
+  // The gateway observed every request without perturbing the run.
+  EXPECT_EQ(out.metrics.client_requests, out.metrics.generated);
+  EXPECT_EQ(out.metrics.client_attempts, out.metrics.generated);
+  EXPECT_EQ(out.metrics.client_succeeded, out.metrics.completed);
+  EXPECT_EQ(out.metrics.client_failed, out.metrics.rejected);
+  EXPECT_EQ(out.metrics.client_retries, 0u);
+  EXPECT_EQ(out.metrics.client_timeouts, 0u);
+  EXPECT_EQ(out.metrics.breaker_opens, 0u);
+  EXPECT_EQ(out.metrics.shed_deadline, 0u);
+  EXPECT_EQ(out.metrics.shed_brownout, 0u);
+}
+
 // Fault-ablation smoke: same workload with stochastic VM/host crashes, boot
 // faults, degradations, an allocation outage, a scripted host crash, and the
 // reconciler — covers the cancellation path (completion events of failed

@@ -94,6 +94,20 @@ void expect_identical_metrics(const RunMetrics& a, const RunMetrics& b) {
   EXPECT_SAME(lost_to_revocations);
   EXPECT_SAME(spot_price_mean);
   EXPECT_SAME(spot_price_max);
+  EXPECT_SAME(client_requests);
+  EXPECT_SAME(client_succeeded);
+  EXPECT_SAME(client_failed);
+  EXPECT_SAME(client_attempts);
+  EXPECT_SAME(client_retries);
+  EXPECT_SAME(retry_budget_denied);
+  EXPECT_SAME(client_timeouts);
+  EXPECT_SAME(wasted_completions);
+  EXPECT_SAME(breaker_opens);
+  EXPECT_SAME(breaker_half_opens);
+  EXPECT_SAME(breaker_closes);
+  EXPECT_SAME(breaker_fast_fails);
+  EXPECT_SAME(shed_deadline);
+  EXPECT_SAME(shed_brownout);
   EXPECT_SAME(simulated_events);
 }
 #undef EXPECT_SAME
@@ -152,6 +166,31 @@ ScenarioConfig spot_smoke_config() {
   return config;
 }
 
+// Full resilience storm: an IaaS allocation outage under client timeouts,
+// budgeted expo-jitter retries, a circuit breaker, and both shed modes —
+// every piece of gateway/shedding state is live when a snapshot lands
+// inside the outage window.
+ScenarioConfig retry_storm_config() {
+  ScenarioConfig config = web_scenario(0.01);
+  config.horizon = 4.0 * 3600.0;
+  config.web.horizon = config.horizon;
+  config.fault.outages.push_back({600.0, 1500.0});
+  config.resilience.enabled = true;
+  config.resilience.attempt_timeout = 0.2;
+  config.resilience.request_deadline = 2.0;
+  config.resilience.retry.max_attempts = 4;
+  config.resilience.retry.base = 0.05;
+  config.resilience.retry.cap = 0.5;
+  config.resilience.budget.enabled = true;
+  config.resilience.budget.ratio = 0.2;
+  config.resilience.breaker.enabled = true;
+  config.resilience.shed.deadline_enabled = true;
+  config.resilience.shed.brownout_enabled = true;
+  config.resilience.shed.brownout_utilization = 0.8;
+  config.resilience.shed.brownout_fraction = 0.3;
+  return config;
+}
+
 /// Runs to `snapshot_time`, snapshots, restores into a fresh World, and
 /// finishes the run there.
 RunOutput clone_continue(const ScenarioConfig& config, const PolicySpec& policy,
@@ -169,7 +208,8 @@ RunOutput clone_continue(const ScenarioConfig& config, const PolicySpec& policy,
 
 // --- satellite: seed-stream derivation order ------------------------------
 
-TEST(SeedStreams, DerivationOrderIsWorkloadPlacementFaultMarketLookahead) {
+TEST(SeedStreams,
+     DerivationOrderIsWorkloadPlacementFaultMarketLookaheadResilience) {
   for (const std::uint64_t seed : {0ULL, 7ULL, 42ULL, 0xdeadbeefULL}) {
     SplitMix64 seeder(seed);
     const std::uint64_t workload = seeder.next();
@@ -177,6 +217,7 @@ TEST(SeedStreams, DerivationOrderIsWorkloadPlacementFaultMarketLookahead) {
     const std::uint64_t fault = seeder.next();
     const std::uint64_t market = seeder.next();
     const std::uint64_t lookahead = seeder.next();
+    const std::uint64_t resilience = seeder.next();
 
     const SeedStreams streams = derive_streams(seed);
     EXPECT_EQ(streams.workload, workload) << "seed " << seed;
@@ -184,6 +225,7 @@ TEST(SeedStreams, DerivationOrderIsWorkloadPlacementFaultMarketLookahead) {
     EXPECT_EQ(streams.fault, fault) << "seed " << seed;
     EXPECT_EQ(streams.market, market) << "seed " << seed;
     EXPECT_EQ(streams.lookahead, lookahead) << "seed " << seed;
+    EXPECT_EQ(streams.resilience, resilience) << "seed " << seed;
   }
 }
 
@@ -194,8 +236,10 @@ TEST(SeedStreams, DistinctStreamsAndSeeds) {
   EXPECT_NE(a.workload, a.fault);
   EXPECT_NE(a.workload, a.market);
   EXPECT_NE(a.workload, a.lookahead);
+  EXPECT_NE(a.workload, a.resilience);
   EXPECT_NE(a.workload, b.workload);
   EXPECT_NE(a.lookahead, b.lookahead);
+  EXPECT_NE(a.resilience, b.resilience);
 }
 
 // --- tentpole: clone-continue bit-identity --------------------------------
@@ -253,6 +297,34 @@ TEST(WorldClone, SpotMarketCloneContinueIsBitIdentical) {
   expect_identical_metrics(resumed.metrics, full.metrics);
   EXPECT_GT(resumed.metrics.billed_cost, 0.0);
   EXPECT_GT(resumed.metrics.spot_purchases, 0u);
+}
+
+// Satellite: checkpoint with the resilience layer live, snapshot landing
+// inside the outage while a retry storm is raging — pending retry and
+// timeout events, breaker ring/state, budget tokens, and the shedding
+// pending-decision all travel through the snapshot. The span CSV of the
+// resumed run must match the uninterrupted run byte for byte.
+TEST(WorldClone, RetryStormCloneContinueIsBitIdentical) {
+  const ScenarioConfig config = retry_storm_config();
+  const TelemetryOptions telemetry = fig5_telemetry(config);
+  const RunOutput full =
+      run_scenario(config, PolicySpec::adaptive(), 42, telemetry);
+  // Mid-outage: the breaker has tripped and retries/timeouts are in flight.
+  const RunOutput resumed = clone_continue(config, PolicySpec::adaptive(), 42,
+                                           telemetry, /*snapshot_time=*/901.3);
+  expect_identical_metrics(resumed.metrics, full.metrics);
+  // The storm actually stormed (otherwise this pins nothing).
+  EXPECT_GT(full.metrics.client_retries, 0u);
+  EXPECT_GT(full.metrics.client_timeouts, 0u);
+
+  ASSERT_NE(full.telemetry, nullptr);
+  ASSERT_NE(resumed.telemetry, nullptr);
+  std::ostringstream full_csv;
+  write_span_csv(full_csv, *full.telemetry->spans());
+  std::ostringstream resumed_csv;
+  write_span_csv(resumed_csv, *resumed.telemetry->spans());
+  EXPECT_EQ(resumed_csv.str().size(), full_csv.str().size());
+  EXPECT_EQ(fnv1a(resumed_csv.str()), fnv1a(full_csv.str()));
 }
 
 // Snapshot times swept across the run (none window-aligned), including a
@@ -317,6 +389,33 @@ TEST(Checkpoint, DiskRoundtripContinuesBitIdentical) {
   expect_identical_metrics(resumed.finish().metrics, full.metrics);
 }
 
+// Satellite: the disk codec (v2) serializes the optional resilience section;
+// a checkpoint written mid-retry-storm restores to a bit-identical run.
+TEST(Checkpoint, DiskRoundtripMidRetryStormIsBitIdentical) {
+  const ScenarioConfig config = retry_storm_config();
+  const RunOutput full = run_scenario(config, PolicySpec::adaptive(), 42);
+
+  World world(config, PolicySpec::adaptive(), 42, std::nullopt);
+  world.start();
+  world.run_to(901.3);
+  const WorldState state = world.snapshot();
+  ASSERT_TRUE(state.resilience.has_value());
+
+  std::stringstream buffer(std::ios::in | std::ios::out | std::ios::binary);
+  write_checkpoint(buffer, state);
+  const WorldState loaded = read_checkpoint(buffer);
+  ASSERT_TRUE(loaded.resilience.has_value());
+  EXPECT_EQ(loaded.resilience->gateway.in_flight.size(),
+            state.resilience->gateway.in_flight.size());
+  EXPECT_EQ(loaded.resilience->gateway.retries.size(),
+            state.resilience->gateway.retries.size());
+
+  World resumed(config, PolicySpec::adaptive(), 42, loaded);
+  resumed.run_to(config.horizon);
+  expect_identical_metrics(resumed.finish().metrics, full.metrics);
+  EXPECT_GT(full.metrics.client_retries, 0u);
+}
+
 TEST(Checkpoint, RejectsGarbageAndTruncation) {
   std::stringstream garbage(std::ios::in | std::ios::out | std::ios::binary);
   garbage << "not a checkpoint";
@@ -358,6 +457,19 @@ TEST(LookaheadPolicy, DisabledSearchIsBitIdenticalToAdaptive) {
     EXPECT_EQ(lookahead.decisions[i].achieved_instances,
               adaptive.decisions[i].achieved_instances);
   }
+}
+
+// ISSUE 7 acceptance: with the resilience layer fully live, K = 1 lookahead
+// still defers every window to Algorithm 1 — clone worlds rebuild and
+// restore the gateway/shedding state, so even a mid-storm window changes
+// nothing versus plain adaptive.
+TEST(LookaheadPolicy, DisabledSearchMatchesAdaptiveWithResilienceOn) {
+  const ScenarioConfig config = retry_storm_config();
+  const RunOutput adaptive = run_scenario(config, PolicySpec::adaptive(), 42);
+  const RunOutput lookahead =
+      run_scenario(config, PolicySpec::lookahead_spec(1, 1), 42);
+  expect_identical_metrics(lookahead.metrics, adaptive.metrics);
+  EXPECT_GT(adaptive.metrics.client_retries, 0u);
 }
 
 // An enabled search commits only candidates its clones certified as no
