@@ -12,6 +12,7 @@
 #include "cloud/broker.h"
 #include "core/application_provisioner.h"
 #include "experiment/world.h"
+#include "profile/wall_profiler.h"
 #include "resilience/retry_gateway.h"
 #include "telemetry/telemetry.h"
 #include "workload/bot_workload.h"
@@ -141,6 +142,47 @@ void BM_RetryPathOverhead(benchmark::State& state) {
   state.SetItemsProcessed(static_cast<std::int64_t>(total_requests));
 }
 BENCHMARK(BM_RetryPathOverhead)->Arg(0)->Arg(1)
+    ->Unit(benchmark::kMillisecond);
+
+// Wall-clock profiler overhead on the served-request hot path: arg 0 runs
+// with no profiler attached (the null-pointer fast path — must be free),
+// arg 1 attaches a WallProfiler so the run loop pays the stride-gated
+// snapshot check plus one scope around the whole run. Compare items/s
+// against arg 0: the delta must stay under 2% (the profiler deliberately
+// scopes subsystem hooks, not individual events).
+void BM_ProfilerOverhead(benchmark::State& state) {
+  const bool profiled = state.range(0) != 0;
+  constexpr std::size_t kInstances = 16;
+  std::uint64_t total_requests = 0;
+  for (auto _ : state) {
+    state.PauseTiming();
+    std::optional<WallProfiler> profiler;
+    if (profiled) profiler.emplace(/*snapshot_interval_seconds=*/0.01);
+    Simulation sim;
+    sim.set_profiler(profiler.has_value() ? &*profiler : nullptr);
+    DatacenterConfig dc_config;
+    dc_config.host_count = kInstances / 8 + 1;
+    Datacenter datacenter(sim, dc_config,
+                          std::make_unique<LeastLoadedPlacement>());
+    QosTargets qos;
+    qos.max_response_time = 0.250;
+    ProvisionerConfig prov_config;
+    prov_config.initial_service_time_estimate = 0.105;
+    ApplicationProvisioner provisioner(sim, datacenter, qos, prov_config);
+    provisioner.scale_to(kInstances);
+    const double lambda = 8.0 * kInstances;  // rho = 0.84
+    PoissonSource source(lambda,
+                         std::make_shared<ScaledUniformDistribution>(0.1, 0.1),
+                         0.0, 100000.0 / lambda);
+    Broker broker(sim, source, provisioner, Rng(7));
+    broker.start();
+    state.ResumeTiming();
+    sim.run();
+    total_requests += broker.generated();
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(total_requests));
+}
+BENCHMARK(BM_ProfilerOverhead)->Arg(0)->Arg(1)
     ->Unit(benchmark::kMillisecond);
 
 // Cost of one what-if fork: snapshot the whole world (telemetry and

@@ -1,0 +1,250 @@
+#!/usr/bin/env python3
+"""Diff two run provenance manifests and flag regressions.
+
+Manifests are written by `run_scenario --manifest-out` (schema
+cloudprov-run-manifest/1). Two modes:
+
+  # validate one manifest (exit 2 on parse/schema failure)
+  python3 bench/compare_runs.py --self-check run.json [--min-coverage 0.9]
+
+  # diff two manifests (exit 1 when a regression is flagged)
+  python3 bench/compare_runs.py baseline.json candidate.json \
+      [--tolerance 0.02] [--wall-tolerance 0.25]
+
+The diff compares every metric: integer metrics must match exactly unless
+the runs differ in scenario/seed (then they are reported, not flagged);
+float metrics compare with a relative tolerance. Metrics where higher is
+worse (rejection_rate, qos_violations, avg_response_time, ...) flag a
+regression when the candidate exceeds the baseline beyond tolerance. The
+wall section compares total wall_seconds and per-category self time with a
+looser tolerance (wall time is machine-noisy).
+
+Exit codes: 0 ok, 1 regression found, 2 parse/validation error.
+"""
+
+import argparse
+import json
+import sys
+
+SCHEMA = "cloudprov-run-manifest/1"
+
+# Metrics where a higher candidate value is a regression. Everything else in
+# the metrics block is either neutral bookkeeping (counts that just changed
+# with the scenario) or better-when-higher (handled below).
+WORSE_WHEN_HIGHER = [
+    "rejected",
+    "qos_violations",
+    "avg_response_time",
+    "std_response_time",
+    "p95_response_time",
+    "p99_response_time",
+    "rejection_rate",
+    "lost_requests",
+    "slo_response_alerts",
+    "slo_rejection_alerts",
+    "drift_response_mape",
+    "billed_cost",
+    "client_failed",
+    "client_timeouts",
+    "retry_budget_denied",
+    "breaker_fast_fails",
+]
+WORSE_WHEN_LOWER = [
+    "completed",
+    "availability",
+    "utilization",
+    "client_succeeded",
+]
+
+REQUIRED_SECTIONS = ["build", "scenario", "metrics", "wall"]
+REQUIRED_METRICS = ["generated", "accepted", "rejected", "wall_seconds",
+                    "simulated_events"]
+
+
+def load(path):
+    try:
+        with open(path) as f:
+            doc = json.load(f)
+    except (OSError, json.JSONDecodeError) as err:
+        print(f"error: cannot parse {path}: {err}", file=sys.stderr)
+        sys.exit(2)
+    if doc.get("schema") != SCHEMA:
+        print(f"error: {path}: schema {doc.get('schema')!r} != {SCHEMA!r}",
+              file=sys.stderr)
+        sys.exit(2)
+    return doc
+
+
+def validate(doc, path, min_coverage):
+    problems = []
+    for section in REQUIRED_SECTIONS:
+        if not isinstance(doc.get(section), dict):
+            problems.append(f"missing section {section!r}")
+    metrics = doc.get("metrics", {})
+    for key in REQUIRED_METRICS:
+        if key not in metrics:
+            problems.append(f"missing metric {key!r}")
+    if metrics.get("generated", 0) <= 0:
+        problems.append("metrics.generated is not positive")
+    accepted = metrics.get("accepted", 0)
+    rejected = metrics.get("rejected", 0)
+    # Admission counts are per attempt: with the retry gateway on, each
+    # logical request can hit admission several times, so the conservation
+    # law is against client_attempts, not broker arrivals.
+    attempts = metrics.get("client_attempts", 0)
+    expected = attempts if attempts > 0 else metrics.get("generated", -1)
+    if accepted + rejected != expected:
+        problems.append(f"accepted + rejected = {accepted + rejected} != "
+                        f"{expected} (attempts or generated)")
+    wall = doc.get("wall", {})
+    if wall.get("wall_seconds", -1.0) < 0.0:
+        problems.append("wall.wall_seconds is negative")
+    breakdown = wall.get("breakdown")
+    if not isinstance(breakdown, list):
+        problems.append("wall.breakdown is not a list")
+    else:
+        for row in breakdown:
+            if not {"category", "self_seconds", "count"} <= set(row):
+                problems.append(f"malformed breakdown row: {row}")
+                break
+    coverage = wall.get("covered_fraction")
+    if min_coverage > 0.0:
+        if coverage is None:
+            problems.append("no wall.covered_fraction (run with --profile?)")
+        elif coverage < min_coverage:
+            problems.append(
+                f"wall breakdown covers {coverage:.1%} of wall_seconds "
+                f"(< {min_coverage:.0%})")
+    seeds = doc.get("seed_streams", {})
+    expected_streams = {"workload", "placement", "fault", "market",
+                        "lookahead", "resilience"}
+    if set(seeds) != expected_streams:
+        problems.append(f"seed_streams keys {sorted(seeds)} != "
+                        f"{sorted(expected_streams)}")
+
+    if problems:
+        for p in problems:
+            print(f"error: {path}: {p}", file=sys.stderr)
+        sys.exit(2)
+    cov = f", breakdown covers {coverage:.1%} of wall" if coverage else ""
+    print(f"{path}: valid {SCHEMA} manifest "
+          f"(policy {doc.get('policy')!r}, seed {doc.get('seed')}, "
+          f"{metrics['generated']} requests{cov})")
+
+
+def same_run_identity(a, b):
+    return (a.get("scenario") == b.get("scenario")
+            and a.get("seed") == b.get("seed")
+            and a.get("policy") == b.get("policy"))
+
+
+def rel_delta(base, cand):
+    if base == cand:
+        return 0.0
+    denom = max(abs(base), abs(cand), 1e-12)
+    return (cand - base) / denom
+
+
+def diff(base_doc, cand_doc, base_path, cand_path, tolerance, wall_tolerance):
+    regressions = []
+    notes = []
+    identical_inputs = same_run_identity(base_doc, cand_doc)
+    if not identical_inputs:
+        notes.append("scenario/seed/policy differ: metric deltas are "
+                     "reported but integer mismatches are not regressions")
+    if base_doc["build"].get("git_commit") != cand_doc["build"].get("git_commit"):
+        notes.append(f"commits: {base_doc['build'].get('git_commit')} -> "
+                     f"{cand_doc['build'].get('git_commit')}")
+
+    base_m, cand_m = base_doc["metrics"], cand_doc["metrics"]
+    for key in sorted(set(base_m) | set(cand_m)):
+        if key == "wall_seconds":
+            continue  # handled with the wall section
+        b, c = base_m.get(key), cand_m.get(key)
+        if b is None or c is None:
+            notes.append(f"metric {key} present in only one manifest")
+            continue
+        if b == c:
+            continue
+        delta = rel_delta(b, c)
+        line = f"  {key}: {b} -> {c} ({delta:+.2%})"
+        if key in WORSE_WHEN_HIGHER and delta > tolerance:
+            regressions.append(line)
+        elif key in WORSE_WHEN_LOWER and delta < -tolerance:
+            regressions.append(line)
+        elif identical_inputs and isinstance(b, int) and isinstance(c, int):
+            # Same scenario + seed should be deterministic: any integer
+            # drift means behavior changed, which is worth failing loudly.
+            regressions.append(line + " [determinism]")
+        else:
+            notes.append(line)
+
+    base_w, cand_w = base_doc["wall"], cand_doc["wall"]
+    bw, cw = base_w.get("wall_seconds", 0.0), cand_w.get("wall_seconds", 0.0)
+    if bw > 0.0 and cw > 0.0 and bw != cw:
+        delta = rel_delta(bw, cw)
+        line = f"  wall_seconds: {bw:.3f} -> {cw:.3f} ({delta:+.2%})"
+        (regressions if delta > wall_tolerance else notes).append(line)
+    base_cats = {r["category"]: r for r in base_w.get("breakdown", [])}
+    cand_cats = {r["category"]: r for r in cand_w.get("breakdown", [])}
+    for cat in sorted(set(base_cats) | set(cand_cats)):
+        b = base_cats.get(cat, {}).get("self_seconds", 0.0)
+        c = cand_cats.get(cat, {}).get("self_seconds", 0.0)
+        if b == c:
+            continue
+        delta = rel_delta(b, c)
+        line = f"  wall[{cat}]: {b:.4f}s -> {c:.4f}s ({delta:+.2%})"
+        # Absolute floor: categories in the noise (sub-50ms) never flag.
+        if delta > wall_tolerance and c - b > 0.05:
+            regressions.append(line)
+        else:
+            notes.append(line)
+
+    print(f"baseline:  {base_path} ({base_doc.get('policy')}, "
+          f"seed {base_doc.get('seed')})")
+    print(f"candidate: {cand_path} ({cand_doc.get('policy')}, "
+          f"seed {cand_doc.get('seed')})")
+    if notes:
+        print("\nchanges (informational):")
+        for n in notes:
+            print(n)
+    if regressions:
+        print("\nREGRESSIONS:")
+        for r in regressions:
+            print(r)
+        return 1
+    print("\nno regressions flagged")
+    return 0
+
+
+def main():
+    parser = argparse.ArgumentParser(
+        description="Diff two cloudprov run manifests.")
+    parser.add_argument("manifests", nargs="+",
+                        help="one manifest with --self-check, else two")
+    parser.add_argument("--self-check", action="store_true",
+                        help="validate a single manifest instead of diffing")
+    parser.add_argument("--min-coverage", type=float, default=0.0,
+                        help="with --self-check: require the wall breakdown "
+                             "to cover at least this fraction of wall_seconds")
+    parser.add_argument("--tolerance", type=float, default=0.02,
+                        help="relative tolerance for float metric regressions")
+    parser.add_argument("--wall-tolerance", type=float, default=0.25,
+                        help="relative tolerance for wall-time regressions")
+    args = parser.parse_args()
+
+    if args.self_check:
+        if len(args.manifests) != 1:
+            parser.error("--self-check takes exactly one manifest")
+        validate(load(args.manifests[0]), args.manifests[0],
+                 args.min_coverage)
+        return 0
+    if len(args.manifests) != 2:
+        parser.error("diff mode takes exactly two manifests")
+    base_path, cand_path = args.manifests
+    return diff(load(base_path), load(cand_path), base_path, cand_path,
+                args.tolerance, args.wall_tolerance)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

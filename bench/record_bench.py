@@ -28,6 +28,8 @@ import argparse
 import datetime
 import json
 import pathlib
+import re
+import socket
 import subprocess
 import sys
 
@@ -43,6 +45,44 @@ def git_commit() -> str:
         return out.stdout.strip()
     except (subprocess.CalledProcessError, FileNotFoundError):
         return "unknown"
+
+
+def cpu_model() -> str:
+    try:
+        for line in pathlib.Path("/proc/cpuinfo").read_text().splitlines():
+            if line.lower().startswith("model name"):
+                return line.split(":", 1)[1].strip()
+    except OSError:
+        pass
+    return "unknown"
+
+
+def compiler_info(build_dir: pathlib.Path) -> str:
+    """Compiler id + version from the build dir's CMake cache, e.g.
+    'GNU 12.2.0 (/usr/bin/c++)'. Numbers on the same machine are only
+    comparable if this string matches."""
+    cache = build_dir / "CMakeCache.txt"
+    compiler = ""
+    try:
+        match = re.search(r"^CMAKE_CXX_COMPILER:\w+=(.+)$",
+                          cache.read_text(), re.MULTILINE)
+        if match:
+            compiler = match.group(1).strip()
+    except OSError:
+        pass
+    if not compiler:
+        return "unknown"
+    try:
+        out = subprocess.run([compiler, "--version"], capture_output=True,
+                             text=True, check=True)
+        first_line = out.stdout.splitlines()[0] if out.stdout else ""
+        version = re.search(r"\d+\.\d+(?:\.\d+)?", first_line)
+        ident = "clang" if "clang" in first_line.lower() else "GNU"
+        if version:
+            return f"{ident} {version.group(0)} ({compiler})"
+    except (subprocess.CalledProcessError, FileNotFoundError, OSError):
+        pass
+    return compiler
 
 
 def run_benchmark(binary: pathlib.Path, min_time: str, bench_filter: str) -> dict:
@@ -179,11 +219,18 @@ def main() -> int:
     if output.exists():
         trajectory = json.loads(output.read_text())["entries"]
 
+    # Machine/compiler provenance: numbers in the trajectory are only
+    # comparable between entries recorded on the same machine with the same
+    # toolchain. --check reads only label/commit/results, so older entries
+    # without these fields stay valid.
     entry = {
         "label": args.label,
         "commit": git_commit(),
         "date": datetime.datetime.now(datetime.timezone.utc)
                 .strftime("%Y-%m-%d"),
+        "machine": socket.gethostname(),
+        "cpu": cpu_model(),
+        "compiler": compiler_info(build_dir),
         "results": results,
     }
     previous = trajectory[-1] if trajectory else None

@@ -5,8 +5,8 @@
 //   ./run_scenario --workload scientific --policy static --instances 45
 //   ./run_scenario --workload web --policy adaptive --predictor ewma \
 //                  --interval 30 --csv out.csv --decisions decisions.csv
-//   ./run_scenario --workload web --scale 0.01 --trace-out trace.json \
-//                  --metrics-out metrics.csv        # Perfetto-loadable trace
+//   ./run_scenario --workload web --scale 0.01 --metrics-out metrics.csv \
+//                  --trace-out trace.json           # Perfetto-loadable trace
 //   ./run_scenario --workload web --scale 0.01 --trace-sample-rate 0.05 \
 //                  --spans-out spans.csv --drift-out drift.csv \
 //                  --slo-out slo.csv               # observability monitors
@@ -22,14 +22,19 @@
 //   ./run_scenario --workload web --timeout 0.2 --retry 3:jitter:0.05:1 \
 //                  --retry-budget 0.1 --breaker 0.5:32:5:3 \
 //                  --shed deadline,brownout:0.9:0.5:1   # request-path resilience
+//   ./run_scenario --workload web --scale 0.01 --profile \
+//                  --profile-out prof --manifest-out run.json  # wall profile
 #include <fstream>
 #include <iostream>
 #include <sstream>
 
+#include "experiment/manifest.h"
 #include "experiment/report.h"
 #include "experiment/runner.h"
 #include "experiment/world.h"
 #include "lookahead/checkpoint.h"
+#include "profile/profile_export.h"
+#include "profile/wall_profiler.h"
 #include "telemetry/export.h"
 #include "util/cli.h"
 #include "util/csv.h"
@@ -163,16 +168,16 @@ RunOutput run_replication_zero(const ScenarioConfig& config,
                                const std::optional<TelemetryOptions>& telemetry,
                                const std::string& restore_path,
                                const std::string& checkpoint_path,
-                               double checkpoint_at) {
+                               double checkpoint_at, WallProfiler* profiler) {
   if (!restore_path.empty()) {
     const WorldState state = read_checkpoint_file(restore_path);
     std::cerr << "restored " << restore_path << " at t=" << fmt(state.now, 1)
               << " s (" << state.executed_events << " events executed)\n";
-    World world(config, policy, seed, state);
+    World world(config, policy, seed, state, World::Overrides{}, profiler);
     world.run_to(config.horizon);
     return world.finish();
   }
-  World world(config, policy, seed, telemetry);
+  World world(config, policy, seed, telemetry, profiler);
   world.start();
   if (!checkpoint_path.empty()) {
     world.run_to(checkpoint_at);
@@ -325,6 +330,22 @@ int main(int argc, char** argv) {
                 "write the SLO burn-rate samples of replication 0 as CSV "
                 "here (also enables burn-rate alerting)",
                 "<path>");
+  args.add_flag("profile", "false",
+                "attribute replication 0's wall time to subsystems and print "
+                "the breakdown (output-only: metrics stay bit-identical); "
+                "implied by --profile-out / --manifest-out");
+  args.add_flag("profile-out", "",
+                "profile artifact base path: writes <base>.csv (long-form "
+                "profile), <base>.trace.json (Chrome-trace counter tracks), "
+                "and <base>.folded (flamegraph folded stacks)",
+                "<base>");
+  args.add_flag("manifest-out", "",
+                "write a run provenance manifest JSON here (build info, "
+                "scenario spec, seed streams, metrics, wall-time breakdown); "
+                "diff two with bench/compare_runs.py",
+                "<path>");
+  args.add_flag("profile-interval", "0.1",
+                "wall seconds between engine profile snapshots", "<double>");
   args.add_flag("checkpoint", "",
                 "write a binary snapshot of replication 0's world here at "
                 "--checkpoint-at, then keep running to the horizon",
@@ -474,8 +495,16 @@ int main(int argc, char** argv) {
     telemetry_opts = opts;
   }
 
-  // Telemetry and the decision timeline always describe replication 0, no
-  // matter how the batch is executed.
+  const std::string profile_path = args.get_string("profile-out");
+  const std::string manifest_path = args.get_string("manifest-out");
+  const bool profiling = args.get_bool("profile") || !profile_path.empty() ||
+                         !manifest_path.empty();
+  std::optional<WallProfiler> profiler;
+  if (profiling) profiler.emplace(args.get_double("profile-interval"));
+  WallProfiler* prof = profiler.has_value() ? &*profiler : nullptr;
+
+  // Telemetry, the decision timeline, and the wall profile always describe
+  // replication 0, no matter how the batch is executed.
   std::vector<RunMetrics> runs;
   std::vector<AdaptivePolicy::DecisionRecord> decisions;
   std::unique_ptr<Telemetry> telemetry;
@@ -488,10 +517,11 @@ int main(int argc, char** argv) {
           i == 0 && (!checkpoint_path.empty() || !restore_path.empty())
               ? run_replication_zero(config, policy, seeds[i], telemetry_opts,
                                      restore_path, checkpoint_path,
-                                     checkpoint_at)
+                                     checkpoint_at, prof)
               : run_scenario(config, policy, seeds[i],
                              i == 0 ? telemetry_opts
-                                    : std::optional<TelemetryOptions>{});
+                                    : std::optional<TelemetryOptions>{},
+                             i == 0 ? prof : nullptr);
       std::cerr << "rep " << i + 1 << "/" << reps << ": "
                 << output.metrics.generated << " requests in "
                 << fmt(output.metrics.wall_seconds, 1) << " s\n";
@@ -512,10 +542,12 @@ int main(int argc, char** argv) {
         },
         parallelism);
     // Instrumentation needs a dedicated sequential pass (the collector is
-    // per-replication and the workers only keep metrics).
+    // per-replication and the workers only keep metrics; the profiler is
+    // single-threaded by design).
     if (telemetry_opts.has_value() || !decisions_path.empty() ||
-        !market_path.empty()) {
-      RunOutput output = run_scenario(config, policy, seeds[0], telemetry_opts);
+        !market_path.empty() || prof != nullptr) {
+      RunOutput output =
+          run_scenario(config, policy, seeds[0], telemetry_opts, prof);
       decisions = std::move(output.decisions);
       telemetry = std::move(output.telemetry);
       market_report = std::move(output.market);
@@ -570,6 +602,7 @@ int main(int argc, char** argv) {
   if (telemetry != nullptr) {
     print_observability_summary(std::cout, instrumented);
     if (!trace_path.empty()) {
+      ProfileScope profile_export(prof, ProfileCategory::kExportTrace);
       std::ofstream out(trace_path);
       write_chrome_trace(out, telemetry->trace(),
                          "cloudprov " + policy.label(config.scale),
@@ -579,6 +612,7 @@ int main(int argc, char** argv) {
                 << telemetry->trace().dropped() << " dropped)\n";
     }
     if (!metrics_path.empty()) {
+      ProfileScope profile_export(prof, ProfileCategory::kExportMetrics);
       std::ofstream out(metrics_path);
       if (metrics_format == "prom") {
         write_prometheus_text(out, telemetry->metrics().snapshot());
@@ -589,6 +623,7 @@ int main(int argc, char** argv) {
                 << metrics_format << ")\n";
     }
     if (!spans_path.empty() && telemetry->spans() != nullptr) {
+      ProfileScope profile_export(prof, ProfileCategory::kExportSpans);
       std::ofstream out(spans_path);
       write_span_csv(out, *telemetry->spans());
       std::cout << "request spans written to " << spans_path << " ("
@@ -596,17 +631,55 @@ int main(int argc, char** argv) {
                 << telemetry->spans()->dropped() << " dropped)\n";
     }
     if (!drift_path.empty() && telemetry->drift() != nullptr) {
+      ProfileScope profile_export(prof, ProfileCategory::kExportDrift);
       std::ofstream out(drift_path);
       write_drift_csv(out, *telemetry->drift());
       std::cout << "model-drift windows written to " << drift_path << " ("
                 << telemetry->drift()->windows().size() << " windows)\n";
     }
     if (!slo_path.empty() && telemetry->slo() != nullptr) {
+      ProfileScope profile_export(prof, ProfileCategory::kExportSlo);
       std::ofstream out(slo_path);
       write_slo_csv(out, *telemetry->slo());
       std::cout << "SLO burn-rate samples written to " << slo_path << " ("
                 << telemetry->slo()->alerts().size() << " alert edges)\n";
     }
+  }
+
+  if (prof != nullptr) {
+    std::cout << '\n';
+    write_profile_summary(std::cout, *prof, instrumented.wall_seconds);
+    if (!profile_path.empty()) {
+      ProfileScope profile_export(prof, ProfileCategory::kExportProfile);
+      {
+        std::ofstream out(profile_path + ".csv");
+        write_profile_csv(out, *prof);
+      }
+      {
+        std::ofstream out(profile_path + ".trace.json");
+        write_profile_chrome_trace(out, *prof);
+      }
+      {
+        std::ofstream out(profile_path + ".folded");
+        write_folded_stacks(out, *prof);
+      }
+    }
+    if (!profile_path.empty()) {
+      std::cout << "profile written to " << profile_path << ".{csv,trace.json,"
+                << "folded} (" << prof->snapshots().size() << " snapshots)\n";
+    }
+  }
+  // The manifest goes last so its wall section sees every export scope.
+  if (!manifest_path.empty()) {
+    {
+      ProfileScope profile_export(prof, ProfileCategory::kExportManifest);
+      // --manifest-out implies --profile, so `instrumented` is always the
+      // profiled replication's metrics (replication 0's seed either way).
+      std::ofstream out(manifest_path);
+      write_run_manifest(out, config, policy.label(config.scale), seed, reps,
+                         instrumented, prof);
+    }
+    std::cout << "run manifest written to " << manifest_path << '\n';
   }
   return 0;
 }

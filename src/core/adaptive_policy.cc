@@ -1,5 +1,6 @@
 #include "core/adaptive_policy.h"
 
+#include "profile/wall_profiler.h"
 #include "telemetry/telemetry.h"
 #include "util/check.h"
 #include "util/log.h"
@@ -48,6 +49,7 @@ void AdaptivePolicy::restore_attach(ApplicationProvisioner& provisioner,
 }
 
 void AdaptivePolicy::on_rate_alert(SimTime t, double expected_rate) {
+  ProfileScope profile(sim_.profiler(), ProfileCategory::kPolicyDecision);
   const double tm = provisioner_->monitored_service_time();
   const std::size_t k = provisioner_->current_queue_bound();
   const ModelerDecision decision = modeler_->required_instances(

@@ -1,0 +1,293 @@
+#include "experiment/manifest.h"
+
+#include <chrono>
+#include <cmath>
+#include <cstdio>
+#include <sstream>
+
+#include "lookahead/world_state.h"
+#include "profile/build_info.h"
+#include "profile/wall_profiler.h"
+
+namespace cloudprov {
+namespace {
+
+// Same JSON conventions as the other exporters (telemetry/export.cc,
+// profile/profile_export.cc — both file-local).
+std::string json_number(double value) {
+  if (!std::isfinite(value)) return "0";
+  std::ostringstream out;
+  out.precision(17);
+  out << value;
+  return out.str();
+}
+
+std::string json_string(const std::string& text) {
+  std::string escaped = "\"";
+  for (const char c : text) {
+    switch (c) {
+      case '"': escaped += "\\\""; break;
+      case '\\': escaped += "\\\\"; break;
+      case '\n': escaped += "\\n"; break;
+      case '\t': escaped += "\\t"; break;
+      case '\r': escaped += "\\r"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buffer[8];
+          std::snprintf(buffer, sizeof(buffer), "\\u%04x",
+                        static_cast<unsigned>(c));
+          escaped += buffer;
+        } else {
+          escaped += c;
+        }
+    }
+  }
+  escaped += '"';
+  return escaped;
+}
+
+/// Key/value emitter that handles the comma discipline within one object.
+class JsonObject {
+ public:
+  explicit JsonObject(std::ostream& out, int indent) : out_(out), indent_(indent) {}
+
+  void field(const char* key, const std::string& raw) {
+    if (!first_) out_ << ",\n";
+    first_ = false;
+    for (int i = 0; i < indent_; ++i) out_ << ' ';
+    out_ << '"' << key << "\":" << raw;
+  }
+  void str(const char* key, const std::string& value) { field(key, json_string(value)); }
+  void num(const char* key, double value) { field(key, json_number(value)); }
+  void uint(const char* key, std::uint64_t value) { field(key, std::to_string(value)); }
+  void boolean(const char* key, bool value) { field(key, value ? "true" : "false"); }
+
+ private:
+  std::ostream& out_;
+  int indent_;
+  bool first_ = true;
+};
+
+void write_metrics(std::ostream& out, const RunMetrics& m) {
+  JsonObject obj(out, 4);
+  obj.str("policy", m.policy);
+  obj.uint("seed", m.seed);
+  obj.uint("generated", m.generated);
+  obj.uint("accepted", m.accepted);
+  obj.uint("rejected", m.rejected);
+  obj.uint("completed", m.completed);
+  obj.uint("qos_violations", m.qos_violations);
+  obj.num("avg_response_time", m.avg_response_time);
+  obj.num("std_response_time", m.std_response_time);
+  obj.num("p95_response_time", m.p95_response_time);
+  obj.num("p99_response_time", m.p99_response_time);
+  obj.num("min_instances", m.min_instances);
+  obj.num("max_instances", m.max_instances);
+  obj.num("avg_instances", m.avg_instances);
+  obj.num("vm_hours", m.vm_hours);
+  obj.num("busy_vm_hours", m.busy_vm_hours);
+  obj.num("utilization", m.utilization);
+  obj.num("rejection_rate", m.rejection_rate);
+  obj.uint("instance_failures", m.instance_failures);
+  obj.uint("vm_crashes", m.vm_crashes);
+  obj.uint("host_crashes", m.host_crashes);
+  obj.uint("boot_failures", m.boot_failures);
+  obj.uint("boot_timeouts", m.boot_timeouts);
+  obj.uint("lost_requests", m.lost_requests);
+  obj.uint("lost_to_vm_crashes", m.lost_to_vm_crashes);
+  obj.uint("lost_to_host_crashes", m.lost_to_host_crashes);
+  obj.num("availability", m.availability);
+  obj.uint("recoveries", m.recoveries);
+  obj.num("mttr_mean", m.mttr_mean);
+  obj.num("mttr_max", m.mttr_max);
+  obj.uint("reconciler_heals", m.reconciler_heals);
+  obj.uint("reconciler_retries", m.reconciler_retries);
+  obj.uint("reconciler_aborts", m.reconciler_aborts);
+  obj.uint("final_instances", m.final_instances);
+  obj.uint("slo_response_alerts", m.slo_response_alerts);
+  obj.uint("slo_rejection_alerts", m.slo_rejection_alerts);
+  obj.num("slo_worst_burn_rate", m.slo_worst_burn_rate);
+  obj.uint("drift_windows", m.drift_windows);
+  obj.num("drift_response_mape", m.drift_response_mape);
+  obj.num("drift_response_bias", m.drift_response_bias);
+  obj.uint("spans_traced", m.spans_traced);
+  obj.num("billed_cost", m.billed_cost);
+  obj.num("on_demand_cost", m.on_demand_cost);
+  obj.num("spot_cost", m.spot_cost);
+  obj.num("reserved_cost", m.reserved_cost);
+  obj.uint("on_demand_purchases", m.on_demand_purchases);
+  obj.uint("spot_purchases", m.spot_purchases);
+  obj.uint("reserved_purchases", m.reserved_purchases);
+  obj.uint("spot_revocations", m.spot_revocations);
+  obj.uint("revocation_kills", m.revocation_kills);
+  obj.uint("lost_to_revocations", m.lost_to_revocations);
+  obj.num("spot_price_mean", m.spot_price_mean);
+  obj.num("spot_price_max", m.spot_price_max);
+  obj.uint("client_requests", m.client_requests);
+  obj.uint("client_succeeded", m.client_succeeded);
+  obj.uint("client_failed", m.client_failed);
+  obj.uint("client_attempts", m.client_attempts);
+  obj.uint("client_retries", m.client_retries);
+  obj.uint("retry_budget_denied", m.retry_budget_denied);
+  obj.uint("client_timeouts", m.client_timeouts);
+  obj.uint("wasted_completions", m.wasted_completions);
+  obj.uint("breaker_opens", m.breaker_opens);
+  obj.uint("breaker_half_opens", m.breaker_half_opens);
+  obj.uint("breaker_closes", m.breaker_closes);
+  obj.uint("breaker_fast_fails", m.breaker_fast_fails);
+  obj.uint("shed_deadline", m.shed_deadline);
+  obj.uint("shed_brownout", m.shed_brownout);
+  obj.uint("simulated_events", m.simulated_events);
+  obj.num("wall_seconds", m.wall_seconds);
+}
+
+void write_scenario(std::ostream& out, const ScenarioConfig& config) {
+  JsonObject obj(out, 4);
+  obj.str("workload", to_string(config.workload));
+  obj.num("scale", config.scale);
+  obj.num("horizon", config.horizon);
+  obj.num("qos_max_response_time", config.qos.max_response_time);
+  obj.num("qos_max_rejection_rate", config.qos.max_rejection_rate);
+  obj.num("qos_min_utilization", config.qos.min_utilization);
+  obj.uint("modeler_max_vms", config.modeler.max_vms);
+  obj.uint("modeler_min_vms", config.modeler.min_vms);
+  obj.num("modeler_rejection_tolerance", config.modeler.rejection_tolerance);
+  obj.num("modeler_max_offered_load", config.modeler.max_offered_load);
+  obj.num("analysis_interval", config.analyzer.analysis_interval);
+  obj.num("analysis_lead_time", config.analyzer.lead_time);
+  obj.uint("host_count", config.datacenter.host_count);
+  obj.num("vm_boot_delay", config.datacenter.vm_boot_delay);
+  obj.num("boot_timeout", config.boot_timeout);
+  obj.boolean("fault_enabled", config.fault.enabled());
+  obj.boolean("reconciler_enabled", config.reconciler.enabled);
+  obj.boolean("market_enabled", config.market.enabled);
+  obj.boolean("resilience_enabled", config.resilience.enabled);
+}
+
+void write_wall(std::ostream& out, const RunMetrics& metrics,
+                const WallProfiler* profiler) {
+  JsonObject obj(out, 4);
+  obj.num("wall_seconds", metrics.wall_seconds);
+  if (profiler == nullptr) {
+    obj.field("breakdown", "[]");
+    return;
+  }
+  const double covered = profiler->covered_seconds();
+  obj.num("covered_seconds", covered);
+  obj.num("covered_fraction", metrics.wall_seconds > 0.0
+                                  ? covered / metrics.wall_seconds
+                                  : 0.0);
+  obj.num("clock_overhead_seconds", profiler->clock_overhead_seconds());
+
+  std::ostringstream breakdown;
+  breakdown << "[\n";
+  bool first = true;
+  const auto& totals = profiler->totals();
+  for (std::size_t i = 0; i < totals.size(); ++i) {
+    const auto& stat = totals[i];
+    if (stat.count == 0) continue;
+    if (!first) breakdown << ",\n";
+    first = false;
+    breakdown << "      {\"category\":"
+              << json_string(to_string(static_cast<ProfileCategory>(i)))
+              << ",\"self_seconds\":" << json_number(stat.self_seconds)
+              << ",\"total_seconds\":" << json_number(stat.total_seconds)
+              << ",\"count\":" << stat.count << "}";
+  }
+  breakdown << "\n    ]";
+  obj.field("breakdown", breakdown.str());
+
+  // Engine internals from the last snapshot (finish() forces one, so this
+  // reflects end-of-run state; high waters and counters are cumulative).
+  if (!profiler->snapshots().empty()) {
+    const ProfileSnapshot& last = profiler->snapshots().back();
+    std::ostringstream engine;
+    engine << "{\"heap_high_water\":" << last.heap_high_water
+           << ",\"slab_high_water\":" << last.slab_high_water
+           << ",\"stale_drops\":" << last.stale_drops
+           << ",\"boxed_events\":" << last.boxed_pushed
+           << ",\"snapshots\":" << profiler->snapshots().size()
+           << ",\"events_per_second\":"
+           << json_number(metrics.wall_seconds > 0.0
+                              ? static_cast<double>(metrics.simulated_events) /
+                                    metrics.wall_seconds
+                              : 0.0)
+           << ",\"sim_speedup\":"
+           << json_number(metrics.wall_seconds > 0.0
+                              ? last.sim_time / metrics.wall_seconds
+                              : 0.0)
+           << "}";
+    obj.field("engine", engine.str());
+  }
+}
+
+}  // namespace
+
+void write_run_manifest(std::ostream& out, const ScenarioConfig& config,
+                        const std::string& policy_label, std::uint64_t seed,
+                        std::size_t replications, const RunMetrics& metrics,
+                        const WallProfiler* profiler) {
+  const auto now_ms = std::chrono::duration_cast<std::chrono::milliseconds>(
+                          std::chrono::system_clock::now().time_since_epoch())
+                          .count();
+  const SeedStreams streams = derive_streams(seed);
+
+  out << "{\n";
+  JsonObject root(out, 2);
+  root.str("schema", "cloudprov-run-manifest/1");
+  root.uint("generated_unix_ms", static_cast<std::uint64_t>(now_ms));
+
+  std::ostringstream build;
+  build << "{\n";
+  {
+    JsonObject obj(build, 4);
+    obj.str("git_commit", kBuildGitCommit);
+    obj.str("compiler_id", kBuildCompilerId);
+    obj.str("compiler_version", kBuildCompilerVersion);
+    obj.str("build_type", kBuildType);
+    obj.str("cxx_flags", kBuildCxxFlags);
+    obj.str("system", kBuildSystem);
+  }
+  build << "\n  }";
+  root.field("build", build.str());
+
+  std::ostringstream scenario;
+  scenario << "{\n";
+  write_scenario(scenario, config);
+  scenario << "\n  }";
+  root.field("scenario", scenario.str());
+
+  root.str("policy", policy_label);
+  root.uint("seed", seed);
+  root.uint("replications", replications);
+
+  std::ostringstream seeds;
+  seeds << "{\n";
+  {
+    JsonObject obj(seeds, 4);
+    obj.uint("workload", streams.workload);
+    obj.uint("placement", streams.placement);
+    obj.uint("fault", streams.fault);
+    obj.uint("market", streams.market);
+    obj.uint("lookahead", streams.lookahead);
+    obj.uint("resilience", streams.resilience);
+  }
+  seeds << "\n  }";
+  root.field("seed_streams", seeds.str());
+
+  std::ostringstream metrics_json;
+  metrics_json << "{\n";
+  write_metrics(metrics_json, metrics);
+  metrics_json << "\n  }";
+  root.field("metrics", metrics_json.str());
+
+  std::ostringstream wall;
+  wall << "{\n";
+  write_wall(wall, metrics, profiler);
+  wall << "\n  }";
+  root.field("wall", wall.str());
+
+  out << "\n}\n";
+}
+
+}  // namespace cloudprov

@@ -1,0 +1,30 @@
+// Run provenance manifest: a single JSON document that makes a result
+// reproducible and attributable — the build that produced it (git commit,
+// compiler, flags), the full run identity (scenario spec, policy label, base
+// seed and all six derived seed streams), the complete RunMetrics, and —
+// when a profiler was attached — the wall-time breakdown and engine
+// internals. bench/compare_runs.py diffs two manifests and flags metric or
+// wall-breakdown regressions.
+#pragma once
+
+#include <cstdint>
+#include <ostream>
+#include <string>
+
+#include "experiment/metrics.h"
+#include "experiment/scenario.h"
+
+namespace cloudprov {
+
+class WallProfiler;
+
+/// Writes the manifest JSON ("cloudprov-run-manifest/1"). `profiler` may be
+/// null (e.g. a metrics-only run); the wall section then carries only
+/// wall_seconds. `replications` records how many seeds the surrounding
+/// invocation ran; the metrics themselves are the instrumented replication's.
+void write_run_manifest(std::ostream& out, const ScenarioConfig& config,
+                        const std::string& policy_label, std::uint64_t seed,
+                        std::size_t replications, const RunMetrics& metrics,
+                        const WallProfiler* profiler);
+
+}  // namespace cloudprov

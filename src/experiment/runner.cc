@@ -29,8 +29,9 @@ class ScopedLogTime {
 
 RunOutput run_scenario(const ScenarioConfig& config, const PolicySpec& policy,
                        std::uint64_t seed,
-                       const std::optional<TelemetryOptions>& telemetry_opts) {
-  World world(config, policy, seed, telemetry_opts);
+                       const std::optional<TelemetryOptions>& telemetry_opts,
+                       WallProfiler* profiler) {
+  World world(config, policy, seed, telemetry_opts, profiler);
   std::optional<ScopedLogTime> log_time;
   if (world.telemetry() != nullptr) log_time.emplace(world.sim());
   world.start();

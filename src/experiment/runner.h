@@ -26,11 +26,14 @@ namespace cloudprov {
 /// Runs one replication. `seed` selects the replication's random streams.
 /// Passing `telemetry` options instruments the whole pipeline (engine,
 /// data center, VMs, provisioner, adaptive policy) and returns the
-/// collector in RunOutput::telemetry.
+/// collector in RunOutput::telemetry. Passing a `profiler` (borrowed)
+/// attributes the run's wall time; like telemetry it is output-only and
+/// leaves all metrics bit-identical.
 RunOutput run_scenario(const ScenarioConfig& config, const PolicySpec& policy,
                        std::uint64_t seed,
                        const std::optional<TelemetryOptions>& telemetry =
-                           std::nullopt);
+                           std::nullopt,
+                       WallProfiler* profiler = nullptr);
 
 /// Seeds used by run_replications for `replications` runs from `base_seed`
 /// (splitmix64 sequence): lets callers re-run any single replication —

@@ -12,6 +12,7 @@
 #include "predict/oracle.h"
 #include "predict/periodic_profile.h"
 #include "predict/qrsm.h"
+#include "profile/wall_profiler.h"
 #include "util/check.h"
 #include "util/log.h"
 #include "workload/bot_workload.h"
@@ -70,6 +71,7 @@ std::unique_ptr<RequestSource> make_scenario_source(
 
 void World::build_platform() {
   sim_.set_telemetry(telemetry_.get());
+  sim_.set_profiler(profiler_);
   datacenter_.emplace(sim_, config_.datacenter,
                       std::make_unique<LeastLoadedPlacement>());
   datacenter_->set_telemetry(telemetry_.get());
@@ -159,12 +161,15 @@ void World::build_policy(const AdaptivePolicy::State* restored,
 
 World::World(const ScenarioConfig& config, const PolicySpec& policy,
              std::uint64_t seed,
-             const std::optional<TelemetryOptions>& telemetry_opts)
+             const std::optional<TelemetryOptions>& telemetry_opts,
+             WallProfiler* profiler)
     : config_(config),
       policy_(policy),
       seed_(seed),
       streams_(derive_streams(seed)),
-      wall_start_(std::chrono::steady_clock::now()) {
+      wall_start_(std::chrono::steady_clock::now()),
+      profiler_(profiler) {
+  ProfileScope profile_build(profiler_, ProfileCategory::kWorldBuild);
   if (telemetry_opts.has_value()) {
     telemetry_ = std::make_unique<Telemetry>(*telemetry_opts);
   }
@@ -176,12 +181,14 @@ World::World(const ScenarioConfig& config, const PolicySpec& policy,
 
 World::World(const ScenarioConfig& config, const PolicySpec& policy,
              std::uint64_t seed, const WorldState& state,
-             const Overrides& overrides)
+             const Overrides& overrides, WallProfiler* profiler)
     : config_(config),
       policy_(policy),
       seed_(seed),
       streams_(derive_streams(seed)),
-      wall_start_(std::chrono::steady_clock::now()) {
+      wall_start_(std::chrono::steady_clock::now()),
+      profiler_(profiler) {
+  ProfileScope profile_build(profiler_, ProfileCategory::kWorldBuild);
   if (state.telemetry != nullptr) telemetry_ = state.telemetry->clone();
   build_platform();
   // Component restore order is free (each re-pushes under explicit stamps);
@@ -254,6 +261,7 @@ void World::run_to(SimTime t) {
 SimTime World::now() const { return sim_.now(); }
 
 WorldState World::snapshot(const SnapshotOptions& options) const {
+  ProfileScope profile_snapshot(profiler_, ProfileCategory::kSnapshot);
   WorldState state;
   state.now = sim_.now();
   state.executed_events = sim_.executed_events();
@@ -287,6 +295,7 @@ WorldState World::snapshot(const SnapshotOptions& options) const {
 }
 
 RunOutput World::finish() {
+  ProfileScope profile_finish(profiler_, ProfileCategory::kWorldFinish);
   if (telemetry_ != nullptr) {
     // Close the drift observatory's trailing window and take a final SLO
     // reading at the horizon (both purely observational).
@@ -410,6 +419,15 @@ RunOutput World::finish() {
   m.wall_seconds = std::chrono::duration<double>(
                        std::chrono::steady_clock::now() - wall_start_)
                        .count();
+  if (profiler_ != nullptr) {
+    // Final engine sample so short runs (and the tail since the last
+    // periodic snapshot) always appear in the exported profile.
+    const EventQueue& q = sim_.queue();
+    profiler_->force_snapshot(sim_.now(), sim_.executed_events(), q.size(),
+                              q.heap_depth(), q.heap_high_water(),
+                              q.slab_high_water(), q.stale_drops(),
+                              q.boxed_pushed_count());
+  }
   if (adaptive_ != nullptr) output.decisions = adaptive_->decisions();
   if (lookahead_ != nullptr) output.decisions = lookahead_->decisions();
   output.telemetry = std::move(telemetry_);
@@ -417,6 +435,10 @@ RunOutput World::finish() {
 }
 
 WhatIfOutcome World::what_if(const WhatIfSpec& spec) {
+  // Clones run unprofiled (their Simulation gets a null profiler), so the
+  // whole fork — restore, clone run, outcome extraction — lands here as
+  // lookahead.fork self time: the in-run per-fork cost signal.
+  ProfileScope profile_fork(profiler_, ProfileCategory::kLookaheadFork);
   WhatIfOutcome outcome;
   if (spec.horizon <= sim_.now()) return outcome;
   // One base snapshot per frozen instant; every candidate of a search

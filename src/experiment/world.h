@@ -34,6 +34,8 @@
 
 namespace cloudprov {
 
+class WallProfiler;
+
 struct RunOutput {
   RunMetrics metrics;
   /// Adaptive/lookahead decision history (empty for static runs).
@@ -54,10 +56,14 @@ std::unique_ptr<RequestSource> make_scenario_source(
 
 class World final : public WhatIfEngine {
  public:
-  /// Fresh world at t = 0. Call start() before run_to().
+  /// Fresh world at t = 0. Call start() before run_to(). An optional
+  /// profiler (borrowed, output-only) attributes the replication's wall
+  /// time; what-if clones never inherit it, so fork cost lands in the
+  /// parent's lookahead.fork scope.
   World(const ScenarioConfig& config, const PolicySpec& policy,
         std::uint64_t seed,
-        const std::optional<TelemetryOptions>& telemetry_opts = std::nullopt);
+        const std::optional<TelemetryOptions>& telemetry_opts = std::nullopt,
+        WallProfiler* profiler = nullptr);
 
   /// Restore-time deviations from the snapshotted trajectory, used by
   /// what-if clones. A default-constructed Overrides resumes faithfully.
@@ -82,7 +88,7 @@ class World final : public WhatIfEngine {
   /// start() on a restored world.
   World(const ScenarioConfig& config, const PolicySpec& policy,
         std::uint64_t seed, const WorldState& state,
-        const Overrides& overrides);
+        const Overrides& overrides, WallProfiler* profiler = nullptr);
   World(const ScenarioConfig& config, const PolicySpec& policy,
         std::uint64_t seed, const WorldState& state)
       : World(config, policy, seed, state, Overrides{}) {}
@@ -138,6 +144,7 @@ class World final : public WhatIfEngine {
   std::uint64_t seed_;
   SeedStreams streams_;
   std::chrono::steady_clock::time_point wall_start_;
+  WallProfiler* profiler_ = nullptr;
 
   std::unique_ptr<Telemetry> telemetry_;
   Simulation sim_;

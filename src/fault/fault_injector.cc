@@ -1,5 +1,6 @@
 #include "fault/fault_injector.h"
 
+#include "profile/wall_profiler.h"
 #include "telemetry/telemetry.h"
 #include "util/check.h"
 #include "util/log.h"
@@ -66,6 +67,7 @@ void FaultInjector::schedule_vm_crash() {
 }
 
 void FaultInjector::fire_vm_crash() {
+  ProfileScope profile(sim_.profiler(), ProfileCategory::kFaultHook);
   if (!running_) return;
   const std::size_t live = provisioner_.live_instances();
   if (live > 0) {
@@ -98,6 +100,7 @@ void FaultInjector::schedule_host_crash() {
 }
 
 void FaultInjector::fire_host_crash() {
+  ProfileScope profile(sim_.profiler(), ProfileCategory::kFaultHook);
   if (!running_) return;
   const std::size_t occupied = occupied_hosts();
   if (occupied > 0) {
@@ -157,6 +160,7 @@ void FaultInjector::schedule_degradation() {
 }
 
 void FaultInjector::fire_degradation() {
+  ProfileScope profile(sim_.profiler(), ProfileCategory::kFaultHook);
   if (!running_) return;
   std::vector<Vm*> actives;
   provisioner_.for_each_instance([&actives](Vm& vm) { actives.push_back(&vm); });

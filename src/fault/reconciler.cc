@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "profile/wall_profiler.h"
 #include "telemetry/telemetry.h"
 #include "util/check.h"
 #include "util/log.h"
@@ -72,6 +73,7 @@ void Reconciler::schedule(SimTime delay) {
 }
 
 void Reconciler::tick() {
+  ProfileScope profile(sim_.profiler(), ProfileCategory::kReconcilerHook);
   if (!running_) return;
   const std::size_t target = provisioner_.commanded_target();
   // A changed commanded target does NOT reset the backoff ladder: if the

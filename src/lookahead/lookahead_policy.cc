@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "profile/wall_profiler.h"
 #include "telemetry/telemetry.h"
 #include "util/check.h"
 #include "util/log.h"
@@ -79,6 +80,9 @@ std::vector<std::size_t> LookaheadPolicy::candidate_targets(
 }
 
 void LookaheadPolicy::on_rate_alert(SimTime t, double expected_rate) {
+  // what_if forks open their own lookahead.fork scopes nested under this
+  // one, so decision self time is the model/search logic alone.
+  ProfileScope profile(sim_.profiler(), ProfileCategory::kPolicyDecision);
   const double tm = provisioner_->monitored_service_time();
   const std::size_t k = provisioner_->current_queue_bound();
   const ModelerDecision decision = modeler_->required_instances(

@@ -4,6 +4,7 @@
 #include <ostream>
 
 #include "market/pricing.h"
+#include "profile/wall_profiler.h"
 #include "telemetry/telemetry.h"
 #include "util/check.h"
 #include "util/csv.h"
@@ -114,6 +115,8 @@ Vm* MarketBroker::acquire(const VmSpec& spec) {
 }
 
 void MarketBroker::tick() {
+  // revoke() runs inside this scope; hard_kill() fires later under its own.
+  ProfileScope profile(sim_.profiler(), ProfileCategory::kMarketHook);
   pending_tick_ = kInvalidEventId;
   if (!running_) return;
   const SimTime t = sim_.now();
@@ -159,6 +162,7 @@ void MarketBroker::revoke(std::size_t entry_index) {
 }
 
 void MarketBroker::hard_kill(std::size_t entry_index) {
+  ProfileScope profile(sim_.profiler(), ProfileCategory::kMarketHook);
   Entry& entry = entries_[entry_index];
   if (entry.vm->state() == VmState::kDestroyed) return;  // drained in time
   entry.hard_killed = true;

@@ -1,0 +1,35 @@
+// Profile artifact writers: Chrome-trace counter tracks, a long-form
+// profile CSV, a folded-stack file for flamegraph tooling, and a
+// human-readable summary table. All writers are pure functions of the
+// profiler's accumulated state; they never mutate it.
+#pragma once
+
+#include <ostream>
+
+#include "profile/wall_profiler.h"
+
+namespace cloudprov {
+
+/// Long-form CSV (record,wall_seconds,sim_seconds,name,value): one row per
+/// snapshot field plus category self/total/count rows at the end. Long form
+/// keeps the schema stable as fields are added and pivots trivially in
+/// pandas/R.
+void write_profile_csv(std::ostream& out, const WallProfiler& profiler);
+
+/// Chrome-trace JSON (chrome://tracing, Perfetto): every snapshot field
+/// becomes a counter ("ph":"C") sample on its own track; category totals are
+/// emitted as complete events on a synthetic timeline so the breakdown is
+/// visible in the same view.
+void write_profile_chrome_trace(std::ostream& out,
+                                const WallProfiler& profiler);
+
+/// Folded-stack format ("engine.run;policy.decision 1234", value in
+/// microseconds of self time) consumable by flamegraph.pl / inferno / speedscope.
+void write_folded_stacks(std::ostream& out, const WallProfiler& profiler);
+
+/// Human-readable breakdown table sorted by self time, with percent of the
+/// given wall-clock denominator (pass RunMetrics.wall_seconds).
+void write_profile_summary(std::ostream& out, const WallProfiler& profiler,
+                           double wall_seconds);
+
+}  // namespace cloudprov

@@ -1,0 +1,212 @@
+#include "profile/wall_profiler.h"
+
+#include <algorithm>
+
+#include "util/check.h"
+
+namespace cloudprov {
+
+const char* to_string(ProfileCategory category) {
+  switch (category) {
+    case ProfileCategory::kEngineRun:
+      return "engine.run";
+    case ProfileCategory::kWorldBuild:
+      return "world.build";
+    case ProfileCategory::kWorldFinish:
+      return "world.finish";
+    case ProfileCategory::kPolicyDecision:
+      return "policy.decision";
+    case ProfileCategory::kLookaheadFork:
+      return "lookahead.fork";
+    case ProfileCategory::kSnapshot:
+      return "world.snapshot";
+    case ProfileCategory::kMarketHook:
+      return "market.hook";
+    case ProfileCategory::kFaultHook:
+      return "fault.inject";
+    case ProfileCategory::kReconcilerHook:
+      return "reconciler.tick";
+    case ProfileCategory::kResilienceHook:
+      return "resilience.retry";
+    case ProfileCategory::kExportTrace:
+      return "export.trace";
+    case ProfileCategory::kExportMetrics:
+      return "export.metrics";
+    case ProfileCategory::kExportSpans:
+      return "export.spans";
+    case ProfileCategory::kExportDrift:
+      return "export.drift";
+    case ProfileCategory::kExportSlo:
+      return "export.slo";
+    case ProfileCategory::kExportProfile:
+      return "export.profile";
+    case ProfileCategory::kExportManifest:
+      return "export.manifest";
+    case ProfileCategory::kCount:
+      break;
+  }
+  return "unknown";
+}
+
+namespace {
+
+double seconds_between(WallProfiler::Clock::time_point a,
+                       WallProfiler::Clock::time_point b) {
+  return std::chrono::duration<double>(b - a).count();
+}
+
+}  // namespace
+
+WallProfiler::WallProfiler(double snapshot_interval_seconds)
+    : epoch_(Clock::now()),
+      snapshot_interval_(snapshot_interval_seconds),
+      last_snapshot_wall_(epoch_) {
+  ensure(snapshot_interval_seconds >= 0.0,
+         "profiler snapshot interval must be non-negative");
+  // Calibrate the cost of one begin/end clock pair: the minimum observable
+  // back-to-back now() delta over a short burst. Using the minimum (not the
+  // mean) keeps scheduler preemptions during calibration from inflating the
+  // correction and producing negative scope times everywhere.
+  double min_delta = 0.0;
+  for (int i = 0; i < 512; ++i) {
+    const Clock::time_point a = Clock::now();
+    const Clock::time_point b = Clock::now();
+    const double delta = seconds_between(a, b);
+    if (i == 0 || delta < min_delta) min_delta = delta;
+  }
+  calibration_ = std::max(0.0, min_delta);
+  stack_.reserve(kMaxDepth + 4);
+}
+
+void WallProfiler::begin(ProfileCategory category) {
+  ensure(category != ProfileCategory::kCount, "invalid profile category");
+  std::uint64_t key;
+  if (stack_.empty()) {
+    key = static_cast<std::uint64_t>(category) + 1;
+  } else if (stack_.size() >= kMaxDepth) {
+    // Too deep for the packed path key: collapse into the parent's path so
+    // the time is still attributed (to the parent frame's stack).
+    key = stack_.back().path_key;
+  } else {
+    key = (stack_.back().path_key << 8) |
+          (static_cast<std::uint64_t>(category) + 1);
+  }
+  stack_.push_back(Frame{category, Clock::now(), 0.0, key});
+}
+
+void WallProfiler::end(ProfileCategory category) {
+  ensure(!stack_.empty(), "profiler scope end without begin");
+  const Frame frame = stack_.back();
+  stack_.pop_back();
+  ensure(frame.category == category, "mismatched profiler scope end");
+
+  const Clock::time_point now = Clock::now();
+  double elapsed = seconds_between(frame.start, now) - calibration_;
+  if (elapsed < 0.0) elapsed = 0.0;
+  double self = elapsed - frame.child_seconds;
+  if (self < 0.0) self = 0.0;
+
+  CategoryStat& stat = totals_[static_cast<std::size_t>(frame.category)];
+  stat.self_seconds += self;
+  stat.total_seconds += elapsed;
+  ++stat.count;
+
+  auto& path = paths_[frame.path_key];
+  path.first += self;
+  ++path.second;
+
+  if (!stack_.empty()) stack_.back().child_seconds += elapsed;
+}
+
+void WallProfiler::maybe_snapshot(double sim_time,
+                                  std::uint64_t executed_events,
+                                  std::size_t live_events,
+                                  std::size_t heap_depth,
+                                  std::size_t heap_high_water,
+                                  std::size_t slab_high_water,
+                                  std::uint64_t stale_drops,
+                                  std::uint64_t boxed_pushed) {
+  const Clock::time_point now = Clock::now();
+  if (seconds_between(last_snapshot_wall_, now) < snapshot_interval_) return;
+  record_snapshot(now, sim_time, executed_events, live_events, heap_depth,
+                  heap_high_water, slab_high_water, stale_drops, boxed_pushed);
+}
+
+void WallProfiler::force_snapshot(double sim_time,
+                                  std::uint64_t executed_events,
+                                  std::size_t live_events,
+                                  std::size_t heap_depth,
+                                  std::size_t heap_high_water,
+                                  std::size_t slab_high_water,
+                                  std::uint64_t stale_drops,
+                                  std::uint64_t boxed_pushed) {
+  record_snapshot(Clock::now(), sim_time, executed_events, live_events,
+                  heap_depth, heap_high_water, slab_high_water, stale_drops,
+                  boxed_pushed);
+}
+
+void WallProfiler::record_snapshot(Clock::time_point now, double sim_time,
+                                   std::uint64_t executed_events,
+                                   std::size_t live_events,
+                                   std::size_t heap_depth,
+                                   std::size_t heap_high_water,
+                                   std::size_t slab_high_water,
+                                   std::uint64_t stale_drops,
+                                   std::uint64_t boxed_pushed) {
+  ProfileSnapshot snap;
+  snap.wall_seconds = seconds_between(epoch_, now);
+  snap.sim_time = sim_time;
+  snap.executed_events = executed_events;
+  const double wall_dt = seconds_between(last_snapshot_wall_, now);
+  if (wall_dt > 0.0) {
+    snap.events_per_second =
+        static_cast<double>(executed_events - last_snapshot_events_) / wall_dt;
+    snap.speedup = (sim_time - last_snapshot_sim_) / wall_dt;
+  }
+  snap.live_events = live_events;
+  snap.heap_depth = heap_depth;
+  snap.heap_high_water = heap_high_water;
+  snap.slab_high_water = slab_high_water;
+  snap.stale_drops = stale_drops;
+  snap.boxed_pushed = boxed_pushed;
+  snapshots_.push_back(snap);
+
+  last_snapshot_wall_ = now;
+  last_snapshot_sim_ = sim_time;
+  last_snapshot_events_ = executed_events;
+}
+
+std::vector<WallProfiler::PathStat> WallProfiler::folded() const {
+  std::vector<PathStat> rows;
+  rows.reserve(paths_.size());
+  for (const auto& [key, stat] : paths_) {
+    PathStat row;
+    // Decode the packed key: the deepest frame sits in the low byte, so
+    // collect low-to-high then reverse for a root-first path.
+    std::uint64_t k = key;
+    while (k != 0) {
+      row.path.push_back(static_cast<ProfileCategory>((k & 0xffu) - 1));
+      k >>= 8;
+    }
+    std::reverse(row.path.begin(), row.path.end());
+    row.self_seconds = stat.first;
+    row.count = stat.second;
+    rows.push_back(std::move(row));
+  }
+  std::sort(rows.begin(), rows.end(), [](const PathStat& a, const PathStat& b) {
+    return a.path < b.path;
+  });
+  return rows;
+}
+
+double WallProfiler::wall_seconds() const {
+  return seconds_between(epoch_, Clock::now());
+}
+
+double WallProfiler::covered_seconds() const {
+  double sum = 0.0;
+  for (const CategoryStat& stat : totals_) sum += stat.self_seconds;
+  return sum;
+}
+
+}  // namespace cloudprov

@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "core/application_provisioner.h"
+#include "profile/wall_profiler.h"
 #include "telemetry/telemetry.h"
 #include "util/check.h"
 
@@ -122,6 +123,9 @@ void RetryGateway::on_completion(const Request& request) {
 }
 
 void RetryGateway::fire_timeout(std::uint64_t attempt_id) {
+  // Cold paths only: per-request forwarding (on_request/dispatch_attempt)
+  // stays unscoped — two clock reads per request would not be low-overhead.
+  ProfileScope profile(sim_.profiler(), ProfileCategory::kResilienceHook);
   auto it = in_flight_.find(attempt_id);
   if (it == in_flight_.end()) return;  // stale (cancelled) timeout
   const InFlight record = it->second;
@@ -166,6 +170,7 @@ void RetryGateway::handle_attempt_failure(const Request& request,
 }
 
 void RetryGateway::fire_retry(std::uint64_t token) {
+  ProfileScope profile(sim_.profiler(), ProfileCategory::kResilienceHook);
   auto it = pending_retries_.find(token);
   if (it == pending_retries_.end()) return;
   const Waiting record = it->second;

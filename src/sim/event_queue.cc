@@ -32,6 +32,7 @@ EventId EventQueue::push(SimTime time, EventAction action) {
   if (action.is_boxed()) ++boxed_pushed_;
   s.action = std::move(action);
   heap_.push_back(HeapEntry{time, ++pushed_, slot, s.gen});
+  if (heap_.size() > heap_high_water_) heap_high_water_ = heap_.size();
   sift_up(heap_.size() - 1);
   ++live_;
   return pack(slot, s.gen);
@@ -56,6 +57,7 @@ EventId EventQueue::push_stamped(const EventStamp& stamp, EventAction action) {
   if (action.is_boxed()) ++boxed_pushed_;
   s.action = std::move(action);
   heap_.push_back(HeapEntry{stamp.time, stamp.seq, slot, s.gen});
+  if (heap_.size() > heap_high_water_) heap_high_water_ = heap_.size();
   sift_up(heap_.size() - 1);
   ++live_;
   return pack(slot, s.gen);
@@ -64,6 +66,7 @@ EventId EventQueue::push_stamped(const EventStamp& stamp, EventAction action) {
 void EventQueue::drop_dead_tops() {
   while (!heap_.empty() &&
          slots_[heap_.front().slot].gen != heap_.front().gen) {
+    ++stale_drops_;
     pop_top();
   }
 }
@@ -137,6 +140,7 @@ void EventQueue::compact() {
   for (const HeapEntry& entry : heap_) {
     if (slots_[entry.slot].gen == entry.gen) heap_[keep++] = entry;
   }
+  stale_drops_ += heap_.size() - keep;
   heap_.resize(keep);
   if (keep > 1) {
     for (std::size_t i = (keep - 2) / 4 + 1; i-- > 0;) sift_down(i);

@@ -103,6 +103,22 @@ class EventQueue {
   /// the steady-state serve path (see the zero-allocation test).
   std::uint64_t boxed_pushed_count() const { return boxed_pushed_; }
 
+  // --- kernel internals surfaced for the wall-clock profiler -------------
+
+  /// Current heap entries, including stale records of cancelled events
+  /// (>= size(); the gap is the lazily-dropped cancel backlog).
+  std::size_t heap_depth() const { return heap_.size(); }
+
+  /// Largest heap entry count ever reached.
+  std::size_t heap_high_water() const { return heap_high_water_; }
+
+  /// Slab slots ever allocated. The slab never shrinks, so this is the
+  /// occupancy high-water mark (peak simultaneously-stored event bodies).
+  std::size_t slab_high_water() const { return slots_.size(); }
+
+  /// Stale heap records discarded so far (lazy top drops + compactions).
+  std::uint64_t stale_drops() const { return stale_drops_; }
+
   void clear();
 
  private:
@@ -152,6 +168,8 @@ class EventQueue {
   std::size_t live_ = 0;
   std::uint64_t pushed_ = 0;
   std::uint64_t boxed_pushed_ = 0;
+  std::size_t heap_high_water_ = 0;
+  std::uint64_t stale_drops_ = 0;
 };
 
 }  // namespace cloudprov

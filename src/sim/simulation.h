@@ -20,6 +20,7 @@
 namespace cloudprov {
 
 class Telemetry;
+class WallProfiler;
 
 class Simulation {
  public:
@@ -103,6 +104,14 @@ class Simulation {
   void set_telemetry(Telemetry* telemetry, std::uint64_t sample_stride = 1024);
   Telemetry* telemetry() const { return telemetry_; }
 
+  /// Attaches a wall-clock profiler: run() wraps the dispatch loop in an
+  /// engine.run scope and polls for a periodic engine snapshot every
+  /// WallProfiler::kSnapshotStride events. Output-only — never touches the
+  /// event stream. Null (the default) disables profiling; the run loop then
+  /// pays one predicted branch per event.
+  void set_profiler(WallProfiler* profiler) { profiler_ = profiler; }
+  WallProfiler* profiler() const { return profiler_; }
+
  private:
   EventQueue queue_;
   SimTime now_ = 0.0;
@@ -110,6 +119,7 @@ class Simulation {
   bool stop_requested_ = false;
   Telemetry* telemetry_ = nullptr;
   std::uint64_t sample_stride_ = 1024;
+  WallProfiler* profiler_ = nullptr;
 };
 
 /// Repeating action helper (monitor ticks, provisioning cycles, rate

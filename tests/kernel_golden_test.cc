@@ -15,6 +15,7 @@
 
 #include "experiment/runner.h"
 #include "experiment/scenario.h"
+#include "profile/wall_profiler.h"
 #include "telemetry/export.h"
 
 namespace cloudprov {
@@ -200,6 +201,32 @@ TEST(KernelGolden, NeutralResilienceReproducesFig5Goldens) {
   EXPECT_EQ(out.metrics.breaker_opens, 0u);
   EXPECT_EQ(out.metrics.shed_deadline, 0u);
   EXPECT_EQ(out.metrics.shed_brownout, 0u);
+}
+
+// The wall-clock profiler is output-only: attaching one must leave every
+// metric and every span byte bit-identical (ISSUE 8 acceptance). This is
+// the strongest statement of "profiling cannot perturb the simulation" —
+// one extra RNG draw, one reordered event, or one perturbed timestamp
+// anywhere would flip the span hash.
+TEST(KernelGolden, ProfiledFig5ReproducesGoldens) {
+  const ScenarioConfig config = fig5_config();
+  WallProfiler profiler(/*snapshot_interval_seconds=*/0.01);
+  const RunOutput out = run_scenario(config, PolicySpec::adaptive(), 42,
+                                     fig5_telemetry(config), &profiler);
+  expect_bit_identical(out.metrics, fig5_golden());
+  expect_fig5_span_csv(out);
+
+  // And the profiler really observed the run while staying invisible.
+  const auto& totals = profiler.totals();
+  EXPECT_EQ(totals[static_cast<std::size_t>(ProfileCategory::kEngineRun)].count,
+            1u);
+  EXPECT_GT(
+      totals[static_cast<std::size_t>(ProfileCategory::kPolicyDecision)].count,
+      0u);
+  ASSERT_FALSE(profiler.snapshots().empty());
+  EXPECT_EQ(profiler.snapshots().back().executed_events,
+            out.metrics.simulated_events);
+  EXPECT_GT(profiler.snapshots().back().heap_high_water, 0u);
 }
 
 // Fault-ablation smoke: same workload with stochastic VM/host crashes, boot
