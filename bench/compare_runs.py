@@ -56,6 +56,12 @@ WORSE_WHEN_LOWER = [
     "client_succeeded",
 ]
 
+# Wall categories that are waiting, not work: barrier self-time is worker
+# threads parked at the window sync (it legitimately appears/scales with
+# --shards and can exceed wall clock when summed across threads), so it is
+# reported but never flagged.
+IDLE_WALL_CATEGORIES = {"shard.barrier"}
+
 REQUIRED_SECTIONS = ["build", "scenario", "metrics", "wall"]
 REQUIRED_METRICS = ["generated", "accepted", "rejected", "wall_seconds",
                     "simulated_events"]
@@ -80,6 +86,27 @@ def validate(doc, path, min_coverage):
     for section in REQUIRED_SECTIONS:
         if not isinstance(doc.get(section), dict):
             problems.append(f"missing section {section!r}")
+    # Multi-tenant manifests (run_scenario --tenants) carry a multi_tenant
+    # section with per-tenant metric blocks instead of seed_streams (each
+    # tenant derives its own streams from the master seed).
+    multi_tenant = doc.get("multi_tenant")
+    if multi_tenant is not None:
+        rows = multi_tenant.get("tenant_metrics")
+        if not isinstance(rows, list) or not rows:
+            problems.append("multi_tenant.tenant_metrics is not a "
+                            "non-empty list")
+        else:
+            if len(rows) != multi_tenant.get("tenants"):
+                problems.append(
+                    f"multi_tenant.tenants = {multi_tenant.get('tenants')} "
+                    f"but {len(rows)} tenant_metrics rows")
+            for row in rows:
+                if not {"id", "kind", "metrics"} <= set(row):
+                    problems.append(f"malformed tenant row: "
+                                    f"{sorted(row)}")
+                    break
+        if multi_tenant.get("shards", 0) < 1:
+            problems.append("multi_tenant.shards < 1")
     metrics = doc.get("metrics", {})
     for key in REQUIRED_METRICS:
         if key not in metrics:
@@ -115,21 +142,24 @@ def validate(doc, path, min_coverage):
             problems.append(
                 f"wall breakdown covers {coverage:.1%} of wall_seconds "
                 f"(< {min_coverage:.0%})")
-    seeds = doc.get("seed_streams", {})
-    expected_streams = {"workload", "placement", "fault", "market",
-                        "lookahead", "resilience"}
-    if set(seeds) != expected_streams:
-        problems.append(f"seed_streams keys {sorted(seeds)} != "
-                        f"{sorted(expected_streams)}")
+    if multi_tenant is None:
+        seeds = doc.get("seed_streams", {})
+        expected_streams = {"workload", "placement", "fault", "market",
+                            "lookahead", "resilience"}
+        if set(seeds) != expected_streams:
+            problems.append(f"seed_streams keys {sorted(seeds)} != "
+                            f"{sorted(expected_streams)}")
 
     if problems:
         for p in problems:
             print(f"error: {path}: {p}", file=sys.stderr)
         sys.exit(2)
     cov = f", breakdown covers {coverage:.1%} of wall" if coverage else ""
+    mt = (f", {multi_tenant['tenants']} tenants / "
+          f"{multi_tenant['shards']} shard(s)" if multi_tenant else "")
     print(f"{path}: valid {SCHEMA} manifest "
           f"(policy {doc.get('policy')!r}, seed {doc.get('seed')}, "
-          f"{metrics['generated']} requests{cov})")
+          f"{metrics['generated']} requests{mt}{cov})")
 
 
 def same_run_identity(a, b):
@@ -179,6 +209,59 @@ def diff(base_doc, cand_doc, base_path, cand_path, tolerance, wall_tolerance):
         else:
             notes.append(line)
 
+    # Multi-tenant manifests additionally diff the arbiter history and every
+    # per-tenant metrics block. Shard count is free to differ: sharding is
+    # bit-identical by construction, so on an identical population ANY
+    # integer drift — aggregate, arbiter, or per-tenant — is a determinism
+    # failure even across different --shards values.
+    base_mt = base_doc.get("multi_tenant")
+    cand_mt = cand_doc.get("multi_tenant")
+    if base_mt is not None and cand_mt is not None:
+        if base_mt.get("shards") != cand_mt.get("shards"):
+            notes.append(f"shards: {base_mt.get('shards')} -> "
+                         f"{cand_mt.get('shards')} (must not move results)")
+        for key in ("windows", "capacity", "grant_clips", "instances_denied",
+                    "peak_granted", "simulated_events"):
+            b, c = base_mt.get(key), cand_mt.get(key)
+            if b == c:
+                continue
+            line = f"  multi_tenant.{key}: {b} -> {c}"
+            if identical_inputs:
+                regressions.append(line + " [determinism]")
+            else:
+                notes.append(line)
+        base_rows = {r["id"]: r for r in base_mt.get("tenant_metrics", [])}
+        cand_rows = {r["id"]: r for r in cand_mt.get("tenant_metrics", [])}
+        for tid in sorted(set(base_rows) | set(cand_rows)):
+            if tid not in base_rows or tid not in cand_rows:
+                notes.append(f"tenant {tid} present in only one manifest")
+                continue
+            bm = base_rows[tid]["metrics"]
+            cm = cand_rows[tid]["metrics"]
+            for key in sorted(set(bm) | set(cm)):
+                if key == "wall_seconds":
+                    continue
+                b, c = bm.get(key), cm.get(key)
+                if b is None or c is None:
+                    notes.append(f"tenant[{tid}].{key} present in only "
+                                 f"one manifest")
+                    continue
+                if b == c:
+                    continue
+                delta = rel_delta(b, c)
+                line = f"  tenant[{tid}].{key}: {b} -> {c} ({delta:+.2%})"
+                if key in WORSE_WHEN_HIGHER and delta > tolerance:
+                    regressions.append(line)
+                elif key in WORSE_WHEN_LOWER and delta < -tolerance:
+                    regressions.append(line)
+                elif (identical_inputs and isinstance(b, int)
+                        and isinstance(c, int)):
+                    regressions.append(line + " [determinism]")
+                else:
+                    notes.append(line)
+    elif (base_mt is None) != (cand_mt is None):
+        notes.append("only one manifest is multi-tenant")
+
     base_w, cand_w = base_doc["wall"], cand_doc["wall"]
     bw, cw = base_w.get("wall_seconds", 0.0), cand_w.get("wall_seconds", 0.0)
     if bw > 0.0 and cw > 0.0 and bw != cw:
@@ -195,7 +278,8 @@ def diff(base_doc, cand_doc, base_path, cand_path, tolerance, wall_tolerance):
         delta = rel_delta(b, c)
         line = f"  wall[{cat}]: {b:.4f}s -> {c:.4f}s ({delta:+.2%})"
         # Absolute floor: categories in the noise (sub-50ms) never flag.
-        if delta > wall_tolerance and c - b > 0.05:
+        if (delta > wall_tolerance and c - b > 0.05
+                and cat not in IDLE_WALL_CATEGORIES):
             regressions.append(line)
         else:
             notes.append(line)

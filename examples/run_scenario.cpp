@@ -24,11 +24,15 @@
 //                  --shed deadline,brownout:0.9:0.5:1   # request-path resilience
 //   ./run_scenario --workload web --scale 0.01 --profile \
 //                  --profile-out prof --manifest-out run.json  # wall profile
+//   ./run_scenario --tenants 64 --shards 4 --tenant-capacity 128 \
+//                  --tenant-out tenants.csv --manifest-out mt.json \
+//                  # sharded multi-tenant scale-out (bit-identical per shard)
 #include <fstream>
 #include <iostream>
 #include <sstream>
 
 #include "experiment/manifest.h"
+#include "experiment/multi_tenant.h"
 #include "experiment/report.h"
 #include "experiment/runner.h"
 #include "experiment/world.h"
@@ -207,6 +211,34 @@ int main(int argc, char** argv) {
   args.add_flag("parallelism", "1",
                 "replication worker threads (0 = one per hardware thread)",
                 "<int>");
+  args.add_flag("tenants", "0",
+                "multi-tenant mode: run this many independent applications "
+                "against one shared capacity pool instead of a single "
+                "scenario (0 = off; see --shards/--tenant-*)",
+                "<int>");
+  args.add_flag("shards", "1",
+                "worker shards for --tenants: tenants are partitioned across "
+                "this many event kernels, barrier-synced every analysis "
+                "window; results are bit-identical for every value",
+                "<int>");
+  args.add_flag("tenant-capacity", "0",
+                "shared instance slots arbitrated across all tenants per "
+                "window (0 = 4 per tenant)",
+                "<int>");
+  args.add_flag("tenant-cap", "0",
+                "static per-tenant instance ceiling (0 = none)", "<int>");
+  args.add_flag("tenant-bot-frac", "0.25",
+                "fraction of tenants running the BoT/scientific workload",
+                "<double>");
+  args.add_flag("tenant-scale", "0.002",
+                "mean per-tenant workload scale (jittered per tenant)",
+                "<double>");
+  args.add_flag("traced-tenants", "0",
+                "give tenants [0, N) full span tracing at --trace-sample-rate",
+                "<int>");
+  args.add_flag("tenant-out", "",
+                "write the per-tenant metrics CSV here (multi-tenant mode)",
+                "<path>");
   args.add_flag("interval", "0", "analysis interval override in seconds (0 = default)",
                 "<double>");
   args.add_flag("tolerance", "0", "modeler rejection tolerance override (0 = default)",
@@ -502,6 +534,81 @@ int main(int argc, char** argv) {
   std::optional<WallProfiler> profiler;
   if (profiling) profiler.emplace(args.get_double("profile-interval"));
   WallProfiler* prof = profiler.has_value() ? &*profiler : nullptr;
+
+  // Multi-tenant mode is its own execution path: N applications, one shared
+  // capacity pool, sharded window execution (src/experiment/multi_tenant).
+  // The single-scenario workload/policy/replication flags do not apply.
+  if (const auto tenants = static_cast<std::size_t>(args.get_int("tenants"));
+      tenants > 0) {
+    MultiTenantConfig mt;
+    mt.tenants = tenants;
+    mt.seed = seed;
+    if (const auto days = args.get_int("days"); days > 0) {
+      mt.horizon = static_cast<double>(days) * 86400.0;
+    }
+    if (const double interval = args.get_double("interval"); interval > 0.0) {
+      mt.window = interval;
+    }
+    mt.bot_fraction = args.get_double("tenant-bot-frac");
+    mt.tenant_scale = args.get_double("tenant-scale");
+    mt.capacity = static_cast<std::size_t>(args.get_int("tenant-capacity"));
+    mt.per_tenant_cap = static_cast<std::size_t>(args.get_int("tenant-cap"));
+    mt.market_enabled = config.market.enabled;
+    mt.spot_fraction = config.market.acquisition.spot_fraction;
+    mt.bid = config.market.acquisition.bid;
+
+    MultiTenantOptions options;
+    options.shards = static_cast<std::size_t>(args.get_int("shards"));
+    options.traced_tenants =
+        static_cast<std::size_t>(args.get_int("traced-tenants"));
+    options.span_sample_rate = sample_rate > 0.0 ? sample_rate : 1.0;
+    options.profiler = prof;
+
+    const MultiTenantResult result = run_multi_tenant(mt, options);
+    std::cout << "multi-tenant: " << result.tenants.size() << " tenants, "
+              << result.shards << " shard(s), " << result.windows
+              << " windows, shared capacity " << result.capacity << "\n\n";
+    print_policy_table(std::cout, {aggregate({result.aggregate})});
+    std::cout << "\ncontention: peak granted " << result.peak_granted << "/"
+              << result.capacity << ", grant clips " << result.grant_clips
+              << ", instances denied " << result.instances_denied << '\n'
+              << result.simulated_events << " events in "
+              << fmt(result.wall_seconds, 2) << " s ("
+              << fmt(result.wall_seconds > 0.0
+                         ? static_cast<double>(result.simulated_events) /
+                               result.wall_seconds
+                         : 0.0,
+                     0)
+              << " events/s across " << result.shards << " kernel(s))\n";
+    if (const std::string path = args.get_string("tenant-out");
+        !path.empty()) {
+      std::ofstream out(path);
+      write_tenant_csv(out, result);
+      std::cout << "per-tenant metrics written to " << path << '\n';
+    }
+    if (prof != nullptr) {
+      std::cout << '\n';
+      write_profile_summary(std::cout, *prof, result.wall_seconds);
+      if (!profile_path.empty()) {
+        {
+          std::ofstream out(profile_path + ".csv");
+          write_profile_csv(out, *prof);
+        }
+        {
+          std::ofstream out(profile_path + ".folded");
+          write_folded_stacks(out, *prof);
+        }
+        std::cout << "profile written to " << profile_path
+                  << ".{csv,folded}\n";
+      }
+    }
+    if (!manifest_path.empty()) {
+      std::ofstream out(manifest_path);
+      write_multi_tenant_manifest(out, mt, result, prof);
+      std::cout << "run manifest written to " << manifest_path << '\n';
+    }
+    return 0;
+  }
 
   // Telemetry, the decision timeline, and the wall profile always describe
   // replication 0, no matter how the batch is executed.

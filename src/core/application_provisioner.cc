@@ -176,6 +176,26 @@ void ApplicationProvisioner::drain_instance(std::size_t index) {
 }
 
 std::size_t ApplicationProvisioner::scale_to(std::size_t target) {
+  desired_target_ = target;
+  std::size_t granted = target;
+  if (granted > capacity_cap_) {
+    granted = capacity_cap_;
+    ++capacity_clips_;
+    capacity_denied_ += target - granted;
+  }
+  return apply_target(granted);
+}
+
+void ApplicationProvisioner::set_capacity_cap(std::size_t cap) {
+  capacity_cap_ = cap;
+  const std::size_t granted = std::min(desired_target_, capacity_cap_);
+  // Re-apply only on change: a no-op grant must not touch the pool (or the
+  // time-weighted instance history) so arbitration without contention stays
+  // bit-identical to the unarbitrated run.
+  if (granted != commanded_target_) apply_target(granted);
+}
+
+std::size_t ApplicationProvisioner::apply_target(std::size_t target) {
   commanded_target_ = target;
   // Scale up: resurrect draining instances first, newest selections first
   // (they are the least drained). Revoked instances are skipped — the spot
@@ -418,6 +438,7 @@ void ApplicationProvisioner::restore(const Snapshot& snap) {
   instance_failures_ = snap.instance_failures;
   window_arrivals_ = snap.window_arrivals;
   commanded_target_ = snap.commanded_target;
+  desired_target_ = snap.commanded_target;
   failures_by_cause_ = snap.failures_by_cause;
   lost_by_cause_ = snap.lost_by_cause;
   recovery_stats_ = snap.recovery_stats;

@@ -94,8 +94,25 @@ class ApplicationProvisioner final : public Entity,
   // --- capacity control (driven by the modeler) ---------------------------
   /// Adjusts the pool so that `target` instances accept requests.
   /// Returns the number actually accepting afterwards (the data center may
-  /// run out of capacity).
+  /// run out of capacity). When a capacity cap is installed (multi-tenant
+  /// arbitration), the raw desire is recorded but the commanded pool is
+  /// clamped to the cap.
   std::size_t scale_to(std::size_t target);
+
+  // --- multi-tenant capacity arbitration (src/experiment/multi_tenant) ----
+  /// Installs an external capacity grant: the commanded pool may never
+  /// exceed `cap` active instances. Raising the cap immediately regrows the
+  /// pool toward the last desired target; lowering it drains down. The
+  /// default (SIZE_MAX) leaves single-tenant behavior bit-identical.
+  void set_capacity_cap(std::size_t cap);
+  std::size_t capacity_cap() const { return capacity_cap_; }
+  /// The last target requested through scale_to, before any cap clamping —
+  /// what this application *wants*, which the arbiter reads at barriers.
+  std::size_t desired_target() const { return desired_target_; }
+  /// scale_to calls whose target exceeded the installed cap.
+  std::uint64_t capacity_clips() const { return capacity_clips_; }
+  /// Instances requested but denied by the cap, summed over clipped calls.
+  std::uint64_t capacity_denied() const { return capacity_denied_; }
 
   /// Instances accepting new requests (RUNNING).
   std::size_t active_instances() const { return instances_.size(); }
@@ -231,6 +248,8 @@ class ApplicationProvisioner final : public Entity,
   void restore(const Snapshot& snap);
 
  private:
+  /// scale_to after cap clamping: the actual pool-adjustment protocol.
+  std::size_t apply_target(std::size_t target);
   Vm* select_instance(const Request& request);
   Vm* create_instance();
   void install_callbacks(Vm& vm);
@@ -276,6 +295,14 @@ class ApplicationProvisioner final : public Entity,
   std::uint64_t instance_failures_ = 0;
   std::uint64_t window_arrivals_ = 0;
   std::size_t commanded_target_ = 0;
+  /// Last scale_to target before cap clamping; == commanded_target_ unless
+  /// a cap clipped it. Not part of Snapshot: restore() seeds it from the
+  /// snapshotted commanded target, which is lossless for uncapped worlds
+  /// (the only ones that are checkpointed).
+  std::size_t desired_target_ = 0;
+  std::size_t capacity_cap_ = SIZE_MAX;
+  std::uint64_t capacity_clips_ = 0;
+  std::uint64_t capacity_denied_ = 0;
   std::array<std::uint64_t, kFaultCauseCount> failures_by_cause_{};
   std::array<std::uint64_t, kFaultCauseCount> lost_by_cause_{};
   RunningStats recovery_stats_;

@@ -5,6 +5,7 @@
 #include <cstdio>
 #include <sstream>
 
+#include "experiment/multi_tenant.h"
 #include "lookahead/world_state.h"
 #include "profile/build_info.h"
 #include "profile/wall_profiler.h"
@@ -68,8 +69,8 @@ class JsonObject {
   bool first_ = true;
 };
 
-void write_metrics(std::ostream& out, const RunMetrics& m) {
-  JsonObject obj(out, 4);
+void write_metrics(std::ostream& out, const RunMetrics& m, int indent = 4) {
+  JsonObject obj(out, indent);
   obj.str("policy", m.policy);
   obj.uint("seed", m.seed);
   obj.uint("generated", m.generated);
@@ -284,6 +285,113 @@ void write_run_manifest(std::ostream& out, const ScenarioConfig& config,
   std::ostringstream wall;
   wall << "{\n";
   write_wall(wall, metrics, profiler);
+  wall << "\n  }";
+  root.field("wall", wall.str());
+
+  out << "\n}\n";
+}
+
+void write_multi_tenant_manifest(std::ostream& out,
+                                 const MultiTenantConfig& config,
+                                 const MultiTenantResult& result,
+                                 const WallProfiler* profiler) {
+  const auto now_ms = std::chrono::duration_cast<std::chrono::milliseconds>(
+                          std::chrono::system_clock::now().time_since_epoch())
+                          .count();
+  out << "{\n";
+  JsonObject root(out, 2);
+  root.str("schema", "cloudprov-run-manifest/1");
+  root.uint("generated_unix_ms", static_cast<std::uint64_t>(now_ms));
+
+  std::ostringstream build;
+  build << "{\n";
+  {
+    JsonObject obj(build, 4);
+    obj.str("git_commit", kBuildGitCommit);
+    obj.str("compiler_id", kBuildCompilerId);
+    obj.str("compiler_version", kBuildCompilerVersion);
+    obj.str("build_type", kBuildType);
+    obj.str("cxx_flags", kBuildCxxFlags);
+    obj.str("system", kBuildSystem);
+  }
+  build << "\n  }";
+  root.field("build", build.str());
+
+  // The population IS the scenario: every per-tenant scenario derives from
+  // these parameters plus the master seed, so this block is the full run
+  // identity for compare_runs.py's same-input determinism check.
+  std::ostringstream scenario;
+  scenario << "{\n";
+  {
+    JsonObject obj(scenario, 4);
+    obj.str("workload", "multi-tenant");
+    obj.uint("tenants", config.tenants);
+    obj.num("horizon", config.horizon);
+    obj.num("window", config.window);
+    obj.num("bot_fraction", config.bot_fraction);
+    obj.num("tenant_scale", config.tenant_scale);
+    obj.num("scale_spread", config.scale_spread);
+    obj.num("qos_spread", config.qos_spread);
+    obj.uint("capacity", config.resolved_capacity());
+    obj.uint("per_tenant_cap", config.per_tenant_cap);
+    obj.boolean("market_enabled", config.market_enabled);
+    obj.num("spot_fraction", config.spot_fraction);
+    obj.num("bid", config.bid);
+  }
+  scenario << "\n  }";
+  root.field("scenario", scenario.str());
+
+  root.str("policy", result.aggregate.policy);
+  root.uint("seed", config.seed);
+  root.uint("replications", 1);
+
+  std::ostringstream mt;
+  mt << "{\n";
+  {
+    JsonObject obj(mt, 4);
+    obj.uint("tenants", result.tenants.size());
+    obj.uint("shards", result.shards);
+    obj.uint("windows", result.windows);
+    obj.uint("capacity", result.capacity);
+    obj.uint("grant_clips", result.grant_clips);
+    obj.uint("instances_denied", result.instances_denied);
+    obj.uint("peak_granted", result.peak_granted);
+    obj.uint("simulated_events", result.simulated_events);
+
+    std::ostringstream tenants;
+    tenants << "[\n";
+    bool first = true;
+    for (const TenantResult& tenant : result.tenants) {
+      if (!first) tenants << ",\n";
+      first = false;
+      tenants << "      {\n";
+      {
+        JsonObject row(tenants, 8);
+        row.uint("id", tenant.id);
+        row.str("kind", to_string(tenant.kind));
+        std::ostringstream metrics_json;
+        metrics_json << "{\n";
+        write_metrics(metrics_json, tenant.metrics, 10);
+        metrics_json << "\n        }";
+        row.field("metrics", metrics_json.str());
+      }
+      tenants << "\n      }";
+    }
+    tenants << "\n    ]";
+    obj.field("tenant_metrics", tenants.str());
+  }
+  mt << "\n  }";
+  root.field("multi_tenant", mt.str());
+
+  std::ostringstream metrics_json;
+  metrics_json << "{\n";
+  write_metrics(metrics_json, result.aggregate);
+  metrics_json << "\n  }";
+  root.field("metrics", metrics_json.str());
+
+  std::ostringstream wall;
+  wall << "{\n";
+  write_wall(wall, result.aggregate, profiler);
   wall << "\n  }";
   root.field("wall", wall.str());
 

@@ -17,6 +17,8 @@
 namespace cloudprov {
 
 class WallProfiler;
+struct MultiTenantConfig;
+struct MultiTenantResult;
 
 /// Writes the manifest JSON ("cloudprov-run-manifest/1"). `profiler` may be
 /// null (e.g. a metrics-only run); the wall section then carries only
@@ -26,5 +28,16 @@ void write_run_manifest(std::ostream& out, const ScenarioConfig& config,
                         const std::string& policy_label, std::uint64_t seed,
                         std::size_t replications, const RunMetrics& metrics,
                         const WallProfiler* profiler);
+
+/// Multi-tenant variant of the manifest (same schema id): the aggregate
+/// rollup is the top-level `metrics` block, and a `multi_tenant` section
+/// carries the population/sharding parameters, arbiter contention totals,
+/// and one full metrics block per tenant. bench/compare_runs.py validates
+/// and diffs these per-tenant blocks the same way (integer drift on an
+/// identical population is a determinism failure).
+void write_multi_tenant_manifest(std::ostream& out,
+                                 const MultiTenantConfig& config,
+                                 const MultiTenantResult& result,
+                                 const WallProfiler* profiler);
 
 }  // namespace cloudprov

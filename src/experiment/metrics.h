@@ -104,6 +104,11 @@ struct RunMetrics {
   std::uint64_t shed_deadline = 0;  ///< admission sheds: unmeetable deadline
   std::uint64_t shed_brownout = 0;  ///< admission sheds: brownout
 
+  // --- multi-tenant capacity arbitration (src/experiment/multi_tenant;
+  // all zero in single-tenant runs, so existing outputs are unchanged) -----
+  std::uint64_t capacity_clips = 0;   ///< scale_to calls clamped by the grant
+  std::uint64_t capacity_denied = 0;  ///< instances desired but not granted
+
   // Simulator diagnostics (not paper metrics).
   std::uint64_t simulated_events = 0;
   double wall_seconds = 0.0;

@@ -1,0 +1,331 @@
+#include "experiment/multi_tenant.h"
+
+#include <algorithm>
+#include <chrono>
+#include <ostream>
+#include <string>
+#include <utility>
+
+#include "experiment/world.h"
+#include "profile/wall_profiler.h"
+#include "sim/shard_executor.h"
+#include "sim/simulation.h"
+#include "util/check.h"
+#include "util/rng.h"
+
+namespace cloudprov {
+namespace {
+
+/// Salt for the shared spot-price stream, so the one market trajectory every
+/// tenant prices against is independent of any tenant's own streams.
+constexpr std::uint64_t kSharedMarketSalt = 0x5ca1'ab1e'0ddb'a11ULL;
+
+}  // namespace
+
+std::vector<TenantSpec> multi_tenant_specs(const MultiTenantConfig& config) {
+  ensure_arg(config.tenants >= 1, "multi_tenant: tenants must be >= 1");
+  ensure_arg(config.window > 0.0, "multi_tenant: window must be positive");
+  ensure_arg(config.horizon >= 0.0, "multi_tenant: horizon must be >= 0");
+  ensure_arg(config.tenant_scale > 0.0,
+             "multi_tenant: tenant_scale must be positive");
+  ensure_arg(config.bot_fraction >= 0.0 && config.bot_fraction <= 1.0,
+             "multi_tenant: bot_fraction must be in [0, 1]");
+  ensure_arg(config.scale_spread >= 0.0 && config.scale_spread < 1.0,
+             "multi_tenant: scale_spread must be in [0, 1)");
+  ensure_arg(config.qos_spread >= 0.0,
+             "multi_tenant: qos_spread must be >= 0");
+  ensure_arg(config.resolved_capacity() >= 1,
+             "multi_tenant: shared capacity must be >= 1");
+
+  const std::uint64_t market_seed =
+      SplitMix64(config.seed ^ kSharedMarketSalt).next();
+
+  std::vector<TenantSpec> specs;
+  specs.reserve(config.tenants);
+  SplitMix64 seeder(config.seed);
+  for (std::size_t i = 0; i < config.tenants; ++i) {
+    TenantSpec spec;
+    spec.id = i;
+    // Two independent draws per tenant: the World seed (which derives the
+    // tenant's workload/placement/fault/... streams) and the spec-jitter
+    // stream, so jitter never perturbs the tenant's simulation streams.
+    spec.seed = seeder.next();
+    Rng jitter(seeder.next());
+
+    const bool bot = jitter.uniform() < config.bot_fraction;
+    const double scale =
+        config.tenant_scale * jitter.uniform(1.0 - config.scale_spread,
+                                             1.0 + config.scale_spread);
+    spec.scenario = bot ? scientific_scenario(scale) : web_scenario(scale);
+    spec.scenario.horizon = config.horizon;
+    spec.scenario.qos.max_response_time *=
+        jitter.uniform(1.0, 1.0 + config.qos_spread);
+
+    // Each tenant's data center is sized to the *shared* logical capacity:
+    // the arbiter's grant, not physical host exhaustion, must be the
+    // binding constraint.
+    spec.scenario.datacenter.host_count =
+        std::max<std::size_t>(4, config.resolved_capacity());
+
+    if (config.market_enabled) {
+      spec.scenario.market.enabled = true;
+      spec.scenario.market.acquisition.spot_fraction = config.spot_fraction;
+      spec.scenario.market.acquisition.bid = config.bid;
+      spec.scenario.market.price_seed_override = market_seed;
+    }
+    specs.push_back(std::move(spec));
+  }
+  return specs;
+}
+
+CapacityArbiter::CapacityArbiter(std::size_t capacity,
+                                 std::size_t per_tenant_cap,
+                                 std::size_t tenants)
+    : capacity_(capacity),
+      per_tenant_cap_(per_tenant_cap == 0 ? SIZE_MAX : per_tenant_cap),
+      grants_(tenants, 0) {
+  ensure_arg(capacity >= 1, "CapacityArbiter: capacity must be >= 1");
+  ensure_arg(tenants >= 1, "CapacityArbiter: tenants must be >= 1");
+}
+
+const std::vector<std::size_t>& CapacityArbiter::arbitrate(
+    const std::vector<std::size_t>& desires) {
+  ensure_arg(desires.size() == grants_.size(),
+             "CapacityArbiter: desire vector size mismatch");
+  // Phase 1 — release: a tenant never holds a grant above its desire (or
+  // the static per-tenant cap), so shrinking tenants free slots this round.
+  std::size_t used = 0;
+  for (std::size_t i = 0; i < grants_.size(); ++i) {
+    const std::size_t want = std::min(desires[i], per_tenant_cap_);
+    grants_[i] = std::min(grants_[i], want);
+    used += grants_[i];
+  }
+  // Phase 2 — grow in ascending tenant id while free slots remain: the
+  // fixed order is what makes the outcome a pure function of the desire
+  // vector, independent of shard count or thread scheduling.
+  for (std::size_t i = 0; i < grants_.size(); ++i) {
+    const std::size_t want = std::min(desires[i], per_tenant_cap_);
+    if (want > grants_[i]) {
+      const std::size_t room = capacity_ > used ? capacity_ - used : 0;
+      const std::size_t take = std::min(want - grants_[i], room);
+      grants_[i] += take;
+      used += take;
+    }
+    if (desires[i] > grants_[i]) {
+      ++clips_;
+      denied_ += desires[i] - grants_[i];
+    }
+  }
+  peak_granted_ = std::max(peak_granted_, used);
+  return grants_;
+}
+
+MultiTenantResult run_multi_tenant(const MultiTenantConfig& config,
+                                   const MultiTenantOptions& options) {
+  const auto wall_start = std::chrono::steady_clock::now();
+  const std::vector<TenantSpec> specs = multi_tenant_specs(config);
+  const std::size_t tenant_count = specs.size();
+  const std::size_t shard_count =
+      std::clamp<std::size_t>(options.shards, 1, tenant_count);
+
+  // One kernel (and, when profiling, one private profiler) per shard. The
+  // WallProfiler is single-threaded by design, so every worker samples into
+  // its own instance; the serial commit drains them into the run profiler.
+  struct Shard {
+    std::unique_ptr<Simulation> sim;
+    std::unique_ptr<WallProfiler> profiler;
+  };
+  std::vector<Shard> shards(shard_count);
+  for (Shard& shard : shards) {
+    shard.sim = std::make_unique<Simulation>();
+    if (options.profiler != nullptr) {
+      shard.profiler = std::make_unique<WallProfiler>(
+          options.profiler->snapshot_interval());
+      shard.sim->set_profiler(shard.profiler.get());
+    }
+  }
+
+  // Build every tenant world in ascending id order, each on its home
+  // shard's borrowed kernel (round-robin residency). Construction order
+  // is irrelevant to determinism (worlds are disjoint), but a fixed order
+  // keeps any shared-kernel push sequencing reproducible.
+  std::vector<std::unique_ptr<World>> worlds;
+  worlds.reserve(tenant_count);
+  const PolicySpec policy = PolicySpec::adaptive();
+  for (const TenantSpec& spec : specs) {
+    Shard& home = shards[spec.id % shard_count];
+    std::optional<TelemetryOptions> telemetry;
+    if (spec.id < options.traced_tenants) {
+      TelemetryOptions opts;
+      opts.span_sample_rate = options.span_sample_rate;
+      opts.span_seed = spec.seed;
+      telemetry = opts;
+    }
+    worlds.push_back(std::make_unique<World>(spec.scenario, policy, spec.seed,
+                                             telemetry, home.profiler.get(),
+                                             home.sim.get()));
+  }
+  for (std::unique_ptr<World>& world : worlds) world->start();
+
+  CapacityArbiter arbiter(config.resolved_capacity(), config.per_tenant_cap,
+                          tenant_count);
+  std::vector<std::size_t> desires(tenant_count, 0);
+  const auto arbitrate_now = [&] {
+    for (std::size_t i = 0; i < tenant_count; ++i) {
+      desires[i] = worlds[i]->desired_instances();
+    }
+    const std::vector<std::size_t>& grants = arbiter.arbitrate(desires);
+    for (std::size_t i = 0; i < tenant_count; ++i) {
+      worlds[i]->apply_capacity_grant(grants[i]);
+    }
+  };
+  {
+    // Round 0: reconcile the initial pools before any event executes.
+    ProfileScope scope(options.profiler, ProfileCategory::kArbiter);
+    arbitrate_now();
+  }
+
+  const auto advance = [&](std::size_t shard, SimTime t) {
+    ProfileScope scope(shards[shard].profiler.get(),
+                       ProfileCategory::kShardRun);
+    shards[shard].sim->run(t);
+  };
+  const auto commit = [&](SimTime) {
+    // Serial barrier section: every worker is parked (their barrier-enter
+    // scopes happened-before this through the barrier mutex), so reading
+    // desires, writing grants, and draining worker profilers is race-free.
+    ProfileScope scope(options.profiler, ProfileCategory::kArbiter);
+    arbitrate_now();
+    if (options.profiler != nullptr) {
+      for (Shard& shard : shards) {
+        shard.profiler->drain_into(*options.profiler);
+      }
+    }
+  };
+  ShardExecutorHooks hooks;
+  if (options.profiler != nullptr && shard_count > 1) {
+    hooks.barrier_enter = [&](std::size_t shard) {
+      shards[shard].profiler->begin(ProfileCategory::kShardBarrier);
+    };
+    hooks.barrier_leave = [&](std::size_t shard) {
+      shards[shard].profiler->end(ProfileCategory::kShardBarrier);
+    };
+  }
+
+  MultiTenantResult result;
+  result.windows = run_sharded_windows(shard_count, config.window,
+                                       config.horizon, advance, commit, hooks);
+  result.shards = shard_count;
+  result.capacity = arbiter.capacity();
+  result.grant_clips = arbiter.clips();
+  result.instances_denied = arbiter.denied();
+  result.peak_granted = arbiter.peak_granted();
+
+  // Workers have joined: drain the tail (including the final windows' wait
+  // scopes) into the run profiler.
+  if (options.profiler != nullptr) {
+    for (Shard& shard : shards) {
+      shard.profiler->drain_into(*options.profiler);
+    }
+  }
+
+  result.tenants.reserve(tenant_count);
+  for (std::size_t i = 0; i < tenant_count; ++i) {
+    TenantResult tenant;
+    tenant.id = i;
+    tenant.kind = specs[i].scenario.workload;
+    RunOutput output = worlds[i]->finish();
+    tenant.metrics = std::move(output.metrics);
+    tenant.telemetry = std::move(output.telemetry);
+    result.tenants.push_back(std::move(tenant));
+  }
+  for (const Shard& shard : shards) {
+    result.simulated_events += shard.sim->executed_events();
+  }
+  result.wall_seconds = std::chrono::duration<double>(
+                            std::chrono::steady_clock::now() - wall_start)
+                            .count();
+
+  // Cross-tenant rollup (see MultiTenantResult for the conventions).
+  RunMetrics& agg = result.aggregate;
+  agg.policy = "multi-tenant(" + std::to_string(tenant_count) + ")";
+  agg.seed = config.seed;
+  double response_sum = 0.0;
+  double response_weight = 0.0;
+  double availability_sum = 0.0;
+  for (const TenantResult& tenant : result.tenants) {
+    const RunMetrics& m = tenant.metrics;
+    agg.generated += m.generated;
+    agg.accepted += m.accepted;
+    agg.rejected += m.rejected;
+    agg.completed += m.completed;
+    agg.qos_violations += m.qos_violations;
+    response_sum += m.avg_response_time * static_cast<double>(m.completed);
+    response_weight += static_cast<double>(m.completed);
+    agg.min_instances += m.min_instances;
+    agg.max_instances += m.max_instances;
+    agg.avg_instances += m.avg_instances;
+    agg.vm_hours += m.vm_hours;
+    agg.busy_vm_hours += m.busy_vm_hours;
+    agg.instance_failures += m.instance_failures;
+    agg.lost_requests += m.lost_requests;
+    availability_sum += m.availability;
+    agg.final_instances += m.final_instances;
+    agg.capacity_clips += m.capacity_clips;
+    agg.capacity_denied += m.capacity_denied;
+    agg.billed_cost += m.billed_cost;
+    agg.on_demand_cost += m.on_demand_cost;
+    agg.spot_cost += m.spot_cost;
+    agg.reserved_cost += m.reserved_cost;
+    agg.on_demand_purchases += m.on_demand_purchases;
+    agg.spot_purchases += m.spot_purchases;
+    agg.reserved_purchases += m.reserved_purchases;
+    agg.spot_revocations += m.spot_revocations;
+    agg.revocation_kills += m.revocation_kills;
+    agg.lost_to_revocations += m.lost_to_revocations;
+    agg.spans_traced += m.spans_traced;
+  }
+  if (response_weight > 0.0) {
+    agg.avg_response_time = response_sum / response_weight;
+  }
+  agg.utilization =
+      agg.vm_hours > 0.0 ? agg.busy_vm_hours / agg.vm_hours : 0.0;
+  agg.rejection_rate =
+      agg.generated > 0
+          ? static_cast<double>(agg.rejected) / static_cast<double>(agg.generated)
+          : 0.0;
+  agg.availability = availability_sum / static_cast<double>(tenant_count);
+  if (config.market_enabled && !result.tenants.empty()) {
+    // Every tenant prices against the one shared trajectory, so any
+    // tenant's price statistics are the market's.
+    agg.spot_price_mean = result.tenants.front().metrics.spot_price_mean;
+    agg.spot_price_max = result.tenants.front().metrics.spot_price_max;
+  }
+  agg.simulated_events = result.simulated_events;
+  agg.wall_seconds = result.wall_seconds;
+  return result;
+}
+
+void write_tenant_csv(std::ostream& out, const MultiTenantResult& result) {
+  out << "tenant,kind,seed,generated,accepted,rejected,completed,"
+         "qos_violations,avg_response_time,p95_response_time,"
+         "p99_response_time,avg_instances,max_instances,final_instances,"
+         "vm_hours,utilization,rejection_rate,capacity_clips,"
+         "capacity_denied,billed_cost,spans_traced\n";
+  const auto precision = out.precision(17);
+  for (const TenantResult& tenant : result.tenants) {
+    const RunMetrics& m = tenant.metrics;
+    out << tenant.id << ',' << to_string(tenant.kind) << ',' << m.seed << ','
+        << m.generated << ',' << m.accepted << ',' << m.rejected << ','
+        << m.completed << ',' << m.qos_violations << ','
+        << m.avg_response_time << ',' << m.p95_response_time << ','
+        << m.p99_response_time << ',' << m.avg_instances << ','
+        << m.max_instances << ',' << m.final_instances << ',' << m.vm_hours
+        << ',' << m.utilization << ',' << m.rejection_rate << ','
+        << m.capacity_clips << ',' << m.capacity_denied << ','
+        << m.billed_cost << ',' << m.spans_traced << '\n';
+  }
+  out.precision(precision);
+}
+
+}  // namespace cloudprov

@@ -70,9 +70,14 @@ std::unique_ptr<RequestSource> make_scenario_source(
 }
 
 void World::build_platform() {
-  sim_.set_telemetry(telemetry_.get());
-  sim_.set_profiler(profiler_);
-  datacenter_.emplace(sim_, config_.datacenter,
+  // A borrowed shard kernel is shared by many tenants: per-tenant telemetry
+  // and profiling cannot be attached at the engine level (the shard runner
+  // instruments the kernel itself), so engine hooks are owner-only.
+  if (owns_sim()) {
+    sim_->set_telemetry(telemetry_.get());
+    sim_->set_profiler(profiler_);
+  }
+  datacenter_.emplace(*sim_, config_.datacenter,
                       std::make_unique<LeastLoadedPlacement>());
   datacenter_->set_telemetry(telemetry_.get());
 
@@ -90,28 +95,31 @@ void World::build_platform() {
   } else {
     admission = std::make_unique<KBoundAdmission>();
   }
-  provisioner_.emplace(sim_, *datacenter_, config_.qos, prov_config,
+  provisioner_.emplace(*sim_, *datacenter_, config_.qos, prov_config,
                        std::move(admission));
   provisioner_->set_telemetry(telemetry_.get());
 
   // The market broker is attached before any policy commands capacity so
   // even the initial pool is bought on the market.
   if (config_.market.enabled) {
-    market_.emplace(sim_, *datacenter_, config_.market, streams_.market);
+    market_.emplace(*sim_, *datacenter_, config_.market,
+                    config_.market.price_seed_override != 0
+                        ? config_.market.price_seed_override
+                        : streams_.market);
     market_->set_telemetry(telemetry_.get());
     market_->attach(*provisioner_);
   }
   if (config_.fault.enabled()) {
-    faults_.emplace(sim_, *datacenter_, *provisioner_, config_.fault,
+    faults_.emplace(*sim_, *datacenter_, *provisioner_, config_.fault,
                     streams_.fault);
     faults_->set_telemetry(telemetry_.get());
   }
   if (config_.reconciler.enabled) {
-    reconciler_.emplace(sim_, *provisioner_, config_.reconciler);
+    reconciler_.emplace(*sim_, *provisioner_, config_.reconciler);
     reconciler_->set_telemetry(telemetry_.get());
   }
   if (config_.resilience.enabled) {
-    gateway_.emplace(sim_, *provisioner_, config_.resilience,
+    gateway_.emplace(*sim_, *provisioner_, config_.resilience,
                      Rng(streams_.resilience), telemetry_.get());
   }
 }
@@ -136,7 +144,7 @@ void World::build_policy(const AdaptivePolicy::State* restored,
 
   if (policy_.kind == PolicySpec::Kind::kAdaptive || force_adaptive) {
     auto owned = std::make_unique<AdaptivePolicy>(
-        sim_, make_predictor(config_, policy_.predictor, *source_),
+        *sim_, make_predictor(config_, policy_.predictor, *source_),
         config_.modeler, config_.analyzer);
     adaptive_ = owned.get();
     adaptive_->set_telemetry(telemetry_.get());
@@ -148,7 +156,7 @@ void World::build_policy(const AdaptivePolicy::State* restored,
   LookaheadConfig lookahead_config = policy_.lookahead;
   lookahead_config.seed = streams_.lookahead;
   auto owned = std::make_unique<LookaheadPolicy>(
-      sim_, make_predictor(config_, policy_.predictor, *source_),
+      *sim_, make_predictor(config_, policy_.predictor, *source_),
       config_.modeler, config_.analyzer, std::move(lookahead_config));
   lookahead_ = owned.get();
   lookahead_->set_telemetry(telemetry_.get());
@@ -162,7 +170,7 @@ void World::build_policy(const AdaptivePolicy::State* restored,
 World::World(const ScenarioConfig& config, const PolicySpec& policy,
              std::uint64_t seed,
              const std::optional<TelemetryOptions>& telemetry_opts,
-             WallProfiler* profiler)
+             WallProfiler* profiler, Simulation* engine)
     : config_(config),
       policy_(policy),
       seed_(seed),
@@ -170,12 +178,14 @@ World::World(const ScenarioConfig& config, const PolicySpec& policy,
       wall_start_(std::chrono::steady_clock::now()),
       profiler_(profiler) {
   ProfileScope profile_build(profiler_, ProfileCategory::kWorldBuild);
+  if (engine == nullptr) owned_sim_ = std::make_unique<Simulation>();
+  sim_ = engine != nullptr ? engine : owned_sim_.get();
   if (telemetry_opts.has_value()) {
     telemetry_ = std::make_unique<Telemetry>(*telemetry_opts);
   }
   build_platform();
   source_ = make_scenario_source(config_);
-  broker_.emplace(sim_, *source_, request_sink(), Rng(streams_.workload));
+  broker_.emplace(*sim_, *source_, request_sink(), Rng(streams_.workload));
   build_policy(nullptr, std::nullopt, /*force_adaptive=*/false);
 }
 
@@ -189,6 +199,8 @@ World::World(const ScenarioConfig& config, const PolicySpec& policy,
       wall_start_(std::chrono::steady_clock::now()),
       profiler_(profiler) {
   ProfileScope profile_build(profiler_, ProfileCategory::kWorldBuild);
+  owned_sim_ = std::make_unique<Simulation>();
+  sim_ = owned_sim_.get();
   if (state.telemetry != nullptr) telemetry_ = state.telemetry->clone();
   build_platform();
   // Component restore order is free (each re-pushes under explicit stamps);
@@ -222,13 +234,13 @@ World::World(const ScenarioConfig& config, const PolicySpec& policy,
     source_ = make_scenario_source(config_);
     source_->load_state(state.source);
   }
-  broker_.emplace(sim_, *source_, request_sink(), Rng(streams_.workload));
+  broker_.emplace(*sim_, *source_, request_sink(), Rng(streams_.workload));
   broker_->restore(broker_snap);
 
   build_policy(state.policy_present ? &state.policy : nullptr,
                state.lookahead_rng, overrides.force_adaptive);
 
-  sim_.restore_clock(state.now, state.executed_events, state.push_counter);
+  sim_->restore_clock(state.now, state.executed_events, state.push_counter);
   started_ = true;
 
   // Candidate overrides act only after the clock is back, so any VM churn
@@ -255,17 +267,25 @@ void World::start() {
 
 void World::run_to(SimTime t) {
   ensure(started_, "World::run_to: start() first");
-  sim_.run(t);
+  sim_->run(t);
 }
 
-SimTime World::now() const { return sim_.now(); }
+SimTime World::now() const { return sim_->now(); }
+
+std::size_t World::desired_instances() const {
+  return provisioner_->desired_target();
+}
+
+void World::apply_capacity_grant(std::size_t grant) {
+  provisioner_->set_capacity_cap(grant);
+}
 
 WorldState World::snapshot(const SnapshotOptions& options) const {
   ProfileScope profile_snapshot(profiler_, ProfileCategory::kSnapshot);
   WorldState state;
-  state.now = sim_.now();
-  state.executed_events = sim_.executed_events();
-  state.push_counter = sim_.event_push_counter();
+  state.now = sim_->now();
+  state.executed_events = sim_->executed_events();
+  state.push_counter = sim_->event_push_counter();
   state.datacenter = datacenter_->snapshot();
   state.provisioner = provisioner_->checkpoint();
   state.broker = broker_->snapshot();
@@ -300,11 +320,11 @@ RunOutput World::finish() {
     // Close the drift observatory's trailing window and take a final SLO
     // reading at the horizon (both purely observational).
     if (DriftMonitor* drift = telemetry_->drift(); drift != nullptr) {
-      drift->finalize(sim_.now(), datacenter_->vm_hours(),
+      drift->finalize(sim_->now(), datacenter_->vm_hours(),
                       datacenter_->busy_vm_hours());
     }
     if (SloMonitor* slo = telemetry_->slo(); slo != nullptr) {
-      slo->evaluate(sim_.now());
+      slo->evaluate(sim_->now());
     }
   }
 
@@ -324,7 +344,7 @@ RunOutput World::finish() {
 
   // Advance the time-weighted instance series to the horizon, then read it.
   TimeWeightedValue history = provisioner_->instance_history();
-  history.advance(sim_.now());
+  history.advance(sim_->now());
   m.min_instances = history.min();
   m.max_instances = history.max();
   m.avg_instances = history.time_average();
@@ -342,8 +362,8 @@ RunOutput World::finish() {
   m.lost_requests = provisioner_->lost_to_failures();
   m.lost_to_vm_crashes = provisioner_->lost_by_cause(FaultCause::kVmCrash);
   m.lost_to_host_crashes = provisioner_->lost_by_cause(FaultCause::kHostCrash);
-  m.availability = sim_.now() > 0.0
-                       ? 1.0 - provisioner_->deficit_seconds() / sim_.now()
+  m.availability = sim_->now() > 0.0
+                       ? 1.0 - provisioner_->deficit_seconds() / sim_->now()
                        : 1.0;
   m.recoveries = provisioner_->recovery_time_stats().count();
   m.mttr_mean = provisioner_->recovery_time_stats().empty()
@@ -358,6 +378,8 @@ RunOutput World::finish() {
     m.reconciler_aborts = reconciler_->aborts();
   }
   m.final_instances = provisioner_->active_instances();
+  m.capacity_clips = provisioner_->capacity_clips();
+  m.capacity_denied = provisioner_->capacity_denied();
 
   if (gateway_.has_value()) {
     m.client_requests = gateway_->client_requests();
@@ -398,7 +420,7 @@ RunOutput World::finish() {
 
   if (market_.has_value()) {
     market_->stop();
-    const MarketReport report = market_->finalize(sim_.now());
+    const MarketReport report = market_->finalize(sim_->now());
     m.billed_cost = report.total_cost;
     m.on_demand_cost = report.on_demand_cost;
     m.spot_cost = report.spot_cost;
@@ -415,15 +437,18 @@ RunOutput World::finish() {
     output.market = report;
   }
 
-  m.simulated_events = sim_.executed_events();
+  // A borrowed kernel executes every tenant in the shard; its event count
+  // is shard-global, so per-tenant metrics report 0 (the shard runner sums
+  // the kernels for the aggregate).
+  m.simulated_events = owns_sim() ? sim_->executed_events() : 0;
   m.wall_seconds = std::chrono::duration<double>(
                        std::chrono::steady_clock::now() - wall_start_)
                        .count();
-  if (profiler_ != nullptr) {
+  if (profiler_ != nullptr && owns_sim()) {
     // Final engine sample so short runs (and the tail since the last
     // periodic snapshot) always appear in the exported profile.
-    const EventQueue& q = sim_.queue();
-    profiler_->force_snapshot(sim_.now(), sim_.executed_events(), q.size(),
+    const EventQueue& q = sim_->queue();
+    profiler_->force_snapshot(sim_->now(), sim_->executed_events(), q.size(),
                               q.heap_depth(), q.heap_high_water(),
                               q.slab_high_water(), q.stale_drops(),
                               q.boxed_pushed_count());
@@ -440,11 +465,11 @@ WhatIfOutcome World::what_if(const WhatIfSpec& spec) {
   // lookahead.fork self time: the in-run per-fork cost signal.
   ProfileScope profile_fork(profiler_, ProfileCategory::kLookaheadFork);
   WhatIfOutcome outcome;
-  if (spec.horizon <= sim_.now()) return outcome;
+  if (spec.horizon <= sim_->now()) return outcome;
   // One base snapshot per frozen instant; every candidate of a search
   // window forks from it.
-  if (!whatif_base_.has_value() || whatif_base_->now != sim_.now() ||
-      whatif_base_->executed_events != sim_.executed_events()) {
+  if (!whatif_base_.has_value() || whatif_base_->now != sim_->now() ||
+      whatif_base_->executed_events != sim_->executed_events()) {
     SnapshotOptions options;
     options.include_telemetry = false;
     options.include_decisions = false;

@@ -60,10 +60,17 @@ class World final : public WhatIfEngine {
   /// profiler (borrowed, output-only) attributes the replication's wall
   /// time; what-if clones never inherit it, so fork cost lands in the
   /// parent's lookahead.fork scope.
+  ///
+  /// `engine` selects the event kernel: null (the default) makes the world
+  /// own a private Simulation, exactly as before. A non-null engine is
+  /// *borrowed* — multi-tenant sharding runs many Worlds on one per-shard
+  /// kernel — and the world then never attaches telemetry/profiler to the
+  /// engine, never drives it (run_to is the shard runner's job), and
+  /// reports simulated_events = 0 (the kernel's count is shard-global).
   World(const ScenarioConfig& config, const PolicySpec& policy,
         std::uint64_t seed,
         const std::optional<TelemetryOptions>& telemetry_opts = std::nullopt,
-        WallProfiler* profiler = nullptr);
+        WallProfiler* profiler = nullptr, Simulation* engine = nullptr);
 
   /// Restore-time deviations from the snapshotted trajectory, used by
   /// what-if clones. A default-constructed Overrides resumes faithfully.
@@ -102,8 +109,18 @@ class World final : public WhatIfEngine {
   /// Runs the engine until `t` (inclusive of events at t).
   void run_to(SimTime t);
   SimTime now() const;
-  const Simulation& sim() const { return sim_; }
+  const Simulation& sim() const { return *sim_; }
+  /// False when this world runs on a borrowed (shared shard) kernel.
+  bool owns_sim() const { return owned_sim_ != nullptr; }
   Telemetry* telemetry() { return telemetry_.get(); }
+
+  // --- multi-tenant capacity arbitration seam -----------------------------
+  /// What this application's policy last asked for, pre-clamp: the arbiter
+  /// reads desires at every window barrier.
+  std::size_t desired_instances() const;
+  /// Installs the arbiter's grant as the provisioner's capacity cap (the
+  /// pool immediately re-sizes toward min(desire, grant)).
+  void apply_capacity_grant(std::size_t grant);
   /// Live resilience gateway (nullptr when the layer is disabled): lets the
   /// retry-storm ablation sample client goodput at the trigger boundary.
   const RetryGateway* gateway() const {
@@ -147,7 +164,11 @@ class World final : public WhatIfEngine {
   WallProfiler* profiler_ = nullptr;
 
   std::unique_ptr<Telemetry> telemetry_;
-  Simulation sim_;
+  /// Owned engine; null when the world runs on a borrowed shard kernel.
+  std::unique_ptr<Simulation> owned_sim_;
+  /// The engine every component is wired against: owned_sim_.get() or the
+  /// borrowed shard kernel. Never null after construction.
+  Simulation* sim_ = nullptr;
   std::optional<Datacenter> datacenter_;
   std::optional<ApplicationProvisioner> provisioner_;
   std::optional<MarketBroker> market_;

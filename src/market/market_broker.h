@@ -45,6 +45,10 @@ struct MarketConfig {
   /// Market evaluation cadence in seconds: advance the price path, check
   /// bids, accrue cost burn. Only armed while spot purchases are possible.
   SimTime tick = 60.0;
+  /// Non-zero pins the spot-price stream to this seed instead of the
+  /// replication's derived market stream. Multi-tenant runs set one shared
+  /// value so every tenant prices against the same market trajectory.
+  std::uint64_t price_seed_override = 0;
 
   void validate() const;
 };

@@ -42,6 +42,12 @@ const char* to_string(ProfileCategory category) {
       return "export.profile";
     case ProfileCategory::kExportManifest:
       return "export.manifest";
+    case ProfileCategory::kShardRun:
+      return "shard.run";
+    case ProfileCategory::kShardBarrier:
+      return "shard.barrier";
+    case ProfileCategory::kArbiter:
+      return "shard.arbiter";
     case ProfileCategory::kCount:
       break;
   }
@@ -197,6 +203,23 @@ std::vector<WallProfiler::PathStat> WallProfiler::folded() const {
     return a.path < b.path;
   });
   return rows;
+}
+
+void WallProfiler::drain_into(WallProfiler& target) {
+  for (std::size_t i = 0; i < kProfileCategoryCount; ++i) {
+    CategoryStat& from = totals_[i];
+    CategoryStat& to = target.totals_[i];
+    to.self_seconds += from.self_seconds;
+    to.total_seconds += from.total_seconds;
+    to.count += from.count;
+    from = CategoryStat{};
+  }
+  for (const auto& [key, stat] : paths_) {
+    auto& into = target.paths_[key];
+    into.first += stat.first;
+    into.second += stat.second;
+  }
+  paths_.clear();
 }
 
 double WallProfiler::wall_seconds() const {

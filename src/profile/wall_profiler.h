@@ -62,6 +62,9 @@ enum class ProfileCategory : std::uint8_t {
   kExportSlo,       ///< SLO CSV export
   kExportProfile,   ///< profile artifact export (this module's own output)
   kExportManifest,  ///< run-manifest JSON export
+  kShardRun,        ///< one shard advancing its kernel through a window
+  kShardBarrier,    ///< worker parked at the window-boundary barrier
+  kArbiter,         ///< serial commit: capacity arbitration across tenants
   kCount
 };
 
@@ -142,6 +145,17 @@ class WallProfiler {
   /// Folded-stack rows, sorted by path for deterministic output.
   std::vector<PathStat> folded() const;
   const std::vector<ProfileSnapshot>& snapshots() const { return snapshots_; }
+
+  /// Moves every *closed* scope's attribution (category totals and folded
+  /// paths) into `target`, zeroing this profiler's copies. The multi-tenant
+  /// runner gives each shard worker a private profiler (the class is
+  /// single-threaded by design) and drains them into the run-level profiler
+  /// inside the serial barrier section, where no worker is running — the
+  /// same per-worker-then-merge pattern the telemetry registry documents.
+  /// Open frames (e.g. the worker's own barrier scope) simply land in a
+  /// later drain once they close. Engine snapshots are NOT moved: they are
+  /// per-kernel series, meaningful only against their own kernel.
+  void drain_into(WallProfiler& target);
 
   /// Wall seconds since construction.
   double wall_seconds() const;

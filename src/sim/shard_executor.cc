@@ -1,0 +1,88 @@
+#include "sim/shard_executor.h"
+
+#include <condition_variable>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "util/check.h"
+
+namespace cloudprov {
+namespace {
+
+/// Boundary k (1-based) of a window schedule. Multiplication, not
+/// accumulation: every shard and the sequential path compute the exact same
+/// double for boundary k.
+SimTime boundary(SimTime window, std::uint64_t k) {
+  return window * static_cast<double>(k);
+}
+
+}  // namespace
+
+std::uint64_t run_sharded_windows(
+    std::size_t shards, SimTime window, SimTime horizon,
+    const std::function<void(std::size_t shard, SimTime t)>& advance,
+    const std::function<void(SimTime t)>& commit,
+    const ShardExecutorHooks& hooks) {
+  ensure_arg(shards >= 1, "run_sharded_windows: shards must be >= 1");
+  ensure_arg(window > 0.0, "run_sharded_windows: window must be positive");
+  ensure_arg(horizon >= 0.0, "run_sharded_windows: horizon must be >= 0");
+
+  // Commit fires at every boundary strictly below the horizon; the segment
+  // from the last boundary to the horizon runs without a trailing commit
+  // (there is nothing left to reconcile once the run is over).
+  std::uint64_t windows = 0;
+  for (std::uint64_t k = 1; boundary(window, k) < horizon; ++k) ++windows;
+
+  if (shards == 1) {
+    for (std::uint64_t k = 1; k <= windows; ++k) {
+      advance(0, boundary(window, k));
+      commit(boundary(window, k));
+    }
+    advance(0, horizon);
+    return windows;
+  }
+
+  // Cyclic barrier: the last worker to arrive runs the serial commit under
+  // the mutex (every peer is parked on the condvar), then opens the next
+  // generation. The mutex hand-off gives commit-to-next-window
+  // happens-before edges on every shard.
+  std::mutex mutex;
+  std::condition_variable released;
+  std::size_t waiting = 0;
+  std::uint64_t generation = 0;
+
+  const auto barrier = [&](const std::function<void()>& serial) {
+    std::unique_lock<std::mutex> lock(mutex);
+    const std::uint64_t arrived_generation = generation;
+    if (++waiting == shards) {
+      serial();
+      waiting = 0;
+      ++generation;
+      released.notify_all();
+    } else {
+      released.wait(lock,
+                    [&] { return generation != arrived_generation; });
+    }
+  };
+
+  const auto worker = [&](std::size_t shard) {
+    for (std::uint64_t k = 1; k <= windows; ++k) {
+      advance(shard, boundary(window, k));
+      if (hooks.barrier_enter) hooks.barrier_enter(shard);
+      barrier([&] { commit(boundary(window, k)); });
+      if (hooks.barrier_leave) hooks.barrier_leave(shard);
+    }
+    advance(shard, horizon);
+  };
+
+  std::vector<std::thread> threads;
+  threads.reserve(shards);
+  for (std::size_t shard = 0; shard < shards; ++shard) {
+    threads.emplace_back(worker, shard);
+  }
+  for (std::thread& thread : threads) thread.join();
+  return windows;
+}
+
+}  // namespace cloudprov

@@ -269,6 +269,40 @@ TEST(PriorityAdmission, ReservesSlotsForHighPriority) {
   EXPECT_EQ(f.provisioner.accepted(), 3u);
 }
 
+TEST(Provisioner, CapacityCapClampsAndRegrows) {
+  Fixture f;
+  // Uncapped behavior: desire == commanded.
+  f.provisioner.scale_to(6);
+  EXPECT_EQ(f.provisioner.active_instances(), 6u);
+  EXPECT_EQ(f.provisioner.desired_target(), 6u);
+  EXPECT_EQ(f.provisioner.commanded_target(), 6u);
+  EXPECT_EQ(f.provisioner.capacity_clips(), 0u);
+
+  // A tighter cap drains the pool down but preserves the raw desire.
+  f.provisioner.set_capacity_cap(4);
+  EXPECT_EQ(f.provisioner.active_instances(), 4u);
+  EXPECT_EQ(f.provisioner.desired_target(), 6u);
+  EXPECT_EQ(f.provisioner.commanded_target(), 4u);
+
+  // scale_to above the cap clips (and counts the shortfall)...
+  f.provisioner.scale_to(10);
+  EXPECT_EQ(f.provisioner.active_instances(), 4u);
+  EXPECT_EQ(f.provisioner.desired_target(), 10u);
+  EXPECT_EQ(f.provisioner.capacity_clips(), 1u);
+  EXPECT_EQ(f.provisioner.capacity_denied(), 6u);
+
+  // ...and raising the cap regrows toward the remembered desire.
+  f.provisioner.set_capacity_cap(8);
+  EXPECT_EQ(f.provisioner.active_instances(), 8u);
+  EXPECT_EQ(f.provisioner.commanded_target(), 8u);
+  EXPECT_EQ(f.provisioner.desired_target(), 10u);
+
+  // Below-cap requests pass through unclipped.
+  f.provisioner.scale_to(3);
+  EXPECT_EQ(f.provisioner.active_instances(), 3u);
+  EXPECT_EQ(f.provisioner.capacity_clips(), 1u);
+}
+
 TEST(PriorityAdmission, RejectsInfeasibleDeadlines) {
   auto admission = std::make_unique<PriorityAwareAdmission>(0, 0);
   Fixture f(Fixture::make_qos(), Fixture::make_config(), std::move(admission));

@@ -1,0 +1,393 @@
+// Multi-tenant sharded scale-out: determinism and contention tests.
+//
+// The load-bearing test here is the golden bit-identity check: a sharded
+// run (--shards >= 2, worker threads + barrier) must produce *byte-identical*
+// per-tenant metrics and span CSVs to the sequential run (--shards 1) on the
+// same tenant set — the conservative-PDES correctness argument made
+// executable, following the kernel_golden_test.cc pattern.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <cstring>
+#include <sstream>
+#include <vector>
+
+#include "experiment/multi_tenant.h"
+#include "profile/wall_profiler.h"
+#include "sim/shard_executor.h"
+#include "telemetry/export.h"
+
+namespace cloudprov {
+namespace {
+
+std::uint64_t fnv1a(const std::string& bytes) {
+  std::uint64_t hash = 1469598103934665603ULL;
+  for (const char c : bytes) {
+    hash ^= static_cast<unsigned char>(c);
+    hash *= 1099511628211ULL;
+  }
+  return hash;
+}
+
+std::uint64_t double_bits(double value) {
+  std::uint64_t bits = 0;
+  std::memcpy(&bits, &value, sizeof(bits));
+  return bits;
+}
+
+/// Field-by-field bit-identity between two runs of the same tenant.
+/// wall_seconds is the one honest difference; everything else must match
+/// to the last bit (doubles are compared as bit patterns).
+void expect_bit_identical(const RunMetrics& a, const RunMetrics& b) {
+#define CLOUDPROV_EQ_INT(field) EXPECT_EQ(a.field, b.field) << #field
+#define CLOUDPROV_EQ_DBL(field)                              \
+  EXPECT_EQ(double_bits(a.field), double_bits(b.field))      \
+      << #field << ": " << a.field << " vs " << b.field
+  CLOUDPROV_EQ_INT(policy);
+  CLOUDPROV_EQ_INT(seed);
+  CLOUDPROV_EQ_INT(generated);
+  CLOUDPROV_EQ_INT(accepted);
+  CLOUDPROV_EQ_INT(rejected);
+  CLOUDPROV_EQ_INT(completed);
+  CLOUDPROV_EQ_INT(qos_violations);
+  CLOUDPROV_EQ_DBL(avg_response_time);
+  CLOUDPROV_EQ_DBL(std_response_time);
+  CLOUDPROV_EQ_DBL(p95_response_time);
+  CLOUDPROV_EQ_DBL(p99_response_time);
+  CLOUDPROV_EQ_DBL(min_instances);
+  CLOUDPROV_EQ_DBL(max_instances);
+  CLOUDPROV_EQ_DBL(avg_instances);
+  CLOUDPROV_EQ_DBL(vm_hours);
+  CLOUDPROV_EQ_DBL(busy_vm_hours);
+  CLOUDPROV_EQ_DBL(utilization);
+  CLOUDPROV_EQ_DBL(rejection_rate);
+  CLOUDPROV_EQ_INT(instance_failures);
+  CLOUDPROV_EQ_INT(vm_crashes);
+  CLOUDPROV_EQ_INT(host_crashes);
+  CLOUDPROV_EQ_INT(boot_failures);
+  CLOUDPROV_EQ_INT(boot_timeouts);
+  CLOUDPROV_EQ_INT(lost_requests);
+  CLOUDPROV_EQ_DBL(availability);
+  CLOUDPROV_EQ_INT(recoveries);
+  CLOUDPROV_EQ_DBL(mttr_mean);
+  CLOUDPROV_EQ_DBL(mttr_max);
+  CLOUDPROV_EQ_INT(reconciler_heals);
+  CLOUDPROV_EQ_INT(final_instances);
+  CLOUDPROV_EQ_INT(slo_response_alerts);
+  CLOUDPROV_EQ_INT(slo_rejection_alerts);
+  CLOUDPROV_EQ_INT(drift_windows);
+  CLOUDPROV_EQ_INT(spans_traced);
+  CLOUDPROV_EQ_DBL(billed_cost);
+  CLOUDPROV_EQ_DBL(on_demand_cost);
+  CLOUDPROV_EQ_DBL(spot_cost);
+  CLOUDPROV_EQ_INT(on_demand_purchases);
+  CLOUDPROV_EQ_INT(spot_purchases);
+  CLOUDPROV_EQ_INT(spot_revocations);
+  CLOUDPROV_EQ_INT(revocation_kills);
+  CLOUDPROV_EQ_INT(lost_to_revocations);
+  CLOUDPROV_EQ_DBL(spot_price_mean);
+  CLOUDPROV_EQ_DBL(spot_price_max);
+  CLOUDPROV_EQ_INT(capacity_clips);
+  CLOUDPROV_EQ_INT(capacity_denied);
+  CLOUDPROV_EQ_INT(simulated_events);
+#undef CLOUDPROV_EQ_INT
+#undef CLOUDPROV_EQ_DBL
+}
+
+std::uint64_t span_csv_hash(const TenantResult& tenant) {
+  EXPECT_NE(tenant.telemetry, nullptr);
+  EXPECT_NE(tenant.telemetry->spans(), nullptr);
+  std::ostringstream out;
+  write_span_csv(out, *tenant.telemetry->spans());
+  return fnv1a(out.str());
+}
+
+/// Mixed web/BoT population under a deliberately tight shared capacity, so
+/// the arbiter actually clips (contention is part of what must replay
+/// identically across shard counts).
+MultiTenantConfig golden_config() {
+  MultiTenantConfig config;
+  config.tenants = 10;
+  config.seed = 2011;
+  config.horizon = 1500.0;
+  config.window = 60.0;
+  config.bot_fraction = 0.3;
+  config.tenant_scale = 0.004;
+  config.capacity = 20;
+  return config;
+}
+
+MultiTenantConfig market_config() {
+  MultiTenantConfig config;
+  config.tenants = 6;
+  config.seed = 77;
+  config.horizon = 1200.0;
+  config.window = 60.0;
+  config.bot_fraction = 0.0;
+  config.tenant_scale = 0.004;
+  config.capacity = 12;
+  config.market_enabled = true;
+  config.spot_fraction = 0.5;
+  config.bid = 0.7;
+  return config;
+}
+
+// --- shard executor ------------------------------------------------------
+
+TEST(ShardExecutor, CommitScheduleIdenticalAcrossShardCounts) {
+  for (const std::size_t shards : {std::size_t{1}, std::size_t{2},
+                                   std::size_t{3}}) {
+    std::vector<std::vector<double>> advances(shards);
+    std::vector<double> commits;
+    const std::uint64_t windows = run_sharded_windows(
+        shards, 60.0, 450.0,
+        [&](std::size_t shard, SimTime t) { advances[shard].push_back(t); },
+        [&](SimTime t) { commits.push_back(t); });
+    EXPECT_EQ(windows, 7u) << shards;  // boundaries 60..420 are < 450
+    const std::vector<double> expected_commits{60,  120, 180, 240,
+                                               300, 360, 420};
+    EXPECT_EQ(commits, expected_commits) << shards;
+    std::vector<double> expected_advances = expected_commits;
+    expected_advances.push_back(450.0);  // final segment, no commit
+    for (std::size_t shard = 0; shard < shards; ++shard) {
+      EXPECT_EQ(advances[shard], expected_advances) << shards << "/" << shard;
+    }
+  }
+}
+
+TEST(ShardExecutor, HorizonOnBoundaryCommitsOnlyBelowHorizon) {
+  std::vector<double> commits;
+  const std::uint64_t windows = run_sharded_windows(
+      1, 60.0, 180.0, [](std::size_t, SimTime) {},
+      [&](SimTime t) { commits.push_back(t); });
+  EXPECT_EQ(windows, 2u);
+  EXPECT_EQ(commits, (std::vector<double>{60, 120}));
+}
+
+// --- capacity arbiter ----------------------------------------------------
+
+TEST(CapacityArbiter, GrantsInIdOrderUnderContention) {
+  CapacityArbiter arbiter(10, 0, 3);
+  EXPECT_EQ(arbiter.arbitrate({5, 5, 5}),
+            (std::vector<std::size_t>{5, 5, 0}));
+  EXPECT_EQ(arbiter.clips(), 1u);
+  EXPECT_EQ(arbiter.denied(), 5u);
+
+  // Tenant 0 shrinks: the freed slots go to the lowest starved id.
+  EXPECT_EQ(arbiter.arbitrate({2, 5, 5}),
+            (std::vector<std::size_t>{2, 5, 3}));
+  EXPECT_EQ(arbiter.clips(), 2u);
+  EXPECT_EQ(arbiter.denied(), 7u);
+  EXPECT_EQ(arbiter.peak_granted(), 10u);
+}
+
+TEST(CapacityArbiter, PerTenantCapBindsBeforeSharedCapacity) {
+  CapacityArbiter arbiter(10, 3, 3);
+  EXPECT_EQ(arbiter.arbitrate({5, 1, 5}),
+            (std::vector<std::size_t>{3, 1, 3}));
+  EXPECT_EQ(arbiter.clips(), 2u);
+  EXPECT_EQ(arbiter.denied(), 4u);
+  EXPECT_EQ(arbiter.peak_granted(), 7u);
+}
+
+// --- profiler drain (per-shard instances merged at the barrier) ----------
+
+TEST(WallProfilerDrain, MovesTotalsAndPathsThenZeroes) {
+  WallProfiler worker(1.0);
+  WallProfiler run(1.0);
+  worker.begin(ProfileCategory::kShardRun);
+  worker.end(ProfileCategory::kShardRun);
+  worker.begin(ProfileCategory::kShardBarrier);
+  worker.end(ProfileCategory::kShardBarrier);
+  worker.drain_into(run);
+
+  const auto run_idx = static_cast<std::size_t>(ProfileCategory::kShardRun);
+  EXPECT_EQ(worker.totals()[run_idx].count, 0u);
+  EXPECT_TRUE(worker.folded().empty());
+  EXPECT_EQ(run.totals()[run_idx].count, 1u);
+  const auto wait_idx =
+      static_cast<std::size_t>(ProfileCategory::kShardBarrier);
+  EXPECT_EQ(run.totals()[wait_idx].count, 1u);
+  EXPECT_EQ(run.folded().size(), 2u);
+
+  // Draining again is a no-op; a second batch accumulates.
+  worker.drain_into(run);
+  EXPECT_EQ(run.totals()[run_idx].count, 1u);
+  worker.begin(ProfileCategory::kShardRun);
+  worker.end(ProfileCategory::kShardRun);
+  worker.drain_into(run);
+  EXPECT_EQ(run.totals()[run_idx].count, 2u);
+}
+
+// --- tenant population ---------------------------------------------------
+
+TEST(MultiTenant, SpecsAreDeterministicAndMixed) {
+  MultiTenantConfig config = golden_config();
+  config.tenants = 16;
+  config.bot_fraction = 0.5;
+  const std::vector<TenantSpec> first = multi_tenant_specs(config);
+  const std::vector<TenantSpec> second = multi_tenant_specs(config);
+  ASSERT_EQ(first.size(), 16u);
+  std::size_t bots = 0;
+  for (std::size_t i = 0; i < first.size(); ++i) {
+    EXPECT_EQ(first[i].id, i);
+    EXPECT_EQ(first[i].seed, second[i].seed);
+    EXPECT_EQ(first[i].scenario.workload, second[i].scenario.workload);
+    EXPECT_EQ(double_bits(first[i].scenario.scale),
+              double_bits(second[i].scenario.scale));
+    EXPECT_EQ(double_bits(first[i].scenario.qos.max_response_time),
+              double_bits(second[i].scenario.qos.max_response_time));
+    if (first[i].scenario.workload == WorkloadKind::kScientific) ++bots;
+  }
+  EXPECT_GT(bots, 0u);
+  EXPECT_LT(bots, first.size());
+}
+
+// --- the golden: sharded == sequential, bit for bit ----------------------
+
+TEST(MultiTenantGolden, ShardedMatchesSequentialBitIdentically) {
+  const MultiTenantConfig config = golden_config();
+  MultiTenantOptions sequential;
+  sequential.shards = 1;
+  sequential.traced_tenants = 2;
+  const MultiTenantResult base = run_multi_tenant(config, sequential);
+  ASSERT_EQ(base.tenants.size(), config.tenants);
+  EXPECT_EQ(base.windows, 24u);  // 1500 s / 60 s, final boundary == horizon
+
+  std::vector<std::uint64_t> base_span_hashes;
+  for (std::size_t i = 0; i < sequential.traced_tenants; ++i) {
+    base_span_hashes.push_back(span_csv_hash(base.tenants[i]));
+  }
+
+  for (const std::size_t shards : {std::size_t{2}, std::size_t{4}}) {
+    MultiTenantOptions options = sequential;
+    options.shards = shards;
+    const MultiTenantResult sharded = run_multi_tenant(config, options);
+    ASSERT_EQ(sharded.tenants.size(), base.tenants.size());
+    EXPECT_EQ(sharded.shards, shards);
+    EXPECT_EQ(sharded.windows, base.windows);
+    for (std::size_t i = 0; i < base.tenants.size(); ++i) {
+      SCOPED_TRACE("tenant " + std::to_string(i) + " shards " +
+                   std::to_string(shards));
+      expect_bit_identical(base.tenants[i].metrics,
+                           sharded.tenants[i].metrics);
+    }
+    for (std::size_t i = 0; i < sequential.traced_tenants; ++i) {
+      EXPECT_EQ(span_csv_hash(sharded.tenants[i]), base_span_hashes[i])
+          << "span CSV diverged for tenant " << i << " at " << shards
+          << " shards";
+    }
+    // Arbitration history and the aggregate roll up identically too
+    // (wall_seconds and the event split across kernels are the only
+    // legitimately shard-dependent outputs; total events are conserved).
+    EXPECT_EQ(sharded.grant_clips, base.grant_clips);
+    EXPECT_EQ(sharded.instances_denied, base.instances_denied);
+    EXPECT_EQ(sharded.peak_granted, base.peak_granted);
+    EXPECT_EQ(sharded.simulated_events, base.simulated_events);
+    EXPECT_EQ(sharded.aggregate.generated, base.aggregate.generated);
+    EXPECT_EQ(double_bits(sharded.aggregate.vm_hours),
+              double_bits(base.aggregate.vm_hours));
+  }
+}
+
+TEST(MultiTenantGolden, SharedMarketRunMatchesAcrossShardCounts) {
+  const MultiTenantConfig config = market_config();
+  MultiTenantOptions sequential;
+  const MultiTenantResult base = run_multi_tenant(config, sequential);
+
+  // One shared spot trajectory: every tenant observes the same price path.
+  ASSERT_GT(base.tenants.size(), 1u);
+  const double mean0 = base.tenants.front().metrics.spot_price_mean;
+  EXPECT_GT(mean0, 0.0);
+  for (const TenantResult& tenant : base.tenants) {
+    EXPECT_EQ(double_bits(tenant.metrics.spot_price_mean),
+              double_bits(mean0));
+  }
+
+  MultiTenantOptions threaded;
+  threaded.shards = 3;
+  const MultiTenantResult sharded = run_multi_tenant(config, threaded);
+  for (std::size_t i = 0; i < base.tenants.size(); ++i) {
+    SCOPED_TRACE("tenant " + std::to_string(i));
+    expect_bit_identical(base.tenants[i].metrics, sharded.tenants[i].metrics);
+  }
+}
+
+// --- contention + aggregate sanity ---------------------------------------
+
+TEST(MultiTenant, TightCapacityProducesContention) {
+  MultiTenantConfig config = golden_config();
+  config.horizon = 900.0;
+  config.tenant_scale = 0.03;        // hot tenants...
+  config.capacity = config.tenants;  // ...on ~1 slot each: heavy contention
+  const MultiTenantResult result = run_multi_tenant(config, {});
+
+  EXPECT_GT(result.instances_denied, 0u);
+  EXPECT_GT(result.grant_clips, 0u);
+  EXPECT_LE(result.peak_granted, result.capacity);
+  std::uint64_t tenant_clips = 0;
+  for (const TenantResult& tenant : result.tenants) {
+    tenant_clips += tenant.metrics.capacity_clips;
+  }
+  EXPECT_GT(tenant_clips, 0u);
+
+  // Conservation: the aggregate is a faithful rollup.
+  EXPECT_EQ(result.aggregate.accepted + result.aggregate.rejected,
+            result.aggregate.generated);
+  EXPECT_GT(result.aggregate.generated, 0u);
+  EXPECT_GT(result.simulated_events, 0u);
+  EXPECT_EQ(result.aggregate.simulated_events, result.simulated_events);
+}
+
+TEST(MultiTenant, ProfiledShardedRunIsNeutralAndAttributed) {
+  MultiTenantConfig config = golden_config();
+  config.tenants = 6;
+  config.horizon = 600.0;
+  config.capacity = 12;
+
+  MultiTenantOptions plain;
+  plain.shards = 2;
+  const MultiTenantResult base = run_multi_tenant(config, plain);
+
+  WallProfiler profiler(/*snapshot_interval_seconds=*/0.01);
+  MultiTenantOptions profiled = plain;
+  profiled.profiler = &profiler;
+  const MultiTenantResult observed = run_multi_tenant(config, profiled);
+
+  // Profiling is output-only even in sharded mode.
+  for (std::size_t i = 0; i < base.tenants.size(); ++i) {
+    SCOPED_TRACE("tenant " + std::to_string(i));
+    expect_bit_identical(base.tenants[i].metrics,
+                         observed.tenants[i].metrics);
+  }
+
+  // The shard workers' private profilers were drained into the run-level
+  // one: shard advance scopes, barrier waits, and the serial arbiter
+  // rounds (windows + the t=0 round) all show up.
+  const auto& totals = profiler.totals();
+  EXPECT_GT(
+      totals[static_cast<std::size_t>(ProfileCategory::kShardRun)].count, 0u);
+  EXPECT_GT(
+      totals[static_cast<std::size_t>(ProfileCategory::kShardBarrier)].count,
+      0u);
+  EXPECT_EQ(totals[static_cast<std::size_t>(ProfileCategory::kArbiter)].count,
+            observed.windows + 1);
+  EXPECT_GT(profiler.covered_seconds(), 0.0);
+}
+
+TEST(MultiTenant, TenantCsvHasOneRowPerTenant) {
+  MultiTenantConfig config = golden_config();
+  config.tenants = 4;
+  config.horizon = 300.0;
+  const MultiTenantResult result = run_multi_tenant(config, {});
+  std::ostringstream out;
+  write_tenant_csv(out, result);
+  const std::string csv = out.str();
+  std::size_t rows = 0;
+  for (const char c : csv) rows += c == '\n' ? 1u : 0u;
+  EXPECT_EQ(rows, config.tenants + 1);  // header + one row per tenant
+  EXPECT_NE(csv.find("tenant,kind,seed"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace cloudprov
