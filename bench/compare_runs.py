@@ -48,12 +48,14 @@ WORSE_WHEN_HIGHER = [
     "client_timeouts",
     "retry_budget_denied",
     "breaker_fast_fails",
+    "lambda_miss_mean",
 ]
 WORSE_WHEN_LOWER = [
     "completed",
     "availability",
     "utilization",
     "client_succeeded",
+    "cache_hit_ratio",
 ]
 
 # Wall categories that are waiting, not work: barrier self-time is worker
@@ -145,10 +147,21 @@ def validate(doc, path, min_coverage):
     if multi_tenant is None:
         seeds = doc.get("seed_streams", {})
         expected_streams = {"workload", "placement", "fault", "market",
-                            "lookahead", "resilience"}
+                            "lookahead", "resilience", "apptier"}
         if set(seeds) != expected_streams:
             problems.append(f"seed_streams keys {sorted(seeds)} != "
                             f"{sorted(expected_streams)}")
+    # Multi-tier manifests carry the cache-tier block; sanity-bound the hit
+    # ratio and require the lookup counters that derive it.
+    if doc.get("scenario", {}).get("apptier_enabled"):
+        ratio = metrics.get("cache_hit_ratio")
+        if ratio is None:
+            problems.append("apptier enabled but no metrics.cache_hit_ratio")
+        elif not 0.0 <= ratio <= 1.0:
+            problems.append(f"cache_hit_ratio {ratio} outside [0, 1]")
+        if "cache_hits" not in metrics or "cache_misses" not in metrics:
+            problems.append("apptier enabled but cache_hits/cache_misses "
+                            "missing")
 
     if problems:
         for p in problems:
@@ -157,9 +170,11 @@ def validate(doc, path, min_coverage):
     cov = f", breakdown covers {coverage:.1%} of wall" if coverage else ""
     mt = (f", {multi_tenant['tenants']} tenants / "
           f"{multi_tenant['shards']} shard(s)" if multi_tenant else "")
+    tiers = (f", cache tier hit ratio {metrics.get('cache_hit_ratio', 0):.3f}"
+             if doc.get("scenario", {}).get("apptier_enabled") else "")
     print(f"{path}: valid {SCHEMA} manifest "
           f"(policy {doc.get('policy')!r}, seed {doc.get('seed')}, "
-          f"{metrics['generated']} requests{mt}{cov})")
+          f"{metrics['generated']} requests{mt}{tiers}{cov})")
 
 
 def same_run_identity(a, b):
@@ -262,6 +277,26 @@ def diff(base_doc, cand_doc, base_path, cand_path, tolerance, wall_tolerance):
     elif (base_mt is None) != (cand_mt is None):
         notes.append("only one manifest is multi-tenant")
 
+    # Multi-tier manifests get a per-tier summary block: cache tier and
+    # backend tier side by side. The individual cache_* deltas are already
+    # diffed (and flagged) by the generic metrics loop above; this block
+    # groups the headline signals per tier so tier-sizing shifts read at a
+    # glance.
+    tier_lines = []
+    if (base_doc.get("scenario", {}).get("apptier_enabled")
+            or cand_doc.get("scenario", {}).get("apptier_enabled")):
+        for label, key in (("cache.hit_ratio", "cache_hit_ratio"),
+                           ("cache.vm_hours", "cache_vm_hours"),
+                           ("cache.utilization", "cache_utilization"),
+                           ("cache.avg_instances", "cache_avg_instances"),
+                           ("backend.vm_hours", "vm_hours"),
+                           ("backend.lambda_miss", "lambda_miss_mean"),
+                           ("backend.utilization", "utilization")):
+            b = base_m.get(key, 0.0)
+            c = cand_m.get(key, 0.0)
+            tier_lines.append(
+                f"  {label}: {b:.4g} -> {c:.4g} ({rel_delta(b, c):+.2%})")
+
     base_w, cand_w = base_doc["wall"], cand_doc["wall"]
     bw, cw = base_w.get("wall_seconds", 0.0), cand_w.get("wall_seconds", 0.0)
     if bw > 0.0 and cw > 0.0 and bw != cw:
@@ -288,6 +323,10 @@ def diff(base_doc, cand_doc, base_path, cand_path, tolerance, wall_tolerance):
           f"seed {base_doc.get('seed')})")
     print(f"candidate: {cand_path} ({cand_doc.get('policy')}, "
           f"seed {cand_doc.get('seed')})")
+    if tier_lines:
+        print("\nper-tier (cache + backend):")
+        for line in tier_lines:
+            print(line)
     if notes:
         print("\nchanges (informational):")
         for n in notes:

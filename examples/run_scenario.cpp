@@ -27,6 +27,10 @@
 //   ./run_scenario --tenants 64 --shards 4 --tenant-capacity 128 \
 //                  --tenant-out tenants.csv --manifest-out mt.json \
 //                  # sharded multi-tenant scale-out (bit-identical per shard)
+//   ./run_scenario --workload zipf --tiers --zipf 0.9 --keys 20000 \
+//                  --ttl 300 --cache-vm 4        # cache + backend tiers
+//   ./run_scenario --workload zipf --tiers --flush-at 43200 \
+//                  --cache-crash-at 21600        # TTL storm + warmup transient
 #include <fstream>
 #include <iostream>
 #include <sstream>
@@ -197,7 +201,7 @@ RunOutput run_replication_zero(const ScenarioConfig& config,
 
 int main(int argc, char** argv) {
   ArgParser args("Runs one provisioning scenario and reports the paper's metrics.");
-  args.add_flag("workload", "web", "web | scientific", "<name>");
+  args.add_flag("workload", "web", "web | scientific | zipf", "<name>");
   args.add_flag("policy", "adaptive", "adaptive | static", "<name>");
   args.add_flag("instances", "50", "pool size for --policy static (paper scale)",
                 "<int>");
@@ -227,6 +231,12 @@ int main(int argc, char** argv) {
                 "<int>");
   args.add_flag("tenant-cap", "0",
                 "static per-tenant instance ceiling (0 = none)", "<int>");
+  args.add_flag("tenant-zipf-frac", "0",
+                "fraction of tenants running the Zipf key-value workload",
+                "<frac>");
+  args.add_flag("tenant-tiers", "false",
+                "run Zipf tenants with the cache tier in front of the "
+                "backend (src/apptier); implied by --tenant-zipf-frac");
   args.add_flag("tenant-bot-frac", "0.25",
                 "fraction of tenants running the BoT/scientific workload",
                 "<double>");
@@ -244,6 +254,34 @@ int main(int argc, char** argv) {
   args.add_flag("tolerance", "0", "modeler rejection tolerance override (0 = default)",
                 "<double>");
   args.add_flag("max-vms", "0", "MaxVMs override (0 = default)", "<int>");
+  args.add_flag("tiers", "false",
+                "run the application as cache + backend tiers (src/apptier): "
+                "look-aside cache pool in front of the backend, per-tier "
+                "Algorithm 1 under --policy adaptive; implied by the other "
+                "cache flags");
+  args.add_flag("zipf", "0.9",
+                "Zipf popularity skew for --workload zipf (0 = uniform)",
+                "<double>");
+  args.add_flag("keys", "20000", "key-space size for --workload zipf",
+                "<int>");
+  args.add_flag("ttl", "300",
+                "cache-entry time-to-live in seconds (lazy expiry at lookup)",
+                "<double>");
+  args.add_flag("cache-vm", "4",
+                "initial cache pool size; stays fixed under --policy static, "
+                "re-planned every window by the tiered provisioner otherwise",
+                "<int>");
+  args.add_flag("flush-at", "",
+                "TTL-storm times \"t0[,t1...]\" in seconds: flush the whole "
+                "cache directory so the backend eats the full arrival rate",
+                "<spec>");
+  args.add_flag("cache-crash-at", "",
+                "seeded cache-VM crash times \"t0[,t1...]\" in seconds "
+                "(slot remap invalidates resident entries: warmup transient)",
+                "<spec>");
+  args.add_flag("apptier-out", "",
+                "write the per-replication cache-tier metrics as CSV here",
+                "<path>");
   args.add_flag("lookahead", "",
                 "model-predictive provisioning \"K,H\": at each analysis "
                 "window fork up to K what-if clones of the world, score each "
@@ -403,13 +441,31 @@ int main(int argc, char** argv) {
     }
   }
 
-  ScenarioConfig config = args.get_string("workload") == "scientific"
-                              ? scientific_scenario(args.get_double("scale"))
-                              : web_scenario(args.get_double("scale"));
+  const std::string workload_name = args.get_string("workload");
+  ScenarioConfig config =
+      workload_name == "scientific" ? scientific_scenario(args.get_double("scale"))
+      : workload_name == "zipf"     ? zipf_scenario(args.get_double("scale"))
+                                    : web_scenario(args.get_double("scale"));
   if (const auto days = args.get_int("days"); days > 0) {
     config.horizon = static_cast<double>(days) * 86400.0;
     config.web.horizon = config.horizon;
     config.bot.horizon = config.horizon;
+    config.zipf.horizon = config.horizon;
+  }
+  config.zipf.alpha = args.get_double("zipf");
+  config.zipf.num_keys = static_cast<std::uint64_t>(args.get_int("keys"));
+  config.apptier.enabled = args.get_bool("tiers") || args.was_set("ttl") ||
+                           args.was_set("cache-vm") ||
+                           args.was_set("flush-at") ||
+                           args.was_set("cache-crash-at");
+  config.apptier.ttl = args.get_double("ttl");
+  config.apptier.cache_vms = static_cast<std::size_t>(args.get_int("cache-vm"));
+  if (const std::string spec = args.get_string("flush-at"); !spec.empty()) {
+    config.apptier.flush_at = parse_double_list(spec, "--flush-at");
+  }
+  if (const std::string spec = args.get_string("cache-crash-at");
+      !spec.empty()) {
+    config.apptier.cache_crash_at = parse_double_list(spec, "--cache-crash-at");
   }
   if (const double interval = args.get_double("interval"); interval > 0.0) {
     config.analyzer.analysis_interval = interval;
@@ -550,6 +606,9 @@ int main(int argc, char** argv) {
       mt.window = interval;
     }
     mt.bot_fraction = args.get_double("tenant-bot-frac");
+    mt.zipf_fraction = args.get_double("tenant-zipf-frac");
+    mt.zipf_tiers =
+        args.get_bool("tenant-tiers") || args.was_set("tenant-zipf-frac");
     mt.tenant_scale = args.get_double("tenant-scale");
     mt.capacity = static_cast<std::size_t>(args.get_int("tenant-capacity"));
     mt.per_tenant_cap = static_cast<std::size_t>(args.get_int("tenant-cap"));
@@ -569,6 +628,14 @@ int main(int argc, char** argv) {
               << result.shards << " shard(s), " << result.windows
               << " windows, shared capacity " << result.capacity << "\n\n";
     print_policy_table(std::cout, {aggregate({result.aggregate})});
+    if (result.aggregate.cache_hits + result.aggregate.cache_misses > 0) {
+      std::cout << "\ncache tier (Zipf tenants): hit ratio "
+                << fmt(result.aggregate.cache_hit_ratio, 3) << " ("
+                << result.aggregate.cache_hits << " hits / "
+                << result.aggregate.cache_misses << " misses), "
+                << fmt(result.aggregate.cache_vm_hours, 2)
+                << " cache VM-hours\n";
+    }
     std::cout << "\ncontention: peak granted " << result.peak_granted << "/"
               << result.capacity << ", grant clips " << result.grant_clips
               << ", instances denied " << result.instances_denied << '\n'
@@ -689,6 +756,15 @@ int main(int argc, char** argv) {
     std::ofstream out(path);
     write_resilience_csv(out, runs);
     std::cout << "resilience metrics written to " << path << '\n';
+  }
+  if (config.apptier.enabled) {
+    std::cout << "\nmulti-tier cache (per replication):\n";
+    print_apptier_table(std::cout, runs);
+  }
+  if (const std::string path = args.get_string("apptier-out"); !path.empty()) {
+    std::ofstream out(path);
+    write_apptier_csv(out, runs);
+    std::cout << "cache-tier metrics written to " << path << '\n';
   }
 
   if (const std::string path = args.get_string("csv"); !path.empty()) {

@@ -1,0 +1,292 @@
+#include "apptier/cache_tier.h"
+
+#include "telemetry/telemetry.h"
+#include "util/check.h"
+#include "util/log.h"
+
+namespace cloudprov {
+
+CacheTier::CacheTier(Simulation& sim, const ApptierConfig& config,
+                     QosTargets qos, ApplicationProvisioner& cache_pool,
+                     ApplicationProvisioner& backend_pool,
+                     RequestSink& backend_sink, Rng rng, Telemetry* telemetry)
+    : sim_(sim),
+      config_(config),
+      qos_(qos),
+      cache_pool_(cache_pool),
+      backend_pool_(backend_pool),
+      backend_sink_(backend_sink),
+      rng_(rng),
+      telemetry_(telemetry),
+      cache_demand_(config.cache_service_base, config.cache_service_spread) {
+  ensure_arg(config_.cache_capacity_per_vm > 0,
+             "CacheTier: capacity per VM must be > 0");
+  ensure_arg(config_.ttl > 0.0, "CacheTier: ttl must be > 0");
+  ensure_arg(config_.hit_ewma_alpha > 0.0 && config_.hit_ewma_alpha <= 1.0,
+             "CacheTier: hit_ewma_alpha must be in (0, 1]");
+  ensure_arg(
+      config_.assumed_hit_ratio >= 0.0 && config_.assumed_hit_ratio < 1.0,
+      "CacheTier: assumed_hit_ratio must be in [0, 1)");
+  // Chain completion listeners: the tier interposes after whatever is
+  // already installed (the resilience gateway registers first), so both see
+  // every completion in a fixed order — tier accounting/fill, then chain.
+  ApplicationProvisioner::CompletionListener backend_prev =
+      backend_pool_.completion_listener();
+  backend_pool_.set_completion_listener(
+      [this, backend_prev = std::move(backend_prev)](const Request& request,
+                                                     double response_time) {
+        on_backend_complete(request, response_time);
+        if (backend_prev) backend_prev(request, response_time);
+      });
+  ApplicationProvisioner::CompletionListener cache_prev =
+      cache_pool_.completion_listener();
+  cache_pool_.set_completion_listener(
+      [this, cache_prev = std::move(cache_prev)](const Request& request,
+                                                 double response_time) {
+        on_cache_complete(request, response_time);
+        if (cache_prev) cache_prev(request, response_time);
+      });
+}
+
+void CacheTier::start() {
+  flush_events_.assign(config_.flush_at.size(), kInvalidEventId);
+  for (std::size_t i = 0; i < config_.flush_at.size(); ++i) {
+    flush_events_[i] = sim_.schedule_at(config_.flush_at[i],
+                                        [this, i] { fire_flush(i); });
+  }
+  crash_events_.assign(config_.cache_crash_at.size(), kInvalidEventId);
+  for (std::size_t i = 0; i < config_.cache_crash_at.size(); ++i) {
+    crash_events_[i] = sim_.schedule_at(config_.cache_crash_at[i],
+                                        [this, i] { fire_crash(i); });
+  }
+}
+
+std::size_t CacheTier::directory_capacity() const {
+  return config_.cache_capacity_per_vm * cache_pool_.active_instances();
+}
+
+std::uint32_t CacheTier::slot_for(std::uint64_t key) const {
+  const std::size_t active = cache_pool_.active_instances();
+  return active > 0 ? static_cast<std::uint32_t>(key % active) : 0;
+}
+
+void CacheTier::erase_entry(std::uint64_t key) {
+  auto it = index_.find(key);
+  if (it == index_.end()) return;
+  lru_.erase(it->second);
+  index_.erase(it);
+}
+
+void CacheTier::on_request(const Request& request) {
+  ++window_arrivals_;
+  ++window_lookups_;
+  const SimTime now = sim_.now();
+  bool hit = false;
+  if (request.key != 0 && cache_pool_.active_instances() > 0) {
+    auto it = index_.find(request.key);
+    if (it != index_.end()) {
+      Entry& entry = *it->second;
+      if (entry.expiry <= now) {
+        ++expirations_;
+        erase_entry(request.key);
+      } else if (entry.slot != slot_for(request.key)) {
+        // Modulo-sharded slot moved (crash/resize): the resident copy is on
+        // the wrong cache VM now — a real fleet would miss here too.
+        ++invalidations_;
+        erase_entry(request.key);
+      } else {
+        hit = true;
+        lru_.splice(lru_.begin(), lru_, it->second);  // LRU touch
+      }
+    }
+  }
+  if (hit) {
+    ++hits_;
+    ++window_hits_;
+    Request served = request;
+    served.service_demand = cache_demand_.sample(rng_);
+    cache_pool_.on_request(served);  // admission + accounting in the pool
+  } else {
+    ++misses_;
+    backend_sink_.on_request(request);
+  }
+  // After dispatch, so the span tracer's pending trace (created by the
+  // pool's request_arrival) exists when the lookup tags its tier.
+  if (telemetry_ != nullptr) {
+    telemetry_->cache_lookup(now, request.id, hit);
+  }
+}
+
+std::uint64_t CacheTier::take_window_arrivals() {
+  const std::uint64_t n = window_arrivals_;
+  window_arrivals_ = 0;
+  return n;
+}
+
+double CacheTier::fold_window() {
+  if (window_lookups_ > 0) {
+    const double ratio = static_cast<double>(window_hits_) /
+                         static_cast<double>(window_lookups_);
+    last_window_hit_ratio_ = ratio;
+    hit_ewma_ = hit_ewma_ < 0.0
+                    ? ratio
+                    : config_.hit_ewma_alpha * ratio +
+                          (1.0 - config_.hit_ewma_alpha) * hit_ewma_;
+    window_hits_ = 0;
+    window_lookups_ = 0;
+  }
+  return hit_ewma_;
+}
+
+void CacheTier::record_window_sample(SimTime t, double lambda_miss,
+                                     double predicted_response) {
+  series_.push_back(ApptierState::WindowSample{
+      t, last_window_hit_ratio_, lambda_miss, predicted_response});
+  lambda_miss_sum_ += lambda_miss;
+  ++windows_;
+}
+
+double CacheTier::hit_ratio() const {
+  const std::uint64_t total = hits_ + misses_;
+  return total > 0 ? static_cast<double>(hits_) / static_cast<double>(total)
+                   : 0.0;
+}
+
+double CacheTier::planning_hit_ratio() const {
+  return hit_ewma_ >= 0.0 ? hit_ewma_ : config_.assumed_hit_ratio;
+}
+
+void CacheTier::on_cache_complete(const Request& request,
+                                  double response_time) {
+  (void)request;
+  record_completion(response_time);
+}
+
+void CacheTier::on_backend_complete(const Request& request,
+                                    double response_time) {
+  record_completion(response_time);
+  if (request.key == 0) return;
+  const std::size_t capacity = directory_capacity();
+  if (capacity == 0) return;  // no active cache VMs: nothing to fill into
+  const SimTime now = sim_.now();
+  erase_entry(request.key);
+  lru_.push_front(
+      Entry{request.key, now + config_.ttl, slot_for(request.key)});
+  index_[request.key] = lru_.begin();
+  ++fills_;
+  if (telemetry_ != nullptr) telemetry_->cache_fill(now, request.id);
+  while (lru_.size() > capacity) {
+    index_.erase(lru_.back().key);
+    lru_.pop_back();
+    ++evictions_;
+  }
+}
+
+void CacheTier::record_completion(double response_time) {
+  response_stats_.add(response_time);
+  p95_.add(response_time);
+  p99_.add(response_time);
+  if (response_time > qos_.max_response_time) ++qos_violations_;
+}
+
+void CacheTier::fire_flush(std::size_t index) {
+  flush_events_[index] = kInvalidEventId;
+  const std::size_t dropped = lru_.size();
+  lru_.clear();
+  index_.clear();
+  ++flushes_;
+  if (telemetry_ != nullptr) {
+    telemetry_->cache_flush(sim_.now(), dropped);
+  }
+  CLOUDPROV_LOG(Debug) << "apptier: TTL storm at t=" << sim_.now()
+                       << " dropped " << dropped << " entries";
+}
+
+void CacheTier::fire_crash(std::size_t index) {
+  crash_events_[index] = kInvalidEventId;
+  if (cache_pool_.live_instances() == 0) return;
+  const std::size_t lost = cache_pool_.inject_instance_failure(0);
+  CLOUDPROV_LOG(Debug) << "apptier: cache VM crash at t=" << sim_.now()
+                       << " lost " << lost << " in-flight hits";
+}
+
+void CacheTier::capture(ApptierState& state) const {
+  state.directory.clear();
+  state.directory.reserve(lru_.size());
+  for (const Entry& entry : lru_) {
+    state.directory.push_back(
+        ApptierState::DirectoryEntry{entry.key, entry.expiry, entry.slot});
+  }
+  state.rng = rng_.state();
+  state.hits = hits_;
+  state.misses = misses_;
+  state.fills = fills_;
+  state.evictions = evictions_;
+  state.expirations = expirations_;
+  state.invalidations = invalidations_;
+  state.flushes = flushes_;
+  state.window_arrivals = window_arrivals_;
+  state.window_hits = window_hits_;
+  state.window_lookups = window_lookups_;
+  state.hit_ewma = hit_ewma_;
+  state.last_window_hit_ratio = last_window_hit_ratio_;
+  state.lambda_miss_sum = lambda_miss_sum_;
+  state.windows = windows_;
+  state.response_stats = response_stats_;
+  state.p95 = p95_;
+  state.p99 = p99_;
+  state.qos_violations = qos_violations_;
+  state.series = series_;
+  state.flush_events.clear();
+  for (EventId id : flush_events_) state.flush_events.push_back(sim_.stamp(id));
+  state.crash_events.clear();
+  for (EventId id : crash_events_) state.crash_events.push_back(sim_.stamp(id));
+}
+
+void CacheTier::restore(const ApptierState& state) {
+  ensure(lru_.empty() && flush_events_.empty() && crash_events_.empty(),
+         "CacheTier::restore: tier already started");
+  for (const ApptierState::DirectoryEntry& entry : state.directory) {
+    lru_.push_back(Entry{entry.key, entry.expiry, entry.slot});
+    index_[entry.key] = std::prev(lru_.end());
+  }
+  rng_.set_state(state.rng);
+  hits_ = state.hits;
+  misses_ = state.misses;
+  fills_ = state.fills;
+  evictions_ = state.evictions;
+  expirations_ = state.expirations;
+  invalidations_ = state.invalidations;
+  flushes_ = state.flushes;
+  window_arrivals_ = state.window_arrivals;
+  window_hits_ = state.window_hits;
+  window_lookups_ = state.window_lookups;
+  hit_ewma_ = state.hit_ewma;
+  last_window_hit_ratio_ = state.last_window_hit_ratio;
+  lambda_miss_sum_ = state.lambda_miss_sum;
+  windows_ = state.windows;
+  response_stats_ = state.response_stats;
+  p95_ = state.p95;
+  p99_ = state.p99;
+  qos_violations_ = state.qos_violations;
+  series_ = state.series;
+  ensure_arg(state.flush_events.size() == config_.flush_at.size() &&
+                 state.crash_events.size() == config_.cache_crash_at.size(),
+             "CacheTier::restore: chaos schedule mismatch");
+  flush_events_.assign(config_.flush_at.size(), kInvalidEventId);
+  for (std::size_t i = 0; i < state.flush_events.size(); ++i) {
+    if (state.flush_events[i].has_value()) {
+      flush_events_[i] = sim_.schedule_stamped(*state.flush_events[i],
+                                               [this, i] { fire_flush(i); });
+    }
+  }
+  crash_events_.assign(config_.cache_crash_at.size(), kInvalidEventId);
+  for (std::size_t i = 0; i < state.crash_events.size(); ++i) {
+    if (state.crash_events[i].has_value()) {
+      crash_events_[i] = sim_.schedule_stamped(*state.crash_events[i],
+                                               [this, i] { fire_crash(i); });
+    }
+  }
+}
+
+}  // namespace cloudprov

@@ -1,0 +1,223 @@
+// Cache tier: a keyed look-aside cache pool in front of the VM-pool backend.
+//
+// Sits between the broker (or whatever delivers requests) and the backend
+// request sink. Every request does a synchronous directory lookup:
+//
+//   hit  -> the request is served by the cache pool with a small service
+//           demand drawn from the apptier RNG stream (LRU touch);
+//   miss -> the request is forwarded unchanged to the backend sink; when the
+//           backend completes it, the key is filled with expiry now + TTL.
+//
+// The directory is an LRU list + index with lazy TTL expiry. Entries are
+// tagged with the modulo shard slot (key % active cache VMs) current at fill
+// time; a lookup whose recomputed slot disagrees counts as an invalidation —
+// so cache-VM crashes and resizes produce the realistic warmup transient of
+// a consistent-hashing-free memcached fleet. Total capacity scales with the
+// active cache pool (capacity_per_vm x active VMs).
+//
+// The tier also owns the END-TO-END request accounting (response stats, tail
+// quantiles, QoS violations across both pools), since neither pool alone
+// sees every completion.
+#pragma once
+
+#include <cstdint>
+#include <list>
+#include <optional>
+#include <unordered_map>
+#include <vector>
+
+#include "apptier/apptier_config.h"
+#include "cloud/broker.h"
+#include "core/adaptive_policy.h"
+#include "core/application_provisioner.h"
+#include "stats/quantile.h"
+#include "stats/running_stats.h"
+#include "util/distributions.h"
+#include "util/rng.h"
+
+namespace cloudprov {
+
+class Telemetry;
+
+/// Mutable apptier state for WorldState snapshot/restore and the disk
+/// checkpoint codec (appended as an optional at codec version 3).
+struct ApptierState {
+  Datacenter::Snapshot cache_datacenter;
+  ApplicationProvisioner::Snapshot cache_provisioner;
+
+  /// Directory in LRU order (front = most recently used).
+  struct DirectoryEntry {
+    std::uint64_t key = 0;
+    SimTime expiry = 0.0;
+    std::uint32_t slot = 0;
+  };
+  std::vector<DirectoryEntry> directory;
+
+  Rng::State rng;  ///< cache service-demand stream
+
+  std::uint64_t hits = 0;
+  std::uint64_t misses = 0;
+  std::uint64_t fills = 0;
+  std::uint64_t evictions = 0;
+  std::uint64_t expirations = 0;
+  std::uint64_t invalidations = 0;
+  std::uint64_t flushes = 0;
+  std::uint64_t window_arrivals = 0;
+  std::uint64_t window_hits = 0;
+  std::uint64_t window_lookups = 0;
+  double hit_ewma = -1.0;  ///< <0 = no window closed yet
+  double last_window_hit_ratio = 0.0;
+  double lambda_miss_sum = 0.0;
+  std::uint64_t windows = 0;
+
+  // End-to-end accounting across both pools.
+  RunningStats response_stats;
+  P2Quantile p95{0.95};
+  P2Quantile p99{0.99};
+  std::uint64_t qos_violations = 0;
+
+  /// One sample per analysis window: the warmup-transient time series.
+  struct WindowSample {
+    SimTime t = 0.0;
+    double hit_ratio = 0.0;  ///< instantaneous window ratio
+    double lambda_miss = 0.0;
+    double predicted_response = 0.0;  ///< tandem-model end-to-end prediction
+  };
+  std::vector<WindowSample> series;
+
+  /// Pending seeded-chaos events, parallel to config.flush_at /
+  /// config.cache_crash_at; disengaged once fired.
+  std::vector<std::optional<EventStamp>> flush_events;
+  std::vector<std::optional<EventStamp>> crash_events;
+
+  /// TieredProvisioner's cache-tier decision log (the backend tier's log
+  /// rides in WorldState.policy.decisions).
+  std::vector<AdaptivePolicy::DecisionRecord> cache_decisions;
+};
+
+class CacheTier final : public RequestSink {
+ public:
+  /// `backend_sink` is where misses go (the resilience gateway when enabled,
+  /// else the backend provisioner); `backend_pool` is the pool whose
+  /// completion listener is wrapped for cache fills. The tier chains any
+  /// previously installed listeners on both pools.
+  CacheTier(Simulation& sim, const ApptierConfig& config, QosTargets qos,
+            ApplicationProvisioner& cache_pool,
+            ApplicationProvisioner& backend_pool, RequestSink& backend_sink,
+            Rng rng, Telemetry* telemetry);
+
+  /// Schedules the configured TTL-storm flushes and cache-VM crashes.
+  /// Call once per fresh world; restored worlds re-arm via restore().
+  void start();
+
+  // --- RequestSink (the broker's sink in tiered worlds) -------------------
+  void on_request(const Request& request) override;
+
+  // --- windowed observation (TieredProvisioner, per analysis window) ------
+  /// Front-door arrivals since the last call (the analyzer's tap).
+  std::uint64_t take_window_arrivals();
+  /// Folds the closing window's hit ratio into the planning EWMA and resets
+  /// the window. Returns the EWMA (<0 until a window with lookups closed).
+  double fold_window();
+  /// Appends one warmup-transient series sample.
+  void record_window_sample(SimTime t, double lambda_miss,
+                            double predicted_response);
+
+  // --- live signals -------------------------------------------------------
+  double hit_ratio() const;  ///< lifetime hits / lookups
+  /// Planning estimate h: the EWMA, or the configured assumption before the
+  /// first closed window.
+  double planning_hit_ratio() const;
+  double last_window_hit_ratio() const { return last_window_hit_ratio_; }
+  std::size_t directory_size() const { return lru_.size(); }
+  std::size_t directory_capacity() const;
+
+  std::uint64_t hits() const { return hits_; }
+  std::uint64_t misses() const { return misses_; }
+  std::uint64_t fills() const { return fills_; }
+  std::uint64_t evictions() const { return evictions_; }
+  std::uint64_t expirations() const { return expirations_; }
+  std::uint64_t invalidations() const { return invalidations_; }
+  std::uint64_t flushes() const { return flushes_; }
+  std::uint64_t lookups() const { return hits_ + misses_; }
+  double lambda_miss_mean() const {
+    return windows_ > 0 ? lambda_miss_sum_ / static_cast<double>(windows_)
+                        : 0.0;
+  }
+
+  // --- end-to-end accounting ----------------------------------------------
+  const RunningStats& response_time_stats() const { return response_stats_; }
+  double response_p95() const { return p95_.value(); }
+  double response_p99() const { return p99_.value(); }
+  std::uint64_t qos_violations() const { return qos_violations_; }
+
+  ApplicationProvisioner& cache_pool() { return cache_pool_; }
+  const std::vector<ApptierState::WindowSample>& series() const {
+    return series_;
+  }
+
+  // --- snapshot/restore (src/lookahead) -----------------------------------
+  /// Fills the tier-owned part of `state` (directory, RNG, counters, stats,
+  /// series, pending chaos-event stamps). The cache datacenter/provisioner
+  /// snapshots and the decision logs are captured by their owners.
+  void capture(ApptierState& state) const;
+  /// Restores the tier-owned part and re-arms pending chaos events under
+  /// their original stamps. Must run on a freshly constructed tier (before
+  /// start(), which it replaces).
+  void restore(const ApptierState& state);
+
+ private:
+  struct Entry {
+    std::uint64_t key = 0;
+    SimTime expiry = 0.0;
+    std::uint32_t slot = 0;
+  };
+
+  std::uint32_t slot_for(std::uint64_t key) const;
+  void erase_entry(std::uint64_t key);
+  void on_cache_complete(const Request& request, double response_time);
+  void on_backend_complete(const Request& request, double response_time);
+  void record_completion(double response_time);
+  void fire_flush(std::size_t index);
+  void fire_crash(std::size_t index);
+
+  Simulation& sim_;
+  ApptierConfig config_;
+  QosTargets qos_;
+  ApplicationProvisioner& cache_pool_;
+  ApplicationProvisioner& backend_pool_;
+  RequestSink& backend_sink_;
+  Rng rng_;
+  Telemetry* telemetry_ = nullptr;
+  ScaledUniformDistribution cache_demand_;
+
+  std::list<Entry> lru_;  ///< front = MRU
+  std::unordered_map<std::uint64_t, std::list<Entry>::iterator> index_;
+
+  std::uint64_t hits_ = 0;
+  std::uint64_t misses_ = 0;
+  std::uint64_t fills_ = 0;
+  std::uint64_t evictions_ = 0;
+  std::uint64_t expirations_ = 0;
+  std::uint64_t invalidations_ = 0;
+  std::uint64_t flushes_ = 0;
+  std::uint64_t window_arrivals_ = 0;
+  std::uint64_t window_hits_ = 0;
+  std::uint64_t window_lookups_ = 0;
+  double hit_ewma_ = -1.0;
+  double last_window_hit_ratio_ = 0.0;
+  double lambda_miss_sum_ = 0.0;
+  std::uint64_t windows_ = 0;
+
+  RunningStats response_stats_;
+  P2Quantile p95_{0.95};
+  P2Quantile p99_{0.99};
+  std::uint64_t qos_violations_ = 0;
+
+  std::vector<ApptierState::WindowSample> series_;
+
+  std::vector<EventId> flush_events_;
+  std::vector<EventId> crash_events_;
+};
+
+}  // namespace cloudprov

@@ -66,6 +66,7 @@ void Broker::fire_arrival() {
   request.service_demand = a.service_demand;
   request.priority = a.priority;
   request.deadline = a.deadline;
+  request.key = a.key;
   ++generated_;
   if (record_rates_) {
     flush_rate_window(a.time);

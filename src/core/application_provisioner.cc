@@ -270,7 +270,12 @@ void ApplicationProvisioner::on_vm_drained(Vm& vm) {
 
 void ApplicationProvisioner::record_instance_count() {
   if (telemetry_ != nullptr) {
-    telemetry_->instance_count(now(), instances_.size(), draining_.size());
+    if (cache_instance_lane_) {
+      telemetry_->cache_instance_count(now(), instances_.size(),
+                                       draining_.size());
+    } else {
+      telemetry_->instance_count(now(), instances_.size(), draining_.size());
+    }
   }
   if (!instance_history_started_) {
     instance_history_started_ = true;

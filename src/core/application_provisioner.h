@@ -65,6 +65,11 @@ class ApplicationProvisioner final : public Entity,
   /// samples. Purely observational — enabling it never changes decisions.
   void set_telemetry(Telemetry* telemetry) { telemetry_ = telemetry; }
 
+  /// Routes this pool's size samples to the apptier cache lane instead of
+  /// the (backend) instance lane — cache pools share the collector with the
+  /// backend pool, and two pools must not fight over one counter lane.
+  void set_cache_instance_lane(bool cache) { cache_instance_lane_ = cache; }
+
   /// Routes instance creation through an external supplier instead of the
   /// data center directly — the seam the IaaS market broker (src/market)
   /// plugs into so every scale-up becomes a purchase. The factory must
@@ -89,6 +94,12 @@ class ApplicationProvisioner final : public Entity,
       std::function<void(const Request&, double response_time)>;
   void set_completion_listener(CompletionListener listener) {
     completion_listener_ = std::move(listener);
+  }
+  /// The currently installed listener (empty when none). Tier/gateway layers
+  /// that interpose on completions capture this and chain to it, so stacking
+  /// order (gateway first, cache tier second) composes instead of clobbering.
+  const CompletionListener& completion_listener() const {
+    return completion_listener_;
   }
 
   // --- capacity control (driven by the modeler) ---------------------------
@@ -267,6 +278,7 @@ class ApplicationProvisioner final : public Entity,
   ProvisionerConfig config_;
   std::unique_ptr<AdmissionPolicy> admission_;
   Telemetry* telemetry_ = nullptr;
+  bool cache_instance_lane_ = false;
   VmFactory vm_factory_;
 
   CompletionListener completion_listener_;

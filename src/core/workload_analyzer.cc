@@ -7,14 +7,14 @@
 
 namespace cloudprov {
 
-WorkloadAnalyzer::WorkloadAnalyzer(Simulation& sim,
-                                   ApplicationProvisioner& provisioner,
+WorkloadAnalyzer::WorkloadAnalyzer(Simulation& sim, ArrivalsTap tap,
                                    std::shared_ptr<ArrivalRatePredictor> predictor,
                                    AnalyzerConfig config)
     : sim_(sim),
-      provisioner_(provisioner),
+      tap_(std::move(tap)),
       predictor_(std::move(predictor)),
       config_(config) {
+  ensure_arg(static_cast<bool>(tap_), "WorkloadAnalyzer: empty arrivals tap");
   ensure_arg(predictor_ != nullptr, "WorkloadAnalyzer: null predictor");
   ensure_arg(config_.analysis_interval > 0.0,
              "WorkloadAnalyzer: analysis interval must be > 0");
@@ -23,10 +23,19 @@ WorkloadAnalyzer::WorkloadAnalyzer(Simulation& sim,
              "WorkloadAnalyzer: change epsilon must be >= 0");
 }
 
+WorkloadAnalyzer::WorkloadAnalyzer(Simulation& sim,
+                                   ApplicationProvisioner& provisioner,
+                                   std::shared_ptr<ArrivalRatePredictor> predictor,
+                                   AnalyzerConfig config)
+    : WorkloadAnalyzer(
+          sim,
+          [&provisioner] { return provisioner.take_window_arrivals(); },
+          std::move(predictor), config) {}
+
 void WorkloadAnalyzer::start(RateAlert alert) {
   ensure_arg(static_cast<bool>(alert), "WorkloadAnalyzer: empty alert callback");
   alert_ = std::move(alert);
-  provisioner_.take_window_arrivals();  // reset the observation window
+  tap_();  // reset the observation window
   raise_alert(sim_.now());              // initial pool sizing
   process_.emplace(sim_, sim_.now() + config_.analysis_interval,
                    config_.analysis_interval, [this](SimTime t) { tick(t); });
@@ -61,8 +70,7 @@ void WorkloadAnalyzer::restore(RateAlert alert, const State& state) {
 
 void WorkloadAnalyzer::tick(SimTime t) {
   const double observed =
-      static_cast<double>(provisioner_.take_window_arrivals()) /
-      config_.analysis_interval;
+      static_cast<double>(tap_()) / config_.analysis_interval;
   predictor_->observe(t - config_.analysis_interval, t, observed);
   raise_alert(t);
 }

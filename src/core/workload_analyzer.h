@@ -33,6 +33,16 @@ class WorkloadAnalyzer {
   /// Fired with (current time, expected arrival rate at time + lead).
   using RateAlert = std::function<void(SimTime, double)>;
 
+  /// Where the analyzer observes arrivals: returns (and resets) the count
+  /// since the previous call. The classic form taps the provisioner's
+  /// admission window; multi-tier worlds tap the cache front door instead,
+  /// so the analyzer sees total lambda before hit-ratio offload.
+  using ArrivalsTap = std::function<std::uint64_t()>;
+
+  WorkloadAnalyzer(Simulation& sim, ArrivalsTap tap,
+                   std::shared_ptr<ArrivalRatePredictor> predictor,
+                   AnalyzerConfig config);
+
   WorkloadAnalyzer(Simulation& sim, ApplicationProvisioner& provisioner,
                    std::shared_ptr<ArrivalRatePredictor> predictor,
                    AnalyzerConfig config);
@@ -66,7 +76,7 @@ class WorkloadAnalyzer {
   void raise_alert(SimTime t);
 
   Simulation& sim_;
-  ApplicationProvisioner& provisioner_;
+  ArrivalsTap tap_;
   std::shared_ptr<ArrivalRatePredictor> predictor_;
   AnalyzerConfig config_;
   RateAlert alert_;

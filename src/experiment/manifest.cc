@@ -138,6 +138,21 @@ void write_metrics(std::ostream& out, const RunMetrics& m, int indent = 4) {
   obj.uint("breaker_fast_fails", m.breaker_fast_fails);
   obj.uint("shed_deadline", m.shed_deadline);
   obj.uint("shed_brownout", m.shed_brownout);
+  obj.uint("cache_hits", m.cache_hits);
+  obj.uint("cache_misses", m.cache_misses);
+  obj.num("cache_hit_ratio", m.cache_hit_ratio);
+  obj.uint("cache_fills", m.cache_fills);
+  obj.uint("cache_evictions", m.cache_evictions);
+  obj.uint("cache_expirations", m.cache_expirations);
+  obj.uint("cache_invalidations", m.cache_invalidations);
+  obj.uint("cache_flushes", m.cache_flushes);
+  obj.num("cache_vm_hours", m.cache_vm_hours);
+  obj.num("cache_utilization", m.cache_utilization);
+  obj.num("cache_avg_instances", m.cache_avg_instances);
+  obj.uint("cache_final_instances", m.cache_final_instances);
+  obj.num("lambda_miss_mean", m.lambda_miss_mean);
+  obj.num("cache_avg_response_time", m.cache_avg_response_time);
+  obj.num("backend_avg_response_time", m.backend_avg_response_time);
   obj.uint("simulated_events", m.simulated_events);
   obj.num("wall_seconds", m.wall_seconds);
 }
@@ -163,6 +178,22 @@ void write_scenario(std::ostream& out, const ScenarioConfig& config) {
   obj.boolean("reconciler_enabled", config.reconciler.enabled);
   obj.boolean("market_enabled", config.market.enabled);
   obj.boolean("resilience_enabled", config.resilience.enabled);
+  obj.boolean("apptier_enabled", config.apptier.enabled);
+  if (config.apptier.enabled) {
+    obj.num("cache_ttl", config.apptier.ttl);
+    obj.uint("cache_vms", config.apptier.cache_vms);
+    obj.uint("cache_capacity_per_vm", config.apptier.cache_capacity_per_vm);
+    obj.num("assumed_hit_ratio", config.apptier.assumed_hit_ratio);
+    obj.uint("cache_flush_events", config.apptier.flush_at.size());
+    obj.uint("cache_crash_events", config.apptier.cache_crash_at.size());
+  }
+  if (config.workload == WorkloadKind::kZipf) {
+    obj.num("zipf_alpha", config.zipf.alpha);
+    obj.uint("zipf_num_keys", config.zipf.num_keys);
+    obj.num("zipf_base_rate", config.zipf.base_rate);
+    obj.uint("zipf_flash_crowds", config.zipf.flash.size());
+    obj.uint("zipf_hot_shifts", config.zipf.hot_shift_at.size());
+  }
 }
 
 void write_wall(std::ostream& out, const RunMetrics& metrics,
@@ -272,6 +303,7 @@ void write_run_manifest(std::ostream& out, const ScenarioConfig& config,
     obj.uint("market", streams.market);
     obj.uint("lookahead", streams.lookahead);
     obj.uint("resilience", streams.resilience);
+    obj.uint("apptier", streams.apptier);
   }
   seeds << "\n  }";
   root.field("seed_streams", seeds.str());

@@ -109,6 +109,28 @@ struct RunMetrics {
   std::uint64_t capacity_clips = 0;   ///< scale_to calls clamped by the grant
   std::uint64_t capacity_denied = 0;  ///< instances desired but not granted
 
+  // --- multi-tier application (src/apptier; all zero when the cache tier
+  // is disabled, so existing outputs are unchanged) ------------------------
+  std::uint64_t cache_hits = 0;
+  std::uint64_t cache_misses = 0;
+  double cache_hit_ratio = 0.0;  ///< lifetime hits / lookups
+  std::uint64_t cache_fills = 0;
+  std::uint64_t cache_evictions = 0;
+  std::uint64_t cache_expirations = 0;    ///< TTL lapses seen at lookup
+  std::uint64_t cache_invalidations = 0;  ///< slot remaps (crash/resize)
+  std::uint64_t cache_flushes = 0;        ///< TTL-storm events fired
+  double cache_vm_hours = 0.0;
+  double cache_utilization = 0.0;
+  double cache_avg_instances = 0.0;
+  std::uint64_t cache_final_instances = 0;
+  /// Mean backend offered load lambda * (1 - h) across analysis windows.
+  double lambda_miss_mean = 0.0;
+  /// Per-tier measured latency (the tiered latency-vs-throughput curve):
+  /// mean response time of requests served by each pool alone. In tiered
+  /// runs avg_response_time above is the END-TO-END mix of both.
+  double cache_avg_response_time = 0.0;
+  double backend_avg_response_time = 0.0;
+
   // Simulator diagnostics (not paper metrics).
   std::uint64_t simulated_events = 0;
   double wall_seconds = 0.0;

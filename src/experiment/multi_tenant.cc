@@ -30,6 +30,9 @@ std::vector<TenantSpec> multi_tenant_specs(const MultiTenantConfig& config) {
              "multi_tenant: tenant_scale must be positive");
   ensure_arg(config.bot_fraction >= 0.0 && config.bot_fraction <= 1.0,
              "multi_tenant: bot_fraction must be in [0, 1]");
+  ensure_arg(config.zipf_fraction >= 0.0 &&
+                 config.bot_fraction + config.zipf_fraction <= 1.0,
+             "multi_tenant: bot_fraction + zipf_fraction must be in [0, 1]");
   ensure_arg(config.scale_spread >= 0.0 && config.scale_spread < 1.0,
              "multi_tenant: scale_spread must be in [0, 1)");
   ensure_arg(config.qos_spread >= 0.0,
@@ -52,11 +55,20 @@ std::vector<TenantSpec> multi_tenant_specs(const MultiTenantConfig& config) {
     spec.seed = seeder.next();
     Rng jitter(seeder.next());
 
-    const bool bot = jitter.uniform() < config.bot_fraction;
+    // One draw picks the workload kind — bot band first, then zipf — so a
+    // zero zipf_fraction reproduces the historical web/BoT population
+    // bit-for-bit.
+    const double kind_draw = jitter.uniform();
+    const bool bot = kind_draw < config.bot_fraction;
+    const bool zipf =
+        !bot && kind_draw < config.bot_fraction + config.zipf_fraction;
     const double scale =
         config.tenant_scale * jitter.uniform(1.0 - config.scale_spread,
                                              1.0 + config.scale_spread);
-    spec.scenario = bot ? scientific_scenario(scale) : web_scenario(scale);
+    spec.scenario = bot    ? scientific_scenario(scale)
+                    : zipf ? zipf_scenario(scale)
+                           : web_scenario(scale);
+    if (zipf && config.zipf_tiers) spec.scenario.apptier.enabled = true;
     spec.scenario.horizon = config.horizon;
     spec.scenario.qos.max_response_time *=
         jitter.uniform(1.0, 1.0 + config.qos_spread);
@@ -134,6 +146,10 @@ MultiTenantResult run_multi_tenant(const MultiTenantConfig& config,
   struct Shard {
     std::unique_ptr<Simulation> sim;
     std::unique_ptr<WallProfiler> profiler;
+    /// Shard-local telemetry batch: this worker's residents' counter
+    /// deltas for the current window. Written only by the owning worker
+    /// between barriers, drained (and reset) inside the serial commit.
+    FleetWindowSample batch;
   };
   std::vector<Shard> shards(shard_count);
   for (Shard& shard : shards) {
@@ -185,17 +201,52 @@ MultiTenantResult run_multi_tenant(const MultiTenantConfig& config,
     arbitrate_now();
   }
 
+  // Per-shard telemetry batching (the PR-9 scale-out headroom): each worker
+  // reads its own residents' monotone counters right after the window
+  // advance and accumulates the deltas into its shard-private batch. Only
+  // the serial commit touches the shared window series, so thousands of
+  // tenants add zero lock contention on any registry. `last_counters[i]` is
+  // only ever touched by tenant i's home-shard worker.
+  std::vector<World::Counters> last_counters(tenant_count);
+  std::vector<FleetWindowSample> window_series;
   const auto advance = [&](std::size_t shard, SimTime t) {
     ProfileScope scope(shards[shard].profiler.get(),
                        ProfileCategory::kShardRun);
     shards[shard].sim->run(t);
+    FleetWindowSample& batch = shards[shard].batch;
+    for (std::size_t i = shard; i < tenant_count; i += shard_count) {
+      const World::Counters now = worlds[i]->counters();
+      World::Counters& last = last_counters[i];
+      batch.generated += now.generated - last.generated;
+      batch.accepted += now.accepted - last.accepted;
+      batch.rejected += now.rejected - last.rejected;
+      batch.completed += now.completed - last.completed;
+      batch.qos_violations += now.qos_violations - last.qos_violations;
+      batch.cache_hits += now.cache_hits - last.cache_hits;
+      batch.cache_misses += now.cache_misses - last.cache_misses;
+      last = now;
+    }
   };
-  const auto commit = [&](SimTime) {
+  const auto commit = [&](SimTime t) {
     // Serial barrier section: every worker is parked (their barrier-enter
     // scopes happened-before this through the barrier mutex), so reading
-    // desires, writing grants, and draining worker profilers is race-free.
+    // desires, writing grants, and draining worker batches/profilers is
+    // race-free.
     ProfileScope scope(options.profiler, ProfileCategory::kArbiter);
     arbitrate_now();
+    FleetWindowSample row;
+    row.t = t;
+    for (Shard& shard : shards) {
+      row.generated += shard.batch.generated;
+      row.accepted += shard.batch.accepted;
+      row.rejected += shard.batch.rejected;
+      row.completed += shard.batch.completed;
+      row.qos_violations += shard.batch.qos_violations;
+      row.cache_hits += shard.batch.cache_hits;
+      row.cache_misses += shard.batch.cache_misses;
+      shard.batch = FleetWindowSample{};
+    }
+    window_series.push_back(row);
     if (options.profiler != nullptr) {
       for (Shard& shard : shards) {
         shard.profiler->drain_into(*options.profiler);
@@ -215,6 +266,25 @@ MultiTenantResult run_multi_tenant(const MultiTenantConfig& config,
   MultiTenantResult result;
   result.windows = run_sharded_windows(shard_count, config.window,
                                        config.horizon, advance, commit, hooks);
+  // The executor never commits at the horizon itself, so the final
+  // window's shard batches are still pending; workers have joined, making
+  // this tail drain race-free. The series therefore has windows + 1 rows.
+  if (config.horizon > 0.0) {
+    FleetWindowSample tail;
+    tail.t = config.horizon;
+    for (Shard& shard : shards) {
+      tail.generated += shard.batch.generated;
+      tail.accepted += shard.batch.accepted;
+      tail.rejected += shard.batch.rejected;
+      tail.completed += shard.batch.completed;
+      tail.qos_violations += shard.batch.qos_violations;
+      tail.cache_hits += shard.batch.cache_hits;
+      tail.cache_misses += shard.batch.cache_misses;
+      shard.batch = FleetWindowSample{};
+    }
+    window_series.push_back(tail);
+  }
+  result.window_series = std::move(window_series);
   result.shards = shard_count;
   result.capacity = arbiter.capacity();
   result.grant_clips = arbiter.clips();
@@ -284,6 +354,15 @@ MultiTenantResult run_multi_tenant(const MultiTenantConfig& config,
     agg.revocation_kills += m.revocation_kills;
     agg.lost_to_revocations += m.lost_to_revocations;
     agg.spans_traced += m.spans_traced;
+    agg.cache_hits += m.cache_hits;
+    agg.cache_misses += m.cache_misses;
+    agg.cache_fills += m.cache_fills;
+    agg.cache_vm_hours += m.cache_vm_hours;
+  }
+  if (agg.cache_hits + agg.cache_misses > 0) {
+    agg.cache_hit_ratio =
+        static_cast<double>(agg.cache_hits) /
+        static_cast<double>(agg.cache_hits + agg.cache_misses);
   }
   if (response_weight > 0.0) {
     agg.avg_response_time = response_sum / response_weight;

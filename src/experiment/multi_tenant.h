@@ -57,6 +57,14 @@ struct MultiTenantConfig {
   /// Fraction of tenants running the BoT/scientific scenario instead of
   /// the web scenario (deterministic per-tenant draw).
   double bot_fraction = 0.25;
+  /// Fraction of tenants running the Zipf key-value scenario; drawn from
+  /// the SAME per-tenant uniform as bot_fraction (bot first, then zipf),
+  /// so a zero fraction is bit-identical to the pre-apptier population.
+  /// bot_fraction + zipf_fraction must be <= 1.
+  double zipf_fraction = 0.0;
+  /// Run every Zipf tenant with the cache tier in front of its backend
+  /// (src/apptier); the backend pool stays the arbitrated one.
+  bool zipf_tiers = false;
   /// Mean per-tenant arrival-rate scale (web_scenario/scientific_scenario
   /// scale factor); tenant i draws uniformly from
   /// tenant_scale * [1 - scale_spread, 1 + scale_spread].
@@ -136,11 +144,31 @@ struct TenantResult {
   std::unique_ptr<Telemetry> telemetry;
 };
 
+/// One fleet-level telemetry row per barrier window: the sum of every
+/// tenant's counter deltas over that window. Accumulated shard-locally by
+/// each worker after its window advance and drained into the series inside
+/// the serial barrier commit — tenants never serialize on a shared registry
+/// mid-window, so the pattern holds at thousands of tenants.
+struct FleetWindowSample {
+  SimTime t = 0.0;  ///< window-end barrier time
+  std::uint64_t generated = 0;
+  std::uint64_t accepted = 0;
+  std::uint64_t rejected = 0;
+  std::uint64_t completed = 0;
+  std::uint64_t qos_violations = 0;
+  std::uint64_t cache_hits = 0;    ///< tiered (Zipf) tenants only
+  std::uint64_t cache_misses = 0;  ///< tiered (Zipf) tenants only
+};
+
 struct MultiTenantResult {
   std::vector<TenantResult> tenants;  ///< ascending tenant id
   std::size_t shards = 1;
   std::uint64_t windows = 0;  ///< barrier commits executed
   std::size_t capacity = 0;   ///< resolved shared capacity
+
+  /// Per-window fleet rollup (one row per barrier commit); identical for
+  /// every shard count like everything else in the result.
+  std::vector<FleetWindowSample> window_series;
 
   // Arbiter contention (from CapacityArbiter, cumulative over all rounds).
   std::uint64_t grant_clips = 0;

@@ -222,6 +222,44 @@ void write_resilience_csv(std::ostream& out,
   }
 }
 
+void print_apptier_table(std::ostream& out,
+                         const std::vector<RunMetrics>& runs) {
+  TextTable table({"policy", "hits", "misses", "hit_ratio", "fills", "evict",
+                   "expire", "invalid", "flush", "lambda_miss", "cache_vmh",
+                   "cache_util"});
+  for (const RunMetrics& r : runs) {
+    table.add_row({r.policy, fmt_u64(r.cache_hits), fmt_u64(r.cache_misses),
+                   fmt(r.cache_hit_ratio, 3), fmt_u64(r.cache_fills),
+                   fmt_u64(r.cache_evictions), fmt_u64(r.cache_expirations),
+                   fmt_u64(r.cache_invalidations), fmt_u64(r.cache_flushes),
+                   fmt(r.lambda_miss_mean, 2), fmt(r.cache_vm_hours, 1),
+                   fmt(r.cache_utilization, 3)});
+  }
+  table.print(out);
+}
+
+void write_apptier_csv(std::ostream& out, const std::vector<RunMetrics>& runs) {
+  CsvWriter csv(out);
+  csv.write_header({"policy", "seed", "cache_hits", "cache_misses",
+                    "cache_hit_ratio", "cache_fills", "cache_evictions",
+                    "cache_expirations", "cache_invalidations", "cache_flushes",
+                    "lambda_miss_mean", "cache_vm_hours", "cache_utilization",
+                    "cache_avg_instances", "cache_final_instances"});
+  for (const RunMetrics& r : runs) {
+    csv.write_row({r.policy, fmt_u64(r.seed), fmt_u64(r.cache_hits),
+                   fmt_u64(r.cache_misses),
+                   CsvWriter::format(r.cache_hit_ratio),
+                   fmt_u64(r.cache_fills), fmt_u64(r.cache_evictions),
+                   fmt_u64(r.cache_expirations),
+                   fmt_u64(r.cache_invalidations), fmt_u64(r.cache_flushes),
+                   CsvWriter::format(r.lambda_miss_mean),
+                   CsvWriter::format(r.cache_vm_hours),
+                   CsvWriter::format(r.cache_utilization),
+                   CsvWriter::format(r.cache_avg_instances),
+                   fmt_u64(r.cache_final_instances)});
+  }
+}
+
 void print_observability_summary(std::ostream& out, const RunMetrics& run) {
   const bool any = run.slo_response_alerts > 0 || run.slo_rejection_alerts > 0 ||
                    run.slo_worst_burn_rate > 0.0 || run.drift_windows > 0 ||

@@ -69,6 +69,17 @@ void print_resilience_table(std::ostream& out,
 void write_resilience_csv(std::ostream& out,
                           const std::vector<RunMetrics>& runs);
 
+/// Prints the multi-tier cache comparison: one row per run with cache
+/// hit/miss counts, the lifetime hit ratio, directory churn by cause
+/// (evictions, TTL expirations, slot invalidations, storm flushes), the mean
+/// backend offered load lambda_miss, and the cache pool's VM-hours and
+/// utilization.
+void print_apptier_table(std::ostream& out,
+                         const std::vector<RunMetrics>& runs);
+
+/// Writes the same multi-tier comparison as CSV.
+void write_apptier_csv(std::ostream& out, const std::vector<RunMetrics>& runs);
+
 /// Prints the observability summary of one run: SLO burn-rate alert counts
 /// and the worst observed burn rate, model-drift window count with
 /// response-time MAPE/bias, and the number of sampled request spans. Prints

@@ -8,7 +8,12 @@
 namespace cloudprov {
 
 std::string to_string(WorkloadKind kind) {
-  return kind == WorkloadKind::kWeb ? "web" : "scientific";
+  switch (kind) {
+    case WorkloadKind::kWeb: return "web";
+    case WorkloadKind::kScientific: return "scientific";
+    case WorkloadKind::kZipf: return "zipf";
+  }
+  return "?";
 }
 
 std::string to_string(PredictorKind kind) {
@@ -133,6 +138,35 @@ ScenarioConfig scientific_scenario(double scale) {
   // Long-running requests: a 5-minute analysis cadence is still ~1/60th of
   // a service time; lead time of one cadence.
   config.analyzer.analysis_interval = 60.0;
+  config.analyzer.lead_time = 60.0;
+  return config;
+}
+
+ScenarioConfig zipf_scenario(double scale) {
+  ensure_arg(scale > 0.0, "zipf_scenario: scale must be > 0");
+  ScenarioConfig config;
+  config.workload = WorkloadKind::kZipf;
+  config.scale = scale;
+
+  config.zipf.scale = scale;
+  config.horizon = config.zipf.horizon;  // one day
+
+  // Interactive key-value traffic: the web scenario's QoS envelope.
+  config.qos.max_response_time = 0.250;
+  config.qos.max_rejection_rate = 0.0;
+  config.qos.min_utilization = 0.80;
+
+  // Mean of 100 ms * U(1, 1.1) — a backend (miss-path) service time.
+  config.initial_service_time_estimate =
+      config.zipf.service_base * (1.0 + 0.5 * config.zipf.service_spread);
+
+  config.datacenter.host_count = 1000;
+
+  config.modeler.max_vms = 8000;
+  config.modeler.min_vms = 1;
+  config.modeler.rejection_tolerance = 0.28;
+
+  config.analyzer.analysis_interval = 60.0;  // the workload's rate interval
   config.analyzer.lead_time = 60.0;
   return config;
 }

@@ -14,6 +14,7 @@
 #include <string>
 #include <vector>
 
+#include "apptier/apptier_config.h"
 #include "cloud/datacenter.h"
 #include "core/adaptive_policy.h"
 #include "core/performance_modeler.h"
@@ -26,10 +27,11 @@
 #include "resilience/resilience_config.h"
 #include "workload/bot_workload.h"
 #include "workload/web_workload.h"
+#include "workload/zipf_workload.h"
 
 namespace cloudprov {
 
-enum class WorkloadKind { kWeb, kScientific };
+enum class WorkloadKind { kWeb, kScientific, kZipf };
 enum class PredictorKind { kProfile, kOracle, kEwma, kMovingAverage, kAr, kQrsm };
 
 std::string to_string(WorkloadKind kind);
@@ -71,6 +73,13 @@ struct ScenarioConfig {
 
   WebWorkloadConfig web;
   BotWorkloadConfig bot;
+  /// Keyed Zipf workload (WorkloadKind::kZipf; src/workload/zipf_workload.h).
+  ZipfWorkloadConfig zipf;
+
+  /// Multi-tier application layer (src/apptier): cache tier in front of the
+  /// backend pool. ApptierConfig::enabled defaults to false, keeping every
+  /// existing scenario single-tier and bit-identical to previous outputs.
+  ApptierConfig apptier;
 
   /// Fault injection (src/fault): disabled by default, so the paper
   /// scenarios stay fault-free and byte-identical to previous outputs.
@@ -106,6 +115,11 @@ ScenarioConfig web_scenario(double scale = 1.0);
 /// Scientific scenario (Section V-B2): 1-day BoT workload, Ts = 700 s,
 /// Tr = 300 s (+0-10%). Paper baselines: Static-{15,30,45,60,75}.
 ScenarioConfig scientific_scenario(double scale = 1.0);
+
+/// Keyed key-value scenario: 1-day Zipf(0.9) workload over 20k keys with the
+/// web scenario's QoS (250 ms, zero rejection). Tiers stay OFF by default —
+/// set `apptier.enabled = true` for a cache tier in front of the backend.
+ScenarioConfig zipf_scenario(double scale = 1.0);
 
 /// The static baseline sizes evaluated in Figure 5 / Figure 6 (paper scale).
 std::vector<std::size_t> paper_static_sizes(WorkloadKind kind);

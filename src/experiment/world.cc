@@ -17,6 +17,7 @@
 #include "util/log.h"
 #include "workload/bot_workload.h"
 #include "workload/web_workload.h"
+#include "workload/zipf_workload.h"
 
 namespace cloudprov {
 namespace {
@@ -29,6 +30,12 @@ std::shared_ptr<ArrivalRatePredictor> make_predictor(
       if (config.workload == WorkloadKind::kWeb) {
         return std::make_shared<PeriodicProfilePredictor>(
             web_profile_predictor(config.web));
+      }
+      if (config.workload == WorkloadKind::kZipf) {
+        // The Zipf workload has no periodic profile — its published curve is
+        // the flat base rate with flash-crowd windows, which expected_rate
+        // reports exactly; the oracle over the source is that "profile".
+        return std::make_shared<OraclePredictor>(source, /*margin=*/0.05);
       }
       return std::make_shared<PeriodicProfilePredictor>(
           bot_profile_predictor(config.bot));
@@ -50,13 +57,21 @@ std::shared_ptr<ArrivalRatePredictor> make_predictor(
 }
 
 double scenario_service_base(const ScenarioConfig& config) {
-  return config.workload == WorkloadKind::kWeb ? config.web.service_base
-                                               : config.bot.service_base;
+  switch (config.workload) {
+    case WorkloadKind::kWeb: return config.web.service_base;
+    case WorkloadKind::kScientific: return config.bot.service_base;
+    case WorkloadKind::kZipf: return config.zipf.service_base;
+  }
+  return config.web.service_base;
 }
 
 double scenario_service_spread(const ScenarioConfig& config) {
-  return config.workload == WorkloadKind::kWeb ? config.web.service_spread
-                                               : config.bot.service_spread;
+  switch (config.workload) {
+    case WorkloadKind::kWeb: return config.web.service_spread;
+    case WorkloadKind::kScientific: return config.bot.service_spread;
+    case WorkloadKind::kZipf: return config.zipf.service_spread;
+  }
+  return config.web.service_spread;
 }
 
 }  // namespace
@@ -65,6 +80,9 @@ std::unique_ptr<RequestSource> make_scenario_source(
     const ScenarioConfig& config) {
   if (config.workload == WorkloadKind::kWeb) {
     return std::make_unique<WebWorkload>(config.web);
+  }
+  if (config.workload == WorkloadKind::kZipf) {
+    return std::make_unique<ZipfWorkload>(config.zipf);
   }
   return std::make_unique<BotWorkload>(config.bot);
 }
@@ -122,6 +140,35 @@ void World::build_platform() {
     gateway_.emplace(*sim_, *provisioner_, config_.resilience,
                      Rng(streams_.resilience), telemetry_.get());
   }
+
+  if (config_.apptier.enabled) {
+    ensure_arg(policy_.kind != PolicySpec::Kind::kLookahead,
+               "World: the lookahead policy does not support apptier yet");
+    // The cache pool lives in its own small datacenter so its cheap VMs
+    // never compete with backend hosts. It is untelemetered at the VM level
+    // (its VM ids would collide with the backend datacenter's); the pool's
+    // size is observed through the apptier cache lane instead.
+    DatacenterConfig cache_dc = config_.datacenter;
+    cache_dc.host_count = config_.apptier.cache_hosts;
+    cache_datacenter_.emplace(*sim_, cache_dc,
+                              std::make_unique<LeastLoadedPlacement>());
+
+    ProvisionerConfig cache_prov;
+    cache_prov.vm_spec = config_.apptier.cache_vm_spec;
+    cache_prov.initial_service_time_estimate =
+        config_.apptier.initial_cache_service_estimate;
+    cache_provisioner_.emplace(*sim_, *cache_datacenter_,
+                               config_.apptier.cache_qos, cache_prov,
+                               std::make_unique<KBoundAdmission>());
+    cache_provisioner_->set_telemetry(telemetry_.get());
+    cache_provisioner_->set_cache_instance_lane(true);
+
+    // Built after the gateway so the tier's completion-listener chaining
+    // wraps whatever the gateway installed. Misses go to request_sink().
+    cache_tier_.emplace(*sim_, config_.apptier, config_.qos,
+                        *cache_provisioner_, *provisioner_, request_sink(),
+                        Rng(streams_.apptier), telemetry_.get());
+  }
 }
 
 RequestSink& World::request_sink() {
@@ -129,9 +176,28 @@ RequestSink& World::request_sink() {
   return *provisioner_;
 }
 
+RequestSink& World::front_door() {
+  if (cache_tier_.has_value()) return *cache_tier_;
+  return request_sink();
+}
+
 void World::build_policy(const AdaptivePolicy::State* restored,
                          const std::optional<Rng::State>& lookahead_rng,
                          bool force_adaptive) {
+  if (cache_tier_.has_value() && policy_.kind != PolicySpec::Kind::kStatic) {
+    // Tiered worlds replace AdaptivePolicy with the per-tier Algorithm 1;
+    // its checkpoint is shape-compatible with AdaptivePolicy::State, so the
+    // restore path reuses `restored` verbatim.
+    tiered_ = std::make_unique<TieredProvisioner>(
+        *sim_, make_predictor(config_, policy_.predictor, *source_),
+        config_.modeler, config_.analyzer, config_.apptier);
+    tiered_->set_telemetry(telemetry_.get());
+    if (restored != nullptr) {
+      tiered_->restore_attach(*provisioner_, *cache_provisioner_, *cache_tier_,
+                              *restored);
+    }
+    return;
+  }
   if (policy_.kind == PolicySpec::Kind::kStatic) {
     if (restored == nullptr) {
       prov_policy_ = std::make_unique<StaticPolicy>(
@@ -185,7 +251,7 @@ World::World(const ScenarioConfig& config, const PolicySpec& policy,
   }
   build_platform();
   source_ = make_scenario_source(config_);
-  broker_.emplace(*sim_, *source_, request_sink(), Rng(streams_.workload));
+  broker_.emplace(*sim_, *source_, front_door(), Rng(streams_.workload));
   build_policy(nullptr, std::nullopt, /*force_adaptive=*/false);
 }
 
@@ -220,6 +286,11 @@ World::World(const ScenarioConfig& config, const PolicySpec& policy,
     gateway_->restore(state.resilience->gateway);
     if (shedding_ != nullptr) shedding_->restore(state.resilience->shedding);
   }
+  if (cache_tier_.has_value() && state.apptier.has_value()) {
+    cache_datacenter_->restore(state.apptier->cache_datacenter);
+    cache_provisioner_->restore(state.apptier->cache_provisioner);
+    cache_tier_->restore(*state.apptier);
+  }
 
   Broker::Snapshot broker_snap = state.broker;
   if (overrides.forecast_rate.has_value()) {
@@ -234,11 +305,14 @@ World::World(const ScenarioConfig& config, const PolicySpec& policy,
     source_ = make_scenario_source(config_);
     source_->load_state(state.source);
   }
-  broker_.emplace(*sim_, *source_, request_sink(), Rng(streams_.workload));
+  broker_.emplace(*sim_, *source_, front_door(), Rng(streams_.workload));
   broker_->restore(broker_snap);
 
   build_policy(state.policy_present ? &state.policy : nullptr,
                state.lookahead_rng, overrides.force_adaptive);
+  if (tiered_ != nullptr && state.apptier.has_value()) {
+    tiered_->restore_cache_decisions(state.apptier->cache_decisions);
+  }
 
   sim_->restore_clock(state.now, state.executed_events, state.push_counter);
   started_ = true;
@@ -259,6 +333,14 @@ void World::start() {
   ensure(!started_, "World::start: already started (or restored)");
   started_ = true;
   if (prov_policy_ != nullptr) prov_policy_->attach(*provisioner_);
+  if (tiered_ != nullptr) {
+    tiered_->attach(*provisioner_, *cache_provisioner_, *cache_tier_);
+  } else if (cache_provisioner_.has_value()) {
+    // Static tiered world: a fixed cache pool alongside the static backend.
+    cache_provisioner_->scale_to(
+        std::max<std::size_t>(config_.apptier.cache_vms, 1));
+  }
+  if (cache_tier_.has_value()) cache_tier_->start();
   broker_->start();
   if (faults_.has_value()) faults_->start();
   if (reconciler_.has_value()) reconciler_->start();
@@ -280,6 +362,24 @@ void World::apply_capacity_grant(std::size_t grant) {
   provisioner_->set_capacity_cap(grant);
 }
 
+World::Counters World::counters() const {
+  Counters c;
+  c.generated = broker_->generated();
+  c.accepted = provisioner_->accepted();
+  c.rejected = provisioner_->rejected();
+  c.completed = provisioner_->completed();
+  c.qos_violations = provisioner_->qos_violations();
+  if (cache_tier_.has_value()) {
+    c.accepted += cache_provisioner_->accepted();
+    c.rejected += cache_provisioner_->rejected();
+    c.completed += cache_provisioner_->completed();
+    c.qos_violations = cache_tier_->qos_violations();
+    c.cache_hits = cache_tier_->hits();
+    c.cache_misses = cache_tier_->misses();
+  }
+  return c;
+}
+
 WorldState World::snapshot(const SnapshotOptions& options) const {
   ProfileScope profile_snapshot(profiler_, ProfileCategory::kSnapshot);
   WorldState state;
@@ -297,6 +397,9 @@ WorldState World::snapshot(const SnapshotOptions& options) const {
     state.policy_present = true;
     state.policy = lookahead_->checkpoint();
     state.lookahead_rng = lookahead_->rng_state();
+  } else if (tiered_ != nullptr) {
+    state.policy_present = true;
+    state.policy = tiered_->checkpoint();
   }
   if (!options.include_decisions) state.policy.decisions.clear();
   if (market_.has_value()) state.market = market_->checkpoint();
@@ -307,6 +410,16 @@ WorldState World::snapshot(const SnapshotOptions& options) const {
     resilience.gateway = gateway_->checkpoint();
     if (shedding_ != nullptr) resilience.shedding = shedding_->checkpoint();
     state.resilience = std::move(resilience);
+  }
+  if (cache_tier_.has_value()) {
+    ApptierState apptier;
+    apptier.cache_datacenter = cache_datacenter_->snapshot();
+    apptier.cache_provisioner = cache_provisioner_->checkpoint();
+    cache_tier_->capture(apptier);
+    if (tiered_ != nullptr && options.include_decisions) {
+      apptier.cache_decisions = tiered_->cache_decisions();
+    }
+    state.apptier = std::move(apptier);
   }
   if (options.include_telemetry && telemetry_ != nullptr) {
     state.telemetry = telemetry_->clone();
@@ -380,6 +493,43 @@ RunOutput World::finish() {
   m.final_instances = provisioner_->active_instances();
   m.capacity_clips = provisioner_->capacity_clips();
   m.capacity_denied = provisioner_->capacity_denied();
+
+  if (cache_tier_.has_value()) {
+    // Headline request accounting spans BOTH pools: the tier owns the
+    // end-to-end response statistics (neither pool sees every completion),
+    // and admission totals are the sums of the two pools.
+    m.accepted = provisioner_->accepted() + cache_provisioner_->accepted();
+    m.rejected = provisioner_->rejected() + cache_provisioner_->rejected();
+    m.completed = provisioner_->completed() + cache_provisioner_->completed();
+    m.qos_violations = cache_tier_->qos_violations();
+    m.avg_response_time = cache_tier_->response_time_stats().mean();
+    m.std_response_time = cache_tier_->response_time_stats().stddev();
+    m.p95_response_time = cache_tier_->response_p95();
+    m.p99_response_time = cache_tier_->response_p99();
+    const std::uint64_t arrivals = m.accepted + m.rejected;
+    m.rejection_rate =
+        arrivals > 0
+            ? static_cast<double>(m.rejected) / static_cast<double>(arrivals)
+            : 0.0;
+
+    m.cache_hits = cache_tier_->hits();
+    m.cache_misses = cache_tier_->misses();
+    m.cache_hit_ratio = cache_tier_->hit_ratio();
+    m.cache_fills = cache_tier_->fills();
+    m.cache_evictions = cache_tier_->evictions();
+    m.cache_expirations = cache_tier_->expirations();
+    m.cache_invalidations = cache_tier_->invalidations();
+    m.cache_flushes = cache_tier_->flushes();
+    m.cache_vm_hours = cache_datacenter_->vm_hours();
+    m.cache_utilization = cache_datacenter_->utilization();
+    TimeWeightedValue cache_history = cache_provisioner_->instance_history();
+    cache_history.advance(sim_->now());
+    m.cache_avg_instances = cache_history.time_average();
+    m.cache_final_instances = cache_provisioner_->active_instances();
+    m.lambda_miss_mean = cache_tier_->lambda_miss_mean();
+    m.cache_avg_response_time = cache_provisioner_->response_time_stats().mean();
+    m.backend_avg_response_time = provisioner_->response_time_stats().mean();
+  }
 
   if (gateway_.has_value()) {
     m.client_requests = gateway_->client_requests();
@@ -455,6 +605,8 @@ RunOutput World::finish() {
   }
   if (adaptive_ != nullptr) output.decisions = adaptive_->decisions();
   if (lookahead_ != nullptr) output.decisions = lookahead_->decisions();
+  if (tiered_ != nullptr) output.decisions = tiered_->decisions();
+  if (cache_tier_.has_value()) output.apptier_series = cache_tier_->series();
   output.telemetry = std::move(telemetry_);
   return output;
 }

@@ -23,6 +23,7 @@
 #include <memory>
 #include <optional>
 
+#include "apptier/tiered_provisioner.h"
 #include "cloud/broker.h"
 #include "experiment/metrics.h"
 #include "experiment/scenario.h"
@@ -47,6 +48,10 @@ struct RunOutput {
   /// buffer); null unless telemetry was requested. Telemetry is purely
   /// observational: metrics are identical with it on or off.
   std::unique_ptr<Telemetry> telemetry;
+  /// Cache tier per-window series (hit ratio, lambda_miss, predicted E2E);
+  /// empty unless the scenario enabled the apptier and the policy planned
+  /// windows. The warmup-transient time series of AB14.
+  std::vector<ApptierState::WindowSample> apptier_series;
 };
 
 /// The scenario's workload generator (web or BoT). Exposed for rate-curve
@@ -121,6 +126,20 @@ class World final : public WhatIfEngine {
   /// Installs the arbiter's grant as the provisioner's capacity cap (the
   /// pool immediately re-sizes toward min(desire, grant)).
   void apply_capacity_grant(std::size_t grant);
+  /// Cheap monotone progress counters, readable mid-run without finalizing
+  /// anything: the shard-local telemetry batches of the multi-tenant
+  /// executor read these after every window advance. Tiered worlds fold
+  /// both pools in (and report the tier's end-to-end QoS accounting).
+  struct Counters {
+    std::uint64_t generated = 0;
+    std::uint64_t accepted = 0;
+    std::uint64_t rejected = 0;
+    std::uint64_t completed = 0;
+    std::uint64_t qos_violations = 0;
+    std::uint64_t cache_hits = 0;
+    std::uint64_t cache_misses = 0;
+  };
+  Counters counters() const;
   /// Live resilience gateway (nullptr when the layer is disabled): lets the
   /// retry-storm ablation sample client goodput at the trigger boundary.
   const RetryGateway* gateway() const {
@@ -149,9 +168,12 @@ class World final : public WhatIfEngine {
   /// Shared wiring for both constructors: everything up to (but excluding)
   /// source/broker/policy construction and any restore call.
   void build_platform();
-  /// The Broker's sink: the resilience gateway when enabled, else the
-  /// provisioner directly.
+  /// The backend's sink: the resilience gateway when enabled, else the
+  /// provisioner directly. In tiered worlds this is where cache MISSES go.
   RequestSink& request_sink();
+  /// The Broker's sink: the cache tier when apptier is enabled, else
+  /// request_sink() directly.
+  RequestSink& front_door();
   void build_policy(const AdaptivePolicy::State* restored,
                     const std::optional<Rng::State>& lookahead_rng,
                     bool force_adaptive);
@@ -180,11 +202,20 @@ class World final : public WhatIfEngine {
   /// The provisioner's shedding admission policy (owned by the provisioner);
   /// null unless shedding is configured.
   SheddingAdmission* shedding_ = nullptr;
+  /// Multi-tier application layer (src/apptier); present iff
+  /// config_.apptier.enabled. The cache pool lives in its own small
+  /// datacenter (separate VM id space, untelemetered at the VM level) and
+  /// the tier is the broker's sink, forwarding misses to request_sink().
+  std::optional<Datacenter> cache_datacenter_;
+  std::optional<ApplicationProvisioner> cache_provisioner_;
+  std::optional<CacheTier> cache_tier_;
   std::unique_ptr<RequestSource> source_;
   std::optional<Broker> broker_;
   std::unique_ptr<ProvisioningPolicy> prov_policy_;
   AdaptivePolicy* adaptive_ = nullptr;
   LookaheadPolicy* lookahead_ = nullptr;
+  /// Per-tier Algorithm 1 (replaces AdaptivePolicy in tiered worlds).
+  std::unique_ptr<TieredProvisioner> tiered_;
   bool started_ = false;
 
   /// what_if() base-snapshot cache: all candidates of one search window

@@ -14,9 +14,16 @@ namespace {
 constexpr std::uint32_t kMagic = 0x43505753u;  // "CPWS"
 // Version 2 appended the optional resilience state (RetryGateway +
 // SheddingAdmission); version-1 files (pre-resilience) still load, with the
-// layer absent.
-constexpr std::uint32_t kVersion = 2;
+// layer absent. Version 3 added the request `key` field (Arrival/Request are
+// now encoded field-wise) and appended the optional apptier state; v1/v2
+// files still load with key = 0 and no cache tier.
+constexpr std::uint32_t kVersion = 3;
 constexpr std::uint32_t kMinVersion = 1;
+
+// Version of the file currently being decoded; get() overloads for types
+// whose encoding changed across versions branch on it. Writes always use
+// kVersion. thread_local so parallel replications can restore concurrently.
+thread_local std::uint32_t g_read_version = kVersion;
 
 // --- primitive layer ------------------------------------------------------
 
@@ -38,6 +45,10 @@ void get(std::istream& in, T& value) {
 // Composite overloads are in this unnamed namespace, so ADL cannot find
 // them from the vector/optional templates below — forward-declare them
 // before those templates' definitions instead.
+void put(std::ostream& out, const Arrival& arrival);
+void get(std::istream& in, Arrival& arrival);
+void put(std::ostream& out, const Request& request);
+void get(std::istream& in, Request& request);
 void put(std::ostream& out, const Vm::Snapshot& snap);
 void get(std::istream& in, Vm::Snapshot& snap);
 void put(std::ostream& out, const Datacenter::Snapshot& snap);
@@ -64,6 +75,8 @@ void put(std::ostream& out, const RetryGateway::Snapshot& snap);
 void get(std::istream& in, RetryGateway::Snapshot& snap);
 void put(std::ostream& out, const WorldState::ResilienceState& state);
 void get(std::istream& in, WorldState::ResilienceState& state);
+void put(std::ostream& out, const ApptierState& state);
+void get(std::istream& in, ApptierState& state);
 
 // Vectors and optionals of already-handled element types.
 template <typename T>
@@ -105,6 +118,73 @@ void get(std::istream& in, std::optional<T>& value) {
 }
 
 // --- composite overloads (field-wise, declaration order) ------------------
+
+// Pre-v3 files raw-copied Arrival/Request (no key field, padding included);
+// these mirror the old in-memory layouts so v1/v2 checkpoints still decode.
+struct LegacyArrival {
+  SimTime time = 0.0;
+  double service_demand = 0.0;
+  int priority = 0;
+  SimTime deadline = 0.0;
+};
+static_assert(sizeof(LegacyArrival) == 32, "legacy Arrival layout changed");
+
+struct LegacyRequest {
+  std::uint64_t id = 0;
+  SimTime arrival_time = 0.0;
+  double service_demand = 0.0;
+  int priority = 0;
+  SimTime deadline = 0.0;
+};
+static_assert(sizeof(LegacyRequest) == 40, "legacy Request layout changed");
+
+void put(std::ostream& out, const Arrival& arrival) {
+  put(out, arrival.time);
+  put(out, arrival.service_demand);
+  put(out, arrival.priority);
+  put(out, arrival.deadline);
+  put(out, arrival.key);
+}
+
+void get(std::istream& in, Arrival& arrival) {
+  if (g_read_version < 3) {
+    LegacyArrival legacy;
+    get(in, legacy);
+    arrival = Arrival{legacy.time, legacy.service_demand, legacy.priority,
+                      legacy.deadline, 0};
+    return;
+  }
+  get(in, arrival.time);
+  get(in, arrival.service_demand);
+  get(in, arrival.priority);
+  get(in, arrival.deadline);
+  get(in, arrival.key);
+}
+
+void put(std::ostream& out, const Request& request) {
+  put(out, request.id);
+  put(out, request.arrival_time);
+  put(out, request.service_demand);
+  put(out, request.priority);
+  put(out, request.deadline);
+  put(out, request.key);
+}
+
+void get(std::istream& in, Request& request) {
+  if (g_read_version < 3) {
+    LegacyRequest legacy;
+    get(in, legacy);
+    request = Request{legacy.id, legacy.arrival_time, legacy.service_demand,
+                      legacy.priority, legacy.deadline, 0};
+    return;
+  }
+  get(in, request.id);
+  get(in, request.arrival_time);
+  get(in, request.service_demand);
+  get(in, request.priority);
+  get(in, request.deadline);
+  get(in, request.key);
+}
 
 void put(std::ostream& out, const Vm::Snapshot& snap) {
   put(out, snap.id);
@@ -450,6 +530,64 @@ void get(std::istream& in, WorldState::ResilienceState& state) {
   get(in, state.shedding.pending_time);
 }
 
+void put(std::ostream& out, const ApptierState& state) {
+  put(out, state.cache_datacenter);
+  put(out, state.cache_provisioner);
+  put(out, state.directory);
+  put(out, state.rng);
+  put(out, state.hits);
+  put(out, state.misses);
+  put(out, state.fills);
+  put(out, state.evictions);
+  put(out, state.expirations);
+  put(out, state.invalidations);
+  put(out, state.flushes);
+  put(out, state.window_arrivals);
+  put(out, state.window_hits);
+  put(out, state.window_lookups);
+  put(out, state.hit_ewma);
+  put(out, state.last_window_hit_ratio);
+  put(out, state.lambda_miss_sum);
+  put(out, state.windows);
+  put(out, state.response_stats);
+  put(out, state.p95);
+  put(out, state.p99);
+  put(out, state.qos_violations);
+  put(out, state.series);
+  put(out, state.flush_events);
+  put(out, state.crash_events);
+  put(out, state.cache_decisions);
+}
+
+void get(std::istream& in, ApptierState& state) {
+  get(in, state.cache_datacenter);
+  get(in, state.cache_provisioner);
+  get(in, state.directory);
+  get(in, state.rng);
+  get(in, state.hits);
+  get(in, state.misses);
+  get(in, state.fills);
+  get(in, state.evictions);
+  get(in, state.expirations);
+  get(in, state.invalidations);
+  get(in, state.flushes);
+  get(in, state.window_arrivals);
+  get(in, state.window_hits);
+  get(in, state.window_lookups);
+  get(in, state.hit_ewma);
+  get(in, state.last_window_hit_ratio);
+  get(in, state.lambda_miss_sum);
+  get(in, state.windows);
+  get(in, state.response_stats);
+  get(in, state.p95);
+  get(in, state.p99);
+  get(in, state.qos_violations);
+  get(in, state.series);
+  get(in, state.flush_events);
+  get(in, state.crash_events);
+  get(in, state.cache_decisions);
+}
+
 }  // namespace
 
 void write_checkpoint(std::ostream& out, const WorldState& state) {
@@ -469,6 +607,7 @@ void write_checkpoint(std::ostream& out, const WorldState& state) {
   put(out, state.faults);
   put(out, state.reconciler);
   put(out, state.resilience);
+  put(out, state.apptier);
   if (!out) throw std::runtime_error("checkpoint: write failed");
 }
 
@@ -483,6 +622,7 @@ WorldState read_checkpoint(std::istream& in) {
   if (version < kMinVersion || version > kVersion) {
     throw std::runtime_error("checkpoint: unsupported version");
   }
+  g_read_version = version;
   WorldState state;
   get(in, state.now);
   get(in, state.executed_events);
@@ -498,6 +638,8 @@ WorldState read_checkpoint(std::istream& in) {
   get(in, state.faults);
   get(in, state.reconciler);
   if (version >= 2) get(in, state.resilience);
+  if (version >= 3) get(in, state.apptier);
+  g_read_version = kVersion;
   if (in.peek() != std::istream::traits_type::eof()) {
     throw std::runtime_error("checkpoint: trailing bytes after state");
   }

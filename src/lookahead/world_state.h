@@ -26,6 +26,7 @@
 #include <optional>
 #include <vector>
 
+#include "apptier/cache_tier.h"
 #include "cloud/broker.h"
 #include "cloud/datacenter.h"
 #include "core/adaptive_policy.h"
@@ -55,6 +56,9 @@ struct SeedStreams {
   std::uint64_t market = 0;
   std::uint64_t lookahead = 0;
   std::uint64_t resilience = 0;
+  /// Cache-tier service demands (src/apptier); drawn last so existing seeds
+  /// keep their historical streams.
+  std::uint64_t apptier = 0;
 };
 
 inline SeedStreams derive_streams(std::uint64_t seed) {
@@ -66,6 +70,7 @@ inline SeedStreams derive_streams(std::uint64_t seed) {
   streams.market = seeder.next();
   streams.lookahead = seeder.next();
   streams.resilience = seeder.next();
+  streams.apptier = seeder.next();
   return streams;
 }
 
@@ -102,6 +107,12 @@ struct WorldState {
     SheddingAdmission::Snapshot shedding;
   };
   std::optional<ResilienceState> resilience;
+
+  /// Multi-tier application state (cache datacenter + pool, directory, the
+  /// tier's counters/series, and the cache-side decision log); present only
+  /// in tiered worlds. The backend half of the tiered provisioner reuses
+  /// `policy` above.
+  std::optional<ApptierState> apptier;
 
   /// Deep copy of the replication's collector, so a restored run keeps
   /// recording into identical instruments and its final exports stay

@@ -226,16 +226,29 @@ void write_prometheus_text(std::ostream& out,
 
 void write_span_csv(std::ostream& out, const SpanTracer& spans) {
   CsvWriter csv(out);
-  csv.write_header({"trace_id", "span", "start", "end", "duration", "vm_id",
-                    "outcome", "qos_violation"});
-  const auto row = [&csv](const SpanTracer::RequestTrace& trace,
-                          const char* span, SimTime start, SimTime end) {
-    csv.write_row({CsvWriter::format(static_cast<std::int64_t>(trace.trace_id)),
-                   span, CsvWriter::format(start), CsvWriter::format(end),
-                   CsvWriter::format(end - start),
-                   CsvWriter::format(static_cast<std::int64_t>(trace.vm_id)),
-                   to_string(trace.outcome),
-                   trace.qos_violation ? "1" : "0"});
+  // The tier column exists only in tiered runs: untiered span CSVs are
+  // golden-pinned byte-for-byte (kernel_golden_test), so the historical
+  // column set must stay exactly as it was when no trace carries a tier tag.
+  const bool tiers = spans.has_tiers();
+  std::vector<std::string> header = {"trace_id", "span",    "start",
+                                     "end",      "duration", "vm_id",
+                                     "outcome",  "qos_violation"};
+  if (tiers) header.push_back("tier");
+  csv.write_header(header);
+  const auto row = [&csv, tiers](const SpanTracer::RequestTrace& trace,
+                                 const char* span, SimTime start, SimTime end) {
+    std::vector<std::string> cells = {
+        CsvWriter::format(static_cast<std::int64_t>(trace.trace_id)),
+        span, CsvWriter::format(start), CsvWriter::format(end),
+        CsvWriter::format(end - start),
+        CsvWriter::format(static_cast<std::int64_t>(trace.vm_id)),
+        to_string(trace.outcome),
+        trace.qos_violation ? "1" : "0"};
+    if (tiers) {
+      cells.push_back(
+          CsvWriter::format(static_cast<std::int64_t>(trace.tier)));
+    }
+    csv.write_row(cells);
   };
   for (const SpanTracer::RequestTrace& trace : spans.finished()) {
     row(trace, "admission", trace.arrival, trace.arrival);

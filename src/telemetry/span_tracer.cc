@@ -79,6 +79,14 @@ void SpanTracer::on_lost(SimTime t, std::uint64_t request_id) {
   finish(t, request_id, Outcome::kLost, /*qos_violation=*/false);
 }
 
+void SpanTracer::on_tier(std::uint64_t request_id, std::uint8_t tier) {
+  if (!sampled(request_id)) return;  // cheap pre-filter before the map probe
+  const auto it = pending_.find(request_id);
+  if (it == pending_.end()) return;
+  it->second.tier = tier;
+  has_tiers_ = true;
+}
+
 void SpanTracer::finish(SimTime t, std::uint64_t request_id, Outcome outcome,
                         bool qos_violation) {
   if (!sampled(request_id)) return;  // cheap pre-filter before the map probe

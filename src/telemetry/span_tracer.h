@@ -57,6 +57,11 @@ class SpanTracer {
     std::uint64_t vm_id = 0;      ///< serving instance; 0 when rejected
     Outcome outcome = Outcome::kInFlight;
     bool qos_violation = false;
+    /// Application tier that served the request: 0 = untiered world,
+    /// 1 = cache hit, 2 = backend (cache miss). Only set by CacheTier, so
+    /// untiered runs keep tier == 0 on every trace and the span CSV stays
+    /// byte-identical (no tier column is emitted).
+    std::uint8_t tier = 0;
   };
 
   explicit SpanTracer(Options options);
@@ -74,6 +79,8 @@ class SpanTracer {
                         std::uint64_t vm_id);
   void on_complete(SimTime t, std::uint64_t request_id, bool qos_violation);
   void on_lost(SimTime t, std::uint64_t request_id);
+  /// Tags the in-flight trace with the tier that will serve it (CacheTier).
+  void on_tier(std::uint64_t request_id, std::uint8_t tier);
 
   /// Finished traces, oldest first (completion order — deterministic).
   const std::deque<RequestTrace>& finished() const { return finished_; }
@@ -83,6 +90,8 @@ class SpanTracer {
   std::uint64_t dropped() const { return dropped_; }
   /// Sampled requests still in flight (bounded by pool occupancy).
   std::size_t in_flight() const { return pending_.size(); }
+  /// True once any trace was tier-tagged; gates the span CSV tier column.
+  bool has_tiers() const { return has_tiers_; }
 
  private:
   void finish(SimTime t, std::uint64_t request_id, Outcome outcome,
@@ -94,6 +103,7 @@ class SpanTracer {
   std::deque<RequestTrace> finished_;
   std::uint64_t traced_ = 0;
   std::uint64_t dropped_ = 0;
+  bool has_tiers_ = false;
 };
 
 const char* to_string(SpanTracer::Outcome outcome);

@@ -66,7 +66,15 @@ Telemetry::Telemetry(TelemetryOptions options)
       client_timeouts_(&metrics_.counter("client_timeouts")),
       breaker_transitions_(&metrics_.counter("breaker_transitions")),
       breaker_fast_fails_(&metrics_.counter("breaker_fast_fails")),
-      requests_shed_(&metrics_.counter("requests_shed")) {
+      requests_shed_(&metrics_.counter("requests_shed")),
+      cache_hits_(&metrics_.counter("cache_hits")),
+      cache_misses_(&metrics_.counter("cache_misses")),
+      cache_fills_(&metrics_.counter("cache_fills")),
+      cache_flushes_(&metrics_.counter("cache_flushes")),
+      tier_decisions_(&metrics_.counter("tier_decisions")),
+      cache_hit_ratio_(&metrics_.gauge("cache_hit_ratio")),
+      cache_active_instances_(&metrics_.gauge("cache_active_instances")),
+      cache_draining_instances_(&metrics_.gauge("cache_draining_instances")) {
   // The optional monitors are built after the hot-path instruments so the
   // registry's registration order (and thus CSV/snapshot order) is stable
   // whether or not they are enabled.
@@ -402,6 +410,73 @@ void Telemetry::request_shed(SimTime t, std::uint64_t request_id,
   TraceEvent event = instant("resilience", "shed", kTrackResilience, t,
                              request_id);
   event.name = kind;
+  trace_.record(event);
+}
+
+void Telemetry::cache_lookup(SimTime t, std::uint64_t request_id, bool hit) {
+  if (hit) {
+    cache_hits_->add();
+  } else {
+    cache_misses_->add();
+  }
+  // Tier tag: 1 = cache hit, 2 = backend (miss). Untiered worlds never call
+  // this hook, so their span CSVs keep the historical column set.
+  if (spans_) spans_->on_tier(request_id, hit ? 1 : 2);
+  if (options_.trace_requests) {
+    trace_.record(instant("apptier", hit ? "cache_hit" : "cache_miss",
+                          kTrackApptier, t, request_id));
+  }
+}
+
+void Telemetry::cache_fill(SimTime t, std::uint64_t request_id) {
+  cache_fills_->add();
+  if (options_.trace_requests) {
+    trace_.record(instant("apptier", "cache_fill", kTrackApptier, t,
+                          request_id));
+  }
+}
+
+void Telemetry::cache_flush(SimTime t, std::size_t entries) {
+  cache_flushes_->add();
+  TraceEvent event = instant("apptier", "cache_flush", kTrackApptier, t, 0);
+  event.arg("entries", static_cast<double>(entries));
+  trace_.record(event);
+}
+
+void Telemetry::tier_decision(SimTime t, double lambda, double hit_ratio,
+                              double lambda_miss, std::size_t cache_target,
+                              std::size_t backend_target) {
+  tier_decisions_->add();
+  cache_hit_ratio_->set(hit_ratio);
+  TraceEvent event = instant("apptier", "tier_decision", kTrackApptier, t, 0);
+  event.arg("lambda", lambda)
+      .arg("hit_ratio", hit_ratio)
+      .arg("lambda_miss", lambda_miss)
+      .arg("cache_m", static_cast<double>(cache_target))
+      .arg("backend_m", static_cast<double>(backend_target));
+  trace_.record(event);
+  TraceEvent counter;
+  counter.name = "hit_ratio";
+  counter.category = "apptier";
+  counter.phase = TracePhase::kCounter;
+  counter.track = kTrackApptier;
+  counter.time = t;
+  counter.arg("hit_ratio", hit_ratio).arg("lambda_miss", lambda_miss);
+  trace_.record(counter);
+}
+
+void Telemetry::cache_instance_count(SimTime t, std::size_t active,
+                                     std::size_t draining) {
+  cache_active_instances_->set(static_cast<double>(active));
+  cache_draining_instances_->set(static_cast<double>(draining));
+  TraceEvent event;
+  event.name = "cache_instances";
+  event.category = "apptier";
+  event.phase = TracePhase::kCounter;
+  event.track = kTrackApptier;
+  event.time = t;
+  event.arg("active", static_cast<double>(active))
+      .arg("draining", static_cast<double>(draining));
   trace_.record(event);
 }
 

@@ -30,6 +30,9 @@
 //   resilience: retry/budget-exhausted/client-timeout/fast-fail instants,
 //              breaker state edges, admission shed instants (RetryGateway /
 //              SheddingAdmission, src/resilience)
+//   apptier  : cache hit/miss/fill/flush instants, per-window tier decision
+//              instants (lambda split across tiers), cache-pool instance
+//              counter lane (CacheTier / TieredProvisioner, src/apptier)
 #pragma once
 
 #include <cstddef>
@@ -57,6 +60,7 @@ enum TelemetryTrack : std::uint32_t {
   kTrackSlo = 8,
   kTrackMarket = 9,
   kTrackResilience = 10,
+  kTrackApptier = 11,
 };
 
 struct TelemetryOptions {
@@ -194,6 +198,23 @@ class Telemetry {
   /// the per-kind counters on this cold path).
   void request_shed(SimTime t, std::uint64_t request_id, const char* kind);
 
+  // --- multi-tier cache (CacheTier / TieredProvisioner, src/apptier) -----
+  /// Directory lookup outcome for a keyed request at the cache front door.
+  void cache_lookup(SimTime t, std::uint64_t request_id, bool hit);
+  /// Backend completion populated the directory for this request's key.
+  void cache_fill(SimTime t, std::uint64_t request_id);
+  /// A scheduled flush dropped the whole directory (`entries` keys).
+  void cache_flush(SimTime t, std::size_t entries);
+  /// One per-window tiered decision: total arrival rate, planning hit ratio,
+  /// the resulting backend offered load, and both tiers' targets. Also
+  /// samples the hit-ratio gauge/counter lane.
+  void tier_decision(SimTime t, double lambda, double hit_ratio,
+                     double lambda_miss, std::size_t cache_target,
+                     std::size_t backend_target);
+  /// Counter lane sample of the cache pool size (mirrors instance_count).
+  void cache_instance_count(SimTime t, std::size_t active,
+                            std::size_t draining);
+
   // --- engine self-profile (Simulation) ---------------------------------
   void engine_sample(SimTime t, std::uint64_t executed_events,
                      std::size_t queue_depth);
@@ -254,6 +275,16 @@ class Telemetry {
   Counter* breaker_transitions_;
   Counter* breaker_fast_fails_;
   Counter* requests_shed_;
+  // Apptier instruments append after every pre-apptier one (same discipline
+  // as the market/resilience blocks: registration order stays stable).
+  Counter* cache_hits_;
+  Counter* cache_misses_;
+  Counter* cache_fills_;
+  Counter* cache_flushes_;
+  Counter* tier_decisions_;
+  Gauge* cache_hit_ratio_;
+  Gauge* cache_active_instances_;
+  Gauge* cache_draining_instances_;
 };
 
 }  // namespace cloudprov

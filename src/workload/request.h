@@ -24,6 +24,9 @@ struct Request {
   int priority = 0;
   /// Absolute completion deadline (extension; +inf in the paper's experiments).
   SimTime deadline = std::numeric_limits<SimTime>::infinity();
+  /// Key-value object addressed by this request (src/apptier cache tier);
+  /// 0 for keyless workloads.
+  std::uint64_t key = 0;
 };
 
 }  // namespace cloudprov

@@ -7,6 +7,7 @@
 // the predictor-ablation bench.
 #pragma once
 
+#include <cstdint>
 #include <limits>
 #include <optional>
 #include <string>
@@ -24,6 +25,9 @@ struct Arrival {
   double service_demand = 0.0;
   int priority = 0;
   SimTime deadline = std::numeric_limits<SimTime>::infinity();
+  /// Key-value object addressed by the request (src/apptier cache tier);
+  /// 0 for keyless workloads (web/BoT), where the cache tier is a no-op.
+  std::uint64_t key = 0;
 };
 
 class RequestSource {

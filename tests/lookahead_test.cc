@@ -108,6 +108,21 @@ void expect_identical_metrics(const RunMetrics& a, const RunMetrics& b) {
   EXPECT_SAME(breaker_fast_fails);
   EXPECT_SAME(shed_deadline);
   EXPECT_SAME(shed_brownout);
+  EXPECT_SAME(cache_hits);
+  EXPECT_SAME(cache_misses);
+  EXPECT_SAME(cache_hit_ratio);
+  EXPECT_SAME(cache_fills);
+  EXPECT_SAME(cache_evictions);
+  EXPECT_SAME(cache_expirations);
+  EXPECT_SAME(cache_invalidations);
+  EXPECT_SAME(cache_flushes);
+  EXPECT_SAME(cache_vm_hours);
+  EXPECT_SAME(cache_utilization);
+  EXPECT_SAME(cache_avg_instances);
+  EXPECT_SAME(cache_final_instances);
+  EXPECT_SAME(lambda_miss_mean);
+  EXPECT_SAME(cache_avg_response_time);
+  EXPECT_SAME(backend_avg_response_time);
   EXPECT_SAME(simulated_events);
 }
 #undef EXPECT_SAME
@@ -209,7 +224,7 @@ RunOutput clone_continue(const ScenarioConfig& config, const PolicySpec& policy,
 // --- satellite: seed-stream derivation order ------------------------------
 
 TEST(SeedStreams,
-     DerivationOrderIsWorkloadPlacementFaultMarketLookaheadResilience) {
+     DerivationOrderIsWorkloadPlacementFaultMarketLookaheadResilienceApptier) {
   for (const std::uint64_t seed : {0ULL, 7ULL, 42ULL, 0xdeadbeefULL}) {
     SplitMix64 seeder(seed);
     const std::uint64_t workload = seeder.next();
@@ -218,6 +233,7 @@ TEST(SeedStreams,
     const std::uint64_t market = seeder.next();
     const std::uint64_t lookahead = seeder.next();
     const std::uint64_t resilience = seeder.next();
+    const std::uint64_t apptier = seeder.next();
 
     const SeedStreams streams = derive_streams(seed);
     EXPECT_EQ(streams.workload, workload) << "seed " << seed;
@@ -226,6 +242,7 @@ TEST(SeedStreams,
     EXPECT_EQ(streams.market, market) << "seed " << seed;
     EXPECT_EQ(streams.lookahead, lookahead) << "seed " << seed;
     EXPECT_EQ(streams.resilience, resilience) << "seed " << seed;
+    EXPECT_EQ(streams.apptier, apptier) << "seed " << seed;
   }
 }
 
@@ -237,9 +254,11 @@ TEST(SeedStreams, DistinctStreamsAndSeeds) {
   EXPECT_NE(a.workload, a.market);
   EXPECT_NE(a.workload, a.lookahead);
   EXPECT_NE(a.workload, a.resilience);
+  EXPECT_NE(a.workload, a.apptier);
   EXPECT_NE(a.workload, b.workload);
   EXPECT_NE(a.lookahead, b.lookahead);
   EXPECT_NE(a.resilience, b.resilience);
+  EXPECT_NE(a.apptier, b.apptier);
 }
 
 // --- tentpole: clone-continue bit-identity --------------------------------

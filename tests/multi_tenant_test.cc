@@ -375,6 +375,101 @@ TEST(MultiTenant, ProfiledShardedRunIsNeutralAndAttributed) {
   EXPECT_GT(profiler.covered_seconds(), 0.0);
 }
 
+// --- per-shard telemetry batching ----------------------------------------
+
+// The fleet window series is accumulated shard-locally and drained at the
+// barrier: one row per commit, cumulative sums equal to the final per-tenant
+// totals, and — like everything else — bit-identical across shard counts.
+TEST(MultiTenant, FleetWindowSeriesSumsToTotalsAcrossShardCounts) {
+  const MultiTenantConfig config = golden_config();
+  const MultiTenantResult base = run_multi_tenant(config, {});
+  // windows counts barrier commits; the executor never commits at the
+  // horizon itself, so the final window drains as one extra tail row.
+  ASSERT_EQ(base.window_series.size(), base.windows + 1);
+  EXPECT_EQ(base.window_series.back().t, config.horizon);
+
+  FleetWindowSample cumulative;
+  for (const FleetWindowSample& row : base.window_series) {
+    EXPECT_GT(row.t, 0.0);
+    cumulative.generated += row.generated;
+    cumulative.accepted += row.accepted;
+    cumulative.rejected += row.rejected;
+    cumulative.completed += row.completed;
+    cumulative.qos_violations += row.qos_violations;
+  }
+  EXPECT_EQ(cumulative.generated, base.aggregate.generated);
+  EXPECT_EQ(cumulative.accepted, base.aggregate.accepted);
+  EXPECT_EQ(cumulative.rejected, base.aggregate.rejected);
+  EXPECT_EQ(cumulative.completed, base.aggregate.completed);
+  EXPECT_EQ(cumulative.qos_violations, base.aggregate.qos_violations);
+
+  for (const std::size_t shards : {std::size_t{2}, std::size_t{4}}) {
+    MultiTenantOptions options;
+    options.shards = shards;
+    const MultiTenantResult sharded = run_multi_tenant(config, options);
+    ASSERT_EQ(sharded.window_series.size(), base.window_series.size())
+        << shards << " shards";
+    for (std::size_t i = 0; i < base.window_series.size(); ++i) {
+      SCOPED_TRACE("window " + std::to_string(i) + " shards " +
+                   std::to_string(shards));
+      const FleetWindowSample& a = base.window_series[i];
+      const FleetWindowSample& b = sharded.window_series[i];
+      EXPECT_EQ(a.t, b.t);
+      EXPECT_EQ(a.generated, b.generated);
+      EXPECT_EQ(a.accepted, b.accepted);
+      EXPECT_EQ(a.rejected, b.rejected);
+      EXPECT_EQ(a.completed, b.completed);
+      EXPECT_EQ(a.qos_violations, b.qos_violations);
+      EXPECT_EQ(a.cache_hits, b.cache_hits);
+      EXPECT_EQ(a.cache_misses, b.cache_misses);
+    }
+  }
+}
+
+// Zipf tenants with the cache tier enabled ride the sharded path: specs are
+// deterministic, tier state lives on the shared shard kernels, and per-tenant
+// results (including every cache_* counter) stay bit-identical across shard
+// counts.
+TEST(MultiTenantGolden, TieredZipfTenantsMatchAcrossShardCounts) {
+  MultiTenantConfig config = golden_config();
+  config.tenants = 8;
+  config.zipf_fraction = 0.5;
+  config.zipf_tiers = true;
+  config.horizon = 900.0;
+
+  std::size_t zipf_tenants = 0;
+  for (const TenantSpec& spec : multi_tenant_specs(config)) {
+    if (spec.scenario.workload == WorkloadKind::kZipf) {
+      ++zipf_tenants;
+      EXPECT_TRUE(spec.scenario.apptier.enabled);
+    }
+  }
+  ASSERT_GT(zipf_tenants, 0u);
+  ASSERT_LT(zipf_tenants, config.tenants);
+
+  const MultiTenantResult base = run_multi_tenant(config, {});
+  EXPECT_GT(base.aggregate.cache_hits, 0u);
+  std::uint64_t series_hits = 0;
+  for (const FleetWindowSample& row : base.window_series) {
+    series_hits += row.cache_hits;
+  }
+  EXPECT_EQ(series_hits, base.aggregate.cache_hits);
+
+  MultiTenantOptions threaded;
+  threaded.shards = 3;
+  const MultiTenantResult sharded = run_multi_tenant(config, threaded);
+  for (std::size_t i = 0; i < base.tenants.size(); ++i) {
+    SCOPED_TRACE("tenant " + std::to_string(i));
+    expect_bit_identical(base.tenants[i].metrics, sharded.tenants[i].metrics);
+    EXPECT_EQ(base.tenants[i].metrics.cache_hits,
+              sharded.tenants[i].metrics.cache_hits);
+    EXPECT_EQ(base.tenants[i].metrics.cache_misses,
+              sharded.tenants[i].metrics.cache_misses);
+    EXPECT_EQ(double_bits(base.tenants[i].metrics.cache_vm_hours),
+              double_bits(sharded.tenants[i].metrics.cache_vm_hours));
+  }
+}
+
 TEST(MultiTenant, TenantCsvHasOneRowPerTenant) {
   MultiTenantConfig config = golden_config();
   config.tenants = 4;

@@ -206,5 +206,103 @@ TEST(Jackson, MalformedRoutingThrows) {
   EXPECT_THROW(solve_jackson(net), std::invalid_argument);
 }
 
+// ------------------------------------------------ hand-computed fixtures
+// Every expectation below is worked out by hand from the closed forms, so a
+// solver regression cannot hide behind a cross-check of one model against
+// another model in the same file.
+
+TEST(TandemFixture, PureLossTiersByHand) {
+  // Tier 1: one M/M/1/1 (pure loss), lambda = 1, mu = 2. rho = 1/2, so
+  // p_block = rho/(1+rho) = 1/3: acceptance 2/3, response exactly 1/mu.
+  // Tier 2: one M/M/1/1, mu = 1, offered tier 1's accepted 2/3. rho = 2/3,
+  // so p_block = (2/3)/(5/3) = 2/5: acceptance 3/5, response 1.
+  const TandemMetrics chain =
+      solve_tandem(1.0, {TandemTier{1, 2.0, 1}, TandemTier{1, 1.0, 1}});
+  ASSERT_EQ(chain.tiers.size(), 2u);
+  EXPECT_NEAR(chain.tiers[0].pool.rejection_probability, 1.0 / 3.0, 1e-12);
+  EXPECT_NEAR(chain.tiers[1].input_rate, 2.0 / 3.0, 1e-12);
+  EXPECT_NEAR(chain.tiers[1].pool.rejection_probability, 2.0 / 5.0, 1e-12);
+  EXPECT_NEAR(chain.end_to_end_response, 0.5 + 1.0, 1e-12);
+  EXPECT_NEAR(chain.end_to_end_acceptance, (2.0 / 3.0) * (3.0 / 5.0), 1e-12);
+  EXPECT_NEAR(chain.throughput, 2.0 / 5.0, 1e-12);
+  EXPECT_EQ(chain.bottleneck_tier, 1u);
+}
+
+TEST(TandemFixture, Mm1TwoSlotTierByHand) {
+  // One M/M/1/2 at lambda = 1, mu = 2: p_n ~ rho^n with rho = 1/2 gives
+  // (p0, p1, p2) = (4/7, 2/7, 1/7). Blocking 1/7; L = p1 + 2 p2 = 4/7;
+  // accepted rate 6/7; W = L / accepted rate = 2/3.
+  const TandemMetrics chain = solve_tandem(1.0, {TandemTier{1, 2.0, 2}});
+  EXPECT_NEAR(chain.end_to_end_acceptance, 6.0 / 7.0, 1e-12);
+  EXPECT_NEAR(chain.end_to_end_response, 2.0 / 3.0, 1e-12);
+  EXPECT_NEAR(chain.throughput, 6.0 / 7.0, 1e-12);
+}
+
+TEST(TandemFixture, EvenSplitAcrossInstancesByHand) {
+  // Two instances split lambda = 1 into two M/M/1/1 at lambda = 1/2 with
+  // mu = 1: rho = 1/2 per instance, blocking 1/3, pool throughput
+  // 2 x (1/2)(2/3) = 2/3, response exactly 1/mu (loss system).
+  const TandemMetrics chain = solve_tandem(1.0, {TandemTier{2, 1.0, 1}});
+  EXPECT_NEAR(chain.tiers[0].pool.rejection_probability, 1.0 / 3.0, 1e-12);
+  EXPECT_NEAR(chain.throughput, 2.0 / 3.0, 1e-12);
+  EXPECT_NEAR(chain.end_to_end_response, 1.0, 1e-12);
+}
+
+TEST(JacksonFixture, TwoNodeTandemByHand) {
+  // M/M/1 pair at lambda = 1 with mu = 4 then mu = 2: W = 1/(mu - lambda)
+  // per node gives 1/3 + 1 = 4/3 end to end; L = lambda W by Little.
+  JacksonNetwork net;
+  net.nodes = {JacksonNode{1, 4.0}, JacksonNode{1, 2.0}};
+  net.external_arrivals = {1.0, 0.0};
+  net.routing = {{0.0, 1.0}, {0.0, 0.0}};
+  const JacksonMetrics result = solve_jackson(net);
+  EXPECT_NEAR(result.node_metrics[0].mean_response_time, 1.0 / 3.0, 1e-12);
+  EXPECT_NEAR(result.node_metrics[1].mean_response_time, 1.0, 1e-12);
+  EXPECT_NEAR(result.mean_in_network, 4.0 / 3.0, 1e-12);
+  EXPECT_NEAR(result.mean_sojourn_time, 4.0 / 3.0, 1e-12);
+}
+
+TEST(JacksonFixture, FeedbackNodeByHand) {
+  // One node, mu = 3, external 1/s, half of completions loop back: the
+  // traffic equation lambda = 1 + lambda/2 gives lambda = 2, rho = 2/3,
+  // L = rho/(1-rho) = 2; an external arrival's sojourn is L/lambda_ext = 2.
+  JacksonNetwork net;
+  net.nodes = {JacksonNode{1, 3.0}};
+  net.external_arrivals = {1.0};
+  net.routing = {{0.5}};
+  const JacksonMetrics result = solve_jackson(net);
+  EXPECT_NEAR(result.node_arrival_rates[0], 2.0, 1e-12);
+  EXPECT_NEAR(result.mean_in_network, 2.0, 1e-12);
+  EXPECT_NEAR(result.mean_sojourn_time, 2.0, 1e-12);
+}
+
+TEST(JacksonFixture, BranchingByHand) {
+  // Node 0 (mu = 3) takes 2/s and routes 30% to node 1 (mu = 1) and 20% to
+  // node 2 (mu = 2); half leave. lambda = (2, 0.6, 0.4) by the traffic
+  // equations; per-node M/M/1 occupancies L = rho/(1-rho) are 2, 3/2, 1/4,
+  // so 15/4 requests sit in the network and sojourn = (15/4)/2 = 15/8.
+  JacksonNetwork net;
+  net.nodes = {JacksonNode{1, 3.0}, JacksonNode{1, 1.0}, JacksonNode{1, 2.0}};
+  net.external_arrivals = {2.0, 0.0, 0.0};
+  net.routing = {{0.0, 0.3, 0.2}, {0.0, 0.0, 0.0}, {0.0, 0.0, 0.0}};
+  const JacksonMetrics result = solve_jackson(net);
+  EXPECT_NEAR(result.node_arrival_rates[1], 0.6, 1e-12);
+  EXPECT_NEAR(result.node_arrival_rates[2], 0.4, 1e-12);
+  EXPECT_NEAR(result.mean_in_network, 15.0 / 4.0, 1e-12);
+  EXPECT_NEAR(result.mean_sojourn_time, 15.0 / 8.0, 1e-12);
+}
+
+TEST(JacksonFixture, MultiServerNodeByHand) {
+  // One M/M/2 node, mu = 1 per server, lambda = 1: rho = 1/2, so
+  // L = 2 rho / (1 - rho^2) = 4/3 and W = L / lambda = 4/3.
+  JacksonNetwork net;
+  net.nodes = {JacksonNode{2, 1.0}};
+  net.external_arrivals = {1.0};
+  net.routing = {{0.0}};
+  const JacksonMetrics result = solve_jackson(net);
+  EXPECT_NEAR(result.mean_in_network, 4.0 / 3.0, 1e-12);
+  EXPECT_NEAR(result.mean_sojourn_time, 4.0 / 3.0, 1e-12);
+}
+
 }  // namespace
 }  // namespace cloudprov::queueing
